@@ -1,0 +1,1261 @@
+//! A hand-modelled slice of the Java and Scala-IDE APIs.
+//!
+//! The paper's benchmarks invoke InSynth in contexts where whole packages
+//! (`java.io._`, `java.awt._`, `javax.swing._`, …) are imported, so that
+//! thousands of declarations are visible. This module models the classes those
+//! benchmarks actually exercise — constructors, the most common methods and
+//! fields, and the inheritance hierarchy — plus a deterministic *filler*
+//! generator ([`filler_package`]) that pads environments to the sizes reported
+//! in Table 2 (3.3k–10.7k declarations) with plausible but irrelevant API
+//! surface.
+//!
+//! The model is synthetic: method sets are abridged and parameter types are
+//! occasionally simplified (e.g. `byte[]` becomes the base type `ByteArray`).
+//! What matters for the reproduction is that the *shape* of the search
+//! problem — fan-out per type, depth of constructor chains, presence of
+//! subtyping and higher-order parameters — mirrors the original API.
+
+use insynth_lambda::Ty;
+
+use crate::model::{ApiModel, Class, Constructor, Field, Method, Package};
+
+fn t(name: &str) -> Ty {
+    Ty::base(name)
+}
+
+fn ctor(params: Vec<Ty>) -> Constructor {
+    Constructor::new(params)
+}
+
+/// `java.lang`: strings, boxed primitives, `System`, threads, exceptions.
+pub fn java_lang() -> Package {
+    Package::new("java.lang")
+        .with_class(Class::new("Object").with_constructor(ctor(vec![])).with_method(Method::new(
+            "toString",
+            vec![],
+            t("String"),
+        )).with_method(Method::new("hashCode", vec![], t("Int"))).with_method(Method::new(
+            "equals",
+            vec![t("Object")],
+            t("Boolean"),
+        )))
+        .with_class(
+            Class::new("String")
+                .with_method(Method::new("length", vec![], t("Int")))
+                .with_method(Method::new("isEmpty", vec![], t("Boolean")))
+                .with_method(Method::new("charAt", vec![t("Int")], t("Char")))
+                .with_method(Method::new("substring", vec![t("Int"), t("Int")], t("String")))
+                .with_method(Method::new("concat", vec![t("String")], t("String")))
+                .with_method(Method::new("trim", vec![], t("String")))
+                .with_method(Method::new("toUpperCase", vec![], t("String")))
+                .with_method(Method::new("toLowerCase", vec![], t("String")))
+                .with_method(Method::new("getBytes", vec![], t("ByteArray")))
+                .with_method(Method::new("toCharArray", vec![], t("CharArray")))
+                .with_method(Method::new_static("valueOf", vec![t("Int")], t("String")))
+                .with_method(Method::new_static("valueOf", vec![t("Object")], t("String"))),
+        )
+        .with_class(
+            Class::new("StringBuilder")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("Int")]))
+                .with_method(Method::new("append", vec![t("String")], t("StringBuilder")))
+                .with_method(Method::new("toString", vec![], t("String")))
+                .with_method(Method::new("length", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("StringBuffer")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_method(Method::new("append", vec![t("String")], t("StringBuffer")))
+                .with_method(Method::new("toString", vec![], t("String"))),
+        )
+        .with_class(
+            Class::new("Integer")
+                .with_constructor(ctor(vec![t("Int")]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_method(Method::new("intValue", vec![], t("Int")))
+                .with_method(Method::new_static("parseInt", vec![t("String")], t("Int")))
+                .with_method(Method::new_static("valueOf", vec![t("Int")], t("Integer")))
+                .with_method(Method::new_static("toBinaryString", vec![t("Int")], t("String")))
+                .with_field(Field::new_static("MAX_VALUE", t("Int")))
+                .with_field(Field::new_static("MIN_VALUE", t("Int"))),
+        )
+        .with_class(
+            Class::new("Long")
+                .with_constructor(ctor(vec![t("Long")]))
+                .with_method(Method::new("longValue", vec![], t("Long")))
+                .with_method(Method::new_static("parseLong", vec![t("String")], t("Long"))),
+        )
+        .with_class(
+            Class::new("Double")
+                .with_constructor(ctor(vec![t("DoubleVal")]))
+                .with_method(Method::new("doubleValue", vec![], t("DoubleVal")))
+                .with_method(Method::new_static("parseDouble", vec![t("String")], t("DoubleVal"))),
+        )
+        .with_class(
+            Class::new("Boolean")
+                .with_constructor(ctor(vec![t("BooleanVal")]))
+                .with_method(Method::new("booleanValue", vec![], t("BooleanVal")))
+                .with_method(Method::new_static("parseBoolean", vec![t("String")], t("Boolean"))),
+        )
+        .with_class(
+            Class::new("Character")
+                .with_constructor(ctor(vec![t("Char")]))
+                .with_method(Method::new("charValue", vec![], t("Char"))),
+        )
+        .with_class(
+            Class::new("Math")
+                .with_method(Method::new_static("abs", vec![t("Int")], t("Int")))
+                .with_method(Method::new_static("max", vec![t("Int"), t("Int")], t("Int")))
+                .with_method(Method::new_static("min", vec![t("Int"), t("Int")], t("Int")))
+                .with_method(Method::new_static("sqrt", vec![t("DoubleVal")], t("DoubleVal")))
+                .with_method(Method::new_static("random", vec![], t("DoubleVal"))),
+        )
+        .with_class(
+            Class::new("System")
+                .with_field(Field::new_static("out", t("PrintStream")))
+                .with_field(Field::new_static("err", t("PrintStream")))
+                .with_field(Field::new_static("in", t("InputStream")))
+                .with_method(Method::new_static("currentTimeMillis", vec![], t("Long")))
+                .with_method(Method::new_static("nanoTime", vec![], t("Long")))
+                .with_method(Method::new_static("getProperty", vec![t("String")], t("String")))
+                .with_method(Method::new_static("getenv", vec![t("String")], t("String"))),
+        )
+        .with_class(
+            Class::new("Thread")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Runnable")]))
+                .with_constructor(ctor(vec![t("Runnable"), t("String")]))
+                .with_method(Method::new("start", vec![], t("Unit")))
+                .with_method(Method::new("join", vec![], t("Unit")))
+                .with_method(Method::new_static("currentThread", vec![], t("Thread")))
+                .with_method(Method::new_static("sleep", vec![t("Long")], t("Unit"))),
+        )
+        .with_class(Class::new("Runnable"))
+        .with_class(
+            Class::new("Exception")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_method(Method::new("getMessage", vec![], t("String"))),
+        )
+        .with_class(
+            Class::new("RuntimeException")
+                .extends("Exception")
+                .with_constructor(ctor(vec![t("String")])),
+        )
+        .with_class(
+            Class::new("IllegalArgumentException")
+                .extends("RuntimeException")
+                .with_constructor(ctor(vec![t("String")])),
+        )
+        .with_class(
+            Class::new("ClassLoader")
+                .with_method(Method::new("loadClass", vec![t("String")], t("Class")))
+                .with_method(Method::new_static("getSystemClassLoader", vec![], t("ClassLoader"))),
+        )
+        .with_class(
+            Class::new("Class")
+                .with_method(Method::new("getName", vec![], t("String")))
+                .with_method(Method::new_static("forName", vec![t("String")], t("Class"))),
+        )
+}
+
+/// `java.io`: the stream / reader / writer hierarchy used by most benchmarks.
+pub fn java_io() -> Package {
+    Package::new("java.io")
+        // --- byte input streams ---
+        .with_class(
+            Class::new("InputStream")
+                .with_method(Method::new("read", vec![], t("Int")))
+                .with_method(Method::new("available", vec![], t("Int")))
+                .with_method(Method::new("close", vec![], t("Unit"))),
+        )
+        .with_class(
+            Class::new("FileInputStream")
+                .extends("InputStream")
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("File")]))
+                .with_constructor(ctor(vec![t("FileDescriptor")]))
+                .with_method(Method::new("getFD", vec![], t("FileDescriptor"))),
+        )
+        .with_class(
+            Class::new("ByteArrayInputStream")
+                .extends("InputStream")
+                .with_constructor(ctor(vec![t("ByteArray")]))
+                .with_constructor(ctor(vec![t("ByteArray"), t("Int"), t("Int")])),
+        )
+        .with_class(Class::new("FilterInputStream").extends("InputStream"))
+        .with_class(
+            Class::new("BufferedInputStream")
+                .extends("FilterInputStream")
+                .with_constructor(ctor(vec![t("InputStream")]))
+                .with_constructor(ctor(vec![t("InputStream"), t("Int")])),
+        )
+        .with_class(
+            Class::new("DataInputStream")
+                .extends("FilterInputStream")
+                .with_constructor(ctor(vec![t("InputStream")]))
+                .with_method(Method::new("readInt", vec![], t("Int")))
+                .with_method(Method::new("readUTF", vec![], t("String"))),
+        )
+        .with_class(
+            Class::new("ObjectInputStream")
+                .extends("InputStream")
+                .with_constructor(ctor(vec![t("InputStream")]))
+                .with_method(Method::new("readObject", vec![], t("Object"))),
+        )
+        .with_class(
+            Class::new("SequenceInputStream")
+                .extends("InputStream")
+                .with_constructor(ctor(vec![t("InputStream"), t("InputStream")])),
+        )
+        .with_class(
+            Class::new("PipedInputStream")
+                .extends("InputStream")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("PipedOutputStream")])),
+        )
+        .with_class(
+            Class::new("PushbackInputStream")
+                .extends("FilterInputStream")
+                .with_constructor(ctor(vec![t("InputStream")])),
+        )
+        // --- byte output streams ---
+        .with_class(
+            Class::new("OutputStream")
+                .with_method(Method::new("write", vec![t("Int")], t("Unit")))
+                .with_method(Method::new("flush", vec![], t("Unit")))
+                .with_method(Method::new("close", vec![], t("Unit"))),
+        )
+        .with_class(
+            Class::new("FileOutputStream")
+                .extends("OutputStream")
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("File")]))
+                .with_constructor(ctor(vec![t("FileDescriptor")]))
+                .with_constructor(ctor(vec![t("String"), t("Boolean")]))
+                .with_constructor(ctor(vec![t("File"), t("Boolean")])),
+        )
+        .with_class(
+            Class::new("ByteArrayOutputStream")
+                .extends("OutputStream")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int")]))
+                .with_method(Method::new("toByteArray", vec![], t("ByteArray")))
+                .with_method(Method::new("size", vec![], t("Int"))),
+        )
+        .with_class(Class::new("FilterOutputStream").extends("OutputStream"))
+        .with_class(
+            Class::new("BufferedOutputStream")
+                .extends("FilterOutputStream")
+                .with_constructor(ctor(vec![t("OutputStream")]))
+                .with_constructor(ctor(vec![t("OutputStream"), t("Int")])),
+        )
+        .with_class(
+            Class::new("DataOutputStream")
+                .extends("FilterOutputStream")
+                .with_constructor(ctor(vec![t("OutputStream")]))
+                .with_method(Method::new("writeInt", vec![t("Int")], t("Unit")))
+                .with_method(Method::new("writeUTF", vec![t("String")], t("Unit"))),
+        )
+        .with_class(
+            Class::new("ObjectOutputStream")
+                .extends("OutputStream")
+                .with_constructor(ctor(vec![t("OutputStream")]))
+                .with_method(Method::new("writeObject", vec![t("Object")], t("Unit"))),
+        )
+        .with_class(
+            Class::new("PipedOutputStream")
+                .extends("OutputStream")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("PipedInputStream")])),
+        )
+        .with_class(
+            Class::new("PrintStream")
+                .extends("FilterOutputStream")
+                .with_constructor(ctor(vec![t("OutputStream")]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("File")]))
+                .with_method(Method::new("println", vec![t("String")], t("Unit")))
+                .with_method(Method::new("print", vec![t("String")], t("Unit"))),
+        )
+        // --- character readers ---
+        .with_class(
+            Class::new("Reader")
+                .with_method(Method::new("read", vec![], t("Int")))
+                .with_method(Method::new("close", vec![], t("Unit"))),
+        )
+        .with_class(
+            Class::new("InputStreamReader")
+                .extends("Reader")
+                .with_constructor(ctor(vec![t("InputStream")]))
+                .with_constructor(ctor(vec![t("InputStream"), t("String")]))
+                .with_method(Method::new("getEncoding", vec![], t("String"))),
+        )
+        .with_class(
+            Class::new("FileReader")
+                .extends("InputStreamReader")
+                .with_constructor(ctor(vec![t("File")]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("FileDescriptor")])),
+        )
+        .with_class(
+            Class::new("BufferedReader")
+                .extends("Reader")
+                .with_constructor(ctor(vec![t("Reader")]))
+                .with_constructor(ctor(vec![t("Reader"), t("Int")]))
+                .with_method(Method::new("readLine", vec![], t("String"))),
+        )
+        .with_class(
+            Class::new("LineNumberReader")
+                .extends("BufferedReader")
+                .with_constructor(ctor(vec![t("Reader")]))
+                .with_constructor(ctor(vec![t("Reader"), t("Int")]))
+                .with_method(Method::new("getLineNumber", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("StringReader")
+                .extends("Reader")
+                .with_constructor(ctor(vec![t("String")])),
+        )
+        .with_class(
+            Class::new("CharArrayReader")
+                .extends("Reader")
+                .with_constructor(ctor(vec![t("CharArray")])),
+        )
+        .with_class(
+            Class::new("PipedReader")
+                .extends("Reader")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("PipedWriter")])),
+        )
+        .with_class(Class::new("FilterReader").extends("Reader"))
+        .with_class(
+            Class::new("PushbackReader")
+                .extends("FilterReader")
+                .with_constructor(ctor(vec![t("Reader")])),
+        )
+        // --- character writers ---
+        .with_class(
+            Class::new("Writer")
+                .with_method(Method::new("write", vec![t("String")], t("Unit")))
+                .with_method(Method::new("flush", vec![], t("Unit")))
+                .with_method(Method::new("close", vec![], t("Unit"))),
+        )
+        .with_class(
+            Class::new("OutputStreamWriter")
+                .extends("Writer")
+                .with_constructor(ctor(vec![t("OutputStream")]))
+                .with_constructor(ctor(vec![t("OutputStream"), t("String")])),
+        )
+        .with_class(
+            Class::new("FileWriter")
+                .extends("OutputStreamWriter")
+                .with_constructor(ctor(vec![t("File")]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("String"), t("Boolean")]))
+                .with_constructor(ctor(vec![t("File"), t("Boolean")])),
+        )
+        .with_class(
+            Class::new("BufferedWriter")
+                .extends("Writer")
+                .with_constructor(ctor(vec![t("Writer")]))
+                .with_constructor(ctor(vec![t("Writer"), t("Int")]))
+                .with_method(Method::new("newLine", vec![], t("Unit"))),
+        )
+        .with_class(
+            Class::new("PrintWriter")
+                .extends("Writer")
+                .with_constructor(ctor(vec![t("Writer")]))
+                .with_constructor(ctor(vec![t("OutputStream")]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("File")]))
+                .with_method(Method::new("println", vec![t("String")], t("Unit"))),
+        )
+        .with_class(
+            Class::new("StringWriter")
+                .extends("Writer")
+                .with_constructor(ctor(vec![]))
+                .with_method(Method::new("toString", vec![], t("String"))),
+        )
+        .with_class(
+            Class::new("CharArrayWriter")
+                .extends("Writer")
+                .with_constructor(ctor(vec![])),
+        )
+        .with_class(
+            Class::new("PipedWriter")
+                .extends("Writer")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("PipedReader")])),
+        )
+        // --- misc ---
+        .with_class(
+            Class::new("StreamTokenizer")
+                .with_constructor(ctor(vec![t("Reader")]))
+                .with_method(Method::new("nextToken", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("File")
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("String"), t("String")]))
+                .with_constructor(ctor(vec![t("File"), t("String")]))
+                .with_method(Method::new("getName", vec![], t("String")))
+                .with_method(Method::new("getPath", vec![], t("String")))
+                .with_method(Method::new("getAbsolutePath", vec![], t("String")))
+                .with_method(Method::new("exists", vec![], t("Boolean")))
+                .with_method(Method::new("length", vec![], t("Long")))
+                .with_method(Method::new("delete", vec![], t("Boolean")))
+                .with_method(Method::new_static("createTempFile", vec![t("String"), t("String")], t("File"))),
+        )
+        .with_class(
+            Class::new("FileDescriptor")
+                .with_constructor(ctor(vec![]))
+                .with_field(Field::new_static("in", t("FileDescriptor")))
+                .with_field(Field::new_static("out", t("FileDescriptor")))
+                .with_field(Field::new_static("err", t("FileDescriptor"))),
+        )
+        .with_class(
+            Class::new("RandomAccessFile")
+                .with_constructor(ctor(vec![t("String"), t("String")]))
+                .with_constructor(ctor(vec![t("File"), t("String")]))
+                .with_method(Method::new("readLine", vec![], t("String"))),
+        )
+        .with_class(
+            Class::new("IOException")
+                .extends("Exception")
+                .with_constructor(ctor(vec![t("String")])),
+        )
+        .with_class(
+            Class::new("FileNotFoundException")
+                .extends("IOException")
+                .with_constructor(ctor(vec![t("String")])),
+        )
+}
+
+/// `java.awt`: components, containers, layout managers and geometry.
+pub fn java_awt() -> Package {
+    Package::new("java.awt")
+        .with_class(
+            Class::new("Component")
+                .with_method(Method::new("getWidth", vec![], t("Int")))
+                .with_method(Method::new("getHeight", vec![], t("Int")))
+                .with_method(Method::new("getLocation", vec![], t("Point")))
+                .with_method(Method::new("getSize", vec![], t("Dimension")))
+                .with_method(Method::new("setVisible", vec![t("Boolean")], t("Unit")))
+                .with_method(Method::new("repaint", vec![], t("Unit"))),
+        )
+        .with_class(
+            Class::new("Container")
+                .extends("Component")
+                .with_method(Method::new("getLayout", vec![], t("LayoutManager")))
+                .with_method(Method::new("setLayout", vec![t("LayoutManager")], t("Unit")))
+                .with_method(Method::new("add", vec![t("Component")], t("Component")))
+                .with_method(Method::new("getComponentCount", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("Panel")
+                .extends("Container")
+                .extends("Accessible")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("LayoutManager")])),
+        )
+        .with_class(Class::new("Accessible"))
+        .with_class(
+            Class::new("Canvas")
+                .extends("Component")
+                .with_constructor(ctor(vec![])),
+        )
+        .with_class(
+            Class::new("Window")
+                .extends("Container")
+                .with_constructor(ctor(vec![t("Frame")]))
+                .with_method(Method::new("pack", vec![], t("Unit")))
+                .with_method(Method::new("dispose", vec![], t("Unit"))),
+        )
+        .with_class(
+            Class::new("Frame")
+                .extends("Window")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_method(Method::new("setTitle", vec![t("String")], t("Unit"))),
+        )
+        .with_class(
+            Class::new("Dialog")
+                .extends("Window")
+                .with_constructor(ctor(vec![t("Frame")]))
+                .with_constructor(ctor(vec![t("Frame"), t("String")])),
+        )
+        .with_class(Class::new("LayoutManager"))
+        .with_class(
+            Class::new("GridBagLayout")
+                .extends("LayoutManager")
+                .with_constructor(ctor(vec![])),
+        )
+        .with_class(
+            Class::new("GridBagConstraints")
+                .with_constructor(ctor(vec![]))
+                .with_field(Field::new("gridx", t("Int")))
+                .with_field(Field::new("gridy", t("Int")))
+                .with_field(Field::new("gridwidth", t("Int")))
+                .with_field(Field::new("gridheight", t("Int")))
+                .with_field(Field::new("weightx", t("DoubleVal")))
+                .with_field(Field::new("weighty", t("DoubleVal"))),
+        )
+        .with_class(
+            Class::new("BorderLayout")
+                .extends("LayoutManager")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int"), t("Int")]))
+                .with_field(Field::new_static("CENTER", t("String")))
+                .with_field(Field::new_static("NORTH", t("String"))),
+        )
+        .with_class(
+            Class::new("FlowLayout")
+                .extends("LayoutManager")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int")])),
+        )
+        .with_class(
+            Class::new("GridLayout")
+                .extends("LayoutManager")
+                .with_constructor(ctor(vec![t("Int"), t("Int")])),
+        )
+        .with_class(
+            Class::new("CardLayout")
+                .extends("LayoutManager")
+                .with_constructor(ctor(vec![])),
+        )
+        .with_class(
+            Class::new("DisplayMode")
+                .with_constructor(ctor(vec![t("Int"), t("Int"), t("Int"), t("Int")]))
+                .with_method(Method::new("getWidth", vec![], t("Int")))
+                .with_method(Method::new("getHeight", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("Point")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int"), t("Int")]))
+                .with_constructor(ctor(vec![t("Point")]))
+                .with_field(Field::new("x", t("Int")))
+                .with_field(Field::new("y", t("Int"))),
+        )
+        .with_class(
+            Class::new("Dimension")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int"), t("Int")]))
+                .with_field(Field::new("width", t("Int")))
+                .with_field(Field::new("height", t("Int"))),
+        )
+        .with_class(
+            Class::new("Rectangle")
+                .with_constructor(ctor(vec![t("Int"), t("Int"), t("Int"), t("Int")]))
+                .with_constructor(ctor(vec![t("Point"), t("Dimension")])),
+        )
+        .with_class(
+            Class::new("Insets")
+                .with_constructor(ctor(vec![t("Int"), t("Int"), t("Int"), t("Int")])),
+        )
+        .with_class(
+            Class::new("Color")
+                .with_constructor(ctor(vec![t("Int"), t("Int"), t("Int")]))
+                .with_constructor(ctor(vec![t("Int")]))
+                .with_field(Field::new_static("RED", t("Color")))
+                .with_field(Field::new_static("BLUE", t("Color")))
+                .with_field(Field::new_static("BLACK", t("Color")))
+                .with_field(Field::new_static("WHITE", t("Color"))),
+        )
+        .with_class(
+            Class::new("Font")
+                .with_constructor(ctor(vec![t("String"), t("Int"), t("Int")]))
+                .with_method(Method::new("getSize", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("Graphics")
+                .with_method(Method::new("drawLine", vec![t("Int"), t("Int"), t("Int"), t("Int")], t("Unit")))
+                .with_method(Method::new("setColor", vec![t("Color")], t("Unit"))),
+        )
+        .with_class(
+            Class::new("AWTPermission")
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("String"), t("String")])),
+        )
+        .with_class(
+            Class::new("MediaTracker")
+                .with_constructor(ctor(vec![t("Component")])),
+        )
+        .with_class(
+            Class::new("Toolkit")
+                .with_method(Method::new_static("getDefaultToolkit", vec![], t("Toolkit")))
+                .with_method(Method::new("getScreenSize", vec![], t("Dimension"))),
+        )
+        .with_class(
+            Class::new("Image")
+                .with_method(Method::new("getWidth", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("Cursor")
+                .with_constructor(ctor(vec![t("Int")])),
+        )
+        .with_class(
+            Class::new("Robot")
+                .with_constructor(ctor(vec![]))
+                .with_method(Method::new("delay", vec![t("Int")], t("Unit"))),
+        )
+}
+
+/// `java.awt.event`: listeners and events (needed by the Swing benchmarks).
+pub fn java_awt_event() -> Package {
+    Package::new("java.awt.event")
+        .with_class(
+            Class::new("ActionListener")
+                .with_method(Method::new("actionPerformed", vec![t("ActionEvent")], t("Unit"))),
+        )
+        .with_class(
+            Class::new("ActionEvent")
+                .with_constructor(ctor(vec![t("Object"), t("Int"), t("String")]))
+                .with_method(Method::new("getActionCommand", vec![], t("String"))),
+        )
+        .with_class(
+            Class::new("KeyEvent")
+                .with_method(Method::new("getKeyCode", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("MouseEvent")
+                .with_method(Method::new("getX", vec![], t("Int")))
+                .with_method(Method::new("getY", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("WindowEvent")
+                .with_method(Method::new("getWindow", vec![], t("Window"))),
+        )
+        .with_class(
+            Class::new("ItemEvent")
+                .with_method(Method::new("getStateChange", vec![], t("Int"))),
+        )
+}
+
+/// `javax.swing`: the widget classes exercised by the Swing benchmarks.
+pub fn javax_swing() -> Package {
+    Package::new("javax.swing")
+        .with_class(Class::new("Icon"))
+        .with_class(Class::new("JComponent").extends("Container").with_method(Method::new(
+            "setToolTipText",
+            vec![t("String")],
+            t("Unit"),
+        )))
+        .with_class(
+            Class::new("AbstractButton")
+                .extends("JComponent")
+                .with_method(Method::new("setText", vec![t("String")], t("Unit")))
+                .with_method(Method::new("getText", vec![], t("String")))
+                .with_method(Method::new("addActionListener", vec![t("ActionListener")], t("Unit"))),
+        )
+        .with_class(
+            Class::new("JButton")
+                .extends("AbstractButton")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("Icon")]))
+                .with_constructor(ctor(vec![t("String"), t("Icon")])),
+        )
+        .with_class(
+            Class::new("JToggleButton")
+                .extends("AbstractButton")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("String"), t("Boolean")])),
+        )
+        .with_class(
+            Class::new("JCheckBox")
+                .extends("JToggleButton")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("String"), t("Boolean")]))
+                .with_constructor(ctor(vec![t("Icon")])),
+        )
+        .with_class(
+            Class::new("JRadioButton")
+                .extends("JToggleButton")
+                .with_constructor(ctor(vec![t("String")])),
+        )
+        .with_class(
+            Class::new("JLabel")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("Icon")])),
+        )
+        .with_class(
+            Class::new("JTextComponent")
+                .extends("JComponent")
+                .with_method(Method::new("setText", vec![t("String")], t("Unit")))
+                .with_method(Method::new("getText", vec![], t("String"))),
+        )
+        .with_class(
+            Class::new("JTextField")
+                .extends("JTextComponent")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("Int")])),
+        )
+        .with_class(
+            Class::new("AbstractFormatter")
+                .with_method(Method::new("valueToString", vec![t("Object")], t("String")))
+                .with_method(Method::new("stringToValue", vec![t("String")], t("Object"))),
+        )
+        .with_class(
+            Class::new("DefaultFormatter")
+                .extends("AbstractFormatter")
+                .with_constructor(ctor(vec![])),
+        )
+        .with_class(
+            Class::new("JFormattedTextField")
+                .extends("JTextField")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("AbstractFormatter")]))
+                .with_constructor(ctor(vec![t("Object")])),
+        )
+        .with_class(
+            Class::new("JTextArea")
+                .extends("JTextComponent")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("Int"), t("Int")]))
+                .with_constructor(ctor(vec![t("String"), t("Int"), t("Int")])),
+        )
+        .with_class(
+            Class::new("JTable")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int"), t("Int")]))
+                .with_constructor(ctor(vec![t("ObjectMatrix"), t("ObjectArray")]))
+                .with_method(Method::new("getRowCount", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("JTree")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("ObjectArray")]))
+                .with_method(Method::new("getRowCount", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("JViewport")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![]))
+                .with_method(Method::new("getView", vec![], t("Component"))),
+        )
+        .with_class(
+            Class::new("JWindow")
+                .extends("Window")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Frame")]))
+                .with_constructor(ctor(vec![t("Window")])),
+        )
+        .with_class(
+            Class::new("JFrame")
+                .extends("Frame")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_method(Method::new("getContentPane", vec![], t("Container"))),
+        )
+        .with_class(
+            Class::new("JDialog")
+                .extends("Dialog")
+                .with_constructor(ctor(vec![t("Frame")]))
+                .with_constructor(ctor(vec![t("Frame"), t("String")])),
+        )
+        .with_class(
+            Class::new("JPanel")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("LayoutManager")])),
+        )
+        .with_class(
+            Class::new("JScrollPane")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![t("Component")]))
+                .with_constructor(ctor(vec![])),
+        )
+        .with_class(
+            Class::new("JSplitPane")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![t("Int"), t("Component"), t("Component")])),
+        )
+        .with_class(
+            Class::new("JTabbedPane")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![])),
+        )
+        .with_class(
+            Class::new("JToolBar")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")])),
+        )
+        .with_class(
+            Class::new("JMenuBar")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![])),
+        )
+        .with_class(
+            Class::new("JMenu")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![t("String")])),
+        )
+        .with_class(
+            Class::new("JMenuItem")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![t("String")])),
+        )
+        .with_class(
+            Class::new("JSlider")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int"), t("Int"), t("Int")])),
+        )
+        .with_class(
+            Class::new("JProgressBar")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int"), t("Int")])),
+        )
+        .with_class(
+            Class::new("JComboBox")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("ObjectArray")])),
+        )
+        .with_class(
+            Class::new("JList")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("ObjectArray")])),
+        )
+        .with_class(
+            Class::new("JSpinner")
+                .extends("JComponent")
+                .with_constructor(ctor(vec![])),
+        )
+        .with_class(
+            Class::new("GroupLayout")
+                .extends("LayoutManager")
+                .with_constructor(ctor(vec![t("Container")])),
+        )
+        .with_class(
+            Class::new("BoxLayout")
+                .extends("LayoutManager")
+                .with_constructor(ctor(vec![t("Container"), t("Int")])),
+        )
+        .with_class(
+            Class::new("SpringLayout")
+                .extends("LayoutManager")
+                .with_constructor(ctor(vec![])),
+        )
+        .with_class(
+            Class::new("DefaultBoundedRangeModel")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int"), t("Int"), t("Int"), t("Int")]))
+                .with_method(Method::new("getValue", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("ImageIcon")
+                .extends("Icon")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("Image")]))
+                .with_constructor(ctor(vec![t("String"), t("String")])),
+        )
+        .with_class(
+            Class::new("Timer")
+                .with_constructor(ctor(vec![t("Int"), t("ActionListener")]))
+                .with_method(Method::new("start", vec![], t("Unit")))
+                .with_method(Method::new("stop", vec![], t("Unit"))),
+        )
+        .with_class(
+            Class::new("TransferHandler")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")])),
+        )
+        .with_class(
+            Class::new("SwingUtilities")
+                .with_method(Method::new_static("invokeLater", vec![t("Runnable")], t("Unit"))),
+        )
+        .with_class(
+            Class::new("JOptionPane")
+                .with_method(Method::new_static(
+                    "showMessageDialog",
+                    vec![t("Component"), t("Object")],
+                    t("Unit"),
+                ))
+                .with_method(Method::new_static(
+                    "showInputDialog",
+                    vec![t("Component"), t("Object")],
+                    t("String"),
+                )),
+        )
+        .with_class(
+            Class::new("BorderFactory")
+                .with_method(Method::new_static("createEmptyBorder", vec![], t("Border")))
+                .with_method(Method::new_static("createTitledBorder", vec![t("String")], t("Border"))),
+        )
+        .with_class(Class::new("Border"))
+        .with_class(
+            Class::new("ButtonGroup")
+                .with_constructor(ctor(vec![]))
+                .with_method(Method::new("add", vec![t("AbstractButton")], t("Unit"))),
+        )
+}
+
+/// `java.net`: sockets and URLs.
+pub fn java_net() -> Package {
+    Package::new("java.net")
+        .with_class(
+            Class::new("URL")
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("String"), t("String"), t("Int"), t("String")]))
+                .with_constructor(ctor(vec![t("URL"), t("String")]))
+                .with_method(Method::new("openStream", vec![], t("InputStream")))
+                .with_method(Method::new("openConnection", vec![], t("URLConnection")))
+                .with_method(Method::new("getHost", vec![], t("String"))),
+        )
+        .with_class(
+            Class::new("URI")
+                .with_constructor(ctor(vec![t("String")]))
+                .with_method(Method::new("toURL", vec![], t("URL"))),
+        )
+        .with_class(
+            Class::new("URLConnection")
+                .with_method(Method::new("getInputStream", vec![], t("InputStream")))
+                .with_method(Method::new("getOutputStream", vec![], t("OutputStream"))),
+        )
+        .with_class(
+            Class::new("HttpURLConnection")
+                .extends("URLConnection")
+                .with_method(Method::new("getResponseCode", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("ServerSocket")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int")]))
+                .with_constructor(ctor(vec![t("Int"), t("Int")]))
+                .with_method(Method::new("accept", vec![], t("Socket")))
+                .with_method(Method::new("close", vec![], t("Unit"))),
+        )
+        .with_class(
+            Class::new("Socket")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String"), t("Int")]))
+                .with_constructor(ctor(vec![t("InetAddress"), t("Int")]))
+                .with_method(Method::new("getInputStream", vec![], t("InputStream")))
+                .with_method(Method::new("getOutputStream", vec![], t("OutputStream")))
+                .with_method(Method::new("close", vec![], t("Unit"))),
+        )
+        .with_class(
+            Class::new("DatagramSocket")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int")]))
+                .with_constructor(ctor(vec![t("Int"), t("InetAddress")]))
+                .with_method(Method::new("send", vec![t("DatagramPacket")], t("Unit")))
+                .with_method(Method::new("receive", vec![t("DatagramPacket")], t("Unit"))),
+        )
+        .with_class(
+            Class::new("MulticastSocket")
+                .extends("DatagramSocket")
+                .with_constructor(ctor(vec![t("Int")])),
+        )
+        .with_class(
+            Class::new("DatagramPacket")
+                .with_constructor(ctor(vec![t("ByteArray"), t("Int")]))
+                .with_constructor(ctor(vec![t("ByteArray"), t("Int"), t("InetAddress"), t("Int")])),
+        )
+        .with_class(
+            Class::new("InetAddress")
+                .with_method(Method::new_static("getByName", vec![t("String")], t("InetAddress")))
+                .with_method(Method::new_static("getLocalHost", vec![], t("InetAddress")))
+                .with_method(Method::new("getHostName", vec![], t("String"))),
+        )
+        .with_class(
+            Class::new("InetSocketAddress")
+                .with_constructor(ctor(vec![t("String"), t("Int")]))
+                .with_constructor(ctor(vec![t("Int")])),
+        )
+}
+
+/// `java.util`: collections and utility classes.
+pub fn java_util() -> Package {
+    Package::new("java.util")
+        .with_class(
+            Class::new("ArrayList")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int")]))
+                .with_method(Method::new("add", vec![t("Object")], t("Boolean")))
+                .with_method(Method::new("get", vec![t("Int")], t("Object")))
+                .with_method(Method::new("size", vec![], t("Int")))
+                .with_method(Method::new("iterator", vec![], t("Iterator"))),
+        )
+        .with_class(
+            Class::new("LinkedList")
+                .with_constructor(ctor(vec![]))
+                .with_method(Method::new("addFirst", vec![t("Object")], t("Unit")))
+                .with_method(Method::new("getFirst", vec![], t("Object"))),
+        )
+        .with_class(
+            Class::new("Vector")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int")]))
+                .with_method(Method::new("elementAt", vec![t("Int")], t("Object"))),
+        )
+        .with_class(
+            Class::new("Stack")
+                .with_constructor(ctor(vec![]))
+                .with_method(Method::new("push", vec![t("Object")], t("Object")))
+                .with_method(Method::new("pop", vec![], t("Object"))),
+        )
+        .with_class(
+            Class::new("HashMap")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int")]))
+                .with_method(Method::new("put", vec![t("Object"), t("Object")], t("Object")))
+                .with_method(Method::new("get", vec![t("Object")], t("Object")))
+                .with_method(Method::new("size", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("Hashtable")
+                .with_constructor(ctor(vec![]))
+                .with_method(Method::new("put", vec![t("Object"), t("Object")], t("Object"))),
+        )
+        .with_class(
+            Class::new("TreeMap")
+                .with_constructor(ctor(vec![]))
+                .with_method(Method::new("firstKey", vec![], t("Object"))),
+        )
+        .with_class(
+            Class::new("HashSet")
+                .with_constructor(ctor(vec![]))
+                .with_method(Method::new("add", vec![t("Object")], t("Boolean")))
+                .with_method(Method::new("contains", vec![t("Object")], t("Boolean"))),
+        )
+        .with_class(
+            Class::new("Iterator")
+                .with_method(Method::new("hasNext", vec![], t("Boolean")))
+                .with_method(Method::new("next", vec![], t("Object"))),
+        )
+        .with_class(Class::new("Enumeration").with_method(Method::new(
+            "nextElement",
+            vec![],
+            t("Object"),
+        )))
+        .with_class(
+            Class::new("Date")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Long")]))
+                .with_method(Method::new("getTime", vec![], t("Long"))),
+        )
+        .with_class(
+            Class::new("Calendar")
+                .with_method(Method::new_static("getInstance", vec![], t("Calendar")))
+                .with_method(Method::new("getTime", vec![], t("Date"))),
+        )
+        .with_class(
+            Class::new("Random")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Long")]))
+                .with_method(Method::new("nextInt", vec![t("Int")], t("Int")))
+                .with_method(Method::new("nextDouble", vec![], t("DoubleVal"))),
+        )
+        .with_class(
+            Class::new("Scanner")
+                .with_constructor(ctor(vec![t("InputStream")]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("File")]))
+                .with_method(Method::new("nextLine", vec![], t("String")))
+                .with_method(Method::new("nextInt", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("StringTokenizer")
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("String"), t("String")]))
+                .with_method(Method::new("nextToken", vec![], t("String")))
+                .with_method(Method::new("countTokens", vec![], t("Int"))),
+        )
+        .with_class(
+            Class::new("Properties")
+                .with_constructor(ctor(vec![]))
+                .with_method(Method::new("getProperty", vec![t("String")], t("String")))
+                .with_method(Method::new("load", vec![t("InputStream")], t("Unit"))),
+        )
+        .with_class(
+            Class::new("Locale")
+                .with_constructor(ctor(vec![t("String")]))
+                .with_constructor(ctor(vec![t("String"), t("String")]))
+                .with_field(Field::new_static("US", t("Locale"))),
+        )
+        .with_class(
+            Class::new("UUID")
+                .with_method(Method::new_static("randomUUID", vec![], t("UUID")))
+                .with_method(Method::new("toString", vec![], t("String"))),
+        )
+        .with_class(
+            Class::new("BitSet")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int")])),
+        )
+        .with_class(
+            Class::new("Observable")
+                .with_constructor(ctor(vec![]))
+                .with_method(Method::new("notifyObservers", vec![], t("Unit"))),
+        )
+}
+
+/// A miniature model of the Scala IDE classes used by the §2.2 TreeFilter
+/// example (higher-order constructor argument).
+pub fn scala_ide() -> Package {
+    Package::new("scala.tools.eclipse.javaelements")
+        .with_class(Class::new("Tree").with_method(Method::new("symbol", vec![], t("Symbol"))))
+        .with_class(Class::new("Symbol").with_method(Method::new("name", vec![], t("String"))))
+        .with_class(Class::new("Global"))
+        .with_class(
+            Class::new("FilterTypeTreeTraverser")
+                .with_constructor(ctor(vec![Ty::fun(vec![t("Tree")], t("Boolean"))]))
+                .with_method(Method::new("traverse", vec![t("Tree")], t("Unit")))
+                .with_field(Field::new("hits", t("ListBuffer"))),
+        )
+        .with_class(
+            Class::new("TreeWrapper")
+                .with_constructor(ctor(vec![t("Tree")]))
+                .with_method(Method::new(
+                    "filter",
+                    vec![Ty::fun(vec![t("Tree")], t("Boolean"))],
+                    t("ListTree"),
+                )),
+        )
+        .with_class(
+            Class::new("ListBuffer")
+                .with_constructor(ctor(vec![]))
+                .with_method(Method::new("toList", vec![], t("ListTree"))),
+        )
+        .with_class(Class::new("ListTree"))
+        .with_class(
+            Class::new("TypeTreeTraverser")
+                .with_method(Method::new("traverse", vec![t("Tree")], t("Unit"))),
+        )
+}
+
+/// A deterministic filler package used to pad environments to paper-scale
+/// sizes. Classes are named `{prefix}Support{i}`; every class has a nullary
+/// constructor and `methods_per_class` methods. Every fifth method returns a
+/// common type (`String` or `Int`), so that the filler genuinely competes in
+/// the search (realistic noise), while the rest return filler types.
+pub fn filler_package(index: usize, classes: usize, methods_per_class: usize) -> Package {
+    let prefix = format!("Lib{index}");
+    let mut package = Package::new(format!("lib.generated{index}"));
+    for c in 0..classes {
+        let name = format!("{prefix}Support{c}");
+        let mut class = Class::new(&name).with_constructor(ctor(vec![]));
+        for m in 0..methods_per_class {
+            let neighbour = format!("{prefix}Support{}", (c + m + 1) % classes);
+            let (params, ret) = match m % 5 {
+                0 => (vec![t("String")], t(&neighbour)),
+                1 => (vec![t("Int")], t(&neighbour)),
+                2 => (vec![t(&neighbour)], t("String")),
+                3 => (vec![t(&neighbour), t("Int")], t("Int")),
+                _ => (vec![], t(&neighbour)),
+            };
+            class = class.with_method(Method::new(format!("op{m}"), params, ret));
+        }
+        package = package.with_class(class);
+    }
+    package
+}
+
+/// The standard model: every hand-modelled package plus a default amount of
+/// filler. This is the model used by the examples; the benchmark suite builds
+/// its own models with per-benchmark filler to match the paper's environment
+/// sizes.
+pub fn standard_model() -> ApiModel {
+    let mut model = ApiModel::new();
+    model.add_package(java_lang());
+    model.add_package(java_io());
+    model.add_package(java_awt());
+    model.add_package(java_awt_event());
+    model.add_package(javax_swing());
+    model.add_package(java_net());
+    model.add_package(java_util());
+    model.add_package(scala_ide());
+    for i in 0..4 {
+        model.add_package(filler_package(i, 40, 12));
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::{extract, ProgramPoint};
+
+    #[test]
+    fn standard_model_contains_the_benchmark_classes() {
+        let model = standard_model();
+        for class in [
+            "SequenceInputStream",
+            "BufferedReader",
+            "FileInputStream",
+            "GridBagConstraints",
+            "JFormattedTextField",
+            "JTree",
+            "DatagramSocket",
+            "URL",
+            "Timer",
+            "FilterTypeTreeTraverser",
+            "Panel",
+            "Container",
+        ] {
+            assert!(model.find_class(class).is_some(), "missing class {class}");
+        }
+    }
+
+    #[test]
+    fn io_hierarchy_reaches_the_stream_roots() {
+        let model = standard_model();
+        let lattice = model.subtype_lattice();
+        assert!(lattice.is_subtype("FileInputStream", "InputStream"));
+        assert!(lattice.is_subtype("BufferedInputStream", "InputStream"));
+        assert!(lattice.is_subtype("FileReader", "Reader"));
+        assert!(lattice.is_subtype("LineNumberReader", "Reader"));
+        assert!(lattice.is_subtype("Panel", "Component"));
+        assert!(lattice.is_subtype("JCheckBox", "Container"));
+    }
+
+    #[test]
+    fn filler_packages_are_deterministic_and_sized() {
+        let a = filler_package(3, 20, 10);
+        let b = filler_package(3, 20, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.classes.len(), 20);
+        // Each class: 1 constructor + 10 methods.
+        assert_eq!(a.declaration_count(), 20 * 11);
+    }
+
+    #[test]
+    fn importing_java_io_yields_hundreds_of_declarations() {
+        let model = standard_model();
+        let env = extract(
+            &model,
+            &ProgramPoint::new().with_import("java.io").with_import("java.lang"),
+        );
+        assert!(env.len() > 200, "got {}", env.len());
+    }
+
+    #[test]
+    fn full_import_reaches_paper_scale() {
+        let model = standard_model();
+        let mut point = ProgramPoint::new();
+        for package in model.packages() {
+            point = point.with_import(package.name.clone());
+        }
+        let env = extract(&model, &point);
+        assert!(env.len() > 2500, "got {}", env.len());
+    }
+}

@@ -1,0 +1,301 @@
+//! The API model: packages, classes and their members.
+
+use insynth_lambda::Ty;
+
+/// A constructor of a class.
+///
+/// # Example
+///
+/// ```
+/// use insynth_apimodel::Constructor;
+/// use insynth_lambda::Ty;
+/// let c = Constructor::new(vec![Ty::base("String")]);
+/// assert_eq!(c.params.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constructor {
+    /// Parameter types, in declaration order.
+    pub params: Vec<Ty>,
+}
+
+impl Constructor {
+    /// Creates a constructor with the given parameter types.
+    pub fn new(params: Vec<Ty>) -> Self {
+        Constructor { params }
+    }
+}
+
+/// A method of a class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Method {
+    /// Method name.
+    pub name: String,
+    /// Parameter types (not counting the receiver).
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret: Ty,
+    /// `true` for static methods (no receiver).
+    pub is_static: bool,
+}
+
+impl Method {
+    /// Creates an instance method.
+    pub fn new(name: impl Into<String>, params: Vec<Ty>, ret: Ty) -> Self {
+        Method { name: name.into(), params, ret, is_static: false }
+    }
+
+    /// Creates a static method.
+    pub fn new_static(name: impl Into<String>, params: Vec<Ty>, ret: Ty) -> Self {
+        Method { name: name.into(), params, ret, is_static: true }
+    }
+}
+
+/// A field of a class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Ty,
+    /// `true` for static fields.
+    pub is_static: bool,
+}
+
+impl Field {
+    /// Creates an instance field.
+    pub fn new(name: impl Into<String>, ty: Ty) -> Self {
+        Field { name: name.into(), ty, is_static: false }
+    }
+
+    /// Creates a static field (a class-level constant).
+    pub fn new_static(name: impl Into<String>, ty: Ty) -> Self {
+        Field { name: name.into(), ty, is_static: true }
+    }
+}
+
+/// A class (or interface/trait) of the modelled API.
+///
+/// # Example
+///
+/// ```
+/// use insynth_apimodel::{Class, Constructor, Method};
+/// use insynth_lambda::Ty;
+///
+/// let c = Class::new("BufferedReader")
+///     .extends("Reader")
+///     .with_constructor(Constructor::new(vec![Ty::base("Reader")]))
+///     .with_method(Method::new("readLine", vec![], Ty::base("String")));
+/// assert_eq!(c.name, "BufferedReader");
+/// assert_eq!(c.supertypes, vec!["Reader".to_owned()]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Class {
+    /// Simple (unqualified) class name; also used as the base type name.
+    pub name: String,
+    /// Direct supertypes (class names).
+    pub supertypes: Vec<String>,
+    /// Constructors.
+    pub constructors: Vec<Constructor>,
+    /// Methods (instance and static).
+    pub methods: Vec<Method>,
+    /// Fields (instance and static).
+    pub fields: Vec<Field>,
+}
+
+impl Class {
+    /// Creates an empty class with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Class { name: name.into(), ..Class::default() }
+    }
+
+    /// Adds a direct supertype.
+    pub fn extends(mut self, supertype: impl Into<String>) -> Self {
+        self.supertypes.push(supertype.into());
+        self
+    }
+
+    /// Adds a constructor.
+    pub fn with_constructor(mut self, c: Constructor) -> Self {
+        self.constructors.push(c);
+        self
+    }
+
+    /// Adds a method.
+    pub fn with_method(mut self, m: Method) -> Self {
+        self.methods.push(m);
+        self
+    }
+
+    /// Adds a field.
+    pub fn with_field(mut self, f: Field) -> Self {
+        self.fields.push(f);
+        self
+    }
+
+    /// Number of declarations this class contributes when imported:
+    /// constructors + methods + fields.
+    pub fn member_count(&self) -> usize {
+        self.constructors.len() + self.methods.len() + self.fields.len()
+    }
+}
+
+/// A package: a named group of classes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Package {
+    /// Fully qualified package name, e.g. `java.io`.
+    pub name: String,
+    /// The classes of the package.
+    pub classes: Vec<Class>,
+}
+
+impl Package {
+    /// Creates an empty package.
+    pub fn new(name: impl Into<String>) -> Self {
+        Package { name: name.into(), classes: Vec::new() }
+    }
+
+    /// Adds a class.
+    pub fn with_class(mut self, class: Class) -> Self {
+        self.classes.push(class);
+        self
+    }
+
+    /// Total number of declarations contributed by the package.
+    pub fn declaration_count(&self) -> usize {
+        self.classes.iter().map(Class::member_count).sum()
+    }
+}
+
+/// A whole API model: the set of packages visible to the project, together
+/// with the class hierarchy they induce.
+///
+/// # Example
+///
+/// ```
+/// use insynth_apimodel::{ApiModel, Class, Package};
+///
+/// let mut model = ApiModel::new();
+/// model.add_package(Package::new("p").with_class(Class::new("A").extends("B")));
+/// assert!(model.find_class("A").is_some());
+/// assert_eq!(model.subtype_lattice().direct_edges().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ApiModel {
+    packages: Vec<Package>,
+}
+
+impl ApiModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a package to the model.
+    pub fn add_package(&mut self, package: Package) {
+        self.packages.push(package);
+    }
+
+    /// All packages.
+    pub fn packages(&self) -> &[Package] {
+        &self.packages
+    }
+
+    /// Finds a package by name.
+    pub fn find_package(&self, name: &str) -> Option<&Package> {
+        self.packages.iter().find(|p| p.name == name)
+    }
+
+    /// Finds a class by simple name anywhere in the model.
+    pub fn find_class(&self, name: &str) -> Option<&Class> {
+        self.packages
+            .iter()
+            .flat_map(|p| p.classes.iter())
+            .find(|c| c.name == name)
+    }
+
+    /// The package a class belongs to, if any.
+    pub fn package_of(&self, class_name: &str) -> Option<&Package> {
+        self.packages
+            .iter()
+            .find(|p| p.classes.iter().any(|c| c.name == class_name))
+    }
+
+    /// Total number of declarations across all packages.
+    pub fn total_declarations(&self) -> usize {
+        self.packages.iter().map(Package::declaration_count).sum()
+    }
+
+    /// The subtype lattice induced by every `extends` edge in the model.
+    pub fn subtype_lattice(&self) -> insynth_core::SubtypeLattice {
+        let mut lattice = insynth_core::SubtypeLattice::new();
+        for package in &self.packages {
+            for class in &package.classes {
+                for sup in &class.supertypes {
+                    lattice.add(class.name.clone(), sup.clone());
+                }
+            }
+        }
+        lattice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ApiModel {
+        let mut m = ApiModel::new();
+        m.add_package(
+            Package::new("java.io")
+                .with_class(
+                    Class::new("FileInputStream")
+                        .extends("InputStream")
+                        .with_constructor(Constructor::new(vec![Ty::base("String")]))
+                        .with_constructor(Constructor::new(vec![Ty::base("File")]))
+                        .with_method(Method::new("read", vec![], Ty::base("Int"))),
+                )
+                .with_class(Class::new("InputStream").with_method(Method::new(
+                    "close",
+                    vec![],
+                    Ty::base("Unit"),
+                ))),
+        );
+        m
+    }
+
+    #[test]
+    fn find_class_and_package() {
+        let m = sample();
+        assert!(m.find_class("FileInputStream").is_some());
+        assert!(m.find_class("Missing").is_none());
+        assert_eq!(m.package_of("InputStream").unwrap().name, "java.io");
+        assert!(m.find_package("java.io").is_some());
+    }
+
+    #[test]
+    fn declaration_counts_sum_members() {
+        let m = sample();
+        // FileInputStream: 2 constructors + 1 method; InputStream: 1 method.
+        assert_eq!(m.total_declarations(), 4);
+        assert_eq!(m.find_package("java.io").unwrap().declaration_count(), 4);
+    }
+
+    #[test]
+    fn subtype_lattice_collects_extends_edges() {
+        let m = sample();
+        let lattice = m.subtype_lattice();
+        assert!(lattice.is_subtype("FileInputStream", "InputStream"));
+        assert!(!lattice.is_subtype("InputStream", "FileInputStream"));
+    }
+
+    #[test]
+    fn class_builder_accumulates_members() {
+        let c = Class::new("X")
+            .with_constructor(Constructor::new(vec![]))
+            .with_method(Method::new_static("of", vec![Ty::base("Int")], Ty::base("X")))
+            .with_field(Field::new_static("EMPTY", Ty::base("X")));
+        assert_eq!(c.member_count(), 3);
+        assert!(c.methods[0].is_static);
+        assert!(c.fields[0].is_static);
+    }
+}

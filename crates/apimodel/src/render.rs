@@ -1,0 +1,185 @@
+//! Scala-style rendering of synthesized terms.
+//!
+//! The engine works on plain lambda terms whose head symbols use the encoding
+//! of [`crate::scope`] (`new C`, `C#m`, `C#f@`, `C.m`, `C.f@`). This module
+//! renders such terms the way the InSynth plugin displays them in the IDE:
+//!
+//! * `new C(arg, …)` for constructors (parentheses always present),
+//! * `recv.m(arg, …)` for instance methods, `recv.f` for instance fields,
+//! * `C.m(arg, …)` / `C.f` for static members,
+//! * `x => body` / `(x, y) => body` for lambda abstractions,
+//! * plain `name(arg, …)` for locals and other unencoded heads.
+
+use insynth_core::Snippet;
+use insynth_lambda::Term;
+
+/// Renders a synthesized term in Scala-like surface syntax.
+///
+/// # Example
+///
+/// ```
+/// use insynth_apimodel::render_term;
+/// use insynth_lambda::Term;
+///
+/// let term = Term::app(
+///     "new BufferedReader",
+///     vec![Term::app("new FileReader", vec![Term::var("fileName")])],
+/// );
+/// assert_eq!(render_term(&term), "new BufferedReader(new FileReader(fileName))");
+/// ```
+pub fn render_term(term: &Term) -> String {
+    let args: Vec<String> = term.args.iter().map(render_term).collect();
+    let body = render_head(&term.head, &args);
+    if term.params.is_empty() {
+        body
+    } else if term.params.len() == 1 {
+        format!("{} => {}", term.params[0].name, body)
+    } else {
+        let names: Vec<&str> = term.params.iter().map(|p| p.name.as_str()).collect();
+        format!("({}) => {}", names.join(", "), body)
+    }
+}
+
+/// Renders a snippet (its coercion-erased term).
+///
+/// # Example
+///
+/// ```
+/// use insynth_apimodel::{extract, javaapi, render_snippet, ProgramPoint};
+/// use insynth_core::{SynthesisConfig, Synthesizer};
+/// use insynth_lambda::Ty;
+///
+/// let model = javaapi::standard_model();
+/// let point = ProgramPoint::new()
+///     .with_local("fileName", Ty::base("String"))
+///     .with_import("java.io");
+/// let env = extract(&model, &point);
+/// let mut synth = Synthesizer::new(SynthesisConfig::default());
+/// let result = synth.synthesize(&env, &Ty::base("FileReader"), 5);
+/// assert!(result.snippets.iter().any(|s| render_snippet(s) == "new FileReader(fileName)"));
+/// ```
+pub fn render_snippet(snippet: &Snippet) -> String {
+    render_term(&snippet.term)
+}
+
+fn render_head(head: &str, args: &[String]) -> String {
+    // Constructor: `new C`.
+    if let Some(class) = head.strip_prefix("new ") {
+        return format!("new {class}({})", args.join(", "));
+    }
+
+    // Instance member: `C#m` or `C#f@`.
+    if let Some((_, member)) = head.split_once('#') {
+        if let Some((receiver, rest)) = args.split_first() {
+            if let Some(field) = member.strip_suffix('@') {
+                return format!("{receiver}.{field}");
+            }
+            return format!("{receiver}.{member}({})", rest.join(", "));
+        }
+    }
+
+    // Static member: `C.m` or `C.f@`.
+    if head.contains('.') && !head.starts_with('"') {
+        if let Some(stripped) = head.strip_suffix('@') {
+            return stripped.to_owned();
+        }
+        return format!("{head}({})", args.join(", "));
+    }
+
+    // Plain local / literal / binder.
+    if args.is_empty() {
+        head.to_owned()
+    } else {
+        format!("{head}({})", args.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insynth_lambda::{Param, Ty};
+
+    #[test]
+    fn constructors_always_get_parentheses() {
+        assert_eq!(render_term(&Term::var("new JTree")), "new JTree()");
+        assert_eq!(
+            render_term(&Term::app("new FileReader", vec![Term::var("f")])),
+            "new FileReader(f)"
+        );
+    }
+
+    #[test]
+    fn instance_methods_render_with_receiver() {
+        let term = Term::app("Container#getLayout", vec![Term::var("panel")]);
+        assert_eq!(render_term(&term), "panel.getLayout()");
+        let term2 = Term::app(
+            "TreeWrapper#filter",
+            vec![Term::var("wrapper"), Term::var("pred")],
+        );
+        assert_eq!(render_term(&term2), "wrapper.filter(pred)");
+    }
+
+    #[test]
+    fn instance_fields_render_without_parentheses() {
+        let term = Term::app("Traverser#hits@", vec![Term::var("ft")]);
+        assert_eq!(render_term(&term), "ft.hits");
+    }
+
+    #[test]
+    fn static_members_render_with_class_prefix() {
+        assert_eq!(
+            render_term(&Term::app("System.getenv", vec![Term::var("key")])),
+            "System.getenv(key)"
+        );
+        assert_eq!(render_term(&Term::var("System.out@")), "System.out");
+    }
+
+    #[test]
+    fn lambdas_render_in_scala_arrow_syntax() {
+        let term = Term::app(
+            "new FilterTypeTreeTraverser",
+            vec![Term::lambda(
+                vec![Param::new("var1", Ty::base("Tree"))],
+                Term::app("p", vec![Term::var("var1")]),
+            )],
+        );
+        assert_eq!(
+            render_term(&term),
+            "new FilterTypeTreeTraverser(var1 => p(var1))"
+        );
+    }
+
+    #[test]
+    fn multi_parameter_lambdas_use_parenthesized_binders() {
+        let term = Term::lambda(
+            vec![
+                Param::new("a", Ty::base("A")),
+                Param::new("b", Ty::base("B")),
+            ],
+            Term::app("combine", vec![Term::var("a"), Term::var("b")]),
+        );
+        assert_eq!(render_term(&term), "(a, b) => combine(a, b)");
+    }
+
+    #[test]
+    fn plain_heads_render_unchanged() {
+        assert_eq!(render_term(&Term::var("body")), "body");
+        assert_eq!(
+            render_term(&Term::app("helper", vec![Term::var("x")])),
+            "helper(x)"
+        );
+        // String literals containing dots must not be mistaken for statics.
+        assert_eq!(render_term(&Term::var("\"file.txt\"")), "\"file.txt\"");
+    }
+
+    #[test]
+    fn nested_mixed_rendering() {
+        // new SequenceInputStream(new FileInputStream(body), new FileInputStream(sig))
+        let fis = |v: &str| Term::app("new FileInputStream", vec![Term::var(v)]);
+        let term = Term::app("new SequenceInputStream", vec![fis("body"), fis("sig")]);
+        assert_eq!(
+            render_term(&term),
+            "new SequenceInputStream(new FileInputStream(body), new FileInputStream(sig))"
+        );
+    }
+}

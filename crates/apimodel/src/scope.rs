@@ -1,0 +1,298 @@
+//! Program points and declaration extraction.
+//!
+//! A [`ProgramPoint`] captures what the Scala presentation compiler would see
+//! at the cursor: local values, members of the enclosing class and package,
+//! literal placeholders, and the set of imported packages. [`extract`] turns a
+//! point plus an [`ApiModel`] into the flat declaration list the engine
+//! consumes, using the same encoding conventions the renderer understands:
+//!
+//! * constructors are named `new C` and typed `P1 → … → Pn → C`;
+//! * instance methods are named `C#m` and typed `C → P1 → … → Pn → R`
+//!   (the receiver becomes the first argument);
+//! * instance fields are named `C#f@` and typed `C → T`;
+//! * static methods / fields are named `C.m` / `C.f@`;
+//! * every subtype edge of the imported classes becomes a coercion
+//!   declaration (paper §6).
+
+use insynth_core::{DeclKind, Declaration, TypeEnv};
+use insynth_lambda::Ty;
+
+use crate::model::{ApiModel, Class};
+
+/// The completion context at a cursor position.
+///
+/// # Example
+///
+/// ```
+/// use insynth_apimodel::ProgramPoint;
+/// use insynth_lambda::Ty;
+///
+/// let point = ProgramPoint::new()
+///     .with_local("body", Ty::base("String"))
+///     .with_import("java.io")
+///     .with_literal("\"UTF-8\"", Ty::base("String"));
+/// assert_eq!(point.locals().len(), 1);
+/// assert_eq!(point.imports(), ["java.io"]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProgramPoint {
+    locals: Vec<(String, Ty)>,
+    class_members: Vec<(String, Ty)>,
+    package_members: Vec<(String, Ty)>,
+    literals: Vec<(String, Ty)>,
+    imports: Vec<String>,
+}
+
+impl ProgramPoint {
+    /// Creates an empty program point (nothing in scope, nothing imported).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a local value (same method as the cursor; weight class "Local").
+    pub fn with_local(mut self, name: impl Into<String>, ty: Ty) -> Self {
+        self.locals.push((name.into(), ty));
+        self
+    }
+
+    /// Adds a member of the enclosing class (weight class "Class").
+    pub fn with_class_member(mut self, name: impl Into<String>, ty: Ty) -> Self {
+        self.class_members.push((name.into(), ty));
+        self
+    }
+
+    /// Adds a member of the enclosing package (weight class "Package").
+    pub fn with_package_member(mut self, name: impl Into<String>, ty: Ty) -> Self {
+        self.package_members.push((name.into(), ty));
+        self
+    }
+
+    /// Adds a literal placeholder (weight class "Literal").
+    pub fn with_literal(mut self, text: impl Into<String>, ty: Ty) -> Self {
+        self.literals.push((text.into(), ty));
+        self
+    }
+
+    /// Imports every declaration of a package (weight class "Imported").
+    pub fn with_import(mut self, package: impl Into<String>) -> Self {
+        self.imports.push(package.into());
+        self
+    }
+
+    /// The local values.
+    pub fn locals(&self) -> &[(String, Ty)] {
+        &self.locals
+    }
+
+    /// The imported package names.
+    pub fn imports(&self) -> Vec<&str> {
+        self.imports.iter().map(String::as_str).collect()
+    }
+}
+
+/// The canonical declaration name of a constructor of `class`.
+pub fn constructor_name(class: &str) -> String {
+    format!("new {class}")
+}
+
+/// The canonical declaration name of an instance method `class#method`.
+pub fn method_name(class: &str, method: &str) -> String {
+    format!("{class}#{method}")
+}
+
+/// The canonical declaration name of an instance field `class#field@`.
+pub fn field_name(class: &str, field: &str) -> String {
+    format!("{class}#{field}@")
+}
+
+/// The canonical declaration name of a static method `class.method`.
+pub fn static_method_name(class: &str, method: &str) -> String {
+    format!("{class}.{method}")
+}
+
+/// The canonical declaration name of a static field `class.field@`.
+pub fn static_field_name(class: &str, field: &str) -> String {
+    format!("{class}.{field}@")
+}
+
+/// Extracts the full declaration list visible at `point` from `model`.
+///
+/// The result contains, in order: locals, enclosing-class members,
+/// enclosing-package members, literals, every member of every imported
+/// package, and one coercion declaration per subtype edge whose subclass lives
+/// in an imported package (transitively closed).
+pub fn extract(model: &ApiModel, point: &ProgramPoint) -> TypeEnv {
+    let mut env = TypeEnv::new();
+
+    for (name, ty) in &point.locals {
+        env.push(Declaration::new(name.clone(), ty.clone(), DeclKind::Local));
+    }
+    for (name, ty) in &point.class_members {
+        env.push(Declaration::new(name.clone(), ty.clone(), DeclKind::Class));
+    }
+    for (name, ty) in &point.package_members {
+        env.push(Declaration::new(name.clone(), ty.clone(), DeclKind::Package));
+    }
+    for (name, ty) in &point.literals {
+        env.push(Declaration::new(name.clone(), ty.clone(), DeclKind::Literal));
+    }
+
+    let mut imported_classes: Vec<&Class> = Vec::new();
+    for package_name in &point.imports {
+        let Some(package) = model.find_package(package_name) else { continue };
+        for class in &package.classes {
+            imported_classes.push(class);
+            extract_class(class, &mut env);
+        }
+    }
+
+    // Subtyping: coercions for every (transitive) supertype edge reachable
+    // from an imported class.
+    let lattice = model.subtype_lattice();
+    let imported_names: Vec<&str> =
+        imported_classes.iter().map(|c| c.name.as_str()).collect();
+    for decl in lattice.coercion_declarations() {
+        // coercion type is Sub -> Sup; keep it if Sub was imported.
+        let sub = decl.ty.uncurry().0[0].result_base().to_owned();
+        if imported_names.contains(&sub.as_str()) {
+            env.push(decl);
+        }
+    }
+
+    env
+}
+
+fn extract_class(class: &Class, env: &mut TypeEnv) {
+    let class_ty = Ty::base(class.name.clone());
+
+    for ctor in &class.constructors {
+        env.push(Declaration::new(
+            constructor_name(&class.name),
+            Ty::fun(ctor.params.clone(), class_ty.clone()),
+            DeclKind::Imported,
+        ));
+    }
+
+    for method in &class.methods {
+        let (name, ty) = if method.is_static {
+            (
+                static_method_name(&class.name, &method.name),
+                Ty::fun(method.params.clone(), method.ret.clone()),
+            )
+        } else {
+            let mut params = vec![class_ty.clone()];
+            params.extend(method.params.clone());
+            (
+                method_name(&class.name, &method.name),
+                Ty::fun(params, method.ret.clone()),
+            )
+        };
+        env.push(Declaration::new(name, ty, DeclKind::Imported));
+    }
+
+    for field in &class.fields {
+        let (name, ty) = if field.is_static {
+            (static_field_name(&class.name, &field.name), field.ty.clone())
+        } else {
+            (
+                field_name(&class.name, &field.name),
+                Ty::fun(vec![class_ty.clone()], field.ty.clone()),
+            )
+        };
+        env.push(Declaration::new(name, ty, DeclKind::Imported));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Class, Constructor, Field, Method, Package};
+
+    fn model() -> ApiModel {
+        let mut m = ApiModel::new();
+        m.add_package(
+            Package::new("java.io")
+                .with_class(
+                    Class::new("FileInputStream")
+                        .extends("InputStream")
+                        .with_constructor(Constructor::new(vec![Ty::base("String")]))
+                        .with_method(Method::new("available", vec![], Ty::base("Int"))),
+                )
+                .with_class(Class::new("InputStream")),
+        );
+        m.add_package(
+            Package::new("java.lang").with_class(
+                Class::new("System")
+                    .with_field(Field::new_static("out", Ty::base("PrintStream")))
+                    .with_method(Method::new_static(
+                        "getenv",
+                        vec![Ty::base("String")],
+                        Ty::base("String"),
+                    )),
+            ),
+        );
+        m
+    }
+
+    #[test]
+    fn locals_literals_and_members_get_their_kinds() {
+        let env = extract(
+            &model(),
+            &ProgramPoint::new()
+                .with_local("name", Ty::base("String"))
+                .with_class_member("helper", Ty::base("Helper"))
+                .with_package_member("shared", Ty::base("Shared"))
+                .with_literal("\"x\"", Ty::base("String")),
+        );
+        assert_eq!(env.find("name").unwrap().kind, DeclKind::Local);
+        assert_eq!(env.find("helper").unwrap().kind, DeclKind::Class);
+        assert_eq!(env.find("shared").unwrap().kind, DeclKind::Package);
+        assert_eq!(env.find("\"x\"").unwrap().kind, DeclKind::Literal);
+    }
+
+    #[test]
+    fn imported_constructors_and_methods_are_encoded() {
+        let env = extract(&model(), &ProgramPoint::new().with_import("java.io"));
+        let ctor = env.find("new FileInputStream").expect("constructor");
+        assert_eq!(ctor.kind, DeclKind::Imported);
+        assert_eq!(
+            ctor.ty,
+            Ty::fun(vec![Ty::base("String")], Ty::base("FileInputStream"))
+        );
+        let method = env.find("FileInputStream#available").expect("method");
+        assert_eq!(
+            method.ty,
+            Ty::fun(vec![Ty::base("FileInputStream")], Ty::base("Int"))
+        );
+    }
+
+    #[test]
+    fn static_members_have_no_receiver() {
+        let env = extract(&model(), &ProgramPoint::new().with_import("java.lang"));
+        let field = env.find("System.out@").expect("static field");
+        assert_eq!(field.ty, Ty::base("PrintStream"));
+        let method = env.find("System.getenv").expect("static method");
+        assert_eq!(method.ty, Ty::fun(vec![Ty::base("String")], Ty::base("String")));
+    }
+
+    #[test]
+    fn coercions_follow_imported_subtype_edges() {
+        let env = extract(&model(), &ProgramPoint::new().with_import("java.io"));
+        let coercion = env
+            .find(&insynth_core::coercion_name("FileInputStream", "InputStream"))
+            .expect("coercion declaration");
+        assert_eq!(coercion.kind, DeclKind::Coercion);
+    }
+
+    #[test]
+    fn unimported_packages_contribute_nothing() {
+        let env = extract(&model(), &ProgramPoint::new().with_import("java.io"));
+        assert!(env.find("System.getenv").is_none());
+    }
+
+    #[test]
+    fn unknown_import_is_ignored() {
+        let env = extract(&model(), &ProgramPoint::new().with_import("does.not.exist"));
+        assert!(env.is_empty());
+    }
+}

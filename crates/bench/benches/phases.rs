@@ -1,0 +1,133 @@
+//! Phase breakdown and ablation benchmarks.
+//!
+//! * `explore/...`, `patterns/...` and `reconstruct/...` measure the three
+//!   phases separately on a paper-scale environment (the Prove/Recon split of
+//!   Table 2).
+//! * `genp_ablation/...` compares the optimized (backward-map, §5.7) pattern
+//!   generation against the naive PROD/TRANSFER saturation.
+//! * `env_scaling/...` measures end-to-end synthesis while the environment
+//!   grows from a few hundred to several thousand declarations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use insynth_apimodel::{extract, javaapi, ApiModel, ProgramPoint};
+use insynth_core::{
+    explore, generate_patterns, generate_patterns_naive, generate_terms, ExploreLimits,
+    GenerateLimits, PreparedEnv, SynthesisConfig, Synthesizer, TypeEnv, WeightConfig,
+};
+use insynth_corpus::synthetic_corpus;
+use insynth_lambda::Ty;
+
+fn figure1_environment(filler: usize) -> TypeEnv {
+    let mut model = ApiModel::new();
+    model.add_package(javaapi::java_lang());
+    model.add_package(javaapi::java_io());
+    model.add_package(javaapi::java_util());
+    for i in 0..filler {
+        model.add_package(javaapi::filler_package(i, 40, 12));
+    }
+    let mut point = ProgramPoint::new()
+        .with_local("body", Ty::base("String"))
+        .with_local("sig", Ty::base("String"));
+    for package in model.packages() {
+        point = point.with_import(package.name.clone());
+    }
+    let mut env = extract(&model, &point);
+    let corpus = synthetic_corpus(&model, 42);
+    corpus.apply(&mut env);
+    env
+}
+
+fn phase_breakdown(c: &mut Criterion) {
+    let env = figure1_environment(4);
+    let goal = Ty::base("SequenceInputStream");
+    let weights = WeightConfig::default();
+
+    c.bench_function("explore/figure1", |bencher| {
+        bencher.iter(|| {
+            let mut prepared = PreparedEnv::prepare(&env, &weights);
+            let goal_succ = prepared.store.sigma(&goal);
+            black_box(explore(&mut prepared, goal_succ, &ExploreLimits::default()))
+        })
+    });
+
+    c.bench_function("patterns/figure1", |bencher| {
+        let mut prepared = PreparedEnv::prepare(&env, &weights);
+        let goal_succ = prepared.store.sigma(&goal);
+        let space = explore(&mut prepared, goal_succ, &ExploreLimits::default());
+        bencher.iter(|| {
+            let mut p = PreparedEnv::prepare(&env, &weights);
+            let _ = p.store.sigma(&goal);
+            black_box(generate_patterns(&mut p, &space))
+        })
+    });
+
+    c.bench_function("reconstruct/figure1", |bencher| {
+        bencher.iter(|| {
+            let mut prepared = PreparedEnv::prepare(&env, &weights);
+            let goal_succ = prepared.store.sigma(&goal);
+            let space = explore(&mut prepared, goal_succ, &ExploreLimits::default());
+            let patterns = generate_patterns(&mut prepared, &space);
+            black_box(generate_terms(
+                &mut prepared,
+                &patterns,
+                &env,
+                &weights,
+                &goal,
+                10,
+                &GenerateLimits::default(),
+            ))
+        })
+    });
+}
+
+fn genp_ablation(c: &mut Criterion) {
+    // The naive saturation is quadratic, so the ablation runs on a moderate
+    // environment (no filler).
+    let env = figure1_environment(0);
+    let goal = Ty::base("SequenceInputStream");
+    let weights = WeightConfig::default();
+    let mut prepared = PreparedEnv::prepare(&env, &weights);
+    let goal_succ = prepared.store.sigma(&goal);
+    let space = explore(&mut prepared, goal_succ, &ExploreLimits::default());
+
+    let mut group = c.benchmark_group("genp_ablation");
+    group.bench_function("optimized_backward_map", |bencher| {
+        bencher.iter(|| {
+            let mut p = PreparedEnv::prepare(&env, &weights);
+            let _ = p.store.sigma(&goal);
+            black_box(generate_patterns(&mut p, &space))
+        })
+    });
+    group.bench_function("naive_saturation", |bencher| {
+        bencher.iter(|| {
+            let mut p = PreparedEnv::prepare(&env, &weights);
+            let _ = p.store.sigma(&goal);
+            black_box(generate_patterns_naive(&mut p, &space))
+        })
+    });
+    group.finish();
+}
+
+fn env_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("env_scaling");
+    group.sample_size(10);
+    for filler in [0usize, 2, 4, 8] {
+        let env = figure1_environment(filler);
+        group.bench_with_input(
+            BenchmarkId::new("synthesize_top10", env.len()),
+            &env,
+            |bencher, env| {
+                bencher.iter(|| {
+                    let mut synth = Synthesizer::new(SynthesisConfig::default());
+                    black_box(synth.synthesize(env, &Ty::base("SequenceInputStream"), 10))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, phase_breakdown, genp_ablation, env_scaling);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Prover comparison benchmarks (the last column group of Table 2).
+//!
+//! Measures, on representative benchmark queries, the time to *decide
+//! inhabitation* with: the InSynth prover (exploration + pattern generation),
+//! the forward saturation baseline ("Imogen-like") and the backward G4ip
+//! baseline ("fCube-like").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use insynth_benchsuite::{all_benchmarks, build_environment, HarnessConfig};
+use insynth_core::{SynthesisConfig, Synthesizer};
+use insynth_provers::{forward, g4ip, inhabitation_query, ProverLimits};
+
+fn prover_comparison(c: &mut Criterion) {
+    let config = HarnessConfig::fast();
+    let benchmarks = all_benchmarks();
+    let selected = ["FileInputStreamStringname", "DatagramSocket", "JTree"];
+
+    for name in selected {
+        let bench = benchmarks.iter().find(|b| b.name == name).expect("known benchmark");
+        let env = build_environment(bench, &config);
+        let (hyps, goal_formula) = inhabitation_query(&env, &bench.goal);
+        let limits = ProverLimits::default();
+
+        let mut group = c.benchmark_group(format!("prover/{name}"));
+        group.sample_size(10);
+
+        group.bench_function("insynth", |bencher| {
+            bencher.iter(|| {
+                let mut synth = Synthesizer::new(SynthesisConfig::default());
+                black_box(synth.is_inhabited(&env, &bench.goal))
+            })
+        });
+        group.bench_function("forward_inverse_method", |bencher| {
+            bencher.iter(|| black_box(forward::prove(&hyps, &goal_formula, &limits)))
+        });
+        group.bench_function("g4ip_sequent", |bencher| {
+            bencher.iter(|| black_box(g4ip::prove(&hyps, &goal_formula, &limits)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, prover_comparison);
+criterion_main!(benches);

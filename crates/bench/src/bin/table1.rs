@@ -1,0 +1,36 @@
+//! Regenerates Table 1: the weights assigned to declaration kinds.
+//!
+//! Run with `cargo run -p insynth-bench --bin table1`.
+
+use insynth_core::{DeclKind, Declaration, WeightConfig, WeightMode};
+use insynth_lambda::Ty;
+
+fn main() {
+    let weights = WeightConfig::new(WeightMode::Full);
+    println!("Table 1: weights for names appearing in declarations");
+    println!("{:<28} {:>10}", "Nature of declaration", "Weight");
+
+    let rows = [
+        ("Lambda", DeclKind::Lambda),
+        ("Local", DeclKind::Local),
+        ("Coercion", DeclKind::Coercion),
+        ("Class", DeclKind::Class),
+        ("Package", DeclKind::Package),
+        ("Literal", DeclKind::Literal),
+    ];
+    for (label, kind) in rows {
+        let decl = Declaration::new("d", Ty::base("T"), kind);
+        println!("{:<28} {:>10}", label, weights.declaration_weight(&decl).value());
+    }
+
+    println!("{:<28} {:>10}", "Imported (f = 0)", imported_weight(&weights, 0));
+    println!("{:<28} {:>10}", "Imported (f = 100)", imported_weight(&weights, 100));
+    println!("{:<28} {:>10}", "Imported (f = 5162)", imported_weight(&weights, 5162));
+    println!();
+    println!("Imported symbols weigh 215 + 785 / (1 + f(x)) where f(x) is the corpus frequency.");
+}
+
+fn imported_weight(weights: &WeightConfig, frequency: u64) -> f64 {
+    let decl = Declaration::new("d", Ty::base("T"), DeclKind::Imported).with_frequency(frequency);
+    (weights.declaration_weight(&decl).value() * 100.0).round() / 100.0
+}

@@ -1,0 +1,102 @@
+//! Regenerates Table 2: the main effectiveness evaluation.
+//!
+//! For each of the 50 benchmarks this runs the synthesizer under the three
+//! weight variants (no weights, weights without corpus, full) and the two
+//! baseline intuitionistic provers, then prints one row per benchmark plus the
+//! §7.5 summary block.
+//!
+//! Run with `cargo run --release -p insynth-bench --bin table2`.
+//! Pass `--fast` to skip environment filler (small environments, quick smoke
+//! run), `--no-provers` to skip the baseline provers, and `--recon-ms <N>` to
+//! override the 7 s reconstruction budget (useful to bound the wall-clock time
+//! of the whole 50 × 3 sweep).
+
+use std::time::Duration;
+
+use insynth_benchsuite::{
+    all_benchmarks, run_benchmark, run_provers, summarize, table2_header, table2_row,
+    BenchmarkOutcome, HarnessConfig, ProverOutcome,
+};
+use insynth_core::WeightMode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let skip_provers = args.iter().any(|a| a == "--no-provers");
+    let recon_ms = args
+        .iter()
+        .position(|a| a == "--recon-ms")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok());
+
+    let mut config = if fast {
+        HarnessConfig::fast()
+    } else {
+        HarnessConfig::default()
+    };
+    if let Some(ms) = recon_ms {
+        config.reconstruction_time_limit = Duration::from_millis(ms);
+    }
+
+    let benchmarks = all_benchmarks();
+    println!("{}", table2_header());
+
+    let mut all_outcomes = Vec::new();
+    let mut no_weight_outcomes = Vec::new();
+    let mut no_corpus_outcomes = Vec::new();
+
+    for bench in &benchmarks {
+        let no_weights = run_benchmark(bench, WeightMode::NoWeights, &config);
+        let no_corpus = run_benchmark(bench, WeightMode::NoCorpus, &config);
+        let all = run_benchmark(bench, WeightMode::Full, &config);
+        let provers = if skip_provers {
+            ProverOutcome {
+                forward_verdict: None,
+                forward_time: Duration::ZERO,
+                g4ip_verdict: None,
+                g4ip_time: Duration::ZERO,
+            }
+        } else {
+            run_provers(bench, &config)
+        };
+
+        println!("{}", table2_row(bench, &no_weights, &no_corpus, &all, &provers));
+        no_weight_outcomes.push(no_weights);
+        no_corpus_outcomes.push(no_corpus);
+        all_outcomes.push(all);
+    }
+
+    print_summary("No weights", &no_weight_outcomes, &benchmarks, |p| p.rank_no_weights);
+    print_summary("No corpus ", &no_corpus_outcomes, &benchmarks, |p| p.rank_no_corpus);
+    print_summary("All       ", &all_outcomes, &benchmarks, |p| p.rank_all);
+}
+
+fn print_summary(
+    label: &str,
+    outcomes: &[BenchmarkOutcome],
+    benchmarks: &[insynth_benchsuite::Benchmark],
+    paper_rank: impl Fn(&insynth_benchsuite::PaperRow) -> Option<usize>,
+) {
+    let summary = summarize(outcomes);
+    let paper_found = benchmarks.iter().filter(|b| paper_rank(&b.paper).is_some()).count();
+    let paper_rank_one = benchmarks
+        .iter()
+        .filter(|b| paper_rank(&b.paper) == Some(1))
+        .count();
+    println!();
+    println!(
+        "[{label}] measured: found {}/{} ({:.0}%), rank 1 for {} ({:.0}%), mean total {} ms",
+        summary.found,
+        summary.total,
+        summary.found_percent(),
+        summary.rank_one,
+        summary.rank_one_percent(),
+        summary.mean_total.as_millis()
+    );
+    println!(
+        "[{label}] paper   : found {}/{} , rank 1 for {}",
+        paper_found,
+        benchmarks.len(),
+        paper_rank_one
+    );
+}

@@ -1,0 +1,16 @@
+//! Benchmark and table-regeneration crate.
+//!
+//! This crate contains no library logic of its own; it hosts:
+//!
+//! * binaries that regenerate every table and figure of the paper's
+//!   evaluation (`table1`, `table2`, `table3`, `figure1`, `compression`), and
+//! * Criterion micro-benchmarks for the phase breakdown, the prover
+//!   comparison and the succinct-type compression (`cargo bench -p
+//!   insynth-bench`).
+//!
+//! See `EXPERIMENTS.md` at the workspace root for the mapping from paper
+//! tables/figures to these targets and for recorded paper-vs-measured results.
+
+/// Re-exported so the binaries share one definition of the default corpus
+/// seed used across all regenerated tables.
+pub const DEFAULT_CORPUS_SEED: u64 = 42;

@@ -1,0 +1,637 @@
+//! The 50 benchmarks of Table 2.
+//!
+//! Each benchmark reconstructs one removed goal expression. Program points are
+//! modelled after the original java2s examples: the locals named in the
+//! benchmark id are in scope, the packages the example imports are imported
+//! wholesale, and the environment is padded with filler packages so that the
+//! number of visible declarations approximates the `#Initial` column of the
+//! paper.
+//!
+//! Two deliberate simplifications (documented in EXPERIMENTS.md):
+//!
+//! * literal constructor arguments are replaced by a single local of the right
+//!   type (the paper itself compares snippets modulo literal constants), and
+//! * benchmarks whose constructors take several arguments of the same type use
+//!   one shared local for those arguments, because permutations of same-typed
+//!   locals are weight-equivalent and would make the "expected snippet" an
+//!   arbitrary choice among ties.
+
+use insynth_lambda::Ty;
+
+/// The numbers the paper reports for one benchmark (Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperRow {
+    /// Snippet size "with coercions / without coercions".
+    pub size: &'static str,
+    /// Number of initial declarations (`#Initial`).
+    pub initial: usize,
+    /// Rank under the no-weights variant (`None` means "> 10").
+    pub rank_no_weights: Option<usize>,
+    /// Rank under the weights-without-corpus variant.
+    pub rank_no_corpus: Option<usize>,
+    /// Rank under the full algorithm.
+    pub rank_all: Option<usize>,
+    /// Total synthesis time of the full algorithm, in milliseconds.
+    pub total_all_ms: u64,
+    /// Imogen prover time on the same query, in milliseconds.
+    pub imogen_ms: u64,
+}
+
+/// One completion benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    /// 1-based ordinal in Table 2.
+    pub id: usize,
+    /// Benchmark name as printed in Table 2.
+    pub name: &'static str,
+    /// The desired (goal) type at the completion point.
+    pub goal: Ty,
+    /// The expected snippet in the renderer's surface syntax.
+    pub expected: String,
+    /// Local values in scope, in declaration order.
+    pub locals: Vec<(&'static str, Ty)>,
+    /// Literal placeholders in scope.
+    pub literals: Vec<(&'static str, Ty)>,
+    /// Imported (hand-modelled) packages.
+    pub imports: Vec<&'static str>,
+    /// The paper's reported numbers.
+    pub paper: PaperRow,
+}
+
+impl Benchmark {
+    /// How many filler packages the harness should import so that the
+    /// environment size approximates the paper's `#Initial` column. Each
+    /// filler package contributes roughly 520 declarations.
+    pub fn filler_packages(&self) -> usize {
+        self.paper.initial.saturating_sub(450) / 520
+    }
+}
+
+fn b(name: &str) -> Ty {
+    Ty::base(name)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn row(
+    size: &'static str,
+    initial: usize,
+    rank_no_weights: Option<usize>,
+    rank_no_corpus: Option<usize>,
+    rank_all: Option<usize>,
+    total_all_ms: u64,
+    imogen_ms: u64,
+) -> PaperRow {
+    PaperRow { size, initial, rank_no_weights, rank_no_corpus, rank_all, total_all_ms, imogen_ms }
+}
+
+const IO: &[&str] = &["java.io", "java.lang", "java.util"];
+const AWT: &[&str] = &["java.awt", "java.lang", "java.util"];
+const SWING: &[&str] = &["javax.swing", "java.awt", "java.awt.event", "java.lang"];
+const NET: &[&str] = &["java.net", "java.io", "java.lang"];
+
+/// Builds all 50 benchmarks in Table 2 order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    let mut out = Vec::with_capacity(50);
+    let mut add = |name: &'static str,
+                   goal: Ty,
+                   expected: &str,
+                   locals: Vec<(&'static str, Ty)>,
+                   literals: Vec<(&'static str, Ty)>,
+                   imports: &[&'static str],
+                   paper: PaperRow| {
+        out.push(Benchmark {
+            id: out.len() + 1,
+            name,
+            goal,
+            expected: expected.to_owned(),
+            locals,
+            literals,
+            imports: imports.to_vec(),
+            paper,
+        });
+    };
+
+    add(
+        "AWTPermissionStringname",
+        b("AWTPermission"),
+        "new AWTPermission(name)",
+        vec![("name", b("String"))],
+        vec![],
+        AWT,
+        row("2/2", 5615, None, Some(1), Some(1), 133, 127),
+    );
+    add(
+        "BufferedInputStreamFileInputStream",
+        b("BufferedInputStream"),
+        "new BufferedInputStream(new FileInputStream(fileName))",
+        vec![("fileName", b("String"))],
+        vec![],
+        IO,
+        row("3/2", 3364, None, Some(1), Some(1), 53, 44),
+    );
+    add(
+        "BufferedOutputStream",
+        b("BufferedOutputStream"),
+        "new BufferedOutputStream(new FileOutputStream(fileName))",
+        vec![("fileName", b("String"))],
+        vec![],
+        IO,
+        row("3/2", 3367, None, Some(1), Some(1), 19, 44),
+    );
+    add(
+        "BufferedReaderFileReaderfileReader",
+        b("BufferedReader"),
+        "new BufferedReader(new FileReader(fileName))",
+        vec![("fileName", b("String"))],
+        vec![],
+        IO,
+        row("4/2", 3364, None, Some(2), Some(1), 50, 44),
+    );
+    add(
+        "BufferedReaderInputStreamReader",
+        b("BufferedReader"),
+        "new BufferedReader(new InputStreamReader(in))",
+        vec![("in", b("InputStream"))],
+        vec![],
+        IO,
+        row("4/2", 3364, None, Some(2), Some(1), 49, 44),
+    );
+    add(
+        "BufferedReaderReaderin",
+        b("BufferedReader"),
+        "new BufferedReader(in)",
+        vec![("in", b("Reader"))],
+        vec![],
+        IO,
+        row("5/4", 4094, None, None, Some(6), 244, 61),
+    );
+    add(
+        "ByteArrayInputStreambytebuf",
+        b("ByteArrayInputStream"),
+        "new ByteArrayInputStream(buf)",
+        vec![("buf", b("ByteArray"))],
+        vec![],
+        IO,
+        row("4/4", 3366, None, Some(3), None, 22, 44),
+    );
+    add(
+        "ByteArrayOutputStreamintsize",
+        b("ByteArrayOutputStream"),
+        "new ByteArrayOutputStream(size)",
+        vec![("size", b("Int"))],
+        vec![],
+        IO,
+        row("2/2", 3363, None, Some(2), Some(2), 70, 44),
+    );
+    add(
+        "DatagramSocket",
+        b("DatagramSocket"),
+        "new DatagramSocket()",
+        vec![],
+        vec![],
+        NET,
+        row("1/1", 3246, None, Some(1), Some(1), 88, 38),
+    );
+    add(
+        "DataInputStreamFileInput",
+        b("DataInputStream"),
+        "new DataInputStream(new FileInputStream(fileName))",
+        vec![("fileName", b("String"))],
+        vec![],
+        IO,
+        row("3/2", 3364, None, Some(1), Some(1), 52, 44),
+    );
+    add(
+        "DataOutputStreamFileOutput",
+        b("DataOutputStream"),
+        "new DataOutputStream(new FileOutputStream(fileName))",
+        vec![("fileName", b("String"))],
+        vec![],
+        IO,
+        row("3/2", 3364, None, Some(1), Some(1), 45, 44),
+    );
+    add(
+        "DefaultBoundedRangeModel",
+        b("DefaultBoundedRangeModel"),
+        "new DefaultBoundedRangeModel()",
+        vec![],
+        vec![],
+        SWING,
+        row("1/1", 6673, None, Some(1), Some(1), 266, 193),
+    );
+    add(
+        "DisplayModeintwidthintheightintbit",
+        b("DisplayMode"),
+        "new DisplayMode(width, width, width, width)",
+        vec![("width", b("Int"))],
+        vec![],
+        AWT,
+        row("2/2", 4999, None, Some(1), Some(1), 154, 99),
+    );
+    add(
+        "FileInputStreamFileDescriptorfdObj",
+        b("FileInputStream"),
+        "new FileInputStream(fdObj)",
+        vec![("fdObj", b("FileDescriptor"))],
+        vec![],
+        IO,
+        row("2/2", 3366, None, Some(3), Some(2), 23, 44),
+    );
+    add(
+        "FileInputStreamStringname",
+        b("FileInputStream"),
+        "new FileInputStream(name)",
+        vec![("name", b("String"))],
+        vec![],
+        IO,
+        row("2/2", 3363, None, Some(1), Some(1), 109, 44),
+    );
+    add(
+        "FileOutputStreamFilefile",
+        b("FileOutputStream"),
+        "new FileOutputStream(file)",
+        vec![("file", b("File"))],
+        vec![],
+        IO,
+        row("2/2", 3364, None, Some(1), Some(1), 60, 44),
+    );
+    add(
+        "FileReaderFilefile",
+        b("FileReader"),
+        "new FileReader(file)",
+        vec![("file", b("File"))],
+        vec![],
+        IO,
+        row("2/2", 3365, None, Some(2), Some(2), 20, 44),
+    );
+    add(
+        "FileStringname",
+        b("File"),
+        "new File(name)",
+        vec![("name", b("String"))],
+        vec![],
+        IO,
+        row("2/2", 3363, None, Some(1), Some(1), 163, 44),
+    );
+    add(
+        "FileWriterFilefile",
+        b("FileWriter"),
+        "new FileWriter(file)",
+        vec![("file", b("File"))],
+        vec![],
+        IO,
+        row("2/2", 3366, None, Some(1), Some(1), 36, 45),
+    );
+    add(
+        "FileWriterLPT1",
+        b("FileWriter"),
+        "new FileWriter(\"LPT1\")",
+        vec![],
+        vec![("\"LPT1\"", b("String"))],
+        IO,
+        row("2/2", 3363, Some(6), Some(1), Some(1), 96, 44),
+    );
+    add(
+        "GridBagConstraints",
+        b("GridBagConstraints"),
+        "new GridBagConstraints()",
+        vec![],
+        vec![],
+        AWT,
+        row("1/1", 8402, None, Some(1), Some(1), 342, 290),
+    );
+    add(
+        "GridBagLayout",
+        b("GridBagLayout"),
+        "new GridBagLayout()",
+        vec![],
+        vec![],
+        AWT,
+        row("1/1", 8401, None, Some(1), Some(1), 1, 290),
+    );
+    add(
+        "GroupLayoutContainerhost",
+        b("GroupLayout"),
+        "new GroupLayout(host)",
+        vec![("host", b("Container"))],
+        vec![],
+        SWING,
+        row("4/2", 6436, None, Some(1), Some(1), 36, 190),
+    );
+    add(
+        "ImageIconStringfilename",
+        b("ImageIcon"),
+        "new ImageIcon(filename)",
+        vec![("filename", b("String"))],
+        vec![],
+        SWING,
+        row("2/2", 8277, None, Some(2), Some(1), 167, 300),
+    );
+    add(
+        "InputStreamReaderInputStreamin",
+        b("InputStreamReader"),
+        "new InputStreamReader(in)",
+        vec![("in", b("InputStream"))],
+        vec![],
+        IO,
+        row("3/3", 3363, None, Some(8), Some(4), 184, 44),
+    );
+    add(
+        "JButtonStringtext",
+        b("JButton"),
+        "new JButton(text)",
+        vec![("text", b("String"))],
+        vec![],
+        SWING,
+        row("2/2", 6434, None, Some(2), Some(1), 95, 184),
+    );
+    add(
+        "JCheckBoxStringtext",
+        b("JCheckBox"),
+        "new JCheckBox(text)",
+        vec![("text", b("String"))],
+        vec![],
+        SWING,
+        row("2/2", 8401, None, Some(3), Some(2), 68, 188),
+    );
+    add(
+        "JformattedTextFieldAbstractFormatter",
+        b("JFormattedTextField"),
+        "new JFormattedTextField(new DefaultFormatter())",
+        vec![],
+        vec![],
+        SWING,
+        row("3/2", 10700, None, Some(2), Some(4), 122, 520),
+    );
+    add(
+        "JFormattedTextFieldFormatterformatter",
+        b("JFormattedTextField"),
+        "new JFormattedTextField(formatter)",
+        vec![("formatter", b("AbstractFormatter"))],
+        vec![],
+        SWING,
+        row("2/2", 9783, None, Some(2), Some(2), 100, 419),
+    );
+    add(
+        "JTableObjectnameObjectdata",
+        b("JTable"),
+        "new JTable(data, name)",
+        vec![("data", b("ObjectMatrix")), ("name", b("ObjectArray"))],
+        vec![],
+        SWING,
+        row("3/3", 8280, None, Some(2), Some(2), 142, 300),
+    );
+    add(
+        "JTextAreaStringtext",
+        b("JTextArea"),
+        "new JTextArea(text)",
+        vec![("text", b("String"))],
+        vec![],
+        SWING,
+        row("2/2", 6433, None, Some(2), None, 302, 183),
+    );
+    add(
+        "JToggleButtonStringtext",
+        b("JToggleButton"),
+        "new JToggleButton(text)",
+        vec![("text", b("String"))],
+        vec![],
+        SWING,
+        row("2/2", 8277, None, Some(2), Some(2), 135, 299),
+    );
+    add(
+        "JTree",
+        b("JTree"),
+        "new JTree()",
+        vec![],
+        vec![],
+        SWING,
+        row("1/1", 8278, Some(2), Some(1), Some(1), 2039, 298),
+    );
+    add(
+        "JViewport",
+        b("JViewport"),
+        "new JViewport()",
+        vec![],
+        vec![],
+        SWING,
+        row("1/1", 8282, Some(8), Some(1), Some(8), 19, 298),
+    );
+    add(
+        "JWindow",
+        b("JWindow"),
+        "new JWindow()",
+        vec![],
+        vec![],
+        SWING,
+        row("1/1", 6434, Some(3), Some(1), Some(1), 434, 194),
+    );
+    add(
+        "LineNumberReaderReaderin",
+        b("LineNumberReader"),
+        "new LineNumberReader(in)",
+        vec![("in", b("Reader"))],
+        vec![],
+        IO,
+        row("5/4", 3363, None, None, Some(9), 239, 44),
+    );
+    add(
+        "ObjectInputStreamInputStreamin",
+        b("ObjectInputStream"),
+        "new ObjectInputStream(in)",
+        vec![("in", b("InputStream"))],
+        vec![],
+        IO,
+        row("3/2", 3367, None, Some(1), Some(1), 35, 44),
+    );
+    add(
+        "ObjectOutputStreamOutputStreamout",
+        b("ObjectOutputStream"),
+        "new ObjectOutputStream(out)",
+        vec![("out", b("OutputStream"))],
+        vec![],
+        IO,
+        row("3/2", 3364, None, Some(1), Some(1), 54, 44),
+    );
+    add(
+        "PipedReaderPipedWritersrc",
+        b("PipedReader"),
+        "new PipedReader(src)",
+        vec![("src", b("PipedWriter"))],
+        vec![],
+        IO,
+        row("2/2", 3364, None, Some(2), Some(2), 68, 44),
+    );
+    add(
+        "PipedWriter",
+        b("PipedWriter"),
+        "new PipedWriter()",
+        vec![],
+        vec![],
+        IO,
+        row("1/1", 3359, None, Some(1), Some(1), 139, 44),
+    );
+    add(
+        "Pointintxinty",
+        b("Point"),
+        "new Point(x, x)",
+        vec![("x", b("Int"))],
+        vec![],
+        AWT,
+        row("3/1", 4997, None, Some(5), Some(2), 103, 101),
+    );
+    add(
+        "PrintStreamOutputStreamout",
+        b("PrintStream"),
+        "new PrintStream(out)",
+        vec![("out", b("OutputStream"))],
+        vec![],
+        IO,
+        row("3/2", 3365, None, Some(6), Some(1), 27, 44),
+    );
+    add(
+        "PrintWriterBufferedWriter",
+        b("PrintWriter"),
+        "new PrintWriter(new BufferedWriter(new FileWriter(fileName)))",
+        vec![("fileName", b("String"))],
+        vec![],
+        IO,
+        row("4/3", 3365, None, Some(4), Some(4), 44, 44),
+    );
+    add(
+        "SequenceInputStreamInputStreams",
+        b("SequenceInputStream"),
+        "new SequenceInputStream(new FileInputStream(body), new FileInputStream(sig))",
+        vec![("body", b("String")), ("sig", b("String"))],
+        vec![],
+        IO,
+        row("5/3", 3365, None, Some(2), Some(2), 28, 44),
+    );
+    add(
+        "ServerSocketintport",
+        b("ServerSocket"),
+        "new ServerSocket(port)",
+        vec![("port", b("Int"))],
+        vec![],
+        NET,
+        row("2/2", 4094, None, Some(2), Some(1), 63, 61),
+    );
+    add(
+        "StreamTokenizerFileReaderfileReader",
+        b("StreamTokenizer"),
+        "new StreamTokenizer(fileReader)",
+        vec![("fileReader", b("FileReader"))],
+        vec![],
+        IO,
+        row("3/2", 3365, None, Some(1), Some(1), 65, 44),
+    );
+    add(
+        "StringReaderStrings",
+        b("StringReader"),
+        "new StringReader(s)",
+        vec![("s", b("String"))],
+        vec![],
+        IO,
+        row("2/2", 3363, None, Some(1), Some(1), 43, 45),
+    );
+    add(
+        "TimerintvalueActionListeneract",
+        b("Timer"),
+        "new Timer(value, act)",
+        vec![("value", b("Int")), ("act", b("ActionListener"))],
+        vec![],
+        SWING,
+        row("3/3", 6665, None, Some(1), Some(1), 199, 186),
+    );
+    add(
+        "TransferHandlerStringproperty",
+        b("TransferHandler"),
+        "new TransferHandler(property)",
+        vec![("property", b("String"))],
+        vec![],
+        SWING,
+        row("2/2", 8648, None, Some(1), Some(1), 31, 319),
+    );
+    add(
+        "URLStringspecthrows",
+        b("URL"),
+        "new URL(spec)",
+        vec![("spec", b("String"))],
+        vec![],
+        NET,
+        row("3/3", 4093, None, Some(6), Some(1), 183, 60),
+    );
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_fifty_benchmarks() {
+        let benchmarks = all_benchmarks();
+        assert_eq!(benchmarks.len(), 50);
+        for (i, bench) in benchmarks.iter().enumerate() {
+            assert_eq!(bench.id, i + 1);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_match_table2() {
+        let benchmarks = all_benchmarks();
+        let mut names: Vec<&str> = benchmarks.iter().map(|b| b.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 50);
+        assert!(benchmarks.iter().any(|b| b.name == "SequenceInputStreamInputStreams"));
+        assert!(benchmarks.iter().any(|b| b.name == "GridBagLayout"));
+    }
+
+    #[test]
+    fn paper_initial_sizes_are_in_the_reported_range() {
+        for bench in all_benchmarks() {
+            assert!(bench.paper.initial >= 3246 && bench.paper.initial <= 10700, "{}", bench.name);
+        }
+    }
+
+    #[test]
+    fn filler_count_scales_with_paper_environment_size() {
+        let benchmarks = all_benchmarks();
+        let small = benchmarks.iter().find(|b| b.paper.initial == 3363).unwrap();
+        let large = benchmarks.iter().find(|b| b.paper.initial == 10700).unwrap();
+        assert!(small.filler_packages() < large.filler_packages());
+        assert!(large.filler_packages() >= 15);
+    }
+
+    #[test]
+    fn full_algorithm_finds_48_of_50_in_the_paper() {
+        let found = all_benchmarks()
+            .iter()
+            .filter(|b| b.paper.rank_all.is_some())
+            .count();
+        assert_eq!(found, 48);
+        let rank_one = all_benchmarks()
+            .iter()
+            .filter(|b| b.paper.rank_all == Some(1))
+            .count();
+        assert_eq!(rank_one, 32);
+    }
+
+    #[test]
+    fn no_weights_variant_finds_only_four_in_the_paper() {
+        let found = all_benchmarks()
+            .iter()
+            .filter(|b| b.paper.rank_no_weights.is_some())
+            .count();
+        assert_eq!(found, 4);
+    }
+
+    #[test]
+    fn every_benchmark_imports_java_lang() {
+        for bench in all_benchmarks() {
+            assert!(bench.imports.contains(&"java.lang"), "{}", bench.name);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The evaluation harness: environment construction, synthesis runs, prover
+//! runs.
+
+use std::time::{Duration, Instant};
+
+use insynth_apimodel::{extract, javaapi, render_term, ApiModel, ProgramPoint};
+use insynth_core::{
+    PhaseTimings, SynthesisConfig, SynthesisStats, Synthesizer, TypeEnv, WeightConfig, WeightMode,
+};
+use insynth_corpus::{synthetic_corpus, Corpus};
+use insynth_provers::{forward, g4ip, inhabitation_query, ProverLimits};
+
+use crate::benchmarks::Benchmark;
+
+/// Configuration of a harness run.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Number of snippets to request (`N`; the paper uses 10).
+    pub n: usize,
+    /// Prover (exploration + pattern generation) time limit.
+    pub prover_time_limit: Duration,
+    /// Reconstruction time limit.
+    pub reconstruction_time_limit: Duration,
+    /// Seed of the synthetic corpus.
+    pub corpus_seed: u64,
+    /// Scale factor applied to the benchmark's filler-package count. `1.0`
+    /// reproduces the paper's environment sizes; smaller values make debug
+    /// runs and unit tests faster.
+    pub filler_scale: f64,
+    /// Time limit for each baseline prover.
+    pub baseline_time_limit: Duration,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            n: 10,
+            prover_time_limit: Duration::from_millis(500),
+            reconstruction_time_limit: Duration::from_secs(7),
+            corpus_seed: 42,
+            filler_scale: 1.0,
+            baseline_time_limit: Duration::from_secs(10),
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// A configuration suitable for unit tests: small environments (no
+    /// filler) so that debug builds stay fast.
+    pub fn fast() -> Self {
+        HarnessConfig { filler_scale: 0.0, ..HarnessConfig::default() }
+    }
+}
+
+/// The outcome of running one benchmark under one weight mode.
+#[derive(Debug, Clone)]
+pub struct BenchmarkOutcome {
+    /// 1-based rank of the expected snippet among the returned suggestions.
+    pub rank: Option<usize>,
+    /// Number of declarations in the constructed environment.
+    pub initial_declarations: usize,
+    /// Phase timings of the run.
+    pub timings: PhaseTimings,
+    /// Engine statistics of the run.
+    pub stats: SynthesisStats,
+    /// The rendered top suggestions (up to `N`).
+    pub suggestions: Vec<String>,
+}
+
+/// Timing/verdict of the two baseline provers on a benchmark's inhabitation
+/// query.
+#[derive(Debug, Clone)]
+pub struct ProverOutcome {
+    /// Forward (inverse-method style, "Imogen-like") prover verdict; `None`
+    /// means the limits were hit.
+    pub forward_verdict: Option<bool>,
+    /// Forward prover wall-clock time.
+    pub forward_time: Duration,
+    /// Backward G4ip ("fCube-like") prover verdict.
+    pub g4ip_verdict: Option<bool>,
+    /// G4ip prover wall-clock time.
+    pub g4ip_time: Duration,
+}
+
+/// Builds the API model for a benchmark: every hand-modelled package plus the
+/// benchmark's share of filler packages.
+fn build_model(bench: &Benchmark, config: &HarnessConfig) -> (ApiModel, Vec<String>) {
+    let mut model = ApiModel::new();
+    model.add_package(javaapi::java_lang());
+    model.add_package(javaapi::java_io());
+    model.add_package(javaapi::java_awt());
+    model.add_package(javaapi::java_awt_event());
+    model.add_package(javaapi::javax_swing());
+    model.add_package(javaapi::java_net());
+    model.add_package(javaapi::java_util());
+    model.add_package(javaapi::scala_ide());
+
+    let filler = (bench.filler_packages() as f64 * config.filler_scale).round() as usize;
+    let mut filler_names = Vec::with_capacity(filler);
+    for i in 0..filler {
+        let package = javaapi::filler_package(i, 40, 12);
+        filler_names.push(package.name.clone());
+        model.add_package(package);
+    }
+    (model, filler_names)
+}
+
+/// Builds the environment (declaration list with corpus frequencies) a
+/// benchmark sees.
+pub fn build_environment(bench: &Benchmark, config: &HarnessConfig) -> TypeEnv {
+    let (model, filler_names) = build_model(bench, config);
+
+    let mut point = ProgramPoint::new();
+    for (name, ty) in &bench.locals {
+        point = point.with_local(*name, ty.clone());
+    }
+    for (text, ty) in &bench.literals {
+        point = point.with_literal(*text, ty.clone());
+    }
+    for import in &bench.imports {
+        point = point.with_import(*import);
+    }
+    for filler in &filler_names {
+        point = point.with_import(filler.clone());
+    }
+
+    let mut env = extract(&model, &point);
+    let corpus: Corpus = synthetic_corpus(&model, config.corpus_seed);
+    corpus.apply(&mut env);
+    env
+}
+
+/// Runs one benchmark under the given weight mode and returns the rank of the
+/// expected snippet plus timings.
+pub fn run_benchmark(bench: &Benchmark, mode: WeightMode, config: &HarnessConfig) -> BenchmarkOutcome {
+    let env = build_environment(bench, config);
+    let synth_config = SynthesisConfig {
+        weights: WeightConfig::new(mode),
+        prover_time_limit: Some(config.prover_time_limit),
+        reconstruction_time_limit: Some(config.reconstruction_time_limit),
+        ..SynthesisConfig::default()
+    };
+    let mut synth = Synthesizer::new(synth_config);
+    let result = synth.synthesize(&env, &bench.goal, config.n);
+
+    let suggestions: Vec<String> =
+        result.snippets.iter().map(|s| render_term(&s.term)).collect();
+    let rank = suggestions
+        .iter()
+        .position(|s| s == &bench.expected)
+        .map(|i| i + 1);
+
+    BenchmarkOutcome {
+        rank,
+        initial_declarations: env.len(),
+        timings: result.timings,
+        stats: result.stats,
+        suggestions,
+    }
+}
+
+/// Runs the two baseline provers on the benchmark's inhabitation query.
+pub fn run_provers(bench: &Benchmark, config: &HarnessConfig) -> ProverOutcome {
+    let env = build_environment(bench, config);
+    let (hyps, goal) = inhabitation_query(&env, &bench.goal);
+    let limits = ProverLimits {
+        time_limit: config.baseline_time_limit,
+        ..ProverLimits::default()
+    };
+
+    let started = Instant::now();
+    let forward_verdict = forward::prove(&hyps, &goal, &limits);
+    let forward_time = started.elapsed();
+
+    let started = Instant::now();
+    let g4ip_verdict = g4ip::prove(&hyps, &goal, &limits);
+    let g4ip_time = started.elapsed();
+
+    ProverOutcome { forward_verdict, forward_time, g4ip_verdict, g4ip_time }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::all_benchmarks;
+
+    fn benchmark(name: &str) -> Benchmark {
+        all_benchmarks().into_iter().find(|b| b.name == name).expect("benchmark exists")
+    }
+
+    #[test]
+    fn file_input_stream_benchmark_is_rank_one() {
+        let bench = benchmark("FileInputStreamStringname");
+        let outcome = run_benchmark(&bench, WeightMode::Full, &HarnessConfig::fast());
+        assert_eq!(outcome.rank, Some(1), "suggestions: {:?}", outcome.suggestions);
+    }
+
+    #[test]
+    fn nested_constructor_benchmark_is_found() {
+        let bench = benchmark("BufferedInputStreamFileInputStream");
+        let outcome = run_benchmark(&bench, WeightMode::Full, &HarnessConfig::fast());
+        assert!(outcome.rank.is_some(), "suggestions: {:?}", outcome.suggestions);
+        assert!(outcome.rank.unwrap() <= 10);
+    }
+
+    #[test]
+    fn literal_benchmark_uses_the_literal() {
+        let bench = benchmark("FileWriterLPT1");
+        let outcome = run_benchmark(&bench, WeightMode::Full, &HarnessConfig::fast());
+        assert!(outcome.rank.is_some(), "suggestions: {:?}", outcome.suggestions);
+    }
+
+    #[test]
+    fn environment_size_scales_with_filler() {
+        let bench = benchmark("GridBagConstraints");
+        let small = build_environment(&bench, &HarnessConfig::fast());
+        let full = build_environment(&bench, &HarnessConfig::default());
+        assert!(full.len() > small.len());
+        // The full environment approximates the paper's #Initial (8402) within ~25%.
+        let target = bench.paper.initial as f64;
+        assert!((full.len() as f64) > target * 0.75, "got {}", full.len());
+        assert!((full.len() as f64) < target * 1.25, "got {}", full.len());
+    }
+
+    #[test]
+    fn provers_agree_with_the_engine_on_inhabitation() {
+        let bench = benchmark("DatagramSocket");
+        let outcome = run_provers(&bench, &HarnessConfig::fast());
+        assert_eq!(outcome.forward_verdict, Some(true));
+        assert_eq!(outcome.g4ip_verdict, Some(true));
+    }
+
+    #[test]
+    fn swing_benchmark_with_two_locals_is_found() {
+        let bench = benchmark("TimerintvalueActionListeneract");
+        let outcome = run_benchmark(&bench, WeightMode::Full, &HarnessConfig::fast());
+        assert!(outcome.rank.is_some(), "suggestions: {:?}", outcome.suggestions);
+    }
+}

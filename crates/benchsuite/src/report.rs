@@ -1,0 +1,166 @@
+//! Table 2 row formatting and the §7.5 summary statistics.
+
+use std::time::Duration;
+
+use crate::benchmarks::Benchmark;
+use crate::harness::{BenchmarkOutcome, ProverOutcome};
+
+/// Aggregate statistics over a set of benchmark outcomes (the quantities the
+/// paper reports in §7.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of benchmarks whose expected snippet appeared in the top N.
+    pub found: usize,
+    /// Number of benchmarks whose expected snippet ranked first.
+    pub rank_one: usize,
+    /// Number of benchmarks evaluated.
+    pub total: usize,
+    /// Mean total synthesis time across benchmarks.
+    pub mean_total: Duration,
+}
+
+impl Summary {
+    /// Percentage of benchmarks found, 0–100.
+    pub fn found_percent(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        100.0 * self.found as f64 / self.total as f64
+    }
+
+    /// Percentage of benchmarks ranked first, 0–100.
+    pub fn rank_one_percent(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        100.0 * self.rank_one as f64 / self.total as f64
+    }
+}
+
+/// Summarizes a set of outcomes.
+pub fn summarize(outcomes: &[BenchmarkOutcome]) -> Summary {
+    let total = outcomes.len();
+    let found = outcomes.iter().filter(|o| o.rank.is_some()).count();
+    let rank_one = outcomes.iter().filter(|o| o.rank == Some(1)).count();
+    let total_time: Duration = outcomes.iter().map(|o| o.timings.total()).sum();
+    let mean_total = if total == 0 { Duration::ZERO } else { total_time / total as u32 };
+    Summary { found, rank_one, total, mean_total }
+}
+
+/// The header line of the regenerated Table 2.
+pub fn table2_header() -> String {
+    format!(
+        "{:>2} {:<38} {:>5} {:>8} | {:>4} {:>8} | {:>4} {:>8} | {:>4} {:>6} {:>6} {:>8} | {:>9} {:>9}",
+        "#",
+        "Benchmark",
+        "Size",
+        "#Initial",
+        "Rnw",
+        "Tnw(ms)",
+        "Rnc",
+        "Tnc(ms)",
+        "Rall",
+        "Prove",
+        "Recon",
+        "Tall(ms)",
+        "Fwd(ms)",
+        "G4ip(ms)"
+    )
+}
+
+fn rank_str(rank: Option<usize>) -> String {
+    match rank {
+        Some(r) => r.to_string(),
+        None => ">10".to_owned(),
+    }
+}
+
+/// Formats one regenerated Table 2 row from the three weight-mode outcomes and
+/// the baseline prover outcome.
+pub fn table2_row(
+    bench: &Benchmark,
+    no_weights: &BenchmarkOutcome,
+    no_corpus: &BenchmarkOutcome,
+    all: &BenchmarkOutcome,
+    provers: &ProverOutcome,
+) -> String {
+    format!(
+        "{:>2} {:<38} {:>5} {:>8} | {:>4} {:>8} | {:>4} {:>8} | {:>4} {:>6} {:>6} {:>8} | {:>9} {:>9}",
+        bench.id,
+        bench.name,
+        bench.paper.size,
+        all.initial_declarations,
+        rank_str(no_weights.rank),
+        no_weights.timings.total().as_millis(),
+        rank_str(no_corpus.rank),
+        no_corpus.timings.total().as_millis(),
+        rank_str(all.rank),
+        all.timings.prove().as_millis(),
+        all.timings.reconstruction.as_millis(),
+        all.timings.total().as_millis(),
+        provers.forward_time.as_millis(),
+        provers.g4ip_time.as_millis(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insynth_core::{PhaseTimings, SynthesisStats};
+
+    fn outcome(rank: Option<usize>, total_ms: u64) -> BenchmarkOutcome {
+        BenchmarkOutcome {
+            rank,
+            initial_declarations: 1000,
+            timings: PhaseTimings {
+                explore: Duration::from_millis(total_ms / 2),
+                patterns: Duration::ZERO,
+                reconstruction: Duration::from_millis(total_ms / 2),
+            },
+            stats: SynthesisStats::default(),
+            suggestions: vec![],
+        }
+    }
+
+    #[test]
+    fn summary_counts_found_and_rank_one() {
+        let outcomes = vec![outcome(Some(1), 100), outcome(Some(3), 50), outcome(None, 10)];
+        let summary = summarize(&outcomes);
+        assert_eq!(summary.total, 3);
+        assert_eq!(summary.found, 2);
+        assert_eq!(summary.rank_one, 1);
+        assert!((summary.found_percent() - 66.666).abs() < 0.1);
+        assert!((summary.rank_one_percent() - 33.333).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_summary_has_zero_percentages() {
+        let summary = summarize(&[]);
+        assert_eq!(summary.found_percent(), 0.0);
+        assert_eq!(summary.rank_one_percent(), 0.0);
+        assert_eq!(summary.mean_total, Duration::ZERO);
+    }
+
+    #[test]
+    fn row_formatting_includes_ranks_and_times() {
+        let bench = crate::benchmarks::all_benchmarks().remove(0);
+        let provers = ProverOutcome {
+            forward_verdict: Some(true),
+            forward_time: Duration::from_millis(12),
+            g4ip_verdict: Some(true),
+            g4ip_time: Duration::from_millis(340),
+        };
+        let row = table2_row(
+            &bench,
+            &outcome(None, 800),
+            &outcome(Some(2), 90),
+            &outcome(Some(1), 60),
+            &provers,
+        );
+        assert!(row.contains("AWTPermissionStringname"));
+        assert!(row.contains(">10"));
+        assert!(row.contains(" 1 "));
+        // Header and row have the same number of columns when split on '|'.
+        assert_eq!(row.matches('|').count(), table2_header().matches('|').count());
+    }
+}

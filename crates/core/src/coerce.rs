@@ -1,0 +1,256 @@
+//! Subtyping via coercion functions (paper §6).
+//!
+//! Each subtype edge `v1 <: v2` is modelled by a fresh, low-weight coercion
+//! declaration `coerce$v1$v2 : v1 → v2`. Coercions participate in pattern
+//! construction and term reconstruction like ordinary declarations, and are
+//! erased from the snippets shown to the user.
+
+use std::collections::{HashMap, HashSet};
+
+use insynth_lambda::{Term, Ty};
+
+use crate::decl::{DeclKind, Declaration};
+
+/// Name prefix identifying coercion declarations.
+pub const COERCION_PREFIX: &str = "coerce$";
+
+/// The canonical name of the coercion function witnessing `sub <: sup`.
+pub fn coercion_name(sub: &str, sup: &str) -> String {
+    format!("{COERCION_PREFIX}{sub}${sup}")
+}
+
+/// Returns `true` if a head symbol names a coercion function.
+pub fn is_coercion(name: &str) -> bool {
+    name.starts_with(COERCION_PREFIX)
+}
+
+/// A set of declared subtype edges over base (class) types.
+///
+/// # Example
+///
+/// ```
+/// use insynth_core::SubtypeLattice;
+///
+/// let mut lattice = SubtypeLattice::new();
+/// lattice.add("Panel", "Container");
+/// lattice.add("Container", "Component");
+/// assert!(lattice.is_subtype("Panel", "Component")); // transitivity
+/// assert!(lattice.is_subtype("Panel", "Panel"));     // reflexivity
+/// assert!(!lattice.is_subtype("Component", "Panel"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SubtypeLattice {
+    edges: Vec<(String, String)>,
+}
+
+impl SubtypeLattice {
+    /// Creates an empty lattice (no subtyping).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares the direct subtype edge `sub <: sup`.
+    pub fn add(&mut self, sub: impl Into<String>, sup: impl Into<String>) {
+        let edge = (sub.into(), sup.into());
+        if !self.edges.contains(&edge) {
+            self.edges.push(edge);
+        }
+    }
+
+    /// The direct edges, in insertion order.
+    pub fn direct_edges(&self) -> &[(String, String)] {
+        &self.edges
+    }
+
+    /// The transitive (but not reflexive) closure of the declared edges,
+    /// deterministically ordered.
+    pub fn transitive_closure(&self) -> Vec<(String, String)> {
+        let mut supers: HashMap<&str, HashSet<&str>> = HashMap::new();
+        for (sub, sup) in &self.edges {
+            supers.entry(sub.as_str()).or_default().insert(sup.as_str());
+        }
+        // Floyd-Warshall style saturation over the small class graph.
+        loop {
+            let mut added = false;
+            let snapshot: Vec<(String, String)> = supers
+                .iter()
+                .flat_map(|(&s, sups)| sups.iter().map(move |&p| (s.to_owned(), p.to_owned())))
+                .collect();
+            for (sub, mid) in &snapshot {
+                let next: Vec<&str> = supers
+                    .get(mid.as_str())
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                for sup in next {
+                    let entry = supers.entry(self.canonical(sub)).or_default();
+                    if entry.insert(self.canonical(sup)) {
+                        added = true;
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+        let mut out: Vec<(String, String)> = supers
+            .into_iter()
+            .flat_map(|(sub, sups)| {
+                sups.into_iter().map(move |sup| (sub.to_owned(), sup.to_owned()))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Returns `true` if `sub <: sup` holds in the reflexive-transitive
+    /// closure.
+    pub fn is_subtype(&self, sub: &str, sup: &str) -> bool {
+        if sub == sup {
+            return true;
+        }
+        self.transitive_closure()
+            .iter()
+            .any(|(a, b)| a == sub && b == sup)
+    }
+
+    /// One coercion declaration per pair of the transitive closure, with the
+    /// low Table 1 weight for coercions.
+    pub fn coercion_declarations(&self) -> Vec<Declaration> {
+        self.transitive_closure()
+            .into_iter()
+            .map(|(sub, sup)| {
+                Declaration::new(
+                    coercion_name(&sub, &sup),
+                    Ty::fun(vec![Ty::base(sub)], Ty::base(sup)),
+                    DeclKind::Coercion,
+                )
+            })
+            .collect()
+    }
+
+    /// Maps a name back to its canonical `&str` key stored in the edge list so
+    /// that the closure does not allocate duplicate keys.
+    fn canonical(&self, name: &str) -> &str {
+        for (a, b) in &self.edges {
+            if a == name {
+                return a;
+            }
+            if b == name {
+                return b;
+            }
+        }
+        // Names in the closure always originate from an edge endpoint.
+        unreachable!("closure names originate from declared edges")
+    }
+}
+
+/// Removes coercion applications from a term: `coerce$A$B(e)` becomes `e`
+/// (recursively). Binders attached to a coercion node are re-attached to the
+/// coerced sub-term so that long normal form is preserved.
+pub fn erase_coercions(term: &Term) -> Term {
+    if is_coercion(&term.head) && term.args.len() == 1 {
+        let inner = erase_coercions(&term.args[0]);
+        let mut params = term.params.clone();
+        params.extend(inner.params);
+        return Term { params, head: inner.head, args: inner.args };
+    }
+    Term {
+        params: term.params.clone(),
+        head: term.head.clone(),
+        args: term.args.iter().map(erase_coercions).collect(),
+    }
+}
+
+/// Number of coercion applications in a term (the difference between the `c`
+/// and `nc` snippet sizes of Table 2).
+pub fn count_coercions(term: &Term) -> usize {
+    let here = usize::from(is_coercion(&term.head));
+    here + term.args.iter().map(count_coercions).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn awt_lattice() -> SubtypeLattice {
+        let mut l = SubtypeLattice::new();
+        l.add("Panel", "Container");
+        l.add("Container", "Component");
+        l.add("Panel", "Accessible");
+        l
+    }
+
+    #[test]
+    fn closure_contains_direct_and_transitive_edges() {
+        let closure = awt_lattice().transitive_closure();
+        assert!(closure.contains(&("Panel".into(), "Container".into())));
+        assert!(closure.contains(&("Panel".into(), "Component".into())));
+        assert!(closure.contains(&("Container".into(), "Component".into())));
+        assert!(!closure.contains(&("Component".into(), "Panel".into())));
+    }
+
+    #[test]
+    fn is_subtype_is_reflexive_and_transitive_but_not_symmetric() {
+        let l = awt_lattice();
+        assert!(l.is_subtype("Panel", "Panel"));
+        assert!(l.is_subtype("Panel", "Component"));
+        assert!(!l.is_subtype("Component", "Container"));
+    }
+
+    #[test]
+    fn coercion_declarations_have_low_weight_kind_and_arrow_type() {
+        let decls = awt_lattice().coercion_declarations();
+        assert_eq!(decls.len(), 4);
+        let panel_to_container = decls
+            .iter()
+            .find(|d| d.name == coercion_name("Panel", "Container"))
+            .expect("Panel -> Container coercion must exist");
+        assert_eq!(panel_to_container.kind, DeclKind::Coercion);
+        assert_eq!(
+            panel_to_container.ty,
+            Ty::fun(vec![Ty::base("Panel")], Ty::base("Container"))
+        );
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut l = SubtypeLattice::new();
+        l.add("A", "B");
+        l.add("A", "B");
+        assert_eq!(l.direct_edges().len(), 1);
+    }
+
+    #[test]
+    fn erase_removes_nested_coercions() {
+        // getLayout(coerce$Panel$Container(panel))  →  getLayout(panel)
+        let term = Term::app(
+            "getLayout",
+            vec![Term::app(
+                coercion_name("Panel", "Container"),
+                vec![Term::var("panel")],
+            )],
+        );
+        let erased = erase_coercions(&term);
+        assert_eq!(erased.to_string(), "getLayout(panel)");
+        assert_eq!(count_coercions(&term), 1);
+        assert_eq!(count_coercions(&erased), 0);
+    }
+
+    #[test]
+    fn erase_preserves_binders_on_coercion_nodes() {
+        use insynth_lambda::Param;
+        let term = Term {
+            params: vec![Param::new("x", Ty::base("Panel"))],
+            head: coercion_name("Panel", "Container"),
+            args: vec![Term::var("x")],
+        };
+        let erased = erase_coercions(&term);
+        assert_eq!(erased.to_string(), "x => x");
+    }
+
+    #[test]
+    fn names_round_trip_through_is_coercion() {
+        assert!(is_coercion(&coercion_name("A", "B")));
+        assert!(!is_coercion("getLayout"));
+    }
+}

@@ -1,0 +1,241 @@
+//! The exploration phase (Figure 7): backward type reachability.
+//!
+//! Starting from the request `σ(τo) ;Γ ?`, the phase repeatedly applies the
+//! STRIP / MATCH / PROP rules, discovering the portion of the search space
+//! reachable from the desired type and the initial environment. Requests are
+//! processed in order of the weight of the requested type (§5.6), so that the
+//! parts of the space the ranking will prefer are discovered first when a time
+//! or request budget cuts exploration short.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::time::{Duration, Instant};
+
+use insynth_succinct::{match_rule, strip_rule, BaseRequest, ReachabilityTerm, Request, SuccinctTyId};
+
+use crate::prepare::PreparedEnv;
+use crate::weights::Weight;
+
+/// Budgets bounding the exploration phase.
+#[derive(Debug, Clone)]
+pub struct ExploreLimits {
+    /// Maximum number of (stripped) requests to process.
+    pub max_requests: usize,
+    /// Wall-clock limit for the phase, if any (the paper's "prover" limit).
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits { max_requests: 1_000_000, time_limit: None }
+    }
+}
+
+/// The search space discovered by exploration: every reachability term found,
+/// plus bookkeeping statistics.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// All reachability terms derived by the MATCH rule.
+    pub terms: Vec<ReachabilityTerm>,
+    /// Number of distinct (stripped) requests processed.
+    pub requests_processed: usize,
+    /// `true` if exploration stopped because a budget ran out rather than
+    /// because the space was exhausted.
+    pub truncated: bool,
+}
+
+/// Runs the exploration phase for the goal type `goal` (already in succinct
+/// form) against the prepared environment.
+///
+/// # Example
+///
+/// ```
+/// use insynth_core::{explore, Declaration, DeclKind, ExploreLimits, PreparedEnv, TypeEnv, WeightConfig};
+/// use insynth_lambda::Ty;
+///
+/// let mut env = TypeEnv::new();
+/// env.push(Declaration::simple("a", Ty::base("Int"), DeclKind::Local));
+/// env.push(Declaration::simple(
+///     "f",
+///     Ty::fun(vec![Ty::base("Int")], Ty::base("String")),
+///     DeclKind::Imported,
+/// ));
+/// let mut prepared = PreparedEnv::prepare(&env, &WeightConfig::default());
+/// let goal = prepared.store.sigma(&Ty::base("String"));
+/// let space = explore(&mut prepared, goal, &ExploreLimits::default());
+/// assert_eq!(space.terms.len(), 2); // one for String via f, one for Int via a
+/// ```
+pub fn explore(prepared: &mut PreparedEnv, goal: SuccinctTyId, limits: &ExploreLimits) -> SearchSpace {
+    let start = Instant::now();
+    let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
+    let mut seq = 0u64;
+
+    let initial = Request { ty: goal, env: prepared.init_env };
+    queue.push(QueueEntry { weight: Reverse(prepared.type_weight(goal)), seq: Reverse(seq), request: initial });
+
+    let mut visited: HashSet<BaseRequest> = HashSet::new();
+    let mut space = SearchSpace { terms: Vec::new(), requests_processed: 0, truncated: false };
+
+    while let Some(entry) = queue.pop() {
+        if space.requests_processed >= limits.max_requests {
+            space.truncated = true;
+            break;
+        }
+        if let Some(limit) = limits.time_limit {
+            if start.elapsed() > limit {
+                space.truncated = true;
+                break;
+            }
+        }
+
+        let stripped = strip_rule(&mut prepared.store, entry.request);
+        if !visited.insert(stripped) {
+            continue;
+        }
+        space.requests_processed += 1;
+
+        let found = match_rule(&prepared.store, stripped);
+        for term in &found {
+            for &arg in &term.remaining {
+                // PROP: issue a request for every argument type; STRIP at pop
+                // time will extend the environment for functional arguments.
+                let request = Request { ty: arg, env: term.env };
+                let peek = strip_rule(&mut prepared.store, request);
+                if !visited.contains(&peek) {
+                    seq += 1;
+                    queue.push(QueueEntry {
+                        weight: Reverse(prepared.type_weight(arg)),
+                        seq: Reverse(seq),
+                        request,
+                    });
+                }
+            }
+        }
+        space.terms.extend(found);
+    }
+
+    space
+}
+
+/// Priority-queue entry: lighter requests first, FIFO among equals.
+#[derive(Debug, PartialEq, Eq)]
+struct QueueEntry {
+    weight: Reverse<Weight>,
+    seq: Reverse<u64>,
+    request: Request,
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.weight, self.seq, self.request).cmp(&(other.weight, other.seq, other.request))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decl::{DeclKind, Declaration, TypeEnv};
+    use crate::weights::WeightConfig;
+    use insynth_lambda::Ty;
+
+    fn prepared(decls: Vec<Declaration>) -> PreparedEnv {
+        let env: TypeEnv = decls.into_iter().collect();
+        PreparedEnv::prepare(&env, &WeightConfig::default())
+    }
+
+    #[test]
+    fn paper_example_space_is_discovered() {
+        // Γo = {a : Int, f : Int -> Int -> Int -> String}, goal String.
+        let mut p = prepared(vec![
+            Declaration::new("a", Ty::base("Int"), DeclKind::Local),
+            Declaration::new(
+                "f",
+                Ty::fun(vec![Ty::base("Int"), Ty::base("Int"), Ty::base("Int")], Ty::base("String")),
+                DeclKind::Imported,
+            ),
+        ]);
+        let goal = p.store.sigma(&Ty::base("String"));
+        let space = explore(&mut p, goal, &ExploreLimits::default());
+        // Terms: String via {Int}->String, and Int via the nullary Int decl.
+        assert_eq!(space.terms.len(), 2);
+        assert!(!space.truncated);
+        assert_eq!(space.requests_processed, 2);
+    }
+
+    #[test]
+    fn unreachable_parts_of_the_environment_are_not_visited() {
+        let mut p = prepared(vec![
+            Declaration::new("a", Ty::base("Int"), DeclKind::Local),
+            Declaration::new("g", Ty::fun(vec![Ty::base("Unrelated")], Ty::base("Other")), DeclKind::Imported),
+            Declaration::new("f", Ty::fun(vec![Ty::base("Int")], Ty::base("String")), DeclKind::Imported),
+        ]);
+        let goal = p.store.sigma(&Ty::base("String"));
+        let space = explore(&mut p, goal, &ExploreLimits::default());
+        // Only the String and Int requests are reachable; `g` never matches.
+        assert_eq!(space.requests_processed, 2);
+        assert!(space.terms.iter().all(|t| p.store.base_name(t.ret) != "Other"));
+    }
+
+    #[test]
+    fn functional_goal_extends_the_environment() {
+        // goal: Tree -> Boolean with p : Tree -> Boolean in scope: the stripped
+        // request must look for Boolean in Γ ∪ {Tree}.
+        let mut p = prepared(vec![Declaration::new(
+            "p",
+            Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")),
+            DeclKind::Local,
+        )]);
+        let goal = p.store.sigma(&Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")));
+        let space = explore(&mut p, goal, &ExploreLimits::default());
+        // Boolean via p (needs Tree), then Tree via the argument binder type.
+        assert_eq!(space.terms.len(), 2);
+        let tree_term = space
+            .terms
+            .iter()
+            .find(|t| p.store.base_name(t.ret) == "Tree")
+            .expect("Tree must be matched against the extended environment");
+        assert!(tree_term.is_leaf());
+    }
+
+    #[test]
+    fn recursive_environments_terminate() {
+        // f : A -> A creates a cycle A -> A; the visited set must stop it.
+        let mut p = prepared(vec![
+            Declaration::new("f", Ty::fun(vec![Ty::base("A")], Ty::base("A")), DeclKind::Local),
+            Declaration::new("a", Ty::base("A"), DeclKind::Local),
+        ]);
+        let goal = p.store.sigma(&Ty::base("A"));
+        let space = explore(&mut p, goal, &ExploreLimits::default());
+        assert!(!space.truncated);
+        assert_eq!(space.requests_processed, 1);
+        // Both the nullary `a` and the recursive `f` match the single request.
+        assert_eq!(space.terms.len(), 2);
+    }
+
+    #[test]
+    fn request_budget_truncates_exploration() {
+        let mut p = prepared(vec![
+            Declaration::new("mk", Ty::fun(vec![Ty::base("B")], Ty::base("A")), DeclKind::Local),
+            Declaration::new("mk2", Ty::fun(vec![Ty::base("C")], Ty::base("B")), DeclKind::Local),
+            Declaration::new("c", Ty::base("C"), DeclKind::Local),
+        ]);
+        let goal = p.store.sigma(&Ty::base("A"));
+        let space = explore(&mut p, goal, &ExploreLimits { max_requests: 1, time_limit: None });
+        assert!(space.truncated);
+        assert_eq!(space.requests_processed, 1);
+    }
+
+    #[test]
+    fn goal_type_missing_from_environment_yields_empty_space() {
+        let mut p = prepared(vec![Declaration::new("a", Ty::base("Int"), DeclKind::Local)]);
+        let goal = p.store.sigma(&Ty::base("Nothing"));
+        let space = explore(&mut p, goal, &ExploreLimits::default());
+        assert!(space.terms.is_empty());
+    }
+}

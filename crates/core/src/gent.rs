@@ -1,0 +1,612 @@
+//! The term generation phase (Figure 10): best-first reconstruction of lambda
+//! terms from patterns.
+//!
+//! The phase maintains a priority queue of *partial expressions* — terms whose
+//! leaves may still be typed holes. The cheapest partial expression is popped,
+//! its first hole is located together with the binders in scope
+//! (`findFirstHole`), and every pattern/declaration pair that can fill the
+//! hole produces a successor expression. Expressions without holes are
+//! complete snippets and are emitted in weight order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use insynth_lambda::{Param, Term, Ty};
+
+use crate::decl::TypeEnv;
+use crate::genp::PatternSet;
+use crate::prepare::PreparedEnv;
+use crate::weights::{Weight, WeightConfig};
+
+/// Budgets bounding the reconstruction phase.
+#[derive(Debug, Clone)]
+pub struct GenerateLimits {
+    /// Maximum number of priority-queue pops.
+    pub max_steps: usize,
+    /// Wall-clock limit (the paper's reconstruction limit, default 7 s there).
+    pub time_limit: Option<Duration>,
+    /// Maximum term depth (the `d` bound of the reference RCN function); when
+    /// `None`, depth is unbounded and only `max_steps`/`time_limit` apply.
+    pub max_depth: Option<usize>,
+}
+
+impl Default for GenerateLimits {
+    fn default() -> Self {
+        GenerateLimits { max_steps: 200_000, time_limit: None, max_depth: None }
+    }
+}
+
+/// A complete synthesized term together with its weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedTerm {
+    /// The term, in long normal form.
+    pub term: Term,
+    /// Its total weight (sum of the weights of all symbols it uses).
+    pub weight: Weight,
+}
+
+/// The outcome of the reconstruction phase.
+#[derive(Debug, Clone, Default)]
+pub struct GenerateOutcome {
+    /// Complete terms in ascending weight order.
+    pub terms: Vec<RankedTerm>,
+    /// Number of priority-queue pops performed.
+    pub steps: usize,
+    /// `true` if a budget ran out before the queue was exhausted or `n` terms
+    /// were found.
+    pub truncated: bool,
+}
+
+/// Upper bound on the number of pending partial expressions. The frontier of
+/// a weight-ordered best-first search in a paper-scale environment can grow
+/// into the millions; entries beyond this bound are unreachable within any
+/// interactive time budget, so they are dropped (and the outcome is marked
+/// truncated).
+const MAX_FRONTIER: usize = 2_000_000;
+
+/// A partial expression: a term whose leaves may be typed holes.
+#[derive(Debug, Clone)]
+enum PExpr {
+    /// A typed hole `[ ] : τ` awaiting reconstruction (weight 0, §5.5).
+    Hole(Ty),
+    /// An application node `λ params . head(args…)`.
+    Node {
+        params: Vec<Param>,
+        head: String,
+        args: Vec<PExpr>,
+    },
+}
+
+impl PExpr {
+    fn depth(&self) -> usize {
+        match self {
+            PExpr::Hole(_) => 1,
+            PExpr::Node { args, .. } => {
+                1 + args.iter().map(PExpr::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    fn to_term(&self) -> Option<Term> {
+        match self {
+            PExpr::Hole(_) => None,
+            PExpr::Node { params, head, args } => {
+                let mut out_args = Vec::with_capacity(args.len());
+                for a in args {
+                    out_args.push(a.to_term()?);
+                }
+                Some(Term { params: params.clone(), head: head.clone(), args: out_args })
+            }
+        }
+    }
+}
+
+/// Runs best-first term reconstruction.
+///
+/// * `goal` is the desired simple type τo.
+/// * `n` bounds the number of complete terms returned (the paper's `N`).
+///
+/// The returned terms are in ascending weight order; ties are broken by
+/// discovery order, which makes the output deterministic.
+pub fn generate_terms(
+    prepared: &mut PreparedEnv,
+    patterns: &PatternSet,
+    env: &TypeEnv,
+    weights: &WeightConfig,
+    goal: &Ty,
+    n: usize,
+    limits: &GenerateLimits,
+) -> GenerateOutcome {
+    let start = Instant::now();
+    let mut outcome = GenerateOutcome::default();
+    if n == 0 {
+        return outcome;
+    }
+
+    let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut seq = 0u64;
+    queue.push(Entry { weight: Reverse(Weight::ZERO), seq: Reverse(seq), expr: PExpr::Hole(goal.clone()) });
+
+    while let Some(entry) = queue.pop() {
+        if outcome.terms.len() >= n {
+            break;
+        }
+        if outcome.steps >= limits.max_steps {
+            outcome.truncated = true;
+            break;
+        }
+        if let Some(limit) = limits.time_limit {
+            if start.elapsed() > limit {
+                outcome.truncated = true;
+                break;
+            }
+        }
+        outcome.steps += 1;
+
+        let mut scope = Vec::new();
+        match find_first_hole(&entry.expr, &mut scope) {
+            None => {
+                let term = entry
+                    .expr
+                    .to_term()
+                    .expect("expression without holes converts to a term");
+                outcome.terms.push(RankedTerm { term, weight: entry.weight.0 });
+            }
+            Some((hole_ty, hole_scope)) => {
+                for (i, (replacement, added)) in
+                    expand_hole(prepared, patterns, env, weights, &hole_ty, &hole_scope)
+                        .into_iter()
+                        .enumerate()
+                {
+                    // Large environments can produce thousands of expansions
+                    // per hole; re-check the wall-clock budget periodically so
+                    // a single step cannot overshoot the reconstruction limit,
+                    // and stop enqueueing once the frontier is unreasonably
+                    // large (the search is weight-ordered, so entries that far
+                    // down the queue would not be reached within any
+                    // interactive budget anyway).
+                    if i % 128 == 127 {
+                        if let Some(limit) = limits.time_limit {
+                            if start.elapsed() > limit {
+                                outcome.truncated = true;
+                                break;
+                            }
+                        }
+                    }
+                    if queue.len() >= MAX_FRONTIER {
+                        outcome.truncated = true;
+                        break;
+                    }
+                    let mut done = false;
+                    let new_expr = replace_first_hole(&entry.expr, &replacement, &mut done);
+                    debug_assert!(done, "expansion must replace the located hole");
+                    if let Some(max_depth) = limits.max_depth {
+                        if new_expr.depth() > max_depth {
+                            continue;
+                        }
+                    }
+                    seq += 1;
+                    queue.push(Entry {
+                        weight: Reverse(entry.weight.0.plus(added)),
+                        seq: Reverse(seq),
+                        expr: new_expr,
+                    });
+                }
+            }
+        }
+    }
+
+    outcome
+}
+
+/// Finds the first (leftmost, outermost-first) hole and the lambda binders in
+/// scope at that hole — the `findFirstHole` function of Figure 10.
+fn find_first_hole(expr: &PExpr, scope: &mut Vec<Param>) -> Option<(Ty, Vec<Param>)> {
+    match expr {
+        PExpr::Hole(ty) => Some((ty.clone(), scope.clone())),
+        PExpr::Node { params, args, .. } => {
+            let mark = scope.len();
+            scope.extend(params.iter().cloned());
+            for a in args {
+                if let Some(found) = find_first_hole(a, scope) {
+                    scope.truncate(mark);
+                    return Some(found);
+                }
+            }
+            scope.truncate(mark);
+            None
+        }
+    }
+}
+
+/// Replaces the first hole of `expr` by `replacement` — the `sub` function of
+/// Figure 10 specialized to the hole located by [`find_first_hole`].
+fn replace_first_hole(expr: &PExpr, replacement: &PExpr, done: &mut bool) -> PExpr {
+    if *done {
+        return expr.clone();
+    }
+    match expr {
+        PExpr::Hole(_) => {
+            *done = true;
+            replacement.clone()
+        }
+        PExpr::Node { params, head, args } => {
+            let new_args = args
+                .iter()
+                .map(|a| replace_first_hole(a, replacement, done))
+                .collect();
+            PExpr::Node { params: params.clone(), head: head.clone(), args: new_args }
+        }
+    }
+}
+
+/// All single-step expansions of a hole of type `hole_ty` with the given
+/// binders in scope. Each expansion is a node `λ x̄ . f([ ] … [ ])` together
+/// with the weight it adds to the partial expression.
+fn expand_hole(
+    prepared: &mut PreparedEnv,
+    patterns: &PatternSet,
+    env: &TypeEnv,
+    weights: &WeightConfig,
+    hole_ty: &Ty,
+    scope: &[Param],
+) -> Vec<(PExpr, Weight)> {
+    let (arg_tys, ret_ty) = hole_ty.uncurry();
+    let ret_name = match ret_ty {
+        Ty::Base(name) => name.clone(),
+        Ty::Arrow(..) => unreachable!("uncurry ends at a base type"),
+    };
+
+    // Fresh binders x1 : τ1 … xn : τn for the hole's own arrows. Names are
+    // chosen to be unique along the scope path.
+    let fresh: Vec<Param> = arg_tys
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Param::new(format!("var{}", scope.len() + i + 1), (*t).clone()))
+        .collect();
+
+    // Γ ∪ S: the succinct environment at the hole.
+    let binder_succ: Vec<_> = scope
+        .iter()
+        .chain(fresh.iter())
+        .map(|p| prepared.store.sigma(&p.ty))
+        .collect();
+    let hole_env = prepared.store.env_union(prepared.init_env, &binder_succ);
+    let ret_sym = prepared.store.base_symbol(&ret_name);
+
+    // Head candidates: declarations and in-scope binders whose succinct type
+    // matches a pattern (Γ∪S)@S' : v.
+    let pattern_args: Vec<Vec<_>> = patterns
+        .lookup(hole_env, ret_sym)
+        .map(|p| p.args.clone())
+        .collect();
+
+    let mut out = Vec::new();
+    let binder_lambda_weight = weights.lambda_weight();
+    let params_weight = Weight::new(binder_lambda_weight.value() * fresh.len() as f64);
+
+    for args_set in pattern_args {
+        let wanted = prepared.store.mk_ty(args_set, ret_sym);
+
+        for &decl_idx in prepared.select(wanted) {
+            let decl = &env.decls()[decl_idx];
+            out.push(build_node(
+                &fresh,
+                &decl.name,
+                &decl.ty,
+                prepared.decl_weight[decl_idx],
+                params_weight,
+            ));
+        }
+
+        for binder in scope.iter().chain(fresh.iter()) {
+            if prepared.store.sigma(&binder.ty) == wanted {
+                out.push(build_node(
+                    &fresh,
+                    &binder.name,
+                    &binder.ty,
+                    binder_lambda_weight,
+                    params_weight,
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+fn build_node(
+    fresh: &[Param],
+    head: &str,
+    head_ty: &Ty,
+    head_weight: Weight,
+    params_weight: Weight,
+) -> (PExpr, Weight) {
+    let (rho, _) = head_ty.uncurry();
+    let args: Vec<PExpr> = rho.iter().map(|t| PExpr::Hole((*t).clone())).collect();
+    let node = PExpr::Node {
+        params: fresh.to_vec(),
+        head: head.to_owned(),
+        args,
+    };
+    (node, params_weight.plus(head_weight))
+}
+
+/// Priority-queue entry: lighter partial expressions first, FIFO among equals.
+struct Entry {
+    weight: Reverse<Weight>,
+    seq: Reverse<u64>,
+    expr: PExpr,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.weight == other.weight && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.weight, self.seq).cmp(&(other.weight, other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decl::{DeclKind, Declaration};
+    use crate::explore::{explore, ExploreLimits};
+    use crate::genp::generate_patterns;
+    use insynth_lambda::check;
+
+    fn synthesize(decls: Vec<Declaration>, goal: Ty, n: usize) -> Vec<RankedTerm> {
+        let env: TypeEnv = decls.into_iter().collect();
+        let weights = WeightConfig::default();
+        let mut prepared = PreparedEnv::prepare(&env, &weights);
+        let goal_succ = prepared.store.sigma(&goal);
+        let space = explore(&mut prepared, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut prepared, &space);
+        let outcome = generate_terms(
+            &mut prepared,
+            &patterns,
+            &env,
+            &weights,
+            &goal,
+            n,
+            &GenerateLimits::default(),
+        );
+        // Every produced term must type check at the goal type.
+        let bindings = env.to_bindings();
+        for ranked in &outcome.terms {
+            check(&bindings, &ranked.term, &goal).expect("synthesized term must type check");
+        }
+        outcome.terms
+    }
+
+    #[test]
+    fn synthesizes_simple_application_chain() {
+        let terms = synthesize(
+            vec![
+                Declaration::new("name", Ty::base("String"), DeclKind::Local),
+                Declaration::new(
+                    "FileInputStream",
+                    Ty::fun(vec![Ty::base("String")], Ty::base("FileInputStream")),
+                    DeclKind::Imported,
+                ),
+                Declaration::new(
+                    "BufferedInputStream",
+                    Ty::fun(vec![Ty::base("FileInputStream")], Ty::base("BufferedInputStream")),
+                    DeclKind::Imported,
+                ),
+            ],
+            Ty::base("BufferedInputStream"),
+            3,
+        );
+        assert_eq!(terms.len(), 1);
+        assert_eq!(
+            terms[0].term.to_string(),
+            "BufferedInputStream(FileInputStream(name))"
+        );
+    }
+
+    #[test]
+    fn ranks_cheaper_declarations_first() {
+        // Both `local` and `imported` inhabit the goal; the local one is cheaper.
+        let terms = synthesize(
+            vec![
+                Declaration::new("imported", Ty::base("Goal"), DeclKind::Imported),
+                Declaration::new("local", Ty::base("Goal"), DeclKind::Local),
+            ],
+            Ty::base("Goal"),
+            10,
+        );
+        assert_eq!(terms.len(), 2);
+        assert_eq!(terms[0].term.to_string(), "local");
+        assert_eq!(terms[1].term.to_string(), "imported");
+        assert!(terms[0].weight < terms[1].weight);
+    }
+
+    #[test]
+    fn synthesizes_higher_order_argument_with_lambda() {
+        // §2.2: new FilterTypeTreeTraverser(var1 => p(var1))
+        let terms = synthesize(
+            vec![
+                Declaration::new(
+                    "FilterTypeTreeTraverser",
+                    Ty::fun(
+                        vec![Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean"))],
+                        Ty::base("FilterTypeTreeTraverser"),
+                    ),
+                    DeclKind::Imported,
+                ),
+                Declaration::new(
+                    "p",
+                    Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")),
+                    DeclKind::Local,
+                ),
+            ],
+            Ty::base("FilterTypeTreeTraverser"),
+            5,
+        );
+        assert!(!terms.is_empty());
+        assert_eq!(
+            terms[0].term.to_string(),
+            "FilterTypeTreeTraverser(var1 => p(var1))"
+        );
+    }
+
+    #[test]
+    fn synthesizes_identity_function_from_empty_environment() {
+        // Goal A -> A with nothing in scope: λx. x.
+        let terms = synthesize(vec![], Ty::fun(vec![Ty::base("A")], Ty::base("A")), 3);
+        assert_eq!(terms.len(), 1);
+        assert_eq!(terms[0].term.to_string(), "var1 => var1");
+    }
+
+    #[test]
+    fn uninhabited_goal_returns_no_terms() {
+        let terms = synthesize(
+            vec![Declaration::new("f", Ty::fun(vec![Ty::base("B")], Ty::base("A")), DeclKind::Local)],
+            Ty::base("A"),
+            5,
+        );
+        assert!(terms.is_empty());
+    }
+
+    #[test]
+    fn enumerates_infinitely_many_solutions_up_to_n() {
+        // s : A -> A and a : A admit a, s(a), s(s(a)), …
+        let terms = synthesize(
+            vec![
+                Declaration::new("a", Ty::base("A"), DeclKind::Local),
+                Declaration::new("s", Ty::fun(vec![Ty::base("A")], Ty::base("A")), DeclKind::Local),
+            ],
+            Ty::base("A"),
+            4,
+        );
+        assert_eq!(terms.len(), 4);
+        let rendered: Vec<String> = terms.iter().map(|t| t.term.to_string()).collect();
+        assert_eq!(rendered[0], "a");
+        assert_eq!(rendered[1], "s(a)");
+        assert_eq!(rendered[2], "s(s(a))");
+        assert_eq!(rendered[3], "s(s(s(a)))");
+        // Weights strictly increase along this chain.
+        assert!(terms.windows(2).all(|w| w[0].weight <= w[1].weight));
+    }
+
+    #[test]
+    fn multi_argument_heads_get_all_arguments_filled() {
+        let terms = synthesize(
+            vec![
+                Declaration::new("x", Ty::base("Int"), DeclKind::Local),
+                Declaration::new("y", Ty::base("String"), DeclKind::Local),
+                Declaration::new(
+                    "pair",
+                    Ty::fun(vec![Ty::base("Int"), Ty::base("String")], Ty::base("Pair")),
+                    DeclKind::Imported,
+                ),
+            ],
+            Ty::base("Pair"),
+            3,
+        );
+        assert_eq!(terms.len(), 1);
+        assert_eq!(terms[0].term.to_string(), "pair(x, y)");
+    }
+
+    #[test]
+    fn depth_limit_prunes_deep_terms() {
+        let env: TypeEnv = vec![
+            Declaration::new("a", Ty::base("A"), DeclKind::Local),
+            Declaration::new("s", Ty::fun(vec![Ty::base("A")], Ty::base("A")), DeclKind::Local),
+        ]
+        .into_iter()
+        .collect();
+        let weights = WeightConfig::default();
+        let mut prepared = PreparedEnv::prepare(&env, &weights);
+        let goal = Ty::base("A");
+        let goal_succ = prepared.store.sigma(&goal);
+        let space = explore(&mut prepared, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut prepared, &space);
+        let outcome = generate_terms(
+            &mut prepared,
+            &patterns,
+            &env,
+            &weights,
+            &goal,
+            100,
+            &GenerateLimits { max_depth: Some(2), ..GenerateLimits::default() },
+        );
+        // Only `a` (depth 1) and `s(a)` (depth 2) fit within depth 2.
+        let rendered: Vec<String> = outcome.terms.iter().map(|t| t.term.to_string()).collect();
+        assert_eq!(rendered, vec!["a", "s(a)"]);
+        assert!(!outcome.truncated);
+    }
+
+    #[test]
+    fn step_limit_truncates_reconstruction() {
+        let env: TypeEnv = vec![
+            Declaration::new("a", Ty::base("A"), DeclKind::Local),
+            Declaration::new("s", Ty::fun(vec![Ty::base("A")], Ty::base("A")), DeclKind::Local),
+        ]
+        .into_iter()
+        .collect();
+        let weights = WeightConfig::default();
+        let mut prepared = PreparedEnv::prepare(&env, &weights);
+        let goal = Ty::base("A");
+        let goal_succ = prepared.store.sigma(&goal);
+        let space = explore(&mut prepared, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut prepared, &space);
+        let outcome = generate_terms(
+            &mut prepared,
+            &patterns,
+            &env,
+            &weights,
+            &goal,
+            1_000,
+            &GenerateLimits { max_steps: 10, ..GenerateLimits::default() },
+        );
+        assert!(outcome.truncated);
+        assert!(outcome.steps <= 10);
+    }
+
+    #[test]
+    fn weight_accounting_matches_the_section4_formula() {
+        let env: TypeEnv = vec![
+            Declaration::new("name", Ty::base("String"), DeclKind::Local),
+            Declaration::new(
+                "mk",
+                Ty::fun(vec![Ty::base("String")], Ty::base("File")),
+                DeclKind::Imported,
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let weights = WeightConfig::default();
+        let mut prepared = PreparedEnv::prepare(&env, &weights);
+        let goal = Ty::base("File");
+        let goal_succ = prepared.store.sigma(&goal);
+        let space = explore(&mut prepared, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut prepared, &space);
+        let outcome = generate_terms(
+            &mut prepared,
+            &patterns,
+            &env,
+            &weights,
+            &goal,
+            1,
+            &GenerateLimits::default(),
+        );
+        let ranked = &outcome.terms[0];
+        let expected = weights.term_weight(&ranked.term, &|h| {
+            let decl = env.find(h).expect("head must be declared");
+            weights.declaration_weight(decl)
+        });
+        assert_eq!(ranked.weight, expected);
+    }
+}

@@ -1,0 +1,61 @@
+//! The InSynth synthesis engine (paper sections 4-6).
+//!
+//! Given a type environment Γo (every declaration visible at a program point)
+//! and a desired type τ, the engine synthesizes the `N` best-ranked
+//! expressions of type τ in long normal form:
+//!
+//! 1. **Prepare** (σ): declarations are lowered into succinct types and the
+//!    `Select` / weight indices are built ([`PreparedEnv`]).
+//! 2. **Explore** (Figure 7): backward type reachability from the goal,
+//!    weight-ordered ([`explore`]).
+//! 3. **GenerateP** (Figure 9): succinct patterns are derived from the
+//!    explored space ([`generate_patterns`]), using the backward-map
+//!    optimization of section 5.7.
+//! 4. **GenerateT** (Figure 10): best-first reconstruction of concrete lambda
+//!    terms from the patterns ([`generate_terms`]).
+//!
+//! [`Synthesizer`] glues the phases together; [`rcn`] is the unoptimized
+//! reference implementation of Figure 4 used as a test oracle; the
+//! [`SubtypeLattice`] turns subtype edges into coercion declarations (section 6).
+//!
+//! # Example
+//!
+//! ```
+//! use insynth_core::{Declaration, DeclKind, SynthesisConfig, Synthesizer, TypeEnv};
+//! use insynth_lambda::Ty;
+//!
+//! let env: TypeEnv = vec![
+//!     Declaration::simple("body", Ty::base("String"), DeclKind::Local),
+//!     Declaration::simple(
+//!         "StringReader",
+//!         Ty::fun(vec![Ty::base("String")], Ty::base("StringReader")),
+//!         DeclKind::Imported,
+//!     ),
+//! ]
+//! .into_iter()
+//! .collect();
+//!
+//! let mut synth = Synthesizer::new(SynthesisConfig::default());
+//! let result = synth.synthesize(&env, &Ty::base("StringReader"), 3);
+//! assert_eq!(result.snippets[0].term.to_string(), "StringReader(body)");
+//! ```
+
+mod coerce;
+mod decl;
+mod explore;
+mod genp;
+mod gent;
+mod prepare;
+mod rcn;
+mod synth;
+mod weights;
+
+pub use coerce::{coercion_name, count_coercions, erase_coercions, is_coercion, SubtypeLattice, COERCION_PREFIX};
+pub use decl::{DeclKind, Declaration, TypeEnv};
+pub use explore::{explore, ExploreLimits, SearchSpace};
+pub use genp::{generate_patterns, generate_patterns_naive, PatternSet};
+pub use gent::{generate_terms, GenerateLimits, GenerateOutcome, RankedTerm};
+pub use prepare::PreparedEnv;
+pub use rcn::{is_inhabited_ref, rcn};
+pub use synth::{PhaseTimings, Snippet, SynthesisConfig, SynthesisResult, SynthesisStats, Synthesizer};
+pub use weights::{Weight, WeightConfig, WeightMode, WeightTable};

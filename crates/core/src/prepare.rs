@@ -1,0 +1,138 @@
+//! Preparation of a type environment for the succinct-calculus search.
+//!
+//! Preparing an environment computes, once per query: the σ image of every
+//! declaration type, the interned initial environment Γ = σ(Γo), the `Select`
+//! index from succinct types back to declarations (used by the reconstruction
+//! phase, Figure 4/10), and the per-succinct-type weights that drive the
+//! priority queues (§5.6).
+
+use std::collections::HashMap;
+
+use insynth_succinct::{EnvId, SuccinctStore, SuccinctTyId};
+
+use crate::decl::TypeEnv;
+use crate::weights::{Weight, WeightConfig};
+
+/// A type environment lowered into succinct form, with the lookup structures
+/// the synthesis phases need.
+#[derive(Debug)]
+pub struct PreparedEnv {
+    /// The succinct type / environment store for this query.
+    pub store: SuccinctStore,
+    /// For each declaration (by index into the original [`TypeEnv`]), the σ
+    /// image of its type.
+    pub decl_succ: Vec<SuccinctTyId>,
+    /// For each declaration, its weight under the active [`WeightConfig`].
+    pub decl_weight: Vec<Weight>,
+    /// The `Select` index: succinct type → indices of declarations whose type
+    /// maps onto it.
+    pub by_succ: HashMap<SuccinctTyId, Vec<usize>>,
+    /// Minimum declaration weight per succinct type (the `w(t, Γo)` of §4).
+    pub ty_weight: HashMap<SuccinctTyId, Weight>,
+    /// The interned initial succinct environment Γ = σ(Γo).
+    pub init_env: EnvId,
+}
+
+impl PreparedEnv {
+    /// Lowers `env` into succinct form under the given weight configuration.
+    pub fn prepare(env: &TypeEnv, weights: &WeightConfig) -> Self {
+        let mut store = SuccinctStore::new();
+        let mut decl_succ = Vec::with_capacity(env.len());
+        let mut decl_weight = Vec::with_capacity(env.len());
+        let mut by_succ: HashMap<SuccinctTyId, Vec<usize>> = HashMap::new();
+        let mut ty_weight: HashMap<SuccinctTyId, Weight> = HashMap::new();
+
+        for (idx, decl) in env.iter().enumerate() {
+            let succ = store.sigma(&decl.ty);
+            let w = weights.declaration_weight(decl);
+            decl_succ.push(succ);
+            decl_weight.push(w);
+            by_succ.entry(succ).or_default().push(idx);
+            ty_weight
+                .entry(succ)
+                .and_modify(|cur| {
+                    if w < *cur {
+                        *cur = w;
+                    }
+                })
+                .or_insert(w);
+        }
+
+        let init_env = store.mk_env(decl_succ.iter().copied());
+        PreparedEnv { store, decl_succ, decl_weight, by_succ, ty_weight, init_env }
+    }
+
+    /// The declarations whose σ image is exactly `succ` (the `Select` function
+    /// restricted to the original environment).
+    pub fn select(&self, succ: SuccinctTyId) -> &[usize] {
+        self.by_succ.get(&succ).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The weight of a succinct type: the minimum weight of any declaration
+    /// producing it, or [`Weight::UNKNOWN`] if no declaration does.
+    pub fn type_weight(&self, succ: SuccinctTyId) -> Weight {
+        self.ty_weight.get(&succ).copied().unwrap_or(Weight::UNKNOWN)
+    }
+
+    /// Number of *distinct* succinct types among the declarations — the
+    /// compression statistic reported in §3.2 (3356 declarations → 1783
+    /// succinct types on the Figure 1 example).
+    pub fn distinct_succinct_types(&self) -> usize {
+        self.by_succ.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decl::{DeclKind, Declaration};
+    use insynth_lambda::Ty;
+
+    fn env() -> TypeEnv {
+        let mut e = TypeEnv::new();
+        e.push(Declaration::new("a", Ty::base("Int"), DeclKind::Local));
+        e.push(Declaration::new(
+            "f",
+            Ty::fun(vec![Ty::base("Int"), Ty::base("Int")], Ty::base("String")),
+            DeclKind::Imported,
+        ));
+        e.push(Declaration::new(
+            "g",
+            Ty::fun(vec![Ty::base("Int")], Ty::base("String")),
+            DeclKind::Local,
+        ));
+        e
+    }
+
+    #[test]
+    fn sigma_collapses_f_and_g_to_one_succinct_type() {
+        let prepared = PreparedEnv::prepare(&env(), &WeightConfig::default());
+        // f : Int -> Int -> String and g : Int -> String both become {Int} -> String.
+        assert_eq!(prepared.decl_succ[1], prepared.decl_succ[2]);
+        assert_eq!(prepared.distinct_succinct_types(), 2);
+        assert_eq!(prepared.select(prepared.decl_succ[1]), &[1, 2]);
+    }
+
+    #[test]
+    fn type_weight_is_the_minimum_declaration_weight() {
+        let prepared = PreparedEnv::prepare(&env(), &WeightConfig::default());
+        // g is Local (5), f is Imported (1000): the shared succinct type weighs 5.
+        assert_eq!(prepared.type_weight(prepared.decl_succ[1]).value(), 5.0);
+    }
+
+    #[test]
+    fn unknown_types_get_the_sentinel_weight() {
+        let mut store_probe = PreparedEnv::prepare(&env(), &WeightConfig::default());
+        let missing = store_probe.store.mk_base("Missing");
+        assert_eq!(store_probe.type_weight(missing), Weight::UNKNOWN);
+    }
+
+    #[test]
+    fn init_env_contains_every_declared_succinct_type() {
+        let prepared = PreparedEnv::prepare(&env(), &WeightConfig::default());
+        for &succ in &prepared.decl_succ {
+            assert!(prepared.store.env_contains(prepared.init_env, succ));
+        }
+        assert_eq!(prepared.store.env_len(prepared.init_env), 2);
+    }
+}

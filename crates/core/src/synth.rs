@@ -1,0 +1,483 @@
+//! The top-level synthesis API: the `Synthesize` procedure of Figure 5.
+//!
+//! [`Synthesizer::synthesize`] runs the three phases — exploration (Figure 7),
+//! pattern generation (Figure 9) and term reconstruction (Figure 10) — and
+//! returns the `N` best-ranked snippets together with phase timings and search
+//! statistics (the quantities reported in Table 2).
+
+use std::time::{Duration, Instant};
+
+use insynth_lambda::{Term, Ty};
+
+use crate::coerce::{count_coercions, erase_coercions};
+use crate::decl::TypeEnv;
+use crate::explore::{explore, ExploreLimits};
+use crate::genp::{generate_patterns, PatternSet};
+use crate::gent::{generate_terms, GenerateLimits};
+use crate::prepare::PreparedEnv;
+use crate::weights::{Weight, WeightConfig};
+
+/// Configuration of a synthesis query.
+///
+/// The defaults mirror the paper's interactive deployment (§7.5): weights with
+/// corpus frequencies, a 0.5 s budget for the prover (exploration + pattern
+/// generation) and a 7 s budget for reconstruction.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// The weight function variant (the three Table 2 column groups).
+    pub weights: WeightConfig,
+    /// Wall-clock budget for exploration + pattern generation.
+    pub prover_time_limit: Option<Duration>,
+    /// Wall-clock budget for term reconstruction.
+    pub reconstruction_time_limit: Option<Duration>,
+    /// Hard cap on exploration requests (safety net for pathological inputs).
+    pub max_explore_requests: usize,
+    /// Hard cap on reconstruction steps.
+    pub max_reconstruction_steps: usize,
+    /// Optional bound on the depth of synthesized terms.
+    pub max_depth: Option<usize>,
+    /// When `true`, coercion applications are erased from the reported
+    /// snippets (the behaviour of the paper's tool); the raw term is still
+    /// available on each [`Snippet`].
+    pub erase_coercions: bool,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            weights: WeightConfig::default(),
+            prover_time_limit: Some(Duration::from_millis(500)),
+            reconstruction_time_limit: Some(Duration::from_secs(7)),
+            max_explore_requests: 1_000_000,
+            max_reconstruction_steps: 500_000,
+            max_depth: None,
+            erase_coercions: true,
+        }
+    }
+}
+
+impl SynthesisConfig {
+    /// A configuration with no time limits and no depth bound — useful for
+    /// exhaustive comparisons against the reference RCN function in tests.
+    pub fn unbounded() -> Self {
+        SynthesisConfig {
+            prover_time_limit: None,
+            reconstruction_time_limit: None,
+            ..SynthesisConfig::default()
+        }
+    }
+
+    /// Replaces the weight configuration.
+    pub fn with_weights(mut self, weights: WeightConfig) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Sets the depth bound.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+}
+
+/// One synthesized suggestion.
+#[derive(Debug, Clone)]
+pub struct Snippet {
+    /// The term with coercions erased (what the user sees).
+    pub term: Term,
+    /// The raw term as reconstructed, including any coercion applications.
+    pub raw_term: Term,
+    /// Total weight of the raw term (the ranking key; lower is better).
+    pub weight: Weight,
+    /// Depth of the raw term.
+    pub depth: usize,
+    /// Number of coercion applications that were erased.
+    pub coercions: usize,
+}
+
+/// Wall-clock breakdown of one query (the Prove / Recon columns of Table 2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Exploration phase duration.
+    pub explore: Duration,
+    /// Pattern generation phase duration.
+    pub patterns: Duration,
+    /// Term reconstruction phase duration.
+    pub reconstruction: Duration,
+}
+
+impl PhaseTimings {
+    /// Exploration + pattern generation (the paper's "prover" time).
+    pub fn prove(&self) -> Duration {
+        self.explore + self.patterns
+    }
+
+    /// Total synthesis time.
+    pub fn total(&self) -> Duration {
+        self.prove() + self.reconstruction
+    }
+}
+
+/// Search statistics of one query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SynthesisStats {
+    /// Number of declarations in the initial environment (Table 2 `#Initial`).
+    pub initial_declarations: usize,
+    /// Number of distinct succinct types among those declarations (the §3.2
+    /// compression statistic).
+    pub distinct_succinct_types: usize,
+    /// Reachability terms discovered by exploration.
+    pub reachability_terms: usize,
+    /// Requests processed by exploration.
+    pub requests_processed: usize,
+    /// Patterns derived.
+    pub patterns: usize,
+    /// Reconstruction steps (priority-queue pops).
+    pub reconstruction_steps: usize,
+    /// `true` if any phase hit a budget.
+    pub truncated: bool,
+}
+
+/// The result of one synthesis query.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// Ranked snippets, best (lowest weight) first.
+    pub snippets: Vec<Snippet>,
+    /// Wall-clock breakdown.
+    pub timings: PhaseTimings,
+    /// Search statistics.
+    pub stats: SynthesisStats,
+}
+
+impl SynthesisResult {
+    /// The 1-based rank of the first snippet whose rendered form equals
+    /// `expected` (after coercion erasure), if present.
+    pub fn rank_of(&self, expected: &str) -> Option<usize> {
+        self.snippets
+            .iter()
+            .position(|s| s.term.to_string() == expected)
+            .map(|i| i + 1)
+    }
+}
+
+/// The InSynth synthesis engine.
+///
+/// # Example
+///
+/// ```
+/// use insynth_core::{Declaration, DeclKind, SynthesisConfig, Synthesizer, TypeEnv};
+/// use insynth_lambda::Ty;
+///
+/// let mut env = TypeEnv::new();
+/// env.push(Declaration::simple("name", Ty::base("String"), DeclKind::Local));
+/// env.push(Declaration::simple(
+///     "mkFile",
+///     Ty::fun(vec![Ty::base("String")], Ty::base("File")),
+///     DeclKind::Imported,
+/// ));
+/// let mut synth = Synthesizer::new(SynthesisConfig::default());
+/// let result = synth.synthesize(&env, &Ty::base("File"), 5);
+/// assert_eq!(result.snippets[0].term.to_string(), "mkFile(name)");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Synthesizer {
+    config: SynthesisConfig,
+}
+
+impl Synthesizer {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: SynthesisConfig) -> Self {
+        Synthesizer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.config
+    }
+
+    /// Synthesizes at most `n` snippets of type `goal` from the declarations
+    /// in `env`, ranked by ascending weight.
+    pub fn synthesize(&mut self, env: &TypeEnv, goal: &Ty, n: usize) -> SynthesisResult {
+        let weights = self.config.weights.clone();
+        let mut prepared = PreparedEnv::prepare(env, &weights);
+        let goal_succ = prepared.store.sigma(goal);
+
+        let explore_started = Instant::now();
+        let space = explore(
+            &mut prepared,
+            goal_succ,
+            &ExploreLimits {
+                max_requests: self.config.max_explore_requests,
+                time_limit: self.config.prover_time_limit,
+            },
+        );
+        let explore_time = explore_started.elapsed();
+
+        let patterns_started = Instant::now();
+        let patterns = generate_patterns(&mut prepared, &space);
+        let patterns_time = patterns_started.elapsed();
+
+        let recon_started = Instant::now();
+        let outcome = generate_terms(
+            &mut prepared,
+            &patterns,
+            env,
+            &weights,
+            goal,
+            n,
+            &GenerateLimits {
+                max_steps: self.config.max_reconstruction_steps,
+                time_limit: self.config.reconstruction_time_limit,
+                max_depth: self.config.max_depth,
+            },
+        );
+        let recon_time = recon_started.elapsed();
+
+        let snippets = outcome
+            .terms
+            .into_iter()
+            .map(|ranked| {
+                let raw = ranked.term;
+                let erased = if self.config.erase_coercions {
+                    erase_coercions(&raw)
+                } else {
+                    raw.clone()
+                };
+                Snippet {
+                    coercions: count_coercions(&raw),
+                    depth: raw.depth(),
+                    term: erased,
+                    raw_term: raw,
+                    weight: ranked.weight,
+                }
+            })
+            .collect();
+
+        SynthesisResult {
+            snippets,
+            timings: PhaseTimings {
+                explore: explore_time,
+                patterns: patterns_time,
+                reconstruction: recon_time,
+            },
+            stats: SynthesisStats {
+                initial_declarations: env.len(),
+                distinct_succinct_types: prepared.distinct_succinct_types(),
+                reachability_terms: space.terms.len(),
+                requests_processed: space.requests_processed,
+                patterns: patterns.len(),
+                reconstruction_steps: outcome.steps,
+                truncated: space.truncated || outcome.truncated,
+            },
+        }
+    }
+
+    /// Decides inhabitation only (the "prover" mode used for the Imogen/fCube
+    /// comparison of Table 2): runs exploration and pattern generation and
+    /// checks whether the goal type received a pattern, without reconstructing
+    /// any term.
+    pub fn is_inhabited(&mut self, env: &TypeEnv, goal: &Ty) -> bool {
+        let weights = self.config.weights.clone();
+        let mut prepared = PreparedEnv::prepare(env, &weights);
+        let goal_succ = prepared.store.sigma(goal);
+        let space = explore(
+            &mut prepared,
+            goal_succ,
+            &ExploreLimits {
+                max_requests: self.config.max_explore_requests,
+                time_limit: self.config.prover_time_limit,
+            },
+        );
+        let patterns: PatternSet = generate_patterns(&mut prepared, &space);
+        let goal_args = prepared.store.args_of(goal_succ).to_vec();
+        let extended = prepared.store.env_union(prepared.init_env, &goal_args);
+        let ret = prepared.store.ret_of(goal_succ);
+        patterns.is_inhabited(ret, extended)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decl::{DeclKind, Declaration};
+    use crate::rcn::{is_inhabited_ref, rcn};
+    use crate::weights::WeightMode;
+    use crate::SubtypeLattice;
+    use insynth_lambda::check;
+    use std::collections::HashSet;
+
+    fn io_env() -> TypeEnv {
+        vec![
+            Declaration::new("name", Ty::base("String"), DeclKind::Local),
+            Declaration::new(
+                "FileInputStream",
+                Ty::fun(vec![Ty::base("String")], Ty::base("FileInputStream")),
+                DeclKind::Imported,
+            )
+            .with_frequency(500),
+            Declaration::new(
+                "BufferedInputStream",
+                Ty::fun(vec![Ty::base("FileInputStream")], Ty::base("BufferedInputStream")),
+                DeclKind::Imported,
+            )
+            .with_frequency(200),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn end_to_end_io_example() {
+        let mut synth = Synthesizer::new(SynthesisConfig::default());
+        let result = synth.synthesize(&io_env(), &Ty::base("BufferedInputStream"), 5);
+        assert_eq!(result.rank_of("BufferedInputStream(FileInputStream(name))"), Some(1));
+        assert_eq!(result.stats.initial_declarations, 3);
+        assert!(result.stats.patterns >= 3);
+        assert!(!result.stats.truncated);
+    }
+
+    #[test]
+    fn snippets_are_sorted_by_weight() {
+        let mut synth = Synthesizer::new(SynthesisConfig::default());
+        let env: TypeEnv = vec![
+            Declaration::new("a", Ty::base("A"), DeclKind::Local),
+            Declaration::new("s", Ty::fun(vec![Ty::base("A")], Ty::base("A")), DeclKind::Imported),
+        ]
+        .into_iter()
+        .collect();
+        let result = synth.synthesize(&env, &Ty::base("A"), 6);
+        assert!(result
+            .snippets
+            .windows(2)
+            .all(|w| w[0].weight <= w[1].weight));
+    }
+
+    #[test]
+    fn all_snippets_type_check_at_the_goal() {
+        let env = io_env();
+        let goal = Ty::base("BufferedInputStream");
+        let mut synth = Synthesizer::new(SynthesisConfig::default());
+        let result = synth.synthesize(&env, &goal, 10);
+        let bindings = env.to_bindings();
+        for s in &result.snippets {
+            check(&bindings, &s.raw_term, &goal).expect("snippet must type check");
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_rcn_up_to_depth() {
+        // Completeness cross-check (Theorem 3.3) on a small environment.
+        let env: TypeEnv = vec![
+            Declaration::new("a", Ty::base("A"), DeclKind::Local),
+            Declaration::new("f", Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("A")), DeclKind::Local),
+            Declaration::new("b", Ty::base("B"), DeclKind::Local),
+        ]
+        .into_iter()
+        .collect();
+        let goal = Ty::base("A");
+        let depth = 3;
+
+        let reference: HashSet<Term> =
+            rcn(&env, &goal, depth).iter().map(Term::alpha_normalize).collect();
+
+        let config = SynthesisConfig::unbounded().with_max_depth(depth);
+        let mut synth = Synthesizer::new(config);
+        let result = synth.synthesize(&env, &goal, 10_000);
+        let engine: HashSet<Term> = result
+            .snippets
+            .iter()
+            .map(|s| s.raw_term.alpha_normalize())
+            .collect();
+
+        assert_eq!(engine, reference);
+    }
+
+    #[test]
+    fn inhabitation_prover_agrees_with_reference_oracle() {
+        let cases = vec![
+            (io_env(), Ty::base("BufferedInputStream"), true),
+            (io_env(), Ty::base("Unknown"), false),
+            (
+                vec![Declaration::new("f", Ty::fun(vec![Ty::base("B")], Ty::base("A")), DeclKind::Local)]
+                    .into_iter()
+                    .collect::<TypeEnv>(),
+                Ty::base("A"),
+                false,
+            ),
+            (
+                TypeEnv::new(),
+                Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+                true,
+            ),
+        ];
+        for (env, goal, expected) in cases {
+            let mut synth = Synthesizer::new(SynthesisConfig::default());
+            assert_eq!(synth.is_inhabited(&env, &goal), expected, "goal {goal}");
+            assert_eq!(is_inhabited_ref(&env, &goal), expected, "reference, goal {goal}");
+        }
+    }
+
+    #[test]
+    fn subtyping_through_coercions_is_erased_in_output() {
+        // §2.3: Drawing layout. getLayout : Container -> LayoutManager and
+        // panel : Panel with Panel <: Container.
+        let mut lattice = SubtypeLattice::new();
+        lattice.add("Panel", "Container");
+        let mut env: TypeEnv = vec![
+            Declaration::new("panel", Ty::base("Panel"), DeclKind::Local),
+            Declaration::new(
+                "getLayout",
+                Ty::fun(vec![Ty::base("Container")], Ty::base("LayoutManager")),
+                DeclKind::Imported,
+            ),
+        ]
+        .into_iter()
+        .collect();
+        env.extend(lattice.coercion_declarations());
+
+        let mut synth = Synthesizer::new(SynthesisConfig::default());
+        let result = synth.synthesize(&env, &Ty::base("LayoutManager"), 5);
+        let top = &result.snippets[0];
+        assert_eq!(top.term.to_string(), "getLayout(panel)");
+        assert_eq!(top.coercions, 1);
+        assert!(top.raw_term.to_string().contains("coerce$Panel$Container"));
+    }
+
+    #[test]
+    fn no_weights_mode_still_finds_solutions() {
+        let config = SynthesisConfig::default()
+            .with_weights(WeightConfig::new(WeightMode::NoWeights));
+        let mut synth = Synthesizer::new(config);
+        let result = synth.synthesize(&io_env(), &Ty::base("BufferedInputStream"), 10);
+        assert!(result
+            .rank_of("BufferedInputStream(FileInputStream(name))")
+            .is_some());
+    }
+
+    #[test]
+    fn zero_n_returns_no_snippets_quickly() {
+        let mut synth = Synthesizer::new(SynthesisConfig::default());
+        let result = synth.synthesize(&io_env(), &Ty::base("BufferedInputStream"), 0);
+        assert!(result.snippets.is_empty());
+    }
+
+    #[test]
+    fn stats_report_succinct_compression() {
+        // Two declarations with types that collapse to one succinct type.
+        let env: TypeEnv = vec![
+            Declaration::new("f", Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("C")), DeclKind::Local),
+            Declaration::new("g", Ty::fun(vec![Ty::base("B"), Ty::base("A")], Ty::base("C")), DeclKind::Local),
+            Declaration::new("a", Ty::base("A"), DeclKind::Local),
+            Declaration::new("b", Ty::base("B"), DeclKind::Local),
+        ]
+        .into_iter()
+        .collect();
+        let mut synth = Synthesizer::new(SynthesisConfig::default());
+        let result = synth.synthesize(&env, &Ty::base("C"), 5);
+        assert_eq!(result.stats.initial_declarations, 4);
+        assert_eq!(result.stats.distinct_succinct_types, 3);
+        // Both f(a, b) and g(b, a) are found.
+        assert!(result.rank_of("f(a, b)").is_some());
+        assert!(result.rank_of("g(b, a)").is_some());
+    }
+}

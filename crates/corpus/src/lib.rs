@@ -1,0 +1,163 @@
+//! The usage-frequency corpus (paper §7.3 and Table 3).
+//!
+//! The paper mines 18 open-source Java/Scala projects plus the Scala standard
+//! library for declaration usage counts (7516 declarations, 90 422 uses; 98 %
+//! of declarations have fewer than 100 uses; the most used symbol, `&&`,
+//! appears 5162 times). Those counts feed the weight formula of Table 1:
+//! imported symbols weigh `215 + 785 / (1 + f(x))`.
+//!
+//! We do not have the original projects, so [`synthetic_corpus`] generates a
+//! corpus with the same statistical shape over the [`insynth_apimodel`] API
+//! model: a curated list of genuinely common API symbols receives the head of
+//! a Zipf-like distribution and every other declaration falls in the long
+//! tail. The generator is deterministic for a given seed.
+//!
+//! # Example
+//!
+//! ```
+//! use insynth_apimodel::javaapi;
+//! use insynth_corpus::synthetic_corpus;
+//!
+//! let corpus = synthetic_corpus(&javaapi::standard_model(), 42);
+//! assert!(corpus.frequency("new FileInputStream") > corpus.frequency("new AWTPermission"));
+//! assert!(corpus.fraction_below(100) > 0.9);
+//! ```
+
+mod projects;
+mod synthetic;
+
+pub use projects::{table3_projects, Project};
+pub use synthetic::synthetic_corpus;
+
+use std::collections::HashMap;
+
+use insynth_core::{DeclKind, TypeEnv};
+
+/// A usage-frequency corpus: per-symbol occurrence counts attributed to a set
+/// of projects.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    projects: Vec<Project>,
+    counts: HashMap<String, u64>,
+}
+
+impl Corpus {
+    /// Creates an empty corpus attributed to the given projects.
+    pub fn new(projects: Vec<Project>) -> Self {
+        Corpus { projects, counts: HashMap::new() }
+    }
+
+    /// Records `uses` occurrences of `symbol` (adds to any existing count).
+    pub fn record(&mut self, symbol: impl Into<String>, uses: u64) {
+        *self.counts.entry(symbol.into()).or_insert(0) += uses;
+    }
+
+    /// The number of recorded occurrences of `symbol` (0 if never seen).
+    pub fn frequency(&self, symbol: &str) -> u64 {
+        self.counts.get(symbol).copied().unwrap_or(0)
+    }
+
+    /// The projects the corpus was mined from.
+    pub fn projects(&self) -> &[Project] {
+        &self.projects
+    }
+
+    /// Number of distinct declarations with at least one use.
+    pub fn total_declarations(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of recorded uses.
+    pub fn total_uses(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The most frequently used symbol and its count, if any.
+    pub fn max_entry(&self) -> Option<(&str, u64)> {
+        self.counts
+            .iter()
+            .max_by_key(|(name, &count)| (count, std::cmp::Reverse(name.as_str())))
+            .map(|(name, &count)| (name.as_str(), count))
+    }
+
+    /// Fraction of declarations with fewer than `threshold` uses (the paper
+    /// reports 98 % below 100).
+    pub fn fraction_below(&self, threshold: u64) -> f64 {
+        if self.counts.is_empty() {
+            return 1.0;
+        }
+        let below = self.counts.values().filter(|&&c| c < threshold).count();
+        below as f64 / self.counts.len() as f64
+    }
+
+    /// Applies the corpus to an environment: every `Imported` declaration gets
+    /// its corpus frequency, which the engine's weight function then turns
+    /// into the Table 1 imported-symbol weight.
+    pub fn apply(&self, env: &mut TypeEnv) {
+        for decl in env.iter_mut() {
+            if decl.kind == DeclKind::Imported {
+                decl.frequency = Some(self.frequency(&decl.name));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insynth_core::{Declaration, WeightConfig, WeightMode};
+    use insynth_lambda::Ty;
+
+    #[test]
+    fn record_accumulates_and_frequency_defaults_to_zero() {
+        let mut corpus = Corpus::new(vec![]);
+        corpus.record("foo", 3);
+        corpus.record("foo", 2);
+        assert_eq!(corpus.frequency("foo"), 5);
+        assert_eq!(corpus.frequency("bar"), 0);
+        assert_eq!(corpus.total_uses(), 5);
+        assert_eq!(corpus.total_declarations(), 1);
+    }
+
+    #[test]
+    fn max_entry_and_fraction_below() {
+        let mut corpus = Corpus::new(vec![]);
+        corpus.record("a", 5000);
+        corpus.record("b", 10);
+        corpus.record("c", 20);
+        assert_eq!(corpus.max_entry(), Some(("a", 5000)));
+        let below = corpus.fraction_below(100);
+        assert!((below - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_sets_frequencies_only_on_imported_declarations() {
+        let mut corpus = Corpus::new(vec![]);
+        corpus.record("new File", 250);
+        let mut env: TypeEnv = vec![
+            Declaration::new("local", Ty::base("String"), DeclKind::Local),
+            Declaration::new(
+                "new File",
+                Ty::fun(vec![Ty::base("String")], Ty::base("File")),
+                DeclKind::Imported,
+            ),
+        ]
+        .into_iter()
+        .collect();
+        corpus.apply(&mut env);
+        assert_eq!(env.find("local").unwrap().frequency, None);
+        assert_eq!(env.find("new File").unwrap().frequency, Some(250));
+
+        // Frequent imported symbols end up cheaper under the full weight mode.
+        let weights = WeightConfig::new(WeightMode::Full);
+        let frequent = weights.declaration_weight(env.find("new File").unwrap());
+        assert!(frequent.value() < 1000.0);
+    }
+
+    #[test]
+    fn empty_corpus_reports_everything_below_any_threshold() {
+        let corpus = Corpus::new(vec![]);
+        assert_eq!(corpus.fraction_below(1), 1.0);
+        assert!(corpus.max_entry().is_none());
+    }
+}

@@ -1,0 +1,67 @@
+//! The 18 corpus projects of Table 3.
+
+/// One project of the training corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Project {
+    /// Project name as listed in Table 3.
+    pub name: String,
+    /// One-line description from Table 3.
+    pub description: String,
+}
+
+impl Project {
+    /// Creates a project entry.
+    pub fn new(name: impl Into<String>, description: impl Into<String>) -> Self {
+        Project { name: name.into(), description: description.into() }
+    }
+}
+
+/// The 18 open-source Scala/Java projects of Table 3 (the paper additionally
+/// analyzes the Scala standard library, which we list as a 19th entry for the
+/// statistics binary but exclude from the "18 projects" count).
+pub fn table3_projects() -> Vec<Project> {
+    vec![
+        Project::new("Akka", "Transactional actors"),
+        Project::new("CCSTM", "Software transactional memory"),
+        Project::new("GooChaSca", "Google Charts API for Scala"),
+        Project::new("Kestrel", "Tiny queue system based on starling"),
+        Project::new("LiftWeb", "Web framework"),
+        Project::new("LiftTicket", "Issue ticket system"),
+        Project::new("O/R Broker", "JDBC framework with support for externalized SQL"),
+        Project::new("scala0.orm", "O/R mapping tool"),
+        Project::new("ScalaCheck", "Unit test automation"),
+        Project::new("Scala compiler", "Compiles Scala source to Java bytecode"),
+        Project::new("Scala Migrations", "Database migrations"),
+        Project::new("ScalaNLP", "Natural language processing"),
+        Project::new("ScalaQuery", "Typesafe database query API"),
+        Project::new("Scalaz", "\"Scala on steroidz\" - scala extensions"),
+        Project::new("simpledb-scala-binding", "Bindings for Amazon's SimpleDB"),
+        Project::new("smr", "Map Reduce implementation"),
+        Project::new("Specs", "Behaviour Driven Development framework"),
+        Project::new("Talking Puffin", "Twitter client"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_eighteen_projects() {
+        assert_eq!(table3_projects().len(), 18);
+    }
+
+    #[test]
+    fn the_scala_compiler_is_in_the_corpus() {
+        assert!(table3_projects().iter().any(|p| p.name == "Scala compiler"));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let projects = table3_projects();
+        let mut names: Vec<&str> = projects.iter().map(|p| p.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), projects.len());
+    }
+}

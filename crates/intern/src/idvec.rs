@@ -1,0 +1,221 @@
+//! Typed indices and index-keyed vectors.
+//!
+//! The succinct-type store, the environment store and the declaration table
+//! all map small dense integer ids to immutable data. `Id<T>` gives each of
+//! those tables its own index type so that, for example, a succinct type id
+//! cannot be used to index the environment store by mistake.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+use std::ops::{Index, IndexMut};
+
+/// A typed index into an [`IdVec<T>`].
+///
+/// `Id<T>` is `Copy` and hashable regardless of `T`.
+///
+/// # Example
+///
+/// ```
+/// use insynth_intern::{Id, IdVec};
+///
+/// let mut v: IdVec<String> = IdVec::new();
+/// let id: Id<String> = v.push("hello".to_owned());
+/// assert_eq!(v[id], "hello");
+/// ```
+pub struct Id<T> {
+    index: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Id<T> {
+    /// Creates an id from a raw index.
+    pub fn from_index(index: u32) -> Self {
+        Id { index, _marker: PhantomData }
+    }
+
+    /// The raw index.
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// The raw index as `usize`.
+    pub fn as_usize(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl<T> Clone for Id<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Id<T> {}
+
+impl<T> PartialEq for Id<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+    }
+}
+impl<T> Eq for Id<T> {}
+
+impl<T> PartialOrd for Id<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Id<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.index.cmp(&other.index)
+    }
+}
+
+impl<T> Hash for Id<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.index.hash(state);
+    }
+}
+
+impl<T> fmt::Debug for Id<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Id({})", self.index)
+    }
+}
+
+/// A vector indexed by [`Id<T>`].
+///
+/// # Example
+///
+/// ```
+/// use insynth_intern::IdVec;
+///
+/// let mut v = IdVec::new();
+/// let a = v.push(10);
+/// let b = v.push(20);
+/// assert_eq!(v[a] + v[b], 30);
+/// assert_eq!(v.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdVec<T> {
+    items: Vec<T>,
+}
+
+impl<T> Default for IdVec<T> {
+    fn default() -> Self {
+        IdVec { items: Vec::new() }
+    }
+}
+
+impl<T> IdVec<T> {
+    /// Creates an empty `IdVec`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an item, returning its id.
+    pub fn push(&mut self, item: T) -> Id<T> {
+        let id = Id::from_index(self.items.len() as u32);
+        self.items.push(item);
+        id
+    }
+
+    /// Number of items stored.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the vector holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns the item for `id`, if in bounds.
+    pub fn get(&self, id: Id<T>) -> Option<&T> {
+        self.items.get(id.as_usize())
+    }
+
+    /// Iterates over `(Id, &T)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id<T>, &T)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (Id::from_index(i as u32), t))
+    }
+
+    /// Iterates over the ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = Id<T>> + '_ {
+        (0..self.items.len() as u32).map(Id::from_index)
+    }
+}
+
+impl<T> Index<Id<T>> for IdVec<T> {
+    type Output = T;
+    fn index(&self, id: Id<T>) -> &T {
+        &self.items[id.as_usize()]
+    }
+}
+
+impl<T> IndexMut<Id<T>> for IdVec<T> {
+    fn index_mut(&mut self, id: Id<T>) -> &mut T {
+        &mut self.items[id.as_usize()]
+    }
+}
+
+impl<T> FromIterator<T> for IdVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        IdVec { items: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_index() {
+        let mut v = IdVec::new();
+        let a = v.push("a");
+        let b = v.push("b");
+        assert_eq!(v[a], "a");
+        assert_eq!(v[b], "b");
+    }
+
+    #[test]
+    fn get_out_of_bounds_is_none() {
+        let v: IdVec<u32> = IdVec::new();
+        assert!(v.get(Id::from_index(0)).is_none());
+    }
+
+    #[test]
+    fn ids_and_iter_agree() {
+        let mut v = IdVec::new();
+        v.push(1);
+        v.push(2);
+        let ids: Vec<_> = v.ids().collect();
+        let pairs: Vec<_> = v.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, pairs);
+    }
+
+    #[test]
+    fn id_equality_ignores_type_parameter_lifetime() {
+        let a: Id<u8> = Id::from_index(1);
+        let b: Id<u8> = Id::from_index(1);
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+    }
+
+    #[test]
+    fn index_mut_updates_in_place() {
+        let mut v = IdVec::new();
+        let a = v.push(1);
+        v[a] = 5;
+        assert_eq!(v[a], 5);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: IdVec<u32> = (0..3).collect();
+        assert_eq!(v.len(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! A simple append-only string interner.
+
+use std::collections::HashMap;
+
+use crate::Symbol;
+
+/// An append-only string interner.
+///
+/// Interning the same string twice returns the same [`Symbol`]. Symbols are
+/// resolved back to `&str` in O(1).
+///
+/// # Example
+///
+/// ```
+/// use insynth_intern::Interner;
+///
+/// let mut i = Interner::new();
+/// let file = i.intern("File");
+/// let reader = i.intern("Reader");
+/// assert_ne!(file, reader);
+/// assert_eq!(i.resolve(reader), "Reader");
+/// assert_eq!(i.len(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<String>,
+    map: HashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol::from_index(self.strings.len() as u32);
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the symbol for `s` if it has already been interned.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.as_usize()]
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Returns `true` if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over all interned `(Symbol, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol::from_index(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("x");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "x");
+        assert_eq!(i.resolve(b), "y");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("x").is_none());
+        let a = i.intern("x");
+        assert_eq!(i.get("x"), Some(a));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn empty_interner_reports_empty() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+
+    #[test]
+    fn iter_yields_in_interning_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        i.intern("c");
+        let names: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn symbols_survive_clone() {
+        let mut i = Interner::new();
+        let a = i.intern("panel");
+        let j = i.clone();
+        assert_eq!(j.resolve(a), "panel");
+    }
+}

@@ -1,0 +1,79 @@
+//! Interned string handles.
+
+use std::fmt;
+
+/// A handle to an interned string.
+///
+/// `Symbol`s are cheap to copy, compare and hash. Two symbols produced by the
+/// same [`crate::Interner`] are equal iff the strings they denote are equal.
+///
+/// The ordering of `Symbol`s follows interning order, not lexicographic order;
+/// it is only useful for deterministic data structures (e.g. `BTreeMap` keys),
+/// never for user-facing sorting.
+///
+/// # Example
+///
+/// ```
+/// use insynth_intern::Interner;
+///
+/// let mut i = Interner::new();
+/// let s = i.intern("getLayout");
+/// assert_eq!(s.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Creates a symbol from a raw index.
+    ///
+    /// Only the [`crate::Interner`] that produced the index can resolve it; use
+    /// this constructor when round-tripping indices through serialization or
+    /// test fixtures.
+    pub fn from_index(index: u32) -> Self {
+        Symbol(index)
+    }
+
+    /// Returns the raw index of this symbol in its interner.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the raw index as a `usize`, convenient for table lookups.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_raw_index() {
+        let s = Symbol::from_index(17);
+        assert_eq!(s.index(), 17);
+        assert_eq!(s.as_usize(), 17);
+    }
+
+    #[test]
+    fn equality_is_by_index() {
+        assert_eq!(Symbol::from_index(3), Symbol::from_index(3));
+        assert_ne!(Symbol::from_index(3), Symbol::from_index(4));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Symbol::from_index(1) < Symbol::from_index(2));
+    }
+
+    #[test]
+    fn debug_shows_index() {
+        assert_eq!(format!("{:?}", Symbol::from_index(5)), "Symbol(5)");
+    }
+}

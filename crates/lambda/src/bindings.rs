@@ -1,0 +1,145 @@
+//! Ordered name ↦ type environments with shadowing.
+
+use std::fmt;
+
+use crate::Ty;
+
+/// An ordered list of `name : τ` bindings (a type environment Γ).
+///
+/// Later bindings shadow earlier ones with the same name, which models lambda
+/// binders shadowing outer declarations during type checking.
+///
+/// # Example
+///
+/// ```
+/// use insynth_lambda::{Bindings, Ty};
+///
+/// let mut env = Bindings::new();
+/// env.bind("x", Ty::base("Int"));
+/// env.bind("x", Ty::base("String"));
+/// assert_eq!(env.lookup("x"), Some(&Ty::base("String")));
+/// assert_eq!(env.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bindings {
+    entries: Vec<(String, Ty)>,
+}
+
+impl Bindings {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a binding, shadowing any earlier binding of the same name.
+    pub fn bind(&mut self, name: impl Into<String>, ty: Ty) {
+        self.entries.push((name.into(), ty));
+    }
+
+    /// Looks up the innermost (most recently added) binding of `name`.
+    pub fn lookup(&self, name: &str) -> Option<&Ty> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+
+    /// Returns `true` if `name` is bound.
+    pub fn contains(&self, name: &str) -> bool {
+        self.lookup(name).is_some()
+    }
+
+    /// Number of bindings, counting shadowed ones.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no bindings are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(name, type)` pairs in binding order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Ty)> {
+        self.entries.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// Truncates back to `len` bindings; used to pop binders after checking a
+    /// sub-term.
+    pub fn truncate(&mut self, len: usize) {
+        self.entries.truncate(len);
+    }
+}
+
+impl FromIterator<(String, Ty)> for Bindings {
+    fn from_iter<I: IntoIterator<Item = (String, Ty)>>(iter: I) -> Self {
+        Bindings { entries: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(String, Ty)> for Bindings {
+    fn extend<I: IntoIterator<Item = (String, Ty)>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+impl fmt::Display for Bindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(n, t)| format!("{n} : {t}"))
+            .collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_missing_is_none() {
+        let env = Bindings::new();
+        assert_eq!(env.lookup("x"), None);
+        assert!(!env.contains("x"));
+        assert!(env.is_empty());
+    }
+
+    #[test]
+    fn later_bindings_shadow_earlier_ones() {
+        let mut env = Bindings::new();
+        env.bind("x", Ty::base("A"));
+        env.bind("x", Ty::base("B"));
+        assert_eq!(env.lookup("x"), Some(&Ty::base("B")));
+    }
+
+    #[test]
+    fn truncate_pops_binders() {
+        let mut env = Bindings::new();
+        env.bind("x", Ty::base("A"));
+        let mark = env.len();
+        env.bind("y", Ty::base("B"));
+        env.truncate(mark);
+        assert!(env.contains("x"));
+        assert!(!env.contains("y"));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut env = Bindings::new();
+        env.bind("a", Ty::base("Int"));
+        env.bind("f", Ty::fun(vec![Ty::base("Int")], Ty::base("String")));
+        assert_eq!(env.to_string(), "{a : Int, f : Int -> String}");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut env: Bindings =
+            vec![("a".to_owned(), Ty::base("A"))].into_iter().collect();
+        env.extend(vec![("b".to_owned(), Ty::base("B"))]);
+        assert_eq!(env.len(), 2);
+        assert!(env.contains("b"));
+    }
+}

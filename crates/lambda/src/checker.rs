@@ -1,0 +1,348 @@
+//! Type checking for terms in long normal form (Figure 2 of the paper).
+//!
+//! The APP rule only applies head symbols that are bound in the environment
+//! and requires them to be applied to *all* of their arguments (the result of
+//! the application must be a base type). The ABS rule peels leading binders
+//! from the expected function type.
+
+use std::fmt;
+
+use crate::{Bindings, Term, Ty};
+
+/// An error produced while checking or inferring a term's type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// The head symbol is not bound in the environment.
+    UnboundHead(String),
+    /// The head symbol is applied to the wrong number of arguments for long
+    /// normal form (expected, actual).
+    ArityMismatch { head: String, expected: usize, actual: usize },
+    /// An argument had the wrong type (head, argument index, expected, actual).
+    ArgumentMismatch { head: String, index: usize, expected: Ty, actual: Ty },
+    /// The whole term does not have the expected type.
+    Mismatch { expected: Ty, actual: Ty },
+    /// The expected type has fewer arrows than the term has binders.
+    TooManyBinders { binders: usize, expected: Ty },
+    /// A binder's annotated type disagrees with the expected function type.
+    BinderMismatch { name: String, expected: Ty, actual: Ty },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundHead(h) => write!(f, "unbound head symbol `{h}`"),
+            TypeError::ArityMismatch { head, expected, actual } => write!(
+                f,
+                "head `{head}` expects {expected} arguments but is applied to {actual}"
+            ),
+            TypeError::ArgumentMismatch { head, index, expected, actual } => write!(
+                f,
+                "argument {index} of `{head}` has type {actual}, expected {expected}"
+            ),
+            TypeError::Mismatch { expected, actual } => {
+                write!(f, "term has type {actual}, expected {expected}")
+            }
+            TypeError::TooManyBinders { binders, expected } => write!(
+                f,
+                "term binds {binders} parameters but the expected type {expected} has fewer arrows"
+            ),
+            TypeError::BinderMismatch { name, expected, actual } => write!(
+                f,
+                "binder `{name}` is annotated {actual} but the expected type requires {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Infers the type of a term in long normal form.
+///
+/// The inferred type is `p1 → … → pm → v` where `p1…pm` are the binder
+/// annotations and `v` is the (base) result type of the fully applied head.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if the head is unbound, under- or over-applied, or
+/// an argument does not have the type the head demands.
+///
+/// # Example
+///
+/// ```
+/// use insynth_lambda::{infer, Bindings, Term, Ty};
+///
+/// let mut env = Bindings::new();
+/// env.bind("f", Ty::fun(vec![Ty::base("A")], Ty::base("B")));
+/// env.bind("a", Ty::base("A"));
+/// let t = Term::app("f", vec![Term::var("a")]);
+/// assert_eq!(infer(&env, &t), Ok(Ty::base("B")));
+/// ```
+pub fn infer(env: &Bindings, term: &Term) -> Result<Ty, TypeError> {
+    let mut scratch = env.clone();
+    infer_in(&mut scratch, term)
+}
+
+fn infer_in(env: &mut Bindings, term: &Term) -> Result<Ty, TypeError> {
+    let mark = env.len();
+    for p in &term.params {
+        env.bind(p.name.clone(), p.ty.clone());
+    }
+
+    let head_ty = match env.lookup(&term.head) {
+        Some(t) => t.clone(),
+        None => {
+            env.truncate(mark);
+            return Err(TypeError::UnboundHead(term.head.clone()));
+        }
+    };
+
+    let (arg_tys, ret) = head_ty.uncurry();
+    if arg_tys.len() != term.args.len() {
+        env.truncate(mark);
+        return Err(TypeError::ArityMismatch {
+            head: term.head.clone(),
+            expected: arg_tys.len(),
+            actual: term.args.len(),
+        });
+    }
+
+    let expected_args: Vec<Ty> = arg_tys.into_iter().cloned().collect();
+    let ret = ret.clone();
+    for (i, (arg, expected)) in term.args.iter().zip(expected_args.iter()).enumerate() {
+        let actual = check_against(env, arg, expected);
+        if let Err(e) = actual {
+            env.truncate(mark);
+            return Err(match e {
+                TypeError::Mismatch { expected, actual } => TypeError::ArgumentMismatch {
+                    head: term.head.clone(),
+                    index: i,
+                    expected,
+                    actual,
+                },
+                other => other,
+            });
+        }
+    }
+
+    env.truncate(mark);
+    let param_tys: Vec<Ty> = term.params.iter().map(|p| p.ty.clone()).collect();
+    Ok(Ty::fun(param_tys, ret))
+}
+
+fn check_against(env: &mut Bindings, term: &Term, expected: &Ty) -> Result<(), TypeError> {
+    let actual = infer_in(env, term)?;
+    if &actual == expected {
+        Ok(())
+    } else {
+        Err(TypeError::Mismatch { expected: expected.clone(), actual })
+    }
+}
+
+/// Checks that `term` has type `expected` under `env` (the judgement
+/// Γ ⊢ e : τ of Figure 2, restricted to long normal form).
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] encountered.
+///
+/// # Example
+///
+/// ```
+/// use insynth_lambda::{check, Bindings, Param, Term, Ty};
+///
+/// // ⊢ (var1 => p(var1)) : Tree -> Boolean   given p : Tree -> Boolean
+/// let mut env = Bindings::new();
+/// env.bind("p", Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")));
+/// let t = Term::lambda(
+///     vec![Param::new("var1", Ty::base("Tree"))],
+///     Term::app("p", vec![Term::var("var1")]),
+/// );
+/// assert!(check(&env, &t, &Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean"))).is_ok());
+/// ```
+pub fn check(env: &Bindings, term: &Term, expected: &Ty) -> Result<(), TypeError> {
+    // Binder annotations must agree with the expected arrow prefix.
+    let (expected_args, _) = expected.uncurry();
+    if term.params.len() > expected_args.len() {
+        return Err(TypeError::TooManyBinders {
+            binders: term.params.len(),
+            expected: expected.clone(),
+        });
+    }
+    for (p, want) in term.params.iter().zip(expected_args.iter()) {
+        if &p.ty != *want {
+            return Err(TypeError::BinderMismatch {
+                name: p.name.clone(),
+                expected: (*want).clone(),
+                actual: p.ty.clone(),
+            });
+        }
+    }
+
+    let actual = infer(env, term)?;
+    if &actual == expected {
+        Ok(())
+    } else {
+        Err(TypeError::Mismatch { expected: expected.clone(), actual })
+    }
+}
+
+/// Returns `true` if the term is in long normal form with respect to `env` and
+/// the expected type `expected`: every head is fully applied, the body type is
+/// a base type, and enough binders are present to consume every arrow of the
+/// expected type.
+pub fn is_long_normal_form(env: &Bindings, term: &Term, expected: &Ty) -> bool {
+    let (expected_args, _) = expected.uncurry();
+    term.params.len() == expected_args.len() && check(env, term, expected).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Param;
+
+    fn io_env() -> Bindings {
+        let mut env = Bindings::new();
+        env.bind("name", Ty::base("String"));
+        env.bind(
+            "FileInputStream",
+            Ty::fun(vec![Ty::base("String")], Ty::base("FileInputStream")),
+        );
+        env.bind(
+            "BufferedInputStream",
+            Ty::fun(
+                vec![Ty::base("FileInputStream")],
+                Ty::base("BufferedInputStream"),
+            ),
+        );
+        env
+    }
+
+    #[test]
+    fn infers_nested_application() {
+        let env = io_env();
+        let t = Term::app(
+            "BufferedInputStream",
+            vec![Term::app("FileInputStream", vec![Term::var("name")])],
+        );
+        assert_eq!(infer(&env, &t), Ok(Ty::base("BufferedInputStream")));
+    }
+
+    #[test]
+    fn rejects_unbound_head() {
+        let env = io_env();
+        let t = Term::var("missing");
+        assert_eq!(infer(&env, &t), Err(TypeError::UnboundHead("missing".into())));
+    }
+
+    #[test]
+    fn rejects_partial_application() {
+        let env = io_env();
+        // FileInputStream not applied to its argument: not LNF.
+        let t = Term::var("FileInputStream");
+        assert!(matches!(
+            infer(&env, &t),
+            Err(TypeError::ArityMismatch { expected: 1, actual: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_argument_type() {
+        let mut env = io_env();
+        env.bind("n", Ty::base("Int"));
+        let t = Term::app("FileInputStream", vec![Term::var("n")]);
+        assert!(matches!(
+            infer(&env, &t),
+            Err(TypeError::ArgumentMismatch { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn checks_lambda_against_function_type() {
+        let mut env = Bindings::new();
+        env.bind("p", Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")));
+        let t = Term::lambda(
+            vec![Param::new("var1", Ty::base("Tree"))],
+            Term::app("p", vec![Term::var("var1")]),
+        );
+        let goal = Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean"));
+        assert!(check(&env, &t, &goal).is_ok());
+        assert!(is_long_normal_form(&env, &t, &goal));
+    }
+
+    #[test]
+    fn eta_short_term_is_not_long_normal_form() {
+        // p alone has the right type but is not in LNF for Tree -> Boolean.
+        let mut env = Bindings::new();
+        env.bind("p", Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")));
+        let goal = Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean"));
+        let t = Term::var("p");
+        assert!(!is_long_normal_form(&env, &t, &goal));
+    }
+
+    #[test]
+    fn binder_annotation_must_match_goal() {
+        let mut env = Bindings::new();
+        env.bind("p", Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")));
+        let t = Term::lambda(
+            vec![Param::new("var1", Ty::base("Other"))],
+            Term::app("p", vec![Term::var("var1")]),
+        );
+        let goal = Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean"));
+        assert!(matches!(
+            check(&env, &t, &goal),
+            Err(TypeError::BinderMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn too_many_binders_is_reported() {
+        let mut env = Bindings::new();
+        env.bind("a", Ty::base("A"));
+        let t = Term::lambda(vec![Param::new("x", Ty::base("B"))], Term::var("a"));
+        assert!(matches!(
+            check(&env, &t, &Ty::base("A")),
+            Err(TypeError::TooManyBinders { .. })
+        ));
+    }
+
+    #[test]
+    fn binder_shadowing_is_respected() {
+        let mut env = Bindings::new();
+        env.bind("x", Ty::base("Outer"));
+        env.bind("f", Ty::fun(vec![Ty::base("Inner")], Ty::base("R")));
+        let t = Term::lambda(
+            vec![Param::new("x", Ty::base("Inner"))],
+            Term::app("f", vec![Term::var("x")]),
+        );
+        let goal = Ty::fun(vec![Ty::base("Inner")], Ty::base("R"));
+        assert!(check(&env, &t, &goal).is_ok());
+    }
+
+    #[test]
+    fn higher_order_argument_checks() {
+        // FilterTypeTreeTraverser : (Tree -> Boolean) -> FilterTypeTreeTraverser
+        let mut env = Bindings::new();
+        env.bind(
+            "FilterTypeTreeTraverser",
+            Ty::fun(
+                vec![Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean"))],
+                Ty::base("FilterTypeTreeTraverser"),
+            ),
+        );
+        env.bind("p", Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")));
+        let t = Term::app(
+            "FilterTypeTreeTraverser",
+            vec![Term::lambda(
+                vec![Param::new("var1", Ty::base("Tree"))],
+                Term::app("p", vec![Term::var("var1")]),
+            )],
+        );
+        assert_eq!(infer(&env, &t), Ok(Ty::base("FilterTypeTreeTraverser")));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = TypeError::ArityMismatch { head: "f".into(), expected: 2, actual: 1 };
+        assert_eq!(err.to_string(), "head `f` expects 2 arguments but is applied to 1");
+    }
+}

@@ -1,0 +1,307 @@
+//! Lambda terms in long normal form.
+
+use std::fmt;
+
+use crate::Ty;
+
+/// A typed binder `x : τ` introduced by a leading lambda.
+///
+/// # Example
+///
+/// ```
+/// use insynth_lambda::{Param, Ty};
+/// let p = Param::new("var1", Ty::base("Tree"));
+/// assert_eq!(p.name, "var1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Param {
+    /// Binder name.
+    pub name: String,
+    /// Binder type.
+    pub ty: Ty,
+}
+
+impl Param {
+    /// Creates a binder.
+    pub fn new(name: impl Into<String>, ty: Ty) -> Self {
+        Param { name: name.into(), ty }
+    }
+}
+
+/// A lambda term in long normal form: `λ p1 … pm . head(e1, …, en)`.
+///
+/// In long normal form (paper Definition 3.1) the head is always a declared
+/// symbol or a bound variable applied to exactly as many arguments as its type
+/// demands, and the body has a base type. A term with no binders and no
+/// arguments is just a variable reference.
+///
+/// # Example
+///
+/// ```
+/// use insynth_lambda::{Param, Term, Ty};
+///
+/// // var1 => p(var1)   (the §2.2 higher-order example)
+/// let t = Term::lambda(
+///     vec![Param::new("var1", Ty::base("Tree"))],
+///     Term::app("p", vec![Term::var("var1")]),
+/// );
+/// assert_eq!(t.to_string(), "var1 => p(var1)");
+/// assert_eq!(t.depth(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Term {
+    /// Leading lambda binders (may be empty).
+    pub params: Vec<Param>,
+    /// The head symbol: a declaration name or a bound variable.
+    pub head: String,
+    /// The arguments the head is applied to (may be empty).
+    pub args: Vec<Term>,
+}
+
+impl Term {
+    /// A bare variable reference.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term { params: Vec::new(), head: name.into(), args: Vec::new() }
+    }
+
+    /// An application `head(args…)` with no leading binders.
+    pub fn app(head: impl Into<String>, args: Vec<Term>) -> Term {
+        Term { params: Vec::new(), head: head.into(), args }
+    }
+
+    /// A lambda abstraction `params => body`.
+    ///
+    /// The binders are *prepended* to the body's existing binders so that
+    /// `lambda(p, lambda(q, b))` and `lambda(p ++ q, b)` build the same term,
+    /// mirroring the flattened `λx1…xm.…` notation of the paper.
+    pub fn lambda(params: Vec<Param>, body: Term) -> Term {
+        let mut all = params;
+        all.extend(body.params);
+        Term { params: all, head: body.head, args: body.args }
+    }
+
+    /// The depth `D` of the term as defined in §3.1:
+    /// `D(λx̄.a) = 1` and `D(λx̄.f e1…en) = 1 + max D(ei)`.
+    pub fn depth(&self) -> usize {
+        1 + self.args.iter().map(Term::depth).max().unwrap_or(0)
+    }
+
+    /// Total number of symbol occurrences (binders + head + recursively in
+    /// arguments). This is the "size" reported in Table 2 when coercions are
+    /// counted.
+    pub fn symbol_count(&self) -> usize {
+        self.params.len() + 1 + self.args.iter().map(Term::symbol_count).sum::<usize>()
+    }
+
+    /// All head-symbol occurrences in the term, outermost first.
+    pub fn head_symbols(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_heads(&mut out);
+        out
+    }
+
+    fn collect_heads<'a>(&'a self, out: &mut Vec<&'a str>) {
+        out.push(&self.head);
+        for a in &self.args {
+            a.collect_heads(out);
+        }
+    }
+
+    /// Returns `true` if the head symbol of this term or of any sub-term
+    /// satisfies the predicate.
+    pub fn any_head(&self, pred: &dyn Fn(&str) -> bool) -> bool {
+        pred(&self.head) || self.args.iter().any(|a| a.any_head(pred))
+    }
+
+    /// Rewrites every node of the term bottom-up with `f`.
+    pub fn map_bottom_up(&self, f: &dyn Fn(Term) -> Term) -> Term {
+        let args = self.args.iter().map(|a| a.map_bottom_up(f)).collect();
+        f(Term { params: self.params.clone(), head: self.head.clone(), args })
+    }
+
+    /// Renames every binder (and its bound occurrences) to `v1`, `v2`, … in
+    /// pre-order, producing a canonical representative of the term's
+    /// α-equivalence class. Used to compare terms produced by different
+    /// fresh-name schemes (e.g. the engine vs. the reference RCN function).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use insynth_lambda::{Param, Term, Ty};
+    /// let a = Term::lambda(vec![Param::new("x9", Ty::base("T"))], Term::var("x9"));
+    /// let b = Term::lambda(vec![Param::new("y", Ty::base("T"))], Term::var("y"));
+    /// assert_eq!(a.alpha_normalize(), b.alpha_normalize());
+    /// ```
+    pub fn alpha_normalize(&self) -> Term {
+        let mut counter = 0usize;
+        let mut renaming: Vec<(String, String)> = Vec::new();
+        self.alpha_rec(&mut counter, &mut renaming)
+    }
+
+    fn alpha_rec(&self, counter: &mut usize, renaming: &mut Vec<(String, String)>) -> Term {
+        let mark = renaming.len();
+        let params: Vec<Param> = self
+            .params
+            .iter()
+            .map(|p| {
+                *counter += 1;
+                let fresh = format!("v{counter}");
+                renaming.push((p.name.clone(), fresh.clone()));
+                Param::new(fresh, p.ty.clone())
+            })
+            .collect();
+        let head = renaming
+            .iter()
+            .rev()
+            .find(|(old, _)| old == &self.head)
+            .map(|(_, new)| new.clone())
+            .unwrap_or_else(|| self.head.clone());
+        let args = self.args.iter().map(|a| a.alpha_rec(counter, renaming)).collect();
+        renaming.truncate(mark);
+        Term { params, head, args }
+    }
+
+    /// Free variables of the term: head symbols that are not bound by an
+    /// enclosing binder.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut bound = Vec::new();
+        let mut free = Vec::new();
+        self.collect_free(&mut bound, &mut free);
+        free
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, free: &mut Vec<String>) {
+        let before = bound.len();
+        bound.extend(self.params.iter().map(|p| p.name.clone()));
+        if !bound.contains(&self.head) && !free.contains(&self.head) {
+            free.push(self.head.clone());
+        }
+        for a in &self.args {
+            a.collect_free(bound, free);
+        }
+        bound.truncate(before);
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.params.is_empty() {
+            if self.params.len() == 1 {
+                write!(f, "{} => ", self.params[0].name)?;
+            } else {
+                let names: Vec<&str> =
+                    self.params.iter().map(|p| p.name.as_str()).collect();
+                write!(f, "({}) => ", names.join(", "))?;
+            }
+        }
+        write!(f, "{}", self.head)?;
+        if !self.args.is_empty() {
+            let args: Vec<String> = self.args.iter().map(Term::to_string).collect();
+            write!(f, "({})", args.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi_example() -> Term {
+        // new BufferedInputStream(new FileInputStream(name)) modulo rendering
+        Term::app(
+            "BufferedInputStream",
+            vec![Term::app("FileInputStream", vec![Term::var("name")])],
+        )
+    }
+
+    #[test]
+    fn var_displays_bare() {
+        assert_eq!(Term::var("body").to_string(), "body");
+    }
+
+    #[test]
+    fn application_displays_with_parens() {
+        assert_eq!(
+            bi_example().to_string(),
+            "BufferedInputStream(FileInputStream(name))"
+        );
+    }
+
+    #[test]
+    fn multi_param_lambda_display() {
+        let t = Term::lambda(
+            vec![
+                Param::new("a", Ty::base("A")),
+                Param::new("b", Ty::base("B")),
+            ],
+            Term::app("f", vec![Term::var("a"), Term::var("b")]),
+        );
+        assert_eq!(t.to_string(), "(a, b) => f(a, b)");
+    }
+
+    #[test]
+    fn lambda_flattens_nested_binders() {
+        let inner = Term::lambda(
+            vec![Param::new("b", Ty::base("B"))],
+            Term::var("x"),
+        );
+        let outer = Term::lambda(vec![Param::new("a", Ty::base("A"))], inner);
+        assert_eq!(outer.params.len(), 2);
+        assert_eq!(outer.params[0].name, "a");
+        assert_eq!(outer.params[1].name, "b");
+    }
+
+    #[test]
+    fn depth_matches_paper_definition() {
+        assert_eq!(Term::var("a").depth(), 1);
+        assert_eq!(bi_example().depth(), 3);
+    }
+
+    #[test]
+    fn symbol_count_counts_binders_heads_and_args() {
+        // var1 => p(var1): binder + p + var1 = 3
+        let t = Term::lambda(
+            vec![Param::new("var1", Ty::base("Tree"))],
+            Term::app("p", vec![Term::var("var1")]),
+        );
+        assert_eq!(t.symbol_count(), 3);
+    }
+
+    #[test]
+    fn head_symbols_outermost_first() {
+        assert_eq!(
+            bi_example().head_symbols(),
+            vec!["BufferedInputStream", "FileInputStream", "name"]
+        );
+    }
+
+    #[test]
+    fn free_vars_exclude_bound_binders() {
+        let t = Term::lambda(
+            vec![Param::new("var1", Ty::base("Tree"))],
+            Term::app("p", vec![Term::var("var1")]),
+        );
+        assert_eq!(t.free_vars(), vec!["p".to_owned()]);
+    }
+
+    #[test]
+    fn any_head_finds_nested_symbols() {
+        assert!(bi_example().any_head(&|h| h == "FileInputStream"));
+        assert!(!bi_example().any_head(&|h| h == "Missing"));
+    }
+
+    #[test]
+    fn map_bottom_up_can_rename_heads() {
+        let renamed = bi_example().map_bottom_up(&|mut t| {
+            if t.head == "name" {
+                t.head = "path".to_owned();
+            }
+            t
+        });
+        assert_eq!(
+            renamed.to_string(),
+            "BufferedInputStream(FileInputStream(path))"
+        );
+    }
+}

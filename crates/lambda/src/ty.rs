@@ -1,0 +1,227 @@
+//! Simple types `τ ::= v | τ → τ`.
+
+use std::fmt;
+
+/// A simple type: either a named base type or a function type.
+///
+/// Function types associate to the right, so `A → B → C` is
+/// `Arrow(A, Arrow(B, C))` and describes a function taking an `A` and a `B`
+/// (curried) and returning a `C`.
+///
+/// # Example
+///
+/// ```
+/// use insynth_lambda::Ty;
+///
+/// let t = Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("C"));
+/// assert_eq!(t.to_string(), "A -> B -> C");
+/// assert_eq!(t.arity(), 2);
+/// assert_eq!(t.result_base(), "C");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ty {
+    /// A named base type such as `Int`, `String` or `FileInputStream`.
+    Base(String),
+    /// A function type `τ1 → τ2`.
+    Arrow(Box<Ty>, Box<Ty>),
+}
+
+impl Ty {
+    /// Creates a base type with the given name.
+    pub fn base(name: impl Into<String>) -> Ty {
+        Ty::Base(name.into())
+    }
+
+    /// Creates the curried function type `args[0] → … → args[n-1] → ret`.
+    ///
+    /// With an empty `args` this is just `ret`.
+    pub fn fun(args: Vec<Ty>, ret: Ty) -> Ty {
+        args.into_iter()
+            .rev()
+            .fold(ret, |acc, a| Ty::Arrow(Box::new(a), Box::new(acc)))
+    }
+
+    /// Returns `true` for base types.
+    pub fn is_base(&self) -> bool {
+        matches!(self, Ty::Base(_))
+    }
+
+    /// The number of curried arguments before the final base result.
+    pub fn arity(&self) -> usize {
+        match self {
+            Ty::Base(_) => 0,
+            Ty::Arrow(_, rest) => 1 + rest.arity(),
+        }
+    }
+
+    /// Splits a curried type into its argument list and final result type.
+    ///
+    /// The result component is always a base type (the full uncurrying).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use insynth_lambda::Ty;
+    /// let t = Ty::fun(vec![Ty::base("A")], Ty::base("B"));
+    /// let (args, ret) = t.uncurry();
+    /// assert_eq!(args, vec![&Ty::base("A")]);
+    /// assert_eq!(ret, &Ty::base("B"));
+    /// ```
+    pub fn uncurry(&self) -> (Vec<&Ty>, &Ty) {
+        let mut args = Vec::new();
+        let mut cur = self;
+        while let Ty::Arrow(a, rest) = cur {
+            args.push(a.as_ref());
+            cur = rest.as_ref();
+        }
+        (args, cur)
+    }
+
+    /// The name of the final base result type.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: by construction the fully uncurried result is a base type.
+    pub fn result_base(&self) -> &str {
+        match self.uncurry().1 {
+            Ty::Base(name) => name,
+            Ty::Arrow(..) => unreachable!("uncurry always ends at a base type"),
+        }
+    }
+
+    /// Iterates over every base type name mentioned anywhere in the type.
+    pub fn base_names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_base_names(&mut out);
+        out
+    }
+
+    fn collect_base_names<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Ty::Base(name) => out.push(name),
+            Ty::Arrow(a, b) => {
+                a.collect_base_names(out);
+                b.collect_base_names(out);
+            }
+        }
+    }
+
+    /// Structural size of the type (number of base type occurrences).
+    pub fn size(&self) -> usize {
+        match self {
+            Ty::Base(_) => 1,
+            Ty::Arrow(a, b) => a.size() + b.size(),
+        }
+    }
+
+    /// Maximum arrow-nesting depth. Base types have order 0; a first-order
+    /// function has order 1; a function taking a function has order 2, etc.
+    pub fn order(&self) -> usize {
+        match self {
+            Ty::Base(_) => 0,
+            Ty::Arrow(a, b) => usize::max(a.order() + 1, b.order()),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Base(name) => write!(f, "{name}"),
+            Ty::Arrow(a, b) => {
+                if a.is_base() {
+                    write!(f, "{a} -> {b}")
+                } else {
+                    write!(f, "({a}) -> {b}")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fun_with_no_args_is_identity() {
+        assert_eq!(Ty::fun(vec![], Ty::base("A")), Ty::base("A"));
+    }
+
+    #[test]
+    fn fun_curries_right_associatively() {
+        let t = Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("C"));
+        match &t {
+            Ty::Arrow(a, rest) => {
+                assert_eq!(**a, Ty::base("A"));
+                match rest.as_ref() {
+                    Ty::Arrow(b, c) => {
+                        assert_eq!(**b, Ty::base("B"));
+                        assert_eq!(**c, Ty::base("C"));
+                    }
+                    _ => panic!("expected nested arrow"),
+                }
+            }
+            _ => panic!("expected arrow"),
+        }
+    }
+
+    #[test]
+    fn arity_counts_curried_arguments() {
+        let t = Ty::fun(
+            vec![Ty::base("A"), Ty::base("B"), Ty::base("C")],
+            Ty::base("D"),
+        );
+        assert_eq!(t.arity(), 3);
+        assert_eq!(Ty::base("A").arity(), 0);
+    }
+
+    #[test]
+    fn uncurry_round_trips_with_fun() {
+        let args = vec![Ty::base("A"), Ty::fun(vec![Ty::base("B")], Ty::base("C"))];
+        let t = Ty::fun(args.clone(), Ty::base("D"));
+        let (got_args, ret) = t.uncurry();
+        let got_args: Vec<Ty> = got_args.into_iter().cloned().collect();
+        assert_eq!(got_args, args);
+        assert_eq!(ret, &Ty::base("D"));
+    }
+
+    #[test]
+    fn display_parenthesizes_higher_order_arguments() {
+        let hof = Ty::fun(
+            vec![Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean"))],
+            Ty::base("FilterTypeTreeTraverser"),
+        );
+        assert_eq!(hof.to_string(), "(Tree -> Boolean) -> FilterTypeTreeTraverser");
+    }
+
+    #[test]
+    fn result_base_skips_all_arrows() {
+        let t = Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("C"));
+        assert_eq!(t.result_base(), "C");
+        assert_eq!(Ty::base("X").result_base(), "X");
+    }
+
+    #[test]
+    fn base_names_lists_every_occurrence() {
+        let t = Ty::fun(vec![Ty::base("A"), Ty::base("A")], Ty::base("B"));
+        assert_eq!(t.base_names(), vec!["A", "A", "B"]);
+    }
+
+    #[test]
+    fn order_distinguishes_higher_order_types() {
+        assert_eq!(Ty::base("A").order(), 0);
+        assert_eq!(Ty::fun(vec![Ty::base("A")], Ty::base("B")).order(), 1);
+        let hof = Ty::fun(
+            vec![Ty::fun(vec![Ty::base("A")], Ty::base("B"))],
+            Ty::base("C"),
+        );
+        assert_eq!(hof.order(), 2);
+    }
+
+    #[test]
+    fn size_counts_base_occurrences() {
+        let t = Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("C"));
+        assert_eq!(t.size(), 3);
+    }
+}

@@ -1,0 +1,145 @@
+//! Propositional formulas and the type-inhabitation-to-provability encoding.
+
+use std::fmt;
+
+use insynth_core::TypeEnv;
+use insynth_lambda::Ty;
+
+/// An intuitionistic propositional formula over the →/∧ fragment.
+///
+/// Type inhabitation in the simply typed lambda calculus corresponds, via the
+/// Curry–Howard isomorphism, to provability of the corresponding implicational
+/// formula in intuitionistic logic; conjunction appears when a curried
+/// function type is read as a product-argument type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Formula {
+    /// An atomic proposition (a base type name).
+    Atom(String),
+    /// Implication `A ⊃ B`.
+    Imp(Box<Formula>, Box<Formula>),
+    /// Conjunction `A ∧ B`.
+    And(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// An atomic proposition.
+    pub fn atom(name: impl Into<String>) -> Formula {
+        Formula::Atom(name.into())
+    }
+
+    /// The implication `a ⊃ b`.
+    pub fn imp(a: Formula, b: Formula) -> Formula {
+        Formula::Imp(Box::new(a), Box::new(b))
+    }
+
+    /// The conjunction `a ∧ b`.
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        Formula::And(Box::new(a), Box::new(b))
+    }
+
+    /// Returns `true` for atoms.
+    pub fn is_atom(&self) -> bool {
+        matches!(self, Formula::Atom(_))
+    }
+
+    /// Structural size (number of connectives plus atoms).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Atom(_) => 1,
+            Formula::Imp(a, b) | Formula::And(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom(name) => write!(f, "{name}"),
+            Formula::Imp(a, b) => {
+                if a.is_atom() {
+                    write!(f, "{a} -> {b}")
+                } else {
+                    write!(f, "({a}) -> {b}")
+                }
+            }
+            Formula::And(a, b) => write!(f, "({a} & {b})"),
+        }
+    }
+}
+
+/// Converts a simple type to its Curry–Howard formula: base types become
+/// atoms, arrows become implications.
+///
+/// # Example
+///
+/// ```
+/// use insynth_lambda::Ty;
+/// use insynth_provers::ty_to_formula;
+///
+/// let ty = Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("C"));
+/// assert_eq!(ty_to_formula(&ty).to_string(), "A -> B -> C");
+/// ```
+pub fn ty_to_formula(ty: &Ty) -> Formula {
+    match ty {
+        Ty::Base(name) => Formula::atom(name.clone()),
+        Ty::Arrow(a, b) => Formula::imp(ty_to_formula(a), ty_to_formula(b)),
+    }
+}
+
+/// Builds the inhabitation query for `goal` under `env`: the hypotheses are
+/// the formulas of every declaration type, the conclusion is the formula of
+/// the goal type. The query is provable in intuitionistic logic iff the goal
+/// type is inhabited.
+pub fn inhabitation_query(env: &TypeEnv, goal: &Ty) -> (Vec<Formula>, Formula) {
+    let hyps = env.iter().map(|d| ty_to_formula(&d.ty)).collect();
+    (hyps, ty_to_formula(goal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insynth_core::{DeclKind, Declaration};
+
+    #[test]
+    fn base_types_become_atoms() {
+        assert_eq!(ty_to_formula(&Ty::base("Int")), Formula::atom("Int"));
+    }
+
+    #[test]
+    fn arrows_become_implications_right_associatively() {
+        let f = ty_to_formula(&Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("C")));
+        assert_eq!(
+            f,
+            Formula::imp(Formula::atom("A"), Formula::imp(Formula::atom("B"), Formula::atom("C")))
+        );
+    }
+
+    #[test]
+    fn higher_order_arguments_nest_on_the_left() {
+        let f = ty_to_formula(&Ty::fun(
+            vec![Ty::fun(vec![Ty::base("A")], Ty::base("B"))],
+            Ty::base("C"),
+        ));
+        assert_eq!(f.to_string(), "(A -> B) -> C");
+    }
+
+    #[test]
+    fn query_collects_one_hypothesis_per_declaration() {
+        let env: TypeEnv = vec![
+            Declaration::new("a", Ty::base("A"), DeclKind::Local),
+            Declaration::new("f", Ty::fun(vec![Ty::base("A")], Ty::base("B")), DeclKind::Local),
+        ]
+        .into_iter()
+        .collect();
+        let (hyps, goal) = inhabitation_query(&env, &Ty::base("B"));
+        assert_eq!(hyps.len(), 2);
+        assert_eq!(goal, Formula::atom("B"));
+    }
+
+    #[test]
+    fn size_and_display() {
+        let f = Formula::and(Formula::atom("A"), Formula::imp(Formula::atom("B"), Formula::atom("C")));
+        assert_eq!(f.size(), 5);
+        assert_eq!(f.to_string(), "(A & B -> C)");
+    }
+}

@@ -1,0 +1,336 @@
+//! A forward-chaining saturation prover (ground inverse-method style).
+//!
+//! This is the "Imogen-like" baseline of the Table 2 comparison. Imogen is a
+//! polarized inverse-method prover: it works *forward* from axioms, deriving
+//! new sequents until the goal sequent is subsumed. Our baseline keeps the
+//! forward character but works on ground facts of the form "atom `a` is
+//! provable under assumption set Δ":
+//!
+//! * every hypothesis is decomposed into clauses `A1, …, An ⇒ head`,
+//! * a clause fires in a context once all of its antecedents are provable
+//!   there; implicational antecedents `C ⊃ D` are provable in Δ iff `D` is
+//!   provable in Δ ∪ {C} (which creates a new, larger context),
+//! * saturation runs across all contexts until no new fact appears.
+//!
+//! The decomposition mirrors how inverse-method provers specialize their rules
+//! to the subformulas of the query, and the context-indexed facts play the
+//! role of derived sequents.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use crate::{Formula, ProverLimits};
+
+/// Attempts to prove `hypotheses ⊢ goal` by forward saturation.
+///
+/// Returns `Some(true)` / `Some(false)` on a verdict, `None` on resource
+/// exhaustion.
+///
+/// # Example
+///
+/// ```
+/// use insynth_provers::{forward, Formula, ProverLimits};
+///
+/// let hyps = vec![
+///     Formula::atom("P"),
+///     Formula::imp(Formula::atom("P"), Formula::atom("Q")),
+/// ];
+/// assert_eq!(forward::prove(&hyps, &Formula::atom("Q"), &ProverLimits::default()), Some(true));
+/// ```
+pub fn prove(hypotheses: &[Formula], goal: &Formula, limits: &ProverLimits) -> Option<bool> {
+    let mut engine = Saturator::new(limits);
+
+    // Right rules applied upfront: strip the goal down to atomic sub-goals,
+    // collecting the antecedents as extra hypotheses.
+    let mut antecedents: Vec<Formula> = Vec::new();
+    let mut goals: Vec<(Vec<Formula>, String)> = Vec::new();
+    collect_goals(goal, &mut antecedents, &mut goals);
+
+    for (extra, atom) in goals {
+        let mut ctx = hypotheses.to_vec();
+        ctx.extend(extra);
+        let ctx_id = engine.intern_context(ctx);
+        match engine.provable_atom(ctx_id, &atom) {
+            None => return None,
+            Some(false) => return Some(false),
+            Some(true) => {}
+        }
+    }
+    Some(true)
+}
+
+/// Splits a goal into atomic sub-goals, accumulating implication antecedents.
+fn collect_goals(goal: &Formula, extra: &mut Vec<Formula>, out: &mut Vec<(Vec<Formula>, String)>) {
+    match goal {
+        Formula::Atom(p) => out.push((extra.clone(), p.clone())),
+        Formula::And(a, b) => {
+            collect_goals(a, extra, out);
+            collect_goals(b, extra, out);
+        }
+        Formula::Imp(a, b) => {
+            extra.push((**a).clone());
+            collect_goals(b, extra, out);
+            extra.pop();
+        }
+    }
+}
+
+/// A clause `antecedents ⇒ head` obtained by decomposing a hypothesis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Clause {
+    antecedents: Vec<Formula>,
+    head: String,
+}
+
+/// Decomposes a hypothesis into clauses: conjunctions split, nested
+/// implications accumulate antecedents, conjunction heads distribute.
+fn decompose(formula: &Formula, antecedents: &mut Vec<Formula>, out: &mut Vec<Clause>) {
+    match formula {
+        Formula::Atom(p) => out.push(Clause { antecedents: antecedents.clone(), head: p.clone() }),
+        Formula::And(a, b) => {
+            decompose(a, antecedents, out);
+            decompose(b, antecedents, out);
+        }
+        Formula::Imp(a, b) => {
+            antecedents.push((**a).clone());
+            decompose(b, antecedents, out);
+            antecedents.pop();
+        }
+    }
+}
+
+struct Saturator<'a> {
+    limits: &'a ProverLimits,
+    started: Instant,
+    steps: usize,
+    contexts: Vec<Vec<Formula>>,
+    context_ids: HashMap<Vec<Formula>, usize>,
+    clauses: Vec<Vec<Clause>>,
+    /// Facts `(context, atom)` known to be provable.
+    facts: HashSet<(usize, String)>,
+    exhausted: bool,
+}
+
+impl<'a> Saturator<'a> {
+    fn new(limits: &'a ProverLimits) -> Self {
+        Saturator {
+            limits,
+            started: Instant::now(),
+            steps: 0,
+            contexts: Vec::new(),
+            context_ids: HashMap::new(),
+            clauses: Vec::new(),
+            facts: HashSet::new(),
+            exhausted: false,
+        }
+    }
+
+    fn tick(&mut self) -> bool {
+        self.steps += 1;
+        if self.steps >= self.limits.max_steps {
+            self.exhausted = true;
+            return false;
+        }
+        if self.steps % 2048 == 0 && self.started.elapsed() > self.limits.time_limit {
+            self.exhausted = true;
+            return false;
+        }
+        true
+    }
+
+    fn intern_context(&mut self, mut ctx: Vec<Formula>) -> usize {
+        ctx.sort();
+        ctx.dedup();
+        if let Some(&id) = self.context_ids.get(&ctx) {
+            return id;
+        }
+        let id = self.contexts.len();
+        let mut clauses = Vec::new();
+        for f in &ctx {
+            let mut ants = Vec::new();
+            decompose(f, &mut ants, &mut clauses);
+        }
+        self.contexts.push(ctx.clone());
+        self.context_ids.insert(ctx, id);
+        self.clauses.push(clauses);
+        id
+    }
+
+    /// Whether `atom` is provable in context `ctx_id`, saturating to a global
+    /// fixpoint first.
+    fn provable_atom(&mut self, ctx_id: usize, atom: &str) -> Option<bool> {
+        self.saturate()?;
+        if self.exhausted {
+            return None;
+        }
+        Some(self.facts.contains(&(ctx_id, atom.to_owned())))
+    }
+
+    /// Runs forward saturation across every known context; contexts created
+    /// while evaluating implicational antecedents join the next round.
+    fn saturate(&mut self) -> Option<()> {
+        loop {
+            let mut changed = false;
+            let context_count = self.contexts.len();
+            for ctx_id in 0..context_count {
+                let clauses = self.clauses[ctx_id].clone();
+                for clause in clauses {
+                    if !self.tick() {
+                        return None;
+                    }
+                    if self.facts.contains(&(ctx_id, clause.head.clone())) {
+                        continue;
+                    }
+                    let mut all = true;
+                    for ant in &clause.antecedents {
+                        match self.antecedent_holds(ctx_id, ant) {
+                            Some(true) => {}
+                            Some(false) => {
+                                all = false;
+                                break;
+                            }
+                            None => return None,
+                        }
+                    }
+                    if all && self.facts.insert((ctx_id, clause.head.clone())) {
+                        changed = true;
+                    }
+                }
+            }
+            if self.contexts.len() > context_count {
+                // New contexts were created; they need their own facts.
+                changed = true;
+            }
+            if !changed {
+                return Some(());
+            }
+        }
+    }
+
+    /// Whether an antecedent formula currently holds in a context. For
+    /// implications this may create (and defer to) an extended context — the
+    /// answer then becomes available in a later saturation round.
+    fn antecedent_holds(&mut self, ctx_id: usize, ant: &Formula) -> Option<bool> {
+        if !self.tick() {
+            return None;
+        }
+        match ant {
+            Formula::Atom(p) => Some(self.facts.contains(&(ctx_id, p.clone()))),
+            Formula::And(a, b) => {
+                let left = self.antecedent_holds(ctx_id, a)?;
+                if !left {
+                    return Some(false);
+                }
+                self.antecedent_holds(ctx_id, b)
+            }
+            Formula::Imp(a, b) => {
+                let mut extended = self.contexts[ctx_id].clone();
+                extended.push((**a).clone());
+                let extended_id = self.intern_context(extended);
+                self.antecedent_in_context(extended_id, b)
+            }
+        }
+    }
+
+    fn antecedent_in_context(&mut self, ctx_id: usize, f: &Formula) -> Option<bool> {
+        match f {
+            Formula::Atom(p) => Some(self.facts.contains(&(ctx_id, p.clone()))),
+            Formula::And(a, b) => {
+                let left = self.antecedent_in_context(ctx_id, a)?;
+                if !left {
+                    return Some(false);
+                }
+                self.antecedent_in_context(ctx_id, b)
+            }
+            Formula::Imp(a, b) => {
+                let mut extended = self.contexts[ctx_id].clone();
+                extended.push((**a).clone());
+                let extended_id = self.intern_context(extended);
+                self.antecedent_in_context(extended_id, b)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(name: &str) -> Formula {
+        Formula::atom(name)
+    }
+
+    fn limits() -> ProverLimits {
+        ProverLimits::default()
+    }
+
+    #[test]
+    fn facts_and_modus_ponens() {
+        assert_eq!(prove(&[a("P")], &a("P"), &limits()), Some(true));
+        let hyps = vec![a("P"), Formula::imp(a("P"), a("Q"))];
+        assert_eq!(prove(&hyps, &a("Q"), &limits()), Some(true));
+        assert_eq!(prove(&hyps, &a("R"), &limits()), Some(false));
+    }
+
+    #[test]
+    fn implication_goals_assume_their_antecedent() {
+        assert_eq!(prove(&[], &Formula::imp(a("P"), a("P")), &limits()), Some(true));
+        let goal = Formula::imp(a("P"), Formula::imp(a("Q"), a("P")));
+        assert_eq!(prove(&[], &goal, &limits()), Some(true));
+    }
+
+    #[test]
+    fn conjunction_goals_need_both_parts() {
+        assert_eq!(
+            prove(&[a("P")], &Formula::and(a("P"), a("Q")), &limits()),
+            Some(false)
+        );
+        assert_eq!(
+            prove(&[a("P"), a("Q")], &Formula::and(a("P"), a("Q")), &limits()),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn conjunctive_hypotheses_split() {
+        assert_eq!(prove(&[Formula::and(a("P"), a("Q"))], &a("Q"), &limits()), Some(true));
+    }
+
+    #[test]
+    fn higher_order_antecedents_need_extended_contexts() {
+        // ((P -> Q) -> R) with Q provable unconditionally: R holds because
+        // P -> Q is provable (Q holds even with P assumed).
+        let hyps = vec![Formula::imp(Formula::imp(a("P"), a("Q")), a("R")), a("Q")];
+        assert_eq!(prove(&hyps, &a("R"), &limits()), Some(true));
+        // Without Q, R must not be derivable.
+        let hyps2 = vec![Formula::imp(Formula::imp(a("P"), a("Q")), a("R"))];
+        assert_eq!(prove(&hyps2, &a("R"), &limits()), Some(false));
+    }
+
+    #[test]
+    fn peirce_law_is_not_provable() {
+        let peirce = Formula::imp(
+            Formula::imp(Formula::imp(a("P"), a("Q")), a("P")),
+            a("P"),
+        );
+        assert_eq!(prove(&[], &peirce, &limits()), Some(false));
+    }
+
+    #[test]
+    fn chained_constructors_like_type_inhabitation() {
+        // String, String -> FIS, FIS -> BIS ⊢ BIS (the Table 2 shape).
+        let hyps = vec![
+            a("String"),
+            Formula::imp(a("String"), a("FileInputStream")),
+            Formula::imp(a("FileInputStream"), a("BufferedInputStream")),
+        ];
+        assert_eq!(prove(&hyps, &a("BufferedInputStream"), &limits()), Some(true));
+    }
+
+    #[test]
+    fn step_limit_yields_none() {
+        let hyps = vec![a("P"), Formula::imp(a("P"), a("Q"))];
+        let tight = ProverLimits { max_steps: 1, ..ProverLimits::default() };
+        assert_eq!(prove(&hyps, &a("Q"), &tight), None);
+    }
+}

@@ -1,0 +1,254 @@
+//! A contraction-free backward sequent prover (Dyckhoff's G4ip / LJT style).
+//!
+//! This is the "fCube-like" baseline of the Table 2 comparison: a complete
+//! backward prover for the →/∧ fragment of intuitionistic propositional
+//! logic. The left-implication rule is split by the shape of the antecedent,
+//! which removes the need for contraction and guarantees termination:
+//!
+//! * `p ⊃ B` (atomic antecedent) fires only when `p` is already in the
+//!   context and is then replaced by `B`;
+//! * `(C ∧ D) ⊃ B` is replaced by `C ⊃ (D ⊃ B)`;
+//! * `(C ⊃ D) ⊃ B` is the only non-invertible case: prove `C ⊃ D` with the
+//!   hypothesis `D ⊃ B`, then continue with `B`.
+
+use std::time::Instant;
+
+use crate::{Formula, ProverLimits};
+
+/// Attempts to prove `hypotheses ⊢ goal`.
+///
+/// Returns `Some(true)` / `Some(false)` when a verdict was reached and `None`
+/// when a resource limit was hit first.
+///
+/// # Example
+///
+/// ```
+/// use insynth_provers::{g4ip, Formula, ProverLimits};
+///
+/// // Peirce's law is classically valid but not intuitionistically provable.
+/// let peirce = Formula::imp(
+///     Formula::imp(
+///         Formula::imp(Formula::atom("P"), Formula::atom("Q")),
+///         Formula::atom("P"),
+///     ),
+///     Formula::atom("P"),
+/// );
+/// assert_eq!(g4ip::prove(&[], &peirce, &ProverLimits::default()), Some(false));
+/// ```
+pub fn prove(hypotheses: &[Formula], goal: &Formula, limits: &ProverLimits) -> Option<bool> {
+    let mut state = State { started: Instant::now(), steps: 0, limits };
+    let mut ctx: Vec<Formula> = hypotheses.to_vec();
+    prove_seq(&mut ctx, goal, &mut state)
+}
+
+struct State<'a> {
+    started: Instant,
+    steps: usize,
+    limits: &'a ProverLimits,
+}
+
+impl State<'_> {
+    fn tick(&mut self) -> bool {
+        self.steps += 1;
+        if self.steps >= self.limits.max_steps {
+            return false;
+        }
+        if self.steps % 1024 == 0 && self.started.elapsed() > self.limits.time_limit {
+            return false;
+        }
+        true
+    }
+}
+
+fn prove_seq(ctx: &mut Vec<Formula>, goal: &Formula, state: &mut State<'_>) -> Option<bool> {
+    if !state.tick() {
+        return None;
+    }
+    match goal {
+        Formula::And(a, b) => {
+            match prove_seq(ctx, a, state)? {
+                true => prove_seq(ctx, b, state),
+                false => Some(false),
+            }
+        }
+        Formula::Imp(a, b) => {
+            ctx.push((**a).clone());
+            let result = prove_seq(ctx, b, state);
+            ctx.pop();
+            result
+        }
+        Formula::Atom(p) => prove_atomic(ctx.clone(), p, state),
+    }
+}
+
+fn prove_atomic(mut ctx: Vec<Formula>, p: &str, state: &mut State<'_>) -> Option<bool> {
+    // Saturate the invertible left rules.
+    loop {
+        if !state.tick() {
+            return None;
+        }
+        if ctx.iter().any(|f| matches!(f, Formula::Atom(q) if q == p)) {
+            return Some(true);
+        }
+
+        // L∧: replace A ∧ B by A, B.
+        if let Some(idx) = ctx.iter().position(|f| matches!(f, Formula::And(..))) {
+            let Formula::And(a, b) = ctx.swap_remove(idx) else { unreachable!() };
+            ctx.push(*a);
+            ctx.push(*b);
+            continue;
+        }
+
+        // L⊃ with atomic antecedent: q ⊃ B fires when q is in the context.
+        let atomic_imp = ctx.iter().position(|f| {
+            matches!(f, Formula::Imp(a, _) if matches!(a.as_ref(), Formula::Atom(q) if ctx.iter().any(|g| matches!(g, Formula::Atom(r) if r == q))))
+        });
+        if let Some(idx) = atomic_imp {
+            let Formula::Imp(_, b) = ctx.swap_remove(idx) else { unreachable!() };
+            ctx.push(*b);
+            continue;
+        }
+
+        // L⊃ with conjunctive antecedent: (C ∧ D) ⊃ B becomes C ⊃ (D ⊃ B).
+        let conj_imp = ctx
+            .iter()
+            .position(|f| matches!(f, Formula::Imp(a, _) if matches!(a.as_ref(), Formula::And(..))));
+        if let Some(idx) = conj_imp {
+            let Formula::Imp(a, b) = ctx.swap_remove(idx) else { unreachable!() };
+            let Formula::And(c, d) = *a else { unreachable!() };
+            ctx.push(Formula::imp(*c, Formula::imp(*d, *b)));
+            continue;
+        }
+
+        break;
+    }
+
+    // Non-invertible case: try every (C ⊃ D) ⊃ B in the context.
+    let candidates: Vec<usize> = ctx
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| {
+            matches!(f, Formula::Imp(a, _) if matches!(a.as_ref(), Formula::Imp(..))).then_some(i)
+        })
+        .collect();
+
+    for idx in candidates {
+        let Formula::Imp(a, b) = ctx[idx].clone() else { unreachable!() };
+        let Formula::Imp(c, d) = (*a).clone() else { unreachable!() };
+
+        let mut without: Vec<Formula> = ctx.clone();
+        without.swap_remove(idx);
+
+        // First premise: Γ, D ⊃ B ⊢ C ⊃ D.
+        let mut first_ctx = without.clone();
+        first_ctx.push(Formula::imp((*d).clone(), (*b).clone()));
+        let first = prove_seq(&mut first_ctx, &Formula::imp((*c).clone(), (*d).clone()), state)?;
+        if !first {
+            continue;
+        }
+
+        // Second premise: Γ, B ⊢ p.
+        let mut second_ctx = without;
+        second_ctx.push((*b).clone());
+        if prove_atomic(second_ctx, p, state)? {
+            return Some(true);
+        }
+    }
+
+    Some(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(name: &str) -> Formula {
+        Formula::atom(name)
+    }
+
+    fn limits() -> ProverLimits {
+        ProverLimits::default()
+    }
+
+    #[test]
+    fn axiom_and_missing_atom() {
+        assert_eq!(prove(&[a("P")], &a("P"), &limits()), Some(true));
+        assert_eq!(prove(&[a("Q")], &a("P"), &limits()), Some(false));
+        assert_eq!(prove(&[], &a("P"), &limits()), Some(false));
+    }
+
+    #[test]
+    fn identity_and_weakening() {
+        // ⊢ P -> P and ⊢ P -> Q -> P
+        assert_eq!(prove(&[], &Formula::imp(a("P"), a("P")), &limits()), Some(true));
+        assert_eq!(
+            prove(&[], &Formula::imp(a("P"), Formula::imp(a("Q"), a("P"))), &limits()),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn modus_ponens_chain() {
+        // P, P -> Q, Q -> R ⊢ R
+        let hyps = vec![a("P"), Formula::imp(a("P"), a("Q")), Formula::imp(a("Q"), a("R"))];
+        assert_eq!(prove(&hyps, &a("R"), &limits()), Some(true));
+        assert_eq!(prove(&hyps, &a("S"), &limits()), Some(false));
+    }
+
+    #[test]
+    fn conjunction_introduction_and_elimination() {
+        // P, Q ⊢ P & Q and P & Q ⊢ P
+        assert_eq!(
+            prove(&[a("P"), a("Q")], &Formula::and(a("P"), a("Q")), &limits()),
+            Some(true)
+        );
+        assert_eq!(prove(&[Formula::and(a("P"), a("Q"))], &a("P"), &limits()), Some(true));
+        assert_eq!(prove(&[Formula::and(a("P"), a("Q"))], &a("R"), &limits()), Some(false));
+    }
+
+    #[test]
+    fn conjunctive_antecedent_implication() {
+        // (P & Q) -> R, P, Q ⊢ R
+        let hyps = vec![
+            Formula::imp(Formula::and(a("P"), a("Q")), a("R")),
+            a("P"),
+            a("Q"),
+        ];
+        assert_eq!(prove(&hyps, &a("R"), &limits()), Some(true));
+    }
+
+    #[test]
+    fn nested_implication_antecedent() {
+        // ((P -> Q) -> R), (P -> Q) ⊢ R  — needs the non-invertible rule.
+        let hyps = vec![
+            Formula::imp(Formula::imp(a("P"), a("Q")), a("R")),
+            Formula::imp(a("P"), a("Q")),
+        ];
+        assert_eq!(prove(&hyps, &a("R"), &limits()), Some(true));
+    }
+
+    #[test]
+    fn peirce_law_is_not_provable() {
+        let peirce = Formula::imp(
+            Formula::imp(Formula::imp(a("P"), a("Q")), a("P")),
+            a("P"),
+        );
+        assert_eq!(prove(&[], &peirce, &limits()), Some(false));
+    }
+
+    #[test]
+    fn double_negation_style_goal() {
+        // ⊢ ((P -> Q) -> Q) is not provable without P, but
+        // P ⊢ (P -> Q) -> Q is.
+        let goal = Formula::imp(Formula::imp(a("P"), a("Q")), a("Q"));
+        assert_eq!(prove(&[], &goal, &limits()), Some(false));
+        assert_eq!(prove(&[a("P")], &goal, &limits()), Some(true));
+    }
+
+    #[test]
+    fn step_limit_yields_none() {
+        let hyps = vec![a("P"), Formula::imp(a("P"), a("Q"))];
+        let tight = ProverLimits { max_steps: 1, ..ProverLimits::default() };
+        assert_eq!(prove(&hyps, &a("Q"), &tight), None);
+    }
+}

@@ -1,0 +1,62 @@
+//! Baseline intuitionistic propositional provers.
+//!
+//! Table 2 compares InSynth's own "prover" (the exploration + pattern
+//! generation phases, which decide type inhabitation) against two
+//! state-of-the-art intuitionistic provers: Imogen (a forward, inverse-method
+//! prover) and fCube (a backward tableau/sequent prover). Neither is available
+//! as a Rust library, so this crate implements two from-scratch baselines with
+//! the same proof-theoretic flavour:
+//!
+//! * [`g4ip`] — a backward, contraction-free sequent-calculus prover in the
+//!   style of Dyckhoff's G4ip / LJT (our "fCube-like" baseline),
+//! * [`forward`] — a forward-chaining saturation prover in the spirit of the
+//!   ground inverse method (our "Imogen-like" baseline).
+//!
+//! Both are complete for the →/∧ fragment of intuitionistic propositional
+//! logic, which is exactly the fragment type-inhabitation queries need
+//! (a declaration `x : τ1 → … → τn → v` is the hypothesis
+//! `τ1 ⊃ … ⊃ τn ⊃ v`). Queries are built with [`inhabitation_query`].
+//!
+//! # Example
+//!
+//! ```
+//! use insynth_core::{Declaration, DeclKind, TypeEnv};
+//! use insynth_lambda::Ty;
+//! use insynth_provers::{forward, g4ip, inhabitation_query, ProverLimits};
+//!
+//! let env: TypeEnv = vec![
+//!     Declaration::simple("a", Ty::base("A"), DeclKind::Local),
+//!     Declaration::simple("f", Ty::fun(vec![Ty::base("A")], Ty::base("B")), DeclKind::Local),
+//! ]
+//! .into_iter()
+//! .collect();
+//! let (hyps, goal) = inhabitation_query(&env, &Ty::base("B"));
+//! assert_eq!(g4ip::prove(&hyps, &goal, &ProverLimits::default()), Some(true));
+//! assert_eq!(forward::prove(&hyps, &goal, &ProverLimits::default()), Some(true));
+//! ```
+
+pub mod formula;
+pub mod forward;
+pub mod g4ip;
+
+pub use formula::{inhabitation_query, ty_to_formula, Formula};
+
+use std::time::Duration;
+
+/// Resource limits for a prover call.
+///
+/// Provers return `None` when a limit is hit before a verdict is reached
+/// (mirroring the timeouts the paper applies to Imogen and fCube).
+#[derive(Debug, Clone)]
+pub struct ProverLimits {
+    /// Wall-clock limit.
+    pub time_limit: Duration,
+    /// Maximum number of rule applications / derived sequents.
+    pub max_steps: usize,
+}
+
+impl Default for ProverLimits {
+    fn default() -> Self {
+        ProverLimits { time_limit: Duration::from_secs(10), max_steps: 5_000_000 }
+    }
+}

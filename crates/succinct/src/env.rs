@@ -1,0 +1,68 @@
+//! Interned succinct environments.
+
+use insynth_intern::Id;
+
+use crate::store::SuccinctTyId;
+
+/// The member set of an interned environment: a sorted, de-duplicated list of
+/// succinct type ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvData {
+    types: Vec<SuccinctTyId>,
+}
+
+impl EnvData {
+    /// Creates environment data from an already sorted, de-duplicated list.
+    pub(crate) fn new(types: Vec<SuccinctTyId>) -> Self {
+        debug_assert!(types.windows(2).all(|w| w[0] < w[1]), "env must be sorted");
+        EnvData { types }
+    }
+
+    /// The member types, sorted ascending by id.
+    pub fn types(&self) -> &[SuccinctTyId] {
+        &self.types
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, ty: SuccinctTyId) -> bool {
+        self.types.binary_search(&ty).is_ok()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Returns `true` for the empty environment.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+}
+
+/// Interned handle to a succinct environment Γ.
+pub type EnvId = Id<EnvData>;
+
+#[cfg(test)]
+mod tests {
+    use crate::SuccinctStore;
+
+    #[test]
+    fn contains_uses_membership_not_identity() {
+        let mut s = SuccinctStore::new();
+        let a = s.mk_base("A");
+        let b = s.mk_base("B");
+        let c = s.mk_base("C");
+        let env = s.mk_env(vec![a, c]);
+        assert!(s.env_contains(env, a));
+        assert!(!s.env_contains(env, b));
+        assert!(s.env_contains(env, c));
+    }
+
+    #[test]
+    fn empty_env_is_empty() {
+        let mut s = SuccinctStore::new();
+        let e = s.empty_env();
+        assert_eq!(s.env_len(e), 0);
+        assert_eq!(s.env_types(e), &[]);
+    }
+}

@@ -1,0 +1,332 @@
+//! Interning store for succinct types and environments.
+
+use std::collections::HashMap;
+
+use insynth_intern::{Id, IdVec, Interner, Symbol};
+use insynth_lambda::Ty;
+
+use crate::env::{EnvData, EnvId};
+
+/// The structural data of a succinct type `{t1, …, tn} → v`.
+///
+/// The argument set is kept sorted and de-duplicated, which is exactly what
+/// makes the representation "succinct": argument order and multiplicity are
+/// quotiented away (paper Definition 3.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SuccinctTy {
+    /// Sorted, de-duplicated argument types.
+    pub args: Vec<SuccinctTyId>,
+    /// Name of the base return type `v`.
+    pub ret: Symbol,
+}
+
+impl SuccinctTy {
+    /// Returns `true` if this succinct type has no arguments, i.e. it is (the
+    /// image of) a base type `∅ → v`.
+    pub fn is_base(&self) -> bool {
+        self.args.is_empty()
+    }
+}
+
+/// Interned handle to a [`SuccinctTy`].
+pub type SuccinctTyId = Id<SuccinctTy>;
+
+/// Arena interning succinct types, base-type names and succinct environments.
+///
+/// All ids handed out by one store are only meaningful for that store.
+///
+/// # Example
+///
+/// ```
+/// use insynth_lambda::Ty;
+/// use insynth_succinct::SuccinctStore;
+///
+/// let mut store = SuccinctStore::new();
+/// let int = store.sigma(&Ty::base("Int"));
+/// assert!(store.ty(int).is_base());
+/// assert_eq!(store.display_ty(int), "Int");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SuccinctStore {
+    base_names: Interner,
+    tys: IdVec<SuccinctTy>,
+    ty_map: HashMap<SuccinctTy, SuccinctTyId>,
+    envs: IdVec<EnvData>,
+    env_map: HashMap<Vec<SuccinctTyId>, EnvId>,
+}
+
+impl SuccinctStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a base-type name.
+    pub fn base_symbol(&mut self, name: &str) -> Symbol {
+        self.base_names.intern(name)
+    }
+
+    /// Resolves a base-type symbol back to its name.
+    pub fn base_name(&self, sym: Symbol) -> &str {
+        self.base_names.resolve(sym)
+    }
+
+    /// Number of distinct succinct types interned so far.
+    pub fn ty_count(&self) -> usize {
+        self.tys.len()
+    }
+
+    /// Number of distinct environments interned so far.
+    pub fn env_count(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// Interns the succinct type `{args} → ret`, sorting and de-duplicating
+    /// the argument set.
+    pub fn mk_ty(&mut self, mut args: Vec<SuccinctTyId>, ret: Symbol) -> SuccinctTyId {
+        args.sort_unstable();
+        args.dedup();
+        let data = SuccinctTy { args, ret };
+        if let Some(&id) = self.ty_map.get(&data) {
+            return id;
+        }
+        let id = self.tys.push(data.clone());
+        self.ty_map.insert(data, id);
+        id
+    }
+
+    /// Interns the base succinct type `∅ → name`.
+    pub fn mk_base(&mut self, name: &str) -> SuccinctTyId {
+        let sym = self.base_names.intern(name);
+        self.mk_ty(Vec::new(), sym)
+    }
+
+    /// The σ conversion from simple types to succinct types (§3.2):
+    ///
+    /// * `σ(v) = ∅ → v`
+    /// * `σ(τ1 → τ2) = ({σ(τ1)} ∪ A(σ(τ2))) → R(σ(τ2))`
+    pub fn sigma(&mut self, ty: &Ty) -> SuccinctTyId {
+        match ty {
+            Ty::Base(name) => self.mk_base(name),
+            Ty::Arrow(a, b) => {
+                let a_id = self.sigma(a);
+                let b_id = self.sigma(b);
+                let b_data = self.ty(b_id).clone();
+                let mut args = b_data.args;
+                args.push(a_id);
+                self.mk_ty(args, b_data.ret)
+            }
+        }
+    }
+
+    /// Looks at the structural data of a succinct type.
+    pub fn ty(&self, id: SuccinctTyId) -> &SuccinctTy {
+        &self.tys[id]
+    }
+
+    /// The argument set `A(t)` of a succinct type.
+    pub fn args_of(&self, id: SuccinctTyId) -> &[SuccinctTyId] {
+        &self.tys[id].args
+    }
+
+    /// The return base type `R(t)` of a succinct type.
+    pub fn ret_of(&self, id: SuccinctTyId) -> Symbol {
+        self.tys[id].ret
+    }
+
+    /// Renders a succinct type, e.g. `{Int, String} -> File`.
+    pub fn display_ty(&self, id: SuccinctTyId) -> String {
+        let data = &self.tys[id];
+        if data.args.is_empty() {
+            return self.base_name(data.ret).to_owned();
+        }
+        let args: Vec<String> = data.args.iter().map(|&a| self.display_ty(a)).collect();
+        format!("{{{}}} -> {}", args.join(", "), self.base_name(data.ret))
+    }
+
+    /// Interns an environment (a finite set of succinct types).
+    pub fn mk_env(&mut self, types: impl IntoIterator<Item = SuccinctTyId>) -> EnvId {
+        let mut sorted: Vec<SuccinctTyId> = types.into_iter().collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if let Some(&id) = self.env_map.get(&sorted) {
+            return id;
+        }
+        let id = self.envs.push(EnvData::new(sorted.clone()));
+        self.env_map.insert(sorted, id);
+        id
+    }
+
+    /// The empty environment.
+    pub fn empty_env(&mut self) -> EnvId {
+        self.mk_env(Vec::new())
+    }
+
+    /// Converts a whole simple-type environment (the images `σ(τi)` of every
+    /// declaration type) into an interned succinct environment.
+    pub fn sigma_env<'a>(&mut self, tys: impl IntoIterator<Item = &'a Ty>) -> EnvId {
+        let ids: Vec<SuccinctTyId> = tys.into_iter().map(|t| self.sigma(t)).collect();
+        self.mk_env(ids)
+    }
+
+    /// The member types of an environment, sorted.
+    pub fn env_types(&self, env: EnvId) -> &[SuccinctTyId] {
+        self.envs[env].types()
+    }
+
+    /// Returns `true` if `ty` is a member of `env`.
+    pub fn env_contains(&self, env: EnvId, ty: SuccinctTyId) -> bool {
+        self.envs[env].contains(ty)
+    }
+
+    /// Number of member types of an environment.
+    pub fn env_len(&self, env: EnvId) -> usize {
+        self.envs[env].len()
+    }
+
+    /// Interns `env ∪ extra`.
+    pub fn env_union(&mut self, env: EnvId, extra: &[SuccinctTyId]) -> EnvId {
+        if extra.iter().all(|&t| self.env_contains(env, t)) {
+            return env;
+        }
+        let mut types = self.envs[env].types().to_vec();
+        types.extend_from_slice(extra);
+        self.mk_env(types)
+    }
+
+    /// Returns `true` if every member of `small` is a member of `big`.
+    pub fn env_subset(&self, small: EnvId, big: EnvId) -> bool {
+        self.envs[small]
+            .types()
+            .iter()
+            .all(|&t| self.env_contains(big, t))
+    }
+
+    /// Renders an environment, e.g. `{Int, {Int} -> String}`.
+    pub fn display_env(&self, env: EnvId) -> String {
+        let parts: Vec<String> = self
+            .env_types(env)
+            .iter()
+            .map(|&t| self.display_ty(t))
+            .collect();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_of_base_type_is_nullary() {
+        let mut s = SuccinctStore::new();
+        let t = s.sigma(&Ty::base("Int"));
+        assert!(s.ty(t).is_base());
+        assert_eq!(s.base_name(s.ret_of(t)), "Int");
+    }
+
+    #[test]
+    fn sigma_collapses_argument_order() {
+        let mut s = SuccinctStore::new();
+        let ab = s.sigma(&Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("C")));
+        let ba = s.sigma(&Ty::fun(vec![Ty::base("B"), Ty::base("A")], Ty::base("C")));
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn sigma_collapses_duplicate_arguments() {
+        let mut s = SuccinctStore::new();
+        let one = s.sigma(&Ty::fun(vec![Ty::base("A")], Ty::base("C")));
+        let two = s.sigma(&Ty::fun(vec![Ty::base("A"), Ty::base("A")], Ty::base("C")));
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn sigma_flattens_currying() {
+        // A -> (B -> C)  and the "uncurried view" {A, B} -> C agree.
+        let mut s = SuccinctStore::new();
+        let curried = s.sigma(&Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("C")));
+        let a = s.mk_base("A");
+        let b = s.mk_base("B");
+        let c = s.base_symbol("C");
+        let direct = s.mk_ty(vec![a, b], c);
+        assert_eq!(curried, direct);
+    }
+
+    #[test]
+    fn sigma_keeps_higher_order_arguments_nested() {
+        // (A -> B) -> C  must become {{A} -> B} -> C, not {A, B} -> C.
+        let mut s = SuccinctStore::new();
+        let hof = s.sigma(&Ty::fun(
+            vec![Ty::fun(vec![Ty::base("A")], Ty::base("B"))],
+            Ty::base("C"),
+        ));
+        let args = s.args_of(hof).to_vec();
+        assert_eq!(args.len(), 1);
+        assert!(!s.ty(args[0]).is_base());
+        assert_eq!(s.display_ty(hof), "{{A} -> B} -> C");
+    }
+
+    #[test]
+    fn paper_example_environment() {
+        // Γo = {a : Int, f : Int -> Int -> Int -> String}
+        // Γ = {Int, {Int} -> String}
+        let mut s = SuccinctStore::new();
+        let a = s.sigma(&Ty::base("Int"));
+        let f = s.sigma(&Ty::fun(
+            vec![Ty::base("Int"), Ty::base("Int"), Ty::base("Int")],
+            Ty::base("String"),
+        ));
+        let env = s.mk_env(vec![a, f]);
+        assert_eq!(s.env_len(env), 2);
+        assert_eq!(s.args_of(f).len(), 1);
+        assert_eq!(s.base_name(s.ret_of(f)), "String");
+    }
+
+    #[test]
+    fn environments_are_interned_sets() {
+        let mut s = SuccinctStore::new();
+        let a = s.mk_base("A");
+        let b = s.mk_base("B");
+        let e1 = s.mk_env(vec![a, b]);
+        let e2 = s.mk_env(vec![b, a, a]);
+        assert_eq!(e1, e2);
+        assert_eq!(s.env_len(e1), 2);
+    }
+
+    #[test]
+    fn env_union_is_idempotent_and_monotone() {
+        let mut s = SuccinctStore::new();
+        let a = s.mk_base("A");
+        let b = s.mk_base("B");
+        let e = s.mk_env(vec![a]);
+        let e_ab = s.env_union(e, &[b]);
+        assert!(s.env_contains(e_ab, a));
+        assert!(s.env_contains(e_ab, b));
+        // Union with an already-present member returns the same interned env.
+        assert_eq!(s.env_union(e_ab, &[a]), e_ab);
+        assert!(s.env_subset(e, e_ab));
+        assert!(!s.env_subset(e_ab, e));
+    }
+
+    #[test]
+    fn display_renders_sets_and_arrows() {
+        let mut s = SuccinctStore::new();
+        let int = s.mk_base("Int");
+        let string = s.base_symbol("String");
+        let f = s.mk_ty(vec![int], string);
+        let env = s.mk_env(vec![int, f]);
+        let rendered = s.display_env(env);
+        assert!(rendered.contains("Int"));
+        assert!(rendered.contains("{Int} -> String"));
+    }
+
+    #[test]
+    fn ty_count_tracks_distinct_types_only() {
+        let mut s = SuccinctStore::new();
+        s.sigma(&Ty::fun(vec![Ty::base("A")], Ty::base("B")));
+        s.sigma(&Ty::fun(vec![Ty::base("A")], Ty::base("B")));
+        // A, B and {A}->B.
+        assert_eq!(s.ty_count(), 3);
+    }
+}

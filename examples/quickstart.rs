@@ -1,0 +1,74 @@
+//! Quickstart: synthesize ranked expressions from a hand-built environment.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! This example does not use the API model at all; it shows the lowest-level
+//! workflow: declare what is in scope (a type environment Γ), pick a goal
+//! type, and ask the synthesizer for the best-ranked expressions of that type.
+
+use insynth::core::{DeclKind, Declaration, SynthesisConfig, Synthesizer, TypeEnv};
+use insynth::lambda::Ty;
+
+fn main() {
+    // The program point: a local `path`, plus a few imported API functions.
+    let env: TypeEnv = vec![
+        Declaration::simple("path", Ty::base("String"), DeclKind::Local),
+        Declaration::simple(
+            "openFile",
+            Ty::fun(vec![Ty::base("String")], Ty::base("File")),
+            DeclKind::Imported,
+        )
+        .with_frequency(800),
+        Declaration::simple(
+            "readAll",
+            Ty::fun(vec![Ty::base("File")], Ty::base("String")),
+            DeclKind::Imported,
+        )
+        .with_frequency(350),
+        Declaration::simple(
+            "parseConfig",
+            Ty::fun(vec![Ty::base("String")], Ty::base("Config")),
+            DeclKind::Imported,
+        )
+        .with_frequency(40),
+        Declaration::simple(
+            "defaultConfig",
+            Ty::base("Config"),
+            DeclKind::Imported,
+        )
+        .with_frequency(5),
+    ]
+    .into_iter()
+    .collect();
+
+    // The declared type left of the cursor: we want a Config.
+    let goal = Ty::base("Config");
+
+    let mut synth = Synthesizer::new(SynthesisConfig::default());
+    let result = synth.synthesize(&env, &goal, 5);
+
+    println!("goal type: {goal}");
+    println!(
+        "{} declarations, {} succinct types, {} patterns, synthesized in {} ms",
+        result.stats.initial_declarations,
+        result.stats.distinct_succinct_types,
+        result.stats.patterns,
+        result.timings.total().as_millis()
+    );
+    println!();
+    for (i, snippet) in result.snippets.iter().enumerate() {
+        println!(
+            "  {}. {:<45} weight {:>7.1}  depth {}",
+            i + 1,
+            snippet.term.to_string(),
+            snippet.weight.value(),
+            snippet.depth
+        );
+    }
+
+    // The ranking prefers the frequent `parseConfig(path)` over the rarely
+    // used `defaultConfig`, and both over deeper compositions such as
+    // `parseConfig(readAll(openFile(path)))`.
+    assert!(result.rank_of("parseConfig(path)").is_some());
+    assert!(result.rank_of("parseConfig(readAll(openFile(path)))").is_some());
+}

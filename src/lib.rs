@@ -1,0 +1,59 @@
+//! # InSynth — Complete Completion using Types and Weights
+//!
+//! A Rust reproduction of the InSynth system from *Complete Completion using
+//! Types and Weights* (Gvero, Kuncak, Kuraj, Piskac; PLDI 2013).
+//!
+//! InSynth synthesizes ranked, type-correct expressions at a program point:
+//! given the set of declarations visible at the cursor (a type environment Γ)
+//! and a desired type τ, it enumerates lambda terms in long normal form with
+//! Γ ⊢ e : τ, ranked by a weight function derived from lexical proximity and a
+//! usage corpus.
+//!
+//! This facade crate re-exports the individual sub-crates:
+//!
+//! * [`intern`] — string interning and typed ids.
+//! * [`lambda`] — the simply typed lambda calculus substrate (types, long
+//!   normal form terms, type checking).
+//! * [`succinct`] — succinct types, environments, patterns and the succinct
+//!   calculus (paper §3).
+//! * [`core`] — the synthesis engine: weights (§4), the Explore / GenerateP /
+//!   GenerateT phases (§5), coercion-based subtyping (§6).
+//! * [`apimodel`] — the program / API model substrate that stands in for the
+//!   Scala presentation compiler: it produces declaration lists at program
+//!   points and renders synthesized snippets in Scala-like syntax.
+//! * [`corpus`] — usage-frequency corpus and the weight formula of Table 1.
+//! * [`provers`] — baseline intuitionistic propositional provers (an
+//!   inverse-method prover and a contraction-free sequent prover) used for the
+//!   Table 2 comparison.
+//! * [`benchsuite`] — the 50 evaluation benchmarks of Table 2 and the harness
+//!   that reproduces the paper's measurements.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use insynth::core::{Declaration, DeclKind, Synthesizer, SynthesisConfig, TypeEnv};
+//! use insynth::lambda::Ty;
+//!
+//! // A tiny environment:  name: String,  mkFile: String -> File
+//! let mut env = TypeEnv::new();
+//! env.push(Declaration::simple("name", Ty::base("String"), DeclKind::Local));
+//! env.push(Declaration::simple(
+//!     "mkFile",
+//!     Ty::fun(vec![Ty::base("String")], Ty::base("File")),
+//!     DeclKind::Imported,
+//! ));
+//!
+//! let mut synth = Synthesizer::new(SynthesisConfig::default());
+//! let result = synth.synthesize(&env, &Ty::base("File"), 5);
+//! assert!(!result.snippets.is_empty());
+//! assert_eq!(result.snippets[0].term.to_string(), "mkFile(name)");
+//! ```
+
+pub use insynth_apimodel as apimodel;
+pub use insynth_benchsuite as benchsuite;
+pub use insynth_core as core;
+pub use insynth_corpus as corpus;
+pub use insynth_intern as intern;
+pub use insynth_lambda as lambda;
+pub use insynth_provers as provers;
+pub use insynth_succinct as succinct;

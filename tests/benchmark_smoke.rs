@@ -1,0 +1,106 @@
+//! Smoke tests over a representative subset of the Table 2 benchmarks.
+//!
+//! The full 50-benchmark evaluation with paper-scale environments is the
+//! `table2` binary (release build); these tests keep CI fast by running a
+//! cross-section of benchmarks with small environments
+//! ([`HarnessConfig::fast`]) and checking the qualitative claims of §7.5:
+//! the full algorithm finds the expected snippet near the top, and the
+//! weighted variants dominate the unweighted one.
+
+use insynth::benchsuite::{all_benchmarks, run_benchmark, summarize, Benchmark, HarnessConfig};
+use insynth::core::WeightMode;
+
+fn benchmark(name: &str) -> Benchmark {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+}
+
+/// The cross-section exercised in tests: IO constructor chains, Swing widgets,
+/// networking, literals, subtyping-heavy readers and multi-argument heads.
+const SMOKE: &[&str] = &[
+    "AWTPermissionStringname",
+    "BufferedInputStreamFileInputStream",
+    "BufferedReaderReaderin",
+    "DatagramSocket",
+    "FileInputStreamStringname",
+    "FileWriterLPT1",
+    "GridBagLayout",
+    "JButtonStringtext",
+    "JTree",
+    "ObjectOutputStreamOutputStreamout",
+    "SequenceInputStreamInputStreams",
+    "ServerSocketintport",
+    "StreamTokenizerFileReaderfileReader",
+    "TimerintvalueActionListeneract",
+    "URLStringspecthrows",
+];
+
+#[test]
+fn full_algorithm_finds_the_expected_snippet_in_the_top_ten() {
+    let config = HarnessConfig::fast();
+    let mut outcomes = Vec::new();
+    for name in SMOKE {
+        let bench = benchmark(name);
+        let outcome = run_benchmark(&bench, WeightMode::Full, &config);
+        assert!(
+            outcome.rank.is_some(),
+            "benchmark {name} not found; suggestions: {:?}",
+            outcome.suggestions
+        );
+        outcomes.push(outcome);
+    }
+    let summary = summarize(&outcomes);
+    assert_eq!(summary.found, SMOKE.len());
+    // A majority of the smoke benchmarks rank first, mirroring the paper's 64%.
+    assert!(
+        summary.rank_one * 2 >= SMOKE.len(),
+        "only {} of {} ranked first",
+        summary.rank_one,
+        SMOKE.len()
+    );
+}
+
+#[test]
+fn no_corpus_variant_still_finds_most_snippets() {
+    let config = HarnessConfig::fast();
+    let mut found = 0;
+    for name in SMOKE {
+        let bench = benchmark(name);
+        if run_benchmark(&bench, WeightMode::NoCorpus, &config).rank.is_some() {
+            found += 1;
+        }
+    }
+    assert!(found >= SMOKE.len() - 2, "only {found} of {} found", SMOKE.len());
+}
+
+#[test]
+fn weighted_variants_rank_at_least_as_well_as_unweighted_on_average() {
+    let config = HarnessConfig::fast();
+    let mut weighted_found = 0usize;
+    let mut unweighted_found = 0usize;
+    for name in SMOKE.iter().take(8) {
+        let bench = benchmark(name);
+        if run_benchmark(&bench, WeightMode::Full, &config).rank.is_some() {
+            weighted_found += 1;
+        }
+        if run_benchmark(&bench, WeightMode::NoWeights, &config).rank.is_some() {
+            unweighted_found += 1;
+        }
+    }
+    assert!(weighted_found >= unweighted_found);
+    assert!(weighted_found >= 7);
+}
+
+#[test]
+fn environment_sizes_grow_with_the_papers_initial_column() {
+    let config = HarnessConfig::default();
+    let small = benchmark("FileInputStreamStringname"); // paper: 3363
+    let large = benchmark("JformattedTextFieldAbstractFormatter"); // paper: 10700
+    let small_env = insynth::benchsuite::build_environment(&small, &config);
+    let large_env = insynth::benchsuite::build_environment(&large, &config);
+    assert!(large_env.len() > small_env.len());
+    assert!(small_env.len() > 2500);
+    assert!(large_env.len() > 8000);
+}

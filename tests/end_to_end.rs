@@ -1,0 +1,196 @@
+//! Cross-crate integration tests: API model → engine → renderer on the
+//! paper's motivating examples, plus completeness and prover cross-checks.
+
+use insynth::apimodel::{extract, javaapi, render_snippet, ProgramPoint};
+use insynth::core::{
+    is_inhabited_ref, rcn, DeclKind, Declaration, SynthesisConfig, Synthesizer, TypeEnv,
+};
+use insynth::corpus::synthetic_corpus;
+use insynth::lambda::{Term, Ty};
+use insynth::provers::{forward, g4ip, inhabitation_query, ProverLimits};
+use std::collections::HashSet;
+
+fn motivating_env(point: ProgramPoint) -> TypeEnv {
+    let model = javaapi::standard_model();
+    let mut env = extract(&model, &point);
+    let corpus = synthetic_corpus(&model, 42);
+    corpus.apply(&mut env);
+    env
+}
+
+#[test]
+fn figure1_sequence_of_streams_is_suggested() {
+    let env = motivating_env(
+        ProgramPoint::new()
+            .with_local("body", Ty::base("String"))
+            .with_local("sig", Ty::base("String"))
+            .with_import("java.io")
+            .with_import("java.lang"),
+    );
+    let mut synth = Synthesizer::new(SynthesisConfig::default());
+    let result = synth.synthesize(&env, &Ty::base("SequenceInputStream"), 10);
+    let rendered: Vec<String> = result.snippets.iter().map(render_snippet).collect();
+    let expected =
+        "new SequenceInputStream(new FileInputStream(body), new FileInputStream(sig))";
+    let rank = rendered.iter().position(|s| s == expected).map(|i| i + 1);
+    assert!(rank.is_some(), "expected snippet missing; got {rendered:?}");
+    assert!(rank.unwrap() <= 5, "rank was {rank:?}");
+}
+
+#[test]
+fn section22_higher_order_completion_is_rank_one() {
+    let env = motivating_env(
+        ProgramPoint::new()
+            .with_local("tree", Ty::base("Tree"))
+            .with_local("p", Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")))
+            .with_import("scala.tools.eclipse.javaelements")
+            .with_import("java.lang"),
+    );
+    let mut synth = Synthesizer::new(SynthesisConfig::default());
+    let result = synth.synthesize(&env, &Ty::base("FilterTypeTreeTraverser"), 5);
+    let rendered: Vec<String> = result.snippets.iter().map(render_snippet).collect();
+    assert_eq!(rendered[0], "new FilterTypeTreeTraverser(var1 => p(var1))");
+}
+
+#[test]
+fn section23_subtyping_completion_uses_coercions() {
+    let env = motivating_env(
+        ProgramPoint::new()
+            .with_local("panel", Ty::base("Panel"))
+            .with_import("java.awt")
+            .with_import("java.lang"),
+    );
+    let mut synth = Synthesizer::new(SynthesisConfig::default());
+    let result = synth.synthesize(&env, &Ty::base("LayoutManager"), 10);
+    let rendered: Vec<String> = result.snippets.iter().map(render_snippet).collect();
+    let rank = rendered
+        .iter()
+        .position(|s| s == "panel.getLayout()")
+        .map(|i| i + 1)
+        .expect("panel.getLayout() must be suggested");
+    assert!(rank <= 5, "rank was {rank}, suggestions {rendered:?}");
+    // The snippet that used the coercion reports it.
+    let snippet = &result.snippets[rank - 1];
+    assert!(snippet.coercions >= 1);
+}
+
+#[test]
+fn every_suggestion_for_the_motivating_examples_type_checks() {
+    let env = motivating_env(
+        ProgramPoint::new()
+            .with_local("body", Ty::base("String"))
+            .with_local("sig", Ty::base("String"))
+            .with_import("java.io")
+            .with_import("java.lang"),
+    );
+    let goal = Ty::base("BufferedReader");
+    let mut synth = Synthesizer::new(SynthesisConfig::default());
+    let result = synth.synthesize(&env, &goal, 20);
+    assert!(!result.snippets.is_empty());
+    for snippet in &result.snippets {
+        assert!(
+            env.admits(&snippet.raw_term, &goal),
+            "{} does not type check at {goal}",
+            snippet.raw_term
+        );
+    }
+}
+
+#[test]
+fn engine_is_complete_with_respect_to_rcn_on_a_library_like_environment() {
+    // A small but representative slice: constructor chains plus a local.
+    let env: TypeEnv = vec![
+        Declaration::simple("name", Ty::base("String"), DeclKind::Local),
+        Declaration::simple(
+            "fis",
+            Ty::fun(vec![Ty::base("String")], Ty::base("InputStream")),
+            DeclKind::Imported,
+        ),
+        Declaration::simple(
+            "bis",
+            Ty::fun(vec![Ty::base("InputStream")], Ty::base("InputStream")),
+            DeclKind::Imported,
+        ),
+        Declaration::simple(
+            "reader",
+            Ty::fun(vec![Ty::base("InputStream"), Ty::base("String")], Ty::base("Reader")),
+            DeclKind::Imported,
+        ),
+    ]
+    .into_iter()
+    .collect();
+    let goal = Ty::base("Reader");
+    let depth = 4;
+
+    let reference: HashSet<Term> =
+        rcn(&env, &goal, depth).iter().map(Term::alpha_normalize).collect();
+    let config = SynthesisConfig::unbounded().with_max_depth(depth);
+    let mut synth = Synthesizer::new(config);
+    let result = synth.synthesize(&env, &goal, 100_000);
+    let engine: HashSet<Term> = result
+        .snippets
+        .iter()
+        .map(|s| s.raw_term.alpha_normalize())
+        .collect();
+
+    assert_eq!(engine, reference);
+    assert!(!reference.is_empty());
+}
+
+#[test]
+fn provers_and_engine_agree_on_benchmark_style_queries() {
+    let cases = vec![
+        (
+            ProgramPoint::new()
+                .with_local("name", Ty::base("String"))
+                .with_import("java.io"),
+            Ty::base("BufferedInputStream"),
+            true,
+        ),
+        (
+            ProgramPoint::new().with_import("java.net"),
+            Ty::base("DatagramSocket"),
+            true,
+        ),
+        (
+            ProgramPoint::new().with_import("java.net"),
+            Ty::base("NoSuchClass"),
+            false,
+        ),
+    ];
+
+    for (point, goal, expected) in cases {
+        let env = motivating_env(point);
+        let mut synth = Synthesizer::new(SynthesisConfig::default());
+        assert_eq!(synth.is_inhabited(&env, &goal), expected, "engine on {goal}");
+        assert_eq!(is_inhabited_ref(&env, &goal), expected, "reference on {goal}");
+
+        let (hyps, formula) = inhabitation_query(&env, &goal);
+        let limits = ProverLimits::default();
+        assert_eq!(forward::prove(&hyps, &formula, &limits), Some(expected), "forward on {goal}");
+        assert_eq!(g4ip::prove(&hyps, &formula, &limits), Some(expected), "g4ip on {goal}");
+    }
+}
+
+#[test]
+fn weight_variants_change_ranking_but_not_soundness() {
+    use insynth::core::{WeightConfig, WeightMode};
+    let env = motivating_env(
+        ProgramPoint::new()
+            .with_local("fileName", Ty::base("String"))
+            .with_import("java.io")
+            .with_import("java.lang"),
+    );
+    let goal = Ty::base("FileInputStream");
+    for mode in [WeightMode::NoWeights, WeightMode::NoCorpus, WeightMode::Full] {
+        let config = SynthesisConfig::default().with_weights(WeightConfig::new(mode));
+        let mut synth = Synthesizer::new(config);
+        let result = synth.synthesize(&env, &goal, 10);
+        assert!(!result.snippets.is_empty(), "{mode:?} found nothing");
+        for snippet in &result.snippets {
+            assert!(env.admits(&snippet.raw_term, &goal), "{} fails", snippet.raw_term);
+        }
+        // Ranking is monotone in weight for every variant.
+        assert!(result.snippets.windows(2).all(|w| w[0].weight <= w[1].weight));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests over randomly generated environments and goals.
+//!
+//! These check the paper's core claims on arbitrary inputs:
+//!
+//! * soundness — every synthesized term type-checks at the goal type,
+//! * completeness — the engine enumerates exactly the terms the reference
+//!   RCN function (Figure 4) enumerates, up to a depth bound and
+//!   α-equivalence,
+//! * prover agreement — the engine's inhabitation verdict coincides with the
+//!   reference oracle and with both baseline provers,
+//! * σ laws — the succinct conversion is invariant under argument reordering,
+//! * ranking — the returned list is sorted by weight.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use insynth::core::{
+    is_inhabited_ref, rcn, DeclKind, Declaration, SynthesisConfig, Synthesizer, TypeEnv,
+    WeightConfig,
+};
+use insynth::lambda::{check, Term, Ty};
+use insynth::provers::{forward, g4ip, inhabitation_query, ProverLimits};
+use insynth::succinct::SuccinctStore;
+use std::collections::HashSet;
+
+const BASE_TYPES: &[&str] = &["A", "B", "C", "D"];
+
+/// A random simple type of bounded depth over a tiny base alphabet.
+fn arb_ty() -> impl Strategy<Value = Ty> {
+    let leaf = prop::sample::select(BASE_TYPES.to_vec()).prop_map(Ty::base);
+    leaf.prop_recursive(2, 6, 2, |inner| {
+        (vec(inner.clone(), 1..3), inner).prop_map(|(args, ret)| Ty::fun(args, ret))
+    })
+}
+
+/// A random environment of up to eight declarations with varied kinds.
+fn arb_env() -> impl Strategy<Value = TypeEnv> {
+    vec((arb_ty(), 0u8..3), 1..8).prop_map(|decls| {
+        decls
+            .into_iter()
+            .enumerate()
+            .map(|(i, (ty, kind))| {
+                let kind = match kind {
+                    0 => DeclKind::Local,
+                    1 => DeclKind::Class,
+                    _ => DeclKind::Imported,
+                };
+                Declaration::simple(format!("d{i}"), ty, kind).with_frequency((i as u64) * 17)
+            })
+            .collect()
+    })
+}
+
+fn arb_goal() -> impl Strategy<Value = Ty> {
+    prop_oneof![
+        prop::sample::select(BASE_TYPES.to_vec()).prop_map(Ty::base),
+        (
+            prop::sample::select(BASE_TYPES.to_vec()),
+            prop::sample::select(BASE_TYPES.to_vec())
+        )
+            .prop_map(|(a, b)| Ty::fun(vec![Ty::base(a)], Ty::base(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_synthesized_term_type_checks(env in arb_env(), goal in arb_goal()) {
+        let config = SynthesisConfig::unbounded().with_max_depth(4);
+        let mut synth = Synthesizer::new(config);
+        let result = synth.synthesize(&env, &goal, 50);
+        let bindings = env.to_bindings();
+        for snippet in &result.snippets {
+            prop_assert!(check(&bindings, &snippet.raw_term, &goal).is_ok(),
+                "term {} of weight {:?} does not check", snippet.raw_term, snippet.weight);
+        }
+    }
+
+    #[test]
+    fn ranking_is_sorted_by_weight(env in arb_env(), goal in arb_goal()) {
+        let mut synth = Synthesizer::new(SynthesisConfig::default().with_max_depth(4));
+        let result = synth.synthesize(&env, &goal, 30);
+        prop_assert!(result.snippets.windows(2).all(|w| w[0].weight <= w[1].weight));
+    }
+
+    #[test]
+    fn engine_matches_rcn_up_to_depth_three(env in arb_env(), goal in arb_goal()) {
+        let depth = 3;
+        let reference: HashSet<Term> =
+            rcn(&env, &goal, depth).iter().map(Term::alpha_normalize).collect();
+        let config = SynthesisConfig::unbounded().with_max_depth(depth);
+        let mut synth = Synthesizer::new(config);
+        let result = synth.synthesize(&env, &goal, 50_000);
+        let engine: HashSet<Term> = result
+            .snippets
+            .iter()
+            .map(|s| s.raw_term.alpha_normalize())
+            .collect();
+        prop_assert_eq!(engine, reference);
+    }
+
+    #[test]
+    fn inhabitation_verdicts_agree_across_engine_reference_and_provers(
+        env in arb_env(),
+        goal in arb_goal(),
+    ) {
+        let expected = is_inhabited_ref(&env, &goal);
+
+        let mut synth = Synthesizer::new(SynthesisConfig::default());
+        prop_assert_eq!(synth.is_inhabited(&env, &goal), expected);
+
+        let (hyps, formula) = inhabitation_query(&env, &goal);
+        let limits = ProverLimits::default();
+        prop_assert_eq!(forward::prove(&hyps, &formula, &limits), Some(expected));
+        prop_assert_eq!(g4ip::prove(&hyps, &formula, &limits), Some(expected));
+    }
+
+    #[test]
+    fn sigma_ignores_argument_order_and_duplicates(args in vec(arb_ty(), 1..4), ret in prop::sample::select(BASE_TYPES.to_vec())) {
+        let mut store = SuccinctStore::new();
+        let forward_ty = Ty::fun(args.clone(), Ty::base(ret));
+        let mut reversed_args = args.clone();
+        reversed_args.reverse();
+        let mut duplicated = args.clone();
+        duplicated.extend(args.clone());
+        let reversed_ty = Ty::fun(reversed_args, Ty::base(ret));
+        let duplicated_ty = Ty::fun(duplicated, Ty::base(ret));
+
+        let a = store.sigma(&forward_ty);
+        let b = store.sigma(&reversed_ty);
+        let c = store.sigma(&duplicated_ty);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a, c);
+    }
+
+    #[test]
+    fn no_weights_mode_finds_a_superset_of_goals(env in arb_env(), goal in arb_goal()) {
+        // Whether *some* snippet exists must not depend on the weight mode.
+        use insynth::core::WeightMode;
+        let full = Synthesizer::new(SynthesisConfig::unbounded().with_max_depth(3))
+            .synthesize(&env, &goal, 1000);
+        let none = Synthesizer::new(
+            SynthesisConfig::unbounded()
+                .with_max_depth(3)
+                .with_weights(WeightConfig::new(WeightMode::NoWeights)),
+        )
+        .synthesize(&env, &goal, 1000);
+        prop_assert_eq!(full.snippets.is_empty(), none.snippets.is_empty());
+    }
+}
