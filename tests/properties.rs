@@ -63,7 +63,12 @@ fn arb_goal() -> impl Strategy<Value = Ty> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    // Deterministic CI: the case count and the RNG seed are pinned, so every
+    // run generates the identical sequence of environments and goals. The
+    // vendored proptest stand-in derives each case's stream from
+    // (rng_seed, test name, case index) and keeps no failure-persistence
+    // file, so there is nothing machine-local to flake on.
+    #![proptest_config(ProptestConfig { cases: 48, rng_seed: 0x0001_5eed, ..ProptestConfig::default() })]
 
     #[test]
     fn every_synthesized_term_type_checks(env in arb_env(), goal in arb_goal()) {

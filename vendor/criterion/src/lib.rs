@@ -1,0 +1,219 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal, API-compatible subset of criterion: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up, then timed
+//! over `sample_size` samples whose iteration counts are sized so a sample
+//! takes roughly [`TARGET_SAMPLE`]. The harness reports min / median / mean
+//! per-iteration wall-clock times to stdout. There is no statistical analysis,
+//! plotting, or baseline comparison — enough to spot order-of-magnitude
+//! regressions, not to publish.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Rough wall-clock budget per sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    default_sample_size: usize,
+    /// Substring filter taken from the command line, as `cargo bench -- foo`.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion {
+            default_sample_size: 20,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.filter.as_deref(), self.default_sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.default_sample_size = n.max(2);
+        self
+    }
+}
+
+/// A named family of related benchmarks (`group/function` ids).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.default_sample_size)
+    }
+
+    pub fn bench_function<S: Display, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.effective_sample_size(),
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.effective_sample_size(),
+            |bencher| f(bencher, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter, `name/param`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing driver handed to the closure of every benchmark.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records per-sample wall-clock times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibration: how many iterations fit in the per-sample budget?
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        self.iters_per_sample = (TARGET_SAMPLE.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    filter: Option<&str>,
+    sample_size: usize,
+    mut f: F,
+) {
+    if let Some(filter) = filter {
+        if !id.contains(filter) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        target_samples: sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<48} (no samples recorded)");
+        return;
+    }
+    bencher.samples.sort();
+    let min = bencher.samples[0];
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let mean: Duration =
+        bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    println!(
+        "{id:<48} min {min:>12?}  median {median:>12?}  mean {mean:>12?}  ({} samples x {} iters)",
+        bencher.samples.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+/// Collects benchmark functions into a runnable group, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
