@@ -30,21 +30,23 @@ fn ctor(params: Vec<Ty>) -> Constructor {
 /// `java.lang`: strings, boxed primitives, `System`, threads, exceptions.
 pub fn java_lang() -> Package {
     Package::new("java.lang")
-        .with_class(Class::new("Object").with_constructor(ctor(vec![])).with_method(Method::new(
-            "toString",
-            vec![],
-            t("String"),
-        )).with_method(Method::new("hashCode", vec![], t("Int"))).with_method(Method::new(
-            "equals",
-            vec![t("Object")],
-            t("Boolean"),
-        )))
+        .with_class(
+            Class::new("Object")
+                .with_constructor(ctor(vec![]))
+                .with_method(Method::new("toString", vec![], t("String")))
+                .with_method(Method::new("hashCode", vec![], t("Int")))
+                .with_method(Method::new("equals", vec![t("Object")], t("Boolean"))),
+        )
         .with_class(
             Class::new("String")
                 .with_method(Method::new("length", vec![], t("Int")))
                 .with_method(Method::new("isEmpty", vec![], t("Boolean")))
                 .with_method(Method::new("charAt", vec![t("Int")], t("Char")))
-                .with_method(Method::new("substring", vec![t("Int"), t("Int")], t("String")))
+                .with_method(Method::new(
+                    "substring",
+                    vec![t("Int"), t("Int")],
+                    t("String"),
+                ))
                 .with_method(Method::new("concat", vec![t("String")], t("String")))
                 .with_method(Method::new("trim", vec![], t("String")))
                 .with_method(Method::new("toUpperCase", vec![], t("String")))
@@ -52,7 +54,11 @@ pub fn java_lang() -> Package {
                 .with_method(Method::new("getBytes", vec![], t("ByteArray")))
                 .with_method(Method::new("toCharArray", vec![], t("CharArray")))
                 .with_method(Method::new_static("valueOf", vec![t("Int")], t("String")))
-                .with_method(Method::new_static("valueOf", vec![t("Object")], t("String"))),
+                .with_method(Method::new_static(
+                    "valueOf",
+                    vec![t("Object")],
+                    t("String"),
+                )),
         )
         .with_class(
             Class::new("StringBuilder")
@@ -77,7 +83,11 @@ pub fn java_lang() -> Package {
                 .with_method(Method::new("intValue", vec![], t("Int")))
                 .with_method(Method::new_static("parseInt", vec![t("String")], t("Int")))
                 .with_method(Method::new_static("valueOf", vec![t("Int")], t("Integer")))
-                .with_method(Method::new_static("toBinaryString", vec![t("Int")], t("String")))
+                .with_method(Method::new_static(
+                    "toBinaryString",
+                    vec![t("Int")],
+                    t("String"),
+                ))
                 .with_field(Field::new_static("MAX_VALUE", t("Int")))
                 .with_field(Field::new_static("MIN_VALUE", t("Int"))),
         )
@@ -85,19 +95,31 @@ pub fn java_lang() -> Package {
             Class::new("Long")
                 .with_constructor(ctor(vec![t("Long")]))
                 .with_method(Method::new("longValue", vec![], t("Long")))
-                .with_method(Method::new_static("parseLong", vec![t("String")], t("Long"))),
+                .with_method(Method::new_static(
+                    "parseLong",
+                    vec![t("String")],
+                    t("Long"),
+                )),
         )
         .with_class(
             Class::new("Double")
                 .with_constructor(ctor(vec![t("DoubleVal")]))
                 .with_method(Method::new("doubleValue", vec![], t("DoubleVal")))
-                .with_method(Method::new_static("parseDouble", vec![t("String")], t("DoubleVal"))),
+                .with_method(Method::new_static(
+                    "parseDouble",
+                    vec![t("String")],
+                    t("DoubleVal"),
+                )),
         )
         .with_class(
             Class::new("Boolean")
                 .with_constructor(ctor(vec![t("BooleanVal")]))
                 .with_method(Method::new("booleanValue", vec![], t("BooleanVal")))
-                .with_method(Method::new_static("parseBoolean", vec![t("String")], t("Boolean"))),
+                .with_method(Method::new_static(
+                    "parseBoolean",
+                    vec![t("String")],
+                    t("Boolean"),
+                )),
         )
         .with_class(
             Class::new("Character")
@@ -107,9 +129,21 @@ pub fn java_lang() -> Package {
         .with_class(
             Class::new("Math")
                 .with_method(Method::new_static("abs", vec![t("Int")], t("Int")))
-                .with_method(Method::new_static("max", vec![t("Int"), t("Int")], t("Int")))
-                .with_method(Method::new_static("min", vec![t("Int"), t("Int")], t("Int")))
-                .with_method(Method::new_static("sqrt", vec![t("DoubleVal")], t("DoubleVal")))
+                .with_method(Method::new_static(
+                    "max",
+                    vec![t("Int"), t("Int")],
+                    t("Int"),
+                ))
+                .with_method(Method::new_static(
+                    "min",
+                    vec![t("Int"), t("Int")],
+                    t("Int"),
+                ))
+                .with_method(Method::new_static(
+                    "sqrt",
+                    vec![t("DoubleVal")],
+                    t("DoubleVal"),
+                ))
                 .with_method(Method::new_static("random", vec![], t("DoubleVal"))),
         )
         .with_class(
@@ -119,7 +153,11 @@ pub fn java_lang() -> Package {
                 .with_field(Field::new_static("in", t("InputStream")))
                 .with_method(Method::new_static("currentTimeMillis", vec![], t("Long")))
                 .with_method(Method::new_static("nanoTime", vec![], t("Long")))
-                .with_method(Method::new_static("getProperty", vec![t("String")], t("String")))
+                .with_method(Method::new_static(
+                    "getProperty",
+                    vec![t("String")],
+                    t("String"),
+                ))
                 .with_method(Method::new_static("getenv", vec![t("String")], t("String"))),
         )
         .with_class(
@@ -152,7 +190,11 @@ pub fn java_lang() -> Package {
         .with_class(
             Class::new("ClassLoader")
                 .with_method(Method::new("loadClass", vec![t("String")], t("Class")))
-                .with_method(Method::new_static("getSystemClassLoader", vec![], t("ClassLoader"))),
+                .with_method(Method::new_static(
+                    "getSystemClassLoader",
+                    vec![],
+                    t("ClassLoader"),
+                )),
         )
         .with_class(
             Class::new("Class")
@@ -407,7 +449,11 @@ pub fn java_io() -> Package {
                 .with_method(Method::new("exists", vec![], t("Boolean")))
                 .with_method(Method::new("length", vec![], t("Long")))
                 .with_method(Method::new("delete", vec![], t("Boolean")))
-                .with_method(Method::new_static("createTempFile", vec![t("String"), t("String")], t("File"))),
+                .with_method(Method::new_static(
+                    "createTempFile",
+                    vec![t("String"), t("String")],
+                    t("File"),
+                )),
         )
         .with_class(
             Class::new("FileDescriptor")
@@ -450,7 +496,11 @@ pub fn java_awt() -> Package {
             Class::new("Container")
                 .extends("Component")
                 .with_method(Method::new("getLayout", vec![], t("LayoutManager")))
-                .with_method(Method::new("setLayout", vec![t("LayoutManager")], t("Unit")))
+                .with_method(Method::new(
+                    "setLayout",
+                    vec![t("LayoutManager")],
+                    t("Unit"),
+                ))
                 .with_method(Method::new("add", vec![t("Component")], t("Component")))
                 .with_method(Method::new("getComponentCount", vec![], t("Int"))),
         )
@@ -553,10 +603,12 @@ pub fn java_awt() -> Package {
                 .with_constructor(ctor(vec![t("Int"), t("Int"), t("Int"), t("Int")]))
                 .with_constructor(ctor(vec![t("Point"), t("Dimension")])),
         )
-        .with_class(
-            Class::new("Insets")
-                .with_constructor(ctor(vec![t("Int"), t("Int"), t("Int"), t("Int")])),
-        )
+        .with_class(Class::new("Insets").with_constructor(ctor(vec![
+            t("Int"),
+            t("Int"),
+            t("Int"),
+            t("Int"),
+        ])))
         .with_class(
             Class::new("Color")
                 .with_constructor(ctor(vec![t("Int"), t("Int"), t("Int")]))
@@ -573,7 +625,11 @@ pub fn java_awt() -> Package {
         )
         .with_class(
             Class::new("Graphics")
-                .with_method(Method::new("drawLine", vec![t("Int"), t("Int"), t("Int"), t("Int")], t("Unit")))
+                .with_method(Method::new(
+                    "drawLine",
+                    vec![t("Int"), t("Int"), t("Int"), t("Int")],
+                    t("Unit"),
+                ))
                 .with_method(Method::new("setColor", vec![t("Color")], t("Unit"))),
         )
         .with_class(
@@ -581,23 +637,18 @@ pub fn java_awt() -> Package {
                 .with_constructor(ctor(vec![t("String")]))
                 .with_constructor(ctor(vec![t("String"), t("String")])),
         )
-        .with_class(
-            Class::new("MediaTracker")
-                .with_constructor(ctor(vec![t("Component")])),
-        )
+        .with_class(Class::new("MediaTracker").with_constructor(ctor(vec![t("Component")])))
         .with_class(
             Class::new("Toolkit")
-                .with_method(Method::new_static("getDefaultToolkit", vec![], t("Toolkit")))
+                .with_method(Method::new_static(
+                    "getDefaultToolkit",
+                    vec![],
+                    t("Toolkit"),
+                ))
                 .with_method(Method::new("getScreenSize", vec![], t("Dimension"))),
         )
-        .with_class(
-            Class::new("Image")
-                .with_method(Method::new("getWidth", vec![], t("Int"))),
-        )
-        .with_class(
-            Class::new("Cursor")
-                .with_constructor(ctor(vec![t("Int")])),
-        )
+        .with_class(Class::new("Image").with_method(Method::new("getWidth", vec![], t("Int"))))
+        .with_class(Class::new("Cursor").with_constructor(ctor(vec![t("Int")])))
         .with_class(
             Class::new("Robot")
                 .with_constructor(ctor(vec![]))
@@ -608,49 +659,53 @@ pub fn java_awt() -> Package {
 /// `java.awt.event`: listeners and events (needed by the Swing benchmarks).
 pub fn java_awt_event() -> Package {
     Package::new("java.awt.event")
-        .with_class(
-            Class::new("ActionListener")
-                .with_method(Method::new("actionPerformed", vec![t("ActionEvent")], t("Unit"))),
-        )
+        .with_class(Class::new("ActionListener").with_method(Method::new(
+            "actionPerformed",
+            vec![t("ActionEvent")],
+            t("Unit"),
+        )))
         .with_class(
             Class::new("ActionEvent")
                 .with_constructor(ctor(vec![t("Object"), t("Int"), t("String")]))
                 .with_method(Method::new("getActionCommand", vec![], t("String"))),
         )
-        .with_class(
-            Class::new("KeyEvent")
-                .with_method(Method::new("getKeyCode", vec![], t("Int"))),
-        )
+        .with_class(Class::new("KeyEvent").with_method(Method::new("getKeyCode", vec![], t("Int"))))
         .with_class(
             Class::new("MouseEvent")
                 .with_method(Method::new("getX", vec![], t("Int")))
                 .with_method(Method::new("getY", vec![], t("Int"))),
         )
-        .with_class(
-            Class::new("WindowEvent")
-                .with_method(Method::new("getWindow", vec![], t("Window"))),
-        )
-        .with_class(
-            Class::new("ItemEvent")
-                .with_method(Method::new("getStateChange", vec![], t("Int"))),
-        )
+        .with_class(Class::new("WindowEvent").with_method(Method::new(
+            "getWindow",
+            vec![],
+            t("Window"),
+        )))
+        .with_class(Class::new("ItemEvent").with_method(Method::new(
+            "getStateChange",
+            vec![],
+            t("Int"),
+        )))
 }
 
 /// `javax.swing`: the widget classes exercised by the Swing benchmarks.
 pub fn javax_swing() -> Package {
     Package::new("javax.swing")
         .with_class(Class::new("Icon"))
-        .with_class(Class::new("JComponent").extends("Container").with_method(Method::new(
-            "setToolTipText",
-            vec![t("String")],
-            t("Unit"),
-        )))
+        .with_class(
+            Class::new("JComponent")
+                .extends("Container")
+                .with_method(Method::new("setToolTipText", vec![t("String")], t("Unit"))),
+        )
         .with_class(
             Class::new("AbstractButton")
                 .extends("JComponent")
                 .with_method(Method::new("setText", vec![t("String")], t("Unit")))
                 .with_method(Method::new("getText", vec![], t("String")))
-                .with_method(Method::new("addActionListener", vec![t("ActionListener")], t("Unit"))),
+                .with_method(Method::new(
+                    "addActionListener",
+                    vec![t("ActionListener")],
+                    t("Unit"),
+                )),
         )
         .with_class(
             Class::new("JButton")
@@ -878,10 +933,11 @@ pub fn javax_swing() -> Package {
                 .with_constructor(ctor(vec![]))
                 .with_constructor(ctor(vec![t("String")])),
         )
-        .with_class(
-            Class::new("SwingUtilities")
-                .with_method(Method::new_static("invokeLater", vec![t("Runnable")], t("Unit"))),
-        )
+        .with_class(Class::new("SwingUtilities").with_method(Method::new_static(
+            "invokeLater",
+            vec![t("Runnable")],
+            t("Unit"),
+        )))
         .with_class(
             Class::new("JOptionPane")
                 .with_method(Method::new_static(
@@ -898,7 +954,11 @@ pub fn javax_swing() -> Package {
         .with_class(
             Class::new("BorderFactory")
                 .with_method(Method::new_static("createEmptyBorder", vec![], t("Border")))
-                .with_method(Method::new_static("createTitledBorder", vec![t("String")], t("Border"))),
+                .with_method(Method::new_static(
+                    "createTitledBorder",
+                    vec![t("String")],
+                    t("Border"),
+                )),
         )
         .with_class(Class::new("Border"))
         .with_class(
@@ -968,11 +1028,20 @@ pub fn java_net() -> Package {
         .with_class(
             Class::new("DatagramPacket")
                 .with_constructor(ctor(vec![t("ByteArray"), t("Int")]))
-                .with_constructor(ctor(vec![t("ByteArray"), t("Int"), t("InetAddress"), t("Int")])),
+                .with_constructor(ctor(vec![
+                    t("ByteArray"),
+                    t("Int"),
+                    t("InetAddress"),
+                    t("Int"),
+                ])),
         )
         .with_class(
             Class::new("InetAddress")
-                .with_method(Method::new_static("getByName", vec![t("String")], t("InetAddress")))
+                .with_method(Method::new_static(
+                    "getByName",
+                    vec![t("String")],
+                    t("InetAddress"),
+                ))
                 .with_method(Method::new_static("getLocalHost", vec![], t("InetAddress")))
                 .with_method(Method::new("getHostName", vec![], t("String"))),
         )
@@ -1017,14 +1086,22 @@ pub fn java_util() -> Package {
             Class::new("HashMap")
                 .with_constructor(ctor(vec![]))
                 .with_constructor(ctor(vec![t("Int")]))
-                .with_method(Method::new("put", vec![t("Object"), t("Object")], t("Object")))
+                .with_method(Method::new(
+                    "put",
+                    vec![t("Object"), t("Object")],
+                    t("Object"),
+                ))
                 .with_method(Method::new("get", vec![t("Object")], t("Object")))
                 .with_method(Method::new("size", vec![], t("Int"))),
         )
         .with_class(
             Class::new("Hashtable")
                 .with_constructor(ctor(vec![]))
-                .with_method(Method::new("put", vec![t("Object"), t("Object")], t("Object"))),
+                .with_method(Method::new(
+                    "put",
+                    vec![t("Object"), t("Object")],
+                    t("Object"),
+                )),
         )
         .with_class(
             Class::new("TreeMap")
@@ -1137,10 +1214,11 @@ pub fn scala_ide() -> Package {
                 .with_method(Method::new("toList", vec![], t("ListTree"))),
         )
         .with_class(Class::new("ListTree"))
-        .with_class(
-            Class::new("TypeTreeTraverser")
-                .with_method(Method::new("traverse", vec![t("Tree")], t("Unit"))),
-        )
+        .with_class(Class::new("TypeTreeTraverser").with_method(Method::new(
+            "traverse",
+            vec![t("Tree")],
+            t("Unit"),
+        )))
 }
 
 /// A deterministic filler package used to pad environments to paper-scale
@@ -1243,7 +1321,9 @@ mod tests {
         let model = standard_model();
         let env = extract(
             &model,
-            &ProgramPoint::new().with_import("java.io").with_import("java.lang"),
+            &ProgramPoint::new()
+                .with_import("java.io")
+                .with_import("java.lang"),
         );
         assert!(env.len() > 200, "got {}", env.len());
     }

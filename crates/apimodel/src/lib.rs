@@ -22,7 +22,7 @@
 //!
 //! ```
 //! use insynth_apimodel::{extract, javaapi, ProgramPoint};
-//! use insynth_core::{SynthesisConfig, Synthesizer};
+//! use insynth_core::{Engine, Query, SynthesisConfig};
 //! use insynth_lambda::Ty;
 //!
 //! let model = javaapi::standard_model();
@@ -30,8 +30,8 @@
 //!     .with_local("name", Ty::base("String"))
 //!     .with_import("java.io");
 //! let env = extract(&model, &point);
-//! let mut synth = Synthesizer::new(SynthesisConfig::default());
-//! let result = synth.synthesize(&env, &Ty::base("FileInputStream"), 10);
+//! let session = Engine::new(SynthesisConfig::default()).prepare(&env);
+//! let result = session.query(&Query::new(Ty::base("FileInputStream")));
 //! assert!(!result.snippets.is_empty());
 //! ```
 

@@ -41,12 +41,22 @@ pub struct Method {
 impl Method {
     /// Creates an instance method.
     pub fn new(name: impl Into<String>, params: Vec<Ty>, ret: Ty) -> Self {
-        Method { name: name.into(), params, ret, is_static: false }
+        Method {
+            name: name.into(),
+            params,
+            ret,
+            is_static: false,
+        }
     }
 
     /// Creates a static method.
     pub fn new_static(name: impl Into<String>, params: Vec<Ty>, ret: Ty) -> Self {
-        Method { name: name.into(), params, ret, is_static: true }
+        Method {
+            name: name.into(),
+            params,
+            ret,
+            is_static: true,
+        }
     }
 }
 
@@ -64,12 +74,20 @@ pub struct Field {
 impl Field {
     /// Creates an instance field.
     pub fn new(name: impl Into<String>, ty: Ty) -> Self {
-        Field { name: name.into(), ty, is_static: false }
+        Field {
+            name: name.into(),
+            ty,
+            is_static: false,
+        }
     }
 
     /// Creates a static field (a class-level constant).
     pub fn new_static(name: impl Into<String>, ty: Ty) -> Self {
-        Field { name: name.into(), ty, is_static: true }
+        Field {
+            name: name.into(),
+            ty,
+            is_static: true,
+        }
     }
 }
 
@@ -105,7 +123,10 @@ pub struct Class {
 impl Class {
     /// Creates an empty class with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Class { name: name.into(), ..Class::default() }
+        Class {
+            name: name.into(),
+            ..Class::default()
+        }
     }
 
     /// Adds a direct supertype.
@@ -151,7 +172,10 @@ pub struct Package {
 impl Package {
     /// Creates an empty package.
     pub fn new(name: impl Into<String>) -> Self {
-        Package { name: name.into(), classes: Vec::new() }
+        Package {
+            name: name.into(),
+            classes: Vec::new(),
+        }
     }
 
     /// Adds a class.
@@ -292,7 +316,11 @@ mod tests {
     fn class_builder_accumulates_members() {
         let c = Class::new("X")
             .with_constructor(Constructor::new(vec![]))
-            .with_method(Method::new_static("of", vec![Ty::base("Int")], Ty::base("X")))
+            .with_method(Method::new_static(
+                "of",
+                vec![Ty::base("Int")],
+                Ty::base("X"),
+            ))
             .with_field(Field::new_static("EMPTY", Ty::base("X")));
         assert_eq!(c.member_count(), 3);
         assert!(c.methods[0].is_static);

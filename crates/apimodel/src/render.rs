@@ -46,7 +46,7 @@ pub fn render_term(term: &Term) -> String {
 ///
 /// ```
 /// use insynth_apimodel::{extract, javaapi, render_snippet, ProgramPoint};
-/// use insynth_core::{SynthesisConfig, Synthesizer};
+/// use insynth_core::{Engine, Query, SynthesisConfig};
 /// use insynth_lambda::Ty;
 ///
 /// let model = javaapi::standard_model();
@@ -54,8 +54,8 @@ pub fn render_term(term: &Term) -> String {
 ///     .with_local("fileName", Ty::base("String"))
 ///     .with_import("java.io");
 /// let env = extract(&model, &point);
-/// let mut synth = Synthesizer::new(SynthesisConfig::default());
-/// let result = synth.synthesize(&env, &Ty::base("FileReader"), 5);
+/// let session = Engine::new(SynthesisConfig::default()).prepare(&env);
+/// let result = session.query(&Query::new(Ty::base("FileReader")).with_n(5));
 /// assert!(result.snippets.iter().any(|s| render_snippet(s) == "new FileReader(fileName)"));
 /// ```
 pub fn render_snippet(snippet: &Snippet) -> String {

@@ -131,15 +131,25 @@ pub fn extract(model: &ApiModel, point: &ProgramPoint) -> TypeEnv {
         env.push(Declaration::new(name.clone(), ty.clone(), DeclKind::Class));
     }
     for (name, ty) in &point.package_members {
-        env.push(Declaration::new(name.clone(), ty.clone(), DeclKind::Package));
+        env.push(Declaration::new(
+            name.clone(),
+            ty.clone(),
+            DeclKind::Package,
+        ));
     }
     for (name, ty) in &point.literals {
-        env.push(Declaration::new(name.clone(), ty.clone(), DeclKind::Literal));
+        env.push(Declaration::new(
+            name.clone(),
+            ty.clone(),
+            DeclKind::Literal,
+        ));
     }
 
     let mut imported_classes: Vec<&Class> = Vec::new();
     for package_name in &point.imports {
-        let Some(package) = model.find_package(package_name) else { continue };
+        let Some(package) = model.find_package(package_name) else {
+            continue;
+        };
         for class in &package.classes {
             imported_classes.push(class);
             extract_class(class, &mut env);
@@ -149,8 +159,7 @@ pub fn extract(model: &ApiModel, point: &ProgramPoint) -> TypeEnv {
     // Subtyping: coercions for every (transitive) supertype edge reachable
     // from an imported class.
     let lattice = model.subtype_lattice();
-    let imported_names: Vec<&str> =
-        imported_classes.iter().map(|c| c.name.as_str()).collect();
+    let imported_names: Vec<&str> = imported_classes.iter().map(|c| c.name.as_str()).collect();
     for decl in lattice.coercion_declarations() {
         // coercion type is Sub -> Sup; keep it if Sub was imported.
         let sub = decl.ty.uncurry().0[0].result_base().to_owned();
@@ -192,7 +201,10 @@ fn extract_class(class: &Class, env: &mut TypeEnv) {
 
     for field in &class.fields {
         let (name, ty) = if field.is_static {
-            (static_field_name(&class.name, &field.name), field.ty.clone())
+            (
+                static_field_name(&class.name, &field.name),
+                field.ty.clone(),
+            )
         } else {
             (
                 field_name(&class.name, &field.name),
@@ -272,14 +284,20 @@ mod tests {
         let field = env.find("System.out@").expect("static field");
         assert_eq!(field.ty, Ty::base("PrintStream"));
         let method = env.find("System.getenv").expect("static method");
-        assert_eq!(method.ty, Ty::fun(vec![Ty::base("String")], Ty::base("String")));
+        assert_eq!(
+            method.ty,
+            Ty::fun(vec![Ty::base("String")], Ty::base("String"))
+        );
     }
 
     #[test]
     fn coercions_follow_imported_subtype_edges() {
         let env = extract(&model(), &ProgramPoint::new().with_import("java.io"));
         let coercion = env
-            .find(&insynth_core::coercion_name("FileInputStream", "InputStream"))
+            .find(&insynth_core::coercion_name(
+                "FileInputStream",
+                "InputStream",
+            ))
             .expect("coercion declaration");
         assert_eq!(coercion.kind, DeclKind::Coercion);
     }

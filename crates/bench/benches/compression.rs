@@ -7,33 +7,21 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use insynth_apimodel::{extract, javaapi, ApiModel, ProgramPoint};
-use insynth_core::{PreparedEnv, TypeEnv, WeightConfig};
-
-fn environment_with_filler(filler: usize) -> TypeEnv {
-    let mut model = ApiModel::new();
-    model.add_package(javaapi::java_lang());
-    model.add_package(javaapi::java_io());
-    model.add_package(javaapi::javax_swing());
-    model.add_package(javaapi::java_awt());
-    for i in 0..filler {
-        model.add_package(javaapi::filler_package(i, 40, 12));
-    }
-    let mut point = ProgramPoint::new();
-    for package in model.packages() {
-        point = point.with_import(package.name.clone());
-    }
-    extract(&model, &point)
-}
+use insynth_bench::compression_environment as environment_with_filler;
+use insynth_core::{PreparedEnv, WeightConfig};
 
 fn sigma_compression(c: &mut Criterion) {
     let mut group = c.benchmark_group("sigma_prepare");
     group.sample_size(20);
     for filler in [0usize, 4, 8, 16] {
         let env = environment_with_filler(filler);
-        group.bench_with_input(BenchmarkId::from_parameter(env.len()), &env, |bencher, env| {
-            bencher.iter(|| black_box(PreparedEnv::prepare(env, &WeightConfig::default())))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(env.len()),
+            &env,
+            |bencher, env| {
+                bencher.iter(|| black_box(PreparedEnv::prepare(env, &WeightConfig::default())))
+            },
+        );
     }
     group.finish();
 }

@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use insynth_benchsuite::{all_benchmarks, build_environment, HarnessConfig};
-use insynth_core::{SynthesisConfig, Synthesizer};
+use insynth_core::{Engine, SynthesisConfig};
 use insynth_provers::{forward, g4ip, inhabitation_query, ProverLimits};
 
 fn prover_comparison(c: &mut Criterion) {
@@ -18,7 +18,10 @@ fn prover_comparison(c: &mut Criterion) {
     let selected = ["FileInputStreamStringname", "DatagramSocket", "JTree"];
 
     for name in selected {
-        let bench = benchmarks.iter().find(|b| b.name == name).expect("known benchmark");
+        let bench = benchmarks
+            .iter()
+            .find(|b| b.name == name)
+            .expect("known benchmark");
         let env = build_environment(bench, &config);
         let (hyps, goal_formula) = inhabitation_query(&env, &bench.goal);
         let limits = ProverLimits::default();
@@ -26,10 +29,18 @@ fn prover_comparison(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("prover/{name}"));
         group.sample_size(10);
 
+        // The baseline provers receive a preprocessed formula set, so the
+        // InSynth side is measured per-query against a prepared session for a
+        // like-for-like comparison; `insynth_with_prepare` keeps the old
+        // prepare-per-call number for reference.
+        let session = Engine::new(SynthesisConfig::default()).prepare(&env);
         group.bench_function("insynth", |bencher| {
+            bencher.iter(|| black_box(session.is_inhabited(&bench.goal)))
+        });
+        group.bench_function("insynth_with_prepare", |bencher| {
             bencher.iter(|| {
-                let mut synth = Synthesizer::new(SynthesisConfig::default());
-                black_box(synth.is_inhabited(&env, &bench.goal))
+                let engine = Engine::new(SynthesisConfig::default());
+                black_box(engine.prepare(&env).is_inhabited(&bench.goal))
             })
         });
         group.bench_function("forward_inverse_method", |bencher| {

@@ -1,0 +1,146 @@
+//! Regenerates `BENCH_BASELINE.json`: recorded reference numbers for the
+//! `env_scaling` (benches/phases.rs) and `sigma_prepare`
+//! (benches/compression.rs) criterion benchmarks.
+//!
+//! The vendored criterion stand-in only prints to stdout, so this binary
+//! re-measures the same workloads with the same scheme (warm-up calibration,
+//! then fixed-size samples of batched iterations, min/median/mean per
+//! iteration) and writes them as JSON that perf PRs can diff against.
+//!
+//! Run with `cargo run --release -p insynth_bench --bin baseline` from the
+//! workspace root; pass a path to write elsewhere. Numbers are wall-clock and
+//! machine-specific: regenerate the file on the machine you compare on.
+
+use std::time::{Duration, Instant};
+
+use insynth_bench::{compression_environment, phases_environment};
+use insynth_core::{Engine, PreparedEnv, Query, SynthesisConfig, WeightConfig};
+use insynth_lambda::Ty;
+
+/// Rough wall-clock budget per sample (mirrors the vendored criterion).
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+struct Measurement {
+    bench: &'static str,
+    group: &'static str,
+    id: String,
+    env_size: usize,
+    samples: usize,
+    iters_per_sample: u64,
+    min_ns: u128,
+    median_ns: u128,
+    mean_ns: u128,
+}
+
+/// Times `routine` the way the vendored criterion does: one warm-up call to
+/// calibrate the per-sample iteration count, then `sample_size` samples.
+fn measure<R>(
+    sample_size: usize,
+    mut routine: impl FnMut() -> R,
+) -> (usize, u64, u128, u128, u128) {
+    let start = Instant::now();
+    std::hint::black_box(routine());
+    let one = start.elapsed().max(Duration::from_nanos(1));
+    let iters = (TARGET_SAMPLE.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<u128> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        samples.push(start.elapsed().as_nanos() / iters as u128);
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<u128>() / samples.len() as u128;
+    (sample_size, iters, min, median, mean)
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_BASELINE.json".to_owned());
+    let mut measurements: Vec<Measurement> = Vec::new();
+
+    // env_scaling/synthesize_top10: end-to-end prepare + query, environment
+    // growing with filler — mirrors benches/phases.rs.
+    for filler in [0usize, 2, 4, 8] {
+        let env = phases_environment(filler);
+        let env_size = env.len();
+        eprintln!("measuring env_scaling/synthesize_top10/{env_size} …");
+        let (samples, iters, min, median, mean) = measure(10, || {
+            let engine = Engine::new(SynthesisConfig::default());
+            let session = engine.prepare(&env);
+            session.query(&Query::new(Ty::base("SequenceInputStream")))
+        });
+        measurements.push(Measurement {
+            bench: "phases",
+            group: "env_scaling",
+            id: format!("synthesize_top10/{env_size}"),
+            env_size,
+            samples,
+            iters_per_sample: iters,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        });
+    }
+
+    // sigma_prepare: σ-lowering + index construction alone — mirrors
+    // benches/compression.rs.
+    for filler in [0usize, 4, 8, 16] {
+        let env = compression_environment(filler);
+        let env_size = env.len();
+        eprintln!("measuring sigma_prepare/{env_size} …");
+        let (samples, iters, min, median, mean) =
+            measure(20, || PreparedEnv::prepare(&env, &WeightConfig::default()));
+        measurements.push(Measurement {
+            bench: "compression",
+            group: "sigma_prepare",
+            id: format!("{env_size}"),
+            env_size,
+            samples,
+            iters_per_sample: iters,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        });
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"_note\": \"Reference timings for the env_scaling and sigma_prepare criterion benchmarks. Wall-clock, machine-specific; regenerate on the machine you compare on with: cargo run --release -p insynth_bench --bin baseline\",\n",
+    );
+    out.push_str(
+        "  \"_measurement\": \"per-iteration nanoseconds; warm-up-calibrated samples of batched iterations, as in vendor/criterion (min/median/mean only)\",\n",
+    );
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"group\": \"{}\", \"id\": \"{}\", \"env_size\": {}, \"samples\": {}, \"iters_per_sample\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}{}\n",
+            m.bench,
+            m.group,
+            m.id,
+            m.env_size,
+            m.samples,
+            m.iters_per_sample,
+            m.min_ns,
+            m.median_ns,
+            m.mean_ns,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::write(&path, &out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {} measurements to {path}", measurements.len());
+    for m in &measurements {
+        println!(
+            "  {}/{:<28} min {:>12} ns  median {:>12} ns  mean {:>12} ns",
+            m.group, m.id, m.min_ns, m.median_ns, m.mean_ns
+        );
+    }
+}

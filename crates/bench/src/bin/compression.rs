@@ -9,7 +9,10 @@ use insynth_core::{PreparedEnv, WeightConfig};
 fn main() {
     let model = javaapi::standard_model();
 
-    println!("{:<42} {:>14} {:>16} {:>10}", "Environment", "#declarations", "#succinct types", "ratio");
+    println!(
+        "{:<42} {:>14} {:>16} {:>10}",
+        "Environment", "#declarations", "#succinct types", "ratio"
+    );
     for (label, imports) in [
         ("java.io + java.lang", vec!["java.io", "java.lang"]),
         (

@@ -20,12 +20,28 @@ fn main() {
     ];
     for (label, kind) in rows {
         let decl = Declaration::new("d", Ty::base("T"), kind);
-        println!("{:<28} {:>10}", label, weights.declaration_weight(&decl).value());
+        println!(
+            "{:<28} {:>10}",
+            label,
+            weights.declaration_weight(&decl).value()
+        );
     }
 
-    println!("{:<28} {:>10}", "Imported (f = 0)", imported_weight(&weights, 0));
-    println!("{:<28} {:>10}", "Imported (f = 100)", imported_weight(&weights, 100));
-    println!("{:<28} {:>10}", "Imported (f = 5162)", imported_weight(&weights, 5162));
+    println!(
+        "{:<28} {:>10}",
+        "Imported (f = 0)",
+        imported_weight(&weights, 0)
+    );
+    println!(
+        "{:<28} {:>10}",
+        "Imported (f = 100)",
+        imported_weight(&weights, 100)
+    );
+    println!(
+        "{:<28} {:>10}",
+        "Imported (f = 5162)",
+        imported_weight(&weights, 5162)
+    );
     println!();
     println!("Imported symbols weigh 215 + 785 / (1 + f(x)) where f(x) is the corpus frequency.");
 }

@@ -60,14 +60,21 @@ fn main() {
             run_provers(bench, &config)
         };
 
-        println!("{}", table2_row(bench, &no_weights, &no_corpus, &all, &provers));
+        println!(
+            "{}",
+            table2_row(bench, &no_weights, &no_corpus, &all, &provers)
+        );
         no_weight_outcomes.push(no_weights);
         no_corpus_outcomes.push(no_corpus);
         all_outcomes.push(all);
     }
 
-    print_summary("No weights", &no_weight_outcomes, &benchmarks, |p| p.rank_no_weights);
-    print_summary("No corpus ", &no_corpus_outcomes, &benchmarks, |p| p.rank_no_corpus);
+    print_summary("No weights", &no_weight_outcomes, &benchmarks, |p| {
+        p.rank_no_weights
+    });
+    print_summary("No corpus ", &no_corpus_outcomes, &benchmarks, |p| {
+        p.rank_no_corpus
+    });
     print_summary("All       ", &all_outcomes, &benchmarks, |p| p.rank_all);
 }
 
@@ -78,19 +85,23 @@ fn print_summary(
     paper_rank: impl Fn(&insynth_benchsuite::PaperRow) -> Option<usize>,
 ) {
     let summary = summarize(outcomes);
-    let paper_found = benchmarks.iter().filter(|b| paper_rank(&b.paper).is_some()).count();
+    let paper_found = benchmarks
+        .iter()
+        .filter(|b| paper_rank(&b.paper).is_some())
+        .count();
     let paper_rank_one = benchmarks
         .iter()
         .filter(|b| paper_rank(&b.paper) == Some(1))
         .count();
     println!();
     println!(
-        "[{label}] measured: found {}/{} ({:.0}%), rank 1 for {} ({:.0}%), mean total {} ms",
+        "[{label}] measured: found {}/{} ({:.0}%), rank 1 for {} ({:.0}%), mean prepare {} ms, mean query {} ms",
         summary.found,
         summary.total,
         summary.found_percent(),
         summary.rank_one,
         summary.rank_one_percent(),
+        summary.mean_prepare.as_millis(),
         summary.mean_total.as_millis()
     );
     println!(

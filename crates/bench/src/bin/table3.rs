@@ -8,7 +8,7 @@ use insynth_corpus::{synthetic_corpus, table3_projects};
 
 fn main() {
     println!("Table 3: Scala open-source projects used for the corpus extraction");
-    println!("{:<26} {}", "Project", "Description");
+    println!("{:<26} Description", "Project");
     for project in table3_projects() {
         println!("{:<26} {}", project.name, project.description);
     }
@@ -19,8 +19,14 @@ fn main() {
 
     println!();
     println!("Corpus statistics (synthetic corpus, seed {DEFAULT_CORPUS_SEED}):");
-    println!("  declarations with at least one use: {}", corpus.total_declarations());
-    println!("  total recorded uses:               {}", corpus.total_uses());
+    println!(
+        "  declarations with at least one use: {}",
+        corpus.total_declarations()
+    );
+    println!(
+        "  total recorded uses:               {}",
+        corpus.total_uses()
+    );
     println!(
         "  declarations with < 100 uses:      {:.1}%",
         100.0 * corpus.fraction_below(100)

@@ -1,16 +1,78 @@
 //! Benchmark and table-regeneration crate.
 //!
-//! This crate contains no library logic of its own; it hosts:
+//! This crate hosts:
 //!
 //! * binaries that regenerate every table and figure of the paper's
-//!   evaluation (`table1`, `table2`, `table3`, `figure1`, `compression`), and
+//!   evaluation (`table1`, `table2`, `table3`, `figure1`, `compression`),
 //! * Criterion micro-benchmarks for the phase breakdown, the prover
-//!   comparison and the succinct-type compression (`cargo bench -p
-//!   insynth-bench`).
+//!   comparison, the succinct-type compression and session amortization
+//!   (`cargo bench -p insynth_bench`), and
+//! * the `baseline` binary, which re-measures the `env_scaling` and
+//!   `sigma_prepare` benchmarks outside the criterion harness and writes the
+//!   reference numbers to `BENCH_BASELINE.json` at the workspace root.
 //!
 //! See `EXPERIMENTS.md` at the workspace root for the mapping from paper
 //! tables/figures to these targets and for recorded paper-vs-measured results.
 
+use insynth_apimodel::{extract, javaapi, ApiModel, ProgramPoint};
+use insynth_core::TypeEnv;
+use insynth_corpus::synthetic_corpus;
+use insynth_lambda::Ty;
+
 /// Re-exported so the binaries share one definition of the default corpus
 /// seed used across all regenerated tables.
 pub const DEFAULT_CORPUS_SEED: u64 = 42;
+
+/// The Figure-1-style environment used by the `phases` benches
+/// (`env_scaling`, phase breakdown, session amortization): java.lang +
+/// java.io + java.util plus `filler` generated packages, with the two string
+/// locals of the motivating example and corpus frequencies applied.
+pub fn phases_environment(filler: usize) -> TypeEnv {
+    let mut model = ApiModel::new();
+    model.add_package(javaapi::java_lang());
+    model.add_package(javaapi::java_io());
+    model.add_package(javaapi::java_util());
+    for i in 0..filler {
+        model.add_package(javaapi::filler_package(i, 40, 12));
+    }
+    let mut point = ProgramPoint::new()
+        .with_local("body", Ty::base("String"))
+        .with_local("sig", Ty::base("String"));
+    for package in model.packages() {
+        point = point.with_import(package.name.clone());
+    }
+    let mut env = extract(&model, &point);
+    let corpus = synthetic_corpus(&model, DEFAULT_CORPUS_SEED);
+    corpus.apply(&mut env);
+    env
+}
+
+/// The environment used by the `compression` bench (`sigma_prepare`):
+/// java.lang + java.io + javax.swing + java.awt plus `filler` generated
+/// packages, everything imported, no locals and no corpus.
+pub fn compression_environment(filler: usize) -> TypeEnv {
+    let mut model = ApiModel::new();
+    model.add_package(javaapi::java_lang());
+    model.add_package(javaapi::java_io());
+    model.add_package(javaapi::javax_swing());
+    model.add_package(javaapi::java_awt());
+    for i in 0..filler {
+        model.add_package(javaapi::filler_package(i, 40, 12));
+    }
+    let mut point = ProgramPoint::new();
+    for package in model.packages() {
+        point = point.with_import(package.name.clone());
+    }
+    extract(&model, &point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_environments_grow_with_filler() {
+        assert!(phases_environment(2).len() > phases_environment(0).len());
+        assert!(compression_environment(4).len() > compression_environment(0).len());
+    }
+}

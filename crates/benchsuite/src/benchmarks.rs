@@ -81,7 +81,15 @@ fn row(
     total_all_ms: u64,
     imogen_ms: u64,
 ) -> PaperRow {
-    PaperRow { size, initial, rank_no_weights, rank_no_corpus, rank_all, total_all_ms, imogen_ms }
+    PaperRow {
+        size,
+        initial,
+        rank_no_weights,
+        rank_no_corpus,
+        rank_all,
+        total_all_ms,
+        imogen_ms,
+    }
 }
 
 const IO: &[&str] = &["java.io", "java.lang", "java.util"];
@@ -585,14 +593,20 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 50);
-        assert!(benchmarks.iter().any(|b| b.name == "SequenceInputStreamInputStreams"));
+        assert!(benchmarks
+            .iter()
+            .any(|b| b.name == "SequenceInputStreamInputStreams"));
         assert!(benchmarks.iter().any(|b| b.name == "GridBagLayout"));
     }
 
     #[test]
     fn paper_initial_sizes_are_in_the_reported_range() {
         for bench in all_benchmarks() {
-            assert!(bench.paper.initial >= 3246 && bench.paper.initial <= 10700, "{}", bench.name);
+            assert!(
+                bench.paper.initial >= 3246 && bench.paper.initial <= 10700,
+                "{}",
+                bench.name
+            );
         }
     }
 
@@ -600,7 +614,10 @@ mod tests {
     fn filler_count_scales_with_paper_environment_size() {
         let benchmarks = all_benchmarks();
         let small = benchmarks.iter().find(|b| b.paper.initial == 3363).unwrap();
-        let large = benchmarks.iter().find(|b| b.paper.initial == 10700).unwrap();
+        let large = benchmarks
+            .iter()
+            .find(|b| b.paper.initial == 10700)
+            .unwrap();
         assert!(small.filler_packages() < large.filler_packages());
         assert!(large.filler_packages() >= 15);
     }

@@ -9,9 +9,13 @@
 //!   literals, imports), goal type, expected snippet (in the renderer's
 //!   surface syntax) and the numbers the paper reports for it,
 //! * [`run_benchmark`] — the harness: build the environment (API model +
-//!   filler to reach the paper's environment size + corpus frequencies), run
-//!   the synthesizer under a chosen weight mode, and report the rank of the
-//!   expected snippet together with phase timings,
+//!   filler to reach the paper's environment size + corpus frequencies),
+//!   prepare a session and run the query under a chosen weight mode, and
+//!   report the rank of the expected snippet together with the preparation
+//!   time (once per program point) and the query phase timings,
+//! * [`run_benchmark_repeated`] — the amortization experiment: one prepared
+//!   session answering the same query many times (§7.5's interactive
+//!   deployment), with preparation counted once,
 //! * [`run_provers`] — the same inhabitation query handed to the two baseline
 //!   intuitionistic provers (the Imogen / fCube stand-ins),
 //! * [`report`] — Table 2 row formatting and the §7.5 summary statistics.
@@ -34,6 +38,7 @@ mod report;
 
 pub use benchmarks::{all_benchmarks, Benchmark, PaperRow};
 pub use harness::{
-    build_environment, run_benchmark, run_provers, BenchmarkOutcome, HarnessConfig, ProverOutcome,
+    build_environment, run_benchmark, run_benchmark_repeated, run_provers, BenchmarkOutcome,
+    HarnessConfig, ProverOutcome, RepeatedOutcome,
 };
 pub use report::{summarize, table2_header, table2_row, Summary};

@@ -95,7 +95,8 @@ impl SubtypeLattice {
         let mut out: Vec<(String, String)> = supers
             .into_iter()
             .flat_map(|(sub, sups)| {
-                sups.into_iter().map(move |sup| (sub.to_owned(), sup.to_owned()))
+                sups.into_iter()
+                    .map(move |sup| (sub.to_owned(), sup.to_owned()))
             })
             .collect();
         out.sort();
@@ -152,7 +153,11 @@ pub fn erase_coercions(term: &Term) -> Term {
         let inner = erase_coercions(&term.args[0]);
         let mut params = term.params.clone();
         params.extend(inner.params);
-        return Term { params, head: inner.head, args: inner.args };
+        return Term {
+            params,
+            head: inner.head,
+            args: inner.args,
+        };
     }
     Term {
         params: term.params.clone(),

@@ -254,17 +254,16 @@ impl TypeEnv {
 
         // Innermost binder shadows; otherwise every declaration sharing the
         // name is a candidate (overloading).
-        let candidates: Vec<Ty> = if let Some((_, ty)) =
-            binders.iter().rev().find(|(name, _)| name == &term.head)
-        {
-            vec![ty.clone()]
-        } else {
-            self.decls
-                .iter()
-                .filter(|d| d.name == term.head)
-                .map(|d| d.ty.clone())
-                .collect()
-        };
+        let candidates: Vec<Ty> =
+            if let Some((_, ty)) = binders.iter().rev().find(|(name, _)| name == &term.head) {
+                vec![ty.clone()]
+            } else {
+                self.decls
+                    .iter()
+                    .filter(|d| d.name == term.head)
+                    .map(|d| d.ty.clone())
+                    .collect()
+            };
 
         let ok = candidates.iter().any(|head_ty| {
             let (params, ret) = head_ty.uncurry();
@@ -284,7 +283,9 @@ impl TypeEnv {
 
 impl FromIterator<Declaration> for TypeEnv {
     fn from_iter<I: IntoIterator<Item = Declaration>>(iter: I) -> Self {
-        TypeEnv { decls: iter.into_iter().collect() }
+        TypeEnv {
+            decls: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -309,7 +310,11 @@ mod tests {
 
     #[test]
     fn display_mentions_name_type_and_kind() {
-        let d = Declaration::new("f", Ty::fun(vec![Ty::base("A")], Ty::base("B")), DeclKind::Imported);
+        let d = Declaration::new(
+            "f",
+            Ty::fun(vec![Ty::base("A")], Ty::base("B")),
+            DeclKind::Imported,
+        );
         assert_eq!(d.to_string(), "f : A -> B [imported]");
     }
 

@@ -11,7 +11,9 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::time::{Duration, Instant};
 
-use insynth_succinct::{match_rule, strip_rule, BaseRequest, ReachabilityTerm, Request, SuccinctTyId};
+use insynth_succinct::{
+    match_rule, strip_rule, BaseRequest, ReachabilityTerm, Request, ScratchStore, SuccinctTyId,
+};
 
 use crate::prepare::PreparedEnv;
 use crate::weights::Weight;
@@ -27,7 +29,10 @@ pub struct ExploreLimits {
 
 impl Default for ExploreLimits {
     fn default() -> Self {
-        ExploreLimits { max_requests: 1_000_000, time_limit: None }
+        ExploreLimits {
+            max_requests: 1_000_000,
+            time_limit: None,
+        }
     }
 }
 
@@ -47,11 +52,15 @@ pub struct SearchSpace {
 /// Runs the exploration phase for the goal type `goal` (already in succinct
 /// form) against the prepared environment.
 ///
+/// The prepared environment is read-only; request normalization interns the
+/// extended environments it discovers into the query-local `store` overlay.
+///
 /// # Example
 ///
 /// ```
 /// use insynth_core::{explore, Declaration, DeclKind, ExploreLimits, PreparedEnv, TypeEnv, WeightConfig};
 /// use insynth_lambda::Ty;
+/// use insynth_succinct::TypeStore;
 ///
 /// let mut env = TypeEnv::new();
 /// env.push(Declaration::simple("a", Ty::base("Int"), DeclKind::Local));
@@ -60,21 +69,38 @@ pub struct SearchSpace {
 ///     Ty::fun(vec![Ty::base("Int")], Ty::base("String")),
 ///     DeclKind::Imported,
 /// ));
-/// let mut prepared = PreparedEnv::prepare(&env, &WeightConfig::default());
-/// let goal = prepared.store.sigma(&Ty::base("String"));
-/// let space = explore(&mut prepared, goal, &ExploreLimits::default());
+/// let prepared = PreparedEnv::prepare(&env, &WeightConfig::default());
+/// let mut store = prepared.scratch();
+/// let goal = store.sigma(&Ty::base("String"));
+/// let space = explore(&prepared, &mut store, goal, &ExploreLimits::default());
 /// assert_eq!(space.terms.len(), 2); // one for String via f, one for Int via a
 /// ```
-pub fn explore(prepared: &mut PreparedEnv, goal: SuccinctTyId, limits: &ExploreLimits) -> SearchSpace {
+pub fn explore(
+    prepared: &PreparedEnv,
+    store: &mut ScratchStore<'_>,
+    goal: SuccinctTyId,
+    limits: &ExploreLimits,
+) -> SearchSpace {
     let start = Instant::now();
     let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
     let mut seq = 0u64;
 
-    let initial = Request { ty: goal, env: prepared.init_env };
-    queue.push(QueueEntry { weight: Reverse(prepared.type_weight(goal)), seq: Reverse(seq), request: initial });
+    let initial = Request {
+        ty: goal,
+        env: prepared.init_env,
+    };
+    queue.push(QueueEntry {
+        weight: Reverse(prepared.type_weight(goal)),
+        seq: Reverse(seq),
+        request: initial,
+    });
 
     let mut visited: HashSet<BaseRequest> = HashSet::new();
-    let mut space = SearchSpace { terms: Vec::new(), requests_processed: 0, truncated: false };
+    let mut space = SearchSpace {
+        terms: Vec::new(),
+        requests_processed: 0,
+        truncated: false,
+    };
 
     while let Some(entry) = queue.pop() {
         if space.requests_processed >= limits.max_requests {
@@ -88,19 +114,22 @@ pub fn explore(prepared: &mut PreparedEnv, goal: SuccinctTyId, limits: &ExploreL
             }
         }
 
-        let stripped = strip_rule(&mut prepared.store, entry.request);
+        let stripped = strip_rule(store, entry.request);
         if !visited.insert(stripped) {
             continue;
         }
         space.requests_processed += 1;
 
-        let found = match_rule(&prepared.store, stripped);
+        let found = match_rule(store, stripped);
         for term in &found {
             for &arg in &term.remaining {
                 // PROP: issue a request for every argument type; STRIP at pop
                 // time will extend the environment for functional arguments.
-                let request = Request { ty: arg, env: term.env };
-                let peek = strip_rule(&mut prepared.store, request);
+                let request = Request {
+                    ty: arg,
+                    env: term.env,
+                };
+                let peek = strip_rule(store, request);
                 if !visited.contains(&peek) {
                     seq += 1;
                     queue.push(QueueEntry {
@@ -143,6 +172,7 @@ mod tests {
     use crate::decl::{DeclKind, Declaration, TypeEnv};
     use crate::weights::WeightConfig;
     use insynth_lambda::Ty;
+    use insynth_succinct::TypeStore;
 
     fn prepared(decls: Vec<Declaration>) -> PreparedEnv {
         let env: TypeEnv = decls.into_iter().collect();
@@ -152,16 +182,20 @@ mod tests {
     #[test]
     fn paper_example_space_is_discovered() {
         // Γo = {a : Int, f : Int -> Int -> Int -> String}, goal String.
-        let mut p = prepared(vec![
+        let p = prepared(vec![
             Declaration::new("a", Ty::base("Int"), DeclKind::Local),
             Declaration::new(
                 "f",
-                Ty::fun(vec![Ty::base("Int"), Ty::base("Int"), Ty::base("Int")], Ty::base("String")),
+                Ty::fun(
+                    vec![Ty::base("Int"), Ty::base("Int"), Ty::base("Int")],
+                    Ty::base("String"),
+                ),
                 DeclKind::Imported,
             ),
         ]);
-        let goal = p.store.sigma(&Ty::base("String"));
-        let space = explore(&mut p, goal, &ExploreLimits::default());
+        let mut store = p.scratch();
+        let goal = store.sigma(&Ty::base("String"));
+        let space = explore(&p, &mut store, goal, &ExploreLimits::default());
         // Terms: String via {Int}->String, and Int via the nullary Int decl.
         assert_eq!(space.terms.len(), 2);
         assert!(!space.truncated);
@@ -170,35 +204,48 @@ mod tests {
 
     #[test]
     fn unreachable_parts_of_the_environment_are_not_visited() {
-        let mut p = prepared(vec![
+        let p = prepared(vec![
             Declaration::new("a", Ty::base("Int"), DeclKind::Local),
-            Declaration::new("g", Ty::fun(vec![Ty::base("Unrelated")], Ty::base("Other")), DeclKind::Imported),
-            Declaration::new("f", Ty::fun(vec![Ty::base("Int")], Ty::base("String")), DeclKind::Imported),
+            Declaration::new(
+                "g",
+                Ty::fun(vec![Ty::base("Unrelated")], Ty::base("Other")),
+                DeclKind::Imported,
+            ),
+            Declaration::new(
+                "f",
+                Ty::fun(vec![Ty::base("Int")], Ty::base("String")),
+                DeclKind::Imported,
+            ),
         ]);
-        let goal = p.store.sigma(&Ty::base("String"));
-        let space = explore(&mut p, goal, &ExploreLimits::default());
+        let mut store = p.scratch();
+        let goal = store.sigma(&Ty::base("String"));
+        let space = explore(&p, &mut store, goal, &ExploreLimits::default());
         // Only the String and Int requests are reachable; `g` never matches.
         assert_eq!(space.requests_processed, 2);
-        assert!(space.terms.iter().all(|t| p.store.base_name(t.ret) != "Other"));
+        assert!(space
+            .terms
+            .iter()
+            .all(|t| store.base_name(t.ret) != "Other"));
     }
 
     #[test]
     fn functional_goal_extends_the_environment() {
         // goal: Tree -> Boolean with p : Tree -> Boolean in scope: the stripped
         // request must look for Boolean in Γ ∪ {Tree}.
-        let mut p = prepared(vec![Declaration::new(
+        let p = prepared(vec![Declaration::new(
             "p",
             Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")),
             DeclKind::Local,
         )]);
-        let goal = p.store.sigma(&Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")));
-        let space = explore(&mut p, goal, &ExploreLimits::default());
+        let mut store = p.scratch();
+        let goal = store.sigma(&Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")));
+        let space = explore(&p, &mut store, goal, &ExploreLimits::default());
         // Boolean via p (needs Tree), then Tree via the argument binder type.
         assert_eq!(space.terms.len(), 2);
         let tree_term = space
             .terms
             .iter()
-            .find(|t| p.store.base_name(t.ret) == "Tree")
+            .find(|t| store.base_name(t.ret) == "Tree")
             .expect("Tree must be matched against the extended environment");
         assert!(tree_term.is_leaf());
     }
@@ -206,12 +253,17 @@ mod tests {
     #[test]
     fn recursive_environments_terminate() {
         // f : A -> A creates a cycle A -> A; the visited set must stop it.
-        let mut p = prepared(vec![
-            Declaration::new("f", Ty::fun(vec![Ty::base("A")], Ty::base("A")), DeclKind::Local),
+        let p = prepared(vec![
+            Declaration::new(
+                "f",
+                Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+                DeclKind::Local,
+            ),
             Declaration::new("a", Ty::base("A"), DeclKind::Local),
         ]);
-        let goal = p.store.sigma(&Ty::base("A"));
-        let space = explore(&mut p, goal, &ExploreLimits::default());
+        let mut store = p.scratch();
+        let goal = store.sigma(&Ty::base("A"));
+        let space = explore(&p, &mut store, goal, &ExploreLimits::default());
         assert!(!space.truncated);
         assert_eq!(space.requests_processed, 1);
         // Both the nullary `a` and the recursive `f` match the single request.
@@ -220,22 +272,65 @@ mod tests {
 
     #[test]
     fn request_budget_truncates_exploration() {
-        let mut p = prepared(vec![
-            Declaration::new("mk", Ty::fun(vec![Ty::base("B")], Ty::base("A")), DeclKind::Local),
-            Declaration::new("mk2", Ty::fun(vec![Ty::base("C")], Ty::base("B")), DeclKind::Local),
+        let p = prepared(vec![
+            Declaration::new(
+                "mk",
+                Ty::fun(vec![Ty::base("B")], Ty::base("A")),
+                DeclKind::Local,
+            ),
+            Declaration::new(
+                "mk2",
+                Ty::fun(vec![Ty::base("C")], Ty::base("B")),
+                DeclKind::Local,
+            ),
             Declaration::new("c", Ty::base("C"), DeclKind::Local),
         ]);
-        let goal = p.store.sigma(&Ty::base("A"));
-        let space = explore(&mut p, goal, &ExploreLimits { max_requests: 1, time_limit: None });
+        let mut store = p.scratch();
+        let goal = store.sigma(&Ty::base("A"));
+        let space = explore(
+            &p,
+            &mut store,
+            goal,
+            &ExploreLimits {
+                max_requests: 1,
+                time_limit: None,
+            },
+        );
         assert!(space.truncated);
         assert_eq!(space.requests_processed, 1);
     }
 
     #[test]
     fn goal_type_missing_from_environment_yields_empty_space() {
-        let mut p = prepared(vec![Declaration::new("a", Ty::base("Int"), DeclKind::Local)]);
-        let goal = p.store.sigma(&Ty::base("Nothing"));
-        let space = explore(&mut p, goal, &ExploreLimits::default());
+        let p = prepared(vec![Declaration::new(
+            "a",
+            Ty::base("Int"),
+            DeclKind::Local,
+        )]);
+        let mut store = p.scratch();
+        // "Nothing" is absent from the base store, so it lands in the overlay.
+        let goal = store.sigma(&Ty::base("Nothing"));
+        assert_eq!(store.scratch_ty_count(), 1);
+        let space = explore(&p, &mut store, goal, &ExploreLimits::default());
         assert!(space.terms.is_empty());
+    }
+
+    #[test]
+    fn exploration_leaves_the_prepared_store_untouched() {
+        let p = prepared(vec![
+            Declaration::new("a", Ty::base("Int"), DeclKind::Local),
+            Declaration::new(
+                "f",
+                Ty::fun(vec![Ty::base("Int")], Ty::base("String")),
+                DeclKind::Imported,
+            ),
+        ]);
+        let tys_before = p.store.ty_count();
+        let envs_before = p.store.env_count();
+        let mut store = p.scratch();
+        let goal = store.sigma(&Ty::base("String"));
+        let _ = explore(&p, &mut store, goal, &ExploreLimits::default());
+        assert_eq!(p.store.ty_count(), tys_before);
+        assert_eq!(p.store.env_count(), envs_before);
     }
 }

@@ -16,10 +16,11 @@
 use std::collections::{HashMap, HashSet};
 
 use insynth_intern::Symbol;
-use insynth_succinct::{prod_rule, transfer_rule, EnvId, Pattern, ReachabilityTerm};
+use insynth_succinct::{
+    prod_rule, transfer_rule, EnvId, Pattern, ReachabilityTerm, ScratchStore, TypeStore,
+};
 
 use crate::explore::SearchSpace;
-use crate::prepare::PreparedEnv;
 
 /// The output of the pattern generation phase.
 #[derive(Debug, Clone, Default)]
@@ -91,6 +92,7 @@ impl PatternSet {
 /// ```
 /// use insynth_core::{explore, generate_patterns, Declaration, DeclKind, ExploreLimits, PreparedEnv, TypeEnv, WeightConfig};
 /// use insynth_lambda::Ty;
+/// use insynth_succinct::TypeStore;
 ///
 /// let env: TypeEnv = vec![
 ///     Declaration::simple("a", Ty::base("Int"), DeclKind::Local),
@@ -102,14 +104,14 @@ impl PatternSet {
 /// ]
 /// .into_iter()
 /// .collect();
-/// let mut prepared = PreparedEnv::prepare(&env, &WeightConfig::default());
-/// let goal = prepared.store.sigma(&Ty::base("String"));
-/// let space = explore(&mut prepared, goal, &ExploreLimits::default());
-/// let patterns = generate_patterns(&mut prepared, &space);
+/// let prepared = PreparedEnv::prepare(&env, &WeightConfig::default());
+/// let mut store = prepared.scratch();
+/// let goal = store.sigma(&Ty::base("String"));
+/// let space = explore(&prepared, &mut store, goal, &ExploreLimits::default());
+/// let patterns = generate_patterns(&mut store, &space);
 /// assert_eq!(patterns.len(), 2); // Γ@{} : Int and Γ@{Int} : String
 /// ```
-pub fn generate_patterns(prepared: &mut PreparedEnv, space: &SearchSpace) -> PatternSet {
-    let store = &mut prepared.store;
+pub fn generate_patterns(store: &mut ScratchStore<'_>, space: &SearchSpace) -> PatternSet {
     let terms = &space.terms;
 
     // For each pending argument of each term, the (ret, env) key that will
@@ -162,8 +164,7 @@ pub fn generate_patterns(prepared: &mut PreparedEnv, space: &SearchSpace) -> Pat
 
 /// A direct saturation of the PROD / TRANSFER rules of Figure 8, without the
 /// backward map. Quadratic; intended for cross-checking on small inputs.
-pub fn generate_patterns_naive(prepared: &mut PreparedEnv, space: &SearchSpace) -> PatternSet {
-    let store = &mut prepared.store;
+pub fn generate_patterns_naive(store: &mut ScratchStore<'_>, space: &SearchSpace) -> PatternSet {
     let mut terms: Vec<ReachabilityTerm> = space.terms.clone();
     let mut set = PatternSet::default();
 
@@ -202,8 +203,7 @@ pub fn generate_patterns_naive(prepared: &mut PreparedEnv, space: &SearchSpace) 
             for &(leaf_ret, leaf_env) in &leaves {
                 let args: Vec<_> = current.remaining.clone();
                 for arg in args {
-                    if let Some(new_term) =
-                        transfer_rule(store, &current, arg, leaf_ret, leaf_env)
+                    if let Some(new_term) = transfer_rule(store, &current, arg, leaf_ret, leaf_env)
                     {
                         current = new_term;
                         changed = true;
@@ -222,7 +222,7 @@ pub fn generate_patterns_naive(prepared: &mut PreparedEnv, space: &SearchSpace) 
     set
 }
 
-fn completed_pattern(store: &insynth_succinct::SuccinctStore, term: &ReachabilityTerm) -> Pattern {
+fn completed_pattern<S: TypeStore>(store: &S, term: &ReachabilityTerm) -> Pattern {
     // A completed term's Π is the full argument set of its matched member.
     Pattern::new(term.env, store.args_of(term.decl_ty).to_vec(), term.ret)
 }
@@ -232,17 +232,26 @@ mod tests {
     use super::*;
     use crate::decl::{DeclKind, Declaration, TypeEnv};
     use crate::explore::{explore, ExploreLimits};
+    use crate::prepare::PreparedEnv;
     use crate::weights::WeightConfig;
     use insynth_lambda::Ty;
 
-    fn run(decls: Vec<Declaration>, goal: Ty) -> (PreparedEnv, PatternSet, PatternSet) {
+    /// Prepares the environment, explores towards `goal` and hands the
+    /// prepared environment, the query-local store and both pattern sets to
+    /// the assertion closure.
+    fn run_with<R>(
+        decls: Vec<Declaration>,
+        goal: Ty,
+        f: impl FnOnce(&PreparedEnv, &mut ScratchStore<'_>, PatternSet, PatternSet) -> R,
+    ) -> R {
         let env: TypeEnv = decls.into_iter().collect();
-        let mut prepared = PreparedEnv::prepare(&env, &WeightConfig::default());
-        let goal = prepared.store.sigma(&goal);
-        let space = explore(&mut prepared, goal, &ExploreLimits::default());
-        let fast = generate_patterns(&mut prepared, &space);
-        let naive = generate_patterns_naive(&mut prepared, &space);
-        (prepared, fast, naive)
+        let prepared = PreparedEnv::prepare(&env, &WeightConfig::default());
+        let mut store = prepared.scratch();
+        let goal = store.sigma(&goal);
+        let space = explore(&prepared, &mut store, goal, &ExploreLimits::default());
+        let fast = generate_patterns(&mut store, &space);
+        let naive = generate_patterns_naive(&mut store, &space);
+        f(&prepared, &mut store, fast, naive)
     }
 
     fn as_set(p: &PatternSet) -> HashSet<Pattern> {
@@ -251,41 +260,56 @@ mod tests {
 
     #[test]
     fn paper_example_produces_both_patterns() {
-        let (prepared, fast, _) = run(
+        run_with(
             vec![
                 Declaration::new("a", Ty::base("Int"), DeclKind::Local),
                 Declaration::new(
                     "f",
-                    Ty::fun(vec![Ty::base("Int"), Ty::base("Int"), Ty::base("Int")], Ty::base("String")),
+                    Ty::fun(
+                        vec![Ty::base("Int"), Ty::base("Int"), Ty::base("Int")],
+                        Ty::base("String"),
+                    ),
                     DeclKind::Imported,
                 ),
             ],
             Ty::base("String"),
-        );
-        let rendered: HashSet<String> =
-            fast.patterns().iter().map(|p| p.render(&prepared.store)).collect();
-        assert!(rendered.contains("{Int, {Int} -> String}@{} : Int"));
-        assert!(rendered.contains("{Int, {Int} -> String}@{Int} : String"));
-        assert_eq!(fast.len(), 2);
+            |_, store, fast, _| {
+                let rendered: HashSet<String> =
+                    fast.patterns().iter().map(|p| p.render(store)).collect();
+                assert!(rendered.contains("{Int, {Int} -> String}@{} : Int"));
+                assert!(rendered.contains("{Int, {Int} -> String}@{Int} : String"));
+                assert_eq!(fast.len(), 2);
+            },
+        )
     }
 
     #[test]
     fn optimized_and_naive_agree_on_simple_chains() {
-        let (_, fast, naive) = run(
+        run_with(
             vec![
                 Declaration::new("c", Ty::base("C"), DeclKind::Local),
-                Declaration::new("g", Ty::fun(vec![Ty::base("C")], Ty::base("B")), DeclKind::Local),
-                Declaration::new("f", Ty::fun(vec![Ty::base("B")], Ty::base("A")), DeclKind::Local),
+                Declaration::new(
+                    "g",
+                    Ty::fun(vec![Ty::base("C")], Ty::base("B")),
+                    DeclKind::Local,
+                ),
+                Declaration::new(
+                    "f",
+                    Ty::fun(vec![Ty::base("B")], Ty::base("A")),
+                    DeclKind::Local,
+                ),
             ],
             Ty::base("A"),
-        );
-        assert_eq!(as_set(&fast), as_set(&naive));
-        assert_eq!(fast.len(), 3);
+            |_, _, fast, naive| {
+                assert_eq!(as_set(&fast), as_set(&naive));
+                assert_eq!(fast.len(), 3);
+            },
+        )
     }
 
     #[test]
     fn optimized_and_naive_agree_with_higher_order_arguments() {
-        let (_, fast, naive) = run(
+        run_with(
             vec![
                 Declaration::new(
                     "traverser",
@@ -302,51 +326,71 @@ mod tests {
                 ),
             ],
             Ty::base("Traverser"),
-        );
-        assert_eq!(as_set(&fast), as_set(&naive));
-        // Traverser pattern + Boolean pattern in the Tree-extended environment.
-        assert!(fast.len() >= 2);
+            |_, _, fast, naive| {
+                assert_eq!(as_set(&fast), as_set(&naive));
+                // Traverser pattern + Boolean pattern in the Tree-extended environment.
+                assert!(fast.len() >= 2);
+            },
+        )
     }
 
     #[test]
     fn uninhabited_goal_produces_no_goal_pattern() {
         // f : B -> A but B has no inhabitant: no pattern for A may be derived.
-        let (mut prepared, fast, naive) = run(
-            vec![Declaration::new("f", Ty::fun(vec![Ty::base("B")], Ty::base("A")), DeclKind::Local)],
+        run_with(
+            vec![Declaration::new(
+                "f",
+                Ty::fun(vec![Ty::base("B")], Ty::base("A")),
+                DeclKind::Local,
+            )],
             Ty::base("A"),
-        );
-        let a = prepared.store.base_symbol("A");
-        assert!(!fast.is_inhabited(a, prepared.init_env));
-        assert!(fast.is_empty());
-        assert!(naive.is_empty());
+            |prepared, store, fast, naive| {
+                let a = store.base_symbol("A");
+                assert!(!fast.is_inhabited(a, prepared.init_env));
+                assert!(fast.is_empty());
+                assert!(naive.is_empty());
+            },
+        )
     }
 
     #[test]
     fn recursive_types_reach_a_fixpoint() {
-        let (_, fast, naive) = run(
+        run_with(
             vec![
-                Declaration::new("f", Ty::fun(vec![Ty::base("A")], Ty::base("A")), DeclKind::Local),
+                Declaration::new(
+                    "f",
+                    Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+                    DeclKind::Local,
+                ),
                 Declaration::new("a", Ty::base("A"), DeclKind::Local),
             ],
             Ty::base("A"),
-        );
-        assert_eq!(as_set(&fast), as_set(&naive));
-        // Γ@{} : A (from a) and Γ@{A} : A (from f).
-        assert_eq!(fast.len(), 2);
+            |_, _, fast, naive| {
+                assert_eq!(as_set(&fast), as_set(&naive));
+                // Γ@{} : A (from a) and Γ@{A} : A (from f).
+                assert_eq!(fast.len(), 2);
+            },
+        )
     }
 
     #[test]
     fn lookup_finds_patterns_by_environment_and_return_type() {
-        let (mut prepared, fast, _) = run(
+        run_with(
             vec![
                 Declaration::new("a", Ty::base("Int"), DeclKind::Local),
-                Declaration::new("f", Ty::fun(vec![Ty::base("Int")], Ty::base("String")), DeclKind::Local),
+                Declaration::new(
+                    "f",
+                    Ty::fun(vec![Ty::base("Int")], Ty::base("String")),
+                    DeclKind::Local,
+                ),
             ],
             Ty::base("String"),
-        );
-        let string = prepared.store.base_symbol("String");
-        let found: Vec<_> = fast.lookup(prepared.init_env, string).collect();
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].args.len(), 1);
+            |prepared, store, fast, _| {
+                let string = store.base_symbol("String");
+                let found: Vec<_> = fast.lookup(prepared.init_env, string).collect();
+                assert_eq!(found.len(), 1);
+                assert_eq!(found[0].args.len(), 1);
+            },
+        )
     }
 }

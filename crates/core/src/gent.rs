@@ -13,6 +13,7 @@ use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 use insynth_lambda::{Param, Term, Ty};
+use insynth_succinct::{ScratchStore, TypeStore};
 
 use crate::decl::TypeEnv;
 use crate::genp::PatternSet;
@@ -33,7 +34,11 @@ pub struct GenerateLimits {
 
 impl Default for GenerateLimits {
     fn default() -> Self {
-        GenerateLimits { max_steps: 200_000, time_limit: None, max_depth: None }
+        GenerateLimits {
+            max_steps: 200_000,
+            time_limit: None,
+            max_depth: None,
+        }
     }
 }
 
@@ -82,9 +87,7 @@ impl PExpr {
     fn depth(&self) -> usize {
         match self {
             PExpr::Hole(_) => 1,
-            PExpr::Node { args, .. } => {
-                1 + args.iter().map(PExpr::depth).max().unwrap_or(0)
-            }
+            PExpr::Node { args, .. } => 1 + args.iter().map(PExpr::depth).max().unwrap_or(0),
         }
     }
 
@@ -96,7 +99,11 @@ impl PExpr {
                 for a in args {
                     out_args.push(a.to_term()?);
                 }
-                Some(Term { params: params.clone(), head: head.clone(), args: out_args })
+                Some(Term {
+                    params: params.clone(),
+                    head: head.clone(),
+                    args: out_args,
+                })
             }
         }
     }
@@ -109,8 +116,10 @@ impl PExpr {
 ///
 /// The returned terms are in ascending weight order; ties are broken by
 /// discovery order, which makes the output deterministic.
+#[allow(clippy::too_many_arguments)]
 pub fn generate_terms(
-    prepared: &mut PreparedEnv,
+    prepared: &PreparedEnv,
+    store: &mut ScratchStore<'_>,
     patterns: &PatternSet,
     env: &TypeEnv,
     weights: &WeightConfig,
@@ -126,7 +135,11 @@ pub fn generate_terms(
 
     let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
     let mut seq = 0u64;
-    queue.push(Entry { weight: Reverse(Weight::ZERO), seq: Reverse(seq), expr: PExpr::Hole(goal.clone()) });
+    queue.push(Entry {
+        weight: Reverse(Weight::ZERO),
+        seq: Reverse(seq),
+        expr: PExpr::Hole(goal.clone()),
+    });
 
     while let Some(entry) = queue.pop() {
         if outcome.terms.len() >= n {
@@ -151,13 +164,23 @@ pub fn generate_terms(
                     .expr
                     .to_term()
                     .expect("expression without holes converts to a term");
-                outcome.terms.push(RankedTerm { term, weight: entry.weight.0 });
+                outcome.terms.push(RankedTerm {
+                    term,
+                    weight: entry.weight.0,
+                });
             }
             Some((hole_ty, hole_scope)) => {
-                for (i, (replacement, added)) in
-                    expand_hole(prepared, patterns, env, weights, &hole_ty, &hole_scope)
-                        .into_iter()
-                        .enumerate()
+                for (i, (replacement, added)) in expand_hole(
+                    prepared,
+                    store,
+                    patterns,
+                    env,
+                    weights,
+                    &hole_ty,
+                    &hole_scope,
+                )
+                .into_iter()
+                .enumerate()
                 {
                     // Large environments can produce thousands of expansions
                     // per hole; re-check the wall-clock budget periodically so
@@ -236,7 +259,11 @@ fn replace_first_hole(expr: &PExpr, replacement: &PExpr, done: &mut bool) -> PEx
                 .iter()
                 .map(|a| replace_first_hole(a, replacement, done))
                 .collect();
-            PExpr::Node { params: params.clone(), head: head.clone(), args: new_args }
+            PExpr::Node {
+                params: params.clone(),
+                head: head.clone(),
+                args: new_args,
+            }
         }
     }
 }
@@ -245,7 +272,8 @@ fn replace_first_hole(expr: &PExpr, replacement: &PExpr, done: &mut bool) -> PEx
 /// binders in scope. Each expansion is a node `λ x̄ . f([ ] … [ ])` together
 /// with the weight it adds to the partial expression.
 fn expand_hole(
-    prepared: &mut PreparedEnv,
+    prepared: &PreparedEnv,
+    store: &mut ScratchStore<'_>,
     patterns: &PatternSet,
     env: &TypeEnv,
     weights: &WeightConfig,
@@ -270,10 +298,10 @@ fn expand_hole(
     let binder_succ: Vec<_> = scope
         .iter()
         .chain(fresh.iter())
-        .map(|p| prepared.store.sigma(&p.ty))
+        .map(|p| store.sigma(&p.ty))
         .collect();
-    let hole_env = prepared.store.env_union(prepared.init_env, &binder_succ);
-    let ret_sym = prepared.store.base_symbol(&ret_name);
+    let hole_env = store.env_union(prepared.init_env, &binder_succ);
+    let ret_sym = store.base_symbol(&ret_name);
 
     // Head candidates: declarations and in-scope binders whose succinct type
     // matches a pattern (Γ∪S)@S' : v.
@@ -287,7 +315,7 @@ fn expand_hole(
     let params_weight = Weight::new(binder_lambda_weight.value() * fresh.len() as f64);
 
     for args_set in pattern_args {
-        let wanted = prepared.store.mk_ty(args_set, ret_sym);
+        let wanted = store.mk_ty(args_set, ret_sym);
 
         for &decl_idx in prepared.select(wanted) {
             let decl = &env.decls()[decl_idx];
@@ -301,7 +329,7 @@ fn expand_hole(
         }
 
         for binder in scope.iter().chain(fresh.iter()) {
-            if prepared.store.sigma(&binder.ty) == wanted {
+            if store.sigma(&binder.ty) == wanted {
                 out.push(build_node(
                     &fresh,
                     &binder.name,
@@ -368,12 +396,14 @@ mod tests {
     fn synthesize(decls: Vec<Declaration>, goal: Ty, n: usize) -> Vec<RankedTerm> {
         let env: TypeEnv = decls.into_iter().collect();
         let weights = WeightConfig::default();
-        let mut prepared = PreparedEnv::prepare(&env, &weights);
-        let goal_succ = prepared.store.sigma(&goal);
-        let space = explore(&mut prepared, goal_succ, &ExploreLimits::default());
-        let patterns = generate_patterns(&mut prepared, &space);
+        let prepared = PreparedEnv::prepare(&env, &weights);
+        let mut store = prepared.scratch();
+        let goal_succ = store.sigma(&goal);
+        let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut store, &space);
         let outcome = generate_terms(
-            &mut prepared,
+            &prepared,
+            &mut store,
             &patterns,
             &env,
             &weights,
@@ -401,7 +431,10 @@ mod tests {
                 ),
                 Declaration::new(
                     "BufferedInputStream",
-                    Ty::fun(vec![Ty::base("FileInputStream")], Ty::base("BufferedInputStream")),
+                    Ty::fun(
+                        vec![Ty::base("FileInputStream")],
+                        Ty::base("BufferedInputStream"),
+                    ),
                     DeclKind::Imported,
                 ),
             ],
@@ -472,7 +505,11 @@ mod tests {
     #[test]
     fn uninhabited_goal_returns_no_terms() {
         let terms = synthesize(
-            vec![Declaration::new("f", Ty::fun(vec![Ty::base("B")], Ty::base("A")), DeclKind::Local)],
+            vec![Declaration::new(
+                "f",
+                Ty::fun(vec![Ty::base("B")], Ty::base("A")),
+                DeclKind::Local,
+            )],
             Ty::base("A"),
             5,
         );
@@ -485,7 +522,11 @@ mod tests {
         let terms = synthesize(
             vec![
                 Declaration::new("a", Ty::base("A"), DeclKind::Local),
-                Declaration::new("s", Ty::fun(vec![Ty::base("A")], Ty::base("A")), DeclKind::Local),
+                Declaration::new(
+                    "s",
+                    Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+                    DeclKind::Local,
+                ),
             ],
             Ty::base("A"),
             4,
@@ -523,24 +564,33 @@ mod tests {
     fn depth_limit_prunes_deep_terms() {
         let env: TypeEnv = vec![
             Declaration::new("a", Ty::base("A"), DeclKind::Local),
-            Declaration::new("s", Ty::fun(vec![Ty::base("A")], Ty::base("A")), DeclKind::Local),
+            Declaration::new(
+                "s",
+                Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+                DeclKind::Local,
+            ),
         ]
         .into_iter()
         .collect();
         let weights = WeightConfig::default();
-        let mut prepared = PreparedEnv::prepare(&env, &weights);
+        let prepared = PreparedEnv::prepare(&env, &weights);
         let goal = Ty::base("A");
-        let goal_succ = prepared.store.sigma(&goal);
-        let space = explore(&mut prepared, goal_succ, &ExploreLimits::default());
-        let patterns = generate_patterns(&mut prepared, &space);
+        let mut store = prepared.scratch();
+        let goal_succ = store.sigma(&goal);
+        let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut store, &space);
         let outcome = generate_terms(
-            &mut prepared,
+            &prepared,
+            &mut store,
             &patterns,
             &env,
             &weights,
             &goal,
             100,
-            &GenerateLimits { max_depth: Some(2), ..GenerateLimits::default() },
+            &GenerateLimits {
+                max_depth: Some(2),
+                ..GenerateLimits::default()
+            },
         );
         // Only `a` (depth 1) and `s(a)` (depth 2) fit within depth 2.
         let rendered: Vec<String> = outcome.terms.iter().map(|t| t.term.to_string()).collect();
@@ -552,24 +602,33 @@ mod tests {
     fn step_limit_truncates_reconstruction() {
         let env: TypeEnv = vec![
             Declaration::new("a", Ty::base("A"), DeclKind::Local),
-            Declaration::new("s", Ty::fun(vec![Ty::base("A")], Ty::base("A")), DeclKind::Local),
+            Declaration::new(
+                "s",
+                Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+                DeclKind::Local,
+            ),
         ]
         .into_iter()
         .collect();
         let weights = WeightConfig::default();
-        let mut prepared = PreparedEnv::prepare(&env, &weights);
+        let prepared = PreparedEnv::prepare(&env, &weights);
         let goal = Ty::base("A");
-        let goal_succ = prepared.store.sigma(&goal);
-        let space = explore(&mut prepared, goal_succ, &ExploreLimits::default());
-        let patterns = generate_patterns(&mut prepared, &space);
+        let mut store = prepared.scratch();
+        let goal_succ = store.sigma(&goal);
+        let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut store, &space);
         let outcome = generate_terms(
-            &mut prepared,
+            &prepared,
+            &mut store,
             &patterns,
             &env,
             &weights,
             &goal,
             1_000,
-            &GenerateLimits { max_steps: 10, ..GenerateLimits::default() },
+            &GenerateLimits {
+                max_steps: 10,
+                ..GenerateLimits::default()
+            },
         );
         assert!(outcome.truncated);
         assert!(outcome.steps <= 10);
@@ -588,13 +647,15 @@ mod tests {
         .into_iter()
         .collect();
         let weights = WeightConfig::default();
-        let mut prepared = PreparedEnv::prepare(&env, &weights);
+        let prepared = PreparedEnv::prepare(&env, &weights);
         let goal = Ty::base("File");
-        let goal_succ = prepared.store.sigma(&goal);
-        let space = explore(&mut prepared, goal_succ, &ExploreLimits::default());
-        let patterns = generate_patterns(&mut prepared, &space);
+        let mut store = prepared.scratch();
+        let goal_succ = store.sigma(&goal);
+        let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut store, &space);
         let outcome = generate_terms(
-            &mut prepared,
+            &prepared,
+            &mut store,
             &patterns,
             &env,
             &weights,

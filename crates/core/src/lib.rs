@@ -14,14 +14,20 @@
 //! 4. **GenerateT** (Figure 10): best-first reconstruction of concrete lambda
 //!    terms from the patterns ([`generate_terms`]).
 //!
-//! [`Synthesizer`] glues the phases together; [`rcn`] is the unoptimized
+//! The public entry point is the session API: an [`Engine`] holds the
+//! configuration, [`Engine::prepare`] runs phase 1 once per program point and
+//! returns a `Send + Sync` [`Session`], and [`Session::query`] runs phases
+//! 2-4 for each [`Query`] without touching shared state — so one prepared
+//! point can serve many queries, concurrently. [`Engine::query_batch`] runs
+//! requests against several program points at once, preparing each point once
+//! and fanning queries out across a thread pool. [`rcn`] is the unoptimized
 //! reference implementation of Figure 4 used as a test oracle; the
 //! [`SubtypeLattice`] turns subtype edges into coercion declarations (section 6).
 //!
 //! # Example
 //!
 //! ```
-//! use insynth_core::{Declaration, DeclKind, SynthesisConfig, Synthesizer, TypeEnv};
+//! use insynth_core::{Declaration, DeclKind, Engine, Query, SynthesisConfig, TypeEnv};
 //! use insynth_lambda::Ty;
 //!
 //! let env: TypeEnv = vec![
@@ -35,9 +41,12 @@
 //! .into_iter()
 //! .collect();
 //!
-//! let mut synth = Synthesizer::new(SynthesisConfig::default());
-//! let result = synth.synthesize(&env, &Ty::base("StringReader"), 3);
+//! let engine = Engine::new(SynthesisConfig::default());
+//! let session = engine.prepare(&env); // prepare once …
+//! let result = session.query(&Query::new(Ty::base("StringReader")).with_n(3));
 //! assert_eq!(result.snippets[0].term.to_string(), "StringReader(body)");
+//! let again = session.query(&Query::new(Ty::base("String"))); // … query many
+//! assert_eq!(again.snippets[0].term.to_string(), "body");
 //! ```
 
 mod coerce;
@@ -47,15 +56,21 @@ mod genp;
 mod gent;
 mod prepare;
 mod rcn;
+mod session;
 mod synth;
 mod weights;
 
-pub use coerce::{coercion_name, count_coercions, erase_coercions, is_coercion, SubtypeLattice, COERCION_PREFIX};
+pub use coerce::{
+    coercion_name, count_coercions, erase_coercions, is_coercion, SubtypeLattice, COERCION_PREFIX,
+};
 pub use decl::{DeclKind, Declaration, TypeEnv};
 pub use explore::{explore, ExploreLimits, SearchSpace};
 pub use genp::{generate_patterns, generate_patterns_naive, PatternSet};
 pub use gent::{generate_terms, GenerateLimits, GenerateOutcome, RankedTerm};
 pub use prepare::PreparedEnv;
 pub use rcn::{is_inhabited_ref, rcn};
-pub use synth::{PhaseTimings, Snippet, SynthesisConfig, SynthesisResult, SynthesisStats, Synthesizer};
+pub use session::{BatchRequest, Engine, Query, Session};
+#[allow(deprecated)]
+pub use synth::Synthesizer;
+pub use synth::{PhaseTimings, Snippet, SynthesisConfig, SynthesisResult, SynthesisStats};
 pub use weights::{Weight, WeightConfig, WeightMode, WeightTable};

@@ -1,14 +1,19 @@
 //! Preparation of a type environment for the succinct-calculus search.
 //!
-//! Preparing an environment computes, once per query: the σ image of every
-//! declaration type, the interned initial environment Γ = σ(Γo), the `Select`
-//! index from succinct types back to declarations (used by the reconstruction
-//! phase, Figure 4/10), and the per-succinct-type weights that drive the
-//! priority queues (§5.6).
+//! Preparing an environment computes, once per *program point*: the σ image of
+//! every declaration type, the interned initial environment Γ = σ(Γo), the
+//! `Select` index from succinct types back to declarations (used by the
+//! reconstruction phase, Figure 4/10), and the per-succinct-type weights that
+//! drive the priority queues (§5.6).
+//!
+//! A [`PreparedEnv`] is immutable once built: queries read it through a shared
+//! reference and intern any query-local types into a [`ScratchStore`] overlay
+//! obtained from [`PreparedEnv::scratch`]. That is what lets one prepared
+//! environment serve many queries, concurrently, without re-running σ.
 
 use std::collections::HashMap;
 
-use insynth_succinct::{EnvId, SuccinctStore, SuccinctTyId};
+use insynth_succinct::{EnvId, ScratchStore, SuccinctStore, SuccinctTyId};
 
 use crate::decl::TypeEnv;
 use crate::weights::{Weight, WeightConfig};
@@ -59,7 +64,23 @@ impl PreparedEnv {
         }
 
         let init_env = store.mk_env(decl_succ.iter().copied());
-        PreparedEnv { store, decl_succ, decl_weight, by_succ, ty_weight, init_env }
+        PreparedEnv {
+            store,
+            decl_succ,
+            decl_weight,
+            by_succ,
+            ty_weight,
+            init_env,
+        }
+    }
+
+    /// A fresh per-query interning overlay over this environment's store.
+    ///
+    /// Every query needs to intern a few types of its own (the goal type, the
+    /// environments extended with lambda binders); the overlay takes those
+    /// without mutating — or locking — the shared store.
+    pub fn scratch(&self) -> ScratchStore<'_> {
+        ScratchStore::new(&self.store)
     }
 
     /// The declarations whose σ image is exactly `succ` (the `Select` function
@@ -71,7 +92,10 @@ impl PreparedEnv {
     /// The weight of a succinct type: the minimum weight of any declaration
     /// producing it, or [`Weight::UNKNOWN`] if no declaration does.
     pub fn type_weight(&self, succ: SuccinctTyId) -> Weight {
-        self.ty_weight.get(&succ).copied().unwrap_or(Weight::UNKNOWN)
+        self.ty_weight
+            .get(&succ)
+            .copied()
+            .unwrap_or(Weight::UNKNOWN)
     }
 
     /// Number of *distinct* succinct types among the declarations — the

@@ -59,7 +59,11 @@ impl DerivOracle {
             }
         }
 
-        let mut oracle = DerivOracle { store, inhabited: HashSet::new(), envs };
+        let mut oracle = DerivOracle {
+            store,
+            inhabited: HashSet::new(),
+            envs,
+        };
         oracle.saturate();
         oracle
     }
@@ -181,7 +185,11 @@ fn rcn_rec(env: TypeEnv, goal: &Ty, depth: usize, counter: &mut usize) -> Vec<Te
     // Γ'o := Γo ∪ {x1 : τ1, …, xn : τn}
     let mut extended = env;
     for b in &binders {
-        extended.push(Declaration::new(b.name.clone(), b.ty.clone(), DeclKind::Lambda));
+        extended.push(Declaration::new(
+            b.name.clone(),
+            b.ty.clone(),
+            DeclKind::Lambda,
+        ));
     }
 
     // Build the succinct view of Γ'o and query CL for the goal's return type.
@@ -204,7 +212,9 @@ fn rcn_rec(env: TypeEnv, goal: &Ty, depth: usize, counter: &mut usize) -> Vec<Te
     let mut terms = Vec::new();
     for args_set in arg_sets {
         let wanted = oracle.store.mk_ty(args_set, goal_ret);
-        let Some(decl_indices) = by_succ.get(&wanted) else { continue };
+        let Some(decl_indices) = by_succ.get(&wanted) else {
+            continue;
+        };
         for &idx in decl_indices {
             let decl = extended.decls()[idx].clone();
             let (rho, _) = decl.ty.uncurry();
@@ -299,7 +309,10 @@ mod tests {
     fn every_returned_term_type_checks() {
         let e = env(vec![
             ("x", Ty::base("Int")),
-            ("plus", Ty::fun(vec![Ty::base("Int"), Ty::base("Int")], Ty::base("Int"))),
+            (
+                "plus",
+                Ty::fun(vec![Ty::base("Int"), Ty::base("Int")], Ty::base("Int")),
+            ),
         ]);
         let goal = Ty::base("Int");
         let bindings = e.to_bindings();
@@ -310,14 +323,19 @@ mod tests {
 
     #[test]
     fn functional_goal_produces_long_normal_form_lambdas() {
-        let e = env(vec![("p", Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")))]);
+        let e = env(vec![(
+            "p",
+            Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")),
+        )]);
         let goal = Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean"));
         let terms = rcn(&e, &goal, 2);
         assert_eq!(terms.len(), 1);
         assert_eq!(terms[0].params.len(), 1);
         assert_eq!(terms[0].head, "p");
         let bindings = e.to_bindings();
-        assert!(insynth_lambda::is_long_normal_form(&bindings, &terms[0], &goal));
+        assert!(insynth_lambda::is_long_normal_form(
+            &bindings, &terms[0], &goal
+        ));
     }
 
     #[test]
@@ -336,7 +354,10 @@ mod tests {
         // Goal (A -> B) -> B with a : A — inhabited by λf. f(a)… wait, that
         // needs `a`; with only the binder f : A -> B and a : A it is inhabited.
         let e = env(vec![("a", Ty::base("A"))]);
-        let goal = Ty::fun(vec![Ty::fun(vec![Ty::base("A")], Ty::base("B"))], Ty::base("B"));
+        let goal = Ty::fun(
+            vec![Ty::fun(vec![Ty::base("A")], Ty::base("B"))],
+            Ty::base("B"),
+        );
         assert!(is_inhabited_ref(&e, &goal));
         let terms = rcn(&e, &goal, 3);
         assert!(!terms.is_empty());

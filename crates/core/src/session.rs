@@ -1,0 +1,651 @@
+//! The session-based query API: prepare once, query many, batch in parallel.
+//!
+//! The paper's interactive deployment (§7.5) answers many completion queries
+//! against the same program point. This module separates the three concerns
+//! the one-shot [`Synthesizer`](crate::Synthesizer) façade used to conflate:
+//!
+//! * [`Engine`] — immutable configuration holder (`Send + Sync`). Cheap to
+//!   clone, safe to share.
+//! * [`Session`] — one *prepared* program point: [`Engine::prepare`] lowers a
+//!   [`TypeEnv`] through σ exactly once and freezes the result. A session is
+//!   `Send + Sync`; wrap it in an `Arc` and serve queries from as many
+//!   threads as you like — each query interns its few private types into a
+//!   [`ScratchStore`](insynth_succinct::ScratchStore) overlay instead of
+//!   mutating shared state.
+//! * [`Query`] — a builder-style request: goal type, `N`, and optional
+//!   per-query overrides of the engine's budgets, depth bound and weights.
+//! * [`Engine::query_batch`] — many `(environment, query)` requests at once:
+//!   requests are grouped by program point, each point is prepared once, and
+//!   the queries fan out across a scoped thread pool. Results come back in
+//!   input order and are identical to running every query sequentially.
+//!
+//! # Example
+//!
+//! ```
+//! use insynth_core::{Declaration, DeclKind, Engine, Query, SynthesisConfig, TypeEnv};
+//! use insynth_lambda::Ty;
+//!
+//! let env: TypeEnv = vec![
+//!     Declaration::simple("name", Ty::base("String"), DeclKind::Local),
+//!     Declaration::simple(
+//!         "mkFile",
+//!         Ty::fun(vec![Ty::base("String")], Ty::base("File")),
+//!         DeclKind::Imported,
+//!     ),
+//! ]
+//! .into_iter()
+//! .collect();
+//!
+//! let engine = Engine::new(SynthesisConfig::default());
+//! let session = engine.prepare(&env); // σ runs once, here
+//! let result = session.query(&Query::new(Ty::base("File")).with_n(5));
+//! assert_eq!(result.snippets[0].term.to_string(), "mkFile(name)");
+//! // The same session serves further queries without re-preparing.
+//! assert!(session.query(&Query::new(Ty::base("String"))).snippets.len() > 0);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use insynth_lambda::Ty;
+
+use crate::coerce::{count_coercions, erase_coercions};
+use crate::decl::TypeEnv;
+use crate::explore::{explore, ExploreLimits};
+use crate::genp::generate_patterns;
+use crate::gent::{generate_terms, GenerateLimits};
+use crate::prepare::PreparedEnv;
+use crate::synth::{PhaseTimings, Snippet, SynthesisConfig, SynthesisResult, SynthesisStats};
+use crate::weights::WeightConfig;
+
+/// The immutable synthesis engine: configuration only, no per-query state.
+///
+/// `Engine` is `Send + Sync`; one instance can serve every thread of a
+/// deployment. All mutable search state lives in per-query scratch space.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: SynthesisConfig,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: SynthesisConfig) -> Self {
+        Engine { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.config
+    }
+
+    /// Lowers `env` into succinct form once, returning a reusable, shareable
+    /// [`Session`] for that program point.
+    pub fn prepare(&self, env: &TypeEnv) -> Session {
+        let started = Instant::now();
+        let prepared = PreparedEnv::prepare(env, &self.config.weights);
+        // prepare_time covers only the σ-lowering and index construction —
+        // the quantity queries amortize — not the bookkeeping copies below.
+        let prepare_time = started.elapsed();
+        Session {
+            env: env.clone(),
+            config: self.config.clone(),
+            prepared,
+            prepare_time,
+        }
+    }
+
+    /// Runs a batch of requests, possibly spanning several program points.
+    ///
+    /// Requests are grouped by program point (environments compared
+    /// structurally), each distinct environment is prepared exactly once, and
+    /// the queries fan out across a scoped thread pool sized to the machine.
+    /// The result vector is in input order, and every entry is identical to
+    /// what a sequential [`Session::query`] against that request's
+    /// environment would return — scheduling never affects results.
+    pub fn query_batch(&self, requests: &[BatchRequest]) -> Vec<SynthesisResult> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+
+        // Group request indices by structurally equal environments. Batches
+        // are small compared to environments, so a linear scan per distinct
+        // environment beats hashing whole declaration lists.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (idx, request) in requests.iter().enumerate() {
+            match groups
+                .iter_mut()
+                .find(|(rep, _)| requests[*rep].env == request.env)
+            {
+                Some((_, members)) => members.push(idx),
+                None => groups.push((idx, vec![idx])),
+            }
+        }
+
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+
+        // Stage 1: prepare one session per distinct program point, in
+        // parallel (σ-lowering dominates batch cost for large environments).
+        let sessions: Vec<Session> = run_indexed(groups.len(), workers, |g| {
+            self.prepare(&requests[groups[g].0].env)
+        });
+
+        let mut session_of = vec![0usize; requests.len()];
+        for (g, (_, members)) in groups.iter().enumerate() {
+            for &idx in members {
+                session_of[idx] = g;
+            }
+        }
+
+        // Stage 2: fan the queries out; each worker writes only its own
+        // input-indexed slot, so the output order is deterministic.
+        run_indexed(requests.len(), workers, |idx| {
+            sessions[session_of[idx]].query(&requests[idx].query)
+        })
+    }
+}
+
+/// Runs `f(0..count)` on up to `workers` scoped threads and returns the
+/// results in index order.
+fn run_indexed<T, F>(count: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let threads = workers.min(count).max(1);
+    if threads == 1 {
+        return (0..count).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    // Unwrap the slots only after the scope has joined every worker: if a
+    // worker panicked, the scope re-raises that panic here and the caller
+    // sees the real failure, not a missing-slot assertion.
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= count {
+                    break;
+                }
+                if tx.send((idx, f(idx))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        for (idx, value) in rx {
+            slots[idx] = Some(value);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index is produced exactly once"))
+        .collect()
+}
+
+/// One request of a batch: a program point plus the query to answer there.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// The declarations visible at the program point.
+    pub env: TypeEnv,
+    /// The query to run against that point.
+    pub query: Query,
+}
+
+impl BatchRequest {
+    /// Pairs a program point with a query.
+    pub fn new(env: TypeEnv, query: Query) -> Self {
+        BatchRequest { env, query }
+    }
+}
+
+/// A builder-style synthesis request: the goal type, how many snippets to
+/// return, and optional per-query overrides of the session's configuration.
+///
+/// Unset fields inherit from the [`SynthesisConfig`] the engine was built
+/// with; `n` defaults to 10, the paper's interactive `N`.
+///
+/// # Example
+///
+/// ```
+/// use insynth_core::Query;
+/// use insynth_lambda::Ty;
+/// use std::time::Duration;
+///
+/// let query = Query::new(Ty::base("File"))
+///     .with_n(3)
+///     .with_max_depth(4)
+///     .with_prover_time_limit(Some(Duration::from_millis(100)));
+/// assert_eq!(query.n(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Query {
+    goal: Ty,
+    n: usize,
+    weights: Option<WeightConfig>,
+    prover_time_limit: Option<Option<Duration>>,
+    reconstruction_time_limit: Option<Option<Duration>>,
+    max_explore_requests: Option<usize>,
+    max_reconstruction_steps: Option<usize>,
+    max_depth: Option<Option<usize>>,
+    erase_coercions: Option<bool>,
+}
+
+impl Query {
+    /// A request for the 10 best snippets of type `goal` under the session's
+    /// configuration.
+    pub fn new(goal: Ty) -> Self {
+        Query {
+            goal,
+            n: 10,
+            weights: None,
+            prover_time_limit: None,
+            reconstruction_time_limit: None,
+            max_explore_requests: None,
+            max_reconstruction_steps: None,
+            max_depth: None,
+            erase_coercions: None,
+        }
+    }
+
+    /// The goal type.
+    pub fn goal(&self) -> &Ty {
+        &self.goal
+    }
+
+    /// The number of snippets requested.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sets the number of snippets to return (the paper's `N`).
+    pub fn with_n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Overrides the weight configuration for this query only.
+    ///
+    /// Per-type weights are baked into the prepared environment, so a query
+    /// whose weights differ from the session's re-prepares internally — this
+    /// is the slow path, meant for occasional ablation queries. Batches of
+    /// same-weight queries should use differently configured engines instead.
+    pub fn with_weights(mut self, weights: WeightConfig) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Overrides the exploration + pattern generation wall-clock budget
+    /// (`None` removes the limit).
+    pub fn with_prover_time_limit(mut self, limit: Option<Duration>) -> Self {
+        self.prover_time_limit = Some(limit);
+        self
+    }
+
+    /// Overrides the reconstruction wall-clock budget (`None` removes the
+    /// limit).
+    pub fn with_reconstruction_time_limit(mut self, limit: Option<Duration>) -> Self {
+        self.reconstruction_time_limit = Some(limit);
+        self
+    }
+
+    /// Overrides the hard cap on exploration requests.
+    pub fn with_max_explore_requests(mut self, max: usize) -> Self {
+        self.max_explore_requests = Some(max);
+        self
+    }
+
+    /// Overrides the hard cap on reconstruction steps.
+    pub fn with_max_reconstruction_steps(mut self, max: usize) -> Self {
+        self.max_reconstruction_steps = Some(max);
+        self
+    }
+
+    /// Bounds the depth of synthesized terms for this query.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = Some(Some(depth));
+        self
+    }
+
+    /// Removes the session's depth bound for this query.
+    pub fn without_max_depth(mut self) -> Self {
+        self.max_depth = Some(None);
+        self
+    }
+
+    /// Overrides whether coercion applications are erased from the reported
+    /// snippets.
+    pub fn with_erase_coercions(mut self, erase: bool) -> Self {
+        self.erase_coercions = Some(erase);
+        self
+    }
+
+    /// The session configuration with this query's overrides applied.
+    fn effective_config(&self, base: &SynthesisConfig) -> SynthesisConfig {
+        SynthesisConfig {
+            weights: self.weights.clone().unwrap_or_else(|| base.weights.clone()),
+            prover_time_limit: self.prover_time_limit.unwrap_or(base.prover_time_limit),
+            reconstruction_time_limit: self
+                .reconstruction_time_limit
+                .unwrap_or(base.reconstruction_time_limit),
+            max_explore_requests: self
+                .max_explore_requests
+                .unwrap_or(base.max_explore_requests),
+            max_reconstruction_steps: self
+                .max_reconstruction_steps
+                .unwrap_or(base.max_reconstruction_steps),
+            max_depth: self.max_depth.unwrap_or(base.max_depth),
+            erase_coercions: self.erase_coercions.unwrap_or(base.erase_coercions),
+        }
+    }
+}
+
+/// One prepared program point: the σ-lowered environment plus the engine
+/// configuration it was prepared under.
+///
+/// Sessions are immutable and `Send + Sync`: queries borrow the prepared
+/// environment read-only and keep all mutable search state (priority queues,
+/// visited sets, newly interned types) in per-query scratch space, so an
+/// `Arc<Session>` can answer queries from many threads concurrently.
+#[derive(Debug)]
+pub struct Session {
+    env: TypeEnv,
+    config: SynthesisConfig,
+    prepared: PreparedEnv,
+    prepare_time: Duration,
+}
+
+impl Session {
+    /// The program point this session was prepared for.
+    pub fn env(&self) -> &TypeEnv {
+        &self.env
+    }
+
+    /// The configuration queries inherit (before per-query overrides).
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.config
+    }
+
+    /// The σ-lowered environment.
+    pub fn prepared(&self) -> &PreparedEnv {
+        &self.prepared
+    }
+
+    /// How long [`Engine::prepare`] took for this session — the cost that is
+    /// paid once per program point instead of once per query.
+    pub fn prepare_time(&self) -> Duration {
+        self.prepare_time
+    }
+
+    /// Answers one query against this program point.
+    ///
+    /// Does not re-run σ (unless the query overrides the weight
+    /// configuration, which forces an internal re-preparation).
+    pub fn query(&self, query: &Query) -> SynthesisResult {
+        let config = query.effective_config(&self.config);
+        if let Some(weights) = &query.weights {
+            if *weights != self.config.weights {
+                // Weight overrides invalidate the prepared per-type weights:
+                // re-prepare privately for this query (the documented slow
+                // path; the shared session is left untouched).
+                let prepared = PreparedEnv::prepare(&self.env, weights);
+                return run_query(&prepared, &self.env, &config, &query.goal, query.n);
+            }
+        }
+        run_query(&self.prepared, &self.env, &config, &query.goal, query.n)
+    }
+
+    /// Answers several queries against this program point, sequentially,
+    /// returning results in input order.
+    pub fn query_many(&self, queries: &[Query]) -> Vec<SynthesisResult> {
+        queries.iter().map(|q| self.query(q)).collect()
+    }
+
+    /// Decides inhabitation only (the "prover" mode used for the Imogen/fCube
+    /// comparison of Table 2): runs exploration and pattern generation and
+    /// checks whether the goal type received a pattern, without
+    /// reconstructing any term.
+    pub fn is_inhabited(&self, goal: &Ty) -> bool {
+        use insynth_succinct::TypeStore;
+
+        let mut store = self.prepared.scratch();
+        let goal_succ = store.sigma(goal);
+        let space = explore(
+            &self.prepared,
+            &mut store,
+            goal_succ,
+            &ExploreLimits {
+                max_requests: self.config.max_explore_requests,
+                time_limit: self.config.prover_time_limit,
+            },
+        );
+        let patterns = generate_patterns(&mut store, &space);
+        let goal_args = store.args_of(goal_succ).to_vec();
+        let extended = store.env_union(self.prepared.init_env, &goal_args);
+        let ret = store.ret_of(goal_succ);
+        patterns.is_inhabited(ret, extended)
+    }
+}
+
+/// Runs the three query phases against a prepared environment. Shared by
+/// [`Session::query`] and the deprecated [`Synthesizer`](crate::Synthesizer)
+/// shim.
+pub(crate) fn run_query(
+    prepared: &PreparedEnv,
+    env: &TypeEnv,
+    config: &SynthesisConfig,
+    goal: &Ty,
+    n: usize,
+) -> SynthesisResult {
+    use insynth_succinct::TypeStore;
+
+    let mut store = prepared.scratch();
+    let goal_succ = store.sigma(goal);
+
+    let explore_started = Instant::now();
+    let space = explore(
+        prepared,
+        &mut store,
+        goal_succ,
+        &ExploreLimits {
+            max_requests: config.max_explore_requests,
+            time_limit: config.prover_time_limit,
+        },
+    );
+    let explore_time = explore_started.elapsed();
+
+    let patterns_started = Instant::now();
+    let patterns = generate_patterns(&mut store, &space);
+    let patterns_time = patterns_started.elapsed();
+
+    let recon_started = Instant::now();
+    let outcome = generate_terms(
+        prepared,
+        &mut store,
+        &patterns,
+        env,
+        &config.weights,
+        goal,
+        n,
+        &GenerateLimits {
+            max_steps: config.max_reconstruction_steps,
+            time_limit: config.reconstruction_time_limit,
+            max_depth: config.max_depth,
+        },
+    );
+    let recon_time = recon_started.elapsed();
+
+    let snippets = outcome
+        .terms
+        .into_iter()
+        .map(|ranked| {
+            let raw = ranked.term;
+            let erased = if config.erase_coercions {
+                erase_coercions(&raw)
+            } else {
+                raw.clone()
+            };
+            Snippet {
+                coercions: count_coercions(&raw),
+                depth: raw.depth(),
+                term: erased,
+                raw_term: raw,
+                weight: ranked.weight,
+            }
+        })
+        .collect();
+
+    SynthesisResult {
+        snippets,
+        timings: PhaseTimings {
+            explore: explore_time,
+            patterns: patterns_time,
+            reconstruction: recon_time,
+        },
+        stats: SynthesisStats {
+            initial_declarations: env.len(),
+            distinct_succinct_types: prepared.distinct_succinct_types(),
+            reachability_terms: space.terms.len(),
+            requests_processed: space.requests_processed,
+            patterns: patterns.len(),
+            reconstruction_steps: outcome.steps,
+            truncated: space.truncated || outcome.truncated,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decl::{DeclKind, Declaration};
+
+    // Compile-time proof of the concurrency contract: sessions (and the
+    // engine) can be shared across threads behind an Arc.
+    const _: fn() = || {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<Session>();
+        assert_send_sync::<Query>();
+        assert_send_sync::<BatchRequest>();
+    };
+
+    fn env_a() -> TypeEnv {
+        vec![
+            Declaration::new("name", Ty::base("String"), DeclKind::Local),
+            Declaration::new(
+                "mkFile",
+                Ty::fun(vec![Ty::base("String")], Ty::base("File")),
+                DeclKind::Imported,
+            ),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn env_b() -> TypeEnv {
+        vec![
+            Declaration::new("a", Ty::base("A"), DeclKind::Local),
+            Declaration::new(
+                "s",
+                Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+                DeclKind::Local,
+            ),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn render(result: &SynthesisResult) -> Vec<(String, crate::Weight)> {
+        result
+            .snippets
+            .iter()
+            .map(|s| (s.term.to_string(), s.weight))
+            .collect()
+    }
+
+    #[test]
+    fn empty_batch_returns_no_results() {
+        let engine = Engine::new(SynthesisConfig::default());
+        assert!(engine.query_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_results_are_input_ordered_and_match_sequential_queries() {
+        let engine = Engine::new(SynthesisConfig::default());
+        let requests = vec![
+            BatchRequest::new(env_a(), Query::new(Ty::base("File")).with_n(5)),
+            BatchRequest::new(env_b(), Query::new(Ty::base("A")).with_n(4)),
+            BatchRequest::new(env_a(), Query::new(Ty::base("String")).with_n(3)),
+            BatchRequest::new(env_b(), Query::new(Ty::base("A")).with_n(2)),
+        ];
+        let batched = engine.query_batch(&requests);
+        assert_eq!(batched.len(), requests.len());
+        for (request, batch_result) in requests.iter().zip(&batched) {
+            let sequential = engine.prepare(&request.env).query(&request.query);
+            assert_eq!(render(batch_result), render(&sequential));
+        }
+        // Spot-check the input ordering explicitly.
+        assert_eq!(batched[0].snippets[0].term.to_string(), "mkFile(name)");
+        assert_eq!(batched[2].snippets[0].term.to_string(), "name");
+        assert_eq!(batched[3].snippets.len(), 2);
+    }
+
+    #[test]
+    fn query_many_matches_individual_queries() {
+        let engine = Engine::new(SynthesisConfig::default());
+        let session = engine.prepare(&env_b());
+        let queries = vec![
+            Query::new(Ty::base("A")).with_n(3),
+            Query::new(Ty::base("A")).with_n(1),
+        ];
+        let many = session.query_many(&queries);
+        assert_eq!(many.len(), 2);
+        for (query, result) in queries.iter().zip(&many) {
+            assert_eq!(render(result), render(&session.query(query)));
+        }
+    }
+
+    #[test]
+    fn query_overrides_take_effect() {
+        let engine = Engine::new(SynthesisConfig::default());
+        let session = engine.prepare(&env_b());
+        // Depth 2 admits only `a` and `s(a)`.
+        let bounded = session.query(&Query::new(Ty::base("A")).with_n(100).with_max_depth(2));
+        let rendered: Vec<String> = bounded
+            .snippets
+            .iter()
+            .map(|s| s.term.to_string())
+            .collect();
+        assert_eq!(rendered, vec!["a", "s(a)"]);
+        // A tiny step cap truncates and is reported as such.
+        let truncated = session.query(
+            &Query::new(Ty::base("A"))
+                .with_n(1_000)
+                .with_max_reconstruction_steps(2),
+        );
+        assert!(truncated.stats.truncated);
+    }
+
+    #[test]
+    fn run_indexed_returns_results_in_index_order() {
+        let doubled = run_indexed(100, 8, |i| i * 2);
+        assert_eq!(doubled.len(), 100);
+        for (i, v) in doubled.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+        assert!(run_indexed(0, 8, |i| i).is_empty());
+    }
+}

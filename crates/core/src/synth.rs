@@ -1,20 +1,18 @@
-//! The top-level synthesis API: the `Synthesize` procedure of Figure 5.
+//! Synthesis configuration and results, plus the deprecated one-shot façade.
 //!
-//! [`Synthesizer::synthesize`] runs the three phases — exploration (Figure 7),
-//! pattern generation (Figure 9) and term reconstruction (Figure 10) — and
-//! returns the `N` best-ranked snippets together with phase timings and search
-//! statistics (the quantities reported in Table 2).
+//! The types here describe a query's configuration ([`SynthesisConfig`]) and
+//! outcome ([`SynthesisResult`]: ranked [`Snippet`]s, [`PhaseTimings`],
+//! [`SynthesisStats`] — the quantities reported in Table 2). The entry point
+//! for running queries is the session API ([`Engine`] → [`Session`](crate::Session)
+//! → [`Query`]); the [`Synthesizer`] struct kept here is a deprecated shim
+//! that prepares a throwaway session per call.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use insynth_lambda::{Term, Ty};
 
-use crate::coerce::{count_coercions, erase_coercions};
 use crate::decl::TypeEnv;
-use crate::explore::{explore, ExploreLimits};
-use crate::genp::{generate_patterns, PatternSet};
-use crate::gent::{generate_terms, GenerateLimits};
-use crate::prepare::PreparedEnv;
+use crate::session::{Engine, Query};
 use crate::weights::{Weight, WeightConfig};
 
 /// Configuration of a synthesis query.
@@ -160,12 +158,14 @@ impl SynthesisResult {
     }
 }
 
-/// The InSynth synthesis engine.
+/// Deprecated one-shot façade over the session API.
 ///
-/// # Example
+/// Every call prepares a throwaway [`Session`](crate::Session) — the σ
+/// lowering, `Select` index and per-type weights are rebuilt per call, which
+/// is exactly the cost the session API exists to amortize. Migrate to:
 ///
 /// ```
-/// use insynth_core::{Declaration, DeclKind, SynthesisConfig, Synthesizer, TypeEnv};
+/// use insynth_core::{Declaration, DeclKind, Engine, Query, SynthesisConfig, TypeEnv};
 /// use insynth_lambda::Ty;
 ///
 /// let mut env = TypeEnv::new();
@@ -175,124 +175,47 @@ impl SynthesisResult {
 ///     Ty::fun(vec![Ty::base("String")], Ty::base("File")),
 ///     DeclKind::Imported,
 /// ));
-/// let mut synth = Synthesizer::new(SynthesisConfig::default());
-/// let result = synth.synthesize(&env, &Ty::base("File"), 5);
+/// let engine = Engine::new(SynthesisConfig::default());
+/// let session = engine.prepare(&env);
+/// let result = session.query(&Query::new(Ty::base("File")).with_n(5));
 /// assert_eq!(result.snippets[0].term.to_string(), "mkFile(name)");
 /// ```
+#[deprecated(note = "use Engine/Session")]
 #[derive(Debug, Clone, Default)]
 pub struct Synthesizer {
-    config: SynthesisConfig,
+    engine: Engine,
 }
 
+#[allow(deprecated)]
 impl Synthesizer {
     /// Creates an engine with the given configuration.
     pub fn new(config: SynthesisConfig) -> Self {
-        Synthesizer { config }
+        Synthesizer {
+            engine: Engine::new(config),
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &SynthesisConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// Synthesizes at most `n` snippets of type `goal` from the declarations
     /// in `env`, ranked by ascending weight.
-    pub fn synthesize(&mut self, env: &TypeEnv, goal: &Ty, n: usize) -> SynthesisResult {
-        let weights = self.config.weights.clone();
-        let mut prepared = PreparedEnv::prepare(env, &weights);
-        let goal_succ = prepared.store.sigma(goal);
-
-        let explore_started = Instant::now();
-        let space = explore(
-            &mut prepared,
-            goal_succ,
-            &ExploreLimits {
-                max_requests: self.config.max_explore_requests,
-                time_limit: self.config.prover_time_limit,
-            },
-        );
-        let explore_time = explore_started.elapsed();
-
-        let patterns_started = Instant::now();
-        let patterns = generate_patterns(&mut prepared, &space);
-        let patterns_time = patterns_started.elapsed();
-
-        let recon_started = Instant::now();
-        let outcome = generate_terms(
-            &mut prepared,
-            &patterns,
-            env,
-            &weights,
-            goal,
-            n,
-            &GenerateLimits {
-                max_steps: self.config.max_reconstruction_steps,
-                time_limit: self.config.reconstruction_time_limit,
-                max_depth: self.config.max_depth,
-            },
-        );
-        let recon_time = recon_started.elapsed();
-
-        let snippets = outcome
-            .terms
-            .into_iter()
-            .map(|ranked| {
-                let raw = ranked.term;
-                let erased = if self.config.erase_coercions {
-                    erase_coercions(&raw)
-                } else {
-                    raw.clone()
-                };
-                Snippet {
-                    coercions: count_coercions(&raw),
-                    depth: raw.depth(),
-                    term: erased,
-                    raw_term: raw,
-                    weight: ranked.weight,
-                }
-            })
-            .collect();
-
-        SynthesisResult {
-            snippets,
-            timings: PhaseTimings {
-                explore: explore_time,
-                patterns: patterns_time,
-                reconstruction: recon_time,
-            },
-            stats: SynthesisStats {
-                initial_declarations: env.len(),
-                distinct_succinct_types: prepared.distinct_succinct_types(),
-                reachability_terms: space.terms.len(),
-                requests_processed: space.requests_processed,
-                patterns: patterns.len(),
-                reconstruction_steps: outcome.steps,
-                truncated: space.truncated || outcome.truncated,
-            },
-        }
+    ///
+    /// Prepares `env` from scratch on every call; use
+    /// [`Engine::prepare`] + [`Session::query`](crate::Session::query) to
+    /// prepare once and query many times.
+    pub fn synthesize(&self, env: &TypeEnv, goal: &Ty, n: usize) -> SynthesisResult {
+        self.engine
+            .prepare(env)
+            .query(&Query::new(goal.clone()).with_n(n))
     }
 
     /// Decides inhabitation only (the "prover" mode used for the Imogen/fCube
-    /// comparison of Table 2): runs exploration and pattern generation and
-    /// checks whether the goal type received a pattern, without reconstructing
-    /// any term.
-    pub fn is_inhabited(&mut self, env: &TypeEnv, goal: &Ty) -> bool {
-        let weights = self.config.weights.clone();
-        let mut prepared = PreparedEnv::prepare(env, &weights);
-        let goal_succ = prepared.store.sigma(goal);
-        let space = explore(
-            &mut prepared,
-            goal_succ,
-            &ExploreLimits {
-                max_requests: self.config.max_explore_requests,
-                time_limit: self.config.prover_time_limit,
-            },
-        );
-        let patterns: PatternSet = generate_patterns(&mut prepared, &space);
-        let goal_args = prepared.store.args_of(goal_succ).to_vec();
-        let extended = prepared.store.env_union(prepared.init_env, &goal_args);
-        let ret = prepared.store.ret_of(goal_succ);
-        patterns.is_inhabited(ret, extended)
+    /// comparison of Table 2), preparing `env` from scratch on every call.
+    pub fn is_inhabited(&self, env: &TypeEnv, goal: &Ty) -> bool {
+        self.engine.prepare(env).is_inhabited(goal)
     }
 }
 
@@ -306,6 +229,10 @@ mod tests {
     use insynth_lambda::check;
     use std::collections::HashSet;
 
+    fn engine() -> Engine {
+        Engine::new(SynthesisConfig::default())
+    }
+
     fn io_env() -> TypeEnv {
         vec![
             Declaration::new("name", Ty::base("String"), DeclKind::Local),
@@ -317,7 +244,10 @@ mod tests {
             .with_frequency(500),
             Declaration::new(
                 "BufferedInputStream",
-                Ty::fun(vec![Ty::base("FileInputStream")], Ty::base("BufferedInputStream")),
+                Ty::fun(
+                    vec![Ty::base("FileInputStream")],
+                    Ty::base("BufferedInputStream"),
+                ),
                 DeclKind::Imported,
             )
             .with_frequency(200),
@@ -328,24 +258,48 @@ mod tests {
 
     #[test]
     fn end_to_end_io_example() {
-        let mut synth = Synthesizer::new(SynthesisConfig::default());
-        let result = synth.synthesize(&io_env(), &Ty::base("BufferedInputStream"), 5);
-        assert_eq!(result.rank_of("BufferedInputStream(FileInputStream(name))"), Some(1));
+        let session = engine().prepare(&io_env());
+        let result = session.query(&Query::new(Ty::base("BufferedInputStream")).with_n(5));
+        assert_eq!(
+            result.rank_of("BufferedInputStream(FileInputStream(name))"),
+            Some(1)
+        );
         assert_eq!(result.stats.initial_declarations, 3);
         assert!(result.stats.patterns >= 3);
         assert!(!result.stats.truncated);
     }
 
     #[test]
+    fn one_session_serves_many_queries() {
+        // The motivating use case: the same prepared point answers queries
+        // for several goal types without re-running σ.
+        let session = engine().prepare(&io_env());
+        let buffered = session.query(&Query::new(Ty::base("BufferedInputStream")).with_n(5));
+        let file = session.query(&Query::new(Ty::base("FileInputStream")).with_n(5));
+        let string = session.query(&Query::new(Ty::base("String")).with_n(5));
+        assert_eq!(
+            buffered.rank_of("BufferedInputStream(FileInputStream(name))"),
+            Some(1)
+        );
+        assert_eq!(file.rank_of("FileInputStream(name)"), Some(1));
+        assert_eq!(string.rank_of("name"), Some(1));
+    }
+
+    #[test]
     fn snippets_are_sorted_by_weight() {
-        let mut synth = Synthesizer::new(SynthesisConfig::default());
         let env: TypeEnv = vec![
             Declaration::new("a", Ty::base("A"), DeclKind::Local),
-            Declaration::new("s", Ty::fun(vec![Ty::base("A")], Ty::base("A")), DeclKind::Imported),
+            Declaration::new(
+                "s",
+                Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+                DeclKind::Imported,
+            ),
         ]
         .into_iter()
         .collect();
-        let result = synth.synthesize(&env, &Ty::base("A"), 6);
+        let result = engine()
+            .prepare(&env)
+            .query(&Query::new(Ty::base("A")).with_n(6));
         assert!(result
             .snippets
             .windows(2)
@@ -356,8 +310,9 @@ mod tests {
     fn all_snippets_type_check_at_the_goal() {
         let env = io_env();
         let goal = Ty::base("BufferedInputStream");
-        let mut synth = Synthesizer::new(SynthesisConfig::default());
-        let result = synth.synthesize(&env, &goal, 10);
+        let result = engine()
+            .prepare(&env)
+            .query(&Query::new(goal.clone()).with_n(10));
         let bindings = env.to_bindings();
         for s in &result.snippets {
             check(&bindings, &s.raw_term, &goal).expect("snippet must type check");
@@ -369,7 +324,11 @@ mod tests {
         // Completeness cross-check (Theorem 3.3) on a small environment.
         let env: TypeEnv = vec![
             Declaration::new("a", Ty::base("A"), DeclKind::Local),
-            Declaration::new("f", Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("A")), DeclKind::Local),
+            Declaration::new(
+                "f",
+                Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("A")),
+                DeclKind::Local,
+            ),
             Declaration::new("b", Ty::base("B"), DeclKind::Local),
         ]
         .into_iter()
@@ -377,19 +336,22 @@ mod tests {
         let goal = Ty::base("A");
         let depth = 3;
 
-        let reference: HashSet<Term> =
-            rcn(&env, &goal, depth).iter().map(Term::alpha_normalize).collect();
+        let reference: HashSet<Term> = rcn(&env, &goal, depth)
+            .iter()
+            .map(Term::alpha_normalize)
+            .collect();
 
         let config = SynthesisConfig::unbounded().with_max_depth(depth);
-        let mut synth = Synthesizer::new(config);
-        let result = synth.synthesize(&env, &goal, 10_000);
-        let engine: HashSet<Term> = result
+        let result = Engine::new(config)
+            .prepare(&env)
+            .query(&Query::new(goal.clone()).with_n(10_000));
+        let synthesized: HashSet<Term> = result
             .snippets
             .iter()
             .map(|s| s.raw_term.alpha_normalize())
             .collect();
 
-        assert_eq!(engine, reference);
+        assert_eq!(synthesized, reference);
     }
 
     #[test]
@@ -398,9 +360,13 @@ mod tests {
             (io_env(), Ty::base("BufferedInputStream"), true),
             (io_env(), Ty::base("Unknown"), false),
             (
-                vec![Declaration::new("f", Ty::fun(vec![Ty::base("B")], Ty::base("A")), DeclKind::Local)]
-                    .into_iter()
-                    .collect::<TypeEnv>(),
+                vec![Declaration::new(
+                    "f",
+                    Ty::fun(vec![Ty::base("B")], Ty::base("A")),
+                    DeclKind::Local,
+                )]
+                .into_iter()
+                .collect::<TypeEnv>(),
                 Ty::base("A"),
                 false,
             ),
@@ -411,9 +377,13 @@ mod tests {
             ),
         ];
         for (env, goal, expected) in cases {
-            let mut synth = Synthesizer::new(SynthesisConfig::default());
-            assert_eq!(synth.is_inhabited(&env, &goal), expected, "goal {goal}");
-            assert_eq!(is_inhabited_ref(&env, &goal), expected, "reference, goal {goal}");
+            let session = engine().prepare(&env);
+            assert_eq!(session.is_inhabited(&goal), expected, "goal {goal}");
+            assert_eq!(
+                is_inhabited_ref(&env, &goal),
+                expected,
+                "reference, goal {goal}"
+            );
         }
     }
 
@@ -435,8 +405,9 @@ mod tests {
         .collect();
         env.extend(lattice.coercion_declarations());
 
-        let mut synth = Synthesizer::new(SynthesisConfig::default());
-        let result = synth.synthesize(&env, &Ty::base("LayoutManager"), 5);
+        let result = engine()
+            .prepare(&env)
+            .query(&Query::new(Ty::base("LayoutManager")).with_n(5));
         let top = &result.snippets[0];
         assert_eq!(top.term.to_string(), "getLayout(panel)");
         assert_eq!(top.coercions, 1);
@@ -445,19 +416,41 @@ mod tests {
 
     #[test]
     fn no_weights_mode_still_finds_solutions() {
-        let config = SynthesisConfig::default()
-            .with_weights(WeightConfig::new(WeightMode::NoWeights));
-        let mut synth = Synthesizer::new(config);
-        let result = synth.synthesize(&io_env(), &Ty::base("BufferedInputStream"), 10);
+        let config =
+            SynthesisConfig::default().with_weights(WeightConfig::new(WeightMode::NoWeights));
+        let result = Engine::new(config)
+            .prepare(&io_env())
+            .query(&Query::new(Ty::base("BufferedInputStream")));
         assert!(result
             .rank_of("BufferedInputStream(FileInputStream(name))")
             .is_some());
     }
 
     #[test]
+    fn per_query_weight_override_matches_a_dedicated_engine() {
+        // The slow path: one session, but a query that overrides the weights
+        // must rank exactly as an engine configured with those weights.
+        let no_weights = WeightConfig::new(WeightMode::NoWeights);
+        let session = engine().prepare(&io_env());
+        let goal = Ty::base("BufferedInputStream");
+        let overridden = session.query(&Query::new(goal.clone()).with_weights(no_weights.clone()));
+        let dedicated = Engine::new(SynthesisConfig::default().with_weights(no_weights))
+            .prepare(&io_env())
+            .query(&Query::new(goal));
+        let render = |r: &SynthesisResult| {
+            r.snippets
+                .iter()
+                .map(|s| (s.term.to_string(), s.weight))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&overridden), render(&dedicated));
+    }
+
+    #[test]
     fn zero_n_returns_no_snippets_quickly() {
-        let mut synth = Synthesizer::new(SynthesisConfig::default());
-        let result = synth.synthesize(&io_env(), &Ty::base("BufferedInputStream"), 0);
+        let result = engine()
+            .prepare(&io_env())
+            .query(&Query::new(Ty::base("BufferedInputStream")).with_n(0));
         assert!(result.snippets.is_empty());
     }
 
@@ -465,19 +458,50 @@ mod tests {
     fn stats_report_succinct_compression() {
         // Two declarations with types that collapse to one succinct type.
         let env: TypeEnv = vec![
-            Declaration::new("f", Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("C")), DeclKind::Local),
-            Declaration::new("g", Ty::fun(vec![Ty::base("B"), Ty::base("A")], Ty::base("C")), DeclKind::Local),
+            Declaration::new(
+                "f",
+                Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("C")),
+                DeclKind::Local,
+            ),
+            Declaration::new(
+                "g",
+                Ty::fun(vec![Ty::base("B"), Ty::base("A")], Ty::base("C")),
+                DeclKind::Local,
+            ),
             Declaration::new("a", Ty::base("A"), DeclKind::Local),
             Declaration::new("b", Ty::base("B"), DeclKind::Local),
         ]
         .into_iter()
         .collect();
-        let mut synth = Synthesizer::new(SynthesisConfig::default());
-        let result = synth.synthesize(&env, &Ty::base("C"), 5);
+        let result = engine()
+            .prepare(&env)
+            .query(&Query::new(Ty::base("C")).with_n(5));
         assert_eq!(result.stats.initial_declarations, 4);
         assert_eq!(result.stats.distinct_succinct_types, 3);
         // Both f(a, b) and g(b, a) are found.
         assert!(result.rank_of("f(a, b)").is_some());
         assert!(result.rank_of("g(b, a)").is_some());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_synthesizer_shim_matches_the_session_api() {
+        let env = io_env();
+        let goal = Ty::base("BufferedInputStream");
+        let shim = Synthesizer::new(SynthesisConfig::default());
+        let via_shim = shim.synthesize(&env, &goal, 5);
+        let via_session = engine()
+            .prepare(&env)
+            .query(&Query::new(goal.clone()).with_n(5));
+        let render = |r: &SynthesisResult| {
+            r.snippets
+                .iter()
+                .map(|s| (s.term.to_string(), s.weight))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&via_shim), render(&via_session));
+        assert!(shim.is_inhabited(&env, &goal));
+        // The shim now takes &self: two calls on one immutable binding work.
+        let _ = shim.synthesize(&env, &goal, 1);
     }
 }

@@ -143,14 +143,20 @@ pub struct WeightConfig {
 
 impl Default for WeightConfig {
     fn default() -> Self {
-        WeightConfig { mode: WeightMode::Full, table: WeightTable::default() }
+        WeightConfig {
+            mode: WeightMode::Full,
+            table: WeightTable::default(),
+        }
     }
 }
 
 impl WeightConfig {
     /// Creates a configuration with the default Table 1 constants.
     pub fn new(mode: WeightMode) -> Self {
-        WeightConfig { mode, table: WeightTable::default() }
+        WeightConfig {
+            mode,
+            table: WeightTable::default(),
+        }
     }
 
     /// The weight of a single declaration.
@@ -236,12 +242,30 @@ mod tests {
     fn proximity_ordering_holds() {
         let w = WeightConfig::default();
         let mk = |kind| Declaration::new("d", Ty::base("T"), kind);
-        assert!(w.declaration_weight(&mk(DeclKind::Lambda)) < w.declaration_weight(&mk(DeclKind::Local)));
-        assert!(w.declaration_weight(&mk(DeclKind::Local)) < w.declaration_weight(&mk(DeclKind::Coercion)));
-        assert!(w.declaration_weight(&mk(DeclKind::Coercion)) < w.declaration_weight(&mk(DeclKind::Class)));
-        assert!(w.declaration_weight(&mk(DeclKind::Class)) < w.declaration_weight(&mk(DeclKind::Package)));
-        assert!(w.declaration_weight(&mk(DeclKind::Package)) < w.declaration_weight(&mk(DeclKind::Literal)));
-        assert!(w.declaration_weight(&mk(DeclKind::Literal)) < w.declaration_weight(&mk(DeclKind::Imported)));
+        assert!(
+            w.declaration_weight(&mk(DeclKind::Lambda))
+                < w.declaration_weight(&mk(DeclKind::Local))
+        );
+        assert!(
+            w.declaration_weight(&mk(DeclKind::Local))
+                < w.declaration_weight(&mk(DeclKind::Coercion))
+        );
+        assert!(
+            w.declaration_weight(&mk(DeclKind::Coercion))
+                < w.declaration_weight(&mk(DeclKind::Class))
+        );
+        assert!(
+            w.declaration_weight(&mk(DeclKind::Class))
+                < w.declaration_weight(&mk(DeclKind::Package))
+        );
+        assert!(
+            w.declaration_weight(&mk(DeclKind::Package))
+                < w.declaration_weight(&mk(DeclKind::Literal))
+        );
+        assert!(
+            w.declaration_weight(&mk(DeclKind::Literal))
+                < w.declaration_weight(&mk(DeclKind::Imported))
+        );
     }
 
     #[test]
@@ -299,7 +323,10 @@ mod tests {
     fn weight_ordering_is_total() {
         let mut v = vec![Weight::new(3.0), Weight::new(1.0), Weight::new(2.0)];
         v.sort();
-        assert_eq!(v, vec![Weight::new(1.0), Weight::new(2.0), Weight::new(3.0)]);
+        assert_eq!(
+            v,
+            vec![Weight::new(1.0), Weight::new(2.0), Weight::new(3.0)]
+        );
     }
 
     #[test]

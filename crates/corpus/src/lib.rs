@@ -44,7 +44,10 @@ pub struct Corpus {
 impl Corpus {
     /// Creates an empty corpus attributed to the given projects.
     pub fn new(projects: Vec<Project>) -> Self {
-        Corpus { projects, counts: HashMap::new() }
+        Corpus {
+            projects,
+            counts: HashMap::new(),
+        }
     }
 
     /// Records `uses` occurrences of `symbol` (adds to any existing count).

@@ -12,7 +12,10 @@ pub struct Project {
 impl Project {
     /// Creates a project entry.
     pub fn new(name: impl Into<String>, description: impl Into<String>) -> Self {
-        Project { name: name.into(), description: description.into() }
+        Project {
+            name: name.into(),
+            description: description.into(),
+        }
     }
 }
 
@@ -27,7 +30,10 @@ pub fn table3_projects() -> Vec<Project> {
         Project::new("Kestrel", "Tiny queue system based on starling"),
         Project::new("LiftWeb", "Web framework"),
         Project::new("LiftTicket", "Issue ticket system"),
-        Project::new("O/R Broker", "JDBC framework with support for externalized SQL"),
+        Project::new(
+            "O/R Broker",
+            "JDBC framework with support for externalized SQL",
+        ),
         Project::new("scala0.orm", "O/R mapping tool"),
         Project::new("ScalaCheck", "Unit test automation"),
         Project::new("Scala compiler", "Compiles Scala source to Java bytecode"),

@@ -174,7 +174,9 @@ mod tests {
         let corpus = synthetic_corpus(&model, 42);
         assert!(corpus.frequency("new BufferedReader") > 100);
         assert!(corpus.frequency("new BufferedReader") > corpus.frequency("new CharArrayReader"));
-        assert!(corpus.frequency("new FileInputStream") > corpus.frequency("new PushbackInputStream"));
+        assert!(
+            corpus.frequency("new FileInputStream") > corpus.frequency("new PushbackInputStream")
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub struct Id<T> {
 impl<T> Id<T> {
     /// Creates an id from a raw index.
     pub fn from_index(index: u32) -> Self {
-        Id { index, _marker: PhantomData }
+        Id {
+            index,
+            _marker: PhantomData,
+        }
     }
 
     /// The raw index.
@@ -164,7 +167,9 @@ impl<T> IndexMut<Id<T>> for IdVec<T> {
 
 impl<T> FromIterator<T> for IdVec<T> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
-        IdVec { items: iter.into_iter().collect() }
+        IdVec {
+            items: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -74,7 +74,9 @@ impl Bindings {
 
 impl FromIterator<(String, Ty)> for Bindings {
     fn from_iter<I: IntoIterator<Item = (String, Ty)>>(iter: I) -> Self {
-        Bindings { entries: iter.into_iter().collect() }
+        Bindings {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -136,8 +138,7 @@ mod tests {
 
     #[test]
     fn from_iterator_and_extend() {
-        let mut env: Bindings =
-            vec![("a".to_owned(), Ty::base("A"))].into_iter().collect();
+        let mut env: Bindings = vec![("a".to_owned(), Ty::base("A"))].into_iter().collect();
         env.extend(vec![("b".to_owned(), Ty::base("B"))]);
         assert_eq!(env.len(), 2);
         assert!(env.contains("b"));

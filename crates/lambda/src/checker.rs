@@ -16,26 +16,48 @@ pub enum TypeError {
     UnboundHead(String),
     /// The head symbol is applied to the wrong number of arguments for long
     /// normal form (expected, actual).
-    ArityMismatch { head: String, expected: usize, actual: usize },
+    ArityMismatch {
+        head: String,
+        expected: usize,
+        actual: usize,
+    },
     /// An argument had the wrong type (head, argument index, expected, actual).
-    ArgumentMismatch { head: String, index: usize, expected: Ty, actual: Ty },
+    ArgumentMismatch {
+        head: String,
+        index: usize,
+        expected: Ty,
+        actual: Ty,
+    },
     /// The whole term does not have the expected type.
     Mismatch { expected: Ty, actual: Ty },
     /// The expected type has fewer arrows than the term has binders.
     TooManyBinders { binders: usize, expected: Ty },
     /// A binder's annotated type disagrees with the expected function type.
-    BinderMismatch { name: String, expected: Ty, actual: Ty },
+    BinderMismatch {
+        name: String,
+        expected: Ty,
+        actual: Ty,
+    },
 }
 
 impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TypeError::UnboundHead(h) => write!(f, "unbound head symbol `{h}`"),
-            TypeError::ArityMismatch { head, expected, actual } => write!(
+            TypeError::ArityMismatch {
+                head,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "head `{head}` expects {expected} arguments but is applied to {actual}"
             ),
-            TypeError::ArgumentMismatch { head, index, expected, actual } => write!(
+            TypeError::ArgumentMismatch {
+                head,
+                index,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "argument {index} of `{head}` has type {actual}, expected {expected}"
             ),
@@ -46,7 +68,11 @@ impl fmt::Display for TypeError {
                 f,
                 "term binds {binders} parameters but the expected type {expected} has fewer arrows"
             ),
-            TypeError::BinderMismatch { name, expected, actual } => write!(
+            TypeError::BinderMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "binder `{name}` is annotated {actual} but the expected type requires {expected}"
             ),
@@ -134,7 +160,10 @@ fn check_against(env: &mut Bindings, term: &Term, expected: &Ty) -> Result<(), T
     if &actual == expected {
         Ok(())
     } else {
-        Err(TypeError::Mismatch { expected: expected.clone(), actual })
+        Err(TypeError::Mismatch {
+            expected: expected.clone(),
+            actual,
+        })
     }
 }
 
@@ -182,7 +211,10 @@ pub fn check(env: &Bindings, term: &Term, expected: &Ty) -> Result<(), TypeError
     if &actual == expected {
         Ok(())
     } else {
-        Err(TypeError::Mismatch { expected: expected.clone(), actual })
+        Err(TypeError::Mismatch {
+            expected: expected.clone(),
+            actual,
+        })
     }
 }
 
@@ -231,7 +263,10 @@ mod tests {
     fn rejects_unbound_head() {
         let env = io_env();
         let t = Term::var("missing");
-        assert_eq!(infer(&env, &t), Err(TypeError::UnboundHead("missing".into())));
+        assert_eq!(
+            infer(&env, &t),
+            Err(TypeError::UnboundHead("missing".into()))
+        );
     }
 
     #[test]
@@ -241,7 +276,11 @@ mod tests {
         let t = Term::var("FileInputStream");
         assert!(matches!(
             infer(&env, &t),
-            Err(TypeError::ArityMismatch { expected: 1, actual: 0, .. })
+            Err(TypeError::ArityMismatch {
+                expected: 1,
+                actual: 0,
+                ..
+            })
         ));
     }
 
@@ -342,7 +381,14 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let err = TypeError::ArityMismatch { head: "f".into(), expected: 2, actual: 1 };
-        assert_eq!(err.to_string(), "head `f` expects 2 arguments but is applied to 1");
+        let err = TypeError::ArityMismatch {
+            head: "f".into(),
+            expected: 2,
+            actual: 1,
+        };
+        assert_eq!(
+            err.to_string(),
+            "head `f` expects 2 arguments but is applied to 1"
+        );
     }
 }

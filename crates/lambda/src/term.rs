@@ -24,7 +24,10 @@ pub struct Param {
 impl Param {
     /// Creates a binder.
     pub fn new(name: impl Into<String>, ty: Ty) -> Self {
-        Param { name: name.into(), ty }
+        Param {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -61,12 +64,20 @@ pub struct Term {
 impl Term {
     /// A bare variable reference.
     pub fn var(name: impl Into<String>) -> Term {
-        Term { params: Vec::new(), head: name.into(), args: Vec::new() }
+        Term {
+            params: Vec::new(),
+            head: name.into(),
+            args: Vec::new(),
+        }
     }
 
     /// An application `head(args…)` with no leading binders.
     pub fn app(head: impl Into<String>, args: Vec<Term>) -> Term {
-        Term { params: Vec::new(), head: head.into(), args }
+        Term {
+            params: Vec::new(),
+            head: head.into(),
+            args,
+        }
     }
 
     /// A lambda abstraction `params => body`.
@@ -77,7 +88,11 @@ impl Term {
     pub fn lambda(params: Vec<Param>, body: Term) -> Term {
         let mut all = params;
         all.extend(body.params);
-        Term { params: all, head: body.head, args: body.args }
+        Term {
+            params: all,
+            head: body.head,
+            args: body.args,
+        }
     }
 
     /// The depth `D` of the term as defined in §3.1:
@@ -116,7 +131,11 @@ impl Term {
     /// Rewrites every node of the term bottom-up with `f`.
     pub fn map_bottom_up(&self, f: &dyn Fn(Term) -> Term) -> Term {
         let args = self.args.iter().map(|a| a.map_bottom_up(f)).collect();
-        f(Term { params: self.params.clone(), head: self.head.clone(), args })
+        f(Term {
+            params: self.params.clone(),
+            head: self.head.clone(),
+            args,
+        })
     }
 
     /// Renames every binder (and its bound occurrences) to `v1`, `v2`, … in
@@ -156,7 +175,11 @@ impl Term {
             .find(|(old, _)| old == &self.head)
             .map(|(_, new)| new.clone())
             .unwrap_or_else(|| self.head.clone());
-        let args = self.args.iter().map(|a| a.alpha_rec(counter, renaming)).collect();
+        let args = self
+            .args
+            .iter()
+            .map(|a| a.alpha_rec(counter, renaming))
+            .collect();
         renaming.truncate(mark);
         Term { params, head, args }
     }
@@ -189,8 +212,7 @@ impl fmt::Display for Term {
             if self.params.len() == 1 {
                 write!(f, "{} => ", self.params[0].name)?;
             } else {
-                let names: Vec<&str> =
-                    self.params.iter().map(|p| p.name.as_str()).collect();
+                let names: Vec<&str> = self.params.iter().map(|p| p.name.as_str()).collect();
                 write!(f, "({}) => ", names.join(", "))?;
             }
         }
@@ -242,10 +264,7 @@ mod tests {
 
     #[test]
     fn lambda_flattens_nested_binders() {
-        let inner = Term::lambda(
-            vec![Param::new("b", Ty::base("B"))],
-            Term::var("x"),
-        );
+        let inner = Term::lambda(vec![Param::new("b", Ty::base("B"))], Term::var("x"));
         let outer = Term::lambda(vec![Param::new("a", Ty::base("A"))], inner);
         assert_eq!(outer.params.len(), 2);
         assert_eq!(outer.params[0].name, "a");

@@ -192,7 +192,10 @@ mod tests {
             vec![Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean"))],
             Ty::base("FilterTypeTreeTraverser"),
         );
-        assert_eq!(hof.to_string(), "(Tree -> Boolean) -> FilterTypeTreeTraverser");
+        assert_eq!(
+            hof.to_string(),
+            "(Tree -> Boolean) -> FilterTypeTreeTraverser"
+        );
     }
 
     #[test]

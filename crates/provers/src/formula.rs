@@ -110,7 +110,10 @@ mod tests {
         let f = ty_to_formula(&Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("C")));
         assert_eq!(
             f,
-            Formula::imp(Formula::atom("A"), Formula::imp(Formula::atom("B"), Formula::atom("C")))
+            Formula::imp(
+                Formula::atom("A"),
+                Formula::imp(Formula::atom("B"), Formula::atom("C"))
+            )
         );
     }
 
@@ -127,7 +130,11 @@ mod tests {
     fn query_collects_one_hypothesis_per_declaration() {
         let env: TypeEnv = vec![
             Declaration::new("a", Ty::base("A"), DeclKind::Local),
-            Declaration::new("f", Ty::fun(vec![Ty::base("A")], Ty::base("B")), DeclKind::Local),
+            Declaration::new(
+                "f",
+                Ty::fun(vec![Ty::base("A")], Ty::base("B")),
+                DeclKind::Local,
+            ),
         ]
         .into_iter()
         .collect();
@@ -138,7 +145,10 @@ mod tests {
 
     #[test]
     fn size_and_display() {
-        let f = Formula::and(Formula::atom("A"), Formula::imp(Formula::atom("B"), Formula::atom("C")));
+        let f = Formula::and(
+            Formula::atom("A"),
+            Formula::imp(Formula::atom("B"), Formula::atom("C")),
+        );
         assert_eq!(f.size(), 5);
         assert_eq!(f.to_string(), "(A & B -> C)");
     }

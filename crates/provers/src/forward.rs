@@ -86,7 +86,10 @@ struct Clause {
 /// implications accumulate antecedents, conjunction heads distribute.
 fn decompose(formula: &Formula, antecedents: &mut Vec<Formula>, out: &mut Vec<Clause>) {
     match formula {
-        Formula::Atom(p) => out.push(Clause { antecedents: antecedents.clone(), head: p.clone() }),
+        Formula::Atom(p) => out.push(Clause {
+            antecedents: antecedents.clone(),
+            head: p.clone(),
+        }),
         Formula::And(a, b) => {
             decompose(a, antecedents, out);
             decompose(b, antecedents, out);
@@ -131,7 +134,7 @@ impl<'a> Saturator<'a> {
             self.exhausted = true;
             return false;
         }
-        if self.steps % 2048 == 0 && self.started.elapsed() > self.limits.time_limit {
+        if self.steps.is_multiple_of(2048) && self.started.elapsed() > self.limits.time_limit {
             self.exhausted = true;
             return false;
         }
@@ -274,7 +277,10 @@ mod tests {
 
     #[test]
     fn implication_goals_assume_their_antecedent() {
-        assert_eq!(prove(&[], &Formula::imp(a("P"), a("P")), &limits()), Some(true));
+        assert_eq!(
+            prove(&[], &Formula::imp(a("P"), a("P")), &limits()),
+            Some(true)
+        );
         let goal = Formula::imp(a("P"), Formula::imp(a("Q"), a("P")));
         assert_eq!(prove(&[], &goal, &limits()), Some(true));
     }
@@ -293,7 +299,10 @@ mod tests {
 
     #[test]
     fn conjunctive_hypotheses_split() {
-        assert_eq!(prove(&[Formula::and(a("P"), a("Q"))], &a("Q"), &limits()), Some(true));
+        assert_eq!(
+            prove(&[Formula::and(a("P"), a("Q"))], &a("Q"), &limits()),
+            Some(true)
+        );
     }
 
     #[test]
@@ -309,10 +318,7 @@ mod tests {
 
     #[test]
     fn peirce_law_is_not_provable() {
-        let peirce = Formula::imp(
-            Formula::imp(Formula::imp(a("P"), a("Q")), a("P")),
-            a("P"),
-        );
+        let peirce = Formula::imp(Formula::imp(Formula::imp(a("P"), a("Q")), a("P")), a("P"));
         assert_eq!(prove(&[], &peirce, &limits()), Some(false));
     }
 
@@ -324,13 +330,19 @@ mod tests {
             Formula::imp(a("String"), a("FileInputStream")),
             Formula::imp(a("FileInputStream"), a("BufferedInputStream")),
         ];
-        assert_eq!(prove(&hyps, &a("BufferedInputStream"), &limits()), Some(true));
+        assert_eq!(
+            prove(&hyps, &a("BufferedInputStream"), &limits()),
+            Some(true)
+        );
     }
 
     #[test]
     fn step_limit_yields_none() {
         let hyps = vec![a("P"), Formula::imp(a("P"), a("Q"))];
-        let tight = ProverLimits { max_steps: 1, ..ProverLimits::default() };
+        let tight = ProverLimits {
+            max_steps: 1,
+            ..ProverLimits::default()
+        };
         assert_eq!(prove(&hyps, &a("Q"), &tight), None);
     }
 }

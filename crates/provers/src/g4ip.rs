@@ -36,7 +36,11 @@ use crate::{Formula, ProverLimits};
 /// assert_eq!(g4ip::prove(&[], &peirce, &ProverLimits::default()), Some(false));
 /// ```
 pub fn prove(hypotheses: &[Formula], goal: &Formula, limits: &ProverLimits) -> Option<bool> {
-    let mut state = State { started: Instant::now(), steps: 0, limits };
+    let mut state = State {
+        started: Instant::now(),
+        steps: 0,
+        limits,
+    };
     let mut ctx: Vec<Formula> = hypotheses.to_vec();
     prove_seq(&mut ctx, goal, &mut state)
 }
@@ -53,7 +57,7 @@ impl State<'_> {
         if self.steps >= self.limits.max_steps {
             return false;
         }
-        if self.steps % 1024 == 0 && self.started.elapsed() > self.limits.time_limit {
+        if self.steps.is_multiple_of(1024) && self.started.elapsed() > self.limits.time_limit {
             return false;
         }
         true
@@ -65,12 +69,10 @@ fn prove_seq(ctx: &mut Vec<Formula>, goal: &Formula, state: &mut State<'_>) -> O
         return None;
     }
     match goal {
-        Formula::And(a, b) => {
-            match prove_seq(ctx, a, state)? {
-                true => prove_seq(ctx, b, state),
-                false => Some(false),
-            }
-        }
+        Formula::And(a, b) => match prove_seq(ctx, a, state)? {
+            true => prove_seq(ctx, b, state),
+            false => Some(false),
+        },
         Formula::Imp(a, b) => {
             ctx.push((**a).clone());
             let result = prove_seq(ctx, b, state);
@@ -93,7 +95,9 @@ fn prove_atomic(mut ctx: Vec<Formula>, p: &str, state: &mut State<'_>) -> Option
 
         // L∧: replace A ∧ B by A, B.
         if let Some(idx) = ctx.iter().position(|f| matches!(f, Formula::And(..))) {
-            let Formula::And(a, b) = ctx.swap_remove(idx) else { unreachable!() };
+            let Formula::And(a, b) = ctx.swap_remove(idx) else {
+                unreachable!()
+            };
             ctx.push(*a);
             ctx.push(*b);
             continue;
@@ -104,18 +108,24 @@ fn prove_atomic(mut ctx: Vec<Formula>, p: &str, state: &mut State<'_>) -> Option
             matches!(f, Formula::Imp(a, _) if matches!(a.as_ref(), Formula::Atom(q) if ctx.iter().any(|g| matches!(g, Formula::Atom(r) if r == q))))
         });
         if let Some(idx) = atomic_imp {
-            let Formula::Imp(_, b) = ctx.swap_remove(idx) else { unreachable!() };
+            let Formula::Imp(_, b) = ctx.swap_remove(idx) else {
+                unreachable!()
+            };
             ctx.push(*b);
             continue;
         }
 
         // L⊃ with conjunctive antecedent: (C ∧ D) ⊃ B becomes C ⊃ (D ⊃ B).
-        let conj_imp = ctx
-            .iter()
-            .position(|f| matches!(f, Formula::Imp(a, _) if matches!(a.as_ref(), Formula::And(..))));
+        let conj_imp = ctx.iter().position(
+            |f| matches!(f, Formula::Imp(a, _) if matches!(a.as_ref(), Formula::And(..))),
+        );
         if let Some(idx) = conj_imp {
-            let Formula::Imp(a, b) = ctx.swap_remove(idx) else { unreachable!() };
-            let Formula::And(c, d) = *a else { unreachable!() };
+            let Formula::Imp(a, b) = ctx.swap_remove(idx) else {
+                unreachable!()
+            };
+            let Formula::And(c, d) = *a else {
+                unreachable!()
+            };
             ctx.push(Formula::imp(*c, Formula::imp(*d, *b)));
             continue;
         }
@@ -133,8 +143,12 @@ fn prove_atomic(mut ctx: Vec<Formula>, p: &str, state: &mut State<'_>) -> Option
         .collect();
 
     for idx in candidates {
-        let Formula::Imp(a, b) = ctx[idx].clone() else { unreachable!() };
-        let Formula::Imp(c, d) = (*a).clone() else { unreachable!() };
+        let Formula::Imp(a, b) = ctx[idx].clone() else {
+            unreachable!()
+        };
+        let Formula::Imp(c, d) = (*a).clone() else {
+            unreachable!()
+        };
 
         let mut without: Vec<Formula> = ctx.clone();
         without.swap_remove(idx);
@@ -142,7 +156,11 @@ fn prove_atomic(mut ctx: Vec<Formula>, p: &str, state: &mut State<'_>) -> Option
         // First premise: Γ, D ⊃ B ⊢ C ⊃ D.
         let mut first_ctx = without.clone();
         first_ctx.push(Formula::imp((*d).clone(), (*b).clone()));
-        let first = prove_seq(&mut first_ctx, &Formula::imp((*c).clone(), (*d).clone()), state)?;
+        let first = prove_seq(
+            &mut first_ctx,
+            &Formula::imp((*c).clone(), (*d).clone()),
+            state,
+        )?;
         if !first {
             continue;
         }
@@ -180,9 +198,16 @@ mod tests {
     #[test]
     fn identity_and_weakening() {
         // ⊢ P -> P and ⊢ P -> Q -> P
-        assert_eq!(prove(&[], &Formula::imp(a("P"), a("P")), &limits()), Some(true));
         assert_eq!(
-            prove(&[], &Formula::imp(a("P"), Formula::imp(a("Q"), a("P"))), &limits()),
+            prove(&[], &Formula::imp(a("P"), a("P")), &limits()),
+            Some(true)
+        );
+        assert_eq!(
+            prove(
+                &[],
+                &Formula::imp(a("P"), Formula::imp(a("Q"), a("P"))),
+                &limits()
+            ),
             Some(true)
         );
     }
@@ -190,7 +215,11 @@ mod tests {
     #[test]
     fn modus_ponens_chain() {
         // P, P -> Q, Q -> R ⊢ R
-        let hyps = vec![a("P"), Formula::imp(a("P"), a("Q")), Formula::imp(a("Q"), a("R"))];
+        let hyps = vec![
+            a("P"),
+            Formula::imp(a("P"), a("Q")),
+            Formula::imp(a("Q"), a("R")),
+        ];
         assert_eq!(prove(&hyps, &a("R"), &limits()), Some(true));
         assert_eq!(prove(&hyps, &a("S"), &limits()), Some(false));
     }
@@ -202,8 +231,14 @@ mod tests {
             prove(&[a("P"), a("Q")], &Formula::and(a("P"), a("Q")), &limits()),
             Some(true)
         );
-        assert_eq!(prove(&[Formula::and(a("P"), a("Q"))], &a("P"), &limits()), Some(true));
-        assert_eq!(prove(&[Formula::and(a("P"), a("Q"))], &a("R"), &limits()), Some(false));
+        assert_eq!(
+            prove(&[Formula::and(a("P"), a("Q"))], &a("P"), &limits()),
+            Some(true)
+        );
+        assert_eq!(
+            prove(&[Formula::and(a("P"), a("Q"))], &a("R"), &limits()),
+            Some(false)
+        );
     }
 
     #[test]
@@ -229,10 +264,7 @@ mod tests {
 
     #[test]
     fn peirce_law_is_not_provable() {
-        let peirce = Formula::imp(
-            Formula::imp(Formula::imp(a("P"), a("Q")), a("P")),
-            a("P"),
-        );
+        let peirce = Formula::imp(Formula::imp(Formula::imp(a("P"), a("Q")), a("P")), a("P"));
         assert_eq!(prove(&[], &peirce, &limits()), Some(false));
     }
 
@@ -248,7 +280,10 @@ mod tests {
     #[test]
     fn step_limit_yields_none() {
         let hyps = vec![a("P"), Formula::imp(a("P"), a("Q"))];
-        let tight = ProverLimits { max_steps: 1, ..ProverLimits::default() };
+        let tight = ProverLimits {
+            max_steps: 1,
+            ..ProverLimits::default()
+        };
         assert_eq!(prove(&hyps, &a("Q"), &tight), None);
     }
 }

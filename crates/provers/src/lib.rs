@@ -57,6 +57,9 @@ pub struct ProverLimits {
 
 impl Default for ProverLimits {
     fn default() -> Self {
-        ProverLimits { time_limit: Duration::from_secs(10), max_steps: 5_000_000 }
+        ProverLimits {
+            time_limit: Duration::from_secs(10),
+            max_steps: 5_000_000,
+        }
     }
 }

@@ -9,7 +9,7 @@
 
 use insynth_intern::Symbol;
 
-use crate::{EnvId, Pattern, SuccinctStore, SuccinctTyId};
+use crate::{EnvId, Pattern, SuccinctTyId, TypeStore};
 
 /// A reachability request `t ;Γ ?`: "which types are reachable from `t` in Γ?"
 ///
@@ -63,7 +63,7 @@ impl ReachabilityTerm {
 /// The STRIP rule: `(S → t) ;Γ ?  ⟹  t ;Γ∪S ?`.
 ///
 /// For a base-type request (`S = ∅`) the environment is unchanged.
-pub fn strip_rule(store: &mut SuccinctStore, request: Request) -> BaseRequest {
+pub fn strip_rule<S: TypeStore>(store: &mut S, request: Request) -> BaseRequest {
     let args = store.args_of(request.ty).to_vec();
     let ret = store.ret_of(request.ty);
     let env = store.env_union(request.env, &args);
@@ -72,7 +72,7 @@ pub fn strip_rule(store: &mut SuccinctStore, request: Request) -> BaseRequest {
 
 /// The MATCH rule: for a base request `t ;Γ ?`, every member `S → t` of Γ with
 /// return type `t` yields a reachability term `t ;Γ (S, ∅)`.
-pub fn match_rule(store: &SuccinctStore, request: BaseRequest) -> Vec<ReachabilityTerm> {
+pub fn match_rule<S: TypeStore>(store: &S, request: BaseRequest) -> Vec<ReachabilityTerm> {
     store
         .env_types(request.env)
         .iter()
@@ -90,7 +90,10 @@ pub fn match_rule(store: &SuccinctStore, request: BaseRequest) -> Vec<Reachabili
 /// The PROP rule: from `t ;Γ (S, ∅)` and `t' ∈ S`, issue the request `t' ;Γ ?`.
 pub fn prop_rule(term: &ReachabilityTerm, arg: SuccinctTyId) -> Request {
     debug_assert!(term.remaining.contains(&arg) || term.witnessed.contains(&arg));
-    Request { ty: arg, env: term.env }
+    Request {
+        ty: arg,
+        env: term.env,
+    }
 }
 
 /// The PROD rule: a fully-witnessed reachability term `t ;Γ (∅, Π)` produces
@@ -110,8 +113,8 @@ pub fn prod_rule(term: &ReachabilityTerm) -> Pattern {
 ///
 /// Returns `None` if the leaf does not witness `arg` in this term's
 /// environment (wrong return type or wrong extended environment).
-pub fn transfer_rule(
-    store: &mut SuccinctStore,
+pub fn transfer_rule<S: TypeStore>(
+    store: &mut S,
     term: &ReachabilityTerm,
     arg: SuccinctTyId,
     leaf_ret: Symbol,
@@ -144,6 +147,7 @@ pub fn transfer_rule(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SuccinctStore;
     use insynth_lambda::Ty;
 
     /// The running example of §3.4:
@@ -230,9 +234,8 @@ mod tests {
         assert_eq!(s.base_name(int_pattern.ret), "Int");
 
         let string_term = &match_rule(&s, BaseRequest { ret: string, env })[0];
-        let transferred =
-            transfer_rule(&mut s, string_term, int, int_leaf.ret, int_leaf.env)
-                .expect("Int leaf must witness the Int argument");
+        let transferred = transfer_rule(&mut s, string_term, int, int_leaf.ret, int_leaf.env)
+            .expect("Int leaf must witness the Int argument");
         assert!(transferred.is_leaf());
         let pattern = prod_rule(&transferred);
         assert_eq!(pattern.render(&s), "{Int, {Int} -> String}@{Int} : String");

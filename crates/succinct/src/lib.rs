@@ -31,9 +31,16 @@
 mod calculus;
 mod env;
 mod pattern;
+mod scratch;
 mod store;
+mod view;
 
-pub use calculus::{match_rule, prod_rule, prop_rule, strip_rule, transfer_rule, BaseRequest, ReachabilityTerm, Request};
+pub use calculus::{
+    match_rule, prod_rule, prop_rule, strip_rule, transfer_rule, BaseRequest, ReachabilityTerm,
+    Request,
+};
 pub use env::EnvId;
 pub use pattern::Pattern;
+pub use scratch::ScratchStore;
 pub use store::{SuccinctStore, SuccinctTy, SuccinctTyId};
+pub use view::TypeStore;

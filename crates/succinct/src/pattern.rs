@@ -2,7 +2,7 @@
 
 use insynth_intern::Symbol;
 
-use crate::{EnvId, SuccinctStore, SuccinctTyId};
+use crate::{EnvId, SuccinctTyId, TypeStore};
 
 /// A succinct pattern `Γ@{t1, …, tn} : t`.
 ///
@@ -48,7 +48,7 @@ impl Pattern {
     }
 
     /// Renders the pattern as `Γ@{…} : t`.
-    pub fn render(&self, store: &SuccinctStore) -> String {
+    pub fn render<S: TypeStore>(&self, store: &S) -> String {
         let args: Vec<String> = self.args.iter().map(|&a| store.display_ty(a)).collect();
         format!(
             "{}@{{{}}} : {}",
@@ -62,6 +62,7 @@ impl Pattern {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SuccinctStore;
 
     #[test]
     fn new_normalizes_argument_set() {

@@ -1,0 +1,268 @@
+//! Per-query overlay on a frozen [`SuccinctStore`].
+//!
+//! The session API prepares an environment once and then serves many queries
+//! against it, potentially from several threads at the same time. Each query
+//! still needs to intern a handful of *new* types and environments (the goal
+//! type, the environments extended with lambda binders), so the store cannot
+//! simply be shared read-only. A [`ScratchStore`] solves this with a two-tier
+//! scheme: reads fall through to the shared base store, and anything not
+//! already interned there lands in a small private overlay whose ids start
+//! where the base ids end. Ids from the base remain valid in the overlay, so
+//! precomputed indices (the `Select` map, per-type weights) keyed by base ids
+//! keep working unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use insynth_lambda::Ty;
+//! use insynth_succinct::{ScratchStore, SuccinctStore, TypeStore};
+//!
+//! let mut base = SuccinctStore::new();
+//! let int = base.sigma(&Ty::base("Int"));
+//!
+//! let mut scratch = ScratchStore::new(&base);
+//! // Already interned in the base: same id, nothing added to the overlay.
+//! assert_eq!(TypeStore::sigma(&mut scratch, &Ty::base("Int")), int);
+//! assert_eq!(scratch.scratch_ty_count(), 0);
+//! // New types go to the overlay without touching the base.
+//! let file = TypeStore::sigma(&mut scratch, &Ty::base("File"));
+//! assert_eq!(scratch.scratch_ty_count(), 1);
+//! assert_eq!(scratch.display_ty(file), "File");
+//! assert_eq!(base.ty_count(), 1);
+//! ```
+
+use std::collections::HashMap;
+
+use insynth_intern::Symbol;
+
+use crate::env::EnvData;
+use crate::view::TypeStore;
+use crate::{EnvId, SuccinctStore, SuccinctTy, SuccinctTyId};
+
+/// A mutable interning overlay on top of a shared, immutable [`SuccinctStore`].
+///
+/// Lookups check the base store first; new entries are appended to private
+/// tables with ids offset past the base's, so base ids and overlay ids share
+/// one id space and never collide.
+#[derive(Debug)]
+pub struct ScratchStore<'a> {
+    base: &'a SuccinctStore,
+    names: Vec<String>,
+    name_map: HashMap<String, Symbol>,
+    tys: Vec<SuccinctTy>,
+    ty_map: HashMap<SuccinctTy, SuccinctTyId>,
+    envs: Vec<EnvData>,
+    env_map: HashMap<Vec<SuccinctTyId>, EnvId>,
+}
+
+impl<'a> ScratchStore<'a> {
+    /// Creates an empty overlay over `base`.
+    pub fn new(base: &'a SuccinctStore) -> Self {
+        ScratchStore {
+            base,
+            names: Vec::new(),
+            name_map: HashMap::new(),
+            tys: Vec::new(),
+            ty_map: HashMap::new(),
+            envs: Vec::new(),
+            env_map: HashMap::new(),
+        }
+    }
+
+    /// The shared base store this overlay reads through to.
+    pub fn base(&self) -> &SuccinctStore {
+        self.base
+    }
+
+    /// Number of succinct types interned into the overlay (not the base).
+    pub fn scratch_ty_count(&self) -> usize {
+        self.tys.len()
+    }
+
+    /// Number of environments interned into the overlay (not the base).
+    pub fn scratch_env_count(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// Number of base-type names interned into the overlay (not the base).
+    pub fn scratch_symbol_count(&self) -> usize {
+        self.names.len()
+    }
+}
+
+impl TypeStore for ScratchStore<'_> {
+    fn ty(&self, id: SuccinctTyId) -> &SuccinctTy {
+        let split = self.base.ty_count();
+        let i = id.as_usize();
+        if i < split {
+            self.base.ty(id)
+        } else {
+            &self.tys[i - split]
+        }
+    }
+
+    fn base_name(&self, sym: Symbol) -> &str {
+        let split = self.base.symbol_count();
+        let i = sym.as_usize();
+        if i < split {
+            self.base.base_name(sym)
+        } else {
+            &self.names[i - split]
+        }
+    }
+
+    fn env_types(&self, env: EnvId) -> &[SuccinctTyId] {
+        let split = self.base.env_count();
+        let i = env.as_usize();
+        if i < split {
+            self.base.env_types(env)
+        } else {
+            self.envs[i - split].types()
+        }
+    }
+
+    fn ty_count(&self) -> usize {
+        self.base.ty_count() + self.tys.len()
+    }
+
+    fn env_count(&self) -> usize {
+        self.base.env_count() + self.envs.len()
+    }
+
+    fn base_symbol(&mut self, name: &str) -> Symbol {
+        if let Some(sym) = self.base.lookup_symbol(name) {
+            return sym;
+        }
+        if let Some(&sym) = self.name_map.get(name) {
+            return sym;
+        }
+        let index = self.base.symbol_count() + self.names.len();
+        let sym = Symbol::from_index(index as u32);
+        self.names.push(name.to_owned());
+        self.name_map.insert(name.to_owned(), sym);
+        sym
+    }
+
+    fn mk_ty(&mut self, mut args: Vec<SuccinctTyId>, ret: Symbol) -> SuccinctTyId {
+        args.sort_unstable();
+        args.dedup();
+        let data = SuccinctTy { args, ret };
+        if let Some(id) = self.base.lookup_ty(&data) {
+            return id;
+        }
+        if let Some(&id) = self.ty_map.get(&data) {
+            return id;
+        }
+        let index = self.base.ty_count() + self.tys.len();
+        let id = SuccinctTyId::from_index(index as u32);
+        self.tys.push(data.clone());
+        self.ty_map.insert(data, id);
+        id
+    }
+
+    fn mk_env(&mut self, types: Vec<SuccinctTyId>) -> EnvId {
+        let mut sorted = types;
+        sorted.sort_unstable();
+        sorted.dedup();
+        if let Some(id) = self.base.lookup_env(&sorted) {
+            return id;
+        }
+        if let Some(&id) = self.env_map.get(sorted.as_slice()) {
+            return id;
+        }
+        let index = self.base.env_count() + self.envs.len();
+        let id = EnvId::from_index(index as u32);
+        self.envs.push(EnvData::new(sorted.clone()));
+        self.env_map.insert(sorted, id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insynth_lambda::Ty;
+
+    fn base_store() -> SuccinctStore {
+        let mut base = SuccinctStore::new();
+        base.sigma(&Ty::base("Int"));
+        base.sigma(&Ty::fun(vec![Ty::base("Int")], Ty::base("String")));
+        let int = base.sigma(&Ty::base("Int"));
+        base.mk_env(vec![int]);
+        base
+    }
+
+    #[test]
+    fn base_hits_return_base_ids_and_leave_the_overlay_empty() {
+        let base = base_store();
+        let mut scratch = ScratchStore::new(&base);
+        let int = TypeStore::sigma(&mut scratch, &Ty::base("Int"));
+        assert!(int.as_usize() < base.ty_count());
+        let f = TypeStore::sigma(
+            &mut scratch,
+            &Ty::fun(vec![Ty::base("Int")], Ty::base("String")),
+        );
+        assert!(f.as_usize() < base.ty_count());
+        assert_eq!(scratch.scratch_ty_count(), 0);
+        assert_eq!(scratch.scratch_env_count(), 0);
+        assert_eq!(scratch.scratch_symbol_count(), 0);
+    }
+
+    #[test]
+    fn overlay_ids_start_past_the_base_and_are_interned() {
+        let base = base_store();
+        let mut scratch = ScratchStore::new(&base);
+        let file = TypeStore::mk_base(&mut scratch, "File");
+        assert!(file.as_usize() >= base.ty_count());
+        // Interning is idempotent across the overlay.
+        assert_eq!(TypeStore::mk_base(&mut scratch, "File"), file);
+        assert_eq!(scratch.scratch_ty_count(), 1);
+        assert_eq!(scratch.display_ty(file), "File");
+    }
+
+    #[test]
+    fn env_union_of_base_env_with_overlay_type_lands_in_the_overlay() {
+        let base = base_store();
+        let int = base
+            .lookup_ty(&SuccinctTy {
+                args: vec![],
+                ret: base.lookup_symbol("Int").unwrap(),
+            })
+            .unwrap();
+        let env = base.lookup_env(&[int]).unwrap();
+
+        let mut scratch = ScratchStore::new(&base);
+        let file = TypeStore::mk_base(&mut scratch, "File");
+        let extended = scratch.env_union(env, &[file]);
+        assert!(extended.as_usize() >= base.env_count());
+        assert!(scratch.env_contains(extended, int));
+        assert!(scratch.env_contains(extended, file));
+        // Union with only base members resolves to the interned base env.
+        assert_eq!(scratch.env_union(env, &[int]), env);
+    }
+
+    #[test]
+    fn two_scratches_over_one_base_are_independent_but_deterministic() {
+        let base = base_store();
+        let mut a = ScratchStore::new(&base);
+        let mut b = ScratchStore::new(&base);
+        let fa = TypeStore::sigma(&mut a, &Ty::fun(vec![Ty::base("File")], Ty::base("Reader")));
+        let fb = TypeStore::sigma(&mut b, &Ty::fun(vec![Ty::base("File")], Ty::base("Reader")));
+        // Same interning decisions in both overlays: identical ids.
+        assert_eq!(fa, fb);
+        assert_eq!(a.display_ty(fa), b.display_ty(fb));
+    }
+
+    #[test]
+    fn mixed_base_and_overlay_rendering_resolves_both_tiers() {
+        let base = base_store();
+        let mut scratch = ScratchStore::new(&base);
+        let int = TypeStore::mk_base(&mut scratch, "Int");
+        let file = TypeStore::mk_base(&mut scratch, "File");
+        let reader = TypeStore::base_symbol(&mut scratch, "Reader");
+        let f = TypeStore::mk_ty(&mut scratch, vec![int, file], reader);
+        assert_eq!(scratch.display_ty(f), "{Int, File} -> Reader");
+        let env = TypeStore::mk_env(&mut scratch, vec![int, f]);
+        assert_eq!(scratch.env_len(env), 2);
+    }
+}

@@ -6,6 +6,7 @@ use insynth_intern::{Id, IdVec, Interner, Symbol};
 use insynth_lambda::Ty;
 
 use crate::env::{EnvData, EnvId};
+use crate::view::TypeStore;
 
 /// The structural data of a succinct type `{t1, …, tn} → v`.
 ///
@@ -96,27 +97,17 @@ impl SuccinctStore {
     }
 
     /// Interns the base succinct type `∅ → name`.
+    ///
+    /// Delegates to the [`TypeStore`] default — the calculus logic lives in
+    /// one place and is shared with [`crate::ScratchStore`].
     pub fn mk_base(&mut self, name: &str) -> SuccinctTyId {
-        let sym = self.base_names.intern(name);
-        self.mk_ty(Vec::new(), sym)
+        TypeStore::mk_base(self, name)
     }
 
-    /// The σ conversion from simple types to succinct types (§3.2):
-    ///
-    /// * `σ(v) = ∅ → v`
-    /// * `σ(τ1 → τ2) = ({σ(τ1)} ∪ A(σ(τ2))) → R(σ(τ2))`
+    /// The σ conversion from simple types to succinct types (§3.2); see
+    /// [`TypeStore::sigma`] for the single shared implementation.
     pub fn sigma(&mut self, ty: &Ty) -> SuccinctTyId {
-        match ty {
-            Ty::Base(name) => self.mk_base(name),
-            Ty::Arrow(a, b) => {
-                let a_id = self.sigma(a);
-                let b_id = self.sigma(b);
-                let b_data = self.ty(b_id).clone();
-                let mut args = b_data.args;
-                args.push(a_id);
-                self.mk_ty(args, b_data.ret)
-            }
-        }
+        TypeStore::sigma(self, ty)
     }
 
     /// Looks at the structural data of a succinct type.
@@ -136,12 +127,7 @@ impl SuccinctStore {
 
     /// Renders a succinct type, e.g. `{Int, String} -> File`.
     pub fn display_ty(&self, id: SuccinctTyId) -> String {
-        let data = &self.tys[id];
-        if data.args.is_empty() {
-            return self.base_name(data.ret).to_owned();
-        }
-        let args: Vec<String> = data.args.iter().map(|&a| self.display_ty(a)).collect();
-        format!("{{{}}} -> {}", args.join(", "), self.base_name(data.ret))
+        TypeStore::display_ty(self, id)
     }
 
     /// Interns an environment (a finite set of succinct types).
@@ -159,14 +145,13 @@ impl SuccinctStore {
 
     /// The empty environment.
     pub fn empty_env(&mut self) -> EnvId {
-        self.mk_env(Vec::new())
+        TypeStore::empty_env(self)
     }
 
     /// Converts a whole simple-type environment (the images `σ(τi)` of every
     /// declaration type) into an interned succinct environment.
     pub fn sigma_env<'a>(&mut self, tys: impl IntoIterator<Item = &'a Ty>) -> EnvId {
-        let ids: Vec<SuccinctTyId> = tys.into_iter().map(|t| self.sigma(t)).collect();
-        self.mk_env(ids)
+        TypeStore::sigma_env(self, tys)
     }
 
     /// The member types of an environment, sorted.
@@ -186,30 +171,39 @@ impl SuccinctStore {
 
     /// Interns `env ∪ extra`.
     pub fn env_union(&mut self, env: EnvId, extra: &[SuccinctTyId]) -> EnvId {
-        if extra.iter().all(|&t| self.env_contains(env, t)) {
-            return env;
-        }
-        let mut types = self.envs[env].types().to_vec();
-        types.extend_from_slice(extra);
-        self.mk_env(types)
+        TypeStore::env_union(self, env, extra)
     }
 
     /// Returns `true` if every member of `small` is a member of `big`.
     pub fn env_subset(&self, small: EnvId, big: EnvId) -> bool {
-        self.envs[small]
-            .types()
-            .iter()
-            .all(|&t| self.env_contains(big, t))
+        TypeStore::env_subset(self, small, big)
     }
 
     /// Renders an environment, e.g. `{Int, {Int} -> String}`.
     pub fn display_env(&self, env: EnvId) -> String {
-        let parts: Vec<String> = self
-            .env_types(env)
-            .iter()
-            .map(|&t| self.display_ty(t))
-            .collect();
-        format!("{{{}}}", parts.join(", "))
+        TypeStore::display_env(self, env)
+    }
+
+    /// Number of distinct base-type names interned so far.
+    pub fn symbol_count(&self) -> usize {
+        self.base_names.len()
+    }
+
+    /// Looks up an already-interned base-type name without interning it.
+    pub fn lookup_symbol(&self, name: &str) -> Option<Symbol> {
+        self.base_names.get(name)
+    }
+
+    /// Looks up an already-interned succinct type without interning it. The
+    /// argument set must already be sorted and de-duplicated (as stored).
+    pub fn lookup_ty(&self, data: &SuccinctTy) -> Option<SuccinctTyId> {
+        self.ty_map.get(data).copied()
+    }
+
+    /// Looks up an already-interned environment without interning it. The
+    /// member list must already be sorted and de-duplicated (as stored).
+    pub fn lookup_env(&self, types: &[SuccinctTyId]) -> Option<EnvId> {
+        self.env_map.get(types).copied()
     }
 }
 

@@ -1,0 +1,205 @@
+//! The [`TypeStore`] abstraction over succinct-type stores.
+//!
+//! Two stores implement it: the owning [`SuccinctStore`] arena and the
+//! per-query [`ScratchStore`](crate::ScratchStore) overlay. The calculus
+//! rules and the synthesis phases are written against this trait so the same
+//! code serves both single-shot use (one mutable store per query) and the
+//! session API (a shared frozen store plus a private overlay per query).
+
+use insynth_intern::Symbol;
+use insynth_lambda::Ty;
+
+use crate::{EnvId, SuccinctStore, SuccinctTy, SuccinctTyId};
+
+/// Interning store for succinct types, base-type names and environments.
+///
+/// Required methods cover raw interning and resolution; everything the
+/// synthesis engine uses on top (σ, unions, membership, rendering) is
+/// provided. Ids handed out by one store are only meaningful for that store
+/// (or for overlays layered on it).
+pub trait TypeStore {
+    /// The structural data of a succinct type.
+    fn ty(&self, id: SuccinctTyId) -> &SuccinctTy;
+
+    /// Resolves a base-type symbol back to its name.
+    fn base_name(&self, sym: Symbol) -> &str;
+
+    /// The member types of an environment, sorted ascending by id.
+    fn env_types(&self, env: EnvId) -> &[SuccinctTyId];
+
+    /// Number of distinct succinct types interned so far.
+    fn ty_count(&self) -> usize;
+
+    /// Number of distinct environments interned so far.
+    fn env_count(&self) -> usize;
+
+    /// Interns a base-type name.
+    fn base_symbol(&mut self, name: &str) -> Symbol;
+
+    /// Interns the succinct type `{args} → ret`, sorting and de-duplicating
+    /// the argument set.
+    fn mk_ty(&mut self, args: Vec<SuccinctTyId>, ret: Symbol) -> SuccinctTyId;
+
+    /// Interns an environment (a finite set of succinct types).
+    fn mk_env(&mut self, types: Vec<SuccinctTyId>) -> EnvId;
+
+    /// The argument set `A(t)` of a succinct type.
+    fn args_of(&self, id: SuccinctTyId) -> &[SuccinctTyId] {
+        &self.ty(id).args
+    }
+
+    /// The return base type `R(t)` of a succinct type.
+    fn ret_of(&self, id: SuccinctTyId) -> Symbol {
+        self.ty(id).ret
+    }
+
+    /// Returns `true` if `ty` is a member of `env`.
+    fn env_contains(&self, env: EnvId, ty: SuccinctTyId) -> bool {
+        self.env_types(env).binary_search(&ty).is_ok()
+    }
+
+    /// Number of member types of an environment.
+    fn env_len(&self, env: EnvId) -> usize {
+        self.env_types(env).len()
+    }
+
+    /// Returns `true` if every member of `small` is a member of `big`.
+    fn env_subset(&self, small: EnvId, big: EnvId) -> bool {
+        self.env_types(small)
+            .iter()
+            .all(|&t| self.env_contains(big, t))
+    }
+
+    /// Interns the base succinct type `∅ → name`.
+    fn mk_base(&mut self, name: &str) -> SuccinctTyId {
+        let sym = self.base_symbol(name);
+        self.mk_ty(Vec::new(), sym)
+    }
+
+    /// The empty environment.
+    fn empty_env(&mut self) -> EnvId {
+        self.mk_env(Vec::new())
+    }
+
+    /// The σ conversion from simple types to succinct types (§3.2):
+    ///
+    /// * `σ(v) = ∅ → v`
+    /// * `σ(τ1 → τ2) = ({σ(τ1)} ∪ A(σ(τ2))) → R(σ(τ2))`
+    fn sigma(&mut self, ty: &Ty) -> SuccinctTyId {
+        match ty {
+            Ty::Base(name) => self.mk_base(name),
+            Ty::Arrow(a, b) => {
+                let a_id = self.sigma(a);
+                let b_id = self.sigma(b);
+                let b_data = self.ty(b_id).clone();
+                let mut args = b_data.args;
+                args.push(a_id);
+                self.mk_ty(args, b_data.ret)
+            }
+        }
+    }
+
+    /// Converts a whole simple-type environment (the images `σ(τi)` of every
+    /// declaration type) into an interned succinct environment.
+    fn sigma_env<'a>(&mut self, tys: impl IntoIterator<Item = &'a Ty>) -> EnvId {
+        let ids: Vec<SuccinctTyId> = tys.into_iter().map(|t| self.sigma(t)).collect();
+        self.mk_env(ids)
+    }
+
+    /// Interns `env ∪ extra`.
+    fn env_union(&mut self, env: EnvId, extra: &[SuccinctTyId]) -> EnvId {
+        if extra.iter().all(|&t| self.env_contains(env, t)) {
+            return env;
+        }
+        let mut types = self.env_types(env).to_vec();
+        types.extend_from_slice(extra);
+        self.mk_env(types)
+    }
+
+    /// Renders a succinct type, e.g. `{Int, String} -> File`.
+    fn display_ty(&self, id: SuccinctTyId) -> String {
+        let data = self.ty(id);
+        if data.args.is_empty() {
+            return self.base_name(data.ret).to_owned();
+        }
+        let args: Vec<String> = data.args.iter().map(|&a| self.display_ty(a)).collect();
+        format!("{{{}}} -> {}", args.join(", "), self.base_name(data.ret))
+    }
+
+    /// Renders an environment, e.g. `{Int, {Int} -> String}`.
+    fn display_env(&self, env: EnvId) -> String {
+        let parts: Vec<String> = self
+            .env_types(env)
+            .iter()
+            .map(|&t| self.display_ty(t))
+            .collect();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+impl TypeStore for SuccinctStore {
+    fn ty(&self, id: SuccinctTyId) -> &SuccinctTy {
+        SuccinctStore::ty(self, id)
+    }
+
+    fn base_name(&self, sym: Symbol) -> &str {
+        SuccinctStore::base_name(self, sym)
+    }
+
+    fn env_types(&self, env: EnvId) -> &[SuccinctTyId] {
+        SuccinctStore::env_types(self, env)
+    }
+
+    fn ty_count(&self) -> usize {
+        SuccinctStore::ty_count(self)
+    }
+
+    fn env_count(&self) -> usize {
+        SuccinctStore::env_count(self)
+    }
+
+    fn base_symbol(&mut self, name: &str) -> Symbol {
+        SuccinctStore::base_symbol(self, name)
+    }
+
+    fn mk_ty(&mut self, args: Vec<SuccinctTyId>, ret: Symbol) -> SuccinctTyId {
+        SuccinctStore::mk_ty(self, args, ret)
+    }
+
+    fn mk_env(&mut self, types: Vec<SuccinctTyId>) -> EnvId {
+        SuccinctStore::mk_env(self, types)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_roundtrip<S: TypeStore>(store: &mut S) {
+        let int = store.mk_base("Int");
+        let string = store.base_symbol("String");
+        let f = store.mk_ty(vec![int], string);
+        assert_eq!(store.ret_of(f), string);
+        assert_eq!(store.args_of(f), &[int]);
+        let env = store.mk_env(vec![int, f]);
+        assert!(store.env_contains(env, int));
+        assert_eq!(store.env_len(env), 2);
+        assert_eq!(store.display_ty(f), "{Int} -> String");
+    }
+
+    #[test]
+    fn succinct_store_implements_the_view() {
+        let mut store = SuccinctStore::new();
+        generic_roundtrip(&mut store);
+    }
+
+    #[test]
+    fn sigma_through_the_trait_matches_the_inherent_sigma() {
+        let ty = Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("C"));
+        let mut direct = SuccinctStore::new();
+        let inherent = SuccinctStore::sigma(&mut direct, &ty);
+        let mut viewed = SuccinctStore::new();
+        let through_trait = TypeStore::sigma(&mut viewed, &ty);
+        assert_eq!(inherent.index(), through_trait.index());
+    }
+}

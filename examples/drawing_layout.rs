@@ -14,7 +14,7 @@
 //! is erased before the suggestion is shown, yielding `panel.getLayout()`.
 
 use insynth::apimodel::{extract, javaapi, render_snippet, ProgramPoint};
-use insynth::core::{SynthesisConfig, Synthesizer};
+use insynth::core::{Engine, Query, SynthesisConfig};
 use insynth::corpus::synthetic_corpus;
 use insynth::lambda::Ty;
 
@@ -34,13 +34,15 @@ fn main() {
     let corpus = synthetic_corpus(&model, 42);
     corpus.apply(&mut env);
 
-    let mut synth = Synthesizer::new(SynthesisConfig::default());
-    let result = synth.synthesize(&env, &Ty::base("LayoutManager"), 5);
+    let engine = Engine::new(SynthesisConfig::default());
+    let session = engine.prepare(&env);
+    let result = session.query(&Query::new(Ty::base("LayoutManager")).with_n(5));
 
     println!("InSynth suggestions for `def getLayout: LayoutManager = ?`");
     println!(
-        "({} visible declarations, {} ms; paper reports 4965 declarations, 426 ms)",
+        "({} visible declarations; prepared once in {} ms, queried in {} ms; paper reports 4965 declarations, 426 ms)",
         result.stats.initial_declarations,
+        session.prepare_time().as_millis(),
         result.timings.total().as_millis()
     );
     println!();

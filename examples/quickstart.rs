@@ -3,10 +3,11 @@
 //! Run with `cargo run --example quickstart`.
 //!
 //! This example does not use the API model at all; it shows the lowest-level
-//! workflow: declare what is in scope (a type environment Γ), pick a goal
-//! type, and ask the synthesizer for the best-ranked expressions of that type.
+//! workflow with the session API: declare what is in scope (a type
+//! environment Γ), prepare it once with [`Engine::prepare`], and ask the
+//! session for the best-ranked expressions of one or more goal types.
 
-use insynth::core::{DeclKind, Declaration, SynthesisConfig, Synthesizer, TypeEnv};
+use insynth::core::{DeclKind, Declaration, Engine, Query, SynthesisConfig, TypeEnv};
 use insynth::lambda::Ty;
 
 fn main() {
@@ -31,12 +32,8 @@ fn main() {
             DeclKind::Imported,
         )
         .with_frequency(40),
-        Declaration::simple(
-            "defaultConfig",
-            Ty::base("Config"),
-            DeclKind::Imported,
-        )
-        .with_frequency(5),
+        Declaration::simple("defaultConfig", Ty::base("Config"), DeclKind::Imported)
+            .with_frequency(5),
     ]
     .into_iter()
     .collect();
@@ -44,15 +41,19 @@ fn main() {
     // The declared type left of the cursor: we want a Config.
     let goal = Ty::base("Config");
 
-    let mut synth = Synthesizer::new(SynthesisConfig::default());
-    let result = synth.synthesize(&env, &goal, 5);
+    // Prepare the program point once; the session answers any number of
+    // queries against it without re-running σ.
+    let engine = Engine::new(SynthesisConfig::default());
+    let session = engine.prepare(&env);
+    let result = session.query(&Query::new(goal.clone()).with_n(5));
 
     println!("goal type: {goal}");
     println!(
-        "{} declarations, {} succinct types, {} patterns, synthesized in {} ms",
+        "{} declarations, {} succinct types, {} patterns; prepared in {} ms, queried in {} ms",
         result.stats.initial_declarations,
         result.stats.distinct_succinct_types,
         result.stats.patterns,
+        session.prepare_time().as_millis(),
         result.timings.total().as_millis()
     );
     println!();
@@ -66,9 +67,21 @@ fn main() {
         );
     }
 
+    // The same session answers further goals without re-preparing.
+    let files = session.query(&Query::new(Ty::base("File")).with_n(3));
+    println!();
+    println!(
+        "same session, goal File: best suggestion is `{}` ({} ms)",
+        files.snippets[0].term,
+        files.timings.total().as_millis()
+    );
+
     // The ranking prefers the frequent `parseConfig(path)` over the rarely
     // used `defaultConfig`, and both over deeper compositions such as
     // `parseConfig(readAll(openFile(path)))`.
     assert!(result.rank_of("parseConfig(path)").is_some());
-    assert!(result.rank_of("parseConfig(readAll(openFile(path)))").is_some());
+    assert!(result
+        .rank_of("parseConfig(readAll(openFile(path)))")
+        .is_some());
+    assert_eq!(files.snippets[0].term.to_string(), "openFile(path)");
 }

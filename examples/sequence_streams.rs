@@ -14,7 +14,7 @@
 //! `new SequenceInputStream(new FileInputStream(body), new FileInputStream(sig))`.
 
 use insynth::apimodel::{extract, javaapi, render_snippet, ProgramPoint};
-use insynth::core::{SynthesisConfig, Synthesizer};
+use insynth::core::{Engine, Query, SynthesisConfig};
 use insynth::corpus::synthetic_corpus;
 use insynth::lambda::Ty;
 
@@ -36,14 +36,16 @@ fn main() {
     let corpus = synthetic_corpus(&model, 42);
     corpus.apply(&mut env);
 
-    let mut synth = Synthesizer::new(SynthesisConfig::default());
-    let result = synth.synthesize(&env, &Ty::base("SequenceInputStream"), 5);
+    let engine = Engine::new(SynthesisConfig::default());
+    let session = engine.prepare(&env);
+    let result = session.query(&Query::new(Ty::base("SequenceInputStream")).with_n(5));
 
     println!("InSynth suggestions for `def getInputStreams(body: String, sig: String): SequenceInputStream`");
     println!(
-        "({} visible declarations, {} succinct types, {} ms)",
+        "({} visible declarations, {} succinct types; prepared once in {} ms, queried in {} ms)",
         result.stats.initial_declarations,
         result.stats.distinct_succinct_types,
+        session.prepare_time().as_millis(),
         result.timings.total().as_millis()
     );
     println!();
@@ -51,8 +53,7 @@ fn main() {
         println!("  {}. {}", i + 1, render_snippet(snippet));
     }
 
-    let expected =
-        "new SequenceInputStream(new FileInputStream(body), new FileInputStream(sig))";
+    let expected = "new SequenceInputStream(new FileInputStream(body), new FileInputStream(sig))";
     let rank = result
         .snippets
         .iter()

@@ -17,7 +17,7 @@
 //! predicate `p` in a lambda: `new FilterTypeTreeTraverser(var1 => p(var1))`.
 
 use insynth::apimodel::{extract, javaapi, render_snippet, ProgramPoint};
-use insynth::core::{SynthesisConfig, Synthesizer};
+use insynth::core::{Engine, Query, SynthesisConfig};
 use insynth::corpus::synthetic_corpus;
 use insynth::lambda::Ty;
 
@@ -38,13 +38,15 @@ fn main() {
     let corpus = synthetic_corpus(&model, 42);
     corpus.apply(&mut env);
 
-    let mut synth = Synthesizer::new(SynthesisConfig::default());
-    let result = synth.synthesize(&env, &Ty::base("FilterTypeTreeTraverser"), 5);
+    let engine = Engine::new(SynthesisConfig::default());
+    let session = engine.prepare(&env);
+    let result = session.query(&Query::new(Ty::base("FilterTypeTreeTraverser")).with_n(5));
 
     println!("InSynth suggestions for `val ft: FilterTypeTreeTraverser = ?`");
     println!(
-        "({} visible declarations, {} ms)",
+        "({} visible declarations; prepared once in {} ms, queried in {} ms)",
         result.stats.initial_declarations,
+        session.prepare_time().as_millis(),
         result.timings.total().as_millis()
     );
     println!();

@@ -30,8 +30,13 @@
 //!
 //! # Quickstart
 //!
+//! The entry point is the session API — `Engine` holds the configuration,
+//! `Engine::prepare` lowers a program point's environment exactly once, and
+//! the resulting `Session` answers any number of `Query`s (from any number of
+//! threads: it is `Send + Sync`, share it in an `Arc`):
+//!
 //! ```
-//! use insynth::core::{Declaration, DeclKind, Synthesizer, SynthesisConfig, TypeEnv};
+//! use insynth::core::{Declaration, DeclKind, Engine, Query, SynthesisConfig, TypeEnv};
 //! use insynth::lambda::Ty;
 //!
 //! // A tiny environment:  name: String,  mkFile: String -> File
@@ -43,11 +48,46 @@
 //!     DeclKind::Imported,
 //! ));
 //!
-//! let mut synth = Synthesizer::new(SynthesisConfig::default());
-//! let result = synth.synthesize(&env, &Ty::base("File"), 5);
-//! assert!(!result.snippets.is_empty());
+//! let engine = Engine::new(SynthesisConfig::default());
+//! let session = engine.prepare(&env); // σ-lowering happens once, here
+//!
+//! // Query the prepared point as often as you like.
+//! let result = session.query(&Query::new(Ty::base("File")).with_n(5));
 //! assert_eq!(result.snippets[0].term.to_string(), "mkFile(name)");
+//! let strings = session.query(&Query::new(Ty::base("String")));
+//! assert_eq!(strings.snippets[0].term.to_string(), "name");
 //! ```
+//!
+//! For many program points at once, `Engine::query_batch` groups requests by
+//! point, prepares each point once, and fans the queries out across a scoped
+//! thread pool, returning results in input order:
+//!
+//! ```
+//! use insynth::core::{BatchRequest, Declaration, DeclKind, Engine, Query, SynthesisConfig, TypeEnv};
+//! use insynth::lambda::Ty;
+//!
+//! let env: TypeEnv = vec![
+//!     Declaration::simple("name", Ty::base("String"), DeclKind::Local),
+//!     Declaration::simple(
+//!         "mkFile",
+//!         Ty::fun(vec![Ty::base("String")], Ty::base("File")),
+//!         DeclKind::Imported,
+//!     ),
+//! ]
+//! .into_iter()
+//! .collect();
+//!
+//! let engine = Engine::new(SynthesisConfig::default());
+//! let results = engine.query_batch(&[
+//!     BatchRequest::new(env.clone(), Query::new(Ty::base("File"))),
+//!     BatchRequest::new(env, Query::new(Ty::base("String"))),
+//! ]);
+//! assert_eq!(results[0].snippets[0].term.to_string(), "mkFile(name)");
+//! assert_eq!(results[1].snippets[0].term.to_string(), "name");
+//! ```
+//!
+//! The pre-session `Synthesizer` façade still compiles but is deprecated; it
+//! re-prepares the environment on every call.
 
 pub use insynth_apimodel as apimodel;
 pub use insynth_benchsuite as benchsuite;

@@ -68,11 +68,18 @@ fn no_corpus_variant_still_finds_most_snippets() {
     let mut found = 0;
     for name in SMOKE {
         let bench = benchmark(name);
-        if run_benchmark(&bench, WeightMode::NoCorpus, &config).rank.is_some() {
+        if run_benchmark(&bench, WeightMode::NoCorpus, &config)
+            .rank
+            .is_some()
+        {
             found += 1;
         }
     }
-    assert!(found >= SMOKE.len() - 2, "only {found} of {} found", SMOKE.len());
+    assert!(
+        found >= SMOKE.len() - 2,
+        "only {found} of {} found",
+        SMOKE.len()
+    );
 }
 
 #[test]
@@ -82,10 +89,16 @@ fn weighted_variants_rank_at_least_as_well_as_unweighted_on_average() {
     let mut unweighted_found = 0usize;
     for name in SMOKE.iter().take(8) {
         let bench = benchmark(name);
-        if run_benchmark(&bench, WeightMode::Full, &config).rank.is_some() {
+        if run_benchmark(&bench, WeightMode::Full, &config)
+            .rank
+            .is_some()
+        {
             weighted_found += 1;
         }
-        if run_benchmark(&bench, WeightMode::NoWeights, &config).rank.is_some() {
+        if run_benchmark(&bench, WeightMode::NoWeights, &config)
+            .rank
+            .is_some()
+        {
             unweighted_found += 1;
         }
     }

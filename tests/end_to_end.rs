@@ -3,7 +3,7 @@
 
 use insynth::apimodel::{extract, javaapi, render_snippet, ProgramPoint};
 use insynth::core::{
-    is_inhabited_ref, rcn, DeclKind, Declaration, SynthesisConfig, Synthesizer, TypeEnv,
+    is_inhabited_ref, rcn, DeclKind, Declaration, Engine, Query, SynthesisConfig, TypeEnv,
 };
 use insynth::corpus::synthetic_corpus;
 use insynth::lambda::{Term, Ty};
@@ -27,11 +27,10 @@ fn figure1_sequence_of_streams_is_suggested() {
             .with_import("java.io")
             .with_import("java.lang"),
     );
-    let mut synth = Synthesizer::new(SynthesisConfig::default());
-    let result = synth.synthesize(&env, &Ty::base("SequenceInputStream"), 10);
+    let session = Engine::new(SynthesisConfig::default()).prepare(&env);
+    let result = session.query(&Query::new(Ty::base("SequenceInputStream")));
     let rendered: Vec<String> = result.snippets.iter().map(render_snippet).collect();
-    let expected =
-        "new SequenceInputStream(new FileInputStream(body), new FileInputStream(sig))";
+    let expected = "new SequenceInputStream(new FileInputStream(body), new FileInputStream(sig))";
     let rank = rendered.iter().position(|s| s == expected).map(|i| i + 1);
     assert!(rank.is_some(), "expected snippet missing; got {rendered:?}");
     assert!(rank.unwrap() <= 5, "rank was {rank:?}");
@@ -46,8 +45,8 @@ fn section22_higher_order_completion_is_rank_one() {
             .with_import("scala.tools.eclipse.javaelements")
             .with_import("java.lang"),
     );
-    let mut synth = Synthesizer::new(SynthesisConfig::default());
-    let result = synth.synthesize(&env, &Ty::base("FilterTypeTreeTraverser"), 5);
+    let session = Engine::new(SynthesisConfig::default()).prepare(&env);
+    let result = session.query(&Query::new(Ty::base("FilterTypeTreeTraverser")).with_n(5));
     let rendered: Vec<String> = result.snippets.iter().map(render_snippet).collect();
     assert_eq!(rendered[0], "new FilterTypeTreeTraverser(var1 => p(var1))");
 }
@@ -60,8 +59,8 @@ fn section23_subtyping_completion_uses_coercions() {
             .with_import("java.awt")
             .with_import("java.lang"),
     );
-    let mut synth = Synthesizer::new(SynthesisConfig::default());
-    let result = synth.synthesize(&env, &Ty::base("LayoutManager"), 10);
+    let session = Engine::new(SynthesisConfig::default()).prepare(&env);
+    let result = session.query(&Query::new(Ty::base("LayoutManager")));
     let rendered: Vec<String> = result.snippets.iter().map(render_snippet).collect();
     let rank = rendered
         .iter()
@@ -84,8 +83,8 @@ fn every_suggestion_for_the_motivating_examples_type_checks() {
             .with_import("java.lang"),
     );
     let goal = Ty::base("BufferedReader");
-    let mut synth = Synthesizer::new(SynthesisConfig::default());
-    let result = synth.synthesize(&env, &goal, 20);
+    let session = Engine::new(SynthesisConfig::default()).prepare(&env);
+    let result = session.query(&Query::new(goal.clone()).with_n(20));
     assert!(!result.snippets.is_empty());
     for snippet in &result.snippets {
         assert!(
@@ -113,7 +112,10 @@ fn engine_is_complete_with_respect_to_rcn_on_a_library_like_environment() {
         ),
         Declaration::simple(
             "reader",
-            Ty::fun(vec![Ty::base("InputStream"), Ty::base("String")], Ty::base("Reader")),
+            Ty::fun(
+                vec![Ty::base("InputStream"), Ty::base("String")],
+                Ty::base("Reader"),
+            ),
             DeclKind::Imported,
         ),
     ]
@@ -122,11 +124,14 @@ fn engine_is_complete_with_respect_to_rcn_on_a_library_like_environment() {
     let goal = Ty::base("Reader");
     let depth = 4;
 
-    let reference: HashSet<Term> =
-        rcn(&env, &goal, depth).iter().map(Term::alpha_normalize).collect();
+    let reference: HashSet<Term> = rcn(&env, &goal, depth)
+        .iter()
+        .map(Term::alpha_normalize)
+        .collect();
     let config = SynthesisConfig::unbounded().with_max_depth(depth);
-    let mut synth = Synthesizer::new(config);
-    let result = synth.synthesize(&env, &goal, 100_000);
+    let result = Engine::new(config)
+        .prepare(&env)
+        .query(&Query::new(goal.clone()).with_n(100_000));
     let engine: HashSet<Term> = result
         .snippets
         .iter()
@@ -161,14 +166,26 @@ fn provers_and_engine_agree_on_benchmark_style_queries() {
 
     for (point, goal, expected) in cases {
         let env = motivating_env(point);
-        let mut synth = Synthesizer::new(SynthesisConfig::default());
-        assert_eq!(synth.is_inhabited(&env, &goal), expected, "engine on {goal}");
-        assert_eq!(is_inhabited_ref(&env, &goal), expected, "reference on {goal}");
+        let session = Engine::new(SynthesisConfig::default()).prepare(&env);
+        assert_eq!(session.is_inhabited(&goal), expected, "engine on {goal}");
+        assert_eq!(
+            is_inhabited_ref(&env, &goal),
+            expected,
+            "reference on {goal}"
+        );
 
         let (hyps, formula) = inhabitation_query(&env, &goal);
         let limits = ProverLimits::default();
-        assert_eq!(forward::prove(&hyps, &formula, &limits), Some(expected), "forward on {goal}");
-        assert_eq!(g4ip::prove(&hyps, &formula, &limits), Some(expected), "g4ip on {goal}");
+        assert_eq!(
+            forward::prove(&hyps, &formula, &limits),
+            Some(expected),
+            "forward on {goal}"
+        );
+        assert_eq!(
+            g4ip::prove(&hyps, &formula, &limits),
+            Some(expected),
+            "g4ip on {goal}"
+        );
     }
 }
 
@@ -182,15 +199,27 @@ fn weight_variants_change_ranking_but_not_soundness() {
             .with_import("java.lang"),
     );
     let goal = Ty::base("FileInputStream");
-    for mode in [WeightMode::NoWeights, WeightMode::NoCorpus, WeightMode::Full] {
+    for mode in [
+        WeightMode::NoWeights,
+        WeightMode::NoCorpus,
+        WeightMode::Full,
+    ] {
         let config = SynthesisConfig::default().with_weights(WeightConfig::new(mode));
-        let mut synth = Synthesizer::new(config);
-        let result = synth.synthesize(&env, &goal, 10);
+        let result = Engine::new(config)
+            .prepare(&env)
+            .query(&Query::new(goal.clone()));
         assert!(!result.snippets.is_empty(), "{mode:?} found nothing");
         for snippet in &result.snippets {
-            assert!(env.admits(&snippet.raw_term, &goal), "{} fails", snippet.raw_term);
+            assert!(
+                env.admits(&snippet.raw_term, &goal),
+                "{} fails",
+                snippet.raw_term
+            );
         }
         // Ranking is monotone in weight for every variant.
-        assert!(result.snippets.windows(2).all(|w| w[0].weight <= w[1].weight));
+        assert!(result
+            .snippets
+            .windows(2)
+            .all(|w| w[0].weight <= w[1].weight));
     }
 }

@@ -15,7 +15,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use insynth::core::{
-    is_inhabited_ref, rcn, DeclKind, Declaration, SynthesisConfig, Synthesizer, TypeEnv,
+    is_inhabited_ref, rcn, DeclKind, Declaration, Engine, Query, SynthesisConfig, TypeEnv,
     WeightConfig,
 };
 use insynth::lambda::{check, Term, Ty};
@@ -73,8 +73,9 @@ proptest! {
     #[test]
     fn every_synthesized_term_type_checks(env in arb_env(), goal in arb_goal()) {
         let config = SynthesisConfig::unbounded().with_max_depth(4);
-        let mut synth = Synthesizer::new(config);
-        let result = synth.synthesize(&env, &goal, 50);
+        let result = Engine::new(config)
+            .prepare(&env)
+            .query(&Query::new(goal.clone()).with_n(50));
         let bindings = env.to_bindings();
         for snippet in &result.snippets {
             prop_assert!(check(&bindings, &snippet.raw_term, &goal).is_ok(),
@@ -84,8 +85,9 @@ proptest! {
 
     #[test]
     fn ranking_is_sorted_by_weight(env in arb_env(), goal in arb_goal()) {
-        let mut synth = Synthesizer::new(SynthesisConfig::default().with_max_depth(4));
-        let result = synth.synthesize(&env, &goal, 30);
+        let result = Engine::new(SynthesisConfig::default().with_max_depth(4))
+            .prepare(&env)
+            .query(&Query::new(goal.clone()).with_n(30));
         prop_assert!(result.snippets.windows(2).all(|w| w[0].weight <= w[1].weight));
     }
 
@@ -95,8 +97,9 @@ proptest! {
         let reference: HashSet<Term> =
             rcn(&env, &goal, depth).iter().map(Term::alpha_normalize).collect();
         let config = SynthesisConfig::unbounded().with_max_depth(depth);
-        let mut synth = Synthesizer::new(config);
-        let result = synth.synthesize(&env, &goal, 50_000);
+        let result = Engine::new(config)
+            .prepare(&env)
+            .query(&Query::new(goal.clone()).with_n(50_000));
         let engine: HashSet<Term> = result
             .snippets
             .iter()
@@ -112,8 +115,8 @@ proptest! {
     ) {
         let expected = is_inhabited_ref(&env, &goal);
 
-        let mut synth = Synthesizer::new(SynthesisConfig::default());
-        prop_assert_eq!(synth.is_inhabited(&env, &goal), expected);
+        let session = Engine::new(SynthesisConfig::default()).prepare(&env);
+        prop_assert_eq!(session.is_inhabited(&goal), expected);
 
         let (hyps, formula) = inhabitation_query(&env, &goal);
         let limits = ProverLimits::default();
@@ -143,14 +146,16 @@ proptest! {
     fn no_weights_mode_finds_a_superset_of_goals(env in arb_env(), goal in arb_goal()) {
         // Whether *some* snippet exists must not depend on the weight mode.
         use insynth::core::WeightMode;
-        let full = Synthesizer::new(SynthesisConfig::unbounded().with_max_depth(3))
-            .synthesize(&env, &goal, 1000);
-        let none = Synthesizer::new(
+        let full = Engine::new(SynthesisConfig::unbounded().with_max_depth(3))
+            .prepare(&env)
+            .query(&Query::new(goal.clone()).with_n(1000));
+        let none = Engine::new(
             SynthesisConfig::unbounded()
                 .with_max_depth(3)
                 .with_weights(WeightConfig::new(WeightMode::NoWeights)),
         )
-        .synthesize(&env, &goal, 1000);
+        .prepare(&env)
+        .query(&Query::new(goal.clone()).with_n(1000));
         prop_assert_eq!(full.snippets.is_empty(), none.snippets.is_empty());
     }
 }

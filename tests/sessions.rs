@@ -1,0 +1,214 @@
+//! Integration tests of the session API: prepare once / query many, batched
+//! execution, and concurrent use of a shared session.
+//!
+//! The determinism contract under test: `Engine::query_batch` must return,
+//! in input order, results byte-identical to running every query sequentially
+//! through `Session::query`, no matter how the thread pool schedules them;
+//! and a single `Arc<Session>` must serve identical answers from any number
+//! of threads.
+
+use std::sync::Arc;
+use std::thread;
+
+use insynth::apimodel::{extract, javaapi, ProgramPoint};
+use insynth::core::{
+    BatchRequest, DeclKind, Declaration, Engine, Query, Session, SynthesisConfig, SynthesisResult,
+    TypeEnv,
+};
+use insynth::corpus::synthetic_corpus;
+use insynth::lambda::Ty;
+
+fn motivating_env(point: ProgramPoint) -> TypeEnv {
+    let model = javaapi::standard_model();
+    let mut env = extract(&model, &point);
+    let corpus = synthetic_corpus(&model, 42);
+    corpus.apply(&mut env);
+    env
+}
+
+fn io_point_env() -> TypeEnv {
+    motivating_env(
+        ProgramPoint::new()
+            .with_local("body", Ty::base("String"))
+            .with_local("sig", Ty::base("String"))
+            .with_import("java.io")
+            .with_import("java.lang"),
+    )
+}
+
+fn tree_point_env() -> TypeEnv {
+    motivating_env(
+        ProgramPoint::new()
+            .with_local("tree", Ty::base("Tree"))
+            .with_local("p", Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")))
+            .with_import("scala.tools.eclipse.javaelements")
+            .with_import("java.lang"),
+    )
+}
+
+fn tiny_env() -> TypeEnv {
+    vec![
+        Declaration::simple("a", Ty::base("A"), DeclKind::Local),
+        Declaration::simple(
+            "s",
+            Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+            DeclKind::Local,
+        ),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// Byte-precise fingerprint of a result: rendered terms, raw terms, and the
+/// exact bit patterns of the ranking weights.
+fn fingerprint(result: &SynthesisResult) -> Vec<(String, String, u64, usize, usize)> {
+    result
+        .snippets
+        .iter()
+        .map(|s| {
+            (
+                s.term.to_string(),
+                s.raw_term.to_string(),
+                s.weight.value().to_bits(),
+                s.depth,
+                s.coercions,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn session_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+    assert_send_sync::<Engine>();
+    assert_send_sync::<Arc<Session>>();
+}
+
+#[test]
+fn query_batch_matches_sequential_queries_over_mixed_environments() {
+    let engine = Engine::new(SynthesisConfig::default());
+    let io = io_point_env();
+    let tree = tree_point_env();
+    let tiny = tiny_env();
+
+    // Mixed program points, interleaved, with repeated points and varying N —
+    // the grouping must prepare each distinct point once and still return
+    // results in input order.
+    let requests = vec![
+        BatchRequest::new(
+            io.clone(),
+            Query::new(Ty::base("SequenceInputStream")).with_n(10),
+        ),
+        BatchRequest::new(tiny.clone(), Query::new(Ty::base("A")).with_n(7)),
+        BatchRequest::new(
+            tree.clone(),
+            Query::new(Ty::base("FilterTypeTreeTraverser")).with_n(5),
+        ),
+        BatchRequest::new(io.clone(), Query::new(Ty::base("BufferedReader")).with_n(8)),
+        BatchRequest::new(
+            tiny.clone(),
+            Query::new(Ty::base("A")).with_n(3).with_max_depth(2),
+        ),
+        BatchRequest::new(
+            io.clone(),
+            Query::new(Ty::base("FileInputStream")).with_n(4),
+        ),
+        BatchRequest::new(tree.clone(), Query::new(Ty::base("Boolean")).with_n(6)),
+    ];
+
+    let batched = engine.query_batch(&requests);
+    assert_eq!(batched.len(), requests.len());
+
+    for (i, request) in requests.iter().enumerate() {
+        let sequential = engine.prepare(&request.env).query(&request.query);
+        assert_eq!(
+            fingerprint(&batched[i]),
+            fingerprint(&sequential),
+            "batched result {i} diverged from the sequential query"
+        );
+    }
+
+    // Re-running the batch is deterministic too.
+    let again = engine.query_batch(&requests);
+    for (first, second) in batched.iter().zip(&again) {
+        assert_eq!(fingerprint(first), fingerprint(second));
+    }
+}
+
+#[test]
+fn one_arc_session_serves_identical_results_from_many_threads() {
+    let engine = Engine::new(SynthesisConfig::default());
+    let session = Arc::new(engine.prepare(&io_point_env()));
+
+    let reference = session.query(&Query::new(Ty::base("SequenceInputStream")).with_n(10));
+    let expected = fingerprint(&reference);
+
+    let handles: Vec<_> = (0..6)
+        .map(|worker| {
+            let session = Arc::clone(&session);
+            thread::spawn(move || {
+                // Each thread issues several queries, including a goal of its
+                // own, to interleave scratch interning across threads.
+                let shared = session.query(&Query::new(Ty::base("SequenceInputStream")).with_n(10));
+                let own_goal = if worker % 2 == 0 {
+                    Ty::base("BufferedReader")
+                } else {
+                    Ty::base("FileInputStream")
+                };
+                let own = session.query(&Query::new(own_goal).with_n(5));
+                (fingerprint(&shared), fingerprint(&own))
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (shared, own) = handle.join().expect("worker thread must not panic");
+        assert_eq!(shared, expected, "concurrent query diverged");
+        assert!(!own.is_empty());
+    }
+}
+
+#[test]
+fn batch_with_a_single_request_equals_the_direct_query() {
+    let engine = Engine::new(SynthesisConfig::default());
+    let env = tiny_env();
+    let query = Query::new(Ty::base("A")).with_n(4);
+    let batched = engine.query_batch(&[BatchRequest::new(env.clone(), query.clone())]);
+    let direct = engine.prepare(&env).query(&query);
+    assert_eq!(fingerprint(&batched[0]), fingerprint(&direct));
+}
+
+#[test]
+fn prepare_time_is_paid_once_per_session() {
+    let engine = Engine::new(SynthesisConfig::default());
+    let session = engine.prepare(&io_point_env());
+    let prepare_once = session.prepare_time();
+
+    // Many queries later, the session reports the same one-off prepare cost.
+    for _ in 0..3 {
+        let _ = session.query(&Query::new(Ty::base("FileInputStream")).with_n(5));
+    }
+    assert_eq!(session.prepare_time(), prepare_once);
+}
+
+#[test]
+fn sessions_prepared_from_one_engine_are_independent() {
+    let engine = Engine::new(SynthesisConfig::default());
+    let io = engine.prepare(&io_point_env());
+    let tiny = engine.prepare(&tiny_env());
+
+    let io_result = io.query(&Query::new(Ty::base("FileInputStream")).with_n(5));
+    let tiny_result = tiny.query(&Query::new(Ty::base("A")).with_n(5));
+
+    assert!(io_result
+        .snippets
+        .iter()
+        .any(|s| s.term.to_string().contains("FileInputStream")));
+    assert_eq!(tiny_result.snippets[0].term.to_string(), "a");
+    // Distinct program points, distinct prepared sizes.
+    assert_ne!(
+        io_result.stats.initial_declarations,
+        tiny_result.stats.initial_declarations
+    );
+}

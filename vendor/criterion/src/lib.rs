@@ -74,7 +74,8 @@ impl BenchmarkGroup<'_> {
     }
 
     fn effective_sample_size(&self) -> usize {
-        self.sample_size.unwrap_or(self.criterion.default_sample_size)
+        self.sample_size
+            .unwrap_or(self.criterion.default_sample_size)
     }
 
     pub fn bench_function<S: Display, F>(&mut self, id: S, f: F) -> &mut Self
@@ -152,14 +153,16 @@ impl Bencher {
         let start = Instant::now();
         std::hint::black_box(routine());
         let one = start.elapsed().max(Duration::from_nanos(1));
-        self.iters_per_sample = (TARGET_SAMPLE.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample =
+            (TARGET_SAMPLE.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
 
         for _ in 0..self.target_samples {
             let start = Instant::now();
             for _ in 0..self.iters_per_sample {
                 std::hint::black_box(routine());
             }
-            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
         }
     }
 }
@@ -188,8 +191,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     bencher.samples.sort();
     let min = bencher.samples[0];
     let median = bencher.samples[bencher.samples.len() / 2];
-    let mean: Duration =
-        bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    let mean: Duration = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
     println!(
         "{id:<48} min {min:>12?}  median {median:>12?}  mean {mean:>12?}  ({} samples x {} iters)",
         bencher.samples.len(),

@@ -51,7 +51,9 @@ pub mod test_runner {
 
     impl TestRng {
         pub fn from_seed(seed: u64) -> Self {
-            TestRng { inner: StdRng::seed_from_u64(seed) }
+            TestRng {
+                inner: StdRng::seed_from_u64(seed),
+            }
         }
 
         /// Seed derived from the config seed, the test name and the case
@@ -224,10 +226,10 @@ pub mod strategy {
         };
     }
 
-    impl_tuple_strategy!(A/a);
-    impl_tuple_strategy!(A/a, B/b);
-    impl_tuple_strategy!(A/a, B/b, C/c);
-    impl_tuple_strategy!(A/a, B/b, C/c, D/d);
+    impl_tuple_strategy!(A / a);
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
 }
 
 pub mod collection {

@@ -53,7 +53,10 @@ pub trait Rng {
 
     /// Returns `true` with probability `p`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         // 53 high-quality bits -> uniform f64 in [0, 1).
         let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         unit < p
