@@ -210,7 +210,16 @@ pub fn java_io() -> Package {
         .with_class(
             Class::new("InputStream")
                 .with_method(Method::new("read", vec![], t("Int")))
+                .with_method(Method::new("read", vec![t("ByteArray")], t("Int")))
+                .with_method(Method::new(
+                    "read",
+                    vec![t("ByteArray"), t("Int"), t("Int")],
+                    t("Int"),
+                ))
+                .with_method(Method::new("skip", vec![t("Long")], t("Long")))
                 .with_method(Method::new("available", vec![], t("Int")))
+                .with_method(Method::new("mark", vec![t("Int")], t("Unit")))
+                .with_method(Method::new("reset", vec![], t("Unit")))
                 .with_method(Method::new("close", vec![], t("Unit"))),
         )
         .with_class(
@@ -267,6 +276,12 @@ pub fn java_io() -> Package {
         .with_class(
             Class::new("OutputStream")
                 .with_method(Method::new("write", vec![t("Int")], t("Unit")))
+                .with_method(Method::new("write", vec![t("ByteArray")], t("Unit")))
+                .with_method(Method::new(
+                    "write",
+                    vec![t("ByteArray"), t("Int"), t("Int")],
+                    t("Unit"),
+                ))
                 .with_method(Method::new("flush", vec![], t("Unit")))
                 .with_method(Method::new("close", vec![], t("Unit"))),
         )
@@ -319,8 +334,32 @@ pub fn java_io() -> Package {
                 .with_constructor(ctor(vec![t("OutputStream")]))
                 .with_constructor(ctor(vec![t("String")]))
                 .with_constructor(ctor(vec![t("File")]))
+                // The real class carries ten println/print overloads; the
+                // same-shape pairs collapse under σ, which is exactly the
+                // compression §3.2 reports on overload-heavy APIs.
                 .with_method(Method::new("println", vec![t("String")], t("Unit")))
-                .with_method(Method::new("print", vec![t("String")], t("Unit"))),
+                .with_method(Method::new("print", vec![t("String")], t("Unit")))
+                .with_method(Method::new("println", vec![t("Object")], t("Unit")))
+                .with_method(Method::new("print", vec![t("Object")], t("Unit")))
+                .with_method(Method::new("println", vec![t("Int")], t("Unit")))
+                .with_method(Method::new("print", vec![t("Int")], t("Unit")))
+                .with_method(Method::new("println", vec![t("Char")], t("Unit")))
+                .with_method(Method::new("print", vec![t("Char")], t("Unit")))
+                .with_method(Method::new("write", vec![t("Int")], t("Unit")))
+                .with_method(Method::new("println", vec![], t("Unit")))
+                .with_method(Method::new("flush", vec![], t("Unit")))
+                .with_method(Method::new("checkError", vec![], t("Boolean")))
+                .with_method(Method::new(
+                    "format",
+                    vec![t("String"), t("ObjectArray")],
+                    t("PrintStream"),
+                ))
+                .with_method(Method::new(
+                    "printf",
+                    vec![t("String"), t("ObjectArray")],
+                    t("PrintStream"),
+                ))
+                .with_method(Method::new("append", vec![t("Char")], t("PrintStream"))),
         )
         // --- character readers ---
         .with_class(
@@ -382,6 +421,20 @@ pub fn java_io() -> Package {
         .with_class(
             Class::new("Writer")
                 .with_method(Method::new("write", vec![t("String")], t("Unit")))
+                .with_method(Method::new("write", vec![t("Int")], t("Unit")))
+                .with_method(Method::new("write", vec![t("CharArray")], t("Unit")))
+                .with_method(Method::new(
+                    "write",
+                    vec![t("String"), t("Int"), t("Int")],
+                    t("Unit"),
+                ))
+                .with_method(Method::new(
+                    "write",
+                    vec![t("CharArray"), t("Int"), t("Int")],
+                    t("Unit"),
+                ))
+                .with_method(Method::new("append", vec![t("Char")], t("Writer")))
+                .with_method(Method::new("append", vec![t("String")], t("Writer")))
                 .with_method(Method::new("flush", vec![], t("Unit")))
                 .with_method(Method::new("close", vec![], t("Unit"))),
         )
@@ -413,7 +466,25 @@ pub fn java_io() -> Package {
                 .with_constructor(ctor(vec![t("OutputStream")]))
                 .with_constructor(ctor(vec![t("String")]))
                 .with_constructor(ctor(vec![t("File")]))
-                .with_method(Method::new("println", vec![t("String")], t("Unit"))),
+                .with_method(Method::new("println", vec![t("String")], t("Unit")))
+                .with_method(Method::new("print", vec![t("String")], t("Unit")))
+                .with_method(Method::new("println", vec![t("Object")], t("Unit")))
+                .with_method(Method::new("print", vec![t("Object")], t("Unit")))
+                .with_method(Method::new("println", vec![t("Int")], t("Unit")))
+                .with_method(Method::new("print", vec![t("Int")], t("Unit")))
+                .with_method(Method::new("println", vec![], t("Unit")))
+                .with_method(Method::new("checkError", vec![], t("Boolean")))
+                .with_method(Method::new(
+                    "format",
+                    vec![t("String"), t("ObjectArray")],
+                    t("PrintWriter"),
+                ))
+                .with_method(Method::new(
+                    "printf",
+                    vec![t("String"), t("ObjectArray")],
+                    t("PrintWriter"),
+                ))
+                .with_method(Method::new("append", vec![t("Char")], t("PrintWriter"))),
         )
         .with_class(
             Class::new("StringWriter")
@@ -1052,36 +1123,105 @@ pub fn java_net() -> Package {
         )
 }
 
-/// `java.util`: collections and utility classes.
+/// Adds the shared `java.util.Collection` member surface to a collection
+/// class: the add/remove/contains family plus the bulk operations. The
+/// same-shape groups (`add`/`remove`/`contains` all `(Object) → Boolean`,
+/// the four bulk methods all `(Collection) → Boolean`) collapse under σ —
+/// the overload-richness the paper's environments exhibit.
+fn with_collection_members(class: Class) -> Class {
+    class
+        .with_method(Method::new("add", vec![t("Object")], t("Boolean")))
+        .with_method(Method::new("remove", vec![t("Object")], t("Boolean")))
+        .with_method(Method::new("contains", vec![t("Object")], t("Boolean")))
+        .with_method(Method::new("addAll", vec![t("Collection")], t("Boolean")))
+        .with_method(Method::new(
+            "removeAll",
+            vec![t("Collection")],
+            t("Boolean"),
+        ))
+        .with_method(Method::new(
+            "retainAll",
+            vec![t("Collection")],
+            t("Boolean"),
+        ))
+        .with_method(Method::new(
+            "containsAll",
+            vec![t("Collection")],
+            t("Boolean"),
+        ))
+        .with_method(Method::new("size", vec![], t("Int")))
+        .with_method(Method::new("isEmpty", vec![], t("Boolean")))
+        .with_method(Method::new("clear", vec![], t("Unit")))
+        .with_method(Method::new("iterator", vec![], t("Iterator")))
+        .with_method(Method::new("toArray", vec![], t("ObjectArray")))
+}
+
+/// `java.util`: collections and utility classes. The collection hierarchy is
+/// subtype-rich (every concrete collection reaches `Collection` through the
+/// abstract base classes, producing coercions per §6) and overload-rich (the
+/// shared member surface collapses heavily under σ).
 pub fn java_util() -> Package {
     Package::new("java.util")
-        .with_class(
+        .with_class(Class::new("Collection"))
+        .with_class(Class::new("AbstractCollection").extends("Collection"))
+        .with_class(Class::new("AbstractList").extends("AbstractCollection"))
+        .with_class(Class::new("AbstractSet").extends("AbstractCollection"))
+        .with_class(with_collection_members(
             Class::new("ArrayList")
+                .extends("AbstractList")
                 .with_constructor(ctor(vec![]))
                 .with_constructor(ctor(vec![t("Int")]))
-                .with_method(Method::new("add", vec![t("Object")], t("Boolean")))
+                .with_constructor(ctor(vec![t("Collection")]))
                 .with_method(Method::new("get", vec![t("Int")], t("Object")))
-                .with_method(Method::new("size", vec![], t("Int")))
-                .with_method(Method::new("iterator", vec![], t("Iterator"))),
-        )
-        .with_class(
+                .with_method(Method::new("set", vec![t("Int"), t("Object")], t("Object")))
+                .with_method(Method::new("indexOf", vec![t("Object")], t("Int")))
+                .with_method(Method::new("lastIndexOf", vec![t("Object")], t("Int"))),
+        ))
+        .with_class(with_collection_members(
             Class::new("LinkedList")
+                .extends("AbstractList")
                 .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Collection")]))
                 .with_method(Method::new("addFirst", vec![t("Object")], t("Unit")))
-                .with_method(Method::new("getFirst", vec![], t("Object"))),
-        )
-        .with_class(
+                .with_method(Method::new("addLast", vec![t("Object")], t("Unit")))
+                .with_method(Method::new("getFirst", vec![], t("Object")))
+                .with_method(Method::new("getLast", vec![], t("Object"))),
+        ))
+        .with_class(with_collection_members(
             Class::new("Vector")
+                .extends("AbstractList")
                 .with_constructor(ctor(vec![]))
                 .with_constructor(ctor(vec![t("Int")]))
-                .with_method(Method::new("elementAt", vec![t("Int")], t("Object"))),
-        )
+                .with_method(Method::new("elementAt", vec![t("Int")], t("Object")))
+                .with_method(Method::new("firstElement", vec![], t("Object")))
+                .with_method(Method::new("lastElement", vec![], t("Object"))),
+        ))
         .with_class(
             Class::new("Stack")
+                .extends("Vector")
                 .with_constructor(ctor(vec![]))
                 .with_method(Method::new("push", vec![t("Object")], t("Object")))
-                .with_method(Method::new("pop", vec![], t("Object"))),
+                .with_method(Method::new("pop", vec![], t("Object")))
+                .with_method(Method::new("peek", vec![], t("Object"))),
         )
+        .with_class(with_collection_members(
+            Class::new("ArrayDeque")
+                .extends("AbstractCollection")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int")]))
+                .with_method(Method::new("push", vec![t("Object")], t("Unit")))
+                .with_method(Method::new("pop", vec![], t("Object")))
+                .with_method(Method::new("peekFirst", vec![], t("Object")))
+                .with_method(Method::new("peekLast", vec![], t("Object"))),
+        ))
+        .with_class(with_collection_members(
+            Class::new("PriorityQueue")
+                .extends("AbstractCollection")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int")]))
+                .with_method(Method::new("poll", vec![], t("Object")))
+                .with_method(Method::new("peek", vec![], t("Object"))),
+        ))
         .with_class(
             Class::new("HashMap")
                 .with_constructor(ctor(vec![]))
@@ -1092,7 +1232,26 @@ pub fn java_util() -> Package {
                     t("Object"),
                 ))
                 .with_method(Method::new("get", vec![t("Object")], t("Object")))
-                .with_method(Method::new("size", vec![], t("Int"))),
+                .with_method(Method::new("remove", vec![t("Object")], t("Object")))
+                .with_method(Method::new(
+                    "getOrDefault",
+                    vec![t("Object"), t("Object")],
+                    t("Object"),
+                ))
+                .with_method(Method::new("containsKey", vec![t("Object")], t("Boolean")))
+                .with_method(Method::new(
+                    "containsValue",
+                    vec![t("Object")],
+                    t("Boolean"),
+                ))
+                .with_method(Method::new("size", vec![], t("Int")))
+                .with_method(Method::new("isEmpty", vec![], t("Boolean"))),
+        )
+        .with_class(
+            Class::new("LinkedHashMap")
+                .extends("HashMap")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int")])),
         )
         .with_class(
             Class::new("Hashtable")
@@ -1101,18 +1260,122 @@ pub fn java_util() -> Package {
                     "put",
                     vec![t("Object"), t("Object")],
                     t("Object"),
-                )),
+                ))
+                .with_method(Method::new("get", vec![t("Object")], t("Object"))),
         )
         .with_class(
             Class::new("TreeMap")
                 .with_constructor(ctor(vec![]))
-                .with_method(Method::new("firstKey", vec![], t("Object"))),
+                .with_method(Method::new("firstKey", vec![], t("Object")))
+                .with_method(Method::new("lastKey", vec![], t("Object")))
+                .with_method(Method::new(
+                    "put",
+                    vec![t("Object"), t("Object")],
+                    t("Object"),
+                ))
+                .with_method(Method::new("get", vec![t("Object")], t("Object"))),
+        )
+        .with_class(with_collection_members(
+            Class::new("HashSet")
+                .extends("AbstractSet")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Int")]))
+                .with_constructor(ctor(vec![t("Collection")])),
+        ))
+        .with_class(
+            Class::new("LinkedHashSet")
+                .extends("HashSet")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Collection")])),
+        )
+        .with_class(with_collection_members(
+            Class::new("TreeSet")
+                .extends("AbstractSet")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("Collection")]))
+                .with_method(Method::new("first", vec![], t("Object")))
+                .with_method(Method::new("last", vec![], t("Object"))),
+        ))
+        .with_class(
+            Class::new("Collections")
+                .with_method(Method::new_static(
+                    "sort",
+                    vec![t("AbstractList")],
+                    t("Unit"),
+                ))
+                .with_method(Method::new_static(
+                    "reverse",
+                    vec![t("AbstractList")],
+                    t("Unit"),
+                ))
+                .with_method(Method::new_static(
+                    "shuffle",
+                    vec![t("AbstractList")],
+                    t("Unit"),
+                ))
+                .with_method(Method::new_static(
+                    "max",
+                    vec![t("Collection")],
+                    t("Object"),
+                ))
+                .with_method(Method::new_static(
+                    "min",
+                    vec![t("Collection")],
+                    t("Object"),
+                ))
+                .with_method(Method::new_static("emptyList", vec![], t("AbstractList"))),
         )
         .with_class(
-            Class::new("HashSet")
-                .with_constructor(ctor(vec![]))
-                .with_method(Method::new("add", vec![t("Object")], t("Boolean")))
-                .with_method(Method::new("contains", vec![t("Object")], t("Boolean"))),
+            Class::new("Arrays")
+                .with_method(Method::new_static(
+                    "asList",
+                    vec![t("ObjectArray")],
+                    t("AbstractList"),
+                ))
+                .with_method(Method::new_static(
+                    "sort",
+                    vec![t("ObjectArray")],
+                    t("Unit"),
+                ))
+                .with_method(Method::new_static(
+                    "fill",
+                    vec![t("ObjectArray")],
+                    t("Unit"),
+                ))
+                .with_method(Method::new_static(
+                    "toString",
+                    vec![t("ObjectArray")],
+                    t("String"),
+                ))
+                .with_method(Method::new_static(
+                    "hashCode",
+                    vec![t("ObjectArray")],
+                    t("Int"),
+                )),
+        )
+        .with_class(
+            Class::new("Objects")
+                .with_method(Method::new_static(
+                    "equals",
+                    vec![t("Object"), t("Object")],
+                    t("Boolean"),
+                ))
+                .with_method(Method::new_static(
+                    "deepEquals",
+                    vec![t("Object"), t("Object")],
+                    t("Boolean"),
+                ))
+                .with_method(Method::new_static("hashCode", vec![t("Object")], t("Int")))
+                .with_method(Method::new_static(
+                    "toString",
+                    vec![t("Object")],
+                    t("String"),
+                ))
+                .with_method(Method::new_static(
+                    "requireNonNull",
+                    vec![t("Object")],
+                    t("Object"),
+                )),
         )
         .with_class(
             Class::new("Iterator")
@@ -1223,22 +1486,27 @@ pub fn scala_ide() -> Package {
 
 /// A deterministic filler package used to pad environments to paper-scale
 /// sizes. Classes are named `{prefix}Support{i}`; every class has a nullary
-/// constructor and `methods_per_class` methods. Every fifth method returns a
-/// common type (`String` or `Int`), so that the filler genuinely competes in
-/// the search (realistic noise), while the rest return filler types.
+/// constructor and `methods_per_class` methods. The method signatures cycle
+/// through six shapes against a per-class neighbour type, so that a class
+/// with twelve methods carries every shape twice — the overload-richness of
+/// real APIs, which is what makes the σ-compression of §3.2 measurable.
+/// Half the shapes mention a common type (`String` or `Int`), so the filler
+/// genuinely competes in the search (realistic noise), while the rest return
+/// filler types.
 pub fn filler_package(index: usize, classes: usize, methods_per_class: usize) -> Package {
     let prefix = format!("Lib{index}");
     let mut package = Package::new(format!("lib.generated{index}"));
     for c in 0..classes {
         let name = format!("{prefix}Support{c}");
+        let neighbour = format!("{prefix}Support{}", (c + 1) % classes);
         let mut class = Class::new(&name).with_constructor(ctor(vec![]));
         for m in 0..methods_per_class {
-            let neighbour = format!("{prefix}Support{}", (c + m + 1) % classes);
-            let (params, ret) = match m % 5 {
+            let (params, ret) = match m % 6 {
                 0 => (vec![t("String")], t(&neighbour)),
                 1 => (vec![t("Int")], t(&neighbour)),
                 2 => (vec![t(&neighbour)], t("String")),
                 3 => (vec![t(&neighbour), t("Int")], t("Int")),
+                4 => (vec![t("String"), t("Int")], t(&neighbour)),
                 _ => (vec![], t(&neighbour)),
             };
             class = class.with_method(Method::new(format!("op{m}"), params, ret));

@@ -19,8 +19,9 @@ use std::hint::black_box;
 
 use insynth_bench::phases_environment as figure1_environment;
 use insynth_core::{
-    explore, generate_patterns, generate_patterns_naive, generate_terms, Engine, ExploreLimits,
-    GenerateLimits, PreparedEnv, Query, SynthesisConfig, WeightConfig,
+    explore, generate_patterns, generate_patterns_naive, generate_terms, generate_terms_unindexed,
+    DerivationGraph, Engine, ExploreLimits, GenerateLimits, PreparedEnv, Query, SynthesisConfig,
+    WeightConfig,
 };
 use insynth_lambda::Ty;
 use insynth_succinct::TypeStore;
@@ -57,13 +58,34 @@ fn phase_breakdown(c: &mut Criterion) {
         bencher.iter(|| black_box(generate_patterns(&mut store, &space)))
     });
 
-    c.bench_function("reconstruct/figure1", |bencher| {
+    c.bench_function("graph_build/figure1", |bencher| {
         let mut store = prepared.scratch();
         let goal_succ = store.sigma(&goal);
         let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
         let patterns = generate_patterns(&mut store, &space);
         bencher.iter(|| {
-            black_box(generate_terms(
+            black_box(DerivationGraph::build(
+                &prepared, &mut store, &patterns, &env, &weights, &goal,
+            ))
+        })
+    });
+
+    c.bench_function("reconstruct/figure1", |bencher| {
+        let mut store = prepared.scratch();
+        let goal_succ = store.sigma(&goal);
+        let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut store, &space);
+        let graph = DerivationGraph::build(&prepared, &mut store, &patterns, &env, &weights, &goal);
+        bencher.iter(|| black_box(generate_terms(&graph, &env, 10, &GenerateLimits::default())))
+    });
+
+    c.bench_function("reconstruct_unindexed/figure1", |bencher| {
+        let mut store = prepared.scratch();
+        let goal_succ = store.sigma(&goal);
+        let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut store, &space);
+        bencher.iter(|| {
+            black_box(generate_terms_unindexed(
                 &prepared,
                 &mut store,
                 &patterns,

@@ -1,24 +1,50 @@
 //! Regenerates `BENCH_BASELINE.json`: recorded reference numbers for the
-//! `env_scaling` (benches/phases.rs) and `sigma_prepare`
-//! (benches/compression.rs) criterion benchmarks.
+//! `env_scaling` (benches/phases.rs), `sigma_prepare` (benches/compression.rs),
+//! `session_amortization` and `genp_ablation` benchmark workloads.
 //!
 //! The vendored criterion stand-in only prints to stdout, so this binary
 //! re-measures the same workloads with the same scheme (warm-up calibration,
 //! then fixed-size samples of batched iterations, min/median/mean per
 //! iteration) and writes them as JSON that perf PRs can diff against.
 //!
+//! Recorded alongside the production numbers are two "before" workloads kept
+//! alive for the paper's ablations:
+//!
+//! * `session_amortization/query_unindexed_pipeline` — a query answered by
+//!   the pre-derivation-graph pipeline (explore + patterns + unindexed
+//!   reconstruction on every call); the gap to
+//!   `query_on_prepared_session` is what the graph refactor buys.
+//! * `genp_ablation/naive_saturation` vs `optimized_backward_map` — the §5.7
+//!   backward-map optimization at paper scale (the filler-4 environment).
+//!
 //! Run with `cargo run --release -p insynth_bench --bin baseline` from the
 //! workspace root; pass a path to write elsewhere. Numbers are wall-clock and
 //! machine-specific: regenerate the file on the machine you compare on.
+//!
+//! `--check [path]` instead re-measures the two `session_amortization` query
+//! workloads and exits non-zero if the graph pipeline's speedup over the
+//! unindexed pipeline shrank more than 25% against the recorded ratio — the
+//! perf smoke test CI runs on every push. Comparing the *ratio*, with both
+//! sides measured on the current machine, makes the gate independent of how
+//! fast that machine is: absolute nanoseconds recorded here would be
+//! meaningless on a CI runner.
 
 use std::time::{Duration, Instant};
 
 use insynth_bench::{compression_environment, phases_environment};
-use insynth_core::{Engine, PreparedEnv, Query, SynthesisConfig, WeightConfig};
+use insynth_core::{
+    explore, generate_patterns, generate_patterns_naive, generate_terms_unindexed, Engine,
+    ExploreLimits, GenerateLimits, PreparedEnv, Query, SynthesisConfig, WeightConfig,
+};
 use insynth_lambda::Ty;
+use insynth_succinct::TypeStore;
 
 /// Rough wall-clock budget per sample (mirrors the vendored criterion).
 const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Maximum tolerated shrinkage of the graph-vs-unindexed query speedup, as a
+/// factor of the recorded ratio.
+const CHECK_TOLERANCE: f64 = 1.25;
 
 struct Measurement {
     bench: &'static str,
@@ -58,10 +84,51 @@ fn measure<R>(
     (sample_size, iters, min, median, mean)
 }
 
+/// One query through the pre-derivation-graph pipeline (explore + patterns +
+/// unindexed reconstruction), as both the recorded baseline workload and the
+/// `--check` reference measure it. Keeping a single definition is what makes
+/// the recorded and measured ratios comparable.
+fn unindexed_query(
+    prepared: &PreparedEnv,
+    env: &insynth_core::TypeEnv,
+    weights: &WeightConfig,
+    goal: &Ty,
+) -> insynth_core::GenerateOutcome {
+    let mut store = prepared.scratch();
+    let goal_succ = store.sigma(goal);
+    let space = explore(prepared, &mut store, goal_succ, &ExploreLimits::default());
+    let patterns = generate_patterns(&mut store, &space);
+    generate_terms_unindexed(
+        prepared,
+        &mut store,
+        &patterns,
+        env,
+        weights,
+        goal,
+        10,
+        &GenerateLimits::default(),
+    )
+}
+
+/// The query the session benches answer, on the filler-4 paper-scale
+/// environment of `benches/phases.rs`.
+fn amortization_goal() -> Ty {
+    Ty::base("SequenceInputStream")
+}
+
 fn main() {
-    let path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "BENCH_BASELINE.json".to_owned());
+
+    if check {
+        std::process::exit(run_check(&path));
+    }
+
     let mut measurements: Vec<Measurement> = Vec::new();
 
     // env_scaling/synthesize_top10: end-to-end prepare + query, environment
@@ -73,12 +140,111 @@ fn main() {
         let (samples, iters, min, median, mean) = measure(10, || {
             let engine = Engine::new(SynthesisConfig::default());
             let session = engine.prepare(&env);
-            session.query(&Query::new(Ty::base("SequenceInputStream")))
+            session.query(&Query::new(amortization_goal()))
         });
         measurements.push(Measurement {
             bench: "phases",
             group: "env_scaling",
             id: format!("synthesize_top10/{env_size}"),
+            env_size,
+            samples,
+            iters_per_sample: iters,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        });
+    }
+
+    // session_amortization: prepare once vs query on a prepared session
+    // (derivation-graph pipeline, cache warm after the first call) vs the
+    // pre-refactor pipeline re-run per query.
+    {
+        let env = phases_environment(4);
+        let env_size = env.len();
+        let engine = Engine::new(SynthesisConfig::default());
+        let goal = amortization_goal();
+
+        eprintln!("measuring session_amortization/prepare_only/{env_size} …");
+        let (samples, iters, min, median, mean) = measure(10, || engine.prepare(&env));
+        measurements.push(Measurement {
+            bench: "phases",
+            group: "session_amortization",
+            id: "prepare_only".to_owned(),
+            env_size,
+            samples,
+            iters_per_sample: iters,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        });
+
+        eprintln!("measuring session_amortization/query_on_prepared_session/{env_size} …");
+        let session = engine.prepare(&env);
+        let query = Query::new(goal.clone());
+        let (samples, iters, min, median, mean) = measure(10, || session.query(&query));
+        measurements.push(Measurement {
+            bench: "phases",
+            group: "session_amortization",
+            id: "query_on_prepared_session".to_owned(),
+            env_size,
+            samples,
+            iters_per_sample: iters,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        });
+
+        eprintln!("measuring session_amortization/query_unindexed_pipeline/{env_size} …");
+        let weights = WeightConfig::default();
+        let prepared = PreparedEnv::prepare(&env, &weights);
+        let (samples, iters, min, median, mean) =
+            measure(10, || unindexed_query(&prepared, &env, &weights, &goal));
+        measurements.push(Measurement {
+            bench: "phases",
+            group: "session_amortization",
+            id: "query_unindexed_pipeline".to_owned(),
+            env_size,
+            samples,
+            iters_per_sample: iters,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        });
+    }
+
+    // genp_ablation at paper scale: the §5.7 backward map vs the naive
+    // PROD/TRANSFER saturation, on the same explored space.
+    {
+        let env = phases_environment(4);
+        let env_size = env.len();
+        let weights = WeightConfig::default();
+        let prepared = PreparedEnv::prepare(&env, &weights);
+        let mut store = prepared.scratch();
+        let goal_succ = store.sigma(&amortization_goal());
+        let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+
+        eprintln!("measuring genp_ablation/optimized_backward_map/{env_size} …");
+        let (samples, iters, min, median, mean) =
+            measure(10, || generate_patterns(&mut store, &space));
+        measurements.push(Measurement {
+            bench: "phases",
+            group: "genp_ablation",
+            id: "optimized_backward_map".to_owned(),
+            env_size,
+            samples,
+            iters_per_sample: iters,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        });
+
+        eprintln!("measuring genp_ablation/naive_saturation/{env_size} …");
+        let (samples, iters, min, median, mean) =
+            measure(10, || generate_patterns_naive(&mut store, &space));
+        measurements.push(Measurement {
+            bench: "phases",
+            group: "genp_ablation",
+            id: "naive_saturation".to_owned(),
             env_size,
             samples,
             iters_per_sample: iters,
@@ -112,7 +278,7 @@ fn main() {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
-        "  \"_note\": \"Reference timings for the env_scaling and sigma_prepare criterion benchmarks. Wall-clock, machine-specific; regenerate on the machine you compare on with: cargo run --release -p insynth_bench --bin baseline\",\n",
+        "  \"_note\": \"Reference timings for the env_scaling, session_amortization, genp_ablation and sigma_prepare benchmark workloads. Wall-clock, machine-specific; regenerate on the machine you compare on with: cargo run --release -p insynth_bench --bin baseline. CI perf smoke: baseline --check fails when session_amortization/query_on_prepared_session regresses >25% vs this file.\",\n",
     );
     out.push_str(
         "  \"_measurement\": \"per-iteration nanoseconds; warm-up-calibrated samples of batched iterations, as in vendor/criterion (min/median/mean only)\",\n",
@@ -142,5 +308,86 @@ fn main() {
             "  {}/{:<28} min {:>12} ns  median {:>12} ns  mean {:>12} ns",
             m.group, m.id, m.min_ns, m.median_ns, m.mean_ns
         );
+    }
+}
+
+/// Extracts the recorded `median_ns` of a `(group, id)` entry from the
+/// baseline file. The file is written by this binary with one benchmark per
+/// line, so a line-oriented scan is enough — no JSON dependency needed. The
+/// check compares medians rather than means: they are markedly more stable
+/// across re-measurements of the ~27 ms unindexed workload.
+fn recorded_median_ns(content: &str, group: &str, id: &str) -> Option<u128> {
+    let group_needle = format!("\"group\": \"{group}\"");
+    let id_needle = format!("\"id\": \"{id}\"");
+    for line in content.lines() {
+        if line.contains(&group_needle) && line.contains(&id_needle) {
+            let rest = line.split("\"median_ns\": ").nth(1)?;
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            return digits.parse().ok();
+        }
+    }
+    None
+}
+
+/// The `--check` mode: re-measures the graph-pipeline query and the unindexed
+/// reference pipeline on the *current* machine and compares their speedup
+/// ratio against the recorded one. A machine being uniformly slower (a CI
+/// runner) scales both means and leaves the ratio unchanged; only a real
+/// regression of the production query path shrinks it. Returns the process
+/// exit code.
+fn run_check(path: &str) -> i32 {
+    let content = match std::fs::read_to_string(path) {
+        Ok(content) => content,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let recorded_query = recorded_median_ns(
+        &content,
+        "session_amortization",
+        "query_on_prepared_session",
+    );
+    let recorded_unindexed =
+        recorded_median_ns(&content, "session_amortization", "query_unindexed_pipeline");
+    let (Some(recorded_query), Some(recorded_unindexed)) = (recorded_query, recorded_unindexed)
+    else {
+        eprintln!(
+            "{path} is missing the session_amortization query entries; \
+             regenerate it with: cargo run --release -p insynth_bench --bin baseline"
+        );
+        return 2;
+    };
+    let recorded_ratio = recorded_unindexed as f64 / recorded_query.max(1) as f64;
+
+    let env = phases_environment(4);
+    let goal = amortization_goal();
+    let engine = Engine::new(SynthesisConfig::default());
+    let session = engine.prepare(&env);
+    let query = Query::new(goal.clone());
+    eprintln!("measuring session_amortization/query_on_prepared_session …");
+    let (_, _, _, query_median, _) = measure(20, || session.query(&query));
+
+    eprintln!("measuring session_amortization/query_unindexed_pipeline …");
+    let weights = WeightConfig::default();
+    let prepared = PreparedEnv::prepare(&env, &weights);
+    let (_, _, _, unindexed_median, _) =
+        measure(20, || unindexed_query(&prepared, &env, &weights, &goal));
+
+    let measured_ratio = unindexed_median as f64 / query_median.max(1) as f64;
+    let floor = recorded_ratio / CHECK_TOLERANCE;
+    println!(
+        "graph query median {query_median} ns, unindexed reference median {unindexed_median} ns: \
+         speedup {measured_ratio:.2}x (recorded {recorded_ratio:.2}x, floor {floor:.2}x)"
+    );
+    if measured_ratio < floor {
+        println!(
+            "PERF REGRESSION: the graph pipeline's speedup over the unindexed reference \
+             shrank by more than 25% vs the recorded baseline"
+        );
+        1
+    } else {
+        println!("OK: speedup within 25% of the recorded baseline");
+        0
     }
 }

@@ -225,10 +225,13 @@ pub fn run_benchmark(
 /// Runs one benchmark's query `repeats` times against a single prepared
 /// session. Preparation happens exactly once — the per-query times cover only
 /// prove + reconstruction, demonstrating the amortization the session API
-/// exists for.
+/// exists for. The first repetition additionally builds (and caches) the
+/// goal's derivation graph; later repetitions skip exploration and pattern
+/// generation entirely, so expect `query_times[0]` to dominate the rest.
 ///
 /// `repeats` is clamped to at least 1 (the final query's outcome is always
-/// reported); `query_times.len()` equals the clamped count.
+/// reported); `query_times.len()` equals the clamped count. Results are
+/// identical across repetitions, cached or not.
 pub fn run_benchmark_repeated(
     bench: &Benchmark,
     mode: WeightMode,

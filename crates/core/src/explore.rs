@@ -47,6 +47,11 @@ pub struct SearchSpace {
     /// `true` if exploration stopped because a budget ran out rather than
     /// because the space was exhausted.
     pub truncated: bool,
+    /// `true` if the budget that fired was the wall-clock limit. Unlike the
+    /// deterministic `max_requests` cap, a wall-clock truncation is a
+    /// property of the moment, not of the input — results derived from such
+    /// a space must not be cached (see the session's graph cache).
+    pub time_truncated: bool,
 }
 
 /// Runs the exploration phase for the goal type `goal` (already in succinct
@@ -100,6 +105,7 @@ pub fn explore(
         terms: Vec::new(),
         requests_processed: 0,
         truncated: false,
+        time_truncated: false,
     };
 
     while let Some(entry) = queue.pop() {
@@ -110,6 +116,7 @@ pub fn explore(
         if let Some(limit) = limits.time_limit {
             if start.elapsed() > limit {
                 space.truncated = true;
+                space.time_truncated = true;
                 break;
             }
         }

@@ -13,74 +13,68 @@
 //! * [`generate_patterns_naive`] — a direct saturation of the PROD/TRANSFER
 //!   rules, used by tests to cross-check the optimized version.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use insynth_intern::Symbol;
 use insynth_succinct::{
-    prod_rule, transfer_rule, EnvId, Pattern, ReachabilityTerm, ScratchStore, TypeStore,
+    prod_rule, transfer_rule, EnvId, Pattern, PatternIndex, ReachabilityTerm, ScratchStore,
+    TypeStore,
 };
 
 use crate::explore::SearchSpace;
 
-/// The output of the pattern generation phase.
+/// The output of the pattern generation phase: a [`PatternIndex`] from
+/// `(environment, return type)` goals to the patterns that inhabit them.
+///
+/// The derivation graph of the reconstruction pipeline is built directly from
+/// the index (see [`DerivationGraph::build`](crate::DerivationGraph::build));
+/// the thin wrapper here exists so the pattern phase can evolve its
+/// bookkeeping without leaking `insynth_succinct` internals into every
+/// consumer.
 #[derive(Debug, Clone, Default)]
 pub struct PatternSet {
-    patterns: Vec<Pattern>,
-    by_env_ret: HashMap<(EnvId, Symbol), Vec<usize>>,
-    inhabited: HashSet<(Symbol, EnvId)>,
+    index: PatternIndex,
 }
 
 impl PatternSet {
+    /// The underlying goal-indexed pattern table.
+    pub fn index(&self) -> &PatternIndex {
+        &self.index
+    }
+
     /// All patterns, in derivation order.
     pub fn patterns(&self) -> &[Pattern] {
-        &self.patterns
+        self.index.patterns()
     }
 
     /// Number of patterns derived.
     pub fn len(&self) -> usize {
-        self.patterns.len()
+        self.index.len()
     }
 
     /// Returns `true` if no pattern was derived.
     pub fn is_empty(&self) -> bool {
-        self.patterns.is_empty()
+        self.index.is_empty()
     }
 
     /// The patterns usable to fill a hole of base type `ret` in environment
     /// `env` (the lookup performed by GenerateT, Figure 10).
     pub fn lookup(&self, env: EnvId, ret: Symbol) -> impl Iterator<Item = &Pattern> {
-        self.by_env_ret
-            .get(&(env, ret))
-            .into_iter()
-            .flat_map(|v| v.iter())
-            .map(|&i| &self.patterns[i])
+        self.index.lookup(env, ret)
     }
 
     /// Returns `true` if base type `ret` is known to be inhabited in `env`.
     pub fn is_inhabited(&self, ret: Symbol, env: EnvId) -> bool {
-        self.inhabited.contains(&(ret, env))
+        self.index.is_inhabited(ret, env)
     }
 
     /// All `(base type, environment)` pairs known to be inhabited.
     pub fn inhabited_pairs(&self) -> impl Iterator<Item = (Symbol, EnvId)> + '_ {
-        self.inhabited.iter().copied()
+        self.index.inhabited_pairs()
     }
 
-    fn insert(&mut self, pattern: Pattern) {
-        if self
-            .by_env_ret
-            .get(&(pattern.env, pattern.ret))
-            .is_some_and(|idxs| idxs.iter().any(|&i| self.patterns[i] == pattern))
-        {
-            return;
-        }
-        self.inhabited.insert((pattern.ret, pattern.env));
-        let idx = self.patterns.len();
-        self.by_env_ret
-            .entry((pattern.env, pattern.ret))
-            .or_default()
-            .push(idx);
-        self.patterns.push(pattern);
+    fn insert(&mut self, pattern: Pattern) -> bool {
+        self.index.insert(pattern)
     }
 }
 
@@ -144,7 +138,7 @@ pub fn generate_patterns(store: &mut ScratchStore<'_>, space: &SearchSpace) -> P
         produced[idx] = true;
         let term = &terms[idx];
         let key = (term.ret, term.env);
-        let newly_inhabited = !set.inhabited.contains(&key);
+        let newly_inhabited = !set.is_inhabited(term.ret, term.env);
         set.insert(completed_pattern(store, term));
 
         if newly_inhabited {
@@ -176,19 +170,10 @@ pub fn generate_patterns_naive(store: &mut ScratchStore<'_>, space: &SearchSpace
             .iter()
             .filter(|t| t.is_leaf())
             .map(|t| {
-                let p = prod_rule(t);
-                (t.ret, t.env, p)
-            })
-            .map(|(ret, env, p)| {
-                if !set
-                    .by_env_ret
-                    .get(&(p.env, p.ret))
-                    .is_some_and(|idxs| idxs.iter().any(|&i| set.patterns[i] == p))
-                {
+                if set.insert(prod_rule(t)) {
                     changed = true;
                 }
-                set.insert(p);
-                (ret, env)
+                (t.ret, t.env)
             })
             .collect();
 
@@ -235,6 +220,7 @@ mod tests {
     use crate::prepare::PreparedEnv;
     use crate::weights::WeightConfig;
     use insynth_lambda::Ty;
+    use std::collections::HashSet;
 
     /// Prepares the environment, explores towards `goal` and hands the
     /// prepared environment, the query-local store and both pattern sets to

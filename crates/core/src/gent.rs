@@ -1,5 +1,5 @@
-//! The term generation phase (Figure 10): best-first reconstruction of lambda
-//! terms from patterns.
+//! The unindexed reference implementation of the term generation phase
+//! (Figure 10), plus the types shared with the production graph walk.
 //!
 //! The phase maintains a priority queue of *partial expressions* — terms whose
 //! leaves may still be typed holes. The cheapest partial expression is popped,
@@ -7,6 +7,15 @@
 //! (`findFirstHole`), and every pattern/declaration pair that can fill the
 //! hole produces a successor expression. Expressions without holes are
 //! complete snippets and are emitted in weight order.
+//!
+//! [`generate_terms_unindexed`] reconstructs directly from the flat
+//! [`PatternSet`] — re-running σ, interning and `Select` lookups inside the
+//! search loop. The production pipeline instead walks the precomputed
+//! [`DerivationGraph`](crate::DerivationGraph) (see
+//! [`generate_terms`](crate::generate_terms)), which returns byte-identical
+//! results; the implementation here is kept as the oracle for that
+//! equivalence (a property test compares the two on random environments) and
+//! as the measurable "before" of the refactor in the benchmark suite.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -67,8 +76,8 @@ pub struct GenerateOutcome {
 /// a weight-ordered best-first search in a paper-scale environment can grow
 /// into the millions; entries beyond this bound are unreachable within any
 /// interactive time budget, so they are dropped (and the outcome is marked
-/// truncated).
-const MAX_FRONTIER: usize = 2_000_000;
+/// truncated). Shared with the graph walk in [`crate::graph`].
+pub(crate) const MAX_FRONTIER: usize = 2_000_000;
 
 /// A partial expression: a term whose leaves may be typed holes.
 #[derive(Debug, Clone)]
@@ -109,15 +118,19 @@ impl PExpr {
     }
 }
 
-/// Runs best-first term reconstruction.
+/// Runs best-first term reconstruction directly over the flat pattern set —
+/// the pre-derivation-graph reference implementation.
 ///
 /// * `goal` is the desired simple type τo.
 /// * `n` bounds the number of complete terms returned (the paper's `N`).
 ///
 /// The returned terms are in ascending weight order; ties are broken by
-/// discovery order, which makes the output deterministic.
+/// discovery order, which makes the output deterministic. The production
+/// entry point is [`generate_terms`](crate::generate_terms) over a
+/// [`DerivationGraph`](crate::DerivationGraph); it returns byte-identical
+/// results while skipping the per-hole interning this implementation pays.
 #[allow(clippy::too_many_arguments)]
-pub fn generate_terms(
+pub fn generate_terms_unindexed(
     prepared: &PreparedEnv,
     store: &mut ScratchStore<'_>,
     patterns: &PatternSet,
@@ -401,7 +414,7 @@ mod tests {
         let goal_succ = store.sigma(&goal);
         let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
         let patterns = generate_patterns(&mut store, &space);
-        let outcome = generate_terms(
+        let outcome = generate_terms_unindexed(
             &prepared,
             &mut store,
             &patterns,
@@ -579,7 +592,7 @@ mod tests {
         let goal_succ = store.sigma(&goal);
         let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
         let patterns = generate_patterns(&mut store, &space);
-        let outcome = generate_terms(
+        let outcome = generate_terms_unindexed(
             &prepared,
             &mut store,
             &patterns,
@@ -617,7 +630,7 @@ mod tests {
         let goal_succ = store.sigma(&goal);
         let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
         let patterns = generate_patterns(&mut store, &space);
-        let outcome = generate_terms(
+        let outcome = generate_terms_unindexed(
             &prepared,
             &mut store,
             &patterns,
@@ -653,7 +666,7 @@ mod tests {
         let goal_succ = store.sigma(&goal);
         let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
         let patterns = generate_patterns(&mut store, &space);
-        let outcome = generate_terms(
+        let outcome = generate_terms_unindexed(
             &prepared,
             &mut store,
             &patterns,

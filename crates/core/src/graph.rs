@@ -1,0 +1,874 @@
+//! The derivation graph: a pattern-indexed, reconstruction-ready view of the
+//! derivable space.
+//!
+//! The pattern generation phase proves *which* `(environment, return type)`
+//! goals are inhabited; reconstruction (Figure 10) then repeatedly asks how a
+//! hole at such a goal can be filled. The flat pattern table answers that
+//! query with hashing, interning and `Select` lookups in the innermost search
+//! loop. A [`DerivationGraph`] moves all of that work out of the loop:
+//!
+//! * **nodes** are the goals of the [`PatternIndex`](insynth_succinct::PatternIndex)
+//!   produced by [`generate_patterns`](crate::generate_patterns);
+//! * **edges** are weighted applications: for every pattern of a goal, the
+//!   `Select`-resolved declarations that realize it, each carrying its weight
+//!   and the hole types of its arguments (pre-uncurried, pre-σ-lowered);
+//! * a read-only **environment union table** resolves the environment at a
+//!   hole without touching (or locking) any interner.
+//!
+//! [`generate_terms`] is then a pure best-first walk over the graph: no σ, no
+//! interning, no string cloning, and two prunings the flat pipeline cannot do:
+//!
+//! * **dead-hole pruning** — a successor containing a hole whose goal has no
+//!   node can never complete and is dropped at creation (with an exhaustive
+//!   exploration every edge's holes are alive by construction, so this guards
+//!   the truncated-prover-budget case);
+//! * **branch-and-bound** — once `n` complete candidates are enqueued, any
+//!   expression heavier than the current n-th best candidate is dropped
+//!   (admissible because weights only grow along an expansion; disabled when
+//!   a negative [`Declaration::with_weight`](crate::Declaration::with_weight)
+//!   override breaks that monotonicity).
+//!
+//! Both prunings only discard expressions that could never be emitted, so the
+//! returned terms are byte-identical to the unindexed reference walk
+//! ([`generate_terms_unindexed`](crate::generate_terms_unindexed)); a property
+//! test asserts exactly that.
+//!
+//! A graph is self-contained (it no longer borrows the per-query
+//! [`ScratchStore`]), which is what lets a [`Session`](crate::Session) cache
+//! it and answer repeated queries without re-running exploration or pattern
+//! generation.
+//!
+//! # Example
+//!
+//! ```
+//! use insynth_core::{
+//!     explore, generate_patterns, generate_terms, Declaration, DeclKind, DerivationGraph,
+//!     ExploreLimits, GenerateLimits, PreparedEnv, TypeEnv, WeightConfig,
+//! };
+//! use insynth_lambda::Ty;
+//! use insynth_succinct::TypeStore;
+//!
+//! let env: TypeEnv = vec![
+//!     Declaration::simple("name", Ty::base("String"), DeclKind::Local),
+//!     Declaration::simple(
+//!         "mkFile",
+//!         Ty::fun(vec![Ty::base("String")], Ty::base("File")),
+//!         DeclKind::Imported,
+//!     ),
+//! ]
+//! .into_iter()
+//! .collect();
+//! let weights = WeightConfig::default();
+//! let prepared = PreparedEnv::prepare(&env, &weights);
+//! let goal = Ty::base("File");
+//! let mut store = prepared.scratch();
+//! let goal_succ = store.sigma(&goal);
+//! let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+//! let patterns = generate_patterns(&mut store, &space);
+//! let graph = DerivationGraph::build(&prepared, &mut store, &patterns, &env, &weights, &goal);
+//! let outcome = generate_terms(&graph, &env, 3, &GenerateLimits::default());
+//! assert_eq!(outcome.terms[0].term.to_string(), "mkFile(name)");
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use insynth_intern::Symbol;
+use insynth_lambda::{Param, Term, Ty};
+use insynth_succinct::{EnvId, ScratchStore, SuccinctTyId, TypeStore};
+
+use crate::decl::TypeEnv;
+use crate::genp::PatternSet;
+use crate::gent::{GenerateLimits, GenerateOutcome, RankedTerm, MAX_FRONTIER};
+use crate::prepare::PreparedEnv;
+use crate::weights::{Weight, WeightConfig};
+
+/// Index of an interned hole type in a [`DerivationGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HoleTyId(u32);
+
+impl HoleTyId {
+    fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interned hole type: a simple type together with everything the walk
+/// needs to know about it, computed once at graph build time.
+#[derive(Debug)]
+struct HoleTy {
+    /// The simple type itself (cloned into fresh binder parameters).
+    ty: Ty,
+    /// The final base return type (the goal a hole of this type asks for).
+    ret: Symbol,
+    /// Uncurried argument types, in order, duplicates kept — the fresh lambda
+    /// binders a hole of this type introduces.
+    args: Arc<[HoleTyId]>,
+    /// The σ image of the type (for matching against edge `wanted` types).
+    succ: SuccinctTyId,
+    /// Sorted, de-duplicated σ images of `args` (the environment extension a
+    /// hole of this type causes).
+    arg_succs: Vec<SuccinctTyId>,
+}
+
+/// One declaration that can head an expansion.
+#[derive(Debug)]
+struct DeclEdge {
+    /// Index into the original [`TypeEnv`].
+    decl: u32,
+    /// The declaration's weight under the graph's weight configuration.
+    weight: Weight,
+    /// Hole types of the declaration's uncurried arguments.
+    args: Arc<[HoleTyId]>,
+}
+
+/// One pattern of a goal: the succinct type an expansion head must have, plus
+/// the declarations `Select` resolves it to. Lambda binders in scope are
+/// matched against `wanted` at walk time (they are not known at build time).
+#[derive(Debug)]
+struct Variant {
+    wanted: SuccinctTyId,
+    edges: Vec<DeclEdge>,
+}
+
+/// A goal node: the expansions of a hole at one `(environment, return type)`
+/// pair, in derivation order.
+#[derive(Debug, Default)]
+struct Node {
+    variants: Vec<Variant>,
+}
+
+/// The pattern-indexed derivation graph for one explored goal.
+///
+/// Built once per (program point, goal, prover budget) — see
+/// [`DerivationGraph::build`] — and walked by [`generate_terms`]. The graph is
+/// immutable, owns no borrows, and is `Send + Sync`, so sessions cache it
+/// behind an `Arc` and serve concurrent queries from it.
+#[derive(Debug)]
+pub struct DerivationGraph {
+    /// Goal nodes, in [`PatternIndex`](insynth_succinct::PatternIndex) goal order.
+    nodes: Vec<Node>,
+    goal_ids: HashMap<(EnvId, Symbol), u32>,
+    tys: Vec<HoleTy>,
+    ty_ids: HashMap<Ty, HoleTyId>,
+    /// Environment member lists (base store + query overlay), indexed by raw
+    /// `EnvId`, each sorted ascending — the read-only union table. The same
+    /// `Arc` backs the id-indexed table and the reverse-lookup keys.
+    envs: Vec<Arc<[SuccinctTyId]>>,
+    env_ids: HashMap<Arc<[SuccinctTyId]>, EnvId>,
+    init_env: EnvId,
+    root_ty: HoleTyId,
+    lambda_weight: Weight,
+    /// `true` if every weight the walk can add is non-negative; only then is
+    /// branch-and-bound pruning admissible.
+    monotone: bool,
+}
+
+impl DerivationGraph {
+    /// Builds the derivation graph for `goal` from a generated pattern set.
+    ///
+    /// `store` must be the scratch overlay the patterns were derived in (the
+    /// graph snapshots its environment table and interns the few succinct
+    /// types the patterns imply). After the build the graph is self-contained;
+    /// the scratch can be dropped.
+    pub fn build(
+        prepared: &PreparedEnv,
+        store: &mut ScratchStore<'_>,
+        patterns: &PatternSet,
+        env: &TypeEnv,
+        weights: &WeightConfig,
+        goal: &Ty,
+    ) -> DerivationGraph {
+        let mut tys: Vec<HoleTy> = Vec::new();
+        let mut ty_ids: HashMap<Ty, HoleTyId> = HashMap::new();
+
+        // Hole types of each declaration's uncurried arguments, shared by
+        // every edge that declaration heads.
+        let mut decl_args: Vec<Option<Arc<[HoleTyId]>>> = vec![None; env.len()];
+
+        let index = patterns.index();
+        let mut goal_ids = HashMap::with_capacity(index.goal_count());
+        let mut nodes = Vec::with_capacity(index.goal_count());
+        for goal_id in index.goals() {
+            let (goal_env, ret) = index.goal_key(goal_id);
+            goal_ids.insert((goal_env, ret), nodes.len() as u32);
+            let mut variants = Vec::new();
+            for pattern in index.patterns_of(goal_id) {
+                let wanted = store.mk_ty(pattern.args.clone(), ret);
+                let mut edges = Vec::new();
+                for &decl_idx in prepared.select(wanted) {
+                    if decl_args[decl_idx].is_none() {
+                        let (rho, _) = env.decls()[decl_idx].ty.uncurry();
+                        let args: Vec<HoleTyId> = rho
+                            .iter()
+                            .map(|t| intern_hole_ty(store, &mut tys, &mut ty_ids, t))
+                            .collect();
+                        decl_args[decl_idx] = Some(args.into());
+                    }
+                    edges.push(DeclEdge {
+                        decl: decl_idx as u32,
+                        weight: prepared.decl_weight[decl_idx],
+                        args: decl_args[decl_idx].clone().expect("filled above"),
+                    });
+                }
+                variants.push(Variant { wanted, edges });
+            }
+            nodes.push(Node { variants });
+        }
+
+        let root_ty = intern_hole_ty(store, &mut tys, &mut ty_ids, goal);
+
+        // Snapshot the environment table after all interning is done, so the
+        // union lookup sees every environment the walk can encounter.
+        let env_count = store.env_count();
+        let mut envs = Vec::with_capacity(env_count);
+        let mut env_ids = HashMap::with_capacity(env_count);
+        for raw in 0..env_count {
+            let id = EnvId::from_index(raw as u32);
+            let members: Arc<[SuccinctTyId]> = store.env_types(id).to_vec().into();
+            env_ids.insert(Arc::clone(&members), id);
+            envs.push(members);
+        }
+
+        let lambda_weight = weights.lambda_weight();
+        let monotone = lambda_weight.is_non_negative()
+            && prepared.decl_weight.iter().all(|w| w.is_non_negative());
+
+        DerivationGraph {
+            nodes,
+            goal_ids,
+            tys,
+            ty_ids,
+            envs,
+            env_ids,
+            init_env: prepared.init_env,
+            root_ty,
+            lambda_weight,
+            monotone,
+        }
+    }
+
+    /// Number of goal nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of declaration edges across all nodes.
+    pub fn edge_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.variants.iter())
+            .map(|v| v.edges.len())
+            .sum()
+    }
+
+    /// Number of distinct hole types interned.
+    pub fn hole_ty_count(&self) -> usize {
+        self.tys.len()
+    }
+
+    /// The interned id of a hole type, if the graph knows it.
+    pub fn hole_ty(&self, ty: &Ty) -> Option<HoleTyId> {
+        self.ty_ids.get(ty).copied()
+    }
+
+    /// Resolves the goal of a hole of type `ty` in context environment `ctx`:
+    /// the environment at the hole (context extended by the hole's own fresh
+    /// binders) and its node, or `None` if the goal is uninhabited — in which
+    /// case no expression containing such a hole can ever complete.
+    fn resolve(&self, ctx: EnvId, ty: HoleTyId) -> Option<(EnvId, u32)> {
+        let info = &self.tys[ty.as_usize()];
+        let members = &self.envs[ctx.as_usize()];
+        let env = if info
+            .arg_succs
+            .iter()
+            .all(|t| members.binary_search(t).is_ok())
+        {
+            ctx
+        } else {
+            let mut merged = members.to_vec();
+            merged.extend_from_slice(&info.arg_succs);
+            merged.sort_unstable();
+            merged.dedup();
+            *self.env_ids.get(merged.as_slice())?
+        };
+        let node = *self.goal_ids.get(&(env, info.ret))?;
+        Some((env, node))
+    }
+}
+
+/// Recursively interns a simple type and its uncurried arguments as hole
+/// types.
+fn intern_hole_ty(
+    store: &mut ScratchStore<'_>,
+    tys: &mut Vec<HoleTy>,
+    ty_ids: &mut HashMap<Ty, HoleTyId>,
+    ty: &Ty,
+) -> HoleTyId {
+    if let Some(&id) = ty_ids.get(ty) {
+        return id;
+    }
+    let (arg_tys, _) = ty.uncurry();
+    let args: Vec<HoleTyId> = arg_tys
+        .iter()
+        .map(|a| intern_hole_ty(store, tys, ty_ids, a))
+        .collect();
+    let succ = store.sigma(ty);
+    let ret = store.ret_of(succ);
+    let mut arg_succs: Vec<SuccinctTyId> = args.iter().map(|&a| tys[a.as_usize()].succ).collect();
+    arg_succs.sort_unstable();
+    arg_succs.dedup();
+    let id = HoleTyId(tys.len() as u32);
+    tys.push(HoleTy {
+        ty: ty.clone(),
+        ret,
+        args: args.into(),
+        succ,
+        arg_succs,
+    });
+    ty_ids.insert(ty.clone(), id);
+    id
+}
+
+/// One memoized pattern of a goal node in a concrete environment: the
+/// succinct head type binders are matched against, plus the surviving
+/// (non-dead) declaration-headed successors.
+struct CachedVariant {
+    wanted: SuccinctTyId,
+    edges: Vec<(Head, Weight, Arc<[HoleTyId]>)>,
+}
+
+/// The head of a partial-expression node.
+#[derive(Debug, Clone)]
+enum Head {
+    /// A declaration, by index into the original environment.
+    Decl(u32),
+    /// A lambda binder in scope, by name.
+    Binder(Rc<str>),
+}
+
+/// A partial expression over the graph. Subtrees are shared (`Rc`): replacing
+/// the first hole rebuilds only the spine above it.
+#[derive(Debug)]
+enum PExpr {
+    /// A typed hole together with the environment of its context (the initial
+    /// environment extended by every binder on the path to the hole).
+    Hole { ty: HoleTyId, ctx: EnvId },
+    /// An application node `λ params . head(args…)`.
+    Node {
+        params: Rc<[(Param, HoleTyId)]>,
+        head: Head,
+        args: Vec<Rc<PExpr>>,
+    },
+}
+
+/// Finds the first (leftmost, outermost-first) hole; `scope` is left holding
+/// the binders on the path to it, and the returned depth counts its `Node`
+/// ancestors.
+fn find_first_hole<'a>(
+    expr: &'a PExpr,
+    scope: &mut Vec<&'a (Param, HoleTyId)>,
+    depth: u32,
+) -> Option<(HoleTyId, EnvId, u32)> {
+    match expr {
+        PExpr::Hole { ty, ctx } => Some((*ty, *ctx, depth)),
+        PExpr::Node { params, args, .. } => {
+            let mark = scope.len();
+            scope.extend(params.iter());
+            for a in args {
+                if let Some(found) = find_first_hole(a, scope, depth + 1) {
+                    return Some(found);
+                }
+            }
+            scope.truncate(mark);
+            None
+        }
+    }
+}
+
+/// Replaces the first hole of `expr` by `replacement`, sharing every
+/// untouched subtree.
+fn replace_first_hole(expr: &Rc<PExpr>, replacement: &Rc<PExpr>, done: &mut bool) -> Rc<PExpr> {
+    if *done {
+        return Rc::clone(expr);
+    }
+    match &**expr {
+        PExpr::Hole { .. } => {
+            *done = true;
+            Rc::clone(replacement)
+        }
+        PExpr::Node { params, head, args } => {
+            let new_args: Vec<Rc<PExpr>> = args
+                .iter()
+                .map(|a| replace_first_hole(a, replacement, done))
+                .collect();
+            Rc::new(PExpr::Node {
+                params: Rc::clone(params),
+                head: head.clone(),
+                args: new_args,
+            })
+        }
+    }
+}
+
+/// Converts a hole-free expression to a term, resolving declaration heads
+/// against the original environment.
+fn to_term(expr: &PExpr, env: &TypeEnv) -> Term {
+    match expr {
+        PExpr::Hole { .. } => unreachable!("complete expressions have no holes"),
+        PExpr::Node { params, head, args } => Term {
+            params: params.iter().map(|(p, _)| p.clone()).collect(),
+            head: match head {
+                Head::Decl(i) => env.decls()[*i as usize].name.clone(),
+                Head::Binder(name) => name.to_string(),
+            },
+            args: args.iter().map(|a| to_term(a, env)).collect(),
+        },
+    }
+}
+
+/// Priority-queue entry: lighter partial expressions first, FIFO among
+/// equals. `holes` and `depth` are maintained incrementally so completeness
+/// and depth checks are O(1).
+struct Entry {
+    weight: Reverse<Weight>,
+    seq: Reverse<u64>,
+    expr: Rc<PExpr>,
+    holes: u32,
+    depth: u32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.weight == other.weight && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.weight, self.seq).cmp(&(other.weight, other.seq))
+    }
+}
+
+/// Runs best-first term reconstruction over a derivation graph.
+///
+/// The returned terms are byte-identical (same terms, same weights, same
+/// order) to what [`generate_terms_unindexed`](crate::generate_terms_unindexed)
+/// produces from the same pattern set; the graph walk only avoids work that
+/// cannot influence the output. `outcome.steps` counts useful queue pops and
+/// is therefore typically much smaller than the unindexed walk's.
+pub fn generate_terms(
+    graph: &DerivationGraph,
+    env: &TypeEnv,
+    n: usize,
+    limits: &GenerateLimits,
+) -> GenerateOutcome {
+    let start = Instant::now();
+    let mut outcome = GenerateOutcome::default();
+    if n == 0 {
+        return outcome;
+    }
+
+    let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut seq = 0u64;
+    queue.push(Entry {
+        weight: Reverse(Weight::ZERO),
+        seq: Reverse(seq),
+        expr: Rc::new(PExpr::Hole {
+            ty: graph.root_ty,
+            ctx: graph.init_env,
+        }),
+        holes: 1,
+        depth: 1,
+    });
+
+    // Goal resolution memo: holes with the same (context, type) repeat
+    // constantly during the walk.
+    let mut memo: HashMap<(EnvId, HoleTyId), Option<(EnvId, u32)>> = HashMap::new();
+    // Expansion memo: the declaration-headed successors of a goal node in a
+    // given environment, with dead edges already filtered out. Binder-headed
+    // successors depend on the scope at the hole and are enumerated per pop.
+    let mut expansions: HashMap<(EnvId, u32), Rc<Vec<CachedVariant>>> = HashMap::new();
+    // Branch-and-bound: the weights of the n best complete candidates
+    // enqueued so far (max-heap). Once full, anything strictly heavier than
+    // the top can never be emitted.
+    let mut candidates: BinaryHeap<Weight> = BinaryHeap::new();
+
+    'search: while let Some(entry) = queue.pop() {
+        if outcome.terms.len() >= n {
+            break;
+        }
+        if outcome.steps >= limits.max_steps {
+            outcome.truncated = true;
+            break;
+        }
+        if let Some(limit) = limits.time_limit {
+            if start.elapsed() > limit {
+                outcome.truncated = true;
+                break;
+            }
+        }
+        outcome.steps += 1;
+
+        if entry.holes == 0 {
+            outcome.terms.push(RankedTerm {
+                term: to_term(&entry.expr, env),
+                weight: entry.weight.0,
+            });
+            continue;
+        }
+
+        // A partial expression heavier than the n-th best complete candidate
+        // cannot contribute output; skip its expansion.
+        if graph.monotone && candidates.len() >= n {
+            if let Some(&bound) = candidates.peek() {
+                if entry.weight.0 > bound {
+                    continue;
+                }
+            }
+        }
+
+        let mut scope: Vec<&(Param, HoleTyId)> = Vec::new();
+        let (hole_ty, ctx, ancestors) = find_first_hole(&entry.expr, &mut scope, 0)
+            .expect("entry with holes > 0 contains a hole");
+        let resolved = *memo
+            .entry((ctx, hole_ty))
+            .or_insert_with(|| graph.resolve(ctx, hole_ty));
+        let Some((node_env, node)) = resolved else {
+            // Dead hole (only reachable from the root; successors containing
+            // dead holes are pruned at creation).
+            continue;
+        };
+
+        let info = &graph.tys[hole_ty.as_usize()];
+        let fresh: Vec<(Param, HoleTyId)> = info
+            .args
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let ty = graph.tys[a.as_usize()].ty.clone();
+                (Param::new(format!("var{}", scope.len() + i + 1), ty), a)
+            })
+            .collect();
+        let params_weight = Weight::new(graph.lambda_weight.value() * fresh.len() as f64);
+        let params: Rc<[(Param, HoleTyId)]> = fresh.into();
+
+        // Declaration-headed successors of this (environment, goal) pair,
+        // dead-checked once and reused by every later pop of the same pair.
+        let cached = match expansions.get(&(node_env, node)) {
+            Some(cached) => Rc::clone(cached),
+            None => {
+                let built: Vec<CachedVariant> = graph.nodes[node as usize]
+                    .variants
+                    .iter()
+                    .map(|variant| CachedVariant {
+                        wanted: variant.wanted,
+                        edges: variant
+                            .edges
+                            .iter()
+                            .filter(|edge| {
+                                // Dead-hole pruning: an edge whose argument
+                                // goals include an uninhabited one can never
+                                // complete, in this environment or any
+                                // extension reached through this hole.
+                                edge.args.iter().all(|&a| {
+                                    memo.entry((node_env, a))
+                                        .or_insert_with(|| graph.resolve(node_env, a))
+                                        .is_some()
+                                })
+                            })
+                            .map(|edge| (Head::Decl(edge.decl), edge.weight, edge.args.clone()))
+                            .collect(),
+                    })
+                    .collect();
+                let built = Rc::new(built);
+                expansions.insert((node_env, node), Rc::clone(&built));
+                built
+            }
+        };
+
+        let mut produced = 0usize;
+        'expand: for variant in cached.iter() {
+            // Declaration heads first, then binders in scope order — the
+            // enumeration order of the unindexed walk.
+            let decl_heads = variant
+                .edges
+                .iter()
+                .map(|(head, weight, args)| (head.clone(), *weight, args.clone()));
+            let binder_heads = scope
+                .iter()
+                .copied()
+                .chain(params.iter())
+                .filter(|(_, ty)| graph.tys[ty.as_usize()].succ == variant.wanted)
+                .map(|(param, ty)| {
+                    (
+                        Head::Binder(Rc::from(param.name.as_str())),
+                        graph.lambda_weight,
+                        Arc::clone(&graph.tys[ty.as_usize()].args),
+                    )
+                });
+
+            for (head, head_weight, arg_tys) in decl_heads.chain(binder_heads) {
+                produced += 1;
+                // Re-check the wall-clock budget periodically so one step
+                // cannot overshoot the reconstruction limit.
+                if produced.is_multiple_of(128) {
+                    if let Some(limit) = limits.time_limit {
+                        if start.elapsed() > limit {
+                            outcome.truncated = true;
+                            break 'search;
+                        }
+                    }
+                }
+                if queue.len() >= MAX_FRONTIER {
+                    // Stop enqueueing for this pop only — like the unindexed
+                    // walk, the queue keeps draining so completions already
+                    // enqueued are still emitted.
+                    outcome.truncated = true;
+                    break 'expand;
+                }
+
+                let new_weight = entry.weight.0.plus(params_weight.plus(head_weight));
+                if graph.monotone && candidates.len() >= n {
+                    if let Some(&bound) = candidates.peek() {
+                        if new_weight > bound {
+                            continue;
+                        }
+                    }
+                }
+
+                // Depth: the only lengthened path runs through the hole.
+                let replacement_depth = if arg_tys.is_empty() { 1 } else { 2 };
+                let new_depth = entry.depth.max(ancestors + replacement_depth);
+                if let Some(max_depth) = limits.max_depth {
+                    if new_depth as usize > max_depth {
+                        continue;
+                    }
+                }
+
+                // Dead-hole pruning for binder-headed successors (declaration
+                // edges were checked when the cached expansion was built).
+                if matches!(head, Head::Binder(_)) {
+                    let dead = arg_tys.iter().any(|&a| {
+                        memo.entry((node_env, a))
+                            .or_insert_with(|| graph.resolve(node_env, a))
+                            .is_none()
+                    });
+                    if dead {
+                        continue;
+                    }
+                }
+
+                let new_holes = entry.holes - 1 + arg_tys.len() as u32;
+                if graph.monotone && new_holes == 0 {
+                    if candidates.len() < n {
+                        candidates.push(new_weight);
+                    } else if let Some(mut top) = candidates.peek_mut() {
+                        if new_weight < *top {
+                            *top = new_weight;
+                        }
+                    }
+                }
+
+                let replacement = Rc::new(PExpr::Node {
+                    params: Rc::clone(&params),
+                    head,
+                    args: arg_tys
+                        .iter()
+                        .map(|&a| {
+                            Rc::new(PExpr::Hole {
+                                ty: a,
+                                ctx: node_env,
+                            })
+                        })
+                        .collect(),
+                });
+                let mut done = false;
+                let new_expr = replace_first_hole(&entry.expr, &replacement, &mut done);
+                debug_assert!(done, "expansion must replace the located hole");
+                seq += 1;
+                queue.push(Entry {
+                    weight: Reverse(new_weight),
+                    seq: Reverse(seq),
+                    expr: new_expr,
+                    holes: new_holes,
+                    depth: new_depth,
+                });
+            }
+        }
+    }
+
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decl::{DeclKind, Declaration};
+    use crate::explore::{explore, ExploreLimits};
+    use crate::genp::generate_patterns;
+    use crate::gent::generate_terms_unindexed;
+
+    /// Runs both reconstruction paths on the same pattern set and returns
+    /// `(graph walk, unindexed reference, graph)`.
+    fn both_walks(
+        decls: Vec<Declaration>,
+        goal: Ty,
+        n: usize,
+        limits: &GenerateLimits,
+    ) -> (GenerateOutcome, GenerateOutcome, DerivationGraph) {
+        let env: TypeEnv = decls.into_iter().collect();
+        let weights = WeightConfig::default();
+        let prepared = PreparedEnv::prepare(&env, &weights);
+        let mut store = prepared.scratch();
+        let goal_succ = store.sigma(&goal);
+        let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut store, &space);
+        let reference = generate_terms_unindexed(
+            &prepared, &mut store, &patterns, &env, &weights, &goal, n, limits,
+        );
+        let graph = DerivationGraph::build(&prepared, &mut store, &patterns, &env, &weights, &goal);
+        let walked = generate_terms(&graph, &env, n, limits);
+        (walked, reference, graph)
+    }
+
+    fn rendered(outcome: &GenerateOutcome) -> Vec<(String, u64)> {
+        outcome
+            .terms
+            .iter()
+            .map(|r| (r.term.to_string(), r.weight.value().to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn graph_walk_matches_reference_on_higher_order_goal() {
+        let (walked, reference, graph) = both_walks(
+            vec![
+                Declaration::new(
+                    "traverser",
+                    Ty::fun(
+                        vec![Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean"))],
+                        Ty::base("Traverser"),
+                    ),
+                    DeclKind::Imported,
+                ),
+                Declaration::new(
+                    "p",
+                    Ty::fun(vec![Ty::base("Tree")], Ty::base("Boolean")),
+                    DeclKind::Local,
+                ),
+            ],
+            Ty::base("Traverser"),
+            5,
+            &GenerateLimits::default(),
+        );
+        assert_eq!(rendered(&walked), rendered(&reference));
+        assert_eq!(
+            walked.terms[0].term.to_string(),
+            "traverser(var1 => p(var1))"
+        );
+        assert!(graph.node_count() >= 2);
+        assert!(graph.edge_count() >= 2);
+    }
+
+    #[test]
+    fn negative_weight_overrides_disable_pruning_but_keep_results_identical() {
+        // A negative override makes weights non-monotone along expansions;
+        // the walk must detect that, fall back to unpruned search and still
+        // agree with the reference byte for byte.
+        let decls = vec![
+            Declaration::new("a", Ty::base("A"), DeclKind::Local),
+            Declaration::new(
+                "s",
+                Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+                DeclKind::Local,
+            )
+            .with_weight(-2.0),
+        ];
+        let limits = GenerateLimits {
+            max_depth: Some(4),
+            ..GenerateLimits::default()
+        };
+        let (walked, reference, graph) = both_walks(decls, Ty::base("A"), 8, &limits);
+        assert!(!graph.monotone);
+        assert_eq!(rendered(&walked), rendered(&reference));
+    }
+
+    #[test]
+    fn uninhabited_branches_never_become_graph_edges() {
+        // `f : B -> A` is a dead end (B uninhabited); `g : C -> A` with
+        // `c : C` works. No pattern is derived for the f branch, so `Select`
+        // never resolves it into an edge — the graph only contains the g
+        // chain, and the walk agrees with the reference byte for byte.
+        let decls = vec![
+            Declaration::new(
+                "f",
+                Ty::fun(vec![Ty::base("B")], Ty::base("A")),
+                DeclKind::Local,
+            ),
+            Declaration::new(
+                "g",
+                Ty::fun(vec![Ty::base("C")], Ty::base("A")),
+                DeclKind::Local,
+            ),
+            Declaration::new("c", Ty::base("C"), DeclKind::Local),
+        ];
+        let (walked, reference, graph) =
+            both_walks(decls, Ty::base("A"), 10, &GenerateLimits::default());
+        assert_eq!(rendered(&walked), rendered(&reference));
+        assert_eq!(walked.terms.len(), 1);
+        assert_eq!(walked.terms[0].term.to_string(), "g(c)");
+        // Two goal nodes (A and C), one edge each: g for A, c for C. The f
+        // declaration appears nowhere.
+        assert_eq!(graph.node_count(), 2);
+        assert_eq!(graph.edge_count(), 2);
+        // The pruned walk never pops more than the reference.
+        assert!(walked.steps <= reference.steps);
+    }
+
+    #[test]
+    fn zero_n_short_circuits() {
+        let (walked, _, _) = both_walks(
+            vec![Declaration::new("a", Ty::base("A"), DeclKind::Local)],
+            Ty::base("A"),
+            0,
+            &GenerateLimits::default(),
+        );
+        assert!(walked.terms.is_empty());
+        assert_eq!(walked.steps, 0);
+    }
+
+    #[test]
+    fn hole_type_interner_is_shared_across_edges() {
+        let (_, _, graph) = both_walks(
+            vec![
+                Declaration::new("x", Ty::base("Int"), DeclKind::Local),
+                Declaration::new(
+                    "f",
+                    Ty::fun(vec![Ty::base("Int"), Ty::base("Int")], Ty::base("Out")),
+                    DeclKind::Local,
+                ),
+                Declaration::new(
+                    "g",
+                    Ty::fun(vec![Ty::base("Int")], Ty::base("Out")),
+                    DeclKind::Local,
+                ),
+            ],
+            Ty::base("Out"),
+            4,
+            &GenerateLimits::default(),
+        );
+        // Int, Out and the goal are each interned once.
+        assert!(graph.hole_ty(&Ty::base("Int")).is_some());
+        assert!(graph.hole_ty(&Ty::base("Missing")).is_none());
+        assert!(graph.hole_ty_count() <= 3);
+    }
+}

@@ -5,20 +5,35 @@
 //! expressions of type τ in long normal form:
 //!
 //! 1. **Prepare** (σ): declarations are lowered into succinct types and the
-//!    `Select` / weight indices are built ([`PreparedEnv`]).
+//!    `Select` / weight indices are built ([`PreparedEnv`]). Runs once per
+//!    program point.
 //! 2. **Explore** (Figure 7): backward type reachability from the goal,
 //!    weight-ordered ([`explore`]).
 //! 3. **GenerateP** (Figure 9): succinct patterns are derived from the
-//!    explored space ([`generate_patterns`]), using the backward-map
-//!    optimization of section 5.7.
-//! 4. **GenerateT** (Figure 10): best-first reconstruction of concrete lambda
-//!    terms from the patterns ([`generate_terms`]).
+//!    explored space ([`generate_patterns`]) using the backward-map
+//!    optimization of section 5.7, and indexed by `(environment, return
+//!    type)` goal through a
+//!    [`PatternIndex`](insynth_succinct::PatternIndex).
+//! 4. **Graph** : the indexed patterns are compiled into a [`DerivationGraph`]
+//!    — goals become nodes, and every `Select`-resolved declaration that
+//!    realizes a pattern becomes a weighted edge carrying its pre-lowered
+//!    argument types. The graph is self-contained and cached on the
+//!    [`Session`], so repeated queries for the same goal skip phases 2–4
+//!    entirely.
+//! 5. **GenerateT** (Figure 10): best-first reconstruction of concrete lambda
+//!    terms as a pure walk over the graph ([`generate_terms`]): no interning
+//!    or `Select` lookups in the search loop, dead holes pruned at creation,
+//!    and branch-and-bound against the current n-th best candidate.
+//!    [`generate_terms_unindexed`] is the pre-graph reference walk over the
+//!    flat [`PatternSet`]; it returns byte-identical results and serves as
+//!    the equivalence oracle and ablation baseline.
 //!
 //! The public entry point is the session API: an [`Engine`] holds the
 //! configuration, [`Engine::prepare`] runs phase 1 once per program point and
 //! returns a `Send + Sync` [`Session`], and [`Session::query`] runs phases
-//! 2-4 for each [`Query`] without touching shared state — so one prepared
-//! point can serve many queries, concurrently. [`Engine::query_batch`] runs
+//! 2-5 for each [`Query`] without touching shared state — so one prepared
+//! point can serve many queries, concurrently, and each session memoizes the
+//! derivation graphs its queries build. [`Engine::query_batch`] runs
 //! requests against several program points at once, preparing each point once
 //! and fanning queries out across a thread pool. [`rcn`] is the unoptimized
 //! reference implementation of Figure 4 used as a test oracle; the
@@ -54,6 +69,7 @@ mod decl;
 mod explore;
 mod genp;
 mod gent;
+mod graph;
 mod prepare;
 mod rcn;
 mod session;
@@ -66,7 +82,8 @@ pub use coerce::{
 pub use decl::{DeclKind, Declaration, TypeEnv};
 pub use explore::{explore, ExploreLimits, SearchSpace};
 pub use genp::{generate_patterns, generate_patterns_naive, PatternSet};
-pub use gent::{generate_terms, GenerateLimits, GenerateOutcome, RankedTerm};
+pub use gent::{generate_terms_unindexed, GenerateLimits, GenerateOutcome, RankedTerm};
+pub use graph::{generate_terms, DerivationGraph, HoleTyId};
 pub use prepare::PreparedEnv;
 pub use rcn::{is_inhabited_ref, rcn};
 pub use session::{BatchRequest, Engine, Query, Session};

@@ -44,8 +44,9 @@
 //! assert!(session.query(&Query::new(Ty::base("String"))).snippets.len() > 0);
 //! ```
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -55,7 +56,8 @@ use crate::coerce::{count_coercions, erase_coercions};
 use crate::decl::TypeEnv;
 use crate::explore::{explore, ExploreLimits};
 use crate::genp::generate_patterns;
-use crate::gent::{generate_terms, GenerateLimits};
+use crate::gent::GenerateLimits;
+use crate::graph::{generate_terms, DerivationGraph};
 use crate::prepare::PreparedEnv;
 use crate::synth::{PhaseTimings, Snippet, SynthesisConfig, SynthesisResult, SynthesisStats};
 use crate::weights::WeightConfig;
@@ -93,6 +95,7 @@ impl Engine {
             config: self.config.clone(),
             prepared,
             prepare_time,
+            graphs: RwLock::new(HashMap::new()),
         }
     }
 
@@ -353,19 +356,57 @@ impl Query {
     }
 }
 
+/// The inputs that determine a derivation graph: the goal plus every
+/// configuration knob that can change what exploration and pattern generation
+/// produce. Anything else (`n`, reconstruction budgets, coercion erasure)
+/// only affects the walk and shares the cached graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GraphKey {
+    goal: Ty,
+    max_explore_requests: usize,
+    prover_time_limit: Option<Duration>,
+}
+
+/// Everything a query needs that does not depend on `n` or the reconstruction
+/// budgets: the derivation graph plus the statistics and timings of the
+/// phases that built it. Cached per [`GraphKey`] on the session, so repeated
+/// queries replay the recorded stats and walk the same graph.
+#[derive(Debug)]
+pub(crate) struct QueryArtifacts {
+    graph: DerivationGraph,
+    explore_time: Duration,
+    patterns_time: Duration,
+    reachability_terms: usize,
+    requests_processed: usize,
+    patterns: usize,
+    explore_truncated: bool,
+    /// `true` when the exploration truncation was wall-clock-driven — a
+    /// nondeterministic outcome that must not be cached.
+    time_truncated: bool,
+}
+
 /// One prepared program point: the σ-lowered environment plus the engine
 /// configuration it was prepared under.
 ///
-/// Sessions are immutable and `Send + Sync`: queries borrow the prepared
-/// environment read-only and keep all mutable search state (priority queues,
-/// visited sets, newly interned types) in per-query scratch space, so an
-/// `Arc<Session>` can answer queries from many threads concurrently.
+/// Sessions are `Send + Sync`: queries borrow the prepared environment
+/// read-only and keep all mutable search state (priority queues, visited
+/// sets, newly interned types) in per-query scratch space, so an
+/// `Arc<Session>` can answer queries from many threads concurrently. The only
+/// shared mutable state is the derivation-graph cache, which memoizes the
+/// explore → patterns → graph phases per goal: the first query for a goal
+/// builds the graph, every later query for it goes straight to
+/// reconstruction. Only completely explored graphs are cached — a build
+/// whose exploration hit the prover's wall-clock budget serves its own
+/// query and is discarded, so a transiently slow machine can never pin
+/// incomplete results onto the session. Cached queries are byte-identical
+/// to what an uncached run of the same (untruncated) build returns.
 #[derive(Debug)]
 pub struct Session {
     env: TypeEnv,
     config: SynthesisConfig,
     prepared: PreparedEnv,
     prepare_time: Duration,
+    graphs: RwLock<HashMap<GraphKey, Arc<QueryArtifacts>>>,
 }
 
 impl Session {
@@ -393,19 +434,74 @@ impl Session {
     /// Answers one query against this program point.
     ///
     /// Does not re-run σ (unless the query overrides the weight
-    /// configuration, which forces an internal re-preparation).
+    /// configuration, which forces an internal re-preparation), and reuses
+    /// the cached derivation graph when the goal was queried before — the
+    /// repeated-query fast path that skips exploration and pattern generation
+    /// entirely.
     pub fn query(&self, query: &Query) -> SynthesisResult {
         let config = query.effective_config(&self.config);
         if let Some(weights) = &query.weights {
             if *weights != self.config.weights {
-                // Weight overrides invalidate the prepared per-type weights:
+                // Weight overrides invalidate the prepared per-type weights
+                // (and every cached graph, which bakes them into its edges):
                 // re-prepare privately for this query (the documented slow
                 // path; the shared session is left untouched).
                 let prepared = PreparedEnv::prepare(&self.env, weights);
                 return run_query(&prepared, &self.env, &config, &query.goal, query.n);
             }
         }
-        run_query(&self.prepared, &self.env, &config, &query.goal, query.n)
+
+        let key = GraphKey {
+            goal: query.goal.clone(),
+            max_explore_requests: config.max_explore_requests,
+            prover_time_limit: config.prover_time_limit,
+        };
+        let cached = self
+            .graphs
+            .read()
+            .expect("graph cache poisoned")
+            .get(&key)
+            .cloned();
+        let artifacts = match cached {
+            Some(artifacts) => artifacts,
+            None => {
+                let built = Arc::new(build_artifacts(
+                    &self.prepared,
+                    &self.env,
+                    &config,
+                    &query.goal,
+                ));
+                if built.time_truncated {
+                    // A wall-clock-truncated exploration is a property of
+                    // this moment, not of the goal: caching it would pin an
+                    // incomplete graph on the session forever. Use it for
+                    // this query only and let the next query re-explore.
+                    // (A `max_explore_requests`-capped exploration is
+                    // deterministic — the cap is part of the key — and
+                    // caches normally.)
+                    built
+                } else {
+                    // Two threads may race to build the same graph; an
+                    // untruncated build is deterministic, so keeping the
+                    // first insertion is only an allocation-saving
+                    // tie-break, never a behavioural one.
+                    Arc::clone(
+                        self.graphs
+                            .write()
+                            .expect("graph cache poisoned")
+                            .entry(key)
+                            .or_insert(built),
+                    )
+                }
+            }
+        };
+        finish_query(&artifacts, &self.prepared, &self.env, &config, query.n)
+    }
+
+    /// Number of derivation graphs currently cached on this session (one per
+    /// distinct goal/prover-budget combination queried so far).
+    pub fn cached_graph_count(&self) -> usize {
+        self.graphs.read().expect("graph cache poisoned").len()
     }
 
     /// Answers several queries against this program point, sequentially,
@@ -440,16 +536,14 @@ impl Session {
     }
 }
 
-/// Runs the three query phases against a prepared environment. Shared by
-/// [`Session::query`] and the deprecated [`Synthesizer`](crate::Synthesizer)
-/// shim.
-pub(crate) fn run_query(
+/// Runs exploration, pattern generation and graph compilation for one goal —
+/// the phases a session caches per [`GraphKey`].
+pub(crate) fn build_artifacts(
     prepared: &PreparedEnv,
     env: &TypeEnv,
     config: &SynthesisConfig,
     goal: &Ty,
-    n: usize,
-) -> SynthesisResult {
+) -> QueryArtifacts {
     use insynth_succinct::TypeStore;
 
     let mut store = prepared.scratch();
@@ -467,18 +561,40 @@ pub(crate) fn run_query(
     );
     let explore_time = explore_started.elapsed();
 
+    // Pattern generation and graph compilation are one phase for reporting:
+    // the graph is what GenerateP now emits.
     let patterns_started = Instant::now();
     let patterns = generate_patterns(&mut store, &space);
+    let graph = DerivationGraph::build(prepared, &mut store, &patterns, env, &config.weights, goal);
     let patterns_time = patterns_started.elapsed();
 
+    QueryArtifacts {
+        graph,
+        explore_time,
+        patterns_time,
+        reachability_terms: space.terms.len(),
+        requests_processed: space.requests_processed,
+        patterns: patterns.len(),
+        explore_truncated: space.truncated,
+        time_truncated: space.time_truncated,
+    }
+}
+
+/// Walks an already built derivation graph and packages the result. The
+/// reported explore/patterns timings and search statistics are those recorded
+/// when the graph was built, so cached and uncached queries report
+/// identically.
+fn finish_query(
+    artifacts: &QueryArtifacts,
+    prepared: &PreparedEnv,
+    env: &TypeEnv,
+    config: &SynthesisConfig,
+    n: usize,
+) -> SynthesisResult {
     let recon_started = Instant::now();
     let outcome = generate_terms(
-        prepared,
-        &mut store,
-        &patterns,
+        &artifacts.graph,
         env,
-        &config.weights,
-        goal,
         n,
         &GenerateLimits {
             max_steps: config.max_reconstruction_steps,
@@ -511,20 +627,34 @@ pub(crate) fn run_query(
     SynthesisResult {
         snippets,
         timings: PhaseTimings {
-            explore: explore_time,
-            patterns: patterns_time,
+            explore: artifacts.explore_time,
+            patterns: artifacts.patterns_time,
             reconstruction: recon_time,
         },
         stats: SynthesisStats {
             initial_declarations: env.len(),
             distinct_succinct_types: prepared.distinct_succinct_types(),
-            reachability_terms: space.terms.len(),
-            requests_processed: space.requests_processed,
-            patterns: patterns.len(),
+            reachability_terms: artifacts.reachability_terms,
+            requests_processed: artifacts.requests_processed,
+            patterns: artifacts.patterns,
             reconstruction_steps: outcome.steps,
-            truncated: space.truncated || outcome.truncated,
+            truncated: artifacts.explore_truncated || outcome.truncated,
         },
     }
+}
+
+/// Runs all query phases uncached against a prepared environment. Used by the
+/// per-query weight-override slow path, where the prepared weights differ
+/// from the session's and nothing may be reused.
+pub(crate) fn run_query(
+    prepared: &PreparedEnv,
+    env: &TypeEnv,
+    config: &SynthesisConfig,
+    goal: &Ty,
+    n: usize,
+) -> SynthesisResult {
+    let artifacts = build_artifacts(prepared, env, config, goal);
+    finish_query(&artifacts, prepared, env, config, n)
 }
 
 #[cfg(test)]

@@ -47,6 +47,19 @@ impl Weight {
     pub fn plus(self, other: Weight) -> Weight {
         Weight(self.0 + other.0)
     }
+
+    /// Returns `true` for weights ≥ 0.
+    ///
+    /// All of Table 1 is non-negative, but [`Declaration::with_weight`]
+    /// overrides are unrestricted. Weight-based pruning (the derivation-graph
+    /// walk's branch-and-bound) is admissible only when every weight a search
+    /// step can add is non-negative, so the graph checks this once at build
+    /// time and disables the pruning otherwise.
+    ///
+    /// [`Declaration::with_weight`]: crate::Declaration::with_weight
+    pub fn is_non_negative(self) -> bool {
+        self.0 >= 0.0
+    }
 }
 
 impl Eq for Weight {}
@@ -333,5 +346,12 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_weights_are_rejected() {
         Weight::new(f64::NAN);
+    }
+
+    #[test]
+    fn non_negativity_check_classifies_weights() {
+        assert!(Weight::ZERO.is_non_negative());
+        assert!(Weight::new(5.0).is_non_negative());
+        assert!(!Weight::new(-1.0).is_non_negative());
     }
 }

@@ -30,6 +30,7 @@
 
 mod calculus;
 mod env;
+mod index;
 mod pattern;
 mod scratch;
 mod store;
@@ -40,6 +41,7 @@ pub use calculus::{
     Request,
 };
 pub use env::EnvId;
+pub use index::{GoalId, PatternIndex};
 pub use pattern::Pattern;
 pub use scratch::ScratchStore;
 pub use store::{SuccinctStore, SuccinctTy, SuccinctTyId};

@@ -6,6 +6,11 @@
 //! workflow with the session API: declare what is in scope (a type
 //! environment Γ), prepare it once with [`Engine::prepare`], and ask the
 //! session for the best-ranked expressions of one or more goal types.
+//!
+//! Under the hood each query compiles its goal into a *derivation graph*
+//! (explore → patterns → graph) that the session caches: the first query for
+//! a goal pays for the graph, repeats of that goal go straight to best-first
+//! reconstruction over it.
 
 use insynth::core::{DeclKind, Declaration, Engine, Query, SynthesisConfig, TypeEnv};
 use insynth::lambda::Ty;
@@ -74,6 +79,15 @@ fn main() {
         "same session, goal File: best suggestion is `{}` ({} ms)",
         files.snippets[0].term,
         files.timings.total().as_millis()
+    );
+
+    // Repeating a goal reuses the session's cached derivation graph: no
+    // exploration or pattern generation the second time, identical results.
+    let again = session.query(&Query::new(goal.clone()).with_n(5));
+    assert_eq!(again.snippets.len(), result.snippets.len());
+    println!(
+        "repeat query served from {} cached derivation graph(s)",
+        session.cached_graph_count()
     );
 
     // The ranking prefers the frequent `parseConfig(path)` over the rarely

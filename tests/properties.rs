@@ -9,14 +9,17 @@
 //! * prover agreement — the engine's inhabitation verdict coincides with the
 //!   reference oracle and with both baseline provers,
 //! * σ laws — the succinct conversion is invariant under argument reordering,
-//! * ranking — the returned list is sorted by weight.
+//! * ranking — the returned list is sorted by weight,
+//! * graph equivalence — the derivation-graph walk returns byte-identical
+//!   ranked terms to the pre-graph unindexed reconstruction.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use insynth::core::{
-    is_inhabited_ref, rcn, DeclKind, Declaration, Engine, Query, SynthesisConfig, TypeEnv,
-    WeightConfig,
+    explore, generate_patterns, generate_terms, generate_terms_unindexed, is_inhabited_ref, rcn,
+    DeclKind, Declaration, DerivationGraph, Engine, ExploreLimits, GenerateLimits, PreparedEnv,
+    Query, SynthesisConfig, TypeEnv, WeightConfig,
 };
 use insynth::lambda::{check, Term, Ty};
 use insynth::provers::{forward, g4ip, inhabitation_query, ProverLimits};
@@ -140,6 +143,36 @@ proptest! {
         let c = store.sigma(&duplicated_ty);
         prop_assert_eq!(a, b);
         prop_assert_eq!(a, c);
+    }
+
+    #[test]
+    fn graph_walk_is_byte_identical_to_unindexed_reconstruction(env in arb_env(), goal in arb_goal()) {
+        // The tentpole contract: compiling the pattern set into a derivation
+        // graph and walking it must return exactly the RankedTerm list of the
+        // pre-refactor pipeline — same terms, same order, same weight bits.
+        use insynth::succinct::TypeStore;
+
+        let weights = WeightConfig::default();
+        let prepared = PreparedEnv::prepare(&env, &weights);
+        let mut store = prepared.scratch();
+        let goal_succ = store.sigma(&goal);
+        let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut store, &space);
+        let limits = GenerateLimits { max_depth: Some(4), ..GenerateLimits::default() };
+
+        let reference = generate_terms_unindexed(
+            &prepared, &mut store, &patterns, &env, &weights, &goal, 64, &limits,
+        );
+        let graph = DerivationGraph::build(&prepared, &mut store, &patterns, &env, &weights, &goal);
+        let walked = generate_terms(&graph, &env, 64, &limits);
+
+        let key = |terms: &[insynth::core::RankedTerm]| -> Vec<(String, u64)> {
+            terms
+                .iter()
+                .map(|r| (r.term.to_string(), r.weight.value().to_bits()))
+                .collect()
+        };
+        prop_assert_eq!(key(&walked.terms), key(&reference.terms));
     }
 
     #[test]

@@ -180,6 +180,44 @@ fn batch_with_a_single_request_equals_the_direct_query() {
 }
 
 #[test]
+fn repeated_queries_reuse_the_cached_graph_and_return_identical_results() {
+    let engine = Engine::new(SynthesisConfig::default());
+    let session = engine.prepare(&io_point_env());
+    assert_eq!(session.cached_graph_count(), 0);
+
+    let query = Query::new(Ty::base("SequenceInputStream")).with_n(10);
+    let first = session.query(&query);
+    assert_eq!(
+        session.cached_graph_count(),
+        1,
+        "first query builds the graph"
+    );
+    let second = session.query(&query);
+    assert_eq!(session.cached_graph_count(), 1, "repeat query reuses it");
+
+    // Identical snippets, weights and search statistics on the cached path.
+    assert_eq!(fingerprint(&first), fingerprint(&second));
+    assert_eq!(
+        first.stats.requests_processed,
+        second.stats.requests_processed
+    );
+    assert_eq!(first.stats.patterns, second.stats.patterns);
+    assert_eq!(
+        first.stats.reconstruction_steps,
+        second.stats.reconstruction_steps
+    );
+
+    // A different n on the same goal shares the graph and returns a prefix.
+    let top3 = session.query(&Query::new(Ty::base("SequenceInputStream")).with_n(3));
+    assert_eq!(session.cached_graph_count(), 1);
+    assert_eq!(fingerprint(&top3), fingerprint(&first)[..3].to_vec());
+
+    // A new goal builds (and caches) its own graph.
+    let _ = session.query(&Query::new(Ty::base("BufferedReader")).with_n(5));
+    assert_eq!(session.cached_graph_count(), 2);
+}
+
+#[test]
 fn prepare_time_is_paid_once_per_session() {
     let engine = Engine::new(SynthesisConfig::default());
     let session = engine.prepare(&io_point_env());
