@@ -17,11 +17,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use insynth_bench::phases_environment as figure1_environment;
+use insynth_bench::{build_graph, phases_environment as figure1_environment};
 use insynth_core::{
-    explore, generate_patterns, generate_patterns_naive, generate_terms, generate_terms_unindexed,
-    DerivationGraph, Engine, ExploreLimits, GenerateLimits, PreparedEnv, Query, SynthesisConfig,
-    WeightConfig,
+    explore, generate_patterns, generate_patterns_naive, generate_terms, generate_terms_best_first,
+    generate_terms_unindexed, DerivationGraph, Engine, ExploreLimits, GenerateLimits, PreparedEnv,
+    Query, SynthesisConfig, WeightConfig,
 };
 use insynth_lambda::Ty;
 use insynth_succinct::TypeStore;
@@ -71,12 +71,23 @@ fn phase_breakdown(c: &mut Criterion) {
     });
 
     c.bench_function("reconstruct/figure1", |bencher| {
-        let mut store = prepared.scratch();
-        let goal_succ = store.sigma(&goal);
-        let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
-        let patterns = generate_patterns(&mut store, &space);
-        let graph = DerivationGraph::build(&prepared, &mut store, &patterns, &env, &weights, &goal);
+        let graph = build_graph(&env, &weights, &goal);
         bencher.iter(|| black_box(generate_terms(&graph, &env, 10, &GenerateLimits::default())))
+    });
+
+    // The A* vs plain best-first walk ablation on the same graph (the
+    // heuristic's walk-level win; `reconstruct/figure1` above is the A* walk
+    // end to end).
+    c.bench_function("reconstruct_best_first/figure1", |bencher| {
+        let graph = build_graph(&env, &weights, &goal);
+        bencher.iter(|| {
+            black_box(generate_terms_best_first(
+                &graph,
+                &env,
+                10,
+                &GenerateLimits::default(),
+            ))
+        })
     });
 
     c.bench_function("reconstruct_unindexed/figure1", |bencher| {

@@ -15,9 +15,12 @@
 //! tables/figures to these targets and for recorded paper-vs-measured results.
 
 use insynth_apimodel::{extract, javaapi, ApiModel, ProgramPoint};
-use insynth_core::TypeEnv;
+use insynth_core::{
+    explore, generate_patterns, DerivationGraph, ExploreLimits, PreparedEnv, TypeEnv, WeightConfig,
+};
 use insynth_corpus::synthetic_corpus;
 use insynth_lambda::Ty;
+use insynth_succinct::TypeStore;
 
 /// Re-exported so the binaries share one definition of the default corpus
 /// seed used across all regenerated tables.
@@ -47,6 +50,20 @@ pub fn phases_environment(filler: usize) -> TypeEnv {
     env
 }
 
+/// Prepares `env` and compiles the derivation graph for `goal` — the
+/// explore → patterns → graph build (incl. heuristic) pipeline a session
+/// runs on a cache miss. One definition shared by the `baseline` binary,
+/// the walk-ablation benches and the tests, so they all measure the same
+/// graph.
+pub fn build_graph(env: &TypeEnv, weights: &WeightConfig, goal: &Ty) -> DerivationGraph {
+    let prepared = PreparedEnv::prepare(env, weights);
+    let mut store = prepared.scratch();
+    let goal_succ = store.sigma(goal);
+    let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+    let patterns = generate_patterns(&mut store, &space);
+    DerivationGraph::build(&prepared, &mut store, &patterns, env, weights, goal)
+}
+
 /// The environment used by the `compression` bench (`sigma_prepare`):
 /// java.lang + java.io + javax.swing + java.awt plus `filler` generated
 /// packages, everything imported, no locals and no corpus.
@@ -69,10 +86,68 @@ pub fn compression_environment(filler: usize) -> TypeEnv {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use insynth_core::{generate_terms, generate_terms_best_first, GenerateLimits};
 
     #[test]
     fn bench_environments_grow_with_filler() {
         assert!(phases_environment(2).len() > phases_environment(0).len());
         assert!(compression_environment(4).len() > compression_environment(0).len());
+    }
+
+    /// Builds the derivation graph the session benches walk, on the filler
+    /// environment used across the paper-scale benchmarks.
+    fn filler_graph(filler: usize) -> (TypeEnv, DerivationGraph) {
+        let env = phases_environment(filler);
+        let goal = Ty::base("SequenceInputStream");
+        let graph = build_graph(&env, &WeightConfig::default(), &goal);
+        (env, graph)
+    }
+
+    /// The A* heuristic is admissible on the paper-scale filler-4
+    /// environment: the completion bound at the root never exceeds the
+    /// weight of the best term the walk actually emits.
+    #[test]
+    fn astar_heuristic_is_admissible_on_the_filler_env() {
+        let (env, graph) = filler_graph(4);
+        assert!(graph.has_heuristic());
+        let bound = graph
+            .completion_bound()
+            .expect("monotone graph has a bound");
+        assert!(bound.is_finite(), "the benchmark goal is inhabited");
+        let outcome = generate_terms(&graph, &env, 10, &GenerateLimits::default());
+        assert!(!outcome.terms.is_empty());
+        assert!(
+            bound <= outcome.terms[0].weight,
+            "h(root) = {:?} must not exceed the best emitted weight {:?}",
+            bound,
+            outcome.terms[0].weight
+        );
+    }
+
+    /// The A* walk pops at least 2x fewer queue entries than the plain
+    /// best-first walk on the filler-4 environment — the tentpole's perf
+    /// contract, also enforced by `baseline --check` in CI — while emitting
+    /// byte-identical terms.
+    #[test]
+    fn astar_walk_halves_queue_pops_on_filler4() {
+        let (env, graph) = filler_graph(4);
+        let limits = GenerateLimits::default();
+        let astar = generate_terms(&graph, &env, 10, &limits);
+        let best_first = generate_terms_best_first(&graph, &env, 10, &limits);
+        assert!(astar.astar);
+        assert!(!best_first.astar);
+        let render = |o: &insynth_core::GenerateOutcome| {
+            o.terms
+                .iter()
+                .map(|r| (r.term.to_string(), r.weight.value().to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&astar), render(&best_first));
+        assert!(
+            astar.steps * 2 <= best_first.steps,
+            "A* pops {} vs best-first {}: expected at least a 2x reduction",
+            astar.steps,
+            best_first.steps
+        );
     }
 }

@@ -39,6 +39,13 @@ pub struct GenerateLimits {
     /// Maximum term depth (the `d` bound of the reference RCN function); when
     /// `None`, depth is unbounded and only `max_steps`/`time_limit` apply.
     pub max_depth: Option<usize>,
+    /// Upper bound on the number of pending partial expressions (defaults to
+    /// [`MAX_FRONTIER`]). When the frontier is full, further successors of the
+    /// current expansion are dropped and the outcome is marked truncated; the
+    /// queue keeps draining, so completions already enqueued are still
+    /// emitted. Configurable mainly so tests can exercise the truncation path
+    /// without building a multi-million-entry frontier.
+    pub max_frontier: usize,
 }
 
 impl Default for GenerateLimits {
@@ -47,6 +54,7 @@ impl Default for GenerateLimits {
             max_steps: 200_000,
             time_limit: None,
             max_depth: None,
+            max_frontier: MAX_FRONTIER,
         }
     }
 }
@@ -67,16 +75,40 @@ pub struct GenerateOutcome {
     pub terms: Vec<RankedTerm>,
     /// Number of priority-queue pops performed.
     pub steps: usize,
-    /// `true` if a budget ran out before the queue was exhausted or `n` terms
-    /// were found.
+    /// `true` if the walk could not run to its natural end (`n` terms emitted
+    /// or queue exhausted). Two distinct causes set this flag:
+    ///
+    /// * a **budget** ran out — `max_steps` pops, or the `time_limit`
+    ///   wall-clock; the walk stops on the spot, and terms the queue still
+    ///   held are never emitted;
+    /// * the **frontier cap** (`max_frontier`) was hit — successors of the
+    ///   expansion in progress are dropped, but the walk continues and keeps
+    ///   draining the queue, so everything already enqueued is still emitted
+    ///   in order.
+    ///
+    /// Either way the emitted prefix is exact: every term returned is a true
+    /// member of the enumeration with its exact weight; truncation can only
+    /// cause terms to be *missing* from the tail.
     pub truncated: bool,
+    /// Successor expressions discarded before enqueueing because their
+    /// completion lower bound already exceeded the branch-and-bound cutoff
+    /// (the n-th best complete candidate found so far). Under the A* walk the
+    /// bound includes the admissible heuristic, which is what makes this
+    /// number large; the plain best-first walk can only prune on accumulated
+    /// weight.
+    pub pruned_enqueues: usize,
+    /// `true` when the walk ran in A* mode (heuristic-guided ordering);
+    /// `false` for the plain best-first walk (unindexed reference, or the
+    /// graph walk's fallback when weights are not monotone).
+    pub astar: bool,
 }
 
 /// Upper bound on the number of pending partial expressions. The frontier of
 /// a weight-ordered best-first search in a paper-scale environment can grow
 /// into the millions; entries beyond this bound are unreachable within any
 /// interactive time budget, so they are dropped (and the outcome is marked
-/// truncated). Shared with the graph walk in [`crate::graph`].
+/// truncated). This is the default of [`GenerateLimits::max_frontier`],
+/// shared with the graph walk in [`crate::graph`].
 pub(crate) const MAX_FRONTIER: usize = 2_000_000;
 
 /// A partial expression: a term whose leaves may be typed holes.
@@ -210,7 +242,7 @@ pub fn generate_terms_unindexed(
                             }
                         }
                     }
-                    if queue.len() >= MAX_FRONTIER {
+                    if queue.len() >= limits.max_frontier {
                         outcome.truncated = true;
                         break;
                     }

@@ -15,28 +15,52 @@
 //! * a read-only **environment union table** resolves the environment at a
 //!   hole without touching (or locking) any interner.
 //!
-//! [`generate_terms`] is then a pure best-first walk over the graph: no σ, no
-//! interning, no string cloning, and two prunings the flat pipeline cannot do:
+//! After the graph is built, a **heuristic phase** runs a backward Dijkstra
+//! (Knuth's generalization to hypergraphs) over it, computing for every goal
+//! node an *admissible and consistent* lower bound on the cheapest complete
+//! term a hole at that goal can expand into: an edge costs its declaration
+//! weight plus the binder weights and bounds of its argument goals, binders
+//! that could be in scope contribute conservative pseudo-edges at lambda
+//! weight, and goals no edge can complete get bound `∞` — which subsumes the
+//! walk's per-pop dead-hole memo (an `∞` hole is dead even when its node
+//! exists).
 //!
-//! * **dead-hole pruning** — a successor containing a hole whose goal has no
-//!   node can never complete and is dropped at creation (with an exhaustive
-//!   exploration every edge's holes are alive by construction, so this guards
-//!   the truncated-prover-budget case);
+//! [`generate_terms`] is then an **A\*** walk over the graph: the queue is
+//! ordered by `g + Σ h(open holes)` (accumulated weight plus the completion
+//! bounds of every open hole), no σ, no interning, no string cloning, and two
+//! prunings the flat pipeline cannot do:
+//!
+//! * **dead-hole pruning** — a successor containing a hole whose completion
+//!   bound is `∞` can never complete and is dropped at creation;
 //! * **branch-and-bound** — once `n` complete candidates are enqueued, any
-//!   expression heavier than the current n-th best candidate is dropped
-//!   (admissible because weights only grow along an expansion; disabled when
-//!   a negative [`Declaration::with_weight`](crate::Declaration::with_weight)
-//!   override breaks that monotonicity).
+//!   expression whose *bound* `g + Σ h` exceeds the current n-th best
+//!   candidate is dropped before it is enqueued (admissible because `h`
+//!   under-estimates; disabled — together with the whole heuristic — when a
+//!   negative [`Declaration::with_weight`](crate::Declaration::with_weight)
+//!   override breaks weight monotonicity, in which case the walk falls back
+//!   to the plain best-first order of [`generate_terms_best_first`]).
 //!
-//! Both prunings only discard expressions that could never be emitted, so the
-//! returned terms are byte-identical to the unindexed reference walk
-//! ([`generate_terms_unindexed`](crate::generate_terms_unindexed)); a property
-//! test asserts exactly that.
+//! Ordering by `g + Σ h` changes which partial expressions are *explored*,
+//! but not what is *emitted*: admissibility guarantees completions still pop
+//! in ascending weight order, and ties are broken by each entry's *pedigree*
+//! — the chain of (accumulated weight, expansion index) pairs along its
+//! ancestor path — which reproduces, bit for bit, the creation-order
+//! tie-break of the plain best-first walk (an entry's creation order is its
+//! parent's pop order plus its index within that expansion, recursively).
+//! The returned terms are therefore byte-identical to the unindexed
+//! reference walk ([`generate_terms_unindexed`](crate::generate_terms_unindexed));
+//! a property test asserts exactly that, in both the A* and the fallback
+//! regime. Two floating-point guards keep the tie cases honest: hole costs
+//! are rounded down onto a dyadic grid so incrementally maintained `Σ h`
+//! sums are exact (and stay under-estimates), and the branch-and-bound
+//! cutoff is inflated by a margin dwarfing any residual rounding, so an
+//! expression whose true bound exactly ties the n-th candidate is never
+//! pruned by a stray ulp.
 //!
 //! A graph is self-contained (it no longer borrows the per-query
-//! [`ScratchStore`]), which is what lets a [`Session`](crate::Session) cache
-//! it and answer repeated queries without re-running exploration or pattern
-//! generation.
+//! [`ScratchStore`]), and the heuristic is part of it, which is what lets a
+//! [`Session`](crate::Session) cache both and answer repeated queries
+//! without re-running exploration, pattern generation or the Dijkstra pass.
 //!
 //! # Example
 //!
@@ -82,7 +106,7 @@ use insynth_succinct::{EnvId, ScratchStore, SuccinctTyId, TypeStore};
 
 use crate::decl::TypeEnv;
 use crate::genp::PatternSet;
-use crate::gent::{GenerateLimits, GenerateOutcome, RankedTerm, MAX_FRONTIER};
+use crate::gent::{GenerateLimits, GenerateOutcome, RankedTerm};
 use crate::prepare::PreparedEnv;
 use crate::weights::{Weight, WeightConfig};
 
@@ -162,9 +186,38 @@ pub struct DerivationGraph {
     init_env: EnvId,
     root_ty: HoleTyId,
     lambda_weight: Weight,
-    /// `true` if every weight the walk can add is non-negative; only then is
-    /// branch-and-bound pruning admissible.
+    /// `true` if every weight the walk can add is non-negative; only then are
+    /// the completion-bound heuristic and branch-and-bound pruning admissible.
     monotone: bool,
+    /// Per-goal completion lower bounds (the A* heuristic), computed once at
+    /// build time; `None` when the graph is not monotone.
+    heuristic: Option<Heuristic>,
+}
+
+/// The admissible completion-cost heuristic: for every goal node, a lower
+/// bound on the weight of the cheapest complete term a hole at that goal can
+/// expand into (*excluding* the hole's own binder-parameter weight, which
+/// depends on the hole's simple type and is added per hole by the walk).
+///
+/// Computed by a backward Dijkstra over the graph's hyperedges (Knuth's
+/// algorithm): an edge's cost is its head weight plus, per argument goal, the
+/// argument's binder-parameter weight and its own bound; a node's bound is
+/// the minimum over its edges, and nodes no edge can complete stay at
+/// [`Weight::INFINITY`]. Binder-headed fills — whose availability depends on
+/// the scope at the hole, unknown until walk time — are covered by
+/// conservative pseudo-edges: for every succinct type a pattern wants, every
+/// interned hole type that could put a binder of that type in scope
+/// contributes an edge at lambda weight. The minimum over those candidates
+/// under-estimates whatever binder is actually in scope, keeping the bound
+/// admissible; it is also consistent (each expansion step's cost change is
+/// `≥ 0` against the bound), though emission-order correctness only needs
+/// admissibility.
+#[derive(Debug)]
+struct Heuristic {
+    /// `node_bound[node]` = completion lower bound of that goal node;
+    /// [`Weight::INFINITY`] marks a goal no expansion can ever complete
+    /// (subsuming the walk's dead-hole detection).
+    node_bound: Vec<Weight>,
 }
 
 impl DerivationGraph {
@@ -192,9 +245,11 @@ impl DerivationGraph {
         let index = patterns.index();
         let mut goal_ids = HashMap::with_capacity(index.goal_count());
         let mut nodes = Vec::with_capacity(index.goal_count());
+        let mut node_envs = Vec::with_capacity(index.goal_count());
         for goal_id in index.goals() {
             let (goal_env, ret) = index.goal_key(goal_id);
             goal_ids.insert((goal_env, ret), nodes.len() as u32);
+            node_envs.push(goal_env);
             let mut variants = Vec::new();
             for pattern in index.patterns_of(goal_id) {
                 let wanted = store.mk_ty(pattern.args.clone(), ret);
@@ -237,7 +292,7 @@ impl DerivationGraph {
         let monotone = lambda_weight.is_non_negative()
             && prepared.decl_weight.iter().all(|w| w.is_non_negative());
 
-        DerivationGraph {
+        let mut graph = DerivationGraph {
             nodes,
             goal_ids,
             tys,
@@ -248,7 +303,12 @@ impl DerivationGraph {
             root_ty,
             lambda_weight,
             monotone,
+            heuristic: None,
+        };
+        if graph.monotone {
+            graph.heuristic = Some(compute_heuristic(&graph, &node_envs));
         }
+        graph
     }
 
     /// Number of goal nodes.
@@ -273,6 +333,34 @@ impl DerivationGraph {
     /// The interned id of a hole type, if the graph knows it.
     pub fn hole_ty(&self, ty: &Ty) -> Option<HoleTyId> {
         self.ty_ids.get(ty).copied()
+    }
+
+    /// `true` when the graph carries the A* completion-cost heuristic (i.e.
+    /// when its weights are monotone); [`generate_terms`] then runs in A*
+    /// mode, otherwise it falls back to the plain best-first walk.
+    pub fn has_heuristic(&self) -> bool {
+        self.heuristic.is_some()
+    }
+
+    /// The admissible lower bound on the weight of the cheapest complete term
+    /// of the graph's goal type, or `None` when the graph carries no
+    /// heuristic. [`Weight::INFINITY`] means the goal is uninhabited. Every
+    /// term [`generate_terms`] emits weighs at least this much — the property
+    /// the admissibility tests pin.
+    pub fn completion_bound(&self) -> Option<Weight> {
+        let heuristic = self.heuristic.as_ref()?;
+        Some(match self.resolve(self.init_env, self.root_ty) {
+            Some((_, node)) => self
+                .hole_params_weight(self.root_ty)
+                .plus(heuristic.node_bound[node as usize]),
+            None => Weight::INFINITY,
+        })
+    }
+
+    /// Weight of the lambda binders a hole of type `ty` introduces when it is
+    /// expanded (one `lambda_weight` per uncurried argument).
+    fn hole_params_weight(&self, ty: HoleTyId) -> Weight {
+        Weight::new(self.lambda_weight.value() * self.tys[ty.as_usize()].args.len() as f64)
     }
 
     /// Resolves the goal of a hole of type `ty` in context environment `ctx`:
@@ -333,12 +421,136 @@ fn intern_hole_ty(
     id
 }
 
+/// Computes the per-node completion bounds by a backward Dijkstra over the
+/// graph's hyperedges (Knuth's algorithm: a node is finalized when popped,
+/// and a hyperedge relaxes its head once every tail goal is finalized).
+/// Requires monotone (non-negative) weights — the caller only invokes it
+/// when [`DerivationGraph::monotone`] holds.
+fn compute_heuristic(graph: &DerivationGraph, node_envs: &[EnvId]) -> Heuristic {
+    let node_count = graph.nodes.len();
+
+    // Candidate binder types per succinct type: a binder only ever enters
+    // scope as a hole's parameter, so its type is an interned hole type that
+    // appears in some `args` list.
+    let mut is_param = vec![false; graph.tys.len()];
+    for info in &graph.tys {
+        for &a in info.args.iter() {
+            is_param[a.as_usize()] = true;
+        }
+    }
+    let mut binder_tys: HashMap<SuccinctTyId, Vec<HoleTyId>> = HashMap::new();
+    for (i, info) in graph.tys.iter().enumerate() {
+        if is_param[i] {
+            binder_tys
+                .entry(info.succ)
+                .or_default()
+                .push(HoleTyId(i as u32));
+        }
+    }
+
+    // A hyperedge waiting for its tail goals: `acc` starts at the head weight
+    // plus the binder-parameter weights of the arguments and accumulates the
+    // finalized tail bounds; when `remaining` occurrences are all finalized,
+    // `acc` is a candidate bound for `head`.
+    struct HyperEdge {
+        head: u32,
+        acc: Weight,
+        remaining: usize,
+    }
+    let mut edges: Vec<HyperEdge> = Vec::new();
+    // Edge occurrences per tail node (an edge appears once per occurrence of
+    // the node among its argument goals).
+    let mut tail_of: Vec<Vec<u32>> = vec![Vec::new(); node_count];
+    // Initial relaxations from edges with no (live) arguments.
+    let mut ready: Vec<(Weight, u32)> = Vec::new();
+    let mut resolve_memo: HashMap<(EnvId, HoleTyId), Option<(EnvId, u32)>> = HashMap::new();
+
+    for (v, node) in graph.nodes.iter().enumerate() {
+        let env_v = node_envs[v];
+        for variant in &node.variants {
+            let decl_edges = variant
+                .edges
+                .iter()
+                .map(|edge| (edge.weight, Arc::clone(&edge.args)));
+            let binder_edges = binder_tys
+                .get(&variant.wanted)
+                .into_iter()
+                .flatten()
+                .map(|&t| {
+                    (
+                        graph.lambda_weight,
+                        Arc::clone(&graph.tys[t.as_usize()].args),
+                    )
+                });
+            'edge: for (head_weight, args) in decl_edges.chain(binder_edges) {
+                let mut acc = head_weight;
+                let mut tails: Vec<u32> = Vec::with_capacity(args.len());
+                for &a in args.iter() {
+                    let resolved = *resolve_memo
+                        .entry((env_v, a))
+                        .or_insert_with(|| graph.resolve(env_v, a));
+                    // An argument goal without a node can never complete, so
+                    // the whole edge contributes nothing (= ∞).
+                    let Some((_, tail)) = resolved else {
+                        continue 'edge;
+                    };
+                    acc = acc.plus(graph.hole_params_weight(a));
+                    tails.push(tail);
+                }
+                if tails.is_empty() {
+                    ready.push((acc, v as u32));
+                } else {
+                    let idx = edges.len() as u32;
+                    let remaining = tails.len();
+                    for tail in tails {
+                        tail_of[tail as usize].push(idx);
+                    }
+                    edges.push(HyperEdge {
+                        head: v as u32,
+                        acc,
+                        remaining,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut node_bound = vec![Weight::INFINITY; node_count];
+    let mut finalized = vec![false; node_count];
+    let mut queue: BinaryHeap<Reverse<(Weight, u32)>> = BinaryHeap::new();
+    for (bound, v) in ready {
+        if bound < node_bound[v as usize] {
+            node_bound[v as usize] = bound;
+            queue.push(Reverse((bound, v)));
+        }
+    }
+    while let Some(Reverse((bound, v))) = queue.pop() {
+        if finalized[v as usize] {
+            continue;
+        }
+        finalized[v as usize] = true;
+        debug_assert_eq!(bound, node_bound[v as usize]);
+        for &e in &tail_of[v as usize] {
+            let edge = &mut edges[e as usize];
+            edge.acc = edge.acc.plus(bound);
+            edge.remaining -= 1;
+            if edge.remaining == 0 && edge.acc < node_bound[edge.head as usize] {
+                node_bound[edge.head as usize] = edge.acc;
+                queue.push(Reverse((edge.acc, edge.head)));
+            }
+        }
+    }
+
+    Heuristic { node_bound }
+}
+
 /// One memoized pattern of a goal node in a concrete environment: the
 /// succinct head type binders are matched against, plus the surviving
-/// (non-dead) declaration-headed successors.
+/// (non-dead) declaration-headed successors. `args_bound` is the precomputed
+/// `Σ h` contribution of the edge's argument holes (zero without heuristic).
 struct CachedVariant {
     wanted: SuccinctTyId,
-    edges: Vec<(Head, Weight, Arc<[HoleTyId]>)>,
+    edges: Vec<(Head, Weight, Arc<[HoleTyId]>, Weight)>,
 }
 
 /// The head of a partial-expression node.
@@ -430,20 +642,146 @@ fn to_term(expr: &PExpr, env: &TypeEnv) -> Term {
     }
 }
 
-/// Priority-queue entry: lighter partial expressions first, FIFO among
-/// equals. `holes` and `depth` are maintained incrementally so completeness
-/// and depth checks are O(1).
+/// One link of an entry's *pedigree*: the pop key of the expansion that
+/// created it. A popped entry's pop key is its accumulated weight plus its
+/// own creation key — parent's pop key and index within that expansion —
+/// recursively up to the root (represented by `None`).
+///
+/// In the plain best-first walk with monotone weights, entries pop in
+/// nondecreasing `(weight, creation order)` order, and an entry's creation
+/// order is exactly `(parent's pop order, expansion index)`. Comparing
+/// pedigrees therefore reproduces the best-first walk's global FIFO
+/// tie-break without a shared counter — which is what lets the A* walk,
+/// whose *exploration* order is different, still emit equal-weight
+/// completions in the identical order. (Monotonicity matters: with negative
+/// weights a cheap entry can be created *after* a heavier one was already
+/// popped, so creation counters and pop keys disagree — but the A* mode is
+/// only ever active on monotone graphs.) Ancestor chains are `Rc`-shared,
+/// so a pedigree costs one allocation per pop.
+struct Pedigree {
+    g: Weight,
+    idx: u64,
+    parent: Option<Rc<Pedigree>>,
+}
+
+impl Drop for Pedigree {
+    fn drop(&mut self) {
+        // Unlink the ancestor chain iteratively: chains grow with expansion
+        // count along a lineage (not term depth), so the default recursive
+        // Drop could overflow the stack on long walks. Stop at the first
+        // ancestor another chain still shares.
+        let mut parent = self.parent.take();
+        while let Some(node) = parent {
+            match Rc::try_unwrap(node) {
+                Ok(mut node) => parent = node.parent.take(),
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Compares two parent pop keys; `None` is the root, whose pop precedes
+/// everything (it is the only entry in the queue when the walk starts).
+///
+/// The defining recursion is `(g, parent pop key, idx)` lexicographically;
+/// flattened, that is: weights leaf-to-root first (the leafmost difference
+/// decides), then — only when every weight ties down to a shared anchor —
+/// creation indices anchor-side-first. Both phases run iteratively because
+/// chain length tracks expansion count and recursion could overflow the
+/// stack (weights tie wholesale under
+/// [`WeightMode::NoWeights`](crate::WeightMode::NoWeights)).
+fn cmp_pop_key(a: &Option<Rc<Pedigree>>, b: &Option<Rc<Pedigree>>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+
+    // Phase 1: weights, leaf to root, stopping at a shared ancestor (or the
+    // root on both sides). Chains advance in lockstep, so a length mismatch
+    // surfaces as (None, Some) before any anchor is reached.
+    let (mut pa, mut pb) = (a, b);
+    loop {
+        match (pa, pb) {
+            (None, None) => break,
+            (None, Some(_)) => return Ordering::Less,
+            (Some(_), None) => return Ordering::Greater,
+            (Some(na), Some(nb)) => {
+                if Rc::ptr_eq(na, nb) {
+                    break;
+                }
+                match na.g.cmp(&nb.g) {
+                    Ordering::Equal => {
+                        pa = &na.parent;
+                        pb = &nb.parent;
+                    }
+                    other => return other,
+                }
+            }
+        }
+    }
+
+    // Phase 2: every weight tied — replay the (equal-length) prefixes in
+    // reverse so creation indices decide anchor-side-first, exactly as the
+    // recursive unwinding would. Only reached on full weight ties, so the
+    // allocation is rare.
+    let mut pairs: Vec<(&Rc<Pedigree>, &Rc<Pedigree>)> = Vec::new();
+    let (mut pa, mut pb) = (a, b);
+    while let (Some(na), Some(nb)) = (pa, pb) {
+        if Rc::ptr_eq(na, nb) {
+            break;
+        }
+        pairs.push((na, nb));
+        pa = &na.parent;
+        pb = &nb.parent;
+    }
+    for (na, nb) in pairs.into_iter().rev() {
+        match na.idx.cmp(&nb.idx) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Priority-queue entry. The search key is `priority` — the accumulated
+/// weight `g` in best-first mode, the completion bound `g + Σ h(open holes)`
+/// in A* mode — followed by the mode's tie-break: A* entries replay the
+/// best-first creation order through `(g, parent pop key, idx)` (see
+/// [`Pedigree`]); best-first entries use the global creation counter `seq`
+/// directly, which is exact even when negative weight overrides make
+/// creation counters and pop keys disagree. `holes` and `depth` are
+/// maintained incrementally so completeness and depth checks are O(1).
 struct Entry {
-    weight: Reverse<Weight>,
-    seq: Reverse<u64>,
+    priority: Weight,
+    g: Weight,
+    /// `Σ h` over the open holes (exactly zero when `holes == 0`, and in
+    /// best-first mode).
+    hsum: Weight,
+    /// `true` in A* mode; selects the tie-break and is uniform across a walk.
+    astar: bool,
+    seq: u64,
+    parent: Option<Rc<Pedigree>>,
+    idx: u64,
     expr: Rc<PExpr>,
     holes: u32,
     depth: u32,
 }
 
+impl Entry {
+    fn search_key_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority.cmp(&other.priority).then_with(|| {
+            if self.astar {
+                self.g
+                    .cmp(&other.g)
+                    .then_with(|| cmp_pop_key(&self.parent, &other.parent))
+                    .then_with(|| self.idx.cmp(&other.idx))
+            } else {
+                self.seq.cmp(&other.seq)
+            }
+        })
+    }
+}
+
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.weight == other.weight && self.seq == other.seq
+        self.search_key_cmp(other) == std::cmp::Ordering::Equal
     }
 }
 impl Eq for Entry {}
@@ -454,34 +792,166 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.weight, self.seq).cmp(&(other.weight, other.seq))
+        // `BinaryHeap` pops the maximum; reverse so the smallest search key
+        // pops first.
+        other.search_key_cmp(self)
     }
 }
 
-/// Runs best-first term reconstruction over a derivation graph.
+/// Resolution and completion bound of a hole, memoized per `(context, type)`.
+#[derive(Clone, Copy)]
+struct HoleGoal {
+    /// The hole's goal, or `None` when it is dead — no node at all, or
+    /// (under the heuristic) a node whose completion bound is `∞`.
+    node: Option<(EnvId, u32)>,
+    /// Completion lower bound of the hole: its binder-parameter weight plus
+    /// its node's bound. Zero in best-first mode (the bound is unused there);
+    /// [`Weight::INFINITY`] when dead in either mode.
+    cost: Weight,
+}
+
+/// Granularity of the dyadic grid hole costs are rounded *down* onto
+/// (`2^-24` ≈ 6e-8). Rounding down keeps every cost an under-estimate
+/// (admissibility is preserved), and sums and differences of grid multiples
+/// below `2^29` are exact in `f64` — so the incrementally maintained
+/// `Σ h` never drifts, and two paths summing the same memoized costs in
+/// different orders reach bit-identical `Σ h` values. The loss of pruning
+/// precision (≤ `holes · 2^-24`) is orders of magnitude below the smallest
+/// gap between distinct realizable weight sums.
+const COST_GRID: f64 = (1u64 << 24) as f64;
+
+/// Looks up (or computes) the [`HoleGoal`] of a hole of type `ty` in context
+/// environment `ctx`.
+fn hole_goal(
+    graph: &DerivationGraph,
+    heuristic: Option<&Heuristic>,
+    memo: &mut HashMap<(EnvId, HoleTyId), HoleGoal>,
+    ctx: EnvId,
+    ty: HoleTyId,
+) -> HoleGoal {
+    *memo.entry((ctx, ty)).or_insert_with(|| {
+        let resolved = graph.resolve(ctx, ty);
+        match heuristic {
+            None => HoleGoal {
+                node: resolved,
+                cost: if resolved.is_some() {
+                    Weight::ZERO
+                } else {
+                    Weight::INFINITY
+                },
+            },
+            Some(h) => match resolved {
+                Some((env, node)) if h.node_bound[node as usize].is_finite() => {
+                    let exact = graph
+                        .hole_params_weight(ty)
+                        .plus(h.node_bound[node as usize]);
+                    HoleGoal {
+                        node: Some((env, node)),
+                        cost: Weight::new((exact.value() * COST_GRID).floor() / COST_GRID),
+                    }
+                }
+                _ => HoleGoal {
+                    node: None,
+                    cost: Weight::INFINITY,
+                },
+            },
+        }
+    })
+}
+
+/// The branch-and-bound cutoff for a given n-th-best-candidate bound.
+///
+/// In best-first mode priorities are accumulated weights computed by the
+/// exact operation sequence the unindexed oracle uses, so the comparison is
+/// strict. In A* mode a priority is `g + hsum`: `hsum` itself is exact
+/// (grid-rounded summands, see [`COST_GRID`]), but `g` is off-grid, so that
+/// one final addition still rounds — and a partial expression whose true
+/// bound ties the cutoff exactly (common: symmetric terms share
+/// bit-identical weights) must not be pruned by that last half-ulp, or a
+/// tied term the oracle emits could be lost. Pruning less is always
+/// output-safe, so the A* cutoff is inflated by a margin that dwarfs the
+/// final-addition rounding (≲ 1e-12 relative) while staying far below both
+/// the grid step and the smallest gap between distinct realizable weight
+/// sums.
+fn prune_cutoff(bound: Weight, astar: bool) -> Weight {
+    if astar {
+        Weight::new(bound.value() + (bound.value().abs() * 1e-9 + 1e-9))
+    } else {
+        bound
+    }
+}
+
+/// Runs term reconstruction over a derivation graph: an A* walk ordered by
+/// `g + Σ h(open holes)` when the graph carries its completion-cost
+/// heuristic, the plain best-first walk of [`generate_terms_best_first`]
+/// otherwise (i.e. when negative weight overrides break monotonicity).
 ///
 /// The returned terms are byte-identical (same terms, same weights, same
 /// order) to what [`generate_terms_unindexed`](crate::generate_terms_unindexed)
-/// produces from the same pattern set; the graph walk only avoids work that
-/// cannot influence the output. `outcome.steps` counts useful queue pops and
-/// is therefore typically much smaller than the unindexed walk's.
+/// produces from the same pattern set; the heuristic only changes which
+/// partial expressions are *explored*, never what is emitted. `outcome.steps`
+/// counts queue pops and is therefore typically much smaller than both the
+/// unindexed and the best-first walk's; `outcome.pruned_enqueues` counts the
+/// successors the bound discarded before they ever entered the queue.
 pub fn generate_terms(
     graph: &DerivationGraph,
     env: &TypeEnv,
     n: usize,
     limits: &GenerateLimits,
 ) -> GenerateOutcome {
+    walk(graph, env, n, limits, graph.heuristic.as_ref())
+}
+
+/// Runs term reconstruction in plain best-first (accumulated-weight) order,
+/// ignoring the heuristic even when the graph carries one.
+///
+/// This is the walk [`generate_terms`] falls back to on non-monotone graphs;
+/// it is public as the measurable "before" of the A* refactor (the
+/// `gent_ablation` benchmarks compare the two on the same graph) and returns
+/// byte-identical terms — only `steps`/`pruned_enqueues` differ.
+pub fn generate_terms_best_first(
+    graph: &DerivationGraph,
+    env: &TypeEnv,
+    n: usize,
+    limits: &GenerateLimits,
+) -> GenerateOutcome {
+    walk(graph, env, n, limits, None)
+}
+
+fn walk(
+    graph: &DerivationGraph,
+    env: &TypeEnv,
+    n: usize,
+    limits: &GenerateLimits,
+    heuristic: Option<&Heuristic>,
+) -> GenerateOutcome {
     let start = Instant::now();
-    let mut outcome = GenerateOutcome::default();
+    let astar = heuristic.is_some();
+    let mut outcome = GenerateOutcome {
+        astar,
+        ..GenerateOutcome::default()
+    };
     if n == 0 {
         return outcome;
     }
 
+    // Goal resolution + completion bound memo: holes with the same
+    // (context, type) repeat constantly during the walk.
+    let mut memo: HashMap<(EnvId, HoleTyId), HoleGoal> = HashMap::new();
+
+    let root_goal = hole_goal(graph, heuristic, &mut memo, graph.init_env, graph.root_ty);
     let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
     let mut seq = 0u64;
     queue.push(Entry {
-        weight: Reverse(Weight::ZERO),
-        seq: Reverse(seq),
+        // An uninhabited root makes this ∞; the pop below bails out before
+        // any arithmetic touches it.
+        priority: root_goal.cost,
+        g: Weight::ZERO,
+        hsum: root_goal.cost,
+        astar,
+        seq,
+        parent: None,
+        idx: 0,
         expr: Rc::new(PExpr::Hole {
             ty: graph.root_ty,
             ctx: graph.init_env,
@@ -490,16 +960,14 @@ pub fn generate_terms(
         depth: 1,
     });
 
-    // Goal resolution memo: holes with the same (context, type) repeat
-    // constantly during the walk.
-    let mut memo: HashMap<(EnvId, HoleTyId), Option<(EnvId, u32)>> = HashMap::new();
     // Expansion memo: the declaration-headed successors of a goal node in a
-    // given environment, with dead edges already filtered out. Binder-headed
-    // successors depend on the scope at the hole and are enumerated per pop.
+    // given environment, with dead edges already filtered out and their
+    // argument bounds pre-summed. Binder-headed successors depend on the
+    // scope at the hole and are enumerated per pop.
     let mut expansions: HashMap<(EnvId, u32), Rc<Vec<CachedVariant>>> = HashMap::new();
     // Branch-and-bound: the weights of the n best complete candidates
-    // enqueued so far (max-heap). Once full, anything strictly heavier than
-    // the top can never be emitted.
+    // enqueued so far (max-heap). Once full, any expression whose completion
+    // bound exceeds the top can never be emitted.
     let mut candidates: BinaryHeap<Weight> = BinaryHeap::new();
 
     'search: while let Some(entry) = queue.pop() {
@@ -521,16 +989,17 @@ pub fn generate_terms(
         if entry.holes == 0 {
             outcome.terms.push(RankedTerm {
                 term: to_term(&entry.expr, env),
-                weight: entry.weight.0,
+                weight: entry.g,
             });
             continue;
         }
 
-        // A partial expression heavier than the n-th best complete candidate
-        // cannot contribute output; skip its expansion.
+        // A partial expression whose completion bound (accumulated weight in
+        // best-first mode) exceeds the n-th best complete candidate cannot
+        // contribute output; skip its expansion.
         if graph.monotone && candidates.len() >= n {
             if let Some(&bound) = candidates.peek() {
-                if entry.weight.0 > bound {
+                if entry.priority > prune_cutoff(bound, astar) {
                     continue;
                 }
             }
@@ -539,14 +1008,13 @@ pub fn generate_terms(
         let mut scope: Vec<&(Param, HoleTyId)> = Vec::new();
         let (hole_ty, ctx, ancestors) = find_first_hole(&entry.expr, &mut scope, 0)
             .expect("entry with holes > 0 contains a hole");
-        let resolved = *memo
-            .entry((ctx, hole_ty))
-            .or_insert_with(|| graph.resolve(ctx, hole_ty));
-        let Some((node_env, node)) = resolved else {
+        let filled = hole_goal(graph, heuristic, &mut memo, ctx, hole_ty);
+        let Some((node_env, node)) = filled.node else {
             // Dead hole (only reachable from the root; successors containing
             // dead holes are pruned at creation).
             continue;
         };
+        let filled_cost = filled.cost;
 
         let info = &graph.tys[hole_ty.as_usize()];
         let fresh: Vec<(Param, HoleTyId)> = info
@@ -561,8 +1029,20 @@ pub fn generate_terms(
         let params_weight = Weight::new(graph.lambda_weight.value() * fresh.len() as f64);
         let params: Rc<[(Param, HoleTyId)]> = fresh.into();
 
+        // This pop's key becomes the pedigree of every successor it creates
+        // (the A* tie-break; best-first mode breaks ties on seq and skips
+        // the allocation entirely).
+        let pedigree = astar.then(|| {
+            Rc::new(Pedigree {
+                g: entry.g,
+                idx: entry.idx,
+                parent: entry.parent.clone(),
+            })
+        });
+
         // Declaration-headed successors of this (environment, goal) pair,
-        // dead-checked once and reused by every later pop of the same pair.
+        // dead-checked and bound-summed once, then reused by every later pop
+        // of the same pair.
         let cached = match expansions.get(&(node_env, node)) {
             Some(cached) => Rc::clone(cached),
             None => {
@@ -574,18 +1054,26 @@ pub fn generate_terms(
                         edges: variant
                             .edges
                             .iter()
-                            .filter(|edge| {
+                            .filter_map(|edge| {
                                 // Dead-hole pruning: an edge whose argument
-                                // goals include an uninhabited one can never
-                                // complete, in this environment or any
+                                // goals include an uncompletable one can
+                                // never finish, in this environment or any
                                 // extension reached through this hole.
-                                edge.args.iter().all(|&a| {
-                                    memo.entry((node_env, a))
-                                        .or_insert_with(|| graph.resolve(node_env, a))
-                                        .is_some()
-                                })
+                                let mut args_bound = Weight::ZERO;
+                                for &a in edge.args.iter() {
+                                    let goal = hole_goal(graph, heuristic, &mut memo, node_env, a);
+                                    if !goal.cost.is_finite() {
+                                        return None;
+                                    }
+                                    args_bound = args_bound.plus(goal.cost);
+                                }
+                                Some((
+                                    Head::Decl(edge.decl),
+                                    edge.weight,
+                                    edge.args.clone(),
+                                    args_bound,
+                                ))
                             })
-                            .map(|edge| (Head::Decl(edge.decl), edge.weight, edge.args.clone()))
                             .collect(),
                     })
                     .collect();
@@ -598,11 +1086,12 @@ pub fn generate_terms(
         let mut produced = 0usize;
         'expand: for variant in cached.iter() {
             // Declaration heads first, then binders in scope order — the
-            // enumeration order of the unindexed walk.
-            let decl_heads = variant
-                .edges
-                .iter()
-                .map(|(head, weight, args)| (head.clone(), *weight, args.clone()));
+            // enumeration order of the unindexed walk. Declaration heads
+            // carry their precomputed argument bound; binder heads are
+            // marked `None` and checked in the loop body.
+            let decl_heads = variant.edges.iter().map(|(head, weight, args, bound)| {
+                (head.clone(), *weight, args.clone(), Some(*bound))
+            });
             let binder_heads = scope
                 .iter()
                 .copied()
@@ -613,10 +1102,11 @@ pub fn generate_terms(
                         Head::Binder(Rc::from(param.name.as_str())),
                         graph.lambda_weight,
                         Arc::clone(&graph.tys[ty.as_usize()].args),
+                        None,
                     )
                 });
 
-            for (head, head_weight, arg_tys) in decl_heads.chain(binder_heads) {
+            for (head, head_weight, arg_tys, decl_bound) in decl_heads.chain(binder_heads) {
                 produced += 1;
                 // Re-check the wall-clock budget periodically so one step
                 // cannot overshoot the reconstruction limit.
@@ -628,7 +1118,7 @@ pub fn generate_terms(
                         }
                     }
                 }
-                if queue.len() >= MAX_FRONTIER {
+                if queue.len() >= limits.max_frontier {
                     // Stop enqueueing for this pop only — like the unindexed
                     // walk, the queue keeps draining so completions already
                     // enqueued are still emitted.
@@ -636,10 +1126,43 @@ pub fn generate_terms(
                     break 'expand;
                 }
 
-                let new_weight = entry.weight.0.plus(params_weight.plus(head_weight));
+                // Dead-hole pruning and Σ h for binder-headed successors
+                // (declaration edges carry both precomputed).
+                let args_bound = match decl_bound {
+                    Some(bound) => bound,
+                    None => {
+                        let mut bound = Weight::ZERO;
+                        let mut dead = false;
+                        for &a in arg_tys.iter() {
+                            let goal = hole_goal(graph, heuristic, &mut memo, node_env, a);
+                            if !goal.cost.is_finite() {
+                                dead = true;
+                                break;
+                            }
+                            bound = bound.plus(goal.cost);
+                        }
+                        if dead {
+                            continue;
+                        }
+                        bound
+                    }
+                };
+
+                let new_weight = entry.g.plus(params_weight.plus(head_weight));
+                let new_holes = entry.holes - 1 + arg_tys.len() as u32;
+                // Pin `Σ h` of complete expressions to exactly zero so their
+                // priority is bit-for-bit their weight, untouched by the
+                // rounding of the incremental bound updates.
+                let new_hsum = if !astar || new_holes == 0 {
+                    Weight::ZERO
+                } else {
+                    Weight::new(entry.hsum.value() - filled_cost.value() + args_bound.value())
+                };
+                let new_priority = new_weight.plus(new_hsum);
                 if graph.monotone && candidates.len() >= n {
                     if let Some(&bound) = candidates.peek() {
-                        if new_weight > bound {
+                        if new_priority > prune_cutoff(bound, astar) {
+                            outcome.pruned_enqueues += 1;
                             continue;
                         }
                     }
@@ -654,20 +1177,6 @@ pub fn generate_terms(
                     }
                 }
 
-                // Dead-hole pruning for binder-headed successors (declaration
-                // edges were checked when the cached expansion was built).
-                if matches!(head, Head::Binder(_)) {
-                    let dead = arg_tys.iter().any(|&a| {
-                        memo.entry((node_env, a))
-                            .or_insert_with(|| graph.resolve(node_env, a))
-                            .is_none()
-                    });
-                    if dead {
-                        continue;
-                    }
-                }
-
-                let new_holes = entry.holes - 1 + arg_tys.len() as u32;
                 if graph.monotone && new_holes == 0 {
                     if candidates.len() < n {
                         candidates.push(new_weight);
@@ -696,8 +1205,13 @@ pub fn generate_terms(
                 debug_assert!(done, "expansion must replace the located hole");
                 seq += 1;
                 queue.push(Entry {
-                    weight: Reverse(new_weight),
-                    seq: Reverse(seq),
+                    priority: new_priority,
+                    g: new_weight,
+                    hsum: new_hsum,
+                    astar,
+                    seq,
+                    parent: pedigree.clone(),
+                    idx: produced as u64,
                     expr: new_expr,
                     holes: new_holes,
                     depth: new_depth,
@@ -844,6 +1358,117 @@ mod tests {
         );
         assert!(walked.terms.is_empty());
         assert_eq!(walked.steps, 0);
+    }
+
+    #[test]
+    fn heuristic_bound_is_exact_on_a_first_order_chain() {
+        // Without binders the Dijkstra bound is not just admissible but
+        // exact: h(root) equals the weight of the best term.
+        let (walked, _, graph) = both_walks(
+            vec![
+                Declaration::new("name", Ty::base("String"), DeclKind::Local),
+                Declaration::new(
+                    "mkFile",
+                    Ty::fun(vec![Ty::base("String")], Ty::base("File")),
+                    DeclKind::Imported,
+                ),
+            ],
+            Ty::base("File"),
+            3,
+            &GenerateLimits::default(),
+        );
+        assert!(graph.has_heuristic());
+        assert!(walked.astar);
+        let bound = graph.completion_bound().expect("monotone graph");
+        assert_eq!(bound, walked.terms[0].weight);
+    }
+
+    #[test]
+    fn uninhabited_goal_gets_an_infinite_bound() {
+        let (walked, _, graph) = both_walks(
+            vec![Declaration::new(
+                "f",
+                Ty::fun(vec![Ty::base("B")], Ty::base("A")),
+                DeclKind::Local,
+            )],
+            Ty::base("A"),
+            5,
+            &GenerateLimits::default(),
+        );
+        assert!(walked.terms.is_empty());
+        assert_eq!(graph.completion_bound(), Some(Weight::INFINITY));
+    }
+
+    #[test]
+    fn astar_never_pops_more_than_the_best_first_walk() {
+        let decls = vec![
+            Declaration::new("a", Ty::base("A"), DeclKind::Local),
+            Declaration::new(
+                "s",
+                Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+                DeclKind::Local,
+            ),
+            Declaration::new(
+                "join",
+                Ty::fun(vec![Ty::base("A"), Ty::base("A")], Ty::base("A")),
+                DeclKind::Imported,
+            ),
+        ];
+        let env: TypeEnv = decls.iter().cloned().collect();
+        let limits = GenerateLimits {
+            max_depth: Some(4),
+            ..GenerateLimits::default()
+        };
+        let (astar, _, graph) = both_walks(decls, Ty::base("A"), 6, &limits);
+        let best_first = generate_terms_best_first(&graph, &env, 6, &limits);
+        assert_eq!(
+            rendered(&astar),
+            rendered(&best_first),
+            "both walks emit the identical list"
+        );
+        assert!(astar.steps <= best_first.steps);
+        assert!(astar.astar);
+        assert!(!best_first.astar);
+    }
+
+    #[test]
+    fn long_lineages_with_wholesale_weight_ties_stay_ordered() {
+        // NoWeights makes every expansion cost 1, so pedigree comparisons
+        // fall through the weight phase into the index phase, and lineage
+        // chains grow to ~n links — exercising the iterative cmp and the
+        // iterative Drop on a four-digit chain.
+        let env: TypeEnv = vec![
+            Declaration::new("a", Ty::base("A"), DeclKind::Local),
+            Declaration::new(
+                "s",
+                Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+                DeclKind::Local,
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let weights = WeightConfig::new(crate::WeightMode::NoWeights);
+        let prepared = PreparedEnv::prepare(&env, &weights);
+        let goal = Ty::base("A");
+        let mut store = prepared.scratch();
+        let goal_succ = store.sigma(&goal);
+        let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut store, &space);
+        let graph = DerivationGraph::build(&prepared, &mut store, &patterns, &env, &weights, &goal);
+
+        // Chain length is bounded here by the pre-existing recursive PExpr
+        // helpers (find/replace/to_term recurse per term-depth level, and the
+        // s-chain's depth equals its node count); 600 keeps those within the
+        // 2 MiB test-thread stack while still driving the iterative pedigree
+        // comparison and Drop through hundreds of links.
+        let n = 600;
+        let outcome = generate_terms(&graph, &env, n, &GenerateLimits::default());
+        assert_eq!(outcome.terms.len(), n);
+        assert!(outcome.terms.windows(2).all(|w| w[0].weight <= w[1].weight));
+        // The enumeration is the s-chain: a, s(a), s(s(a)), …
+        assert_eq!(outcome.terms[0].term.to_string(), "a");
+        assert_eq!(outcome.terms[1].term.to_string(), "s(a)");
+        assert_eq!(outcome.terms[n - 1].term.depth(), n);
     }
 
     #[test]

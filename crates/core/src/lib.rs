@@ -18,20 +18,28 @@
 //!    — goals become nodes, and every `Select`-resolved declaration that
 //!    realizes a pattern becomes a weighted edge carrying its pre-lowered
 //!    argument types. The graph is self-contained and cached on the
-//!    [`Session`], so repeated queries for the same goal skip phases 2–4
+//!    [`Session`], so repeated queries for the same goal skip phases 2–5
 //!    entirely.
-//! 5. **GenerateT** (Figure 10): best-first reconstruction of concrete lambda
-//!    terms as a pure walk over the graph ([`generate_terms`]): no interning
-//!    or `Select` lookups in the search loop, dead holes pruned at creation,
-//!    and branch-and-bound against the current n-th best candidate.
+//! 5. **Heuristic** : a backward Dijkstra over the graph computes, per goal
+//!    node, an admissible lower bound on the cheapest complete term rooted
+//!    there (∞ for uncompletable goals), stored with the graph and hence
+//!    computed once per cached graph.
+//! 6. **GenerateT** (Figure 10): reconstruction of concrete lambda terms as
+//!    an A* walk over the graph ([`generate_terms`]), ordered by accumulated
+//!    weight plus the completion bounds of the open holes: no interning or
+//!    `Select` lookups in the search loop, dead (∞-bound) holes pruned at
+//!    creation, and branch-and-bound against the current n-th best
+//!    candidate. When negative weight overrides break monotonicity the walk
+//!    falls back to plain best-first order ([`generate_terms_best_first`]).
 //!    [`generate_terms_unindexed`] is the pre-graph reference walk over the
-//!    flat [`PatternSet`]; it returns byte-identical results and serves as
-//!    the equivalence oracle and ablation baseline.
+//!    flat [`PatternSet`]; all walks return byte-identical ranked terms, and
+//!    the unindexed one serves as the equivalence oracle and ablation
+//!    baseline.
 //!
 //! The public entry point is the session API: an [`Engine`] holds the
 //! configuration, [`Engine::prepare`] runs phase 1 once per program point and
 //! returns a `Send + Sync` [`Session`], and [`Session::query`] runs phases
-//! 2-5 for each [`Query`] without touching shared state — so one prepared
+//! 2-6 for each [`Query`] without touching shared state — so one prepared
 //! point can serve many queries, concurrently, and each session memoizes the
 //! derivation graphs its queries build. [`Engine::query_batch`] runs
 //! requests against several program points at once, preparing each point once
@@ -83,7 +91,7 @@ pub use decl::{DeclKind, Declaration, TypeEnv};
 pub use explore::{explore, ExploreLimits, SearchSpace};
 pub use genp::{generate_patterns, generate_patterns_naive, PatternSet};
 pub use gent::{generate_terms_unindexed, GenerateLimits, GenerateOutcome, RankedTerm};
-pub use graph::{generate_terms, DerivationGraph, HoleTyId};
+pub use graph::{generate_terms, generate_terms_best_first, DerivationGraph, HoleTyId};
 pub use prepare::PreparedEnv;
 pub use rcn::{is_inhabited_ref, rcn};
 pub use session::{BatchRequest, Engine, Query, Session};

@@ -45,8 +45,8 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -96,6 +96,8 @@ impl Engine {
             prepared,
             prepare_time,
             graphs: RwLock::new(HashMap::new()),
+            cache_clock: AtomicU64::new(0),
+            graph_builds: AtomicUsize::new(0),
         }
     }
 
@@ -352,6 +354,8 @@ impl Query {
                 .unwrap_or(base.max_reconstruction_steps),
             max_depth: self.max_depth.unwrap_or(base.max_depth),
             erase_coercions: self.erase_coercions.unwrap_or(base.erase_coercions),
+            // Session-level knob; queries cannot override the cache bound.
+            graph_cache_capacity: base.graph_cache_capacity,
         }
     }
 }
@@ -385,6 +389,15 @@ pub(crate) struct QueryArtifacts {
     time_truncated: bool,
 }
 
+/// A cached derivation graph (plus build statistics) together with its
+/// recency stamp. The stamp is atomic so cache hits can refresh it under the
+/// shared read lock.
+#[derive(Debug)]
+struct CachedGraph {
+    artifacts: Arc<QueryArtifacts>,
+    last_used: AtomicU64,
+}
+
 /// One prepared program point: the σ-lowered environment plus the engine
 /// configuration it was prepared under.
 ///
@@ -393,20 +406,35 @@ pub(crate) struct QueryArtifacts {
 /// sets, newly interned types) in per-query scratch space, so an
 /// `Arc<Session>` can answer queries from many threads concurrently. The only
 /// shared mutable state is the derivation-graph cache, which memoizes the
-/// explore → patterns → graph phases per goal: the first query for a goal
-/// builds the graph, every later query for it goes straight to
-/// reconstruction. Only completely explored graphs are cached — a build
-/// whose exploration hit the prover's wall-clock budget serves its own
-/// query and is discarded, so a transiently slow machine can never pin
-/// incomplete results onto the session. Cached queries are byte-identical
-/// to what an uncached run of the same (untruncated) build returns.
+/// explore → patterns → graph → heuristic phases per goal: the first query
+/// for a goal builds the graph (and its A* completion bounds), every later
+/// query for it goes straight to reconstruction. Only completely explored
+/// graphs are cached — a build whose exploration hit the prover's wall-clock
+/// budget serves its own query and is discarded, so a transiently slow
+/// machine can never pin incomplete results onto the session. Cached queries
+/// are byte-identical to what an uncached run of the same (untruncated)
+/// build returns.
+///
+/// The cache is **bounded**: at most
+/// [`SynthesisConfig::graph_cache_capacity`] graphs (default 64) are kept,
+/// and the least recently used graph is evicted when a new goal would exceed
+/// the bound — a long-lived session answering many distinct goals stays
+/// bounded in memory. The cache also survives panics: a query thread that
+/// panics mid-cache-access (poisoning the lock) never bricks the other
+/// threads sharing the `Arc<Session>`, because the cache only ever holds
+/// fully built graphs and the lock is recovered on the next access.
 #[derive(Debug)]
 pub struct Session {
     env: TypeEnv,
     config: SynthesisConfig,
     prepared: PreparedEnv,
     prepare_time: Duration,
-    graphs: RwLock<HashMap<GraphKey, Arc<QueryArtifacts>>>,
+    graphs: RwLock<HashMap<GraphKey, CachedGraph>>,
+    /// Monotone stamp source for the cache's LRU recency ordering.
+    cache_clock: AtomicU64,
+    /// Number of derivation-graph builds this session has performed (cache
+    /// misses, non-cacheable truncated builds, and weight-override queries).
+    graph_builds: AtomicUsize,
 }
 
 impl Session {
@@ -447,6 +475,7 @@ impl Session {
                 // re-prepare privately for this query (the documented slow
                 // path; the shared session is left untouched).
                 let prepared = PreparedEnv::prepare(&self.env, weights);
+                self.graph_builds.fetch_add(1, Ordering::Relaxed);
                 return run_query(&prepared, &self.env, &config, &query.goal, query.n);
             }
         }
@@ -456,42 +485,65 @@ impl Session {
             max_explore_requests: config.max_explore_requests,
             prover_time_limit: config.prover_time_limit,
         };
-        let cached = self
-            .graphs
-            .read()
-            .expect("graph cache poisoned")
-            .get(&key)
-            .cloned();
+        let cached = self.read_graphs().get(&key).map(|entry| {
+            // Refresh the LRU stamp under the shared read lock.
+            entry.last_used.store(
+                self.cache_clock.fetch_add(1, Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            Arc::clone(&entry.artifacts)
+        });
         let artifacts = match cached {
             Some(artifacts) => artifacts,
             None => {
+                self.graph_builds.fetch_add(1, Ordering::Relaxed);
                 let built = Arc::new(build_artifacts(
                     &self.prepared,
                     &self.env,
                     &config,
                     &query.goal,
                 ));
-                if built.time_truncated {
+                if built.time_truncated || self.config.graph_cache_capacity == 0 {
                     // A wall-clock-truncated exploration is a property of
                     // this moment, not of the goal: caching it would pin an
                     // incomplete graph on the session forever. Use it for
                     // this query only and let the next query re-explore.
                     // (A `max_explore_requests`-capped exploration is
                     // deterministic — the cap is part of the key — and
-                    // caches normally.)
+                    // caches normally. A zero-capacity cache never stores
+                    // anything.)
                     built
                 } else {
                     // Two threads may race to build the same graph; an
                     // untruncated build is deterministic, so keeping the
                     // first insertion is only an allocation-saving
                     // tie-break, never a behavioural one.
-                    Arc::clone(
-                        self.graphs
-                            .write()
-                            .expect("graph cache poisoned")
-                            .entry(key)
-                            .or_insert(built),
-                    )
+                    let mut graphs = self.write_graphs();
+                    let stamp = self.cache_clock.fetch_add(1, Ordering::Relaxed);
+                    let slot = graphs.entry(key).or_insert_with(|| CachedGraph {
+                        artifacts: built,
+                        last_used: AtomicU64::new(0),
+                    });
+                    // Stamping also covers the race-lost path: reusing the
+                    // other thread's graph is a recency bump too.
+                    slot.last_used.store(stamp, Ordering::Relaxed);
+                    let artifacts = Arc::clone(&slot.artifacts);
+                    // LRU eviction keeps the cache within its bound. The
+                    // entry just stamped carries the newest stamp, so it is
+                    // never the victim (capacity 0 never reaches this path).
+                    while graphs.len() > self.config.graph_cache_capacity {
+                        let victim = graphs
+                            .iter()
+                            .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+                            .map(|(key, _)| key.clone());
+                        match victim {
+                            Some(victim) => {
+                                graphs.remove(&victim);
+                            }
+                            None => break,
+                        }
+                    }
+                    artifacts
                 }
             }
         };
@@ -499,9 +551,33 @@ impl Session {
     }
 
     /// Number of derivation graphs currently cached on this session (one per
-    /// distinct goal/prover-budget combination queried so far).
+    /// distinct goal/prover-budget combination queried so far, bounded by
+    /// [`SynthesisConfig::graph_cache_capacity`]).
     pub fn cached_graph_count(&self) -> usize {
-        self.graphs.read().expect("graph cache poisoned").len()
+        self.read_graphs().len()
+    }
+
+    /// Number of derivation-graph builds this session has performed — cache
+    /// misses plus non-cacheable builds (wall-clock-truncated explorations,
+    /// weight-override queries). The difference between queries issued and
+    /// builds performed is the cache's hit count.
+    pub fn graph_build_count(&self) -> usize {
+        self.graph_builds.load(Ordering::Relaxed)
+    }
+
+    /// Acquires the graph cache for reading, recovering from a poisoned lock:
+    /// the cache only ever holds fully built `Arc<QueryArtifacts>` (no
+    /// invariant can be half-updated when a panicking thread drops the
+    /// guard), so the poisoned state is safe to adopt and one panicking query
+    /// must not brick every other thread sharing the `Arc<Session>`.
+    fn read_graphs(&self) -> RwLockReadGuard<'_, HashMap<GraphKey, CachedGraph>> {
+        self.graphs.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires the graph cache for writing; see [`Session::read_graphs`] for
+    /// why poisoning is recovered rather than propagated.
+    fn write_graphs(&self) -> RwLockWriteGuard<'_, HashMap<GraphKey, CachedGraph>> {
+        self.graphs.write().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Answers several queries against this program point, sequentially,
@@ -600,6 +676,7 @@ fn finish_query(
             max_steps: config.max_reconstruction_steps,
             time_limit: config.reconstruction_time_limit,
             max_depth: config.max_depth,
+            ..GenerateLimits::default()
         },
     );
     let recon_time = recon_started.elapsed();
@@ -638,6 +715,8 @@ fn finish_query(
             requests_processed: artifacts.requests_processed,
             patterns: artifacts.patterns,
             reconstruction_steps: outcome.steps,
+            reconstruction_pruned_enqueues: outcome.pruned_enqueues,
+            astar: outcome.astar,
             truncated: artifacts.explore_truncated || outcome.truncated,
         },
     }
@@ -767,6 +846,87 @@ mod tests {
                 .with_max_reconstruction_steps(2),
         );
         assert!(truncated.stats.truncated);
+    }
+
+    #[test]
+    fn poisoned_graph_cache_does_not_brick_the_session() {
+        // One query thread panicking while it holds the cache lock must not
+        // poison every subsequent `Session::query` on the shared Arc.
+        let engine = Engine::new(SynthesisConfig::default());
+        let session = Arc::new(engine.prepare(&env_a()));
+        let before = session.query(&Query::new(Ty::base("File")).with_n(3));
+
+        let poisoner = Arc::clone(&session);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _guard = poisoner.graphs.write().unwrap_or_else(|e| e.into_inner());
+            panic!("query thread dies while holding the cache lock");
+        }));
+        assert!(result.is_err(), "the panic must actually happen");
+        assert!(
+            session.graphs.read().is_err(),
+            "the lock must be poisoned for this test to mean anything"
+        );
+
+        // The session keeps answering — cache reads, writes and the counter
+        // all recover the poisoned lock.
+        let after = session.query(&Query::new(Ty::base("File")).with_n(3));
+        assert_eq!(render(&before), render(&after));
+        assert!(session.cached_graph_count() >= 1);
+        let fresh = session.query(&Query::new(Ty::base("String")).with_n(2));
+        assert_eq!(fresh.snippets[0].term.to_string(), "name");
+    }
+
+    #[test]
+    fn graph_cache_evicts_least_recently_used_within_capacity() {
+        let env: TypeEnv = vec![
+            Declaration::new("a", Ty::base("A"), DeclKind::Local),
+            Declaration::new("b", Ty::base("B"), DeclKind::Local),
+            Declaration::new("c", Ty::base("C"), DeclKind::Local),
+        ]
+        .into_iter()
+        .collect();
+        let config = SynthesisConfig {
+            graph_cache_capacity: 2,
+            ..SynthesisConfig::default()
+        };
+        let session = Engine::new(config).prepare(&env);
+        let query = |name: &str| {
+            session.query(&Query::new(Ty::base(name)).with_n(1));
+        };
+
+        query("A"); // build 1, cache {A}
+        query("B"); // build 2, cache {A, B}
+        assert_eq!(session.graph_build_count(), 2);
+        assert_eq!(session.cached_graph_count(), 2);
+
+        query("A"); // hit, A becomes most recent
+        assert_eq!(session.graph_build_count(), 2);
+
+        query("C"); // build 3: capacity forces out B (least recent), not A
+        assert_eq!(session.graph_build_count(), 3);
+        assert_eq!(session.cached_graph_count(), 2);
+
+        query("A"); // still cached
+        query("C"); // still cached
+        assert_eq!(session.graph_build_count(), 3);
+
+        query("B"); // evicted above: rebuilt, and evicts the LRU entry (A)
+        assert_eq!(session.graph_build_count(), 4);
+        assert_eq!(session.cached_graph_count(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_graph_caching() {
+        let config = SynthesisConfig {
+            graph_cache_capacity: 0,
+            ..SynthesisConfig::default()
+        };
+        let session = Engine::new(config).prepare(&env_b());
+        let first = session.query(&Query::new(Ty::base("A")).with_n(3));
+        let second = session.query(&Query::new(Ty::base("A")).with_n(3));
+        assert_eq!(render(&first), render(&second));
+        assert_eq!(session.cached_graph_count(), 0);
+        assert_eq!(session.graph_build_count(), 2);
     }
 
     #[test]

@@ -38,6 +38,13 @@ pub struct SynthesisConfig {
     /// snippets (the behaviour of the paper's tool); the raw term is still
     /// available on each [`Snippet`].
     pub erase_coercions: bool,
+    /// Upper bound on the number of derivation graphs a
+    /// [`Session`](crate::Session) keeps cached (one per distinct
+    /// goal/prover-budget combination queried). When the bound is reached the
+    /// least recently used graph is evicted, so a long-lived session
+    /// answering many distinct goals stays bounded in memory. `0` disables
+    /// caching entirely (every query rebuilds its graph).
+    pub graph_cache_capacity: usize,
 }
 
 impl Default for SynthesisConfig {
@@ -50,6 +57,7 @@ impl Default for SynthesisConfig {
             max_reconstruction_steps: 500_000,
             max_depth: None,
             erase_coercions: true,
+            graph_cache_capacity: 64,
         }
     }
 }
@@ -132,6 +140,14 @@ pub struct SynthesisStats {
     pub patterns: usize,
     /// Reconstruction steps (priority-queue pops).
     pub reconstruction_steps: usize,
+    /// Successor expressions the reconstruction walk discarded before
+    /// enqueueing because their completion bound already exceeded the n-th
+    /// best candidate (heuristic-assisted when `astar` is set).
+    pub reconstruction_pruned_enqueues: usize,
+    /// `true` when reconstruction ran as the heuristic-guided A* walk;
+    /// `false` when it fell back to plain best-first order (negative weight
+    /// overrides).
+    pub astar: bool,
     /// `true` if any phase hit a budget.
     pub truncated: bool,
 }

@@ -38,6 +38,11 @@ impl Weight {
     /// Zero weight (holes in partial expressions weigh nothing, §5.5).
     pub const ZERO: Weight = Weight(0.0);
 
+    /// Positive infinity: the completion bound of an uninhabited goal. No
+    /// finite term can ever reach it, so `INFINITY` both marks dead holes and
+    /// absorbs sums (`x.plus(INFINITY) == INFINITY`).
+    pub const INFINITY: Weight = Weight(f64::INFINITY);
+
     /// The underlying value.
     pub fn value(self) -> f64 {
         self.0
@@ -59,6 +64,12 @@ impl Weight {
     /// [`Declaration::with_weight`]: crate::Declaration::with_weight
     pub fn is_non_negative(self) -> bool {
         self.0 >= 0.0
+    }
+
+    /// Returns `true` unless the weight is [`Weight::INFINITY`] (or negative
+    /// infinity, which no configuration produces).
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
     }
 }
 
@@ -353,5 +364,14 @@ mod tests {
         assert!(Weight::ZERO.is_non_negative());
         assert!(Weight::new(5.0).is_non_negative());
         assert!(!Weight::new(-1.0).is_non_negative());
+    }
+
+    #[test]
+    fn infinity_absorbs_sums_and_compares_above_everything() {
+        assert!(!Weight::INFINITY.is_finite());
+        assert!(Weight::new(1.0e12).is_finite());
+        assert_eq!(Weight::INFINITY.plus(Weight::new(3.0)), Weight::INFINITY);
+        assert!(Weight::UNKNOWN < Weight::INFINITY);
+        assert!(Weight::INFINITY.is_non_negative());
     }
 }

@@ -58,6 +58,13 @@
 //! assert_eq!(strings.snippets[0].term.to_string(), "name");
 //! ```
 //!
+//! Each session memoizes the derivation graph (and its A* completion-cost
+//! heuristic) per queried goal, so repeated queries skip straight to
+//! reconstruction. The cache is bounded — at most
+//! `SynthesisConfig::graph_cache_capacity` graphs (default 64), evicted
+//! least-recently-used — so even a session answering thousands of distinct
+//! goals stays bounded in memory.
+//!
 //! For many program points at once, `Engine::query_batch` groups requests by
 //! point, prepares each point once, and fans the queries out across a scoped
 //! thread pool, returning results in input order:

@@ -10,8 +10,13 @@
 //!   reference oracle and with both baseline provers,
 //! * σ laws — the succinct conversion is invariant under argument reordering,
 //! * ranking — the returned list is sorted by weight,
-//! * graph equivalence — the derivation-graph walk returns byte-identical
-//!   ranked terms to the pre-graph unindexed reconstruction.
+//! * graph equivalence — the derivation-graph walk (A* over the
+//!   completion-cost heuristic) returns byte-identical ranked terms to the
+//!   pre-graph unindexed reconstruction, including for `n ∈ {0, 1}` and for
+//!   negative-weight-override configurations where the walk must fall back
+//!   to plain best-first order,
+//! * truncation — a frontier-capped walk still emits a sorted subset of the
+//!   true enumeration with exact weights.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -176,6 +181,134 @@ proptest! {
     }
 
     #[test]
+    fn astar_fallback_matches_unindexed_under_negative_weight_overrides(
+        env in arb_env(),
+        goal in arb_goal(),
+    ) {
+        // Negative overrides break weight monotonicity: the graph must skip
+        // the heuristic, fall back to the plain best-first walk, and still
+        // match the unindexed oracle byte for byte.
+        use insynth::succinct::TypeStore;
+
+        let env: TypeEnv = env
+            .iter()
+            .enumerate()
+            .map(|(i, decl)| {
+                let decl = decl.clone();
+                if i % 3 == 0 {
+                    decl.with_weight(-1.5 - i as f64)
+                } else {
+                    decl
+                }
+            })
+            .collect();
+        let weights = WeightConfig::default();
+        let prepared = PreparedEnv::prepare(&env, &weights);
+        let mut store = prepared.scratch();
+        let goal_succ = store.sigma(&goal);
+        let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut store, &space);
+        let limits = GenerateLimits { max_depth: Some(3), ..GenerateLimits::default() };
+
+        let reference = generate_terms_unindexed(
+            &prepared, &mut store, &patterns, &env, &weights, &goal, 32, &limits,
+        );
+        let graph = DerivationGraph::build(&prepared, &mut store, &patterns, &env, &weights, &goal);
+        prop_assert!(!graph.has_heuristic(), "negative overrides must disable the heuristic");
+        let walked = generate_terms(&graph, &env, 32, &limits);
+        prop_assert!(!walked.astar);
+
+        let key = |terms: &[insynth::core::RankedTerm]| -> Vec<(String, u64)> {
+            terms
+                .iter()
+                .map(|r| (r.term.to_string(), r.weight.value().to_bits()))
+                .collect()
+        };
+        prop_assert_eq!(key(&walked.terms), key(&reference.terms));
+    }
+
+    #[test]
+    fn graph_walk_matches_unindexed_for_tiny_n(
+        env in arb_env(),
+        goal in arb_goal(),
+        n in 0usize..2,
+    ) {
+        // The degenerate request sizes: n = 0 must short-circuit identically,
+        // n = 1 exercises the branch-and-bound from the very first candidate.
+        use insynth::succinct::TypeStore;
+
+        let weights = WeightConfig::default();
+        let prepared = PreparedEnv::prepare(&env, &weights);
+        let mut store = prepared.scratch();
+        let goal_succ = store.sigma(&goal);
+        let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut store, &space);
+        let limits = GenerateLimits { max_depth: Some(4), ..GenerateLimits::default() };
+
+        let reference = generate_terms_unindexed(
+            &prepared, &mut store, &patterns, &env, &weights, &goal, n, &limits,
+        );
+        let graph = DerivationGraph::build(&prepared, &mut store, &patterns, &env, &weights, &goal);
+        let walked = generate_terms(&graph, &env, n, &limits);
+
+        let key = |terms: &[insynth::core::RankedTerm]| -> Vec<(String, u64)> {
+            terms
+                .iter()
+                .map(|r| (r.term.to_string(), r.weight.value().to_bits()))
+                .collect()
+        };
+        prop_assert_eq!(key(&walked.terms), key(&reference.terms));
+        prop_assert!(walked.terms.len() <= n);
+    }
+
+    #[test]
+    fn frontier_truncated_walk_emits_a_sorted_subset_of_the_enumeration(
+        env in arb_env(),
+        goal in arb_goal(),
+    ) {
+        // A tiny frontier cap drops successors, so the truncated walk cannot
+        // promise the reference's exact list — but everything it does emit
+        // must be a genuine member of the (untruncated) enumeration, with its
+        // exact weight, in ascending weight order.
+        use insynth::succinct::TypeStore;
+        use std::collections::HashSet;
+
+        let weights = WeightConfig::default();
+        let prepared = PreparedEnv::prepare(&env, &weights);
+        let mut store = prepared.scratch();
+        let goal_succ = store.sigma(&goal);
+        let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut store, &space);
+        let graph = DerivationGraph::build(&prepared, &mut store, &patterns, &env, &weights, &goal);
+
+        let full_limits = GenerateLimits { max_depth: Some(3), ..GenerateLimits::default() };
+        let full = generate_terms(&graph, &env, 10_000, &full_limits);
+        let full_set: HashSet<(String, u64)> = full
+            .terms
+            .iter()
+            .map(|r| (r.term.to_string(), r.weight.value().to_bits()))
+            .collect();
+
+        let tiny_limits = GenerateLimits {
+            max_depth: Some(3),
+            max_frontier: 3,
+            ..GenerateLimits::default()
+        };
+        let truncated = generate_terms(&graph, &env, 10_000, &tiny_limits);
+        prop_assert!(truncated.terms.len() <= full.terms.len());
+        for window in truncated.terms.windows(2) {
+            prop_assert!(window[0].weight <= window[1].weight);
+        }
+        for ranked in &truncated.terms {
+            prop_assert!(
+                full_set.contains(&(ranked.term.to_string(), ranked.weight.value().to_bits())),
+                "truncated walk emitted {} which the full enumeration never produces",
+                ranked.term
+            );
+        }
+    }
+
+    #[test]
     fn no_weights_mode_finds_a_superset_of_goals(env in arb_env(), goal in arb_goal()) {
         // Whether *some* snippet exists must not depend on the weight mode.
         use insynth::core::WeightMode;
@@ -191,4 +324,51 @@ proptest! {
         .query(&Query::new(goal.clone()).with_n(1000));
         prop_assert_eq!(full.snippets.is_empty(), none.snippets.is_empty());
     }
+}
+
+/// Deterministic companion to the frontier proptest: a frontier cap of one
+/// entry on the `a : A, s : A → A` chain forces truncation immediately, and
+/// the walk still drains what it managed to enqueue.
+#[test]
+fn frontier_cap_of_one_truncates_but_still_emits_enqueued_terms() {
+    use insynth::succinct::TypeStore;
+
+    let env: TypeEnv = vec![
+        Declaration::simple("a", Ty::base("A"), DeclKind::Local),
+        Declaration::simple(
+            "s",
+            Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+            DeclKind::Local,
+        ),
+    ]
+    .into_iter()
+    .collect();
+    let goal = Ty::base("A");
+    let weights = WeightConfig::default();
+    let prepared = PreparedEnv::prepare(&env, &weights);
+    let mut store = prepared.scratch();
+    let goal_succ = store.sigma(&goal);
+    let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+    let patterns = generate_patterns(&mut store, &space);
+    let graph = DerivationGraph::build(&prepared, &mut store, &patterns, &env, &weights, &goal);
+
+    let limits = GenerateLimits {
+        max_frontier: 1,
+        ..GenerateLimits::default()
+    };
+    let outcome = generate_terms(&graph, &env, 10, &limits);
+    assert!(outcome.truncated, "a one-entry frontier must truncate");
+    // The root expansion enqueues `a` (weight 5) and then hits the cap before
+    // `s([])`; the drain still emits the enqueued completion.
+    let rendered: Vec<String> = outcome.terms.iter().map(|r| r.term.to_string()).collect();
+    assert_eq!(rendered, vec!["a"]);
+
+    // The unindexed reference behaves identically under the same cap.
+    let reference = generate_terms_unindexed(
+        &prepared, &mut store, &patterns, &env, &weights, &goal, 10, &limits,
+    );
+    assert!(reference.truncated);
+    let reference_rendered: Vec<String> =
+        reference.terms.iter().map(|r| r.term.to_string()).collect();
+    assert_eq!(reference_rendered, rendered);
 }
