@@ -33,13 +33,32 @@
 //! workspace root; pass a path to write elsewhere. Numbers are wall-clock and
 //! machine-specific: regenerate the file on the machine you compare on.
 //!
+//! Cross-point and walk-cache entries (the content-addressing PR):
+//!
+//! * `cross_point/query_batch_4_equal_points` — a cold `query_batch` over
+//!   four structurally equal program points (clones and a permutation of
+//!   the filler-4 environment) asking one goal: with the fingerprint-keyed
+//!   engine caches this costs ~one prepare + one graph build + four walks.
+//! * `session_amortization/prepare_fingerprint_hit` — preparing a
+//!   structurally equal environment on a warm engine (hash + structural
+//!   verification, no σ).
+//! * `gent_ablation/astar_walk` is measured **warm** (the persisted
+//!   per-walk hole-goal memo and expansion cache are reused, as in a
+//!   session's repeated queries); `astar_walk_cold` clears the persisted
+//!   caches every iteration and records the first-query cost the warm
+//!   number is measured against.
+//!
 //! `--check [path]` instead runs the perf smoke test CI executes on every
 //! push:
 //!
-//! 1. a **deterministic pops gate** — the A* walk must pop at most half the
-//!    queue entries of the plain best-first walk on the filler-4 graph (no
-//!    timing involved, so no noise);
-//! 2. a **timing-ratio gate** — re-measures the two `session_amortization`
+//! 1. a **deterministic cross-point gate** — a `query_batch` over four
+//!    structurally equal program points (including a permuted copy) must
+//!    report exactly one σ run and exactly one derivation-graph build
+//!    (`Engine::prepare_count` / `Engine::graph_build_count`); no timing
+//!    involved, so no noise;
+//! 2. a **deterministic pops gate** — the A* walk must pop at most half the
+//!    queue entries of the plain best-first walk on the filler-4 graph;
+//! 3. a **timing-ratio gate** — re-measures the two `session_amortization`
 //!    query workloads and fails if the graph pipeline's speedup over the
 //!    unindexed pipeline shrank more than 25% against the recorded ratio.
 //!    A single noisy measurement window must not fail CI, so a breach is
@@ -54,8 +73,8 @@ use std::time::{Duration, Instant};
 use insynth_bench::{build_graph, compression_environment, phases_environment};
 use insynth_core::{
     explore, generate_patterns, generate_patterns_naive, generate_terms, generate_terms_best_first,
-    generate_terms_unindexed, Engine, ExploreLimits, GenerateLimits, PreparedEnv, Query,
-    SynthesisConfig, TypeEnv, WeightConfig,
+    generate_terms_unindexed, BatchRequest, Engine, ExploreLimits, GenerateLimits, PreparedEnv,
+    Query, SynthesisConfig, TypeEnv, WeightConfig,
 };
 use insynth_lambda::Ty;
 use insynth_succinct::TypeStore;
@@ -142,6 +161,19 @@ fn amortization_goal() -> Ty {
     Ty::base("SequenceInputStream")
 }
 
+/// Four structurally equal program points (clones plus a declaration-order
+/// permutation of `env`) asking `goal` — the cross-point batch workload, and
+/// the input of the deterministic cross-point `--check` gate.
+fn cross_point_requests(env: &TypeEnv, goal: &Ty) -> Vec<BatchRequest> {
+    let reversed: TypeEnv = env.iter().rev().cloned().collect();
+    vec![
+        BatchRequest::new(env.clone(), Query::new(goal.clone())),
+        BatchRequest::new(reversed, Query::new(goal.clone())),
+        BatchRequest::new(env.clone(), Query::new(goal.clone())),
+        BatchRequest::new(env.clone(), Query::new(goal.clone()).with_n(4)),
+    ]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
@@ -190,12 +222,32 @@ fn main() {
         let engine = Engine::new(SynthesisConfig::default());
         let goal = amortization_goal();
 
+        // A fresh engine per iteration measures the true σ cost; on a shared
+        // engine every iteration after the first would be a fingerprint hit.
         eprintln!("measuring session_amortization/prepare_only/{env_size} …");
-        let (samples, iters, min, median, mean) = measure(10, || engine.prepare(&env));
+        let (samples, iters, min, median, mean) =
+            measure(10, || Engine::new(SynthesisConfig::default()).prepare(&env));
         measurements.push(Measurement {
             bench: "phases",
             group: "session_amortization",
             id: "prepare_only".to_owned(),
+            env_size,
+            samples,
+            iters_per_sample: iters,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        });
+
+        // The cross-point fast path: the engine already holds the point, so
+        // preparing a structurally equal environment is hash + verification.
+        eprintln!("measuring session_amortization/prepare_fingerprint_hit/{env_size} …");
+        let _warm = engine.prepare(&env);
+        let (samples, iters, min, median, mean) = measure(10, || engine.prepare(&env));
+        measurements.push(Measurement {
+            bench: "phases",
+            group: "session_amortization",
+            id: "prepare_fingerprint_hit".to_owned(),
             env_size,
             samples,
             iters_per_sample: iters,
@@ -249,6 +301,31 @@ fn main() {
         });
     }
 
+    // cross_point: a cold batch over four structurally equal program points
+    // (the workload the fingerprint-keyed engine caches exist for): one σ
+    // run, one graph build, four walks.
+    {
+        let env = phases_environment(4);
+        let env_size = env.len();
+        let goal = amortization_goal();
+        let requests = cross_point_requests(&env, &goal);
+        eprintln!("measuring cross_point/query_batch_4_equal_points/{env_size} …");
+        let (samples, iters, min, median, mean) = measure(10, || {
+            Engine::new(SynthesisConfig::default()).query_batch(&requests)
+        });
+        measurements.push(Measurement {
+            bench: "phases",
+            group: "cross_point",
+            id: "query_batch_4_equal_points".to_owned(),
+            env_size,
+            samples,
+            iters_per_sample: iters,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        });
+    }
+
     // gent_ablation: reconstruction alone on the same prebuilt filler-4
     // graph, with (A*) and without (plain best-first) the completion-cost
     // heuristic — the walk-level gap the heuristic buys.
@@ -260,6 +337,27 @@ fn main() {
         let graph = build_graph(&env, &weights, &goal);
         let limits = GenerateLimits::default();
 
+        // Cold first: the persisted walk caches are cleared every iteration,
+        // recording the first-query cost (the clear itself is trivial).
+        eprintln!("measuring gent_ablation/astar_walk_cold/{env_size} …");
+        let (samples, iters, min, median, mean) = measure(10, || {
+            graph.clear_walk_caches();
+            generate_terms(&graph, &env, 10, &limits)
+        });
+        measurements.push(Measurement {
+            bench: "phases",
+            group: "gent_ablation",
+            id: "astar_walk_cold".to_owned(),
+            env_size,
+            samples,
+            iters_per_sample: iters,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        });
+
+        // Warm: the persisted hole-goal memo and expansion cache are reused
+        // across iterations — the state of a session's repeated queries.
         eprintln!("measuring gent_ablation/astar_walk/{env_size} …");
         let (samples, iters, min, median, mean) =
             measure(10, || generate_terms(&graph, &env, 10, &limits));
@@ -364,7 +462,7 @@ fn main() {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
-        "  \"_note\": \"Reference timings for the env_scaling, session_amortization, gent_ablation, genp_ablation and sigma_prepare benchmark workloads. Wall-clock, machine-specific; regenerate on the machine you compare on with: cargo run --release -p insynth_bench --bin baseline. CI perf smoke: baseline --check fails when the A* walk stops cutting filler-4 queue pops 2x vs the best-first walk, or when the session_amortization query speedup regresses >25% vs this file in two consecutive measurement windows.\",\n",
+        "  \"_note\": \"Reference timings for the env_scaling, session_amortization, cross_point, gent_ablation, genp_ablation and sigma_prepare benchmark workloads. Wall-clock, machine-specific; regenerate on the machine you compare on with: cargo run --release -p insynth_bench --bin baseline. CI perf smoke: baseline --check fails when a query_batch over 4 structurally equal points stops reporting exactly 1 prepare + 1 graph build, when the A* walk stops cutting filler-4 queue pops 2x vs the best-first walk, or when the session_amortization query speedup regresses >25% vs this file in two consecutive measurement windows.\",\n",
     );
     out.push_str(
         "  \"_measurement\": \"per-iteration nanoseconds; warm-up-calibrated samples of batched iterations, as in vendor/criterion (min/median/mean only)\",\n",
@@ -470,6 +568,33 @@ fn run_check(path: &str) -> i32 {
 
     let env = phases_environment(4);
     let goal = amortization_goal();
+
+    // Gate 0 — cross-point reuse, deterministic: a batch over four
+    // structurally equal program points (clones plus a declaration-order
+    // permutation) must run σ exactly once and build exactly one derivation
+    // graph. Builds are single-flight, so thread scheduling cannot affect
+    // the counts.
+    let engine = Engine::new(SynthesisConfig::default());
+    let requests = cross_point_requests(&env, &goal);
+    let batched = engine.query_batch(&requests);
+    println!(
+        "cross-point batch over {} structurally equal points: {} σ run(s), {} graph build(s) \
+         (gate requires exactly 1 of each)",
+        requests.len(),
+        engine.prepare_count(),
+        engine.graph_build_count(),
+    );
+    if engine.prepare_count() != 1 || engine.graph_build_count() != 1 {
+        println!(
+            "PERF REGRESSION: structurally equal program points no longer share one \
+             preparation and one derivation graph"
+        );
+        return 1;
+    }
+    if batched[0].snippets.is_empty() {
+        println!("PERF REGRESSION: the cross-point batch returned no snippets");
+        return 1;
+    }
 
     // Gate 1 — queue pops, deterministic: the A* walk must pop at most
     // 1/POPS_RATIO_FLOOR of the best-first walk's entries on the same graph.

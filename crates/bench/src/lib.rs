@@ -56,7 +56,7 @@ pub fn phases_environment(filler: usize) -> TypeEnv {
 /// the walk-ablation benches and the tests, so they all measure the same
 /// graph.
 pub fn build_graph(env: &TypeEnv, weights: &WeightConfig, goal: &Ty) -> DerivationGraph {
-    let prepared = PreparedEnv::prepare(env, weights);
+    let prepared = std::sync::Arc::new(PreparedEnv::prepare(env, weights));
     let mut store = prepared.scratch();
     let goal_succ = store.sigma(goal);
     let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());

@@ -158,7 +158,7 @@ impl TypeEnv {
     }
 
     /// Iterates over the declarations.
-    pub fn iter(&self) -> impl Iterator<Item = &Declaration> {
+    pub fn iter(&self) -> std::slice::Iter<'_, Declaration> {
         self.decls.iter()
     }
 

@@ -19,6 +19,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use insynth_lambda::{Param, Term, Ty};
@@ -26,6 +27,7 @@ use insynth_succinct::{ScratchStore, TypeStore};
 
 use crate::decl::TypeEnv;
 use crate::genp::PatternSet;
+use crate::pexpr::{replace_first_hole, unlink_on_drop, PartialExpr};
 use crate::prepare::PreparedEnv;
 use crate::weights::{Weight, WeightConfig};
 
@@ -111,8 +113,12 @@ pub struct GenerateOutcome {
 /// shared with the graph walk in [`crate::graph`].
 pub(crate) const MAX_FRONTIER: usize = 2_000_000;
 
-/// A partial expression: a term whose leaves may be typed holes.
-#[derive(Debug, Clone)]
+/// A partial expression: a term whose leaves may be typed holes. Subtrees are
+/// `Rc`-shared — replacing the first hole rebuilds only the spine above it —
+/// and every walk over the structure (depth, conversion, hole search and
+/// replacement, drop) is iterative, so term depth is bounded by memory, not
+/// by the call stack (the ROADMAP's deep-term stack-overflow item).
+#[derive(Debug)]
 enum PExpr {
     /// A typed hole `[ ] : τ` awaiting reconstruction (weight 0, §5.5).
     Hole(Ty),
@@ -120,33 +126,94 @@ enum PExpr {
     Node {
         params: Vec<Param>,
         head: String,
-        args: Vec<PExpr>,
+        args: Vec<Rc<PExpr>>,
     },
 }
 
-impl PExpr {
-    fn depth(&self) -> usize {
+impl PartialExpr for PExpr {
+    fn children(&self) -> Option<&[Rc<Self>]> {
         match self {
-            PExpr::Hole(_) => 1,
-            PExpr::Node { args, .. } => 1 + args.iter().map(PExpr::depth).max().unwrap_or(0),
+            PExpr::Hole(_) => None,
+            PExpr::Node { args, .. } => Some(args),
         }
     }
 
-    fn to_term(&self) -> Option<Term> {
+    fn take_children(&mut self) -> Vec<Rc<Self>> {
         match self {
-            PExpr::Hole(_) => None,
-            PExpr::Node { params, head, args } => {
-                let mut out_args = Vec::with_capacity(args.len());
+            PExpr::Hole(_) => Vec::new(),
+            PExpr::Node { args, .. } => std::mem::take(args),
+        }
+    }
+
+    fn with_children(&self, children: Vec<Rc<Self>>) -> Self {
+        match self {
+            PExpr::Hole(_) => unreachable!("holes have no children to replace"),
+            PExpr::Node { params, head, .. } => PExpr::Node {
+                params: params.clone(),
+                head: head.clone(),
+                args: children,
+            },
+        }
+    }
+}
+
+impl Drop for PExpr {
+    fn drop(&mut self) {
+        unlink_on_drop(self);
+    }
+}
+
+impl PExpr {
+    /// Maximum node count on any root-to-leaf path, iteratively.
+    fn depth(&self) -> usize {
+        let mut max = 0;
+        let mut stack: Vec<(&PExpr, usize)> = vec![(self, 1)];
+        while let Some((expr, depth)) = stack.pop() {
+            max = max.max(depth);
+            if let PExpr::Node { args, .. } = expr {
                 for a in args {
-                    out_args.push(a.to_term()?);
+                    stack.push((a, depth + 1));
                 }
-                Some(Term {
-                    params: params.clone(),
-                    head: head.clone(),
-                    args: out_args,
-                })
             }
         }
+        max
+    }
+
+    /// Converts a hole-free expression to a term (`None` if a hole remains),
+    /// iteratively: child terms accumulate on a value stack and are drained
+    /// when their node completes, post-order.
+    fn to_term(&self) -> Option<Term> {
+        enum Step<'a> {
+            Visit(&'a PExpr),
+            Build(&'a PExpr),
+        }
+        let mut steps = vec![Step::Visit(self)];
+        let mut built: Vec<Term> = Vec::new();
+        while let Some(step) = steps.pop() {
+            match step {
+                Step::Visit(e) => match e {
+                    PExpr::Hole(_) => return None,
+                    PExpr::Node { args, .. } => {
+                        steps.push(Step::Build(e));
+                        for a in args.iter().rev() {
+                            steps.push(Step::Visit(a));
+                        }
+                    }
+                },
+                Step::Build(e) => {
+                    let PExpr::Node { params, head, args } = e else {
+                        unreachable!("only nodes are scheduled for building")
+                    };
+                    let out_args = built.split_off(built.len() - args.len());
+                    built.push(Term {
+                        params: params.clone(),
+                        head: head.clone(),
+                        args: out_args,
+                    });
+                }
+            }
+        }
+        built.pop()
     }
 }
 
@@ -183,7 +250,7 @@ pub fn generate_terms_unindexed(
     queue.push(Entry {
         weight: Reverse(Weight::ZERO),
         seq: Reverse(seq),
-        expr: PExpr::Hole(goal.clone()),
+        expr: Rc::new(PExpr::Hole(goal.clone())),
     });
 
     while let Some(entry) = queue.pop() {
@@ -246,9 +313,7 @@ pub fn generate_terms_unindexed(
                         outcome.truncated = true;
                         break;
                     }
-                    let mut done = false;
-                    let new_expr = replace_first_hole(&entry.expr, &replacement, &mut done);
-                    debug_assert!(done, "expansion must replace the located hole");
+                    let new_expr = replace_first_hole(&entry.expr, &replacement);
                     if let Some(max_depth) = limits.max_depth {
                         if new_expr.depth() > max_depth {
                             continue;
@@ -270,45 +335,38 @@ pub fn generate_terms_unindexed(
 
 /// Finds the first (leftmost, outermost-first) hole and the lambda binders in
 /// scope at that hole — the `findFirstHole` function of Figure 10.
+/// Iterative pre-order with explicit backtracking, so term depth cannot
+/// overflow the call stack.
 fn find_first_hole(expr: &PExpr, scope: &mut Vec<Param>) -> Option<(Ty, Vec<Param>)> {
-    match expr {
-        PExpr::Hole(ty) => Some((ty.clone(), scope.clone())),
-        PExpr::Node { params, args, .. } => {
-            let mark = scope.len();
-            scope.extend(params.iter().cloned());
-            for a in args {
-                if let Some(found) = find_first_hole(a, scope) {
-                    scope.truncate(mark);
-                    return Some(found);
-                }
+    // Frames: a node being scanned, the next child index, and the scope
+    // length to restore when backtracking past it.
+    let mut stack: Vec<(&PExpr, usize, usize)> = Vec::new();
+    let mut current = expr;
+    loop {
+        match current {
+            PExpr::Hole(ty) => {
+                let found = Some((ty.clone(), scope.clone()));
+                scope.truncate(stack.first().map_or(scope.len(), |(_, _, mark)| *mark));
+                return found;
             }
-            scope.truncate(mark);
-            None
-        }
-    }
-}
-
-/// Replaces the first hole of `expr` by `replacement` — the `sub` function of
-/// Figure 10 specialized to the hole located by [`find_first_hole`].
-fn replace_first_hole(expr: &PExpr, replacement: &PExpr, done: &mut bool) -> PExpr {
-    if *done {
-        return expr.clone();
-    }
-    match expr {
-        PExpr::Hole(_) => {
-            *done = true;
-            replacement.clone()
-        }
-        PExpr::Node { params, head, args } => {
-            let new_args = args
-                .iter()
-                .map(|a| replace_first_hole(a, replacement, done))
-                .collect();
-            PExpr::Node {
-                params: params.clone(),
-                head: head.clone(),
-                args: new_args,
+            PExpr::Node { params, .. } => {
+                let mark = scope.len();
+                scope.extend(params.iter().cloned());
+                stack.push((current, 0, mark));
             }
+        }
+        loop {
+            let (node, next, mark) = stack.last_mut()?;
+            let PExpr::Node { args, .. } = *node else {
+                unreachable!("only nodes are pushed on the spine")
+            };
+            if *next < args.len() {
+                current = &args[*next];
+                *next += 1;
+                break;
+            }
+            scope.truncate(*mark);
+            stack.pop();
         }
     }
 }
@@ -324,7 +382,7 @@ fn expand_hole(
     weights: &WeightConfig,
     hole_ty: &Ty,
     scope: &[Param],
-) -> Vec<(PExpr, Weight)> {
+) -> Vec<(Rc<PExpr>, Weight)> {
     let (arg_tys, ret_ty) = hole_ty.uncurry();
     let ret_name = match ret_ty {
         Ty::Base(name) => name.clone(),
@@ -395,14 +453,17 @@ fn build_node(
     head_ty: &Ty,
     head_weight: Weight,
     params_weight: Weight,
-) -> (PExpr, Weight) {
+) -> (Rc<PExpr>, Weight) {
     let (rho, _) = head_ty.uncurry();
-    let args: Vec<PExpr> = rho.iter().map(|t| PExpr::Hole((*t).clone())).collect();
-    let node = PExpr::Node {
+    let args: Vec<Rc<PExpr>> = rho
+        .iter()
+        .map(|t| Rc::new(PExpr::Hole((*t).clone())))
+        .collect();
+    let node = Rc::new(PExpr::Node {
         params: fresh.to_vec(),
         head: head.to_owned(),
         args,
-    };
+    });
     (node, params_weight.plus(head_weight))
 }
 
@@ -410,7 +471,7 @@ fn build_node(
 struct Entry {
     weight: Reverse<Weight>,
     seq: Reverse<u64>,
-    expr: PExpr,
+    expr: Rc<PExpr>,
 }
 
 impl PartialEq for Entry {
@@ -677,6 +738,48 @@ mod tests {
         );
         assert!(outcome.truncated);
         assert!(outcome.steps <= 10);
+    }
+
+    #[test]
+    fn depth_thousands_terms_do_not_overflow_the_stack() {
+        // The ROADMAP deep-term regression: enumerate the `a, s(a), s(s(a)),
+        // …` chain down to depth 2000. Every expression helper on this path —
+        // find_first_hole, replace_first_hole, to_term, depth and the PExpr
+        // Drop — runs once per term-depth level, so all of them must be
+        // iterative for this to survive the default 2 MiB test-thread stack.
+        let env: TypeEnv = vec![
+            Declaration::new("a", Ty::base("A"), DeclKind::Local),
+            Declaration::new(
+                "s",
+                Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+                DeclKind::Local,
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let weights = WeightConfig::default();
+        let prepared = PreparedEnv::prepare(&env, &weights);
+        let goal = Ty::base("A");
+        let mut store = prepared.scratch();
+        let goal_succ = store.sigma(&goal);
+        let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+        let patterns = generate_patterns(&mut store, &space);
+
+        let n = 2000;
+        let outcome = generate_terms_unindexed(
+            &prepared,
+            &mut store,
+            &patterns,
+            &env,
+            &weights,
+            &goal,
+            n,
+            &GenerateLimits::default(),
+        );
+        assert_eq!(outcome.terms.len(), n);
+        assert!(outcome.terms.windows(2).all(|w| w[0].weight <= w[1].weight));
+        assert_eq!(outcome.terms[0].term.to_string(), "a");
+        assert_eq!(outcome.terms[n - 1].term.depth(), n);
     }
 
     #[test]

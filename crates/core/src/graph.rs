@@ -61,6 +61,23 @@
 //! [`ScratchStore`]), and the heuristic is part of it, which is what lets a
 //! [`Session`](crate::Session) cache both and answer repeated queries
 //! without re-running exploration, pattern generation or the Dijkstra pass.
+//! Two further pieces of sharing keep cached graphs cheap:
+//!
+//! * the **base environment table is not snapshotted** — the graph holds an
+//!   `Arc` of the [`PreparedEnv`] it was built over and resolves base-store
+//!   environments through it, copying only the query-local overlay
+//!   environments, so every graph cached for one program point shares the
+//!   prepared point's interned tables;
+//! * the **per-walk caches persist on the graph** — the hole-goal memo (goal
+//!   resolution + completion bound per `(environment, hole type)`) and the
+//!   expansion cache (dead-checked, bound-summed declaration successors per
+//!   `(environment, goal)`) are keyed by graph-local ids only, so they are
+//!   taken over by the next walk instead of being rebuilt from scratch; the
+//!   first pop of a paper-scale walk resolves thousands of edges, and
+//!   repeated same-goal queries now skip exactly that work. (The caches are
+//!   mode-specific: a walk forced into the other ordering — e.g.
+//!   [`generate_terms_best_first`] on a heuristic-carrying graph — uses
+//!   private caches and leaves the persisted ones untouched.)
 //!
 //! # Example
 //!
@@ -83,7 +100,7 @@
 //! .into_iter()
 //! .collect();
 //! let weights = WeightConfig::default();
-//! let prepared = PreparedEnv::prepare(&env, &weights);
+//! let prepared = std::sync::Arc::new(PreparedEnv::prepare(&env, &weights));
 //! let goal = Ty::base("File");
 //! let mut store = prepared.scratch();
 //! let goal_succ = store.sigma(&goal);
@@ -97,7 +114,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use insynth_intern::Symbol;
@@ -107,6 +124,7 @@ use insynth_succinct::{EnvId, ScratchStore, SuccinctTyId, TypeStore};
 use crate::decl::TypeEnv;
 use crate::genp::PatternSet;
 use crate::gent::{GenerateLimits, GenerateOutcome, RankedTerm};
+use crate::pexpr::{replace_first_hole, unlink_on_drop, PartialExpr};
 use crate::prepare::PreparedEnv;
 use crate::weights::{Weight, WeightConfig};
 
@@ -173,16 +191,22 @@ struct Node {
 /// behind an `Arc` and serve concurrent queries from it.
 #[derive(Debug)]
 pub struct DerivationGraph {
+    /// The prepared environment the graph was built over. Base-store
+    /// environment lookups go through it instead of a per-graph snapshot, so
+    /// every graph cached for a program point shares the point's interned
+    /// tables (and keeps them alive independently of any session).
+    base: Arc<PreparedEnv>,
     /// Goal nodes, in [`PatternIndex`](insynth_succinct::PatternIndex) goal order.
     nodes: Vec<Node>,
     goal_ids: HashMap<(EnvId, Symbol), u32>,
     tys: Vec<HoleTy>,
     ty_ids: HashMap<Ty, HoleTyId>,
-    /// Environment member lists (base store + query overlay), indexed by raw
-    /// `EnvId`, each sorted ascending — the read-only union table. The same
-    /// `Arc` backs the id-indexed table and the reverse-lookup keys.
-    envs: Vec<Arc<[SuccinctTyId]>>,
-    env_ids: HashMap<Arc<[SuccinctTyId]>, EnvId>,
+    /// Member lists of the query-local overlay environments only (raw ids
+    /// past the base store's), each sorted ascending; base environments are
+    /// resolved through `base`. The same `Arc` backs the id-indexed table and
+    /// the reverse-lookup keys.
+    scratch_envs: Vec<Arc<[SuccinctTyId]>>,
+    scratch_env_ids: HashMap<Arc<[SuccinctTyId]>, EnvId>,
     init_env: EnvId,
     root_ty: HoleTyId,
     lambda_weight: Weight,
@@ -192,7 +216,18 @@ pub struct DerivationGraph {
     /// Per-goal completion lower bounds (the A* heuristic), computed once at
     /// build time; `None` when the graph is not monotone.
     heuristic: Option<Heuristic>,
+    /// Persisted hole-goal memo: goal resolution + completion bound per
+    /// `(environment, hole type)`, accumulated across walks in the graph's
+    /// natural mode (values are deterministic, so merging is safe).
+    walk_memo: Mutex<HashMap<(EnvId, HoleTyId), HoleGoal>>,
+    /// Persisted expansion cache: the dead-checked, bound-summed
+    /// declaration-headed successors per `(environment, goal node)`.
+    walk_expansions: Mutex<ExpansionCache>,
 }
+
+/// The expansion cache's shape: per `(environment, goal node)`, the shared
+/// list of surviving declaration-headed successor variants.
+type ExpansionCache = HashMap<(EnvId, u32), Arc<[CachedVariant]>>;
 
 /// The admissible completion-cost heuristic: for every goal node, a lower
 /// bound on the weight of the cheapest complete term a hole at that goal can
@@ -228,7 +263,7 @@ impl DerivationGraph {
     /// types the patterns imply). After the build the graph is self-contained;
     /// the scratch can be dropped.
     pub fn build(
-        prepared: &PreparedEnv,
+        prepared: &Arc<PreparedEnv>,
         store: &mut ScratchStore<'_>,
         patterns: &PatternSet,
         env: &TypeEnv,
@@ -276,34 +311,39 @@ impl DerivationGraph {
 
         let root_ty = intern_hole_ty(store, &mut tys, &mut ty_ids, goal);
 
-        // Snapshot the environment table after all interning is done, so the
-        // union lookup sees every environment the walk can encounter.
+        // Snapshot the overlay's environment table after all interning is
+        // done, so the union lookup sees every environment the walk can
+        // encounter; base-store environments stay in the shared prepared
+        // point and are resolved through the `base` Arc instead of copied.
+        let base_envs = prepared.store.env_count();
         let env_count = store.env_count();
-        let mut envs = Vec::with_capacity(env_count);
-        let mut env_ids = HashMap::with_capacity(env_count);
-        for raw in 0..env_count {
+        let mut scratch_envs = Vec::with_capacity(env_count - base_envs);
+        let mut scratch_env_ids = HashMap::with_capacity(env_count - base_envs);
+        for raw in base_envs..env_count {
             let id = EnvId::from_index(raw as u32);
             let members: Arc<[SuccinctTyId]> = store.env_types(id).to_vec().into();
-            env_ids.insert(Arc::clone(&members), id);
-            envs.push(members);
+            scratch_env_ids.insert(Arc::clone(&members), id);
+            scratch_envs.push(members);
         }
 
         let lambda_weight = weights.lambda_weight();
-        let monotone = lambda_weight.is_non_negative()
-            && prepared.decl_weight.iter().all(|w| w.is_non_negative());
+        let monotone = prepared.weights_monotone(weights);
 
         let mut graph = DerivationGraph {
+            base: Arc::clone(prepared),
             nodes,
             goal_ids,
             tys,
             ty_ids,
-            envs,
-            env_ids,
+            scratch_envs,
+            scratch_env_ids,
             init_env: prepared.init_env,
             root_ty,
             lambda_weight,
             monotone,
             heuristic: None,
+            walk_memo: Mutex::new(HashMap::new()),
+            walk_expansions: Mutex::new(HashMap::new()),
         };
         if graph.monotone {
             graph.heuristic = Some(compute_heuristic(&graph, &node_envs));
@@ -363,13 +403,35 @@ impl DerivationGraph {
         Weight::new(self.lambda_weight.value() * self.tys[ty.as_usize()].args.len() as f64)
     }
 
+    /// The sorted member types of an environment: base-store environments are
+    /// read through the shared prepared point, overlay environments from the
+    /// graph's own snapshot.
+    fn env_members(&self, env: EnvId) -> &[SuccinctTyId] {
+        let split = self.base.store.env_count();
+        let raw = env.as_usize();
+        if raw < split {
+            self.base.store.env_types(env)
+        } else {
+            &self.scratch_envs[raw - split]
+        }
+    }
+
+    /// Looks up an interned environment by its sorted member list, in the
+    /// base store first and the overlay snapshot second.
+    fn lookup_env(&self, members: &[SuccinctTyId]) -> Option<EnvId> {
+        self.base
+            .store
+            .lookup_env(members)
+            .or_else(|| self.scratch_env_ids.get(members).copied())
+    }
+
     /// Resolves the goal of a hole of type `ty` in context environment `ctx`:
     /// the environment at the hole (context extended by the hole's own fresh
     /// binders) and its node, or `None` if the goal is uninhabited — in which
     /// case no expression containing such a hole can ever complete.
     fn resolve(&self, ctx: EnvId, ty: HoleTyId) -> Option<(EnvId, u32)> {
         let info = &self.tys[ty.as_usize()];
-        let members = &self.envs[ctx.as_usize()];
+        let members = self.env_members(ctx);
         let env = if info
             .arg_succs
             .iter()
@@ -381,11 +443,32 @@ impl DerivationGraph {
             merged.extend_from_slice(&info.arg_succs);
             merged.sort_unstable();
             merged.dedup();
-            *self.env_ids.get(merged.as_slice())?
+            self.lookup_env(&merged)?
         };
         let node = *self.goal_ids.get(&(env, info.ret))?;
         Some((env, node))
     }
+
+    /// Drops the persisted walk caches (hole-goal memo and expansion lists).
+    /// Purely a memory/benchmarking lever: the caches are rebuilt on demand
+    /// and never affect what a walk emits.
+    pub fn clear_walk_caches(&self) {
+        lock_recovering(&self.walk_memo).clear();
+        lock_recovering(&self.walk_expansions).clear();
+    }
+
+    /// Number of persisted hole-goal memo entries (observability for tests
+    /// and benchmarks; see [`DerivationGraph::clear_walk_caches`]).
+    pub fn walk_memo_len(&self) -> usize {
+        lock_recovering(&self.walk_memo).len()
+    }
+}
+
+/// Locks a mutex, recovering from poisoning: the walk caches only ever hold
+/// fully computed, deterministic values, so state abandoned by a panicking
+/// thread is safe to adopt.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Recursively interns a simple type and its uncurried arguments as hole
@@ -546,11 +629,24 @@ fn compute_heuristic(graph: &DerivationGraph, node_envs: &[EnvId]) -> Heuristic 
 
 /// One memoized pattern of a goal node in a concrete environment: the
 /// succinct head type binders are matched against, plus the surviving
-/// (non-dead) declaration-headed successors. `args_bound` is the precomputed
-/// `Σ h` contribution of the edge's argument holes (zero without heuristic).
+/// (non-dead) declaration-headed successors. Declaration-only (binder heads
+/// depend on the scope at the hole and are enumerated per pop), which keeps
+/// the cache `Send + Sync` so it can persist on the shared graph.
+#[derive(Debug)]
 struct CachedVariant {
     wanted: SuccinctTyId,
-    edges: Vec<(Head, Weight, Arc<[HoleTyId]>, Weight)>,
+    edges: Vec<CachedEdge>,
+}
+
+/// One surviving declaration-headed successor of a cached variant.
+/// `args_bound` is the precomputed `Σ h` contribution of the edge's argument
+/// holes (zero without heuristic).
+#[derive(Debug)]
+struct CachedEdge {
+    decl: u32,
+    weight: Weight,
+    args: Arc<[HoleTyId]>,
+    args_bound: Weight,
 }
 
 /// The head of a partial-expression node.
@@ -577,69 +673,118 @@ enum PExpr {
     },
 }
 
-/// Finds the first (leftmost, outermost-first) hole; `scope` is left holding
-/// the binders on the path to it, and the returned depth counts its `Node`
-/// ancestors.
-fn find_first_hole<'a>(
-    expr: &'a PExpr,
-    scope: &mut Vec<&'a (Param, HoleTyId)>,
-    depth: u32,
-) -> Option<(HoleTyId, EnvId, u32)> {
-    match expr {
-        PExpr::Hole { ty, ctx } => Some((*ty, *ctx, depth)),
-        PExpr::Node { params, args, .. } => {
-            let mark = scope.len();
-            scope.extend(params.iter());
-            for a in args {
-                if let Some(found) = find_first_hole(a, scope, depth + 1) {
-                    return Some(found);
-                }
-            }
-            scope.truncate(mark);
-            None
+impl PartialExpr for PExpr {
+    fn children(&self) -> Option<&[Rc<Self>]> {
+        match self {
+            PExpr::Hole { .. } => None,
+            PExpr::Node { args, .. } => Some(args),
+        }
+    }
+
+    fn take_children(&mut self) -> Vec<Rc<Self>> {
+        match self {
+            PExpr::Hole { .. } => Vec::new(),
+            PExpr::Node { args, .. } => std::mem::take(args),
+        }
+    }
+
+    fn with_children(&self, children: Vec<Rc<Self>>) -> Self {
+        match self {
+            PExpr::Hole { .. } => unreachable!("holes have no children to replace"),
+            PExpr::Node { params, head, .. } => PExpr::Node {
+                params: Rc::clone(params),
+                head: head.clone(),
+                args: children,
+            },
         }
     }
 }
 
-/// Replaces the first hole of `expr` by `replacement`, sharing every
-/// untouched subtree.
-fn replace_first_hole(expr: &Rc<PExpr>, replacement: &Rc<PExpr>, done: &mut bool) -> Rc<PExpr> {
-    if *done {
-        return Rc::clone(expr);
+impl Drop for PExpr {
+    fn drop(&mut self) {
+        unlink_on_drop(self);
     }
-    match &**expr {
-        PExpr::Hole { .. } => {
-            *done = true;
-            Rc::clone(replacement)
+}
+
+/// Finds the first (leftmost, outermost-first) hole; `scope` is left holding
+/// the binders on the path to it, and the returned depth counts its `Node`
+/// ancestors. Iterative — the search descends one frame per *term depth*
+/// level, which is unbounded (see [`PExpr`]'s `Drop`).
+fn find_first_hole<'a>(
+    expr: &'a PExpr,
+    scope: &mut Vec<&'a (Param, HoleTyId)>,
+) -> Option<(HoleTyId, EnvId, u32)> {
+    // Frames: a node being scanned, the next child index, and the scope
+    // length to restore when backtracking past it.
+    let mut stack: Vec<(&'a PExpr, usize, usize)> = Vec::new();
+    let mut current = expr;
+    loop {
+        match current {
+            PExpr::Hole { ty, ctx } => return Some((*ty, *ctx, stack.len() as u32)),
+            PExpr::Node { params, .. } => {
+                let mark = scope.len();
+                scope.extend(params.iter());
+                stack.push((current, 0, mark));
+            }
         }
-        PExpr::Node { params, head, args } => {
-            let new_args: Vec<Rc<PExpr>> = args
-                .iter()
-                .map(|a| replace_first_hole(a, replacement, done))
-                .collect();
-            Rc::new(PExpr::Node {
-                params: Rc::clone(params),
-                head: head.clone(),
-                args: new_args,
-            })
+        // Advance to the next unvisited child, backtracking out of exhausted
+        // nodes (and unwinding their scope contribution).
+        loop {
+            let (node, next, mark) = stack.last_mut()?;
+            let PExpr::Node { args, .. } = *node else {
+                unreachable!("only nodes are pushed on the spine")
+            };
+            if *next < args.len() {
+                current = &args[*next];
+                *next += 1;
+                break;
+            }
+            scope.truncate(*mark);
+            stack.pop();
         }
     }
 }
 
 /// Converts a hole-free expression to a term, resolving declaration heads
-/// against the original environment.
+/// against the original environment. Iterative post-order — child terms
+/// accumulate on a value stack and are drained when their node completes.
 fn to_term(expr: &PExpr, env: &TypeEnv) -> Term {
-    match expr {
-        PExpr::Hole { .. } => unreachable!("complete expressions have no holes"),
-        PExpr::Node { params, head, args } => Term {
-            params: params.iter().map(|(p, _)| p.clone()).collect(),
-            head: match head {
-                Head::Decl(i) => env.decls()[*i as usize].name.clone(),
-                Head::Binder(name) => name.to_string(),
-            },
-            args: args.iter().map(|a| to_term(a, env)).collect(),
-        },
+    enum Step<'a> {
+        Visit(&'a PExpr),
+        Build(&'a PExpr),
     }
+    let mut steps = vec![Step::Visit(expr)];
+    let mut built: Vec<Term> = Vec::new();
+    while let Some(step) = steps.pop() {
+        match step {
+            Step::Visit(e) => match e {
+                PExpr::Hole { .. } => unreachable!("complete expressions have no holes"),
+                PExpr::Node { args, .. } => {
+                    steps.push(Step::Build(e));
+                    // Children pushed in reverse so they complete left to
+                    // right, landing on `built` in argument order.
+                    for a in args.iter().rev() {
+                        steps.push(Step::Visit(a));
+                    }
+                }
+            },
+            Step::Build(e) => {
+                let PExpr::Node { params, head, args } = e else {
+                    unreachable!("only nodes are scheduled for building")
+                };
+                let arg_terms = built.split_off(built.len() - args.len());
+                built.push(Term {
+                    params: params.iter().map(|(p, _)| p.clone()).collect(),
+                    head: match head {
+                        Head::Decl(i) => env.decls()[*i as usize].name.clone(),
+                        Head::Binder(name) => name.to_string(),
+                    },
+                    args: arg_terms,
+                });
+            }
+        }
+    }
+    built.pop().expect("one term per complete expression")
 }
 
 /// One link of an entry's *pedigree*: the pop key of the expansion that
@@ -799,7 +944,7 @@ impl Ord for Entry {
 }
 
 /// Resolution and completion bound of a hole, memoized per `(context, type)`.
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 struct HoleGoal {
     /// The hole's goal, or `None` when it is dead — no node at all, or
     /// (under the heuristic) a node whose completion bound is `∞`.
@@ -935,9 +1080,34 @@ fn walk(
         return outcome;
     }
 
-    // Goal resolution + completion bound memo: holes with the same
-    // (context, type) repeat constantly during the walk.
-    let mut memo: HashMap<(EnvId, HoleTyId), HoleGoal> = HashMap::new();
+    // Hole-goal memo and expansion cache. Both are keyed by graph-local ids
+    // only and their values are deterministic, so when the walk runs in the
+    // graph's natural mode (the memoized costs depend on whether the
+    // heuristic is consulted) it *clones* the caches persisted on the graph
+    // (cheap: `Copy` values and `Arc` handles), extends them, and merges
+    // them back at the end — repeated same-goal queries skip rebuilding
+    // them from scratch, and concurrent walks each start warm (a take-based
+    // scheme would leave the second concurrent walk cold). A walk forced
+    // into the other mode (e.g. [`generate_terms_best_first`] on a
+    // heuristic-carrying graph) uses private caches and leaves the
+    // persisted ones untouched.
+    let persist = heuristic.is_some() == graph.heuristic.is_some();
+    let mut memo: HashMap<(EnvId, HoleTyId), HoleGoal> = if persist {
+        lock_recovering(&graph.walk_memo).clone()
+    } else {
+        HashMap::new()
+    };
+    let mut expansions: ExpansionCache = if persist {
+        lock_recovering(&graph.walk_expansions).clone()
+    } else {
+        HashMap::new()
+    };
+    // The merge at the end is skipped when the walk added nothing — after
+    // warm-up the caches are saturated for a goal, and re-inserting every
+    // unchanged entry under the mutex would serialize concurrent warm walks
+    // on no-op work.
+    let seeded_memo = memo.len();
+    let seeded_expansions = expansions.len();
 
     let root_goal = hole_goal(graph, heuristic, &mut memo, graph.init_env, graph.root_ty);
     let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
@@ -960,11 +1130,6 @@ fn walk(
         depth: 1,
     });
 
-    // Expansion memo: the declaration-headed successors of a goal node in a
-    // given environment, with dead edges already filtered out and their
-    // argument bounds pre-summed. Binder-headed successors depend on the
-    // scope at the hole and are enumerated per pop.
-    let mut expansions: HashMap<(EnvId, u32), Rc<Vec<CachedVariant>>> = HashMap::new();
     // Branch-and-bound: the weights of the n best complete candidates
     // enqueued so far (max-heap). Once full, any expression whose completion
     // bound exceeds the top can never be emitted.
@@ -1006,8 +1171,8 @@ fn walk(
         }
 
         let mut scope: Vec<&(Param, HoleTyId)> = Vec::new();
-        let (hole_ty, ctx, ancestors) = find_first_hole(&entry.expr, &mut scope, 0)
-            .expect("entry with holes > 0 contains a hole");
+        let (hole_ty, ctx, ancestors) =
+            find_first_hole(&entry.expr, &mut scope).expect("entry with holes > 0 contains a hole");
         let filled = hole_goal(graph, heuristic, &mut memo, ctx, hole_ty);
         let Some((node_env, node)) = filled.node else {
             // Dead hole (only reachable from the root; successors containing
@@ -1042,11 +1207,11 @@ fn walk(
 
         // Declaration-headed successors of this (environment, goal) pair,
         // dead-checked and bound-summed once, then reused by every later pop
-        // of the same pair.
+        // of the same pair (and, via the persisted cache, by later walks).
         let cached = match expansions.get(&(node_env, node)) {
-            Some(cached) => Rc::clone(cached),
+            Some(cached) => Arc::clone(cached),
             None => {
-                let built: Vec<CachedVariant> = graph.nodes[node as usize]
+                let built: Arc<[CachedVariant]> = graph.nodes[node as usize]
                     .variants
                     .iter()
                     .map(|variant| CachedVariant {
@@ -1067,18 +1232,17 @@ fn walk(
                                     }
                                     args_bound = args_bound.plus(goal.cost);
                                 }
-                                Some((
-                                    Head::Decl(edge.decl),
-                                    edge.weight,
-                                    edge.args.clone(),
+                                Some(CachedEdge {
+                                    decl: edge.decl,
+                                    weight: edge.weight,
+                                    args: edge.args.clone(),
                                     args_bound,
-                                ))
+                                })
                             })
                             .collect(),
                     })
                     .collect();
-                let built = Rc::new(built);
-                expansions.insert((node_env, node), Rc::clone(&built));
+                expansions.insert((node_env, node), Arc::clone(&built));
                 built
             }
         };
@@ -1089,8 +1253,13 @@ fn walk(
             // enumeration order of the unindexed walk. Declaration heads
             // carry their precomputed argument bound; binder heads are
             // marked `None` and checked in the loop body.
-            let decl_heads = variant.edges.iter().map(|(head, weight, args, bound)| {
-                (head.clone(), *weight, args.clone(), Some(*bound))
+            let decl_heads = variant.edges.iter().map(|edge| {
+                (
+                    Head::Decl(edge.decl),
+                    edge.weight,
+                    edge.args.clone(),
+                    Some(edge.args_bound),
+                )
             });
             let binder_heads = scope
                 .iter()
@@ -1200,9 +1369,7 @@ fn walk(
                         })
                         .collect(),
                 });
-                let mut done = false;
-                let new_expr = replace_first_hole(&entry.expr, &replacement, &mut done);
-                debug_assert!(done, "expansion must replace the located hole");
+                let new_expr = replace_first_hole(&entry.expr, &replacement);
                 seq += 1;
                 queue.push(Entry {
                     priority: new_priority,
@@ -1216,6 +1383,29 @@ fn walk(
                     holes: new_holes,
                     depth: new_depth,
                 });
+            }
+        }
+    }
+
+    if persist {
+        // Merge (rather than overwrite) so concurrent walks do not lose each
+        // other's additions; values are deterministic, so colliding keys
+        // carry identical entries. Walks that learned nothing skip the
+        // merge entirely.
+        if memo.len() > seeded_memo {
+            let mut shared = lock_recovering(&graph.walk_memo);
+            if shared.is_empty() {
+                *shared = memo;
+            } else {
+                shared.extend(memo);
+            }
+        }
+        if expansions.len() > seeded_expansions {
+            let mut shared = lock_recovering(&graph.walk_expansions);
+            if shared.is_empty() {
+                *shared = expansions;
+            } else {
+                shared.extend(expansions);
             }
         }
     }
@@ -1241,7 +1431,7 @@ mod tests {
     ) -> (GenerateOutcome, GenerateOutcome, DerivationGraph) {
         let env: TypeEnv = decls.into_iter().collect();
         let weights = WeightConfig::default();
-        let prepared = PreparedEnv::prepare(&env, &weights);
+        let prepared = Arc::new(PreparedEnv::prepare(&env, &weights));
         let mut store = prepared.scratch();
         let goal_succ = store.sigma(&goal);
         let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
@@ -1448,7 +1638,7 @@ mod tests {
         .into_iter()
         .collect();
         let weights = WeightConfig::new(crate::WeightMode::NoWeights);
-        let prepared = PreparedEnv::prepare(&env, &weights);
+        let prepared = Arc::new(PreparedEnv::prepare(&env, &weights));
         let goal = Ty::base("A");
         let mut store = prepared.scratch();
         let goal_succ = store.sigma(&goal);
@@ -1456,12 +1646,13 @@ mod tests {
         let patterns = generate_patterns(&mut store, &space);
         let graph = DerivationGraph::build(&prepared, &mut store, &patterns, &env, &weights, &goal);
 
-        // Chain length is bounded here by the pre-existing recursive PExpr
-        // helpers (find/replace/to_term recurse per term-depth level, and the
-        // s-chain's depth equals its node count); 600 keeps those within the
-        // 2 MiB test-thread stack while still driving the iterative pedigree
-        // comparison and Drop through hundreds of links.
-        let n = 600;
+        // Depth-thousands regression: every expression helper on this path —
+        // find/replace/to_term and the PExpr Drop, plus the pedigree cmp and
+        // Drop — is iterative, so a chain far past any recursive stack budget
+        // must complete on the default 2 MiB test-thread stack. The s-chain's
+        // depth equals its node count, so n = 3000 drives each helper through
+        // three thousand levels.
+        let n = 3000;
         let outcome = generate_terms(&graph, &env, n, &GenerateLimits::default());
         assert_eq!(outcome.terms.len(), n);
         assert!(outcome.terms.windows(2).all(|w| w[0].weight <= w[1].weight));
@@ -1469,6 +1660,58 @@ mod tests {
         assert_eq!(outcome.terms[0].term.to_string(), "a");
         assert_eq!(outcome.terms[1].term.to_string(), "s(a)");
         assert_eq!(outcome.terms[n - 1].term.depth(), n);
+    }
+
+    #[test]
+    fn persisted_walk_caches_accumulate_and_never_change_results() {
+        let decls = vec![
+            Declaration::new("a", Ty::base("A"), DeclKind::Local),
+            Declaration::new(
+                "s",
+                Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+                DeclKind::Local,
+            ),
+            Declaration::new(
+                "join",
+                Ty::fun(vec![Ty::base("A"), Ty::base("A")], Ty::base("A")),
+                DeclKind::Imported,
+            ),
+        ];
+        let env: TypeEnv = decls.iter().cloned().collect();
+        let limits = GenerateLimits {
+            max_depth: Some(4),
+            ..GenerateLimits::default()
+        };
+        let (cold, _, graph) = both_walks(decls, Ty::base("A"), 6, &limits);
+        assert!(
+            graph.walk_memo_len() > 0,
+            "the natural-mode walk persists its hole-goal memo"
+        );
+
+        // Warm walk: same results, same pop count, memo reused.
+        let warm = generate_terms(&graph, &env, 6, &limits);
+        assert_eq!(rendered(&warm), rendered(&cold));
+        assert_eq!(warm.steps, cold.steps);
+        assert_eq!(warm.pruned_enqueues, cold.pruned_enqueues);
+
+        // A different n shares the caches too (they are n-independent).
+        let fewer = generate_terms(&graph, &env, 2, &limits);
+        assert_eq!(rendered(&fewer), rendered(&cold)[..2].to_vec());
+
+        // The forced best-first walk on this heuristic-carrying graph must
+        // not adopt (or pollute) the A*-mode caches — its memoized costs
+        // would disagree — and still emits the identical list.
+        let memo_before = graph.walk_memo_len();
+        let best_first = generate_terms_best_first(&graph, &env, 6, &limits);
+        assert_eq!(rendered(&best_first), rendered(&cold));
+        assert_eq!(graph.walk_memo_len(), memo_before);
+
+        // Clearing is semantically invisible.
+        graph.clear_walk_caches();
+        assert_eq!(graph.walk_memo_len(), 0);
+        let recold = generate_terms(&graph, &env, 6, &limits);
+        assert_eq!(rendered(&recold), rendered(&cold));
+        assert_eq!(recold.steps, cold.steps);
     }
 
     #[test]

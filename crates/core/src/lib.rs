@@ -36,16 +36,24 @@
 //!    the unindexed one serves as the equivalence oracle and ablation
 //!    baseline.
 //!
-//! The public entry point is the session API: an [`Engine`] holds the
-//! configuration, [`Engine::prepare`] runs phase 1 once per program point and
-//! returns a `Send + Sync` [`Session`], and [`Session::query`] runs phases
-//! 2-6 for each [`Query`] without touching shared state — so one prepared
-//! point can serve many queries, concurrently, and each session memoizes the
-//! derivation graphs its queries build. [`Engine::query_batch`] runs
-//! requests against several program points at once, preparing each point once
-//! and fanning queries out across a thread pool. [`rcn`] is the unoptimized
-//! reference implementation of Figure 4 used as a test oracle; the
-//! [`SubtypeLattice`] turns subtype edges into coercion declarations (section 6).
+//! The public entry point is the session API, built around **content-addressed
+//! environments**: every [`TypeEnv`] has an [`EnvFingerprint`] (an
+//! order-insensitive digest over its declaration multiset and effective
+//! weights), and the [`Engine`] keys its caches on it. [`Engine::prepare`]
+//! runs phase 1 at most once per fingerprint — structurally equal program
+//! points share one preparation — and returns a `Send + Sync` [`Session`];
+//! [`Session::query`] runs phases 2-6 for each [`Query`] without touching
+//! shared state, memoizing the derivation graphs on the engine per
+//! `(fingerprint, goal, prover budgets)` so equal points share graphs too.
+//! [`Session::update`] applies an [`EnvDelta`] (add / remove / reweight
+//! declarations) and re-prepares incrementally, re-running σ only on the
+//! changed declarations and carrying over every cached graph the edit
+//! provably cannot affect — byte-identical to a fresh preparation of the
+//! edited environment. [`Engine::query_batch`] runs requests against several
+//! program points at once, preparing each distinct point once and fanning
+//! queries out across a thread pool. [`rcn`] is the unoptimized reference
+//! implementation of Figure 4 used as a test oracle; the [`SubtypeLattice`]
+//! turns subtype edges into coercion declarations (section 6).
 //!
 //! # Example
 //!
@@ -78,6 +86,7 @@ mod explore;
 mod genp;
 mod gent;
 mod graph;
+mod pexpr;
 mod prepare;
 mod rcn;
 mod session;
@@ -92,9 +101,10 @@ pub use explore::{explore, ExploreLimits, SearchSpace};
 pub use genp::{generate_patterns, generate_patterns_naive, PatternSet};
 pub use gent::{generate_terms_unindexed, GenerateLimits, GenerateOutcome, RankedTerm};
 pub use graph::{generate_terms, generate_terms_best_first, DerivationGraph, HoleTyId};
+pub use insynth_succinct::EnvFingerprint;
 pub use prepare::PreparedEnv;
 pub use rcn::{is_inhabited_ref, rcn};
-pub use session::{BatchRequest, Engine, Query, Session};
+pub use session::{BatchRequest, Engine, EnvDelta, Query, Session};
 #[allow(deprecated)]
 pub use synth::Synthesizer;
 pub use synth::{PhaseTimings, Snippet, SynthesisConfig, SynthesisResult, SynthesisStats};

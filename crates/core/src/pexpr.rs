@@ -1,0 +1,93 @@
+//! Shared iterative machinery for `Rc`-shared partial-expression trees.
+//!
+//! Both reconstruction walks — the unindexed oracle in [`crate::gent`] and
+//! the production graph walk in [`crate::graph`] — manipulate the same shape
+//! of data: a tree whose leaves may be typed holes and whose application
+//! nodes share subtrees through `Rc`. Their hole payloads and head
+//! representations differ, but the two depth-critical algorithms (unlinking
+//! a tree on drop, and rebuilding the spine above the first hole) are
+//! identical and must stay iterative — a term's depth equals its spine
+//! length, so any recursion here reintroduces the deep-term stack overflow
+//! these helpers exist to close. This module holds the one copy both walks
+//! use; the hole search and term conversion stay with each walk (their
+//! scope/depth bookkeeping and outputs genuinely differ).
+
+use std::rc::Rc;
+
+/// A partial-expression tree node: a typed hole (leaf) or an application
+/// node with `Rc`-shared children.
+pub(crate) trait PartialExpr: Sized {
+    /// The node's children, or `None` when it is a hole.
+    fn children(&self) -> Option<&[Rc<Self>]>;
+
+    /// Moves the children out of the node, leaving it childless; holes
+    /// return an empty list. Used by the iterative drop.
+    fn take_children(&mut self) -> Vec<Rc<Self>>;
+
+    /// A copy of this node with its child list replaced.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on holes (holes have no children).
+    fn with_children(&self, children: Vec<Rc<Self>>) -> Self;
+}
+
+/// Unlinks `node`'s uniquely owned subtrees iteratively — the body of both
+/// walks' `Drop` implementations. The default recursive drop would recurse
+/// once per term-depth level; shared subtrees (other `Rc` holders) are left
+/// alone, and whoever drops the last handle continues the unlinking, again
+/// iteratively.
+pub(crate) fn unlink_on_drop<T: PartialExpr>(node: &mut T) {
+    let mut stack = node.take_children();
+    while let Some(rc) = stack.pop() {
+        // `T` implements `Drop` (that is why we are here), so the unwrapped
+        // node cannot be destructured by move; empty its children in place
+        // instead — it then drops childless, without recursing.
+        let Ok(mut owned) = Rc::try_unwrap(rc) else {
+            continue;
+        };
+        stack.append(&mut owned.take_children());
+    }
+}
+
+/// Replaces the first (leftmost, outermost-first) hole of `expr` — which
+/// must contain one — by `replacement`, sharing every untouched subtree:
+/// only the spine above the hole is rebuilt, siblings are `Rc`-shared.
+/// Iterative in the term depth.
+pub(crate) fn replace_first_hole<T: PartialExpr>(expr: &Rc<T>, replacement: &Rc<T>) -> Rc<T> {
+    // Phase 1: pre-order search for the first hole, recording the spine of
+    // (ancestor, child-index) pairs leading to it.
+    let mut spine: Vec<(&Rc<T>, usize)> = Vec::new();
+    let mut current = expr;
+    loop {
+        match current.children() {
+            None => break,
+            Some(_) => spine.push((current, 0)),
+        }
+        loop {
+            let frame = spine
+                .last_mut()
+                .expect("expression must contain a hole to replace");
+            let node: &Rc<T> = frame.0;
+            let args = node.children().expect("only nodes are pushed on the spine");
+            if frame.1 < args.len() {
+                current = &args[frame.1];
+                frame.1 += 1;
+                break;
+            }
+            spine.pop();
+        }
+    }
+    // Phase 2: rebuild the spine bottom-up.
+    let mut rebuilt = Rc::clone(replacement);
+    for (node, next) in spine.into_iter().rev() {
+        let args = node.children().expect("only nodes are pushed on the spine");
+        let idx = next - 1;
+        let mut new_args = Vec::with_capacity(args.len());
+        new_args.extend(args[..idx].iter().cloned());
+        new_args.push(rebuilt);
+        new_args.extend(args[idx + 1..].iter().cloned());
+        rebuilt = Rc::new(node.with_children(new_args));
+    }
+    rebuilt
+}

@@ -10,12 +10,30 @@
 //! reference and intern any query-local types into a [`ScratchStore`] overlay
 //! obtained from [`PreparedEnv::scratch`]. That is what lets one prepared
 //! environment serve many queries, concurrently, without re-running σ.
+//!
+//! Preparation is *content-addressed*: every environment gets an
+//! [`EnvFingerprint`] — an order-insensitive digest over its declaration
+//! multiset and effective weights — computed by [`PreparedEnv::fingerprint_of`]
+//! and stored on the prepared result. The engine keys its cross-point caches
+//! on that fingerprint, so two structurally equal program points (even with
+//! declarations collected in different orders) share one preparation.
+//! [`PreparedEnv::prepare_appended`] is the incremental path for edit-time
+//! deltas: when an environment only gained appended declarations and/or
+//! changed weights, σ runs on the appended suffix alone and everything else
+//! is carried over — bit-identical to a fresh [`PreparedEnv::prepare`] of the
+//! edited environment (the interning sequence of the shared prefix is
+//! unchanged, so every id comes out the same).
 
 use std::collections::HashMap;
 
-use insynth_succinct::{EnvId, ScratchStore, SuccinctStore, SuccinctTyId};
+use insynth_intern::StableHasher;
+use insynth_succinct::{
+    EnvFingerprint, EnvFingerprintBuilder, EnvId, ScratchStore, SuccinctStore, SuccinctTyId,
+};
 
-use crate::decl::TypeEnv;
+use insynth_lambda::Ty;
+
+use crate::decl::{DeclKind, Declaration, TypeEnv};
 use crate::weights::{Weight, WeightConfig};
 
 /// A type environment lowered into succinct form, with the lookup structures
@@ -36,25 +54,159 @@ pub struct PreparedEnv {
     pub ty_weight: HashMap<SuccinctTyId, Weight>,
     /// The interned initial succinct environment Γ = σ(Γo).
     pub init_env: EnvId,
+    /// The content address of the environment this preparation was computed
+    /// from (see [`PreparedEnv::fingerprint_of`]).
+    pub fingerprint: EnvFingerprint,
+}
+
+/// Feeds a simple type into a stable hasher, structurally and unambiguously.
+fn hash_ty(h: &mut StableHasher, ty: &Ty) {
+    match ty {
+        Ty::Base(name) => {
+            h.write_u8(0);
+            h.write_str(name);
+        }
+        Ty::Arrow(a, b) => {
+            h.write_u8(1);
+            hash_ty(h, a);
+            hash_ty(h, b);
+        }
+    }
+}
+
+/// The stable digest of one declaration under a weight configuration: name,
+/// structural type, kind, corpus frequency, weight override, and the
+/// *effective* weight the configuration assigns it (so two configurations
+/// that weigh the environment differently fingerprint it differently).
+fn hash_declaration(decl: &Declaration, weights: &WeightConfig) -> u128 {
+    let mut h = StableHasher::new();
+    h.write_str(&decl.name);
+    hash_ty(&mut h, &decl.ty);
+    h.write_u8(match decl.kind {
+        DeclKind::Lambda => 0,
+        DeclKind::Local => 1,
+        DeclKind::Coercion => 2,
+        DeclKind::Class => 3,
+        DeclKind::Package => 4,
+        DeclKind::Literal => 5,
+        DeclKind::Imported => 6,
+    });
+    match decl.frequency {
+        None => h.write_u8(0),
+        Some(f) => {
+            h.write_u8(1);
+            h.write_u64(f);
+        }
+    }
+    match decl.weight_override {
+        None => h.write_u8(0),
+        Some(w) => {
+            h.write_u8(1);
+            h.write_f64(w);
+        }
+    }
+    h.write_f64(weights.declaration_weight(decl).value());
+    h.finish()
 }
 
 impl PreparedEnv {
+    /// The content address of `env` under `weights`: an order-insensitive
+    /// digest over the declaration multiset (each declaration hashed with its
+    /// name, type, kind, frequency, override and effective weight) plus the
+    /// lambda weight — the only weight the search adds that no declaration
+    /// carries. Two environments with equal fingerprints prepare to
+    /// interchangeable state (the engine still verifies structural equality
+    /// before sharing, so a hash collision can never cross-contaminate).
+    pub fn fingerprint_of(env: &TypeEnv, weights: &WeightConfig) -> EnvFingerprint {
+        let mut builder = EnvFingerprintBuilder::new();
+        for decl in env.iter() {
+            builder.add_item(hash_declaration(decl, weights));
+        }
+        builder.mix_config(|h| h.write_f64(weights.lambda_weight().value()));
+        builder.finish()
+    }
+
     /// Lowers `env` into succinct form under the given weight configuration.
     pub fn prepare(env: &TypeEnv, weights: &WeightConfig) -> Self {
+        Self::prepare_with_fingerprint(env, weights, Self::fingerprint_of(env, weights))
+    }
+
+    /// [`PreparedEnv::prepare`] for callers that already computed the
+    /// environment's fingerprint (the engine hashes it for the cache lookup
+    /// that precedes every preparation — re-hashing thousands of
+    /// declarations on each miss would waste the lookup's savings).
+    pub fn prepare_with_fingerprint(
+        env: &TypeEnv,
+        weights: &WeightConfig,
+        fingerprint: EnvFingerprint,
+    ) -> Self {
         let mut store = SuccinctStore::new();
         let mut decl_succ = Vec::with_capacity(env.len());
-        let mut decl_weight = Vec::with_capacity(env.len());
         let mut by_succ: HashMap<SuccinctTyId, Vec<usize>> = HashMap::new();
-        let mut ty_weight: HashMap<SuccinctTyId, Weight> = HashMap::new();
-
         for (idx, decl) in env.iter().enumerate() {
             let succ = store.sigma(&decl.ty);
-            let w = weights.declaration_weight(decl);
             decl_succ.push(succ);
-            decl_weight.push(w);
             by_succ.entry(succ).or_default().push(idx);
+        }
+        Self::finish_prepare(store, decl_succ, by_succ, env, weights, fingerprint)
+    }
+
+    /// Incrementally re-prepares for `env`, which must extend the environment
+    /// `base` was prepared from by **appended declarations and/or in-place
+    /// weight changes**: the first `prefix_len` declarations of `env` have
+    /// the same names and types (in the same order) as the base environment.
+    ///
+    /// Only the appended suffix is σ-lowered; the interned store is carried
+    /// over. Because a fresh [`PreparedEnv::prepare`] of `env` would replay
+    /// the exact interning sequence of the shared prefix before reaching the
+    /// suffix, every *type* id, declaration index and weight comes out
+    /// identical to that fresh preparation. The only divergence is inert:
+    /// when the appended declarations extend the initial environment's
+    /// member set, the carried store still holds the old initial environment
+    /// under its old id (a fresh store never interns it), shifting later
+    /// environment *ids* by one — and no query-observable behavior depends
+    /// on environment id values (nothing orders by them, and the old set is
+    /// a strict subset no lookup in the new world can produce). Query
+    /// results are therefore byte-identical to the fresh preparation, which
+    /// is what the session's delta path promises.
+    pub fn prepare_appended(
+        base: &PreparedEnv,
+        env: &TypeEnv,
+        weights: &WeightConfig,
+        prefix_len: usize,
+        fingerprint: EnvFingerprint,
+    ) -> Self {
+        debug_assert!(prefix_len <= env.len());
+        debug_assert_eq!(prefix_len, base.decl_succ.len());
+        let mut store = base.store.clone();
+        let mut decl_succ = base.decl_succ.clone();
+        let mut by_succ = base.by_succ.clone();
+        for (idx, decl) in env.iter().enumerate().skip(prefix_len) {
+            let succ = store.sigma(&decl.ty);
+            decl_succ.push(succ);
+            by_succ.entry(succ).or_default().push(idx);
+        }
+        Self::finish_prepare(store, decl_succ, by_succ, env, weights, fingerprint)
+    }
+
+    /// Shared tail of fresh and incremental preparation: the weight tables
+    /// (cheap, no σ), the initial environment and the fingerprint.
+    fn finish_prepare(
+        mut store: SuccinctStore,
+        decl_succ: Vec<SuccinctTyId>,
+        by_succ: HashMap<SuccinctTyId, Vec<usize>>,
+        env: &TypeEnv,
+        weights: &WeightConfig,
+        fingerprint: EnvFingerprint,
+    ) -> Self {
+        debug_assert_eq!(fingerprint, Self::fingerprint_of(env, weights));
+        let mut decl_weight = Vec::with_capacity(env.len());
+        let mut ty_weight: HashMap<SuccinctTyId, Weight> = HashMap::new();
+        for (idx, decl) in env.iter().enumerate() {
+            let w = weights.declaration_weight(decl);
+            decl_weight.push(w);
             ty_weight
-                .entry(succ)
+                .entry(decl_succ[idx])
                 .and_modify(|cur| {
                     if w < *cur {
                         *cur = w;
@@ -62,7 +214,6 @@ impl PreparedEnv {
                 })
                 .or_insert(w);
         }
-
         let init_env = store.mk_env(decl_succ.iter().copied());
         PreparedEnv {
             store,
@@ -71,7 +222,19 @@ impl PreparedEnv {
             by_succ,
             ty_weight,
             init_env,
+            fingerprint,
         }
+    }
+
+    /// `true` when every weight the search can add under this preparation is
+    /// non-negative — the condition for the A* completion-cost heuristic.
+    /// One definition shared by the graph build (which bakes the resulting
+    /// `monotone` flag into every [`DerivationGraph`](crate::DerivationGraph))
+    /// and the session's delta path (which refuses to carry cached graphs
+    /// across an edit that flips this predicate): the two must never diverge.
+    pub fn weights_monotone(&self, weights: &WeightConfig) -> bool {
+        weights.lambda_weight().is_non_negative()
+            && self.decl_weight.iter().all(|w| w.is_non_negative())
     }
 
     /// A fresh per-query interning overlay over this environment's store.
@@ -158,5 +321,119 @@ mod tests {
             assert!(prepared.store.env_contains(prepared.init_env, succ));
         }
         assert_eq!(prepared.store.env_len(prepared.init_env), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_declaration_order_insensitive() {
+        let weights = WeightConfig::default();
+        let fwd = env();
+        let rev: TypeEnv = fwd.iter().rev().cloned().collect();
+        assert_eq!(
+            PreparedEnv::fingerprint_of(&fwd, &weights),
+            PreparedEnv::fingerprint_of(&rev, &weights),
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_contents_weights_and_multiplicity() {
+        let weights = WeightConfig::default();
+        let base = env();
+        let fp = PreparedEnv::fingerprint_of(&base, &weights);
+
+        let mut grown = base.clone();
+        grown.push(Declaration::new("extra", Ty::base("Int"), DeclKind::Local));
+        assert_ne!(fp, PreparedEnv::fingerprint_of(&grown, &weights));
+
+        let mut duplicated = base.clone();
+        duplicated.push(base.decls()[0].clone());
+        assert_ne!(fp, PreparedEnv::fingerprint_of(&duplicated, &weights));
+
+        let reweighted: TypeEnv = base
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let d = d.clone();
+                if i == 0 {
+                    d.with_weight(3.25)
+                } else {
+                    d
+                }
+            })
+            .collect();
+        assert_ne!(fp, PreparedEnv::fingerprint_of(&reweighted, &weights));
+
+        // A different weight *mode* changes effective weights, hence the
+        // fingerprint — the same declarations prepare differently under it.
+        let no_weights = WeightConfig::new(crate::weights::WeightMode::NoWeights);
+        assert_ne!(fp, PreparedEnv::fingerprint_of(&base, &no_weights));
+    }
+
+    #[test]
+    fn prepare_appended_is_bit_identical_to_fresh_preparation() {
+        let weights = WeightConfig::default();
+        let old_env = env();
+        let base = PreparedEnv::prepare(&old_env, &weights);
+
+        // Append two declarations (one duplicating an existing succinct type,
+        // one introducing a new type) and reweight an existing one in place.
+        let mut new_env: TypeEnv = old_env
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let d = d.clone();
+                if i == 2 {
+                    d.with_weight(1.5)
+                } else {
+                    d
+                }
+            })
+            .collect();
+        new_env.push(Declaration::new("b", Ty::base("Int"), DeclKind::Class));
+        new_env.push(Declaration::new(
+            "h",
+            Ty::fun(vec![Ty::base("String")], Ty::base("File")),
+            DeclKind::Imported,
+        ));
+
+        let incremental = PreparedEnv::prepare_appended(
+            &base,
+            &new_env,
+            &weights,
+            old_env.len(),
+            PreparedEnv::fingerprint_of(&new_env, &weights),
+        );
+        let fresh = PreparedEnv::prepare(&new_env, &weights);
+
+        assert_eq!(incremental.decl_succ, fresh.decl_succ);
+        assert_eq!(incremental.decl_weight, fresh.decl_weight);
+        assert_eq!(incremental.fingerprint, fresh.fingerprint);
+        assert_eq!(incremental.by_succ, fresh.by_succ);
+        assert_eq!(incremental.ty_weight, fresh.ty_weight);
+        // Type interning replays identically (same ids, same count); the
+        // initial environment agrees as a member set (its *id* may lag by
+        // the carried-over old initial environment, which is inert).
+        assert_eq!(incremental.store.ty_count(), fresh.store.ty_count());
+        assert_eq!(
+            incremental.store.env_types(incremental.init_env),
+            fresh.store.env_types(fresh.init_env)
+        );
+        assert_eq!(
+            incremental.distinct_succinct_types(),
+            fresh.distinct_succinct_types()
+        );
+
+        // An appended duplicate of an existing type keeps the initial
+        // environment's identity — the condition the session's carry-over
+        // path checks.
+        let mut dup_env = old_env.clone();
+        dup_env.push(Declaration::new("a2", Ty::base("Int"), DeclKind::Package));
+        let dup = PreparedEnv::prepare_appended(
+            &base,
+            &dup_env,
+            &weights,
+            old_env.len(),
+            PreparedEnv::fingerprint_of(&dup_env, &weights),
+        );
+        assert_eq!(dup.init_env, base.init_env);
     }
 }

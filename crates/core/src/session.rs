@@ -1,28 +1,50 @@
-//! The session-based query API: prepare once, query many, batch in parallel.
+//! The session-based query API: content-addressed program points, prepared
+//! once, queried many times, batched in parallel, and re-prepared
+//! incrementally when the user edits.
 //!
 //! The paper's interactive deployment (§7.5) answers many completion queries
-//! against the same program point. This module separates the three concerns
-//! the one-shot [`Synthesizer`](crate::Synthesizer) façade used to conflate:
+//! against the same program point — and, across edits, against program points
+//! that are *slightly changed* or *structurally identical* versions of one
+//! another. This module makes environment identity first-class:
 //!
-//! * [`Engine`] — immutable configuration holder (`Send + Sync`). Cheap to
-//!   clone, safe to share.
+//! * [`Engine`] — immutable configuration holder plus the engine-level
+//!   caches (`Send + Sync`, cheap to clone — clones share the caches).
+//! * Every environment has an [`EnvFingerprint`]: an order-insensitive
+//!   content address over its declaration multiset and effective weights
+//!   (see [`PreparedEnv::fingerprint_of`]). [`Engine::prepare`] keys its
+//!   prepared-point cache on it, so preparing a structurally equal
+//!   environment — byte-equal or merely a permutation — reuses the existing
+//!   σ-lowering instead of re-running it. Fingerprint hits are verified
+//!   structurally before anything is shared; a hash collision degrades to an
+//!   uncached preparation, never to wrong results.
 //! * [`Session`] — one *prepared* program point: [`Engine::prepare`] lowers a
-//!   [`TypeEnv`] through σ exactly once and freezes the result. A session is
-//!   `Send + Sync`; wrap it in an `Arc` and serve queries from as many
-//!   threads as you like — each query interns its few private types into a
-//!   [`ScratchStore`](insynth_succinct::ScratchStore) overlay instead of
-//!   mutating shared state.
+//!   [`TypeEnv`] through σ at most once per fingerprint and freezes the
+//!   result. A session is `Send + Sync`; wrap it in an `Arc` and serve
+//!   queries from as many threads as you like.
 //! * [`Query`] — a builder-style request: goal type, `N`, and optional
 //!   per-query overrides of the engine's budgets, depth bound and weights.
+//! * The **artifact cache** — derivation graphs (with their A* heuristics)
+//!   are cached on the *engine*, keyed `(environment fingerprint, goal,
+//!   prover budgets)`, so structurally equal program points share graphs no
+//!   matter which session queried first. Builds are single-flight: any
+//!   number of concurrent queries for one key perform exactly one build.
+//! * [`Session::update`] — the edit-time delta path: apply an [`EnvDelta`]
+//!   (add / remove / reweight declarations) and get a session for the edited
+//!   point whose results are byte-identical to a fresh [`Engine::prepare`]
+//!   of the edited environment. Appends and reweights re-run σ only on the
+//!   changed declarations and carry over every cached graph the change
+//!   provably cannot affect; removals and oversized deltas fall back to a
+//!   fresh preparation.
 //! * [`Engine::query_batch`] — many `(environment, query)` requests at once:
-//!   requests are grouped by program point, each point is prepared once, and
-//!   the queries fan out across a scoped thread pool. Results come back in
-//!   input order and are identical to running every query sequentially.
+//!   requests are grouped by fingerprint (structural equality verified),
+//!   each distinct point is prepared once, and the queries fan out across a
+//!   scoped thread pool. Results come back in input order and are identical
+//!   to running every query sequentially.
 //!
 //! # Example
 //!
 //! ```
-//! use insynth_core::{Declaration, DeclKind, Engine, Query, SynthesisConfig, TypeEnv};
+//! use insynth_core::{Declaration, DeclKind, Engine, EnvDelta, Query, SynthesisConfig, TypeEnv};
 //! use insynth_lambda::Ty;
 //!
 //! let env: TypeEnv = vec![
@@ -40,20 +62,31 @@
 //! let session = engine.prepare(&env); // σ runs once, here
 //! let result = session.query(&Query::new(Ty::base("File")).with_n(5));
 //! assert_eq!(result.snippets[0].term.to_string(), "mkFile(name)");
-//! // The same session serves further queries without re-preparing.
-//! assert!(session.query(&Query::new(Ty::base("String"))).snippets.len() > 0);
+//!
+//! // The user edits: a new local appears. Only the delta is re-prepared.
+//! let edited = session.update(
+//!     &EnvDelta::new().add(Declaration::simple("path", Ty::base("String"), DeclKind::Local)),
+//! );
+//! let result = edited.query(&Query::new(Ty::base("File")).with_n(5));
+//! assert_eq!(result.snippets[1].term.to_string(), "mkFile(path)");
+//!
+//! // Preparing a structurally equal point again is a fingerprint cache hit.
+//! let again = engine.prepare(&env);
+//! assert_eq!(again.fingerprint(), session.fingerprint());
+//! assert_eq!(engine.prepare_count(), 2); // env + edited env, not 3
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{mpsc, Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use insynth_lambda::Ty;
+use insynth_succinct::EnvFingerprint;
 
 use crate::coerce::{count_coercions, erase_coercions};
-use crate::decl::TypeEnv;
+use crate::decl::{Declaration, TypeEnv};
 use crate::explore::{explore, ExploreLimits};
 use crate::genp::generate_patterns;
 use crate::gent::GenerateLimits;
@@ -62,19 +95,34 @@ use crate::prepare::PreparedEnv;
 use crate::synth::{PhaseTimings, Snippet, SynthesisConfig, SynthesisResult, SynthesisStats};
 use crate::weights::WeightConfig;
 
-/// The immutable synthesis engine: configuration only, no per-query state.
+/// The immutable synthesis engine: configuration plus the engine-level
+/// caches of prepared program points and derivation graphs.
 ///
 /// `Engine` is `Send + Sync`; one instance can serve every thread of a
-/// deployment. All mutable search state lives in per-query scratch space.
-#[derive(Debug, Clone, Default)]
+/// deployment. Cloning is cheap and clones **share the caches** — a cloned
+/// engine is another handle onto the same content-addressed state, which is
+/// what lets [`Engine::query_batch`] and independent [`Engine::prepare`]
+/// calls reuse each other's work. Engines created with [`Engine::new`] start
+/// with fresh, empty caches.
+#[derive(Debug, Clone)]
 pub struct Engine {
     config: SynthesisConfig,
+    cache: Arc<ArtifactCache>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(SynthesisConfig::default())
+    }
 }
 
 impl Engine {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration and empty caches.
     pub fn new(config: SynthesisConfig) -> Self {
-        Engine { config }
+        Engine {
+            config,
+            cache: Arc::new(ArtifactCache::new()),
+        }
     }
 
     /// The active configuration.
@@ -82,47 +130,144 @@ impl Engine {
         &self.config
     }
 
-    /// Lowers `env` into succinct form once, returning a reusable, shareable
+    /// The content address this engine assigns to `env` (under the engine's
+    /// weight configuration). Structurally equal environments — the same
+    /// declaration multiset, in any order — fingerprint identically and
+    /// share one preparation and one derivation-graph cache line.
+    pub fn fingerprint(&self, env: &TypeEnv) -> EnvFingerprint {
+        PreparedEnv::fingerprint_of(env, &self.config.weights)
+    }
+
+    /// Lowers `env` into succinct form, returning a reusable, shareable
     /// [`Session`] for that program point.
+    ///
+    /// Content-addressed: if a structurally equal environment (equal
+    /// [`EnvFingerprint`], verified declaration-for-declaration) was prepared
+    /// before and is still cached, the existing preparation is shared and σ
+    /// does not run again. The session's [`Session::env`] then refers to the
+    /// *canonical* declaration list — the one first prepared — so structurally
+    /// equal points answer byte-identically no matter the declaration order
+    /// they were collected in.
     pub fn prepare(&self, env: &TypeEnv) -> Session {
+        self.prepare_fingerprinted(env, self.fingerprint(env))
+    }
+
+    /// [`Engine::prepare`] with the environment's fingerprint already in
+    /// hand ([`Engine::query_batch`] hashes every request up front for
+    /// grouping; re-hashing per prepared group would waste that work).
+    fn prepare_fingerprinted(&self, env: &TypeEnv, fingerprint: EnvFingerprint) -> Session {
+        let capacity = self.config.point_cache_capacity;
+        if capacity > 0 {
+            if let Some(point) = self
+                .cache
+                .lookup_point(fingerprint, env, PointMatch::Canonical)
+            {
+                return self.session_for(point);
+            }
+        }
         let started = Instant::now();
-        let prepared = PreparedEnv::prepare(env, &self.config.weights);
+        let prepared = Arc::new(PreparedEnv::prepare_with_fingerprint(
+            env,
+            &self.config.weights,
+            fingerprint,
+        ));
         // prepare_time covers only the σ-lowering and index construction —
         // the quantity queries amortize — not the bookkeeping copies below.
         let prepare_time = started.elapsed();
-        Session {
+        self.cache.prepares.fetch_add(1, Ordering::Relaxed);
+        let point = Arc::new(PreparedPoint {
             env: env.clone(),
-            config: self.config.clone(),
             prepared,
             prepare_time,
-            graphs: RwLock::new(HashMap::new()),
-            cache_clock: AtomicU64::new(0),
+        });
+        let point = if capacity > 0 {
+            self.cache
+                .insert_point(point, capacity, PointMatch::Canonical)
+        } else {
+            point
+        };
+        self.session_for(point)
+    }
+
+    fn session_for(&self, point: Arc<PreparedPoint>) -> Session {
+        Session {
+            point,
+            config: self.config.clone(),
+            cache: Arc::clone(&self.cache),
             graph_builds: AtomicUsize::new(0),
         }
     }
 
+    /// Number of σ-lowering runs this engine (and its clones) performed —
+    /// full preparations plus incremental delta re-preparations. The
+    /// difference between `prepare`/`update` calls issued and this count is
+    /// the point cache's hit count.
+    pub fn prepare_count(&self) -> usize {
+        self.cache.prepares.load(Ordering::Relaxed)
+    }
+
+    /// Number of derivation-graph builds across every session this engine
+    /// prepared. With warm caches, a batch over N structurally equal points
+    /// asking one goal performs exactly one build.
+    pub fn graph_build_count(&self) -> usize {
+        self.cache.graph_builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of prepared program points currently cached (bounded by
+    /// [`SynthesisConfig::point_cache_capacity`]).
+    pub fn cached_point_count(&self) -> usize {
+        self.cache.read_points().len()
+    }
+
     /// Runs a batch of requests, possibly spanning several program points.
     ///
-    /// Requests are grouped by program point (environments compared
-    /// structurally), each distinct environment is prepared exactly once, and
-    /// the queries fan out across a scoped thread pool sized to the machine.
-    /// The result vector is in input order, and every entry is identical to
-    /// what a sequential [`Session::query`] against that request's
-    /// environment would return — scheduling never affects results.
+    /// Requests are grouped by environment fingerprint (with structural
+    /// verification, so a permuted-but-equal environment joins the group of
+    /// its canonical form when the point cache is enabled), each distinct
+    /// point is prepared exactly once, and the queries fan out across a
+    /// scoped thread pool sized to the machine. The result vector is in
+    /// input order, and every entry is identical to what a sequential
+    /// [`Session::query`] against that request's environment would return
+    /// from the engine's caches in their pre-batch state — scheduling never
+    /// affects results.
+    ///
+    /// As everywhere on the canonicalizing path, the emission order of
+    /// *equal-weight* snippets for structurally equal environments follows
+    /// the canonical (first-prepared) declaration order; if the point cache
+    /// is sized below the number of distinct points in flight, which
+    /// ordering is canonical can depend on eviction timing. Size
+    /// [`SynthesisConfig::point_cache_capacity`] above the working set (or
+    /// disable it, which makes both this grouping and every sequential
+    /// prepare exact-order) if that tie order matters.
     pub fn query_batch(&self, requests: &[BatchRequest]) -> Vec<SynthesisResult> {
         if requests.is_empty() {
             return Vec::new();
         }
 
-        // Group request indices by structurally equal environments. Batches
-        // are small compared to environments, so a linear scan per distinct
-        // environment beats hashing whole declaration lists.
+        let fingerprints: Vec<EnvFingerprint> = requests
+            .iter()
+            .map(|request| self.fingerprint(&request.env))
+            .collect();
+        // Group request indices by structurally equal environments: the
+        // fingerprint pre-filters, the declaration comparison confirms (so a
+        // fingerprint collision can only ever split a group, never merge
+        // unequal points). Grouping permutations together is only sound
+        // while the point cache canonicalizes — a sequential query would
+        // resolve to the same canonical point and order its equal-weight
+        // ties identically. With the point cache disabled, a sequential
+        // query prepares the request's own declaration order, so the batch
+        // must group exactly to keep its sequential-equivalence promise.
+        let matching = if self.config.point_cache_capacity > 0 {
+            PointMatch::Canonical
+        } else {
+            PointMatch::Exact
+        };
         let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
         for (idx, request) in requests.iter().enumerate() {
-            match groups
-                .iter_mut()
-                .find(|(rep, _)| requests[*rep].env == request.env)
-            {
+            match groups.iter_mut().find(|(rep, _)| {
+                fingerprints[*rep] == fingerprints[idx]
+                    && matching.accepts(&requests[*rep].env, &request.env)
+            }) {
                 Some((_, members)) => members.push(idx),
                 None => groups.push((idx, vec![idx])),
             }
@@ -135,7 +280,8 @@ impl Engine {
         // Stage 1: prepare one session per distinct program point, in
         // parallel (σ-lowering dominates batch cost for large environments).
         let sessions: Vec<Session> = run_indexed(groups.len(), workers, |g| {
-            self.prepare(&requests[groups[g].0].env)
+            let rep = groups[g].0;
+            self.prepare_fingerprinted(&requests[rep].env, fingerprints[rep])
         });
 
         let mut session_of = vec![0usize; requests.len()];
@@ -214,6 +360,93 @@ impl BatchRequest {
     /// Pairs a program point with a query.
     pub fn new(env: TypeEnv, query: Query) -> Self {
         BatchRequest { env, query }
+    }
+}
+
+/// An edit to a type environment: declarations to remove (by name), weight
+/// overrides to set (by name), and declarations to add.
+///
+/// Applied by [`Session::update`] (or directly via [`EnvDelta::apply`]) in
+/// that order: removals first, then reweights over the surviving original
+/// declarations, then additions appended at the end. Removals and reweights
+/// affect *every* declaration sharing the name (overload families edit
+/// together); reweights do not touch declarations added by the same delta.
+///
+/// # Example
+///
+/// ```
+/// use insynth_core::{Declaration, DeclKind, EnvDelta, TypeEnv};
+/// use insynth_lambda::Ty;
+///
+/// let env: TypeEnv = vec![
+///     Declaration::simple("a", Ty::base("A"), DeclKind::Local),
+///     Declaration::simple("b", Ty::base("B"), DeclKind::Local),
+/// ]
+/// .into_iter()
+/// .collect();
+/// let delta = EnvDelta::new()
+///     .remove("b")
+///     .reweight("a", 2.5)
+///     .add(Declaration::simple("c", Ty::base("C"), DeclKind::Local));
+/// let edited = delta.apply(&env);
+/// assert_eq!(edited.len(), 2);
+/// assert_eq!(edited.decls()[0].weight_override, Some(2.5));
+/// assert_eq!(edited.decls()[1].name, "c");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EnvDelta {
+    adds: Vec<Declaration>,
+    removes: Vec<String>,
+    reweights: Vec<(String, f64)>,
+}
+
+impl EnvDelta {
+    /// An empty delta (applying it is the identity).
+    pub fn new() -> Self {
+        EnvDelta::default()
+    }
+
+    /// Appends a declaration to the environment.
+    // The builder name mirrors the edit it describes; EnvDelta is not a
+    // numeric type, so `std::ops::Add` would be the confusing choice here.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(mut self, decl: Declaration) -> Self {
+        self.adds.push(decl);
+        self
+    }
+
+    /// Removes every declaration with the given name.
+    pub fn remove(mut self, name: impl Into<String>) -> Self {
+        self.removes.push(name.into());
+        self
+    }
+
+    /// Sets an explicit weight override on every declaration with the given
+    /// name (see [`Declaration::with_weight`]).
+    pub fn reweight(mut self, name: impl Into<String>, weight: f64) -> Self {
+        self.reweights.push((name.into(), weight));
+        self
+    }
+
+    /// `true` if the delta contains no edits.
+    pub fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.removes.is_empty() && self.reweights.is_empty()
+    }
+
+    /// The edited environment: removals, then reweights, then additions.
+    pub fn apply(&self, env: &TypeEnv) -> TypeEnv {
+        let mut decls: Vec<Declaration> = env
+            .iter()
+            .filter(|d| !self.removes.iter().any(|r| r == &d.name))
+            .cloned()
+            .collect();
+        for (name, weight) in &self.reweights {
+            for decl in decls.iter_mut().filter(|d| &d.name == name) {
+                decl.weight_override = Some(*weight);
+            }
+        }
+        decls.extend(self.adds.iter().cloned());
+        decls.into_iter().collect()
     }
 }
 
@@ -354,18 +587,32 @@ impl Query {
                 .unwrap_or(base.max_reconstruction_steps),
             max_depth: self.max_depth.unwrap_or(base.max_depth),
             erase_coercions: self.erase_coercions.unwrap_or(base.erase_coercions),
-            // Session-level knob; queries cannot override the cache bound.
+            // Engine-level knobs; queries cannot override the cache bounds.
             graph_cache_capacity: base.graph_cache_capacity,
+            point_cache_capacity: base.point_cache_capacity,
         }
     }
 }
 
-/// The inputs that determine a derivation graph: the goal plus every
-/// configuration knob that can change what exploration and pattern generation
-/// produce. Anything else (`n`, reconstruction budgets, coercion erasure)
-/// only affects the walk and shares the cached graph.
+/// One prepared program point, shared by every session that addresses it:
+/// the canonical declaration list (the one first prepared — structurally
+/// equal environments resolve to it), the σ-lowered environment, and the σ
+/// cost that was paid for it.
+#[derive(Debug)]
+pub(crate) struct PreparedPoint {
+    env: TypeEnv,
+    prepared: Arc<PreparedEnv>,
+    prepare_time: Duration,
+}
+
+/// The inputs that determine a derivation graph: the program point's
+/// fingerprint and the goal, plus every configuration knob that can change
+/// what exploration and pattern generation produce. Anything else (`n`,
+/// reconstruction budgets, coercion erasure) only affects the walk and
+/// shares the cached graph.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct GraphKey {
+struct ArtifactKey {
+    fingerprint: EnvFingerprint,
     goal: Ty,
     max_explore_requests: usize,
     prover_time_limit: Option<Duration>,
@@ -373,11 +620,17 @@ struct GraphKey {
 
 /// Everything a query needs that does not depend on `n` or the reconstruction
 /// budgets: the derivation graph plus the statistics and timings of the
-/// phases that built it. Cached per [`GraphKey`] on the session, so repeated
-/// queries replay the recorded stats and walk the same graph.
+/// phases that built it. Cached per [`ArtifactKey`] on the engine, so
+/// repeated queries — from any session addressing the same program point —
+/// replay the recorded stats and walk the same graph.
 #[derive(Debug)]
 pub(crate) struct QueryArtifacts {
     graph: DerivationGraph,
+    /// The program point the graph was built over. The graph's `Head::Decl`
+    /// edges are indices into *this* point's declaration list, so term
+    /// rendering always resolves against it — never against the querying
+    /// session's (possibly permuted, possibly delta-extended) environment.
+    point: Arc<PreparedPoint>,
     explore_time: Duration,
     patterns_time: Duration,
     reachability_terms: usize,
@@ -387,15 +640,341 @@ pub(crate) struct QueryArtifacts {
     /// `true` when the exploration truncation was wall-clock-driven — a
     /// nondeterministic outcome that must not be cached.
     time_truncated: bool,
+    /// Sorted names of every base type exploration requested. A declaration
+    /// can influence this graph — as a match, a queue weight or a `Select`
+    /// edge — only if its return-type name appears here; the delta path
+    /// carries an artifact across an edit exactly when no changed
+    /// declaration's return type does.
+    touched_rets: Box<[String]>,
 }
 
-/// A cached derivation graph (plus build statistics) together with its
-/// recency stamp. The stamp is atomic so cache hits can refresh it under the
-/// shared read lock.
+/// A cached value together with its LRU recency stamp (atomic so hits can
+/// refresh it under the shared read lock).
 #[derive(Debug)]
-struct CachedGraph {
-    artifacts: Arc<QueryArtifacts>,
+struct Stamped<T> {
+    value: T,
     last_used: AtomicU64,
+}
+
+/// The single-flight build slot of one artifact key: concurrent queries for
+/// one key all wait on (and share) exactly one build.
+type GraphCell = Arc<OnceLock<Arc<QueryArtifacts>>>;
+
+/// A cached derivation-graph slot: the build cell plus the prepared point
+/// this cache line serves. Every lookup verifies its session's point against
+/// it (pointer-fast for sessions sharing the point, structurally otherwise),
+/// so a graph whose `Head::Decl` indices were resolved against one
+/// declaration order can never be rendered through another — and a
+/// fingerprint collision degrades to a private, uncached build.
+#[derive(Debug)]
+struct GraphSlot {
+    cell: GraphCell,
+    point: Arc<PreparedPoint>,
+}
+
+type PointMap = HashMap<EnvFingerprint, Stamped<Arc<PreparedPoint>>>;
+type GraphMap = HashMap<ArtifactKey, Stamped<GraphSlot>>;
+
+/// How a point-cache lookup decides whether a cached environment may stand
+/// in for the requested one.
+#[derive(Clone, Copy)]
+enum PointMatch {
+    /// Same declaration multiset, any order — the requested point resolves
+    /// to the cached canonical representative. Correct wherever the caller's
+    /// contract is "structurally equal points answer identically (in the
+    /// canonical order)", i.e. [`Engine::prepare`].
+    Canonical,
+    /// The identical declaration list. Required wherever the caller promises
+    /// byte-identity with a fresh preparation of a *specific* list —
+    /// [`Session::update`] — because equal-weight ties emit in declaration
+    /// order, so a permutation is observably different there.
+    Exact,
+}
+
+impl PointMatch {
+    fn accepts(self, cached: &TypeEnv, requested: &TypeEnv) -> bool {
+        match self {
+            PointMatch::Canonical => envs_equivalent(cached, requested),
+            PointMatch::Exact => cached == requested,
+        }
+    }
+}
+
+/// Evicts least-recently-used entries until `map` fits `capacity`. The entry
+/// a caller just stamped carries the newest stamp, so it is never the victim.
+fn evict_lru<K: Clone + Eq + std::hash::Hash, T>(
+    map: &mut HashMap<K, Stamped<T>>,
+    capacity: usize,
+) {
+    while map.len() > capacity {
+        let victim = map
+            .iter()
+            .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+            .map(|(key, _)| key.clone());
+        match victim {
+            Some(victim) => {
+                map.remove(&victim);
+            }
+            None => break,
+        }
+    }
+}
+
+/// The engine-level content-addressed caches: prepared program points keyed
+/// by [`EnvFingerprint`], and query artifacts (derivation graphs) keyed by
+/// `(fingerprint, goal, prover budgets)`. Shared — behind one `Arc` — by the
+/// engine, its clones, and every session it prepares.
+///
+/// Both caches survive panics: they only ever hold fully built values, so
+/// poisoned locks are recovered (`into_inner`) rather than propagated, and
+/// one panicking query thread can never brick the other threads sharing the
+/// engine.
+#[derive(Debug)]
+pub(crate) struct ArtifactCache {
+    points: RwLock<PointMap>,
+    graphs: RwLock<GraphMap>,
+    /// Monotone stamp source for both caches' LRU recency ordering.
+    clock: AtomicU64,
+    /// σ-lowering runs (full and incremental preparations).
+    prepares: AtomicUsize,
+    /// Derivation-graph builds across every session of the engine.
+    graph_builds: AtomicUsize,
+}
+
+impl ArtifactCache {
+    fn new() -> Self {
+        ArtifactCache {
+            points: RwLock::new(HashMap::new()),
+            graphs: RwLock::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            prepares: AtomicUsize::new(0),
+            graph_builds: AtomicUsize::new(0),
+        }
+    }
+
+    fn stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Acquires a cache map for reading, recovering from a poisoned lock (the
+    /// maps only ever hold fully built values, so the state is safe to
+    /// adopt).
+    fn read_points(&self) -> RwLockReadGuard<'_, PointMap> {
+        self.points.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_points(&self) -> RwLockWriteGuard<'_, PointMap> {
+        self.points.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn read_graphs(&self) -> RwLockReadGuard<'_, GraphMap> {
+        self.graphs.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_graphs(&self) -> RwLockWriteGuard<'_, GraphMap> {
+        self.graphs.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up a prepared point by fingerprint, verifying the stored
+    /// environment matches `env` before sharing it. [`PointMatch::Canonical`]
+    /// accepts any declaration order (the cross-point feature:
+    /// [`Engine::prepare`] resolves permutations to the canonical
+    /// representative); [`PointMatch::Exact`] requires the identical
+    /// declaration list — the mode [`Session::update`] uses, whose contract
+    /// is byte-identity with a fresh preparation of the edited list, and
+    /// weight-*tie* emission order follows declaration order.
+    fn lookup_point(
+        &self,
+        fingerprint: EnvFingerprint,
+        env: &TypeEnv,
+        matching: PointMatch,
+    ) -> Option<Arc<PreparedPoint>> {
+        let points = self.read_points();
+        let entry = points.get(&fingerprint)?;
+        if !matching.accepts(&entry.value.env, env) {
+            // A different declaration order in Exact mode, or a fingerprint
+            // collision between unequal environments: never share across it
+            // (the caller prepares fresh).
+            return None;
+        }
+        entry.last_used.store(self.stamp(), Ordering::Relaxed);
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// Inserts a freshly prepared point, adopting a matching entry another
+    /// thread raced in first (keeping the cache canonical), and evicting the
+    /// least recently used points beyond `capacity`. A non-matching occupant
+    /// (collision, or a permutation in Exact mode) is left alone and the
+    /// caller's point is returned uncached.
+    fn insert_point(
+        &self,
+        point: Arc<PreparedPoint>,
+        capacity: usize,
+        matching: PointMatch,
+    ) -> Arc<PreparedPoint> {
+        let mut points = self.write_points();
+        let stamp = self.stamp();
+        match points.entry(point.prepared.fingerprint) {
+            std::collections::hash_map::Entry::Occupied(entry) => {
+                return if matching.accepts(&entry.get().value.env, &point.env) {
+                    entry.get().last_used.store(stamp, Ordering::Relaxed);
+                    Arc::clone(&entry.get().value)
+                } else {
+                    point
+                };
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Stamped {
+                    value: Arc::clone(&point),
+                    last_used: AtomicU64::new(stamp),
+                });
+            }
+        }
+        evict_lru(&mut points, capacity);
+        point
+    }
+
+    /// The single-flight build slot for `key`, serving `point`: existing
+    /// entries are stamped and shared after verifying they serve the same
+    /// program point (pointer-fast when the session shares the cached point,
+    /// structural otherwise), a missing entry is created empty (the caller
+    /// initializes it outside the lock), and the cache is bounded to
+    /// `capacity` by LRU eviction. Returns `None` when the key is occupied
+    /// by a *different* program point — a fingerprint collision — in which
+    /// case the caller must build privately and cache nothing.
+    fn graph_cell(
+        &self,
+        key: ArtifactKey,
+        point: &Arc<PreparedPoint>,
+        capacity: usize,
+    ) -> Option<GraphCell> {
+        // Pointer equality covers every session sharing the cached canonical
+        // point (the common case); the fallback comparison is *exact* — a
+        // permuted-but-equal environment emits equal-weight ties in a
+        // different order, so sharing its graphs would leak the other
+        // ordering into this session's results.
+        let serves =
+            |slot: &GraphSlot| Arc::ptr_eq(&slot.point, point) || slot.point.env == point.env;
+        if let Some(entry) = self.read_graphs().get(&key) {
+            if !serves(&entry.value) {
+                return None;
+            }
+            entry.last_used.store(self.stamp(), Ordering::Relaxed);
+            return Some(Arc::clone(&entry.value.cell));
+        }
+        let mut graphs = self.write_graphs();
+        let stamp = self.stamp();
+        let entry = graphs.entry(key).or_insert_with(|| Stamped {
+            value: GraphSlot {
+                cell: Arc::new(OnceLock::new()),
+                point: Arc::clone(point),
+            },
+            last_used: AtomicU64::new(0),
+        });
+        if !serves(&entry.value) {
+            return None;
+        }
+        entry.last_used.store(stamp, Ordering::Relaxed);
+        let cell = Arc::clone(&entry.value.cell);
+        evict_lru(&mut graphs, capacity);
+        Some(cell)
+    }
+
+    /// Removes `key` if it still maps to `cell` — used to drop
+    /// wall-clock-truncated builds, which are a property of the moment and
+    /// must not stay cached.
+    fn discard_graph(&self, key: &ArtifactKey, cell: &GraphCell) {
+        let mut graphs = self.write_graphs();
+        if let Some(entry) = graphs.get(key) {
+            if Arc::ptr_eq(&entry.value.cell, cell) {
+                graphs.remove(key);
+            }
+        }
+    }
+
+    /// Copies every fully built artifact of `old_point` that `keep` accepts
+    /// to the same key under `new_point`'s fingerprint — the delta path's
+    /// selective carry-over. The new entries serve (and verify against) the
+    /// edited point; the shared artifacts keep referencing their original
+    /// build point, whose declaration prefix the edited environment extends.
+    fn carry_over(
+        &self,
+        old_point: &Arc<PreparedPoint>,
+        new_point: &Arc<PreparedPoint>,
+        capacity: usize,
+        keep: impl Fn(&QueryArtifacts) -> bool,
+    ) {
+        let old_fp = old_point.prepared.fingerprint;
+        let new_fp = new_point.prepared.fingerprint;
+        let survivors: Vec<(ArtifactKey, GraphCell)> = {
+            let graphs = self.read_graphs();
+            graphs
+                .iter()
+                .filter_map(|(key, entry)| {
+                    if key.fingerprint != old_fp || !Arc::ptr_eq(&entry.value.point, old_point) {
+                        return None;
+                    }
+                    // Only fully built cells can be judged (and shared).
+                    let artifacts = entry.value.cell.get()?;
+                    keep(artifacts).then(|| {
+                        let mut new_key = key.clone();
+                        new_key.fingerprint = new_fp;
+                        (new_key, Arc::clone(&entry.value.cell))
+                    })
+                })
+                .collect()
+        };
+        if survivors.is_empty() {
+            return;
+        }
+        let mut graphs = self.write_graphs();
+        for (key, cell) in survivors {
+            let stamp = self.stamp();
+            graphs.entry(key).or_insert(Stamped {
+                value: GraphSlot {
+                    cell,
+                    point: Arc::clone(new_point),
+                },
+                last_used: AtomicU64::new(stamp),
+            });
+        }
+        evict_lru(&mut graphs, capacity);
+    }
+}
+
+/// Total order over declarations by content (name, type, kind, frequency,
+/// weight-override bits) — the canonicalization behind the multiset
+/// comparison. Borrows only; a fingerprint verification must stay cheap
+/// next to the σ run it saves.
+fn decl_content_cmp(a: &Declaration, b: &Declaration) -> std::cmp::Ordering {
+    a.name
+        .cmp(&b.name)
+        .then_with(|| a.ty.cmp(&b.ty))
+        .then_with(|| a.kind.cmp(&b.kind))
+        .then_with(|| a.frequency.cmp(&b.frequency))
+        .then_with(|| {
+            a.weight_override
+                .map(f64::to_bits)
+                .cmp(&b.weight_override.map(f64::to_bits))
+        })
+}
+
+/// Structural (multiset) equality of two environments: the same declarations
+/// with the same names, types, kinds, frequencies and overrides, in any
+/// order. This is the verification behind every fingerprint cache hit.
+fn envs_equivalent(a: &TypeEnv, b: &TypeEnv) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    fn sorted(env: &TypeEnv) -> Vec<&Declaration> {
+        let mut refs: Vec<&Declaration> = env.iter().collect();
+        refs.sort_by(|x, y| decl_content_cmp(x, y));
+        refs
+    }
+    sorted(a)
+        .into_iter()
+        .zip(sorted(b))
+        .all(|(x, y)| decl_content_cmp(x, y) == std::cmp::Ordering::Equal)
 }
 
 /// One prepared program point: the σ-lowered environment plus the engine
@@ -404,43 +983,48 @@ struct CachedGraph {
 /// Sessions are `Send + Sync`: queries borrow the prepared environment
 /// read-only and keep all mutable search state (priority queues, visited
 /// sets, newly interned types) in per-query scratch space, so an
-/// `Arc<Session>` can answer queries from many threads concurrently. The only
-/// shared mutable state is the derivation-graph cache, which memoizes the
-/// explore → patterns → graph → heuristic phases per goal: the first query
-/// for a goal builds the graph (and its A* completion bounds), every later
-/// query for it goes straight to reconstruction. Only completely explored
-/// graphs are cached — a build whose exploration hit the prover's wall-clock
-/// budget serves its own query and is discarded, so a transiently slow
-/// machine can never pin incomplete results onto the session. Cached queries
-/// are byte-identical to what an uncached run of the same (untruncated)
-/// build returns.
+/// `Arc<Session>` can answer queries from many threads concurrently.
+///
+/// Sessions addressing structurally equal environments — prepared through
+/// one [`Engine`] (or its clones) — share the prepared point *and* the
+/// derivation-graph cache: the first query for a goal builds the graph (and
+/// its A* completion bounds), every later query for it, from any such
+/// session, goes straight to reconstruction. Builds are single-flight, so
+/// concurrent first queries perform exactly one build. Only completely
+/// explored graphs stay cached — a build whose exploration hit the prover's
+/// wall-clock budget serves its queries and is discarded, so a transiently
+/// slow machine can never pin incomplete results onto the engine. Cached
+/// queries are byte-identical to what an uncached run of the same
+/// (untruncated) build returns.
 ///
 /// The cache is **bounded**: at most
-/// [`SynthesisConfig::graph_cache_capacity`] graphs (default 64) are kept,
-/// and the least recently used graph is evicted when a new goal would exceed
-/// the bound — a long-lived session answering many distinct goals stays
-/// bounded in memory. The cache also survives panics: a query thread that
-/// panics mid-cache-access (poisoning the lock) never bricks the other
-/// threads sharing the `Arc<Session>`, because the cache only ever holds
-/// fully built graphs and the lock is recovered on the next access.
+/// [`SynthesisConfig::graph_cache_capacity`] graphs (default 64) are kept
+/// across the engine, and the least recently used graph is evicted when a
+/// new key would exceed the bound. The cache also survives panics: a query
+/// thread that panics mid-cache-access (poisoning a lock) never bricks the
+/// other threads sharing the engine, because the caches only ever hold fully
+/// built values and the locks are recovered on the next access.
+///
+/// [`Session::update`] derives a session for an *edited* environment,
+/// re-running σ only on the changed declarations and carrying the cached
+/// graphs the edit provably cannot affect — see [`EnvDelta`].
 #[derive(Debug)]
 pub struct Session {
-    env: TypeEnv,
+    point: Arc<PreparedPoint>,
     config: SynthesisConfig,
-    prepared: PreparedEnv,
-    prepare_time: Duration,
-    graphs: RwLock<HashMap<GraphKey, CachedGraph>>,
-    /// Monotone stamp source for the cache's LRU recency ordering.
-    cache_clock: AtomicU64,
+    cache: Arc<ArtifactCache>,
     /// Number of derivation-graph builds this session has performed (cache
     /// misses, non-cacheable truncated builds, and weight-override queries).
     graph_builds: AtomicUsize,
 }
 
 impl Session {
-    /// The program point this session was prepared for.
+    /// The canonical declaration list of this session's program point. When
+    /// the point was served from the fingerprint cache this is the list first
+    /// prepared — structurally equal to (but possibly a permutation of) the
+    /// environment passed to [`Engine::prepare`].
     pub fn env(&self) -> &TypeEnv {
-        &self.env
+        &self.point.env
     }
 
     /// The configuration queries inherit (before per-query overrides).
@@ -450,22 +1034,34 @@ impl Session {
 
     /// The σ-lowered environment.
     pub fn prepared(&self) -> &PreparedEnv {
-        &self.prepared
+        &self.point.prepared
     }
 
-    /// How long [`Engine::prepare`] took for this session — the cost that is
-    /// paid once per program point instead of once per query.
+    /// The content address of this session's program point.
+    pub fn fingerprint(&self) -> EnvFingerprint {
+        self.point.prepared.fingerprint
+    }
+
+    /// How long the σ-lowering of this program point took — the cost that is
+    /// paid once per *structurally distinct* point (fingerprint hits and
+    /// incremental updates pay less) instead of once per query.
     pub fn prepare_time(&self) -> Duration {
-        self.prepare_time
+        self.point.prepare_time
+    }
+
+    fn count_build(&self) {
+        self.graph_builds.fetch_add(1, Ordering::Relaxed);
+        self.cache.graph_builds.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Answers one query against this program point.
     ///
     /// Does not re-run σ (unless the query overrides the weight
     /// configuration, which forces an internal re-preparation), and reuses
-    /// the cached derivation graph when the goal was queried before — the
-    /// repeated-query fast path that skips exploration and pattern generation
-    /// entirely.
+    /// the engine-cached derivation graph when the goal was queried before —
+    /// by this session or any session addressing a structurally equal point
+    /// — the repeated-query fast path that skips exploration and pattern
+    /// generation entirely.
     pub fn query(&self, query: &Query) -> SynthesisResult {
         let config = query.effective_config(&self.config);
         if let Some(weights) = &query.weights {
@@ -474,110 +1070,213 @@ impl Session {
                 // (and every cached graph, which bakes them into its edges):
                 // re-prepare privately for this query (the documented slow
                 // path; the shared session is left untouched).
-                let prepared = PreparedEnv::prepare(&self.env, weights);
-                self.graph_builds.fetch_add(1, Ordering::Relaxed);
-                return run_query(&prepared, &self.env, &config, &query.goal, query.n);
+                let point = Arc::new(PreparedPoint {
+                    env: self.point.env.clone(),
+                    prepared: Arc::new(PreparedEnv::prepare(&self.point.env, weights)),
+                    prepare_time: Duration::ZERO,
+                });
+                self.count_build();
+                return run_query(&point, &config, &query.goal, query.n);
             }
         }
 
-        let key = GraphKey {
-            goal: query.goal.clone(),
-            max_explore_requests: config.max_explore_requests,
-            prover_time_limit: config.prover_time_limit,
+        let cell = if self.config.graph_cache_capacity == 0 {
+            None
+        } else {
+            let key = ArtifactKey {
+                fingerprint: self.fingerprint(),
+                goal: query.goal.clone(),
+                max_explore_requests: config.max_explore_requests,
+                prover_time_limit: config.prover_time_limit,
+            };
+            self.cache
+                .graph_cell(key.clone(), &self.point, self.config.graph_cache_capacity)
+                .map(|cell| (key, cell))
         };
-        let cached = self.read_graphs().get(&key).map(|entry| {
-            // Refresh the LRU stamp under the shared read lock.
-            entry.last_used.store(
-                self.cache_clock.fetch_add(1, Ordering::Relaxed),
-                Ordering::Relaxed,
-            );
-            Arc::clone(&entry.artifacts)
-        });
-        let artifacts = match cached {
-            Some(artifacts) => artifacts,
+        let artifacts = match cell {
+            // Caching disabled, or the key is occupied by a structurally
+            // different program point (a fingerprint collision): build
+            // privately, per query, caching nothing.
             None => {
-                self.graph_builds.fetch_add(1, Ordering::Relaxed);
-                let built = Arc::new(build_artifacts(
-                    &self.prepared,
-                    &self.env,
-                    &config,
-                    &query.goal,
-                ));
-                if built.time_truncated || self.config.graph_cache_capacity == 0 {
+                self.count_build();
+                Arc::new(build_artifacts(&self.point, &config, &query.goal))
+            }
+            Some((key, cell)) => {
+                let artifacts = Arc::clone(cell.get_or_init(|| {
+                    self.count_build();
+                    Arc::new(build_artifacts(&self.point, &config, &query.goal))
+                }));
+                if artifacts.time_truncated {
                     // A wall-clock-truncated exploration is a property of
                     // this moment, not of the goal: caching it would pin an
-                    // incomplete graph on the session forever. Use it for
-                    // this query only and let the next query re-explore.
-                    // (A `max_explore_requests`-capped exploration is
-                    // deterministic — the cap is part of the key — and
-                    // caches normally. A zero-capacity cache never stores
-                    // anything.)
-                    built
-                } else {
-                    // Two threads may race to build the same graph; an
-                    // untruncated build is deterministic, so keeping the
-                    // first insertion is only an allocation-saving
-                    // tie-break, never a behavioural one.
-                    let mut graphs = self.write_graphs();
-                    let stamp = self.cache_clock.fetch_add(1, Ordering::Relaxed);
-                    let slot = graphs.entry(key).or_insert_with(|| CachedGraph {
-                        artifacts: built,
-                        last_used: AtomicU64::new(0),
-                    });
-                    // Stamping also covers the race-lost path: reusing the
-                    // other thread's graph is a recency bump too.
-                    slot.last_used.store(stamp, Ordering::Relaxed);
-                    let artifacts = Arc::clone(&slot.artifacts);
-                    // LRU eviction keeps the cache within its bound. The
-                    // entry just stamped carries the newest stamp, so it is
-                    // never the victim (capacity 0 never reaches this path).
-                    while graphs.len() > self.config.graph_cache_capacity {
-                        let victim = graphs
-                            .iter()
-                            .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
-                            .map(|(key, _)| key.clone());
-                        match victim {
-                            Some(victim) => {
-                                graphs.remove(&victim);
-                            }
-                            None => break,
-                        }
-                    }
-                    artifacts
+                    // incomplete graph on the engine forever. Use it for the
+                    // queries already waiting on this cell and let the next
+                    // query re-explore. (A `max_explore_requests`-capped
+                    // exploration is deterministic — the cap is part of the
+                    // key — and caches normally.)
+                    self.cache.discard_graph(&key, &cell);
                 }
+                artifacts
             }
         };
-        finish_query(&artifacts, &self.prepared, &self.env, &config, query.n)
+        finish_query(
+            &artifacts,
+            &self.point.prepared,
+            &self.point.env,
+            &config,
+            query.n,
+        )
     }
 
-    /// Number of derivation graphs currently cached on this session (one per
-    /// distinct goal/prover-budget combination queried so far, bounded by
-    /// [`SynthesisConfig::graph_cache_capacity`]).
+    /// Derives a session for the environment obtained by applying `delta` to
+    /// this session's point — the edit-time path of the interactive loop.
+    ///
+    /// Results from the returned session are **byte-identical** to a fresh
+    /// [`Engine::prepare`] of the edited environment. What varies is the
+    /// work performed:
+    ///
+    /// * additions and reweights re-run σ only on the changed declarations
+    ///   ([`PreparedEnv::prepare_appended`]) and **carry over** every cached
+    ///   derivation graph whose exploration provably cannot observe the
+    ///   change (no changed declaration's return type was ever requested,
+    ///   the initial succinct environment is unchanged, and the edit does
+    ///   not flip weight monotonicity);
+    /// * removals, and deltas larger than a quarter of the environment,
+    ///   fall back to a fresh preparation (a removal shifts the interning
+    ///   sequence, so nothing can be proven bit-identical cheaply);
+    /// * a no-op delta (or one whose result is already cached **with the
+    ///   identical declaration order**) returns a session sharing the
+    ///   existing point outright. Unlike [`Engine::prepare`], this path
+    ///   never resolves to a permuted canonical representative: equal-weight
+    ///   ties emit in declaration order, and the byte-identity promise is to
+    ///   the edited list itself, so a cached permutation is prepared past
+    ///   (uncached) rather than adopted.
+    ///
+    /// The original session remains fully usable — sessions are immutable;
+    /// an editor keeps one session per open revision if it wants to.
+    pub fn update(&self, delta: &EnvDelta) -> Session {
+        let old_point = &self.point;
+        let old_env = &old_point.env;
+        let new_env = delta.apply(old_env);
+        let fingerprint = PreparedEnv::fingerprint_of(&new_env, &self.config.weights);
+        // Sharing on this path demands the *identical* declaration list
+        // (PointMatch::Exact, and plain equality for the no-op shortcut):
+        // update's contract is byte-identity with a fresh preparation of the
+        // edited list, and equal-weight ties emit in declaration order, so a
+        // structurally-equal permutation is not interchangeable here.
+        if fingerprint == old_point.prepared.fingerprint && *old_env == new_env {
+            return self.resession(Arc::clone(old_point));
+        }
+        let point_capacity = self.config.point_cache_capacity;
+        if point_capacity > 0 {
+            if let Some(point) = self
+                .cache
+                .lookup_point(fingerprint, &new_env, PointMatch::Exact)
+            {
+                return self.resession(point);
+            }
+        }
+
+        // The incremental path covers appends and in-place reweights; it is
+        // skipped when the delta rivals the environment in size (at that
+        // scale a fresh preparation costs about the same and carries no
+        // bookkeeping risk).
+        let incremental = delta.removes.is_empty()
+            && delta.adds.len() + delta.reweights.len() <= 16.max(old_env.len() / 4);
+        let started = Instant::now();
+        let prepared = if incremental {
+            Arc::new(PreparedEnv::prepare_appended(
+                &old_point.prepared,
+                &new_env,
+                &self.config.weights,
+                old_env.len(),
+                fingerprint,
+            ))
+        } else {
+            Arc::new(PreparedEnv::prepare_with_fingerprint(
+                &new_env,
+                &self.config.weights,
+                fingerprint,
+            ))
+        };
+        let prepare_time = started.elapsed();
+        self.cache.prepares.fetch_add(1, Ordering::Relaxed);
+        let point = Arc::new(PreparedPoint {
+            env: new_env,
+            prepared,
+            prepare_time,
+        });
+
+        if incremental && self.config.graph_cache_capacity > 0 {
+            // Selective carry-over: a cached graph survives the edit iff a
+            // fresh build against the edited environment would be identical.
+            // That holds when (a) the initial succinct environment kept its
+            // identity (no brand-new declaration *type* entered Γ), (b) the
+            // edit does not flip weight monotonicity (which selects between
+            // the A* and best-first regimes globally), and (c) the goal's
+            // exploration never requested any changed declaration's return
+            // type — a declaration can influence exploration order, matches
+            // or `Select` edges only through requests for its return type.
+            let old_monotone = old_point.prepared.weights_monotone(&self.config.weights);
+            let new_monotone = point.prepared.weights_monotone(&self.config.weights);
+            if point.prepared.init_env == old_point.prepared.init_env
+                && old_monotone == new_monotone
+            {
+                let changed = changed_ret_names(&old_point.prepared, &point.prepared, &point.env);
+                self.cache.carry_over(
+                    old_point,
+                    &point,
+                    self.config.graph_cache_capacity,
+                    |artifacts| {
+                        !artifacts.explore_truncated
+                            && !artifacts.time_truncated
+                            && changed
+                                .iter()
+                                .all(|ret| artifacts.touched_rets.binary_search(ret).is_err())
+                    },
+                );
+            }
+        }
+
+        let point = if point_capacity > 0 {
+            self.cache
+                .insert_point(point, point_capacity, PointMatch::Exact)
+        } else {
+            point
+        };
+        self.resession(point)
+    }
+
+    fn resession(&self, point: Arc<PreparedPoint>) -> Session {
+        Session {
+            point,
+            config: self.config.clone(),
+            cache: Arc::clone(&self.cache),
+            graph_builds: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of derivation graphs currently cached for this session's
+    /// program point (one per distinct goal/prover-budget combination
+    /// queried so far, bounded — together with every other point's graphs —
+    /// by [`SynthesisConfig::graph_cache_capacity`]).
     pub fn cached_graph_count(&self) -> usize {
-        self.read_graphs().len()
+        let fingerprint = self.fingerprint();
+        self.cache
+            .read_graphs()
+            .keys()
+            .filter(|key| key.fingerprint == fingerprint)
+            .count()
     }
 
     /// Number of derivation-graph builds this session has performed — cache
     /// misses plus non-cacheable builds (wall-clock-truncated explorations,
     /// weight-override queries). The difference between queries issued and
-    /// builds performed is the cache's hit count.
+    /// builds performed is the cache's hit count for this session. (The
+    /// engine-wide total, across sessions, is
+    /// [`Engine::graph_build_count`].)
     pub fn graph_build_count(&self) -> usize {
         self.graph_builds.load(Ordering::Relaxed)
-    }
-
-    /// Acquires the graph cache for reading, recovering from a poisoned lock:
-    /// the cache only ever holds fully built `Arc<QueryArtifacts>` (no
-    /// invariant can be half-updated when a panicking thread drops the
-    /// guard), so the poisoned state is safe to adopt and one panicking query
-    /// must not brick every other thread sharing the `Arc<Session>`.
-    fn read_graphs(&self) -> RwLockReadGuard<'_, HashMap<GraphKey, CachedGraph>> {
-        self.graphs.read().unwrap_or_else(|e| e.into_inner())
-    }
-
-    /// Acquires the graph cache for writing; see [`Session::read_graphs`] for
-    /// why poisoning is recovered rather than propagated.
-    fn write_graphs(&self) -> RwLockWriteGuard<'_, HashMap<GraphKey, CachedGraph>> {
-        self.graphs.write().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Answers several queries against this program point, sequentially,
@@ -593,10 +1292,11 @@ impl Session {
     pub fn is_inhabited(&self, goal: &Ty) -> bool {
         use insynth_succinct::TypeStore;
 
-        let mut store = self.prepared.scratch();
+        let prepared = self.prepared();
+        let mut store = prepared.scratch();
         let goal_succ = store.sigma(goal);
         let space = explore(
-            &self.prepared,
+            prepared,
             &mut store,
             goal_succ,
             &ExploreLimits {
@@ -606,22 +1306,44 @@ impl Session {
         );
         let patterns = generate_patterns(&mut store, &space);
         let goal_args = store.args_of(goal_succ).to_vec();
-        let extended = store.env_union(self.prepared.init_env, &goal_args);
+        let extended = store.env_union(prepared.init_env, &goal_args);
         let ret = store.ret_of(goal_succ);
         patterns.is_inhabited(ret, extended)
     }
 }
 
+/// The sorted return-type names of every declaration whose effective weight
+/// changed between the two (prefix-aligned) preparations, plus those of every
+/// appended declaration — the set of base types an edit can influence
+/// exploration through.
+fn changed_ret_names(
+    old_prepared: &PreparedEnv,
+    new_prepared: &PreparedEnv,
+    new_env: &TypeEnv,
+) -> Vec<String> {
+    let prefix_len = old_prepared.decl_weight.len();
+    let mut changed: BTreeSet<String> = BTreeSet::new();
+    for (idx, decl) in new_env.iter().enumerate() {
+        let touched =
+            idx >= prefix_len || old_prepared.decl_weight[idx] != new_prepared.decl_weight[idx];
+        if touched {
+            changed.insert(decl.ty.result_base().to_owned());
+        }
+    }
+    changed.into_iter().collect()
+}
+
 /// Runs exploration, pattern generation and graph compilation for one goal —
-/// the phases a session caches per [`GraphKey`].
+/// the phases the engine caches per [`ArtifactKey`].
 pub(crate) fn build_artifacts(
-    prepared: &PreparedEnv,
-    env: &TypeEnv,
+    point: &Arc<PreparedPoint>,
     config: &SynthesisConfig,
     goal: &Ty,
 ) -> QueryArtifacts {
     use insynth_succinct::TypeStore;
 
+    let prepared = &point.prepared;
+    let env = &point.env;
     let mut store = prepared.scratch();
     let goal_succ = store.sigma(goal);
 
@@ -644,8 +1366,15 @@ pub(crate) fn build_artifacts(
     let graph = DerivationGraph::build(prepared, &mut store, &patterns, env, &config.weights, goal);
     let patterns_time = patterns_started.elapsed();
 
+    let touched: BTreeSet<String> = space
+        .processed_rets
+        .iter()
+        .map(|&sym| store.base_name(sym).to_owned())
+        .collect();
+
     QueryArtifacts {
         graph,
+        point: Arc::clone(point),
         explore_time,
         patterns_time,
         reachability_terms: space.terms.len(),
@@ -653,13 +1382,16 @@ pub(crate) fn build_artifacts(
         patterns: patterns.len(),
         explore_truncated: space.truncated,
         time_truncated: space.time_truncated,
+        touched_rets: touched.into_iter().collect::<Vec<_>>().into_boxed_slice(),
     }
 }
 
 /// Walks an already built derivation graph and packages the result. The
 /// reported explore/patterns timings and search statistics are those recorded
 /// when the graph was built, so cached and uncached queries report
-/// identically.
+/// identically. Declaration heads are resolved against the graph's *build*
+/// point (whose indices they are); `env`/`prepared` describe the querying
+/// session's point and feed only the environment-level statistics.
 fn finish_query(
     artifacts: &QueryArtifacts,
     prepared: &PreparedEnv,
@@ -670,7 +1402,7 @@ fn finish_query(
     let recon_started = Instant::now();
     let outcome = generate_terms(
         &artifacts.graph,
-        env,
+        &artifacts.point.env,
         n,
         &GenerateLimits {
             max_steps: config.max_reconstruction_steps,
@@ -722,24 +1454,23 @@ fn finish_query(
     }
 }
 
-/// Runs all query phases uncached against a prepared environment. Used by the
-/// per-query weight-override slow path, where the prepared weights differ
+/// Runs all query phases uncached against a prepared program point. Used by
+/// the per-query weight-override slow path, where the prepared weights differ
 /// from the session's and nothing may be reused.
 pub(crate) fn run_query(
-    prepared: &PreparedEnv,
-    env: &TypeEnv,
+    point: &Arc<PreparedPoint>,
     config: &SynthesisConfig,
     goal: &Ty,
     n: usize,
 ) -> SynthesisResult {
-    let artifacts = build_artifacts(prepared, env, config, goal);
-    finish_query(&artifacts, prepared, env, config, n)
+    let artifacts = build_artifacts(point, config, goal);
+    finish_query(&artifacts, &point.prepared, &point.env, config, n)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::decl::{DeclKind, Declaration};
+    use crate::decl::DeclKind;
 
     // Compile-time proof of the concurrency contract: sessions (and the
     // engine) can be shared across threads behind an Arc.
@@ -749,6 +1480,7 @@ mod tests {
         assert_send_sync::<Session>();
         assert_send_sync::<Query>();
         assert_send_sync::<BatchRequest>();
+        assert_send_sync::<EnvDelta>();
     };
 
     fn env_a() -> TypeEnv {
@@ -810,6 +1542,151 @@ mod tests {
         assert_eq!(batched[0].snippets[0].term.to_string(), "mkFile(name)");
         assert_eq!(batched[2].snippets[0].term.to_string(), "name");
         assert_eq!(batched[3].snippets.len(), 2);
+        // Two distinct points: two σ runs, no matter how many requests.
+        assert_eq!(engine.prepare_count(), 2);
+    }
+
+    #[test]
+    fn structurally_equal_points_share_one_preparation_and_one_graph() {
+        let engine = Engine::new(SynthesisConfig::default());
+        let forward = env_a();
+        let reversed: TypeEnv = forward.iter().rev().cloned().collect();
+
+        let s1 = engine.prepare(&forward);
+        let s2 = engine.prepare(&forward.clone());
+        let s3 = engine.prepare(&reversed);
+        assert_eq!(engine.prepare_count(), 1, "one σ run for all three");
+        assert_eq!(s1.fingerprint(), s2.fingerprint());
+        assert_eq!(s1.fingerprint(), s3.fingerprint());
+
+        let query = Query::new(Ty::base("File")).with_n(5);
+        let r1 = s1.query(&query);
+        let r2 = s2.query(&query);
+        let r3 = s3.query(&query);
+        assert_eq!(engine.graph_build_count(), 1, "one graph for all three");
+        assert_eq!(render(&r1), render(&r2));
+        assert_eq!(render(&r1), render(&r3));
+        // The canonical environment is the first-prepared declaration list.
+        assert_eq!(s3.env().decls()[0].name, "name");
+    }
+
+    #[test]
+    fn permuted_sessions_without_a_shared_point_never_share_graphs() {
+        // Regression: with the point cache disabled, two sessions for
+        // permuted copies of one environment hold *different* declaration
+        // orders. A cached graph's Head::Decl indices belong to its build
+        // point's order, and equal-weight ties emit in declaration order —
+        // so the artifact cache must refuse to serve one session's graph to
+        // the other (sharing it once produced the ill-typed `mkFile(other)`
+        // where `other : Gadget`). Cross-point graph sharing is what the
+        // point cache's canonicalization provides; opting out of it opts
+        // out of both.
+        let config = SynthesisConfig {
+            point_cache_capacity: 0,
+            ..SynthesisConfig::default()
+        };
+        let engine = Engine::new(config);
+        let mut env = env_a();
+        env.push(Declaration::new(
+            "other",
+            Ty::base("Gadget"),
+            DeclKind::Local,
+        ));
+        let reversed: TypeEnv = env.iter().rev().cloned().collect();
+
+        let forward = engine.prepare(&env);
+        let query = Query::new(Ty::base("File")).with_n(5);
+        let from_forward = forward.query(&query);
+        assert_eq!(from_forward.snippets[0].term.to_string(), "mkFile(name)");
+
+        let backward = engine.prepare(&reversed);
+        assert_eq!(engine.prepare_count(), 2, "the point cache is off");
+        let from_backward = backward.query(&query);
+        assert_eq!(
+            engine.graph_build_count(),
+            2,
+            "no shared point, no shared graph: the second session builds privately"
+        );
+        assert_eq!(render(&from_backward), render(&from_forward));
+        // The rendered term type-checks against either declaration order.
+        assert!(env.admits(&from_backward.snippets[0].raw_term, &Ty::base("File")));
+    }
+
+    #[test]
+    fn batch_without_point_cache_matches_sequential_queries_on_permutations() {
+        // Regression: with the point cache disabled, a sequential query
+        // prepares each request's own declaration order, so the batch must
+        // not group a permutation with its canonical form (equal-weight
+        // ties — two String locals here — emit in declaration order).
+        let config = SynthesisConfig {
+            point_cache_capacity: 0,
+            ..SynthesisConfig::default()
+        };
+        let engine = Engine::new(config);
+        let env: TypeEnv = vec![
+            Declaration::new("name", Ty::base("String"), DeclKind::Local),
+            Declaration::new("path", Ty::base("String"), DeclKind::Local),
+        ]
+        .into_iter()
+        .collect();
+        let reversed: TypeEnv = env.iter().rev().cloned().collect();
+
+        let query = Query::new(Ty::base("String")).with_n(2);
+        let requests = vec![
+            BatchRequest::new(env.clone(), query.clone()),
+            BatchRequest::new(reversed.clone(), query.clone()),
+        ];
+        let batched = engine.query_batch(&requests);
+        for (request, batch_result) in requests.iter().zip(&batched) {
+            let sequential = engine.prepare(&request.env).query(&request.query);
+            assert_eq!(render(batch_result), render(&sequential));
+        }
+        assert_eq!(batched[0].snippets[0].term.to_string(), "name");
+        assert_eq!(batched[1].snippets[0].term.to_string(), "path");
+    }
+
+    #[test]
+    fn update_stays_fresh_identical_when_a_permuted_point_is_cached() {
+        // Regression: the engine's point cache holds a *permuted* ordering
+        // of the environment an update is about to produce. The update must
+        // not adopt it — equal-weight ties (`name` and `path` below are both
+        // weight-5 locals) emit in declaration order, and update's contract
+        // is byte-identity with a fresh preparation of the edited list.
+        let engine = Engine::new(SynthesisConfig::default());
+        let name = || Declaration::new("name", Ty::base("String"), DeclKind::Local);
+        let path = || Declaration::new("path", Ty::base("String"), DeclKind::Local);
+        let permuted: TypeEnv = vec![path(), name()].into_iter().collect();
+        let _seed = engine.prepare(&permuted);
+
+        let session = engine.prepare(&vec![name()].into_iter().collect());
+        let delta = EnvDelta::new().add(path());
+        let updated = session.update(&delta);
+
+        let query = Query::new(Ty::base("String")).with_n(2);
+        let from_updated = updated.query(&query);
+        let fresh = Engine::new(SynthesisConfig::default())
+            .prepare(&delta.apply(session.env()))
+            .query(&query);
+        assert_eq!(render(&from_updated), render(&fresh));
+        assert_eq!(from_updated.snippets[0].term.to_string(), "name");
+
+        // The canonical permuted point is untouched and still serves
+        // Engine::prepare's canonicalizing path.
+        let canonical = engine.prepare(&vec![name(), path()].into_iter().collect());
+        assert_eq!(canonical.env().decls()[0].name, "path");
+    }
+
+    #[test]
+    fn point_cache_capacity_zero_disables_cross_point_reuse() {
+        let config = SynthesisConfig {
+            point_cache_capacity: 0,
+            ..SynthesisConfig::default()
+        };
+        let engine = Engine::new(config);
+        let _ = engine.prepare(&env_a());
+        let _ = engine.prepare(&env_a());
+        assert_eq!(engine.prepare_count(), 2);
+        assert_eq!(engine.cached_point_count(), 0);
     }
 
     #[test]
@@ -849,30 +1726,40 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_graph_cache_does_not_brick_the_session() {
-        // One query thread panicking while it holds the cache lock must not
-        // poison every subsequent `Session::query` on the shared Arc.
+    fn poisoned_caches_do_not_brick_the_engine() {
+        // One query thread panicking while it holds a cache lock must not
+        // poison every subsequent query on the shared engine.
         let engine = Engine::new(SynthesisConfig::default());
         let session = Arc::new(engine.prepare(&env_a()));
         let before = session.query(&Query::new(Ty::base("File")).with_n(3));
 
         let poisoner = Arc::clone(&session);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-            let _guard = poisoner.graphs.write().unwrap_or_else(|e| e.into_inner());
-            panic!("query thread dies while holding the cache lock");
+            let _graphs = poisoner
+                .cache
+                .graphs
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
+            let _points = poisoner
+                .cache
+                .points
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
+            panic!("query thread dies while holding the cache locks");
         }));
         assert!(result.is_err(), "the panic must actually happen");
         assert!(
-            session.graphs.read().is_err(),
-            "the lock must be poisoned for this test to mean anything"
+            session.cache.graphs.read().is_err() && session.cache.points.read().is_err(),
+            "the locks must be poisoned for this test to mean anything"
         );
 
-        // The session keeps answering — cache reads, writes and the counter
-        // all recover the poisoned lock.
+        // The engine keeps answering — cache reads, writes and the counters
+        // all recover the poisoned locks.
         let after = session.query(&Query::new(Ty::base("File")).with_n(3));
         assert_eq!(render(&before), render(&after));
         assert!(session.cached_graph_count() >= 1);
-        let fresh = session.query(&Query::new(Ty::base("String")).with_n(2));
+        let fresh = engine.prepare(&env_a());
+        let fresh = fresh.query(&Query::new(Ty::base("String")).with_n(2));
         assert_eq!(fresh.snippets[0].term.to_string(), "name");
     }
 
@@ -930,6 +1817,124 @@ mod tests {
     }
 
     #[test]
+    fn update_with_empty_delta_shares_the_point() {
+        let engine = Engine::new(SynthesisConfig::default());
+        let session = engine.prepare(&env_a());
+        let updated = session.update(&EnvDelta::new());
+        assert_eq!(session.fingerprint(), updated.fingerprint());
+        assert_eq!(engine.prepare_count(), 1, "no σ for a no-op delta");
+        assert!(Arc::ptr_eq(&session.point, &updated.point));
+    }
+
+    #[test]
+    fn update_append_and_reweight_carry_unaffected_graphs() {
+        let mut env = env_a();
+        env.push(Declaration::new(
+            "gadget",
+            Ty::base("Gadget"),
+            DeclKind::Local,
+        ));
+        let engine = Engine::new(SynthesisConfig::default());
+        let session = engine.prepare(&env);
+        // Warm the File graph on the original point.
+        let before = session.query(&Query::new(Ty::base("File")).with_n(5));
+        assert_eq!(engine.graph_build_count(), 1);
+
+        // Append another `Gadget` declaration (its succinct type is already
+        // in Γ, so the initial environment keeps its identity) and reweight
+        // the existing one: the File exploration never requests `Gadget`, so
+        // the File graph carries over to the edited point.
+        let delta = EnvDelta::new()
+            .add(Declaration::new(
+                "gadget2",
+                Ty::base("Gadget"),
+                DeclKind::Imported,
+            ))
+            .reweight("gadget", 2.0);
+        let updated = session.update(&delta);
+        assert_ne!(updated.fingerprint(), session.fingerprint());
+        assert_eq!(updated.env().len(), 4);
+
+        let after = updated.query(&Query::new(Ty::base("File")).with_n(5));
+        assert_eq!(render(&before), render(&after));
+        assert_eq!(
+            engine.graph_build_count(),
+            1,
+            "the File graph must be carried across the delta, not rebuilt"
+        );
+        // A goal the edit *does* touch rebuilds and sees the new state.
+        let gadgets = updated.query(&Query::new(Ty::base("Gadget")).with_n(5));
+        assert_eq!(engine.graph_build_count(), 2);
+        assert_eq!(gadgets.snippets.len(), 2);
+        // Fresh comparison: an independent engine on the edited environment
+        // answers identically.
+        let fresh_engine = Engine::new(SynthesisConfig::default());
+        let fresh = fresh_engine.prepare(&delta.apply(session.env()));
+        assert_eq!(
+            render(&after),
+            render(&fresh.query(&Query::new(Ty::base("File")).with_n(5)))
+        );
+        assert_eq!(
+            render(&gadgets),
+            render(&fresh.query(&Query::new(Ty::base("Gadget")).with_n(5)))
+        );
+    }
+
+    #[test]
+    fn update_reaching_delta_invalidates_affected_graphs() {
+        let engine = Engine::new(SynthesisConfig::default());
+        let session = engine.prepare(&env_a());
+        let before = session.query(&Query::new(Ty::base("File")).with_n(5));
+        assert_eq!(engine.graph_build_count(), 1);
+
+        // `mkDir : String -> File` produces `File`, which the File
+        // exploration requests — the cached graph must NOT carry over.
+        let delta = EnvDelta::new().add(Declaration::new(
+            "mkDir",
+            Ty::fun(vec![Ty::base("String")], Ty::base("File")),
+            DeclKind::Local,
+        ));
+        let updated = session.update(&delta);
+        let after = updated.query(&Query::new(Ty::base("File")).with_n(5));
+        assert_eq!(engine.graph_build_count(), 2, "the File graph was rebuilt");
+        assert!(after.snippets.len() > before.snippets.len());
+        let fresh = Engine::new(SynthesisConfig::default())
+            .prepare(&delta.apply(session.env()))
+            .query(&Query::new(Ty::base("File")).with_n(5));
+        assert_eq!(render(&after), render(&fresh));
+    }
+
+    #[test]
+    fn update_remove_falls_back_to_fresh_preparation() {
+        let engine = Engine::new(SynthesisConfig::default());
+        let session = engine.prepare(&env_a());
+        let _ = session.query(&Query::new(Ty::base("File")).with_n(5));
+
+        let delta = EnvDelta::new().remove("mkFile");
+        let updated = session.update(&delta);
+        assert_eq!(updated.env().len(), 1);
+        let result = updated.query(&Query::new(Ty::base("File")).with_n(5));
+        assert!(result.snippets.is_empty(), "File is no longer inhabited");
+        let fresh = Engine::new(SynthesisConfig::default())
+            .prepare(&delta.apply(session.env()))
+            .query(&Query::new(Ty::base("File")).with_n(5));
+        assert_eq!(render(&result), render(&fresh));
+    }
+
+    #[test]
+    fn update_registers_the_edited_point_in_the_engine_cache() {
+        let engine = Engine::new(SynthesisConfig::default());
+        let session = engine.prepare(&env_a());
+        let delta = EnvDelta::new().add(Declaration::new("extra", Ty::base("X"), DeclKind::Local));
+        let updated = session.update(&delta);
+        let prepares = engine.prepare_count();
+        // Preparing the edited environment afresh hits the point cache.
+        let again = engine.prepare(&delta.apply(session.env()));
+        assert_eq!(engine.prepare_count(), prepares);
+        assert_eq!(again.fingerprint(), updated.fingerprint());
+    }
+
+    #[test]
     fn run_indexed_returns_results_in_index_order() {
         let doubled = run_indexed(100, 8, |i| i * 2);
         assert_eq!(doubled.len(), 100);
@@ -937,5 +1942,17 @@ mod tests {
             assert_eq!(*v, i * 2);
         }
         assert!(run_indexed(0, 8, |i| i).is_empty());
+    }
+
+    #[test]
+    fn envs_equivalent_is_order_insensitive_but_multiplicity_aware() {
+        let forward = env_a();
+        let reversed: TypeEnv = forward.iter().rev().cloned().collect();
+        assert!(envs_equivalent(&forward, &reversed));
+        let mut duplicated = forward.clone();
+        duplicated.push(forward.decls()[0].clone());
+        assert!(!envs_equivalent(&forward, &duplicated));
+        let reweighted: TypeEnv = forward.iter().map(|d| d.clone().with_weight(1.0)).collect();
+        assert!(!envs_equivalent(&forward, &reweighted));
     }
 }

@@ -38,13 +38,27 @@ pub struct SynthesisConfig {
     /// snippets (the behaviour of the paper's tool); the raw term is still
     /// available on each [`Snippet`].
     pub erase_coercions: bool,
-    /// Upper bound on the number of derivation graphs a
-    /// [`Session`](crate::Session) keeps cached (one per distinct
-    /// goal/prover-budget combination queried). When the bound is reached the
-    /// least recently used graph is evicted, so a long-lived session
-    /// answering many distinct goals stays bounded in memory. `0` disables
-    /// caching entirely (every query rebuilds its graph).
+    /// Upper bound on the number of derivation graphs the [`Engine`]'s
+    /// cross-point artifact cache keeps (one per distinct environment
+    /// fingerprint / goal / prover-budget combination queried, shared by
+    /// every [`Session`](crate::Session) the engine prepared). When the
+    /// bound is reached the least recently used graph is evicted, so a
+    /// long-lived deployment answering many distinct goals stays bounded in
+    /// memory. `0` disables graph caching entirely (every query rebuilds its
+    /// graph).
     pub graph_cache_capacity: usize,
+    /// Upper bound on the number of *prepared program points* the engine
+    /// retains, keyed by environment fingerprint: preparing an environment
+    /// structurally equal to one already prepared (same declaration multiset
+    /// and weights, any order) reuses the cached σ-lowering instead of
+    /// re-running it. Evicted least-recently-used; `0` disables cross-point
+    /// reuse (every [`Engine::prepare`](crate::Engine::prepare) runs σ, and
+    /// graphs are only ever shared between sessions holding the identical
+    /// declaration list). Size it above the deployment's working set of
+    /// distinct points: permutations of one environment resolve to whichever
+    /// ordering is currently the cached canonical, so under-sizing makes the
+    /// emission order of equal-weight ties depend on eviction timing.
+    pub point_cache_capacity: usize,
 }
 
 impl Default for SynthesisConfig {
@@ -58,6 +72,7 @@ impl Default for SynthesisConfig {
             max_depth: None,
             erase_coercions: true,
             graph_cache_capacity: 64,
+            point_cache_capacity: 32,
         }
     }
 }
@@ -176,9 +191,10 @@ impl SynthesisResult {
 
 /// Deprecated one-shot façade over the session API.
 ///
-/// Every call prepares a throwaway [`Session`](crate::Session) — the σ
-/// lowering, `Select` index and per-type weights are rebuilt per call, which
-/// is exactly the cost the session API exists to amortize. Migrate to:
+/// Every call prepares a throwaway [`Session`](crate::Session). The engine's
+/// fingerprint-keyed point cache now absorbs the repeated σ-lowering this
+/// pattern used to pay, but each call still re-hashes the environment and
+/// rebuilds the session plumbing; prepare once and keep the session instead:
 ///
 /// ```
 /// use insynth_core::{Declaration, DeclKind, Engine, Query, SynthesisConfig, TypeEnv};

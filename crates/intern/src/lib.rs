@@ -19,8 +19,10 @@
 
 mod idvec;
 mod interner;
+mod stable;
 mod symbol;
 
 pub use idvec::{Id, IdVec};
 pub use interner::Interner;
+pub use stable::StableHasher;
 pub use symbol::Symbol;

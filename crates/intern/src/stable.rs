@@ -1,0 +1,177 @@
+//! A deterministic, run-to-run stable hasher for content addressing.
+//!
+//! [`std::collections::hash_map::DefaultHasher`] makes no stability promises
+//! and the per-process randomized `RandomState` is explicitly unstable, so
+//! anything that wants a *content address* — the same input always hashing to
+//! the same value, in every run, on every platform — needs its own hasher.
+//! [`StableHasher`] runs two independently seeded FNV-1a-style 64-bit lanes
+//! and concatenates them into a 128-bit digest; the two lanes evolve
+//! differently (distinct offset bases and multipliers), so a collision must
+//! defeat both at once.
+//!
+//! This is a *fingerprinting* hash, not a cryptographic one: callers that use
+//! digests as cache keys must verify equality of the underlying data on a hit
+//! (see the engine's prepared-point cache) before sharing state across it.
+//!
+//! # Example
+//!
+//! ```
+//! use insynth_intern::StableHasher;
+//!
+//! let mut a = StableHasher::new();
+//! a.write_str("FileInputStream");
+//! let mut b = StableHasher::new();
+//! b.write_str("FileInputStream");
+//! assert_eq!(a.finish(), b.finish());
+//! ```
+
+/// FNV-1a 64-bit offset basis (lane one).
+const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime (lane one).
+const PRIME_A: u64 = 0x0000_0100_0000_01b3;
+/// Golden-ratio offset (lane two) — any odd constant distinct from lane one.
+const OFFSET_B: u64 = 0x9e37_79b9_7f4a_7c15;
+/// xxHash64 prime (lane two multiplier).
+const PRIME_B: u64 = 0x9e37_79b1_85eb_ca87;
+
+/// Two-lane FNV-1a-style streaming hasher producing a stable 128-bit digest.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A hasher in its initial state.
+    pub fn new() -> Self {
+        StableHasher {
+            a: OFFSET_A,
+            b: OFFSET_B,
+        }
+    }
+
+    /// One mixing round over a 64-bit word, shared by every write method.
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.a = (self.a ^ word).wrapping_mul(PRIME_A);
+        self.b = (self.b ^ word).rotate_left(23).wrapping_mul(PRIME_B);
+    }
+
+    /// Feeds one byte into both lanes.
+    #[inline]
+    pub fn write_u8(&mut self, byte: u8) {
+        self.mix(u64::from(byte));
+    }
+
+    /// Feeds a byte slice, one mixing round per 8-byte chunk (the hasher
+    /// runs over thousands of declaration names per fingerprint; a round per
+    /// byte would dominate the cache-hit path it exists to keep cheap).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        // The trailing bytes go through the same framing as a short input;
+        // `write_str`'s length prefix disambiguates chunk boundaries.
+        for &byte in chunks.remainder() {
+            self.write_u8(byte);
+        }
+    }
+
+    /// Feeds a string, framed so that `("ab", "c")` and `("a", "bc")` hash
+    /// differently when written in sequence.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds a `u64` (one mixing round).
+    pub fn write_u64(&mut self, value: u64) {
+        self.mix(value);
+    }
+
+    /// Feeds an `f64` by its exact bit pattern (distinguishes `0.0` from
+    /// `-0.0`; callers decide whether that matters).
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// The 128-bit digest of everything written so far.
+    pub fn finish(&self) -> u128 {
+        // A final avalanche round per lane so short inputs still spread.
+        let mut a = self.a;
+        a ^= a >> 33;
+        a = a.wrapping_mul(PRIME_B);
+        a ^= a >> 29;
+        let mut b = self.b;
+        b ^= b >> 31;
+        b = b.wrapping_mul(PRIME_A);
+        b ^= b >> 27;
+        (u128::from(a) << 64) | u128::from(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(f: impl FnOnce(&mut StableHasher)) -> u128 {
+        let mut h = StableHasher::new();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_inputs_hash_equal() {
+        let a = digest(|h| {
+            h.write_str("x");
+            h.write_u64(7);
+        });
+        let b = digest(|h| {
+            h.write_str("x");
+            h.write_u64(7);
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn string_framing_prevents_concatenation_collisions() {
+        let ab_c = digest(|h| {
+            h.write_str("ab");
+            h.write_str("c");
+        });
+        let a_bc = digest(|h| {
+            h.write_str("a");
+            h.write_str("bc");
+        });
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn different_inputs_hash_differently() {
+        let x = digest(|h| h.write_u64(1));
+        let y = digest(|h| h.write_u64(2));
+        assert_ne!(x, y);
+        assert_ne!(digest(|_| {}), x);
+    }
+
+    #[test]
+    fn float_bit_patterns_are_distinguished() {
+        let pos = digest(|h| h.write_f64(0.0));
+        let neg = digest(|h| h.write_f64(-0.0));
+        assert_ne!(pos, neg);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // The high and low halves must not be trivially correlated.
+        let d = digest(|h| h.write_str("insynth"));
+        assert_ne!((d >> 64) as u64, d as u64);
+    }
+}

@@ -30,6 +30,7 @@
 
 mod calculus;
 mod env;
+mod fingerprint;
 mod index;
 mod pattern;
 mod scratch;
@@ -41,6 +42,7 @@ pub use calculus::{
     Request,
 };
 pub use env::EnvId;
+pub use fingerprint::{EnvFingerprint, EnvFingerprintBuilder};
 pub use index::{GoalId, PatternIndex};
 pub use pattern::Pattern;
 pub use scratch::ScratchStore;

@@ -30,13 +30,15 @@
 //!
 //! # Quickstart
 //!
-//! The entry point is the session API — `Engine` holds the configuration,
-//! `Engine::prepare` lowers a program point's environment exactly once, and
-//! the resulting `Session` answers any number of `Query`s (from any number of
-//! threads: it is `Send + Sync`, share it in an `Arc`):
+//! The entry point is the session API, organized around **content-addressed
+//! environments**. Every environment has a *fingerprint* — an
+//! order-insensitive digest over its declaration multiset and effective
+//! weights — and the `Engine` keys its caches on it, so the lifecycle of a
+//! program point is: *prepare once per structurally distinct environment,
+//! query many times, update by delta when the user edits*.
 //!
 //! ```
-//! use insynth::core::{Declaration, DeclKind, Engine, Query, SynthesisConfig, TypeEnv};
+//! use insynth::core::{Declaration, DeclKind, Engine, EnvDelta, Query, SynthesisConfig, TypeEnv};
 //! use insynth::lambda::Ty;
 //!
 //! // A tiny environment:  name: String,  mkFile: String -> File
@@ -51,23 +53,46 @@
 //! let engine = Engine::new(SynthesisConfig::default());
 //! let session = engine.prepare(&env); // σ-lowering happens once, here
 //!
-//! // Query the prepared point as often as you like.
+//! // Query the prepared point as often as you like (from any number of
+//! // threads: `Session` is `Send + Sync`, share it in an `Arc`).
 //! let result = session.query(&Query::new(Ty::base("File")).with_n(5));
 //! assert_eq!(result.snippets[0].term.to_string(), "mkFile(name)");
 //! let strings = session.query(&Query::new(Ty::base("String")));
 //! assert_eq!(strings.snippets[0].term.to_string(), "name");
+//!
+//! // Preparing a structurally equal environment — same declarations, any
+//! // order — is a fingerprint cache hit: no second σ run, shared graphs.
+//! let permuted: TypeEnv = env.iter().rev().cloned().collect();
+//! let same_point = engine.prepare(&permuted);
+//! assert_eq!(same_point.fingerprint(), session.fingerprint());
+//! assert_eq!(engine.prepare_count(), 1);
+//!
+//! // The user edits: update by delta instead of re-preparing from scratch.
+//! // σ runs only on the changed declarations, cached graphs the edit cannot
+//! // affect are carried over, and results are byte-identical to a fresh
+//! // prepare of the edited environment.
+//! let edited = session.update(
+//!     &EnvDelta::new()
+//!         .add(Declaration::simple("path", Ty::base("String"), DeclKind::Local))
+//!         .reweight("mkFile", 50.0),
+//! );
+//! let result = edited.query(&Query::new(Ty::base("File")).with_n(5));
+//! assert_eq!(result.snippets[1].term.to_string(), "mkFile(path)");
 //! ```
 //!
-//! Each session memoizes the derivation graph (and its A* completion-cost
-//! heuristic) per queried goal, so repeated queries skip straight to
-//! reconstruction. The cache is bounded — at most
-//! `SynthesisConfig::graph_cache_capacity` graphs (default 64), evicted
-//! least-recently-used — so even a session answering thousands of distinct
-//! goals stays bounded in memory.
+//! Derivation graphs (with their A* completion-cost heuristics) are memoized
+//! on the **engine**, keyed `(environment fingerprint, goal, prover
+//! budgets)`, so repeated queries — from any session addressing a
+//! structurally equal point — skip straight to reconstruction, and builds
+//! are single-flight under concurrency. Both caches are bounded
+//! (`SynthesisConfig::graph_cache_capacity`, default 64 graphs, and
+//! `SynthesisConfig::point_cache_capacity`, default 32 prepared points;
+//! least-recently-used eviction), so long-lived engines stay bounded in
+//! memory.
 //!
 //! For many program points at once, `Engine::query_batch` groups requests by
-//! point, prepares each point once, and fans the queries out across a scoped
-//! thread pool, returning results in input order:
+//! fingerprint, prepares each distinct point once, and fans the queries out
+//! across a scoped thread pool, returning results in input order:
 //!
 //! ```
 //! use insynth::core::{BatchRequest, Declaration, DeclKind, Engine, Query, SynthesisConfig, TypeEnv};
@@ -93,8 +118,31 @@
 //! assert_eq!(results[1].snippets[0].term.to_string(), "name");
 //! ```
 //!
-//! The pre-session `Synthesizer` façade still compiles but is deprecated; it
-//! re-prepares the environment on every call.
+//! # Migrating from the PR 2 session API
+//!
+//! Code written against the original `Engine::prepare` / `Session::query`
+//! API compiles and behaves identically — `prepare`, `query`, `query_many`,
+//! `query_batch`, `is_inhabited` and the `Query` builder are unchanged. What
+//! changed underneath, and what new code should pick up:
+//!
+//! * **Caching moved from the session to the engine.** A session used to own
+//!   its graph cache; now graphs live on the engine keyed by environment
+//!   fingerprint, so sessions for structurally equal points share them.
+//!   `Session::graph_build_count` still reports the builds *this session*
+//!   performed; the engine-wide totals are `Engine::graph_build_count` and
+//!   `Engine::prepare_count`. Cloning an `Engine` shares its caches; create
+//!   engines with `Engine::new` when isolation is wanted.
+//! * **Re-preparing an unchanged (or merely permuted) environment is now a
+//!   cache hit** — the prepare-per-edit pattern no longer pays σ each time.
+//!   If the old behavior is needed (e.g. memory isolation), set
+//!   `SynthesisConfig::point_cache_capacity` to 0.
+//! * **Edits should use `Session::update(&EnvDelta)`** instead of rebuilding
+//!   the declaration list and calling `prepare`: adds and reweights
+//!   re-prepare incrementally and keep unaffected cached graphs; removals
+//!   fall back to a full preparation automatically.
+//! * Nothing is deprecated by this change. The pre-session one-shot
+//!   `Synthesizer` façade (deprecated since PR 2) still compiles; its
+//!   repeated preparations now also benefit from the fingerprint cache.
 
 pub use insynth_apimodel as apimodel;
 pub use insynth_benchsuite as benchsuite;

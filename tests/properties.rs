@@ -16,15 +16,22 @@
 //!   negative-weight-override configurations where the walk must fall back
 //!   to plain best-first order,
 //! * truncation — a frontier-capped walk still emits a sorted subset of the
-//!   true enumeration with exact weights.
+//!   true enumeration with exact weights,
+//! * content addressing — structurally equal environments (any declaration
+//!   order) fingerprint equal, share one preparation and one derivation
+//!   graph, and answer byte-identically,
+//! * delta re-preparation — `Session::update(delta)` answers byte-identically
+//!   to a fresh `Engine::prepare` of the edited environment, for random
+//!   add/remove/reweight deltas including negative weight overrides (which
+//!   flip the walk into its best-first fallback).
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use insynth::core::{
     explore, generate_patterns, generate_terms, generate_terms_unindexed, is_inhabited_ref, rcn,
-    DeclKind, Declaration, DerivationGraph, Engine, ExploreLimits, GenerateLimits, PreparedEnv,
-    Query, SynthesisConfig, TypeEnv, WeightConfig,
+    DeclKind, Declaration, DerivationGraph, Engine, EnvDelta, ExploreLimits, GenerateLimits,
+    PreparedEnv, Query, SynthesisConfig, SynthesisResult, TypeEnv, WeightConfig,
 };
 use insynth::lambda::{check, Term, Ty};
 use insynth::provers::{forward, g4ip, inhabitation_query, ProverLimits};
@@ -57,6 +64,35 @@ fn arb_env() -> impl Strategy<Value = TypeEnv> {
             })
             .collect()
     })
+}
+
+/// Byte-precise fingerprint of a query result: rendered and raw terms, the
+/// exact weight bit patterns, and the cache-replayed search statistics.
+fn result_key(result: &SynthesisResult) -> Vec<(String, String, u64, usize, usize)> {
+    result
+        .snippets
+        .iter()
+        .map(|s| {
+            (
+                s.term.to_string(),
+                s.raw_term.to_string(),
+                s.weight.value().to_bits(),
+                s.depth,
+                s.coercions,
+            )
+        })
+        .collect()
+}
+
+fn stats_key(result: &SynthesisResult) -> (usize, usize, usize, usize, bool, bool) {
+    (
+        result.stats.requests_processed,
+        result.stats.patterns,
+        result.stats.reachability_terms,
+        result.stats.reconstruction_steps,
+        result.stats.astar,
+        result.stats.truncated,
+    )
 }
 
 fn arb_goal() -> impl Strategy<Value = Ty> {
@@ -158,7 +194,7 @@ proptest! {
         use insynth::succinct::TypeStore;
 
         let weights = WeightConfig::default();
-        let prepared = PreparedEnv::prepare(&env, &weights);
+        let prepared = std::sync::Arc::new(PreparedEnv::prepare(&env, &weights));
         let mut store = prepared.scratch();
         let goal_succ = store.sigma(&goal);
         let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
@@ -203,7 +239,7 @@ proptest! {
             })
             .collect();
         let weights = WeightConfig::default();
-        let prepared = PreparedEnv::prepare(&env, &weights);
+        let prepared = std::sync::Arc::new(PreparedEnv::prepare(&env, &weights));
         let mut store = prepared.scratch();
         let goal_succ = store.sigma(&goal);
         let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
@@ -238,7 +274,7 @@ proptest! {
         use insynth::succinct::TypeStore;
 
         let weights = WeightConfig::default();
-        let prepared = PreparedEnv::prepare(&env, &weights);
+        let prepared = std::sync::Arc::new(PreparedEnv::prepare(&env, &weights));
         let mut store = prepared.scratch();
         let goal_succ = store.sigma(&goal);
         let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
@@ -274,7 +310,7 @@ proptest! {
         use std::collections::HashSet;
 
         let weights = WeightConfig::default();
-        let prepared = PreparedEnv::prepare(&env, &weights);
+        let prepared = std::sync::Arc::new(PreparedEnv::prepare(&env, &weights));
         let mut store = prepared.scratch();
         let goal_succ = store.sigma(&goal);
         let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
@@ -306,6 +342,103 @@ proptest! {
                 ranked.term
             );
         }
+    }
+
+    #[test]
+    fn equal_fingerprints_share_preparation_and_answer_byte_identically(
+        env in arb_env(),
+        goal in arb_goal(),
+        rotation in 0usize..8,
+    ) {
+        // The content-addressing contract: structurally equal environments
+        // (here: a rotation of the declaration list) fingerprint equal, σ
+        // runs once, the derivation graph is built once, and every session
+        // answers byte-identically — weight bits included.
+        let config = SynthesisConfig::unbounded().with_max_depth(3);
+        let decls: Vec<Declaration> = env.iter().cloned().collect();
+        let k = rotation % decls.len().max(1);
+        let rotated: TypeEnv = decls[k..].iter().chain(&decls[..k]).cloned().collect();
+
+        let engine = Engine::new(config);
+        prop_assert_eq!(engine.fingerprint(&env), engine.fingerprint(&rotated));
+
+        let canonical = engine.prepare(&env);
+        let permuted = engine.prepare(&rotated);
+        prop_assert_eq!(engine.prepare_count(), 1, "one σ run for both points");
+        prop_assert_eq!(canonical.fingerprint(), permuted.fingerprint());
+
+        let query = Query::new(goal).with_n(32);
+        let from_canonical = canonical.query(&query);
+        let from_permuted = permuted.query(&query);
+        prop_assert_eq!(engine.graph_build_count(), 1, "one graph for both points");
+        prop_assert_eq!(result_key(&from_canonical), result_key(&from_permuted));
+        prop_assert_eq!(stats_key(&from_canonical), stats_key(&from_permuted));
+    }
+
+    #[test]
+    fn session_update_is_byte_identical_to_fresh_preparation(
+        env in arb_env(),
+        goal in arb_goal(),
+        adds in vec((arb_ty(), 0u8..3), 0..3),
+        removes in vec(0usize..8, 0..2),
+        reweights in vec((0usize..8, 0u32..88), 0..3),
+    ) {
+        // The delta contract: updating a warm session must answer exactly
+        // like an independent engine preparing the edited environment from
+        // scratch — including negative reweights, which flip the walk into
+        // its best-first fallback, and removals, which take the
+        // fresh-prepare fallback internally.
+        let config = SynthesisConfig::unbounded().with_max_depth(3);
+        let engine = Engine::new(config.clone());
+        let session = engine.prepare(&env);
+        // Warm the artifact cache so update() has something to carry over
+        // or invalidate.
+        let query = Query::new(goal).with_n(24);
+        let _ = session.query(&query);
+
+        let mut delta = EnvDelta::new();
+        for (i, (ty, kind)) in adds.into_iter().enumerate() {
+            let kind = match kind {
+                0 => DeclKind::Local,
+                1 => DeclKind::Class,
+                _ => DeclKind::Imported,
+            };
+            delta = delta.add(Declaration::simple(format!("new{i}"), ty, kind));
+        }
+        for idx in removes {
+            delta = delta.remove(env.decls()[idx % env.len()].name.clone());
+        }
+        for (idx, weight) in reweights {
+            // Mapped to the -4.0..40.0 range, negatives included (they flip
+            // the monotonicity regime and force the best-first fallback).
+            delta = delta.reweight(
+                env.decls()[idx % env.len()].name.clone(),
+                f64::from(weight) / 2.0 - 4.0,
+            );
+        }
+
+        let edited = delta.apply(session.env());
+        // Adversarial seeding: the engine may already hold a *permuted*
+        // ordering of the edited environment. Equal-weight ties emit in
+        // declaration order, so update must prepare the edited list itself
+        // rather than adopt the permuted canonical point.
+        if edited.len() > 1 {
+            let rotated: TypeEnv = edited.decls()[1..]
+                .iter()
+                .chain(&edited.decls()[..1])
+                .cloned()
+                .collect();
+            let _ = engine.prepare(&rotated);
+        }
+
+        let updated = session.update(&delta);
+        let fresh = Engine::new(config).prepare(&edited);
+        prop_assert_eq!(updated.fingerprint(), fresh.fingerprint());
+
+        let from_updated = updated.query(&query);
+        let from_fresh = fresh.query(&query);
+        prop_assert_eq!(result_key(&from_updated), result_key(&from_fresh));
+        prop_assert_eq!(stats_key(&from_updated), stats_key(&from_fresh));
     }
 
     #[test]
@@ -345,7 +478,7 @@ fn frontier_cap_of_one_truncates_but_still_emits_enqueued_terms() {
     .collect();
     let goal = Ty::base("A");
     let weights = WeightConfig::default();
-    let prepared = PreparedEnv::prepare(&env, &weights);
+    let prepared = std::sync::Arc::new(PreparedEnv::prepare(&env, &weights));
     let mut store = prepared.scratch();
     let goal_succ = store.sigma(&goal);
     let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());

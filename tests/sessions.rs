@@ -12,8 +12,8 @@ use std::thread;
 
 use insynth::apimodel::{extract, javaapi, ProgramPoint};
 use insynth::core::{
-    BatchRequest, DeclKind, Declaration, Engine, Query, Session, SynthesisConfig, SynthesisResult,
-    TypeEnv,
+    BatchRequest, DeclKind, Declaration, Engine, EnvDelta, Query, Session, SynthesisConfig,
+    SynthesisResult, TypeEnv,
 };
 use insynth::corpus::synthetic_corpus;
 use insynth::lambda::Ty;
@@ -215,6 +215,89 @@ fn repeated_queries_reuse_the_cached_graph_and_return_identical_results() {
     // A new goal builds (and caches) its own graph.
     let _ = session.query(&Query::new(Ty::base("BufferedReader")).with_n(5));
     assert_eq!(session.cached_graph_count(), 2);
+}
+
+#[test]
+fn structurally_equal_points_share_preparation_and_graphs_across_a_batch() {
+    // The cross-point contract at paper scale: a batch over clones and a
+    // permutation of one program point runs σ once and builds each queried
+    // goal's graph once, while answering byte-identically to sequential
+    // queries.
+    let engine = Engine::new(SynthesisConfig::default());
+    let env = io_point_env();
+    let reversed: TypeEnv = env.iter().rev().cloned().collect();
+
+    let goal = || Query::new(Ty::base("SequenceInputStream")).with_n(10);
+    let requests = vec![
+        BatchRequest::new(env.clone(), goal()),
+        BatchRequest::new(reversed.clone(), goal()),
+        BatchRequest::new(env.clone(), goal()),
+        BatchRequest::new(env.clone(), goal().with_n(4)),
+    ];
+    let batched = engine.query_batch(&requests);
+
+    assert_eq!(engine.prepare_count(), 1, "one σ run for four requests");
+    assert_eq!(
+        engine.graph_build_count(),
+        1,
+        "one derivation graph for four requests over one goal"
+    );
+    for result in &batched[1..3] {
+        assert_eq!(fingerprint(result), fingerprint(&batched[0]));
+    }
+    assert_eq!(fingerprint(&batched[3]), fingerprint(&batched[0])[..4]);
+
+    // Sequential preparation of the permuted environment also reuses the
+    // canonical point.
+    let session = engine.prepare(&reversed);
+    assert_eq!(engine.prepare_count(), 1);
+    assert_eq!(
+        fingerprint(&session.query(&goal())),
+        fingerprint(&batched[0])
+    );
+}
+
+#[test]
+fn interactive_edit_loop_updates_incrementally_and_matches_fresh_preparation() {
+    // The paper's interactive loop: prepare, query, the user edits, query
+    // again. The updated session must answer exactly like a from-scratch
+    // preparation of the edited environment.
+    let engine = Engine::new(SynthesisConfig::default());
+    let env = io_point_env();
+    let session = engine.prepare(&env);
+    let query = Query::new(Ty::base("SequenceInputStream")).with_n(10);
+    let before = session.query(&query);
+
+    // Edit 1: a new String local appears (its type is already in Γ).
+    let delta = EnvDelta::new().add(Declaration::simple(
+        "header",
+        Ty::base("String"),
+        DeclKind::Local,
+    ));
+    let edited_session = session.update(&delta);
+    let after = edited_session.query(&query);
+    // The new local is cheap and shows up in the suggestions.
+    assert!(
+        after
+            .snippets
+            .iter()
+            .any(|s| s.term.to_string().contains("header")),
+        "the added local must appear in the edited point's suggestions"
+    );
+
+    let fresh = Engine::new(SynthesisConfig::default())
+        .prepare(&delta.apply(session.env()))
+        .query(&query);
+    assert_eq!(fingerprint(&after), fingerprint(&fresh));
+
+    // Edit 2: remove it again — the session round-trips back to the
+    // original point's fingerprint and results.
+    let back = edited_session.update(&EnvDelta::new().remove("header"));
+    assert_eq!(back.fingerprint(), session.fingerprint());
+    assert_eq!(fingerprint(&back.query(&query)), fingerprint(&before));
+
+    // The original session was never disturbed.
+    assert_eq!(fingerprint(&session.query(&query)), fingerprint(&before));
 }
 
 #[test]
