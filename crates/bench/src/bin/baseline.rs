@@ -1,7 +1,7 @@
 //! Regenerates `BENCH_BASELINE.json`: recorded reference numbers for the
 //! `env_scaling` (benches/phases.rs), `sigma_prepare` (benches/compression.rs),
-//! `session_amortization`, `gent_ablation` and `genp_ablation` benchmark
-//! workloads.
+//! `session_amortization`, `cross_point`, `gent_ablation`, `genp_ablation`
+//! and `resume_walk` benchmark workloads.
 //!
 //! The vendored criterion stand-in only prints to stdout, so this binary
 //! re-measures the same workloads with the same scheme (warm-up calibration,
@@ -48,6 +48,13 @@
 //!   caches every iteration and records the first-query cost the warm
 //!   number is measured against.
 //!
+//! Resumable-enumeration entries (the streamed-walk PR):
+//!
+//! * `resume_walk/astar_scratch` vs `astar_resume` — an `n=20` query on a
+//!   warm session with the suspended walk dropped every iteration (full
+//!   walk replay) vs kept parked (the steady-state pagination path, which
+//!   serves the emission log without popping the frontier).
+//!
 //! `--check [path]` instead runs the perf smoke test CI executes on every
 //! push:
 //!
@@ -58,7 +65,11 @@
 //!    involved, so no noise;
 //! 2. a **deterministic pops gate** — the A* walk must pop at most half the
 //!    queue entries of the plain best-first walk on the filler-4 graph;
-//! 3. a **timing-ratio gate** — re-measures the two `session_amortization`
+//! 3. a **deterministic resume gate** — growing `n=10` into `n=20` on a warm
+//!    session must resume the suspended walk: zero extra graph builds,
+//!    strictly fewer new pops than a from-scratch `n=20`, byte-identical
+//!    answers;
+//! 4. a **timing-ratio gate** — re-measures the two `session_amortization`
 //!    query workloads and fails if the graph pipeline's speedup over the
 //!    unindexed pipeline shrank more than 25% against the recorded ratio.
 //!    A single noisy measurement window must not fail CI, so a breach is
@@ -396,6 +407,55 @@ fn main() {
         );
     }
 
+    // resume_walk: the resumable-enumeration gap on a warm session. Both
+    // workloads ask n=20 on the cached filler-4 graph; `astar_scratch`
+    // drops the suspended walk every iteration (full replay), while
+    // `astar_resume` keeps it parked — the steady-state pagination path,
+    // which serves the emission log without popping the frontier.
+    {
+        let env = phases_environment(4);
+        let env_size = env.len();
+        let engine = Engine::new(SynthesisConfig::default());
+        let session = engine.prepare(&env);
+        let query = Query::new(amortization_goal()).with_n(20);
+        assert!(
+            session.query(&query).stats.astar,
+            "the resume workloads are expected to run the A* walk"
+        );
+
+        eprintln!("measuring resume_walk/astar_scratch/{env_size} …");
+        let (samples, iters, min, median, mean) = measure(10, || {
+            engine.clear_suspended_walks();
+            session.query(&query)
+        });
+        measurements.push(Measurement {
+            bench: "phases",
+            group: "resume_walk",
+            id: "astar_scratch".to_owned(),
+            env_size,
+            samples,
+            iters_per_sample: iters,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        });
+
+        eprintln!("measuring resume_walk/astar_resume/{env_size} …");
+        let _park = session.query(&query);
+        let (samples, iters, min, median, mean) = measure(10, || session.query(&query));
+        measurements.push(Measurement {
+            bench: "phases",
+            group: "resume_walk",
+            id: "astar_resume".to_owned(),
+            env_size,
+            samples,
+            iters_per_sample: iters,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        });
+    }
+
     // genp_ablation at paper scale: the §5.7 backward map vs the naive
     // PROD/TRANSFER saturation, on the same explored space.
     {
@@ -462,7 +522,7 @@ fn main() {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
-        "  \"_note\": \"Reference timings for the env_scaling, session_amortization, cross_point, gent_ablation, genp_ablation and sigma_prepare benchmark workloads. Wall-clock, machine-specific; regenerate on the machine you compare on with: cargo run --release -p insynth_bench --bin baseline. CI perf smoke: baseline --check fails when a query_batch over 4 structurally equal points stops reporting exactly 1 prepare + 1 graph build, when the A* walk stops cutting filler-4 queue pops 2x vs the best-first walk, or when the session_amortization query speedup regresses >25% vs this file in two consecutive measurement windows.\",\n",
+        "  \"_note\": \"Reference timings for the env_scaling, session_amortization, cross_point, gent_ablation, genp_ablation, resume_walk and sigma_prepare benchmark workloads. Wall-clock, machine-specific; regenerate on the machine you compare on with: cargo run --release -p insynth_bench --bin baseline. CI perf smoke: baseline --check fails when a query_batch over 4 structurally equal points stops reporting exactly 1 prepare + 1 graph build, when the A* walk stops cutting filler-4 queue pops 2x vs the best-first walk, when growing n=10 into n=20 on a warm session stops resuming the suspended walk (extra graph builds, or not strictly fewer pops than a from-scratch n=20, or diverging answers), or when the session_amortization query speedup regresses >25% vs this file in two consecutive measurement windows.\",\n",
     );
     out.push_str(
         "  \"_measurement\": \"per-iteration nanoseconds; warm-up-calibrated samples of batched iterations, as in vendor/criterion (min/median/mean only)\",\n",
@@ -532,8 +592,8 @@ fn measure_query_ratio(env: &TypeEnv, goal: &Ty) -> (u128, u128, f64) {
     (query_median, unindexed_median, ratio)
 }
 
-/// The `--check` mode: the deterministic A*-vs-best-first pops gate, then the
-/// timing-ratio gate against the recorded baseline. Timing compares the
+/// The `--check` mode: the deterministic cross-point, pops and resume gates,
+/// then the timing-ratio gate against the recorded baseline. Timing compares the
 /// speedup *ratio* with both sides measured on the current machine — a
 /// machine being uniformly slower (a CI runner) scales both medians and
 /// leaves the ratio unchanged; only a real regression of the production
@@ -619,7 +679,59 @@ fn run_check(path: &str) -> i32 {
         return 1;
     }
 
-    // Gate 2 — query-time ratio, re-measured once on a breach.
+    // Gate 2 — resumable enumeration, deterministic: growing n=10 into n=20
+    // on a warm session must resume the suspended walk — zero extra graph
+    // builds, the `resumed` stat set, strictly fewer new pops than a
+    // from-scratch n=20 on the same cached graph, and byte-identical
+    // answers (cumulative pop counts included).
+    let engine = Engine::new(SynthesisConfig::default());
+    let session = engine.prepare(&env);
+    let ten = session.query(&Query::new(goal.clone()).with_n(10));
+    let builds_after_ten = engine.graph_build_count();
+    let resumed = session.query(&Query::new(goal.clone()).with_n(20));
+    engine.clear_suspended_walks();
+    let scratch = session.query(&Query::new(goal.clone()).with_n(20));
+    println!(
+        "resume n=10→20: {} new pops over {} already paid vs {} from scratch, \
+         {} extra graph build(s) (gate requires resume, 0 extra builds, strictly fewer pops)",
+        resumed.stats.reconstruction_new_steps,
+        ten.stats.reconstruction_steps,
+        scratch.stats.reconstruction_steps,
+        engine.graph_build_count() - builds_after_ten,
+    );
+    if engine.graph_build_count() != builds_after_ten {
+        println!("PERF REGRESSION: growing n rebuilt the derivation graph instead of reusing it");
+        return 1;
+    }
+    if !resumed.stats.resumed || scratch.stats.resumed {
+        println!(
+            "PERF REGRESSION: the grown query no longer resumes the suspended walk \
+             (or clearing suspended walks stopped working)"
+        );
+        return 1;
+    }
+    if resumed.stats.reconstruction_new_steps >= scratch.stats.reconstruction_steps {
+        println!(
+            "PERF REGRESSION: resuming n=10→20 no longer pops strictly fewer entries \
+             than a from-scratch n=20 walk"
+        );
+        return 1;
+    }
+    let render = |result: &insynth_core::SynthesisResult| -> Vec<(String, u64)> {
+        result
+            .snippets
+            .iter()
+            .map(|s| (s.raw_term.to_string(), s.weight.value().to_bits()))
+            .collect()
+    };
+    if render(&resumed) != render(&scratch)
+        || resumed.stats.reconstruction_steps != scratch.stats.reconstruction_steps
+    {
+        println!("PERF REGRESSION: resumed enumeration diverged from the from-scratch walk");
+        return 1;
+    }
+
+    // Gate 3 — query-time ratio, re-measured once on a breach.
     let (query_median, unindexed_median, first_ratio) = measure_query_ratio(&env, &goal);
     println!(
         "graph query median {query_median} ns, unindexed reference median {unindexed_median} ns: \

@@ -19,7 +19,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use insynth_lambda::{Param, Term, Ty};
@@ -114,7 +114,7 @@ pub struct GenerateOutcome {
 pub(crate) const MAX_FRONTIER: usize = 2_000_000;
 
 /// A partial expression: a term whose leaves may be typed holes. Subtrees are
-/// `Rc`-shared — replacing the first hole rebuilds only the spine above it —
+/// `Arc`-shared — replacing the first hole rebuilds only the spine above it —
 /// and every walk over the structure (depth, conversion, hole search and
 /// replacement, drop) is iterative, so term depth is bounded by memory, not
 /// by the call stack (the ROADMAP's deep-term stack-overflow item).
@@ -126,26 +126,26 @@ enum PExpr {
     Node {
         params: Vec<Param>,
         head: String,
-        args: Vec<Rc<PExpr>>,
+        args: Vec<Arc<PExpr>>,
     },
 }
 
 impl PartialExpr for PExpr {
-    fn children(&self) -> Option<&[Rc<Self>]> {
+    fn children(&self) -> Option<&[Arc<Self>]> {
         match self {
             PExpr::Hole(_) => None,
             PExpr::Node { args, .. } => Some(args),
         }
     }
 
-    fn take_children(&mut self) -> Vec<Rc<Self>> {
+    fn take_children(&mut self) -> Vec<Arc<Self>> {
         match self {
             PExpr::Hole(_) => Vec::new(),
             PExpr::Node { args, .. } => std::mem::take(args),
         }
     }
 
-    fn with_children(&self, children: Vec<Rc<Self>>) -> Self {
+    fn with_children(&self, children: Vec<Arc<Self>>) -> Self {
         match self {
             PExpr::Hole(_) => unreachable!("holes have no children to replace"),
             PExpr::Node { params, head, .. } => PExpr::Node {
@@ -250,7 +250,7 @@ pub fn generate_terms_unindexed(
     queue.push(Entry {
         weight: Reverse(Weight::ZERO),
         seq: Reverse(seq),
-        expr: Rc::new(PExpr::Hole(goal.clone())),
+        expr: Arc::new(PExpr::Hole(goal.clone())),
     });
 
     while let Some(entry) = queue.pop() {
@@ -382,7 +382,7 @@ fn expand_hole(
     weights: &WeightConfig,
     hole_ty: &Ty,
     scope: &[Param],
-) -> Vec<(Rc<PExpr>, Weight)> {
+) -> Vec<(Arc<PExpr>, Weight)> {
     let (arg_tys, ret_ty) = hole_ty.uncurry();
     let ret_name = match ret_ty {
         Ty::Base(name) => name.clone(),
@@ -453,13 +453,13 @@ fn build_node(
     head_ty: &Ty,
     head_weight: Weight,
     params_weight: Weight,
-) -> (Rc<PExpr>, Weight) {
+) -> (Arc<PExpr>, Weight) {
     let (rho, _) = head_ty.uncurry();
-    let args: Vec<Rc<PExpr>> = rho
+    let args: Vec<Arc<PExpr>> = rho
         .iter()
-        .map(|t| Rc::new(PExpr::Hole((*t).clone())))
+        .map(|t| Arc::new(PExpr::Hole((*t).clone())))
         .collect();
-    let node = Rc::new(PExpr::Node {
+    let node = Arc::new(PExpr::Node {
         params: fresh.to_vec(),
         head: head.to_owned(),
         args,
@@ -471,7 +471,7 @@ fn build_node(
 struct Entry {
     weight: Reverse<Weight>,
     seq: Reverse<u64>,
-    expr: Rc<PExpr>,
+    expr: Arc<PExpr>,
 }
 
 impl PartialEq for Entry {

@@ -113,7 +113,6 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::rc::Rc;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -467,7 +466,7 @@ impl DerivationGraph {
 /// Locks a mutex, recovering from poisoning: the walk caches only ever hold
 /// fully computed, deterministic values, so state abandoned by a panicking
 /// thread is safe to adopt.
-fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -655,10 +654,10 @@ enum Head {
     /// A declaration, by index into the original environment.
     Decl(u32),
     /// A lambda binder in scope, by name.
-    Binder(Rc<str>),
+    Binder(Arc<str>),
 }
 
-/// A partial expression over the graph. Subtrees are shared (`Rc`): replacing
+/// A partial expression over the graph. Subtrees are shared (`Arc`): replacing
 /// the first hole rebuilds only the spine above it.
 #[derive(Debug)]
 enum PExpr {
@@ -667,32 +666,32 @@ enum PExpr {
     Hole { ty: HoleTyId, ctx: EnvId },
     /// An application node `λ params . head(args…)`.
     Node {
-        params: Rc<[(Param, HoleTyId)]>,
+        params: Arc<[(Param, HoleTyId)]>,
         head: Head,
-        args: Vec<Rc<PExpr>>,
+        args: Vec<Arc<PExpr>>,
     },
 }
 
 impl PartialExpr for PExpr {
-    fn children(&self) -> Option<&[Rc<Self>]> {
+    fn children(&self) -> Option<&[Arc<Self>]> {
         match self {
             PExpr::Hole { .. } => None,
             PExpr::Node { args, .. } => Some(args),
         }
     }
 
-    fn take_children(&mut self) -> Vec<Rc<Self>> {
+    fn take_children(&mut self) -> Vec<Arc<Self>> {
         match self {
             PExpr::Hole { .. } => Vec::new(),
             PExpr::Node { args, .. } => std::mem::take(args),
         }
     }
 
-    fn with_children(&self, children: Vec<Rc<Self>>) -> Self {
+    fn with_children(&self, children: Vec<Arc<Self>>) -> Self {
         match self {
             PExpr::Hole { .. } => unreachable!("holes have no children to replace"),
             PExpr::Node { params, head, .. } => PExpr::Node {
-                params: Rc::clone(params),
+                params: Arc::clone(params),
                 head: head.clone(),
                 args: children,
             },
@@ -801,12 +800,12 @@ fn to_term(expr: &PExpr, env: &TypeEnv) -> Term {
 /// completions in the identical order. (Monotonicity matters: with negative
 /// weights a cheap entry can be created *after* a heavier one was already
 /// popped, so creation counters and pop keys disagree — but the A* mode is
-/// only ever active on monotone graphs.) Ancestor chains are `Rc`-shared,
+/// only ever active on monotone graphs.) Ancestor chains are `Arc`-shared,
 /// so a pedigree costs one allocation per pop.
 struct Pedigree {
     g: Weight,
     idx: u64,
-    parent: Option<Rc<Pedigree>>,
+    parent: Option<Arc<Pedigree>>,
 }
 
 impl Drop for Pedigree {
@@ -817,7 +816,7 @@ impl Drop for Pedigree {
         // ancestor another chain still shares.
         let mut parent = self.parent.take();
         while let Some(node) = parent {
-            match Rc::try_unwrap(node) {
+            match Arc::try_unwrap(node) {
                 Ok(mut node) => parent = node.parent.take(),
                 Err(_) => break,
             }
@@ -835,7 +834,7 @@ impl Drop for Pedigree {
 /// chain length tracks expansion count and recursion could overflow the
 /// stack (weights tie wholesale under
 /// [`WeightMode::NoWeights`](crate::WeightMode::NoWeights)).
-fn cmp_pop_key(a: &Option<Rc<Pedigree>>, b: &Option<Rc<Pedigree>>) -> std::cmp::Ordering {
+fn cmp_pop_key(a: &Option<Arc<Pedigree>>, b: &Option<Arc<Pedigree>>) -> std::cmp::Ordering {
     use std::cmp::Ordering;
 
     // Phase 1: weights, leaf to root, stopping at a shared ancestor (or the
@@ -848,7 +847,7 @@ fn cmp_pop_key(a: &Option<Rc<Pedigree>>, b: &Option<Rc<Pedigree>>) -> std::cmp::
             (None, Some(_)) => return Ordering::Less,
             (Some(_), None) => return Ordering::Greater,
             (Some(na), Some(nb)) => {
-                if Rc::ptr_eq(na, nb) {
+                if Arc::ptr_eq(na, nb) {
                     break;
                 }
                 match na.g.cmp(&nb.g) {
@@ -866,10 +865,10 @@ fn cmp_pop_key(a: &Option<Rc<Pedigree>>, b: &Option<Rc<Pedigree>>) -> std::cmp::
     // reverse so creation indices decide anchor-side-first, exactly as the
     // recursive unwinding would. Only reached on full weight ties, so the
     // allocation is rare.
-    let mut pairs: Vec<(&Rc<Pedigree>, &Rc<Pedigree>)> = Vec::new();
+    let mut pairs: Vec<(&Arc<Pedigree>, &Arc<Pedigree>)> = Vec::new();
     let (mut pa, mut pb) = (a, b);
     while let (Some(na), Some(nb)) = (pa, pb) {
-        if Rc::ptr_eq(na, nb) {
+        if Arc::ptr_eq(na, nb) {
             break;
         }
         pairs.push((na, nb));
@@ -902,9 +901,9 @@ struct Entry {
     /// `true` in A* mode; selects the tie-break and is uniform across a walk.
     astar: bool,
     seq: u64,
-    parent: Option<Rc<Pedigree>>,
+    parent: Option<Arc<Pedigree>>,
     idx: u64,
-    expr: Rc<PExpr>,
+    expr: Arc<PExpr>,
     holes: u32,
     depth: u32,
 }
@@ -1044,7 +1043,7 @@ pub fn generate_terms(
     n: usize,
     limits: &GenerateLimits,
 ) -> GenerateOutcome {
-    walk(graph, env, n, limits, graph.heuristic.as_ref())
+    walk(graph, env, n, limits, graph.heuristic.is_some())
 }
 
 /// Runs term reconstruction in plain best-first (accumulated-weight) order,
@@ -1060,7 +1059,7 @@ pub fn generate_terms_best_first(
     n: usize,
     limits: &GenerateLimits,
 ) -> GenerateOutcome {
-    walk(graph, env, n, limits, None)
+    walk(graph, env, n, limits, false)
 }
 
 fn walk(
@@ -1068,10 +1067,9 @@ fn walk(
     env: &TypeEnv,
     n: usize,
     limits: &GenerateLimits,
-    heuristic: Option<&Heuristic>,
+    astar: bool,
 ) -> GenerateOutcome {
     let start = Instant::now();
-    let astar = heuristic.is_some();
     let mut outcome = GenerateOutcome {
         astar,
         ..GenerateOutcome::default()
@@ -1080,137 +1078,332 @@ fn walk(
         return outcome;
     }
 
-    // Hole-goal memo and expansion cache. Both are keyed by graph-local ids
-    // only and their values are deterministic, so when the walk runs in the
-    // graph's natural mode (the memoized costs depend on whether the
-    // heuristic is consulted) it *clones* the caches persisted on the graph
-    // (cheap: `Copy` values and `Arc` handles), extends them, and merges
-    // them back at the end — repeated same-goal queries skip rebuilding
-    // them from scratch, and concurrent walks each start warm (a take-based
-    // scheme would leave the second concurrent walk cold). A walk forced
-    // into the other mode (e.g. [`generate_terms_best_first`] on a
-    // heuristic-carrying graph) uses private caches and leaves the
-    // persisted ones untouched.
-    let persist = heuristic.is_some() == graph.heuristic.is_some();
-    let mut memo: HashMap<(EnvId, HoleTyId), HoleGoal> = if persist {
-        lock_recovering(&graph.walk_memo).clone()
-    } else {
-        HashMap::new()
+    let mut state = WalkState::new(graph, astar);
+    let mut bounded = Bounded {
+        n,
+        candidates: BinaryHeap::new(),
     };
-    let mut expansions: ExpansionCache = if persist {
-        lock_recovering(&graph.walk_expansions).clone()
-    } else {
-        HashMap::new()
-    };
-    // The merge at the end is skipped when the walk added nothing — after
-    // warm-up the caches are saturated for a goal, and re-inserting every
-    // unchanged entry under the mutex would serialize concurrent warm walks
-    // on no-op work.
-    let seeded_memo = memo.len();
-    let seeded_expansions = expansions.len();
+    while state.emitted.len() < n
+        && state
+            .step_impl(graph, env, limits, &start, Some(&mut bounded))
+            .is_some()
+    {}
+    state.merge_caches_into(graph);
 
-    let root_goal = hole_goal(graph, heuristic, &mut memo, graph.init_env, graph.root_ty);
-    let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
-    let mut seq = 0u64;
-    queue.push(Entry {
-        // An uninhabited root makes this ∞; the pop below bails out before
-        // any arithmetic touches it.
-        priority: root_goal.cost,
-        g: Weight::ZERO,
-        hsum: root_goal.cost,
-        astar,
-        seq,
-        parent: None,
-        idx: 0,
-        expr: Rc::new(PExpr::Hole {
-            ty: graph.root_ty,
-            ctx: graph.init_env,
-        }),
-        holes: 1,
-        depth: 1,
-    });
+    outcome.steps = state.steps;
+    outcome.pruned_enqueues = state.pruned_enqueues;
+    outcome.truncated = state.truncated || state.time_truncated;
+    outcome.terms = state.emitted.into_iter().map(|e| e.term).collect();
+    outcome
+}
 
-    // Branch-and-bound: the weights of the n best complete candidates
-    // enqueued so far (max-heap). Once full, any expression whose completion
-    // bound exceeds the top can never be emitted.
-    let mut candidates: BinaryHeap<Weight> = BinaryHeap::new();
+/// Branch-and-bound control of an n-bounded walk: the target count and the
+/// weights of the `n` best complete candidates enqueued so far (max-heap).
+/// Once full, any expression whose completion bound exceeds the top can
+/// never be emitted among the first `n`.
+///
+/// Streamed walks carry no `Bounded` — with no fixed `n` there is no cutoff
+/// — and therefore never prune. That is output-safe *and* statistics-safe:
+/// a pruned entry's bound exceeds the cutoff, which is at least the n-th
+/// emission's weight, and (in the only mode that prunes, A* over a monotone
+/// graph) entries pop in nondecreasing priority order — so no pruned entry
+/// can pop strictly before the n-th emission. Pruning therefore changes
+/// neither the emission sequence nor the pop count at any emission, which
+/// is what keeps bounded and streamed trajectories byte-identical.
+struct Bounded {
+    n: usize,
+    candidates: BinaryHeap<Weight>,
+}
 
-    'search: while let Some(entry) = queue.pop() {
-        if outcome.terms.len() >= n {
-            break;
-        }
-        if outcome.steps >= limits.max_steps {
-            outcome.truncated = true;
-            break;
-        }
-        if let Some(limit) = limits.time_limit {
-            if start.elapsed() > limit {
-                outcome.truncated = true;
-                break;
-            }
-        }
-        outcome.steps += 1;
+/// One term a walk has emitted, snapshotting the walk statistics at the
+/// moment of emission. The snapshot is what lets a suspended walk report,
+/// for any `n` inside its emitted prefix, exactly the `steps`/`truncated`
+/// a from-scratch walk stopped at that `n` would report.
+#[derive(Clone)]
+pub(crate) struct EmittedTerm {
+    pub(crate) term: RankedTerm,
+    /// Cumulative queue pops up to and including the pop that emitted this
+    /// term.
+    pub(crate) steps: usize,
+    /// Whether a deterministic budget (frontier cap) had already truncated
+    /// the walk when this term was emitted.
+    pub(crate) truncated: bool,
+}
 
-        if entry.holes == 0 {
-            outcome.terms.push(RankedTerm {
-                term: to_term(&entry.expr, env),
-                weight: entry.g,
-            });
-            continue;
-        }
+/// The complete, persistable state of one reconstruction walk: the frontier
+/// heap, the per-walk memo caches, the tie-break counters and the emission
+/// log — the former `walk` locals, extracted so a walk can be suspended
+/// after any emission and resumed later. This is the engine shared by the
+/// n-bounded [`generate_terms`] / [`generate_terms_best_first`] entry points
+/// and the streamed [`Session::query_stream`](crate::Session::query_stream)
+/// API.
+///
+/// A `WalkState` advances exclusively through [`WalkState::step_streamed`]
+/// (or the module-internal bounded variant): one call pops entries until a
+/// term is emitted (`Some`) or the walk stops (`None` — frontier exhausted,
+/// step budget hit, or wall-clock expired; the flag accessors distinguish
+/// the causes). Every state transition is deterministic except wall-clock
+/// truncation, so a suspended state whose `time_truncated` flag is unset
+/// replays exactly what a from-scratch walk would have done — the invariant
+/// the session layer's resume discipline is built on (a time-truncated
+/// state is never persisted).
+pub(crate) struct WalkState {
+    queue: BinaryHeap<Entry>,
+    memo: HashMap<(EnvId, HoleTyId), HoleGoal>,
+    expansions: ExpansionCache,
+    seeded_memo: usize,
+    seeded_expansions: usize,
+    seq: u64,
+    steps: usize,
+    pruned_enqueues: usize,
+    emitted: Vec<EmittedTerm>,
+    truncated: bool,
+    time_truncated: bool,
+    exhausted: bool,
+    astar: bool,
+    /// Whether this walk runs in the graph's natural mode and therefore
+    /// exchanges warm hole-goal/expansion caches with it.
+    persist: bool,
+}
 
-        // A partial expression whose completion bound (accumulated weight in
-        // best-first mode) exceeds the n-th best complete candidate cannot
-        // contribute output; skip its expansion.
-        if graph.monotone && candidates.len() >= n {
-            if let Some(&bound) = candidates.peek() {
-                if entry.priority > prune_cutoff(bound, astar) {
-                    continue;
-                }
-            }
-        }
-
-        let mut scope: Vec<&(Param, HoleTyId)> = Vec::new();
-        let (hole_ty, ctx, ancestors) =
-            find_first_hole(&entry.expr, &mut scope).expect("entry with holes > 0 contains a hole");
-        let filled = hole_goal(graph, heuristic, &mut memo, ctx, hole_ty);
-        let Some((node_env, node)) = filled.node else {
-            // Dead hole (only reachable from the root; successors containing
-            // dead holes are pruned at creation).
-            continue;
+impl WalkState {
+    /// Seeds a walk over `graph`: clones the persisted per-walk caches (when
+    /// running in the graph's natural mode), resolves the root goal and
+    /// enqueues the root hole. `astar` selects the queue order — callers
+    /// pass [`DerivationGraph::has_heuristic`] for the natural mode.
+    pub(crate) fn new(graph: &DerivationGraph, astar: bool) -> WalkState {
+        // Hole-goal memo and expansion cache. Both are keyed by graph-local
+        // ids only and their values are deterministic, so when the walk runs
+        // in the graph's natural mode (the memoized costs depend on whether
+        // the heuristic is consulted) it *clones* the caches persisted on
+        // the graph (cheap: `Copy` values and `Arc` handles), extends them,
+        // and merges them back when it suspends or finishes — repeated
+        // same-goal queries skip rebuilding them from scratch, and
+        // concurrent walks each start warm (a take-based scheme would leave
+        // the second concurrent walk cold). A walk forced into the other
+        // mode (e.g. [`generate_terms_best_first`] on a heuristic-carrying
+        // graph) uses private caches and leaves the persisted ones
+        // untouched.
+        let persist = astar == graph.heuristic.is_some();
+        let mut memo: HashMap<(EnvId, HoleTyId), HoleGoal> = if persist {
+            lock_recovering(&graph.walk_memo).clone()
+        } else {
+            HashMap::new()
         };
-        let filled_cost = filled.cost;
+        let expansions: ExpansionCache = if persist {
+            lock_recovering(&graph.walk_expansions).clone()
+        } else {
+            HashMap::new()
+        };
+        // The merge back is skipped when the walk added nothing — after
+        // warm-up the caches are saturated for a goal, and re-inserting
+        // every unchanged entry under the mutex would serialize concurrent
+        // warm walks on no-op work.
+        let seeded_memo = memo.len();
+        let seeded_expansions = expansions.len();
 
-        let info = &graph.tys[hole_ty.as_usize()];
-        let fresh: Vec<(Param, HoleTyId)> = info
-            .args
-            .iter()
-            .enumerate()
-            .map(|(i, &a)| {
-                let ty = graph.tys[a.as_usize()].ty.clone();
-                (Param::new(format!("var{}", scope.len() + i + 1), ty), a)
-            })
-            .collect();
-        let params_weight = Weight::new(graph.lambda_weight.value() * fresh.len() as f64);
-        let params: Rc<[(Param, HoleTyId)]> = fresh.into();
-
-        // This pop's key becomes the pedigree of every successor it creates
-        // (the A* tie-break; best-first mode breaks ties on seq and skips
-        // the allocation entirely).
-        let pedigree = astar.then(|| {
-            Rc::new(Pedigree {
-                g: entry.g,
-                idx: entry.idx,
-                parent: entry.parent.clone(),
-            })
+        let heuristic = if astar {
+            graph.heuristic.as_ref()
+        } else {
+            None
+        };
+        let root_goal = hole_goal(graph, heuristic, &mut memo, graph.init_env, graph.root_ty);
+        let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
+        queue.push(Entry {
+            // An uninhabited root makes this ∞; the pop bails out before any
+            // arithmetic touches it.
+            priority: root_goal.cost,
+            g: Weight::ZERO,
+            hsum: root_goal.cost,
+            astar,
+            seq: 0,
+            parent: None,
+            idx: 0,
+            expr: Arc::new(PExpr::Hole {
+                ty: graph.root_ty,
+                ctx: graph.init_env,
+            }),
+            holes: 1,
+            depth: 1,
         });
 
-        // Declaration-headed successors of this (environment, goal) pair,
-        // dead-checked and bound-summed once, then reused by every later pop
-        // of the same pair (and, via the persisted cache, by later walks).
-        let cached = match expansions.get(&(node_env, node)) {
-            Some(cached) => Arc::clone(cached),
-            None => {
+        WalkState {
+            queue,
+            memo,
+            expansions,
+            seeded_memo,
+            seeded_expansions,
+            seq: 0,
+            steps: 0,
+            pruned_enqueues: 0,
+            emitted: Vec::new(),
+            truncated: false,
+            time_truncated: false,
+            exhausted: false,
+            astar,
+            persist,
+        }
+    }
+
+    /// The emission log so far: every term this walk has popped, oldest
+    /// first, with per-emission statistics snapshots.
+    pub(crate) fn emitted(&self) -> &[EmittedTerm] {
+        &self.emitted
+    }
+
+    /// Cumulative queue pops across all legs of this walk.
+    pub(crate) fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Successors discarded by branch-and-bound before entering the queue
+    /// (always zero for streamed walks, which never prune).
+    pub(crate) fn pruned_enqueues(&self) -> usize {
+        self.pruned_enqueues
+    }
+
+    /// `true` when this walk runs in A* order.
+    pub(crate) fn astar(&self) -> bool {
+        self.astar
+    }
+
+    /// `true` once a *deterministic* budget (step cap or frontier cap)
+    /// truncated the walk.
+    pub(crate) fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// `true` once a wall-clock limit truncated the walk. A time-truncated
+    /// state may have lost part of an expansion and must never be resumed.
+    pub(crate) fn time_truncated(&self) -> bool {
+        self.time_truncated
+    }
+
+    /// `true` once the frontier drained: the emission log is the complete
+    /// enumeration.
+    pub(crate) fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Advances a streamed (unbounded, unpruned) walk by one emission,
+    /// metering wall-clock time against `leg_start` — resumed walks get a
+    /// fresh leg, so a suspended walk's earlier legs do not count against
+    /// the current query's budget.
+    pub(crate) fn step_streamed(
+        &mut self,
+        graph: &DerivationGraph,
+        env: &TypeEnv,
+        limits: &GenerateLimits,
+        leg_start: &Instant,
+    ) -> Option<&RankedTerm> {
+        self.step_impl(graph, env, limits, leg_start, None)
+    }
+
+    /// The walk engine: pops and expands entries until a term is emitted
+    /// (returned, and appended to the emission log) or the walk stops
+    /// (`None`; the flags say why). `bounded` enables the branch-and-bound
+    /// prunings of the n-bounded entry points.
+    fn step_impl(
+        &mut self,
+        graph: &DerivationGraph,
+        env: &TypeEnv,
+        limits: &GenerateLimits,
+        leg_start: &Instant,
+        mut bounded: Option<&mut Bounded>,
+    ) -> Option<&RankedTerm> {
+        let heuristic = if self.astar {
+            graph.heuristic.as_ref()
+        } else {
+            None
+        };
+        loop {
+            let Some(entry) = self.queue.pop() else {
+                self.exhausted = true;
+                return None;
+            };
+            if self.steps >= limits.max_steps {
+                // Budget stops re-push the popped entry: the heap's order is
+                // total and deterministic, so restoring the frontier content
+                // restores the exact trajectory on resume.
+                self.queue.push(entry);
+                self.truncated = true;
+                return None;
+            }
+            if let Some(limit) = limits.time_limit {
+                if leg_start.elapsed() > limit {
+                    self.queue.push(entry);
+                    self.time_truncated = true;
+                    return None;
+                }
+            }
+            self.steps += 1;
+
+            if entry.holes == 0 {
+                self.emitted.push(EmittedTerm {
+                    term: RankedTerm {
+                        term: to_term(&entry.expr, env),
+                        weight: entry.g,
+                    },
+                    steps: self.steps,
+                    truncated: self.truncated,
+                });
+                return self.emitted.last().map(|e| &e.term);
+            }
+
+            // A partial expression whose completion bound (accumulated
+            // weight in best-first mode) exceeds the n-th best complete
+            // candidate cannot contribute output; skip its expansion.
+            if let Some(ctl) = bounded.as_deref_mut() {
+                if graph.monotone && ctl.candidates.len() >= ctl.n {
+                    if let Some(&bound) = ctl.candidates.peek() {
+                        if entry.priority > prune_cutoff(bound, self.astar) {
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            let mut scope: Vec<&(Param, HoleTyId)> = Vec::new();
+            let (hole_ty, ctx, ancestors) = find_first_hole(&entry.expr, &mut scope)
+                .expect("entry with holes > 0 contains a hole");
+            let filled = hole_goal(graph, heuristic, &mut self.memo, ctx, hole_ty);
+            let Some((node_env, node)) = filled.node else {
+                // Dead hole (only reachable from the root; successors
+                // containing dead holes are pruned at creation).
+                continue;
+            };
+            let filled_cost = filled.cost;
+
+            let info = &graph.tys[hole_ty.as_usize()];
+            let fresh: Vec<(Param, HoleTyId)> = info
+                .args
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| {
+                    let ty = graph.tys[a.as_usize()].ty.clone();
+                    (Param::new(format!("var{}", scope.len() + i + 1), ty), a)
+                })
+                .collect();
+            let params_weight = Weight::new(graph.lambda_weight.value() * fresh.len() as f64);
+            let params: Arc<[(Param, HoleTyId)]> = fresh.into();
+
+            // This pop's key becomes the pedigree of every successor it
+            // creates (the A* tie-break; best-first mode breaks ties on seq
+            // and skips the allocation entirely).
+            let pedigree = self.astar.then(|| {
+                Arc::new(Pedigree {
+                    g: entry.g,
+                    idx: entry.idx,
+                    parent: entry.parent.clone(),
+                })
+            });
+
+            // Declaration-headed successors of this (environment, goal)
+            // pair, dead-checked and bound-summed once, then reused by every
+            // later pop of the same pair (and, via the persisted cache, by
+            // later walks).
+            if !self.expansions.contains_key(&(node_env, node)) {
+                let memo = &mut self.memo;
                 let built: Arc<[CachedVariant]> = graph.nodes[node as usize]
                     .variants
                     .iter()
@@ -1226,7 +1419,7 @@ fn walk(
                                 // extension reached through this hole.
                                 let mut args_bound = Weight::ZERO;
                                 for &a in edge.args.iter() {
-                                    let goal = hole_goal(graph, heuristic, &mut memo, node_env, a);
+                                    let goal = hole_goal(graph, heuristic, memo, node_env, a);
                                     if !goal.cost.is_finite() {
                                         return None;
                                     }
@@ -1242,157 +1435,170 @@ fn walk(
                             .collect(),
                     })
                     .collect();
-                expansions.insert((node_env, node), Arc::clone(&built));
-                built
+                self.expansions.insert((node_env, node), built);
             }
-        };
+            let cached = Arc::clone(&self.expansions[&(node_env, node)]);
 
-        let mut produced = 0usize;
-        'expand: for variant in cached.iter() {
-            // Declaration heads first, then binders in scope order — the
-            // enumeration order of the unindexed walk. Declaration heads
-            // carry their precomputed argument bound; binder heads are
-            // marked `None` and checked in the loop body.
-            let decl_heads = variant.edges.iter().map(|edge| {
-                (
-                    Head::Decl(edge.decl),
-                    edge.weight,
-                    edge.args.clone(),
-                    Some(edge.args_bound),
-                )
-            });
-            let binder_heads = scope
-                .iter()
-                .copied()
-                .chain(params.iter())
-                .filter(|(_, ty)| graph.tys[ty.as_usize()].succ == variant.wanted)
-                .map(|(param, ty)| {
+            let mut produced = 0usize;
+            'expand: for variant in cached.iter() {
+                // Declaration heads first, then binders in scope order — the
+                // enumeration order of the unindexed walk. Declaration heads
+                // carry their precomputed argument bound; binder heads are
+                // marked `None` and checked in the loop body.
+                let decl_heads = variant.edges.iter().map(|edge| {
                     (
-                        Head::Binder(Rc::from(param.name.as_str())),
-                        graph.lambda_weight,
-                        Arc::clone(&graph.tys[ty.as_usize()].args),
-                        None,
+                        Head::Decl(edge.decl),
+                        edge.weight,
+                        edge.args.clone(),
+                        Some(edge.args_bound),
                     )
                 });
+                let binder_heads = scope
+                    .iter()
+                    .copied()
+                    .chain(params.iter())
+                    .filter(|(_, ty)| graph.tys[ty.as_usize()].succ == variant.wanted)
+                    .map(|(param, ty)| {
+                        (
+                            Head::Binder(Arc::from(param.name.as_str())),
+                            graph.lambda_weight,
+                            Arc::clone(&graph.tys[ty.as_usize()].args),
+                            None,
+                        )
+                    });
 
-            for (head, head_weight, arg_tys, decl_bound) in decl_heads.chain(binder_heads) {
-                produced += 1;
-                // Re-check the wall-clock budget periodically so one step
-                // cannot overshoot the reconstruction limit.
-                if produced.is_multiple_of(128) {
-                    if let Some(limit) = limits.time_limit {
-                        if start.elapsed() > limit {
-                            outcome.truncated = true;
-                            break 'search;
-                        }
-                    }
-                }
-                if queue.len() >= limits.max_frontier {
-                    // Stop enqueueing for this pop only — like the unindexed
-                    // walk, the queue keeps draining so completions already
-                    // enqueued are still emitted.
-                    outcome.truncated = true;
-                    break 'expand;
-                }
-
-                // Dead-hole pruning and Σ h for binder-headed successors
-                // (declaration edges carry both precomputed).
-                let args_bound = match decl_bound {
-                    Some(bound) => bound,
-                    None => {
-                        let mut bound = Weight::ZERO;
-                        let mut dead = false;
-                        for &a in arg_tys.iter() {
-                            let goal = hole_goal(graph, heuristic, &mut memo, node_env, a);
-                            if !goal.cost.is_finite() {
-                                dead = true;
-                                break;
+                for (head, head_weight, arg_tys, decl_bound) in decl_heads.chain(binder_heads) {
+                    produced += 1;
+                    // Re-check the wall-clock budget periodically so one
+                    // step cannot overshoot the reconstruction limit. A
+                    // mid-expansion stop may leave a partially expanded pop
+                    // behind, which is why time-truncated states are never
+                    // resumed.
+                    if produced.is_multiple_of(128) {
+                        if let Some(limit) = limits.time_limit {
+                            if leg_start.elapsed() > limit {
+                                self.time_truncated = true;
+                                return None;
                             }
-                            bound = bound.plus(goal.cost);
                         }
-                        if dead {
+                    }
+                    if self.queue.len() >= limits.max_frontier {
+                        // Stop enqueueing for this pop only — like the
+                        // unindexed walk, the queue keeps draining so
+                        // completions already enqueued are still emitted.
+                        self.truncated = true;
+                        break 'expand;
+                    }
+
+                    // Dead-hole pruning and Σ h for binder-headed successors
+                    // (declaration edges carry both precomputed).
+                    let args_bound = match decl_bound {
+                        Some(bound) => bound,
+                        None => {
+                            let mut bound = Weight::ZERO;
+                            let mut dead = false;
+                            for &a in arg_tys.iter() {
+                                let goal = hole_goal(graph, heuristic, &mut self.memo, node_env, a);
+                                if !goal.cost.is_finite() {
+                                    dead = true;
+                                    break;
+                                }
+                                bound = bound.plus(goal.cost);
+                            }
+                            if dead {
+                                continue;
+                            }
+                            bound
+                        }
+                    };
+
+                    let new_weight = entry.g.plus(params_weight.plus(head_weight));
+                    let new_holes = entry.holes - 1 + arg_tys.len() as u32;
+                    // Pin `Σ h` of complete expressions to exactly zero so
+                    // their priority is bit-for-bit their weight, untouched
+                    // by the rounding of the incremental bound updates.
+                    let new_hsum = if !self.astar || new_holes == 0 {
+                        Weight::ZERO
+                    } else {
+                        Weight::new(entry.hsum.value() - filled_cost.value() + args_bound.value())
+                    };
+                    let new_priority = new_weight.plus(new_hsum);
+                    if let Some(ctl) = bounded.as_deref_mut() {
+                        if graph.monotone && ctl.candidates.len() >= ctl.n {
+                            if let Some(&bound) = ctl.candidates.peek() {
+                                if new_priority > prune_cutoff(bound, self.astar) {
+                                    self.pruned_enqueues += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+
+                    // Depth: the only lengthened path runs through the hole.
+                    let replacement_depth = if arg_tys.is_empty() { 1 } else { 2 };
+                    let new_depth = entry.depth.max(ancestors + replacement_depth);
+                    if let Some(max_depth) = limits.max_depth {
+                        if new_depth as usize > max_depth {
                             continue;
                         }
-                        bound
                     }
-                };
 
-                let new_weight = entry.g.plus(params_weight.plus(head_weight));
-                let new_holes = entry.holes - 1 + arg_tys.len() as u32;
-                // Pin `Σ h` of complete expressions to exactly zero so their
-                // priority is bit-for-bit their weight, untouched by the
-                // rounding of the incremental bound updates.
-                let new_hsum = if !astar || new_holes == 0 {
-                    Weight::ZERO
-                } else {
-                    Weight::new(entry.hsum.value() - filled_cost.value() + args_bound.value())
-                };
-                let new_priority = new_weight.plus(new_hsum);
-                if graph.monotone && candidates.len() >= n {
-                    if let Some(&bound) = candidates.peek() {
-                        if new_priority > prune_cutoff(bound, astar) {
-                            outcome.pruned_enqueues += 1;
-                            continue;
+                    if let Some(ctl) = bounded.as_deref_mut() {
+                        if graph.monotone && new_holes == 0 {
+                            if ctl.candidates.len() < ctl.n {
+                                ctl.candidates.push(new_weight);
+                            } else if let Some(mut top) = ctl.candidates.peek_mut() {
+                                if new_weight < *top {
+                                    *top = new_weight;
+                                }
+                            }
                         }
                     }
-                }
 
-                // Depth: the only lengthened path runs through the hole.
-                let replacement_depth = if arg_tys.is_empty() { 1 } else { 2 };
-                let new_depth = entry.depth.max(ancestors + replacement_depth);
-                if let Some(max_depth) = limits.max_depth {
-                    if new_depth as usize > max_depth {
-                        continue;
-                    }
-                }
-
-                if graph.monotone && new_holes == 0 {
-                    if candidates.len() < n {
-                        candidates.push(new_weight);
-                    } else if let Some(mut top) = candidates.peek_mut() {
-                        if new_weight < *top {
-                            *top = new_weight;
-                        }
-                    }
-                }
-
-                let replacement = Rc::new(PExpr::Node {
-                    params: Rc::clone(&params),
-                    head,
-                    args: arg_tys
-                        .iter()
-                        .map(|&a| {
-                            Rc::new(PExpr::Hole {
-                                ty: a,
-                                ctx: node_env,
+                    let replacement = Arc::new(PExpr::Node {
+                        params: Arc::clone(&params),
+                        head,
+                        args: arg_tys
+                            .iter()
+                            .map(|&a| {
+                                Arc::new(PExpr::Hole {
+                                    ty: a,
+                                    ctx: node_env,
+                                })
                             })
-                        })
-                        .collect(),
-                });
-                let new_expr = replace_first_hole(&entry.expr, &replacement);
-                seq += 1;
-                queue.push(Entry {
-                    priority: new_priority,
-                    g: new_weight,
-                    hsum: new_hsum,
-                    astar,
-                    seq,
-                    parent: pedigree.clone(),
-                    idx: produced as u64,
-                    expr: new_expr,
-                    holes: new_holes,
-                    depth: new_depth,
-                });
+                            .collect(),
+                    });
+                    let new_expr = replace_first_hole(&entry.expr, &replacement);
+                    self.seq += 1;
+                    self.queue.push(Entry {
+                        priority: new_priority,
+                        g: new_weight,
+                        hsum: new_hsum,
+                        astar: self.astar,
+                        seq: self.seq,
+                        parent: pedigree.clone(),
+                        idx: produced as u64,
+                        expr: new_expr,
+                        holes: new_holes,
+                        depth: new_depth,
+                    });
+                }
             }
         }
     }
 
-    if persist {
-        // Merge (rather than overwrite) so concurrent walks do not lose each
-        // other's additions; values are deterministic, so colliding keys
-        // carry identical entries. Walks that learned nothing skip the
-        // merge entirely.
-        if memo.len() > seeded_memo {
+    /// Move-merges this walk's cache additions into the graph's persisted
+    /// caches — the finishing step of the n-bounded entry points, which
+    /// discard the state afterwards. Merge (rather than overwrite) so
+    /// concurrent walks do not lose each other's additions; values are
+    /// deterministic, so colliding keys carry identical entries. Walks that
+    /// learned nothing skip the merge entirely.
+    fn merge_caches_into(&mut self, graph: &DerivationGraph) {
+        if !self.persist {
+            return;
+        }
+        if self.memo.len() > self.seeded_memo {
+            let memo = std::mem::take(&mut self.memo);
             let mut shared = lock_recovering(&graph.walk_memo);
             if shared.is_empty() {
                 *shared = memo;
@@ -1400,7 +1606,8 @@ fn walk(
                 shared.extend(memo);
             }
         }
-        if expansions.len() > seeded_expansions {
+        if self.expansions.len() > self.seeded_expansions {
+            let expansions = std::mem::take(&mut self.expansions);
             let mut shared = lock_recovering(&graph.walk_expansions);
             if shared.is_empty() {
                 *shared = expansions;
@@ -1410,7 +1617,34 @@ fn walk(
         }
     }
 
-    outcome
+    /// Clone-merges this walk's cache additions into the graph's persisted
+    /// caches, keeping the state usable — the suspension step of a streamed
+    /// walk, which parks the state for a later resume. Idempotent: the
+    /// seeded watermarks advance, so a second sync with no new entries is a
+    /// no-op.
+    pub(crate) fn sync_caches_into(&mut self, graph: &DerivationGraph) {
+        if !self.persist {
+            return;
+        }
+        if self.memo.len() > self.seeded_memo {
+            let mut shared = lock_recovering(&graph.walk_memo);
+            if shared.is_empty() {
+                *shared = self.memo.clone();
+            } else {
+                shared.extend(self.memo.iter().map(|(&k, &v)| (k, v)));
+            }
+            self.seeded_memo = self.memo.len();
+        }
+        if self.expansions.len() > self.seeded_expansions {
+            let mut shared = lock_recovering(&graph.walk_expansions);
+            if shared.is_empty() {
+                *shared = self.expansions.clone();
+            } else {
+                shared.extend(self.expansions.iter().map(|(k, v)| (*k, Arc::clone(v))));
+            }
+            self.seeded_expansions = self.expansions.len();
+        }
+    }
 }
 
 #[cfg(test)]

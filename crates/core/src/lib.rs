@@ -104,7 +104,7 @@ pub use graph::{generate_terms, generate_terms_best_first, DerivationGraph, Hole
 pub use insynth_succinct::EnvFingerprint;
 pub use prepare::PreparedEnv;
 pub use rcn::{is_inhabited_ref, rcn};
-pub use session::{BatchRequest, Engine, EnvDelta, Query, Session};
+pub use session::{BatchRequest, Engine, EnvDelta, Query, Session, TermStream};
 #[allow(deprecated)]
 pub use synth::Synthesizer;
 pub use synth::{PhaseTimings, Snippet, SynthesisConfig, SynthesisResult, SynthesisStats};

@@ -1,9 +1,9 @@
-//! Shared iterative machinery for `Rc`-shared partial-expression trees.
+//! Shared iterative machinery for `Arc`-shared partial-expression trees.
 //!
 //! Both reconstruction walks — the unindexed oracle in [`crate::gent`] and
 //! the production graph walk in [`crate::graph`] — manipulate the same shape
 //! of data: a tree whose leaves may be typed holes and whose application
-//! nodes share subtrees through `Rc`. Their hole payloads and head
+//! nodes share subtrees through `Arc`. Their hole payloads and head
 //! representations differ, but the two depth-critical algorithms (unlinking
 //! a tree on drop, and rebuilding the spine above the first hole) are
 //! identical and must stay iterative — a term's depth equals its spine
@@ -12,29 +12,29 @@
 //! use; the hole search and term conversion stay with each walk (their
 //! scope/depth bookkeeping and outputs genuinely differ).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A partial-expression tree node: a typed hole (leaf) or an application
-/// node with `Rc`-shared children.
+/// node with `Arc`-shared children.
 pub(crate) trait PartialExpr: Sized {
     /// The node's children, or `None` when it is a hole.
-    fn children(&self) -> Option<&[Rc<Self>]>;
+    fn children(&self) -> Option<&[Arc<Self>]>;
 
     /// Moves the children out of the node, leaving it childless; holes
     /// return an empty list. Used by the iterative drop.
-    fn take_children(&mut self) -> Vec<Rc<Self>>;
+    fn take_children(&mut self) -> Vec<Arc<Self>>;
 
     /// A copy of this node with its child list replaced.
     ///
     /// # Panics
     ///
     /// Implementations may panic on holes (holes have no children).
-    fn with_children(&self, children: Vec<Rc<Self>>) -> Self;
+    fn with_children(&self, children: Vec<Arc<Self>>) -> Self;
 }
 
 /// Unlinks `node`'s uniquely owned subtrees iteratively — the body of both
 /// walks' `Drop` implementations. The default recursive drop would recurse
-/// once per term-depth level; shared subtrees (other `Rc` holders) are left
+/// once per term-depth level; shared subtrees (other `Arc` holders) are left
 /// alone, and whoever drops the last handle continues the unlinking, again
 /// iteratively.
 pub(crate) fn unlink_on_drop<T: PartialExpr>(node: &mut T) {
@@ -43,7 +43,7 @@ pub(crate) fn unlink_on_drop<T: PartialExpr>(node: &mut T) {
         // `T` implements `Drop` (that is why we are here), so the unwrapped
         // node cannot be destructured by move; empty its children in place
         // instead — it then drops childless, without recursing.
-        let Ok(mut owned) = Rc::try_unwrap(rc) else {
+        let Ok(mut owned) = Arc::try_unwrap(rc) else {
             continue;
         };
         stack.append(&mut owned.take_children());
@@ -52,12 +52,12 @@ pub(crate) fn unlink_on_drop<T: PartialExpr>(node: &mut T) {
 
 /// Replaces the first (leftmost, outermost-first) hole of `expr` — which
 /// must contain one — by `replacement`, sharing every untouched subtree:
-/// only the spine above the hole is rebuilt, siblings are `Rc`-shared.
+/// only the spine above the hole is rebuilt, siblings are `Arc`-shared.
 /// Iterative in the term depth.
-pub(crate) fn replace_first_hole<T: PartialExpr>(expr: &Rc<T>, replacement: &Rc<T>) -> Rc<T> {
+pub(crate) fn replace_first_hole<T: PartialExpr>(expr: &Arc<T>, replacement: &Arc<T>) -> Arc<T> {
     // Phase 1: pre-order search for the first hole, recording the spine of
     // (ancestor, child-index) pairs leading to it.
-    let mut spine: Vec<(&Rc<T>, usize)> = Vec::new();
+    let mut spine: Vec<(&Arc<T>, usize)> = Vec::new();
     let mut current = expr;
     loop {
         match current.children() {
@@ -68,7 +68,7 @@ pub(crate) fn replace_first_hole<T: PartialExpr>(expr: &Rc<T>, replacement: &Rc<
             let frame = spine
                 .last_mut()
                 .expect("expression must contain a hole to replace");
-            let node: &Rc<T> = frame.0;
+            let node: &Arc<T> = frame.0;
             let args = node.children().expect("only nodes are pushed on the spine");
             if frame.1 < args.len() {
                 current = &args[frame.1];
@@ -79,7 +79,7 @@ pub(crate) fn replace_first_hole<T: PartialExpr>(expr: &Rc<T>, replacement: &Rc<
         }
     }
     // Phase 2: rebuild the spine bottom-up.
-    let mut rebuilt = Rc::clone(replacement);
+    let mut rebuilt = Arc::clone(replacement);
     for (node, next) in spine.into_iter().rev() {
         let args = node.children().expect("only nodes are pushed on the spine");
         let idx = next - 1;
@@ -87,7 +87,7 @@ pub(crate) fn replace_first_hole<T: PartialExpr>(expr: &Rc<T>, replacement: &Rc<
         new_args.extend(args[..idx].iter().cloned());
         new_args.push(rebuilt);
         new_args.extend(args[idx + 1..].iter().cloned());
-        rebuilt = Rc::new(node.with_children(new_args));
+        rebuilt = Arc::new(node.with_children(new_args));
     }
     rebuilt
 }

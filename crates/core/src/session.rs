@@ -77,8 +77,9 @@
 //! ```
 
 use std::collections::{BTreeSet, HashMap};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -89,8 +90,8 @@ use crate::coerce::{count_coercions, erase_coercions};
 use crate::decl::{Declaration, TypeEnv};
 use crate::explore::{explore, ExploreLimits};
 use crate::genp::generate_patterns;
-use crate::gent::GenerateLimits;
-use crate::graph::{generate_terms, DerivationGraph};
+use crate::gent::{GenerateLimits, RankedTerm};
+use crate::graph::{lock_recovering, DerivationGraph, WalkState};
 use crate::prepare::PreparedEnv;
 use crate::synth::{PhaseTimings, Snippet, SynthesisConfig, SynthesisResult, SynthesisStats};
 use crate::weights::WeightConfig;
@@ -217,6 +218,29 @@ impl Engine {
     /// [`SynthesisConfig::point_cache_capacity`]).
     pub fn cached_point_count(&self) -> usize {
         self.cache.read_points().len()
+    }
+
+    /// Number of suspended walk states currently parked across the engine's
+    /// cached graphs (each graph bounds its own set by
+    /// [`SynthesisConfig::suspended_walk_capacity`]).
+    pub fn suspended_walk_count(&self) -> usize {
+        self.cache
+            .read_graphs()
+            .values()
+            .filter_map(|slot| slot.value.cell.get())
+            .map(|artifacts| artifacts.suspended_walk_count())
+            .sum()
+    }
+
+    /// Drops every suspended walk state parked on the engine's cached
+    /// graphs. A memory/benchmarking lever only: the next query on any goal
+    /// replays its walk from scratch and returns identical results.
+    pub fn clear_suspended_walks(&self) {
+        for slot in self.cache.read_graphs().values() {
+            if let Some(artifacts) = slot.value.cell.get() {
+                artifacts.clear_suspended();
+            }
+        }
     }
 
     /// Runs a batch of requests, possibly spanning several program points.
@@ -590,6 +614,7 @@ impl Query {
             // Engine-level knobs; queries cannot override the cache bounds.
             graph_cache_capacity: base.graph_cache_capacity,
             point_cache_capacity: base.point_cache_capacity,
+            suspended_walk_capacity: base.suspended_walk_capacity,
         }
     }
 }
@@ -646,6 +671,103 @@ pub(crate) struct QueryArtifacts {
     /// carries an artifact across an edit exactly when no changed
     /// declaration's return type does.
     touched_rets: Box<[String]>,
+    /// Suspended walk states parked on this graph by finished streams, so a
+    /// follow-up query under the same reconstruction budgets resumes the
+    /// walk — popping only the delta — instead of replaying it. Because the
+    /// walks live *on* the artifact, they inherit its lifecycle for free:
+    /// evicting or dropping the artifact drops them, and the delta
+    /// carry-over path carries them exactly when it carries the graph —
+    /// which it does only when the edit provably cannot reach it.
+    suspended: Mutex<SuspendedWalks>,
+}
+
+/// The suspended walks parked on one cached graph, keyed by the
+/// reconstruction budgets that shaped their trajectories, with a local LRU
+/// clock. Together with the artifact cache's own key this realises the full
+/// `(fingerprint, goal, budgets, overrides)` resume key: artifacts are
+/// already cached per `(fingerprint, goal, explore budgets)`, and
+/// weight-override queries run against private artifacts, so a walk can
+/// never be resumed across differing weights.
+#[derive(Default)]
+struct SuspendedWalks {
+    clock: u64,
+    walks: HashMap<StreamKey, (u64, WalkState)>,
+}
+
+impl fmt::Debug for SuspendedWalks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SuspendedWalks")
+            .field("walks", &self.walks.len())
+            .finish()
+    }
+}
+
+/// The reconstruction budgets that shape a walk's trajectory — the
+/// per-graph key under which suspended walks are parked and resumed. Two
+/// queries agreeing on every component walk identical trajectories, so the
+/// later one may adopt the earlier one's state; any differing budget starts
+/// fresh. (`max_frontier` is a fixed default on the session path and needs
+/// no component.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct StreamKey {
+    max_steps: usize,
+    time_limit: Option<Duration>,
+    max_depth: Option<usize>,
+}
+
+impl StreamKey {
+    fn of(config: &SynthesisConfig) -> StreamKey {
+        StreamKey {
+            max_steps: config.max_reconstruction_steps,
+            time_limit: config.reconstruction_time_limit,
+            max_depth: config.max_depth,
+        }
+    }
+}
+
+impl QueryArtifacts {
+    /// Removes (checks out) the suspended walk parked under `key`, if any.
+    /// Removal makes checkout race-free: of two concurrent streams, one
+    /// resumes the walk and the other starts fresh — both byte-identical.
+    fn checkout_walk(&self, key: &StreamKey) -> Option<WalkState> {
+        lock_recovering(&self.suspended)
+            .walks
+            .remove(key)
+            .map(|(_, state)| state)
+    }
+
+    /// Parks (checks in) a suspended walk under `key`, evicting the least
+    /// recently parked walks beyond `capacity`. Callers must withhold
+    /// wall-clock-truncated states — those may have lost a partially
+    /// expanded frontier entry and are not safe to resume.
+    fn checkin_walk(&self, key: StreamKey, state: WalkState, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        let mut suspended = lock_recovering(&self.suspended);
+        suspended.clock += 1;
+        let stamp = suspended.clock;
+        suspended.walks.insert(key, (stamp, state));
+        while suspended.walks.len() > capacity {
+            let victim = suspended
+                .walks
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(key, _)| key.clone());
+            match victim {
+                Some(key) => suspended.walks.remove(&key),
+                None => break,
+            };
+        }
+    }
+
+    fn clear_suspended(&self) {
+        lock_recovering(&self.suspended).walks.clear();
+    }
+
+    fn suspended_walk_count(&self) -> usize {
+        lock_recovering(&self.suspended).walks.len()
+    }
 }
 
 /// A cached value together with its LRU recency stamp (atomic so hits can
@@ -1063,20 +1185,41 @@ impl Session {
     /// — the repeated-query fast path that skips exploration and pattern
     /// generation entirely.
     pub fn query(&self, query: &Query) -> SynthesisResult {
+        self.query_stream(query).into_result(query.n)
+    }
+
+    /// Opens a [`TermStream`] for `query`: the iterator form of
+    /// [`Session::query`], yielding [`RankedTerm`]s one at a time as the
+    /// walk pops them, in the same byte-identical best-first order.
+    ///
+    /// The stream resolves (or reuses) the cached derivation graph exactly
+    /// as `query` does, then either *resumes* a suspended walk parked by an
+    /// earlier stream under the same reconstruction budgets — popping only
+    /// the delta — or starts a fresh walk. Dropping the stream parks its
+    /// walk state back on the cached artifact (unless wall-clock-truncated),
+    /// so `query(n=10)` followed by `query(n=20)` pays for ten new
+    /// emissions, not thirty. Resumption is an optimisation only: emission
+    /// order, terms and weights are identical either way.
+    pub fn query_stream(&self, query: &Query) -> TermStream {
         let config = query.effective_config(&self.config);
         if let Some(weights) = &query.weights {
             if *weights != self.config.weights {
                 // Weight overrides invalidate the prepared per-type weights
                 // (and every cached graph, which bakes them into its edges):
                 // re-prepare privately for this query (the documented slow
-                // path; the shared session is left untouched).
+                // path; the shared session is left untouched). The private
+                // artifact dies with the stream, so its suspended walk can
+                // never resume under different weights.
                 let point = Arc::new(PreparedPoint {
                     env: self.point.env.clone(),
                     prepared: Arc::new(PreparedEnv::prepare(&self.point.env, weights)),
                     prepare_time: Duration::ZERO,
                 });
                 self.count_build();
-                return run_query(&point, &config, &query.goal, query.n);
+                let artifacts = Arc::new(build_artifacts(&point, &config, &query.goal));
+                let decls = point.env.len();
+                let distinct = point.prepared.distinct_succinct_types();
+                return TermStream::open(artifacts, config, decls, distinct);
             }
         }
 
@@ -1119,13 +1262,9 @@ impl Session {
                 artifacts
             }
         };
-        finish_query(
-            &artifacts,
-            &self.point.prepared,
-            &self.point.env,
-            &config,
-            query.n,
-        )
+        let decls = self.point.env.len();
+        let distinct = self.point.prepared.distinct_succinct_types();
+        TermStream::open(artifacts, config, decls, distinct)
     }
 
     /// Derives a session for the environment obtained by applying `delta` to
@@ -1383,88 +1522,242 @@ pub(crate) fn build_artifacts(
         explore_truncated: space.truncated,
         time_truncated: space.time_truncated,
         touched_rets: touched.into_iter().collect::<Vec<_>>().into_boxed_slice(),
+        suspended: Mutex::new(SuspendedWalks::default()),
     }
 }
 
-/// Walks an already built derivation graph and packages the result. The
-/// reported explore/patterns timings and search statistics are those recorded
-/// when the graph was built, so cached and uncached queries report
-/// identically. Declaration heads are resolved against the graph's *build*
-/// point (whose indices they are); `env`/`prepared` describe the querying
-/// session's point and feed only the environment-level statistics.
-fn finish_query(
-    artifacts: &QueryArtifacts,
-    prepared: &PreparedEnv,
-    env: &TypeEnv,
-    config: &SynthesisConfig,
-    n: usize,
-) -> SynthesisResult {
-    let recon_started = Instant::now();
-    let outcome = generate_terms(
-        &artifacts.graph,
-        &artifacts.point.env,
-        n,
-        &GenerateLimits {
+/// A lazily advancing stream of ranked completions for one query — the
+/// iterator form of [`Session::query`], opened by
+/// [`Session::query_stream`].
+///
+/// Each [`next`](Iterator::next) call yields the next-best [`RankedTerm`]
+/// in the same byte-identical weight order `query` reports, popping the
+/// frontier only as far as demanded. [`has_more`](TermStream::has_more)
+/// says whether another call could yield — the pagination contract
+/// (`values` + `has_more`) a completion front-end speaks.
+///
+/// Dropping the stream suspends its walk state back onto the engine-cached
+/// artifact (folding the per-walk memos into the graph's shared caches), so
+/// the next stream or query under the same reconstruction budgets *resumes*
+/// where this one stopped instead of replaying its pops. Resumption never
+/// changes results — only how much work the follow-up pays.
+pub struct TermStream {
+    artifacts: Arc<QueryArtifacts>,
+    config: SynthesisConfig,
+    limits: GenerateLimits,
+    key: StreamKey,
+    /// Environment-level statistics of the *querying* session's point
+    /// (which may be a delta-extension of the graph's build point).
+    session_decls: usize,
+    session_distinct: usize,
+    /// `Some` until `Drop` takes it for check-in.
+    state: Option<WalkState>,
+    /// Cursor into the walk's emission log: a resumed walk replays its
+    /// already-emitted prefix from the log (no pops) before stepping anew.
+    pos: usize,
+    resumed: bool,
+    steps_at_checkout: usize,
+    leg_start: Instant,
+}
+
+impl TermStream {
+    /// Opens a stream over resolved artifacts, resuming the suspended walk
+    /// parked under this query's reconstruction budgets when one exists.
+    fn open(
+        artifacts: Arc<QueryArtifacts>,
+        config: SynthesisConfig,
+        session_decls: usize,
+        session_distinct: usize,
+    ) -> TermStream {
+        let limits = GenerateLimits {
             max_steps: config.max_reconstruction_steps,
             time_limit: config.reconstruction_time_limit,
             max_depth: config.max_depth,
             ..GenerateLimits::default()
-        },
-    );
-    let recon_time = recon_started.elapsed();
-
-    let snippets = outcome
-        .terms
-        .into_iter()
-        .map(|ranked| {
-            let raw = ranked.term;
-            let erased = if config.erase_coercions {
-                erase_coercions(&raw)
-            } else {
-                raw.clone()
-            };
-            Snippet {
-                coercions: count_coercions(&raw),
-                depth: raw.depth(),
-                term: erased,
-                raw_term: raw,
-                weight: ranked.weight,
+        };
+        let key = StreamKey::of(&config);
+        let (state, resumed) = match artifacts.checkout_walk(&key) {
+            Some(state) => (state, true),
+            None => {
+                let astar = artifacts.graph.has_heuristic();
+                (WalkState::new(&artifacts.graph, astar), false)
             }
-        })
-        .collect();
+        };
+        let steps_at_checkout = state.steps();
+        TermStream {
+            artifacts,
+            config,
+            limits,
+            key,
+            session_decls,
+            session_distinct,
+            state: Some(state),
+            pos: 0,
+            resumed,
+            steps_at_checkout,
+            leg_start: Instant::now(),
+        }
+    }
 
-    SynthesisResult {
-        snippets,
-        timings: PhaseTimings {
-            explore: artifacts.explore_time,
-            patterns: artifacts.patterns_time,
-            reconstruction: recon_time,
-        },
-        stats: SynthesisStats {
-            initial_declarations: env.len(),
-            distinct_succinct_types: prepared.distinct_succinct_types(),
-            reachability_terms: artifacts.reachability_terms,
-            requests_processed: artifacts.requests_processed,
-            patterns: artifacts.patterns,
-            reconstruction_steps: outcome.steps,
-            reconstruction_pruned_enqueues: outcome.pruned_enqueues,
-            astar: outcome.astar,
-            truncated: artifacts.explore_truncated || outcome.truncated,
-        },
+    /// `true` when another [`next`](Iterator::next) call could yield a
+    /// term: the emission log extends past the cursor, or the frontier is
+    /// not exhausted (budget-stopped walks report `true` — raising the
+    /// budget could surface more).
+    pub fn has_more(&self) -> bool {
+        match &self.state {
+            Some(state) => self.pos < state.emitted().len() || !state.exhausted(),
+            None => false,
+        }
+    }
+
+    /// `true` when this stream resumed a suspended walk instead of starting
+    /// from scratch. Observability only; results are identical either way.
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Drains the stream up to `n` terms and packages the classic
+    /// [`SynthesisResult`] — the body of [`Session::query`]. The reported
+    /// explore/patterns timings and search statistics are those recorded
+    /// when the graph was built, so cached and uncached queries report
+    /// identically; reconstruction statistics are *cumulative* across the
+    /// walk's legs, so a resumed query reports exactly what a from-scratch
+    /// walk to the same `n` would (`reconstruction_new_steps` carries the
+    /// delta this query actually paid).
+    fn into_result(mut self, n: usize) -> SynthesisResult {
+        let recon_started = Instant::now();
+        let state = self
+            .state
+            .as_mut()
+            .expect("stream state present until drop");
+        while state.emitted().len() < n
+            && state
+                .step_streamed(
+                    &self.artifacts.graph,
+                    &self.artifacts.point.env,
+                    &self.limits,
+                    &self.leg_start,
+                )
+                .is_some()
+        {}
+        let recon_time = recon_started.elapsed();
+
+        let state = self
+            .state
+            .as_ref()
+            .expect("stream state present until drop");
+        let emitted = state.emitted();
+        let served = emitted.len().min(n);
+        let snippets = emitted[..served]
+            .iter()
+            .map(|emission| snippet_of(&emission.term, &self.config))
+            .collect();
+
+        // Per-emission snapshots make the cumulative discipline exact: when
+        // the n-th term exists, report the pops and truncation state *at its
+        // emission*, exactly what a bounded walk to `n` recorded; when the
+        // walk stopped short, report the stop itself.
+        let (walk_steps, walk_truncated) = if n == 0 {
+            (0, false)
+        } else if let Some(nth) = emitted.get(n - 1) {
+            (nth.steps, nth.truncated)
+        } else {
+            (state.steps(), state.truncated() || state.time_truncated())
+        };
+
+        SynthesisResult {
+            snippets,
+            timings: PhaseTimings {
+                explore: self.artifacts.explore_time,
+                patterns: self.artifacts.patterns_time,
+                reconstruction: recon_time,
+            },
+            stats: SynthesisStats {
+                initial_declarations: self.session_decls,
+                distinct_succinct_types: self.session_distinct,
+                reachability_terms: self.artifacts.reachability_terms,
+                requests_processed: self.artifacts.requests_processed,
+                patterns: self.artifacts.patterns,
+                reconstruction_steps: walk_steps,
+                reconstruction_pruned_enqueues: state.pruned_enqueues(),
+                astar: state.astar(),
+                truncated: self.artifacts.explore_truncated || walk_truncated,
+                has_more: n < emitted.len() || !state.exhausted(),
+                resumed: self.resumed,
+                reconstruction_new_steps: state.steps() - self.steps_at_checkout,
+            },
+        }
+        // Dropping `self` here parks the advanced walk for the next query.
     }
 }
 
-/// Runs all query phases uncached against a prepared program point. Used by
-/// the per-query weight-override slow path, where the prepared weights differ
-/// from the session's and nothing may be reused.
-pub(crate) fn run_query(
-    point: &Arc<PreparedPoint>,
-    config: &SynthesisConfig,
-    goal: &Ty,
-    n: usize,
-) -> SynthesisResult {
-    let artifacts = build_artifacts(point, config, goal);
-    finish_query(&artifacts, &point.prepared, &point.env, config, n)
+impl Iterator for TermStream {
+    type Item = RankedTerm;
+
+    fn next(&mut self) -> Option<RankedTerm> {
+        let state = self.state.as_mut()?;
+        if let Some(emission) = state.emitted().get(self.pos) {
+            self.pos += 1;
+            return Some(emission.term.clone());
+        }
+        let stepped = state
+            .step_streamed(
+                &self.artifacts.graph,
+                &self.artifacts.point.env,
+                &self.limits,
+                &self.leg_start,
+            )
+            .cloned();
+        if stepped.is_some() {
+            self.pos += 1;
+        }
+        stepped
+    }
+}
+
+impl Drop for TermStream {
+    fn drop(&mut self) {
+        if let Some(mut state) = self.state.take() {
+            // Fold this walk's memo/expansion discoveries into the graph's
+            // shared caches regardless of whether the state itself is kept.
+            state.sync_caches_into(&self.artifacts.graph);
+            if !state.time_truncated() {
+                self.artifacts.checkin_walk(
+                    self.key.clone(),
+                    state,
+                    self.config.suspended_walk_capacity,
+                );
+            }
+        }
+    }
+}
+
+impl fmt::Debug for TermStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TermStream")
+            .field("pos", &self.pos)
+            .field("resumed", &self.resumed)
+            .field("has_more", &self.has_more())
+            .finish()
+    }
+}
+
+/// Packages one ranked term as a reported snippet, applying the configured
+/// coercion erasure.
+fn snippet_of(ranked: &RankedTerm, config: &SynthesisConfig) -> Snippet {
+    let raw = ranked.term.clone();
+    let erased = if config.erase_coercions {
+        erase_coercions(&raw)
+    } else {
+        raw.clone()
+    };
+    Snippet {
+        coercions: count_coercions(&raw),
+        depth: raw.depth(),
+        term: erased,
+        raw_term: raw,
+        weight: ranked.weight,
+    }
 }
 
 #[cfg(test)]

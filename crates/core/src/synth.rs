@@ -59,6 +59,14 @@ pub struct SynthesisConfig {
     /// ordering is currently the cached canonical, so under-sizing makes the
     /// emission order of equal-weight ties depend on eviction timing.
     pub point_cache_capacity: usize,
+    /// Upper bound on the number of *suspended walk states* each cached
+    /// derivation graph retains, keyed by reconstruction budget. A query (or
+    /// a dropped [`TermStream`](crate::TermStream)) parks its frontier here,
+    /// so a follow-up asking for more results on the same goal resumes the
+    /// walk — popping only the delta — instead of replaying it from scratch.
+    /// Evicted least-recently-used per graph; `0` disables walk persistence
+    /// (every query replays its walk; results are identical either way).
+    pub suspended_walk_capacity: usize,
 }
 
 impl Default for SynthesisConfig {
@@ -73,6 +81,7 @@ impl Default for SynthesisConfig {
             erase_coercions: true,
             graph_cache_capacity: 64,
             point_cache_capacity: 32,
+            suspended_walk_capacity: 4,
         }
     }
 }
@@ -165,6 +174,21 @@ pub struct SynthesisStats {
     pub astar: bool,
     /// `true` if any phase hit a budget.
     pub truncated: bool,
+    /// `true` when the enumeration has more results past the `n` returned —
+    /// the walk's frontier is not exhausted (or earlier legs already emitted
+    /// terms beyond `n`). The pagination contract: ask again with a larger
+    /// `n` (or keep pulling the [`TermStream`](crate::TermStream)) to get
+    /// them; `false` means the returned snippets are the complete
+    /// enumeration.
+    pub has_more: bool,
+    /// `true` when this query resumed a suspended walk instead of starting
+    /// one from scratch. Purely observability — results are byte-identical
+    /// either way.
+    pub resumed: bool,
+    /// Reconstruction steps performed *by this query* (the delta): equals
+    /// `reconstruction_steps` on a from-scratch walk, and only the
+    /// additional pops past the suspension point on a resumed one.
+    pub reconstruction_new_steps: usize,
 }
 
 /// The result of one synthesis query.

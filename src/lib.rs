@@ -80,6 +80,56 @@
 //! assert_eq!(result.snippets[1].term.to_string(), "mkFile(path)");
 //! ```
 //!
+//! # Streaming and pagination
+//!
+//! The paper's anytime guarantee — best-first enumeration yields the
+//! weight-ranked best terms first, so the user can always ask for *k more* —
+//! is first-class: `Session::query_stream` returns a `TermStream`, an
+//! iterator that pops the A* frontier exactly as far as demanded, and
+//! dropping the stream **suspends** its walk state on the engine-cached
+//! graph. The next query or stream under the same reconstruction budgets
+//! *resumes* that walk instead of replaying it, so growing `n = 10` into
+//! `n = 20` pays for ten new emissions, not thirty. Results are
+//! byte-identical either way — resumption changes cost, never answers.
+//!
+//! ```
+//! use insynth::core::{Declaration, DeclKind, Engine, Query, SynthesisConfig, TypeEnv};
+//! use insynth::lambda::Ty;
+//!
+//! // An infinite enumeration:  a : A,  s : A -> A  gives a, s(a), s(s(a)), …
+//! let mut env = TypeEnv::new();
+//! env.push(Declaration::simple("a", Ty::base("A"), DeclKind::Local));
+//! env.push(Declaration::simple(
+//!     "s",
+//!     Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+//!     DeclKind::Local,
+//! ));
+//! let engine = Engine::new(SynthesisConfig::default());
+//! let session = engine.prepare(&env);
+//!
+//! // Pull completions lazily, one ranked term at a time.
+//! let mut stream = session.query_stream(&Query::new(Ty::base("A")));
+//! let best = stream.next().unwrap();
+//! assert_eq!(best.term.to_string(), "a");
+//! assert!(stream.has_more()); // the `values` + `has_more` pagination contract
+//! drop(stream); // suspends the walk on the cached graph
+//!
+//! // Plain `query` speaks the same contract: the second page resumes the
+//! // suspended walk and pops only the delta.
+//! let page1 = session.query(&Query::new(Ty::base("A")).with_n(3));
+//! let page2 = session.query(&Query::new(Ty::base("A")).with_n(6));
+//! assert!(page2.stats.resumed);
+//! assert!(page2.stats.has_more);
+//! assert_eq!(page2.snippets[0].term.to_string(), "a");
+//! assert_eq!(page2.snippets.len(), 6);
+//! ```
+//!
+//! `SynthesisStats` reports the pagination state: `has_more` says whether
+//! enumeration past `n` could yield further terms, `resumed` whether this
+//! query resumed a suspended walk, and `reconstruction_new_steps` the pops
+//! this query actually paid (versus the cumulative `reconstruction_steps`,
+//! which stays byte-compatible with a from-scratch walk).
+//!
 //! Derivation graphs (with their A* completion-cost heuristics) are memoized
 //! on the **engine**, keyed `(environment fingerprint, goal, prover
 //! budgets)`, so repeated queries — from any session addressing a
@@ -88,7 +138,12 @@
 //! (`SynthesisConfig::graph_cache_capacity`, default 64 graphs, and
 //! `SynthesisConfig::point_cache_capacity`, default 32 prepared points;
 //! least-recently-used eviction), so long-lived engines stay bounded in
-//! memory.
+//! memory. Suspended walks follow the same discipline: each cached graph
+//! parks at most `SynthesisConfig::suspended_walk_capacity` walk states
+//! (default 4, LRU, keyed by reconstruction budgets), they ride along with
+//! `Session::update`'s delta carry-over exactly when the edit provably
+//! cannot reach their graph, and they are dropped — never stale-resumed —
+//! otherwise.
 //!
 //! For many program points at once, `Engine::query_batch` groups requests by
 //! fingerprint, prepares each distinct point once, and fans the queries out
@@ -143,6 +198,30 @@
 //! * Nothing is deprecated by this change. The pre-session one-shot
 //!   `Synthesizer` façade (deprecated since PR 2) still compiles; its
 //!   repeated preparations now also benefit from the fingerprint cache.
+//!
+//! # Migrating from plain `query` to streams
+//!
+//! `Session::query` is now a thin consumer of `Session::query_stream`: it
+//! opens a stream, drains `n` terms, and packages the classic
+//! `SynthesisResult`. Existing callers keep compiling and keep getting
+//! byte-identical answers — and transparently gain resumption: repeating a
+//! goal with a larger `n` now pops only the delta. New code that feeds an
+//! interactive surface should prefer `query_stream`:
+//!
+//! * `query(&q)` with `q.with_n(k)` ⇒ `query_stream(&q).take(k)` — same
+//!   terms, same order, lazily popped; call `has_more()` to decide whether
+//!   to offer a "more results" affordance instead of guessing from
+//!   `snippets.len() == n`.
+//! * There is no `Stream::close`: dropping the stream is what suspends its
+//!   walk for the next resume. Hold the stream only while paginating.
+//! * Per-query weight overrides still work on streams; they run against a
+//!   private graph, so their walks never resume across different override
+//!   values (and never pollute the shared cache).
+//! * Determinism is unchanged: a resumed walk's emission sequence equals the
+//!   from-scratch sequence bit for bit, in both the A* and the best-first
+//!   fallback regimes, so pagination can never reorder or drop a term. Set
+//!   `SynthesisConfig::suspended_walk_capacity` to 0 to disable persistence
+//!   (results stay identical; follow-up queries just replay their walks).
 
 pub use insynth_apimodel as apimodel;
 pub use insynth_benchsuite as benchsuite;

@@ -23,7 +23,11 @@
 //! * delta re-preparation — `Session::update(delta)` answers byte-identically
 //!   to a fresh `Engine::prepare` of the edited environment, for random
 //!   add/remove/reweight deltas including negative weight overrides (which
-//!   flip the walk into its best-first fallback).
+//!   flip the walk into its best-first fallback),
+//! * resumable streaming — `query(n=a)` then `query(n=a+b)` on one session
+//!   (which resumes the suspended walk, popping only the delta) answers
+//!   byte-identically to a one-shot `query(n=a+b)` on a cold engine, in both
+//!   walk regimes.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -439,6 +443,57 @@ proptest! {
         let from_fresh = fresh.query(&query);
         prop_assert_eq!(result_key(&from_updated), result_key(&from_fresh));
         prop_assert_eq!(stats_key(&from_updated), stats_key(&from_fresh));
+    }
+
+    #[test]
+    fn resumed_pagination_is_byte_identical_to_one_shot_query(
+        env in arb_env(),
+        goal in arb_goal(),
+        a in 0usize..10,
+        b in 0usize..10,
+        negative in 0u8..2,
+    ) {
+        // The resume contract: query(n=a) followed by query(n=a+b) on the
+        // same session — which resumes the suspended walk and pops only the
+        // delta — must answer exactly like a cold engine asking n=a+b in one
+        // shot. Byte-identical terms and weights, and identical *cumulative*
+        // search statistics, across random environments, random split
+        // points, and both walk regimes (A* and, under negative weight
+        // overrides, the non-monotone best-first fallback).
+        let env: TypeEnv = if negative == 1 {
+            env.iter()
+                .enumerate()
+                .map(|(i, decl)| {
+                    let decl = decl.clone();
+                    if i % 3 == 0 { decl.with_weight(-1.5 - i as f64) } else { decl }
+                })
+                .collect()
+        } else {
+            env
+        };
+        let config = SynthesisConfig::unbounded().with_max_depth(3);
+        let query = |n: usize| Query::new(goal.clone()).with_n(n);
+
+        let engine = Engine::new(config.clone());
+        let session = engine.prepare(&env);
+        let first = session.query(&query(a));
+        prop_assert!(!first.stats.resumed);
+        let resumed = session.query(&query(a + b));
+        prop_assert!(resumed.stats.resumed, "the second query must resume the parked walk");
+        prop_assert_eq!(engine.graph_build_count(), 1, "resume must not rebuild the graph");
+
+        let oneshot = Engine::new(config).prepare(&env).query(&query(a + b));
+        prop_assert!(!oneshot.stats.resumed);
+        prop_assert_eq!(result_key(&resumed), result_key(&oneshot));
+        prop_assert_eq!(stats_key(&resumed), stats_key(&oneshot));
+        prop_assert_eq!(resumed.stats.has_more, oneshot.stats.has_more);
+        if negative == 1 {
+            prop_assert!(!resumed.stats.astar, "negative overrides must exercise the fallback");
+        }
+
+        // The first page is a prefix of the one-shot enumeration.
+        let prefix_len = first.snippets.len();
+        prop_assert_eq!(result_key(&first), result_key(&oneshot)[..prefix_len].to_vec());
     }
 
     #[test]

@@ -333,3 +333,172 @@ fn sessions_prepared_from_one_engine_are_independent() {
         tiny_result.stats.initial_declarations
     );
 }
+
+#[test]
+fn growing_n_resumes_the_suspended_walk_without_replaying() {
+    let engine = Engine::new(SynthesisConfig::default());
+    let session = engine.prepare(&io_point_env());
+    let query = |n| Query::new(Ty::base("SequenceInputStream")).with_n(n);
+
+    let ten = session.query(&query(10));
+    assert!(!ten.stats.resumed, "first query starts from scratch");
+    assert_eq!(
+        ten.stats.reconstruction_new_steps,
+        ten.stats.reconstruction_steps
+    );
+    assert!(
+        ten.stats.has_more,
+        "the IO point offers more than ten terms"
+    );
+    assert_eq!(engine.suspended_walk_count(), 1);
+
+    let twenty = session.query(&query(20));
+    assert!(
+        twenty.stats.resumed,
+        "the grown query resumes the parked walk"
+    );
+    assert_eq!(engine.graph_build_count(), 1, "resume rebuilds nothing");
+    assert!(
+        twenty.stats.reconstruction_new_steps < twenty.stats.reconstruction_steps,
+        "a resumed walk pays only the delta"
+    );
+
+    // Byte-identical to a from-scratch n=20 on a cold engine, cumulative
+    // search statistics included.
+    let scratch = Engine::new(SynthesisConfig::default())
+        .prepare(&io_point_env())
+        .query(&query(20));
+    assert!(!scratch.stats.resumed);
+    assert_eq!(fingerprint(&twenty), fingerprint(&scratch));
+    assert_eq!(
+        twenty.stats.reconstruction_steps,
+        scratch.stats.reconstruction_steps
+    );
+    assert_eq!(fingerprint(&ten), fingerprint(&scratch)[..10].to_vec());
+}
+
+#[test]
+fn term_streams_paginate_deterministically_and_match_query() {
+    let engine = Engine::new(SynthesisConfig::default());
+    let session = engine.prepare(&io_point_env());
+    let query = Query::new(Ty::base("SequenceInputStream")).with_n(4);
+
+    let first: Vec<_> = session.query_stream(&query).take(4).collect();
+    assert_eq!(first.len(), 4);
+
+    // A second stream resumes the suspended walk and replays the identical
+    // prefix; dropping streams mid-iteration never perturbs later answers.
+    let mut second_stream = session.query_stream(&query);
+    assert!(second_stream.resumed());
+    assert!(second_stream.has_more());
+    let second: Vec<_> = second_stream.by_ref().take(4).collect();
+    assert_eq!(first, second);
+    assert!(
+        second_stream.has_more(),
+        "the IO point offers more than four terms"
+    );
+    drop(second_stream);
+
+    // The classic API sees the same terms, weights and order.
+    let result = session.query(&query);
+    assert_eq!(result.snippets.len(), 4);
+    for (ranked, snippet) in first.iter().zip(&result.snippets) {
+        assert_eq!(ranked.term.to_string(), snippet.raw_term.to_string());
+        assert_eq!(
+            ranked.weight.value().to_bits(),
+            snippet.weight.value().to_bits()
+        );
+    }
+    assert!(result.stats.resumed);
+    assert_eq!(
+        result.stats.reconstruction_new_steps, 0,
+        "a fully warmed walk serves n=4 from its emission log"
+    );
+}
+
+#[test]
+fn unrelated_edit_carries_the_suspended_walk_across_update() {
+    let mut env = tiny_env();
+    env.push(Declaration::simple(
+        "gadget",
+        Ty::base("Gadget"),
+        DeclKind::Local,
+    ));
+    let engine = Engine::new(SynthesisConfig::default());
+    let session = engine.prepare(&env);
+    let query = Query::new(Ty::base("A")).with_n(6);
+    let before = session.query(&query);
+    assert!(!before.stats.resumed);
+    assert_eq!(engine.graph_build_count(), 1);
+    assert_eq!(engine.suspended_walk_count(), 1);
+
+    // Appending another Gadget cannot reach the A-walk: the A exploration
+    // never requests Gadget, so the graph — suspended walk included —
+    // carries over to the edited point.
+    let delta = EnvDelta::new().add(Declaration::simple(
+        "gadget2",
+        Ty::base("Gadget"),
+        DeclKind::Imported,
+    ));
+    let updated = session.update(&delta);
+    let after = updated.query(&query);
+    assert_eq!(engine.graph_build_count(), 1, "graph carried, not rebuilt");
+    assert!(
+        after.stats.resumed,
+        "the suspended walk rode along with the carried graph"
+    );
+    assert_eq!(
+        after.stats.reconstruction_new_steps, 0,
+        "same n: the resumed walk serves its emission log without popping"
+    );
+    assert_eq!(fingerprint(&after), fingerprint(&before));
+
+    // Identical to a fresh preparation of the edited environment.
+    let fresh = Engine::new(SynthesisConfig::default())
+        .prepare(&delta.apply(session.env()))
+        .query(&query);
+    assert_eq!(fingerprint(&after), fingerprint(&fresh));
+}
+
+#[test]
+fn reaching_edit_drops_the_suspended_walk() {
+    let engine = Engine::new(SynthesisConfig::default());
+    let session = engine.prepare(&tiny_env());
+    let query = Query::new(Ty::base("A")).with_n(5);
+    let before = session.query(&query);
+    assert_eq!(engine.graph_build_count(), 1);
+    assert_eq!(engine.suspended_walk_count(), 1);
+
+    // A new producer of the walk's goal type reaches the graph: the edited
+    // session must rebuild and must NOT resume the stale frontier.
+    let delta = EnvDelta::new().add(Declaration::simple(
+        "t",
+        Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+        DeclKind::Local,
+    ));
+    let updated = session.update(&delta);
+    let after = updated.query(&query);
+    assert_eq!(
+        engine.graph_build_count(),
+        2,
+        "the reaching edit forces a rebuild"
+    );
+    assert!(
+        !after.stats.resumed,
+        "no stale resume across a reaching edit"
+    );
+    let fresh = Engine::new(SynthesisConfig::default())
+        .prepare(&delta.apply(session.env()))
+        .query(&query);
+    assert_eq!(fingerprint(&after), fingerprint(&fresh));
+    assert_ne!(
+        fingerprint(&after),
+        fingerprint(&before),
+        "the new producer changes the suggestions"
+    );
+
+    // The original session's walk is untouched and still resumes.
+    let again = session.query(&query);
+    assert!(again.stats.resumed);
+    assert_eq!(fingerprint(&again), fingerprint(&before));
+}
