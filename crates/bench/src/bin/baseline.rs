@@ -1,7 +1,7 @@
 //! Regenerates `BENCH_BASELINE.json`: recorded reference numbers for the
 //! `env_scaling` (benches/phases.rs), `sigma_prepare` (benches/compression.rs),
-//! `session_amortization`, `cross_point`, `gent_ablation`, `genp_ablation`
-//! and `resume_walk` benchmark workloads.
+//! `session_amortization`, `cross_point`, `gent_ablation`, `genp_ablation`,
+//! `resume_walk` and `server_roundtrip` benchmark workloads.
 //!
 //! The vendored criterion stand-in only prints to stdout, so this binary
 //! re-measures the same workloads with the same scheme (warm-up calibration,
@@ -55,6 +55,14 @@
 //!   walk replay) vs kept parked (the steady-state pagination path, which
 //!   serves the emission log without popping the frontier).
 //!
+//! Server entries (the completion-server PR):
+//!
+//! * `server_roundtrip/complete_warm` — one warm `completion/complete`
+//!   through the full `insynth_server` stack (line parse, dispatch, engine
+//!   query, response serialization) on filler-4; the gap to
+//!   `session_amortization/query_on_prepared_session` is the per-request
+//!   protocol overhead.
+//!
 //! `--check [path]` instead runs the perf smoke test CI executes on every
 //! push:
 //!
@@ -69,7 +77,12 @@
 //!    session must resume the suspended walk: zero extra graph builds,
 //!    strictly fewer new pops than a from-scratch `n=20`, byte-identical
 //!    answers;
-//! 4. a **timing-ratio gate** — re-measures the two `session_amortization`
+//! 4. a **deterministic scripted-session gate** — the server integration
+//!    test's stdio script must replay byte-identically on two fresh servers
+//!    and report exactly the expected cache-hit counters (2 σ runs, 2 graph
+//!    builds, 2 resumed walks, 1 cancelled request) in its final
+//!    `server/stats` reply;
+//! 5. a **timing-ratio gate** — re-measures the two `session_amortization`
 //!    query workloads and fails if the graph pipeline's speedup over the
 //!    unindexed pipeline shrank more than 25% against the recorded ratio.
 //!    A single noisy measurement window must not fail CI, so a breach is
@@ -88,6 +101,7 @@ use insynth_core::{
     Query, SynthesisConfig, TypeEnv, WeightConfig,
 };
 use insynth_lambda::Ty;
+use insynth_server::{env_to_json, serve_script, Json, Server, ServerConfig};
 use insynth_succinct::TypeStore;
 
 /// Rough wall-clock budget per sample (mirrors the vendored criterion).
@@ -171,6 +185,12 @@ fn unindexed_query(
 fn amortization_goal() -> Ty {
     Ty::base("SequenceInputStream")
 }
+
+/// The scripted stdio session of `crates/server/tests/server.rs`, shared
+/// verbatim (one source of truth): the `--check` scripted-session gate
+/// replays it through the production transport and holds its final
+/// `server/stats` counters to the expected cache economics.
+const SESSION_SCRIPT: &str = include_str!("../../../server/tests/data/script.jsonl");
 
 /// Four structurally equal program points (clones plus a declaration-order
 /// permutation of `env`) asking `goal` — the cross-point batch workload, and
@@ -498,6 +518,61 @@ fn main() {
         });
     }
 
+    // server_roundtrip: one warm `completion/complete` through the full
+    // server stack (line parse → dispatch → engine query resuming the
+    // parked walk → response serialization) on the filler-4 environment.
+    // The gap to session_amortization/query_on_prepared_session is the
+    // protocol overhead an editor pays per keystroke.
+    {
+        let env = phases_environment(4);
+        let env_size = env.len();
+        let server = Server::new(
+            Engine::new(SynthesisConfig::default()),
+            ServerConfig::default(),
+        );
+        let open = Json::object([
+            ("id", Json::from(1u64)),
+            ("method", Json::from("env/open")),
+            ("params", Json::object([("env", env_to_json(&env))])),
+        ]);
+        let opened = server.handle_line(&open.to_string());
+        assert!(
+            opened.get("result").is_some(),
+            "env/open failed in server_roundtrip setup: {opened}"
+        );
+        let complete = Json::object([
+            ("id", Json::from(2u64)),
+            ("method", Json::from("completion/complete")),
+            (
+                "params",
+                Json::object([
+                    ("session", Json::from(1u64)),
+                    ("goal", Json::from("SequenceInputStream")),
+                ]),
+            ),
+        ])
+        .to_string();
+        // Warm the graph cache and park the walk, as in a live session.
+        let warmed = server.handle_line(&complete);
+        assert!(
+            warmed.get("result").is_some(),
+            "completion/complete failed in server_roundtrip setup: {warmed}"
+        );
+        eprintln!("measuring server_roundtrip/complete_warm/{env_size} …");
+        let (samples, iters, min, median, mean) = measure(10, || server.handle_line(&complete));
+        measurements.push(Measurement {
+            bench: "server",
+            group: "server_roundtrip",
+            id: "complete_warm".to_owned(),
+            env_size,
+            samples,
+            iters_per_sample: iters,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        });
+    }
+
     // sigma_prepare: σ-lowering + index construction alone — mirrors
     // benches/compression.rs.
     for filler in [0usize, 4, 8, 16] {
@@ -522,7 +597,7 @@ fn main() {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
-        "  \"_note\": \"Reference timings for the env_scaling, session_amortization, cross_point, gent_ablation, genp_ablation, resume_walk and sigma_prepare benchmark workloads. Wall-clock, machine-specific; regenerate on the machine you compare on with: cargo run --release -p insynth_bench --bin baseline. CI perf smoke: baseline --check fails when a query_batch over 4 structurally equal points stops reporting exactly 1 prepare + 1 graph build, when the A* walk stops cutting filler-4 queue pops 2x vs the best-first walk, when growing n=10 into n=20 on a warm session stops resuming the suspended walk (extra graph builds, or not strictly fewer pops than a from-scratch n=20, or diverging answers), or when the session_amortization query speedup regresses >25% vs this file in two consecutive measurement windows.\",\n",
+        "  \"_note\": \"Reference timings for the env_scaling, session_amortization, cross_point, gent_ablation, genp_ablation, resume_walk, server_roundtrip and sigma_prepare benchmark workloads. Wall-clock, machine-specific; regenerate on the machine you compare on with: cargo run --release -p insynth_bench --bin baseline. CI perf smoke: baseline --check fails when a query_batch over 4 structurally equal points stops reporting exactly 1 prepare + 1 graph build, when the A* walk stops cutting filler-4 queue pops 2x vs the best-first walk, when growing n=10 into n=20 on a warm session stops resuming the suspended walk (extra graph builds, or not strictly fewer pops than a from-scratch n=20, or diverging answers), when the scripted server session stops being byte-stable or stops reporting its expected cache-hit counters (2 prepares, 2 graph builds, 2 resumed walks, 1 cancelled request), or when the session_amortization query speedup regresses >25% vs this file in two consecutive measurement windows.\",\n",
     );
     out.push_str(
         "  \"_measurement\": \"per-iteration nanoseconds; warm-up-calibrated samples of batched iterations, as in vendor/criterion (min/median/mean only)\",\n",
@@ -637,14 +712,15 @@ fn run_check(path: &str) -> i32 {
     let engine = Engine::new(SynthesisConfig::default());
     let requests = cross_point_requests(&env, &goal);
     let batched = engine.query_batch(&requests);
+    let cross_point_stats = engine.stats();
     println!(
         "cross-point batch over {} structurally equal points: {} σ run(s), {} graph build(s) \
          (gate requires exactly 1 of each)",
         requests.len(),
-        engine.prepare_count(),
-        engine.graph_build_count(),
+        cross_point_stats.prepare_count,
+        cross_point_stats.graph_build_count,
     );
-    if engine.prepare_count() != 1 || engine.graph_build_count() != 1 {
+    if cross_point_stats.prepare_count != 1 || cross_point_stats.graph_build_count != 1 {
         println!(
             "PERF REGRESSION: structurally equal program points no longer share one \
              preparation and one derivation graph"
@@ -687,7 +763,7 @@ fn run_check(path: &str) -> i32 {
     let engine = Engine::new(SynthesisConfig::default());
     let session = engine.prepare(&env);
     let ten = session.query(&Query::new(goal.clone()).with_n(10));
-    let builds_after_ten = engine.graph_build_count();
+    let builds_after_ten = engine.stats().graph_build_count;
     let resumed = session.query(&Query::new(goal.clone()).with_n(20));
     engine.clear_suspended_walks();
     let scratch = session.query(&Query::new(goal.clone()).with_n(20));
@@ -697,9 +773,9 @@ fn run_check(path: &str) -> i32 {
         resumed.stats.reconstruction_new_steps,
         ten.stats.reconstruction_steps,
         scratch.stats.reconstruction_steps,
-        engine.graph_build_count() - builds_after_ten,
+        engine.stats().graph_build_count - builds_after_ten,
     );
-    if engine.graph_build_count() != builds_after_ten {
+    if engine.stats().graph_build_count != builds_after_ten {
         println!("PERF REGRESSION: growing n rebuilt the derivation graph instead of reusing it");
         return 1;
     }
@@ -731,7 +807,74 @@ fn run_check(path: &str) -> i32 {
         return 1;
     }
 
-    // Gate 3 — query-time ratio, re-measured once on a breach.
+    // Gate 3 — scripted server session, deterministic: the stdio script the
+    // server integration test drives (open → complete → paginate → update →
+    // complete → cancel → stats → close) must produce a byte-identical
+    // transcript on two fresh servers, and its final `server/stats` reply
+    // must report exactly the expected cache economics — 2 σ runs and 2
+    // graph builds for the whole session (the paginated continuation and
+    // the post-cancel query ride the caches), 2 resumed walks, 1 cancelled
+    // request. Counter drift here means a cache stopped being hit on the
+    // server path even if the library-level gates above still pass.
+    let serve = || {
+        let server = Server::new(
+            Engine::new(SynthesisConfig::default()),
+            ServerConfig::default(),
+        );
+        serve_script(&server, SESSION_SCRIPT)
+    };
+    let transcript = serve();
+    if transcript != serve() {
+        println!("PERF REGRESSION: the scripted server session is no longer byte-stable");
+        return 1;
+    }
+    let stats_line = &transcript[transcript.len() - 3]; // stats precedes close + parse error
+    let stats = insynth_server::parse_json(stats_line).expect("stats reply is JSON");
+    let counter = |path: &[&str]| -> Option<u64> {
+        let mut cur = stats.get("result")?;
+        for key in path {
+            cur = cur.get(key)?;
+        }
+        cur.as_u64()
+    };
+    let observed = [
+        (
+            "engine prepare_count",
+            counter(&["engine", "prepare_count"]),
+            2,
+        ),
+        (
+            "engine graph_build_count",
+            counter(&["engine", "graph_build_count"]),
+            2,
+        ),
+        (
+            "resumed completions",
+            counter(&["completions", "resumed"]),
+            2,
+        ),
+        (
+            "cancelled completions",
+            counter(&["completions", "cancelled"]),
+            1,
+        ),
+    ];
+    println!(
+        "scripted server session: prepare {:?}, graph builds {:?}, resumed {:?}, cancelled {:?} \
+         (gate requires 2/2/2/1)",
+        observed[0].1, observed[1].1, observed[2].1, observed[3].1,
+    );
+    for (what, got, want) in observed {
+        if got != Some(want) {
+            println!(
+                "PERF REGRESSION: the scripted server session reports {what} = {got:?}, \
+                 expected {want} — a server-path cache stopped being hit"
+            );
+            return 1;
+        }
+    }
+
+    // Gate 4 — query-time ratio, re-measured once on a breach.
     let (query_median, unindexed_median, first_ratio) = measure_query_ratio(&env, &goal);
     println!(
         "graph query median {query_median} ns, unindexed reference median {unindexed_median} ns: \

@@ -19,6 +19,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -30,6 +31,40 @@ use crate::genp::PatternSet;
 use crate::pexpr::{replace_first_hole, unlink_on_drop, PartialExpr};
 use crate::prepare::PreparedEnv;
 use crate::weights::{Weight, WeightConfig};
+
+/// A cooperative cancellation flag for in-flight reconstruction walks.
+///
+/// Cloning is cheap and clones share the flag (it is an
+/// `Arc<AtomicBool>` underneath): hand one clone to the walk — via
+/// [`Query::with_cancel_token`](crate::Query::with_cancel_token) or
+/// [`GenerateLimits::cancel`] — and keep another to [`cancel`] from any
+/// thread. The walk checks the flag between priority-queue pops, so a
+/// cancelled walk stops at the next pop boundary with its frontier intact
+/// (the popped entry is re-pushed), reports itself truncated, and emits
+/// nothing further. Cancellation is *sticky*: a token never un-cancels, and a
+/// walk opened with an already-cancelled token stops before its first pop.
+///
+/// [`cancel`]: CancelToken::cancel
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Every walk holding a clone of this token stops at
+    /// its next pop boundary.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`CancelToken::cancel`] was called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// Budgets bounding the reconstruction phase.
 #[derive(Debug, Clone)]
@@ -48,6 +83,9 @@ pub struct GenerateLimits {
     /// emitted. Configurable mainly so tests can exercise the truncation path
     /// without building a multi-million-entry frontier.
     pub max_frontier: usize,
+    /// Cooperative cancellation, checked between pops. `None` (the default)
+    /// never cancels.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for GenerateLimits {
@@ -57,6 +95,7 @@ impl Default for GenerateLimits {
             time_limit: None,
             max_depth: None,
             max_frontier: MAX_FRONTIER,
+            cancel: None,
         }
     }
 }
@@ -263,6 +302,12 @@ pub fn generate_terms_unindexed(
         }
         if let Some(limit) = limits.time_limit {
             if start.elapsed() > limit {
+                outcome.truncated = true;
+                break;
+            }
+        }
+        if let Some(cancel) = &limits.cancel {
+            if cancel.is_cancelled() {
                 outcome.truncated = true;
                 break;
             }

@@ -1092,7 +1092,7 @@ fn walk(
 
     outcome.steps = state.steps;
     outcome.pruned_enqueues = state.pruned_enqueues;
-    outcome.truncated = state.truncated || state.time_truncated;
+    outcome.truncated = state.truncated || state.time_truncated || state.cancelled;
     outcome.terms = state.emitted.into_iter().map(|e| e.term).collect();
     outcome
 }
@@ -1159,6 +1159,7 @@ pub(crate) struct WalkState {
     emitted: Vec<EmittedTerm>,
     truncated: bool,
     time_truncated: bool,
+    cancelled: bool,
     exhausted: bool,
     astar: bool,
     /// Whether this walk runs in the graph's natural mode and therefore
@@ -1239,6 +1240,7 @@ impl WalkState {
             emitted: Vec::new(),
             truncated: false,
             time_truncated: false,
+            cancelled: false,
             exhausted: false,
             astar,
             persist,
@@ -1277,6 +1279,15 @@ impl WalkState {
     /// state may have lost part of an expansion and must never be resumed.
     pub(crate) fn time_truncated(&self) -> bool {
         self.time_truncated
+    }
+
+    /// `true` once a [`CancelToken`](crate::CancelToken) stopped the walk.
+    /// The stop happens at a pop boundary (the popped entry is re-pushed),
+    /// so the frontier itself stays consistent — but *when* the flag landed
+    /// is a property of the moment, so the session layer treats a cancelled
+    /// state like a time-truncated one and never persists it.
+    pub(crate) fn cancelled(&self) -> bool {
+        self.cancelled
     }
 
     /// `true` once the frontier drained: the emission log is the complete
@@ -1333,6 +1344,13 @@ impl WalkState {
                 if leg_start.elapsed() > limit {
                     self.queue.push(entry);
                     self.time_truncated = true;
+                    return None;
+                }
+            }
+            if let Some(cancel) = &limits.cancel {
+                if cancel.is_cancelled() {
+                    self.queue.push(entry);
+                    self.cancelled = true;
                     return None;
                 }
             }

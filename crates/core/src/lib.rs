@@ -99,12 +99,16 @@ pub use coerce::{
 pub use decl::{DeclKind, Declaration, TypeEnv};
 pub use explore::{explore, ExploreLimits, SearchSpace};
 pub use genp::{generate_patterns, generate_patterns_naive, PatternSet};
-pub use gent::{generate_terms_unindexed, GenerateLimits, GenerateOutcome, RankedTerm};
+pub use gent::{
+    generate_terms_unindexed, CancelToken, GenerateLimits, GenerateOutcome, RankedTerm,
+};
 pub use graph::{generate_terms, generate_terms_best_first, DerivationGraph, HoleTyId};
 pub use insynth_succinct::EnvFingerprint;
 pub use prepare::PreparedEnv;
 pub use rcn::{is_inhabited_ref, rcn};
-pub use session::{BatchRequest, Engine, EnvDelta, Query, Session, TermStream};
+pub use session::{
+    BatchRequest, Engine, EngineStatsSnapshot, EnvDelta, Query, Session, TermStream,
+};
 #[allow(deprecated)]
 pub use synth::Synthesizer;
 pub use synth::{PhaseTimings, Snippet, SynthesisConfig, SynthesisResult, SynthesisStats};

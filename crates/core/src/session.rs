@@ -90,7 +90,7 @@ use crate::coerce::{count_coercions, erase_coercions};
 use crate::decl::{Declaration, TypeEnv};
 use crate::explore::{explore, ExploreLimits};
 use crate::genp::generate_patterns;
-use crate::gent::{GenerateLimits, RankedTerm};
+use crate::gent::{CancelToken, GenerateLimits, RankedTerm};
 use crate::graph::{lock_recovering, DerivationGraph, WalkState};
 use crate::prepare::PreparedEnv;
 use crate::synth::{PhaseTimings, Snippet, SynthesisConfig, SynthesisResult, SynthesisStats};
@@ -109,6 +109,29 @@ use crate::weights::WeightConfig;
 pub struct Engine {
     config: SynthesisConfig,
     cache: Arc<ArtifactCache>,
+}
+
+/// One coherent snapshot of the engine's counters and cache sizes, as
+/// returned by [`Engine::stats`].
+///
+/// The two work counters are cumulative over the engine's lifetime (shared
+/// across clones); the three sizes are instantaneous. Comparing snapshots
+/// taken before and after a workload gives the cache economics of exactly
+/// that workload: `prepare` calls minus the `prepare_count` delta is the
+/// point-cache hit count, and likewise for graph builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStatsSnapshot {
+    /// σ-lowering runs performed (full preparations plus incremental delta
+    /// re-preparations).
+    pub prepare_count: usize,
+    /// Derivation-graph builds across every session of this engine.
+    pub graph_build_count: usize,
+    /// Prepared program points currently cached.
+    pub cached_point_count: usize,
+    /// Derivation-graph artifacts currently cached.
+    pub cached_graph_count: usize,
+    /// Suspended walk states currently parked across the cached graphs.
+    pub suspended_walk_count: usize,
 }
 
 impl Default for Engine {
@@ -230,6 +253,31 @@ impl Engine {
             .filter_map(|slot| slot.value.cell.get())
             .map(|artifacts| artifacts.suspended_walk_count())
             .sum()
+    }
+
+    /// Number of derivation-graph artifacts currently cached (bounded by
+    /// [`SynthesisConfig::graph_cache_capacity`]).
+    pub fn cached_graph_count(&self) -> usize {
+        self.cache.read_graphs().len()
+    }
+
+    /// One coherent snapshot of every engine-level counter and cache size.
+    ///
+    /// The work counters (`prepare_count`, `graph_build_count`) are
+    /// monotone; the cache sizes are instantaneous and bounded by the
+    /// corresponding [`SynthesisConfig`] capacities. Gates that compare
+    /// cache economics across runs (the bench harness, the server's
+    /// `server/stats` reply) should read this struct rather than stitching
+    /// together individual getters, which could interleave with concurrent
+    /// queries.
+    pub fn stats(&self) -> EngineStatsSnapshot {
+        EngineStatsSnapshot {
+            prepare_count: self.prepare_count(),
+            graph_build_count: self.graph_build_count(),
+            cached_point_count: self.cached_point_count(),
+            cached_graph_count: self.cached_graph_count(),
+            suspended_walk_count: self.suspended_walk_count(),
+        }
     }
 
     /// Drops every suspended walk state parked on the engine's cached
@@ -504,6 +552,7 @@ pub struct Query {
     max_reconstruction_steps: Option<usize>,
     max_depth: Option<Option<usize>>,
     erase_coercions: Option<bool>,
+    cancel: Option<CancelToken>,
 }
 
 impl Query {
@@ -520,6 +569,7 @@ impl Query {
             max_reconstruction_steps: None,
             max_depth: None,
             erase_coercions: None,
+            cancel: None,
         }
     }
 
@@ -592,6 +642,15 @@ impl Query {
     /// snippets.
     pub fn with_erase_coercions(mut self, erase: bool) -> Self {
         self.erase_coercions = Some(erase);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token, checked between
+    /// reconstruction pops. A query whose token fires stops early and
+    /// reports `truncated`; the interrupted walk state is discarded rather
+    /// than parked, so later queries under the same budgets start clean.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -1219,7 +1278,7 @@ impl Session {
                 let artifacts = Arc::new(build_artifacts(&point, &config, &query.goal));
                 let decls = point.env.len();
                 let distinct = point.prepared.distinct_succinct_types();
-                return TermStream::open(artifacts, config, decls, distinct);
+                return TermStream::open(artifacts, config, decls, distinct, query.cancel.clone());
             }
         }
 
@@ -1264,7 +1323,7 @@ impl Session {
         };
         let decls = self.point.env.len();
         let distinct = self.point.prepared.distinct_succinct_types();
-        TermStream::open(artifacts, config, decls, distinct)
+        TermStream::open(artifacts, config, decls, distinct, query.cancel.clone())
     }
 
     /// Derives a session for the environment obtained by applying `delta` to
@@ -1568,11 +1627,13 @@ impl TermStream {
         config: SynthesisConfig,
         session_decls: usize,
         session_distinct: usize,
+        cancel: Option<CancelToken>,
     ) -> TermStream {
         let limits = GenerateLimits {
             max_steps: config.max_reconstruction_steps,
             time_limit: config.reconstruction_time_limit,
             max_depth: config.max_depth,
+            cancel,
             ..GenerateLimits::default()
         };
         let key = StreamKey::of(&config);
@@ -1662,7 +1723,10 @@ impl TermStream {
         } else if let Some(nth) = emitted.get(n - 1) {
             (nth.steps, nth.truncated)
         } else {
-            (state.steps(), state.truncated() || state.time_truncated())
+            (
+                state.steps(),
+                state.truncated() || state.time_truncated() || state.cancelled(),
+            )
         };
 
         SynthesisResult {
@@ -1721,7 +1785,10 @@ impl Drop for TermStream {
             // Fold this walk's memo/expansion discoveries into the graph's
             // shared caches regardless of whether the state itself is kept.
             state.sync_caches_into(&self.artifacts.graph);
-            if !state.time_truncated() {
+            // Cancelled walks are a property of the moment too: the frontier
+            // is intact, but persisting one would let an aborted request
+            // leak its partial trajectory into later queries' stats.
+            if !state.time_truncated() && !state.cancelled() {
                 self.artifacts.checkin_walk(
                     self.key.clone(),
                     state,
@@ -2235,6 +2302,84 @@ mod tests {
             assert_eq!(*v, i * 2);
         }
         assert!(run_indexed(0, 8, |i| i).is_empty());
+    }
+
+    #[test]
+    fn pre_cancelled_query_stops_early_and_reports_truncated() {
+        let engine = Engine::new(SynthesisConfig::default());
+        let session = engine.prepare(&env_b());
+        let token = CancelToken::new();
+        token.cancel();
+        let result = session.query(
+            &Query::new(Ty::base("A"))
+                .with_n(50)
+                .with_cancel_token(token),
+        );
+        // The walk observes the flag before its first pop: no terms, and the
+        // stop is reported as truncation.
+        assert!(result.snippets.is_empty());
+        assert!(result.stats.truncated);
+        assert_eq!(result.stats.reconstruction_new_steps, 0);
+
+        // The cancelled walk state is not parked; an uncancelled query under
+        // the same budgets starts clean and serves normally.
+        assert_eq!(engine.suspended_walk_count(), 0);
+        let clean = session.query(&Query::new(Ty::base("A")).with_n(3));
+        assert_eq!(clean.snippets.len(), 3);
+        assert!(!clean.stats.resumed, "no cancelled state to resume");
+        assert!(!clean.stats.truncated);
+    }
+
+    #[test]
+    fn mid_flight_cancellation_stops_the_stream_between_pops() {
+        let engine = Engine::new(SynthesisConfig::default());
+        let session = engine.prepare(&env_b());
+        let token = CancelToken::new();
+        let mut stream =
+            session.query_stream(&Query::new(Ty::base("A")).with_cancel_token(token.clone()));
+        // Pull a couple of terms, then fire the flag: the very next pop
+        // boundary observes it and the stream ends.
+        assert!(stream.next().is_some());
+        assert!(stream.next().is_some());
+        token.cancel();
+        assert!(stream.next().is_none());
+        assert!(
+            stream.has_more(),
+            "cancellation is not exhaustion — the frontier is intact"
+        );
+        drop(stream);
+        assert_eq!(
+            engine.suspended_walk_count(),
+            0,
+            "cancelled walks are never parked"
+        );
+    }
+
+    #[test]
+    fn engine_stats_snapshot_tracks_counters_and_cache_sizes() {
+        let engine = Engine::new(SynthesisConfig::default());
+        assert_eq!(engine.stats(), EngineStatsSnapshot::default());
+
+        let session = engine.prepare(&env_b());
+        let result = session.query(&Query::new(Ty::base("A")).with_n(2));
+        assert!(result.stats.has_more);
+        let stats = engine.stats();
+        assert_eq!(stats.prepare_count, 1);
+        assert_eq!(stats.graph_build_count, 1);
+        assert_eq!(stats.cached_point_count, 1);
+        assert_eq!(stats.cached_graph_count, 1);
+        assert_eq!(stats.suspended_walk_count, 1);
+        assert_eq!(stats, engine.stats(), "snapshots are stable at rest");
+
+        // A second point moves every field the way the individual getters do.
+        engine
+            .prepare(&env_a())
+            .query(&Query::new(Ty::base("File")));
+        let grown = engine.stats();
+        assert_eq!(grown.prepare_count, 2);
+        assert_eq!(grown.graph_build_count, 2);
+        assert_eq!(grown.cached_point_count, 2);
+        assert_eq!(grown.cached_graph_count, 2);
     }
 
     #[test]

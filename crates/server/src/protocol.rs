@@ -1,0 +1,396 @@
+//! The wire protocol: request envelopes, error codes, and the JSON codecs
+//! for the engine's domain types.
+//!
+//! One request object per line in, one response object per line out:
+//!
+//! ```text
+//! {"id": 1, "method": "env/open", "params": {"env": [...]}}
+//! {"id": 1, "result": {"session": 1, ...}}
+//! ```
+//!
+//! Responses are `{"id", "result"}` or `{"id", "error": {"code", "message"}}`.
+//! Error codes follow JSON-RPC's reserved ranges where a standard code
+//! exists; server-specific conditions use the `-32000..=-32099` band.
+//!
+//! The `completion/complete` result deliberately mirrors MCP's
+//! `completion/complete` shape (`values`, `total`, `hasMore` — spelled
+//! `has_more` here): a page of values plus a continuation signal, with the
+//! cursor addressing the suspended-walk resume path.
+
+use insynth_core::{DeclKind, Declaration, EnvDelta, TypeEnv};
+use insynth_lambda::Ty;
+
+use crate::json::Json;
+
+/// The line was not valid JSON.
+pub const PARSE_ERROR: i64 = -32700;
+/// The line was JSON but not a valid request envelope.
+pub const INVALID_REQUEST: i64 = -32600;
+/// Unknown `method`.
+pub const METHOD_NOT_FOUND: i64 = -32601;
+/// Missing or ill-typed `params` member.
+pub const INVALID_PARAMS: i64 = -32602;
+/// The named session id is not open.
+pub const SESSION_NOT_FOUND: i64 = -32000;
+/// The request was cancelled via `$/cancel` (before or during execution).
+pub const CANCELLED: i64 = -32001;
+/// Admission control refused the request (queue depth exceeded).
+pub const OVERLOADED: i64 = -32002;
+/// `env/open` beyond the configured session-table capacity.
+pub const SESSION_LIMIT: i64 = -32003;
+
+/// A protocol-level failure, rendered as the `error` member of a response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    pub code: i64,
+    pub message: String,
+}
+
+impl ProtocolError {
+    pub fn new(code: i64, message: impl Into<String>) -> Self {
+        ProtocolError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    pub fn invalid_params(message: impl Into<String>) -> Self {
+        ProtocolError::new(INVALID_PARAMS, message)
+    }
+
+    pub fn cancelled() -> Self {
+        ProtocolError::new(CANCELLED, "request cancelled")
+    }
+}
+
+/// A structurally valid request: integer id, method name, optional params.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    pub id: u64,
+    pub method: String,
+    pub params: Json,
+}
+
+/// Validates the request envelope. Absent `params` decodes as an empty
+/// object so handlers can uniformly `get` optional fields.
+pub fn parse_request(value: &Json) -> Result<Request, ProtocolError> {
+    let id = value
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ProtocolError::new(INVALID_REQUEST, "missing integer \"id\""))?;
+    let method = value
+        .get("method")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::new(INVALID_REQUEST, "missing string \"method\""))?
+        .to_string();
+    let params = match value.get("params") {
+        None => Json::Obj(Vec::new()),
+        Some(p @ Json::Obj(_)) => p.clone(),
+        Some(_) => {
+            return Err(ProtocolError::new(
+                INVALID_REQUEST,
+                "\"params\" must be an object",
+            ))
+        }
+    };
+    Ok(Request { id, method, params })
+}
+
+/// Builds a success response line.
+pub fn response_ok(id: u64, result: Json) -> Json {
+    Json::object([("id", Json::from(id)), ("result", result)])
+}
+
+/// Builds an error response line. `id` is `None` when the failing line
+/// never yielded a usable id (parse errors).
+pub fn response_err(id: Option<u64>, error: &ProtocolError) -> Json {
+    let id = id.map(Json::from).unwrap_or(Json::Null);
+    Json::object([
+        ("id", id),
+        (
+            "error",
+            Json::object([
+                ("code", Json::Num(error.code as f64)),
+                ("message", Json::from(error.message.as_str())),
+            ]),
+        ),
+    ])
+}
+
+/// Encodes a type: base types as their name, arrows as
+/// `{"args": [...], "ret": ...}` with the argument list in source order.
+pub fn ty_to_json(ty: &Ty) -> Json {
+    match ty {
+        Ty::Base(name) => Json::from(name.as_str()),
+        Ty::Arrow(..) => {
+            let mut args = Vec::new();
+            let mut cur = ty;
+            while let Ty::Arrow(arg, rest) = cur {
+                args.push(ty_to_json(arg));
+                cur = rest;
+            }
+            Json::object([("args", Json::Arr(args)), ("ret", ty_to_json(cur))])
+        }
+    }
+}
+
+/// Decodes a type from the wire shape produced by [`ty_to_json`].
+pub fn ty_from_json(value: &Json) -> Result<Ty, ProtocolError> {
+    match value {
+        Json::Str(name) if !name.is_empty() => Ok(Ty::base(name.as_str())),
+        Json::Obj(_) => {
+            let args = value
+                .get("args")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| ProtocolError::invalid_params("arrow type needs \"args\" array"))?
+                .iter()
+                .map(ty_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            let ret = ty_from_json(
+                value
+                    .get("ret")
+                    .ok_or_else(|| ProtocolError::invalid_params("arrow type needs \"ret\""))?,
+            )?;
+            Ok(Ty::fun(args, ret))
+        }
+        _ => Err(ProtocolError::invalid_params(
+            "type must be a name or {\"args\", \"ret\"}",
+        )),
+    }
+}
+
+fn kind_from_str(s: &str) -> Result<DeclKind, ProtocolError> {
+    Ok(match s {
+        "lambda" => DeclKind::Lambda,
+        "local" => DeclKind::Local,
+        "coercion" => DeclKind::Coercion,
+        "class" => DeclKind::Class,
+        "package" => DeclKind::Package,
+        "literal" => DeclKind::Literal,
+        "imported" => DeclKind::Imported,
+        other => {
+            return Err(ProtocolError::invalid_params(format!(
+                "unknown declaration kind {other:?}"
+            )))
+        }
+    })
+}
+
+/// Encodes one declaration in the shape [`decl_from_json`] reads — the
+/// client-side half of the codec, used by the bench harness to drive the
+/// server with programmatic environments.
+pub fn decl_to_json(decl: &Declaration) -> Json {
+    let mut fields = vec![
+        ("name", Json::from(decl.name.as_str())),
+        ("ty", ty_to_json(&decl.ty)),
+        ("kind", Json::from(decl.kind.to_string())),
+    ];
+    if let Some(frequency) = decl.frequency {
+        fields.push(("frequency", Json::from(frequency)));
+    }
+    if let Some(weight) = decl.weight_override {
+        fields.push(("weight", Json::from(weight)));
+    }
+    Json::object(fields)
+}
+
+/// Encodes an environment as the array `env/open` expects.
+pub fn env_to_json(env: &TypeEnv) -> Json {
+    Json::Arr(env.iter().map(decl_to_json).collect())
+}
+
+/// Decodes one declaration:
+/// `{"name", "ty", "kind"?, "frequency"?, "weight"?}`. `kind` defaults to
+/// `"local"`; `weight` is an absolute per-declaration override.
+pub fn decl_from_json(value: &Json) -> Result<Declaration, ProtocolError> {
+    let name = value
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::invalid_params("declaration needs string \"name\""))?;
+    let ty = ty_from_json(
+        value
+            .get("ty")
+            .ok_or_else(|| ProtocolError::invalid_params("declaration needs \"ty\""))?,
+    )?;
+    let kind = match value.get("kind") {
+        None => DeclKind::Local,
+        Some(k) => kind_from_str(k.as_str().ok_or_else(|| {
+            ProtocolError::invalid_params("declaration \"kind\" must be a string")
+        })?)?,
+    };
+    let mut decl = Declaration::new(name, ty, kind);
+    if let Some(freq) = value.get("frequency") {
+        decl = decl
+            .with_frequency(freq.as_u64().ok_or_else(|| {
+                ProtocolError::invalid_params("\"frequency\" must be an integer")
+            })?);
+    }
+    if let Some(weight) = value.get("weight") {
+        decl = decl.with_weight(
+            weight
+                .as_f64()
+                .ok_or_else(|| ProtocolError::invalid_params("\"weight\" must be a number"))?,
+        );
+    }
+    Ok(decl)
+}
+
+/// Decodes an environment: an array of declarations.
+pub fn env_from_json(value: &Json) -> Result<TypeEnv, ProtocolError> {
+    value
+        .as_arr()
+        .ok_or_else(|| ProtocolError::invalid_params("\"env\" must be an array of declarations"))?
+        .iter()
+        .map(decl_from_json)
+        .collect()
+}
+
+/// Decodes an environment delta:
+/// `{"add": [decl...]?, "remove": [name...]?, "reweight": [{"name", "weight"}...]?}`.
+pub fn delta_from_json(value: &Json) -> Result<EnvDelta, ProtocolError> {
+    let mut delta = EnvDelta::new();
+    if let Some(add) = value.get("add") {
+        for decl in add
+            .as_arr()
+            .ok_or_else(|| ProtocolError::invalid_params("\"add\" must be an array"))?
+        {
+            delta = delta.add(decl_from_json(decl)?);
+        }
+    }
+    if let Some(remove) = value.get("remove") {
+        for name in remove
+            .as_arr()
+            .ok_or_else(|| ProtocolError::invalid_params("\"remove\" must be an array"))?
+        {
+            delta = delta
+                .remove(name.as_str().ok_or_else(|| {
+                    ProtocolError::invalid_params("\"remove\" entries are names")
+                })?);
+        }
+    }
+    if let Some(reweight) = value.get("reweight") {
+        for entry in reweight
+            .as_arr()
+            .ok_or_else(|| ProtocolError::invalid_params("\"reweight\" must be an array"))?
+        {
+            let name = entry
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ProtocolError::invalid_params("reweight entry needs \"name\""))?;
+            let weight = entry
+                .get("weight")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ProtocolError::invalid_params("reweight entry needs \"weight\""))?;
+            delta = delta.reweight(name, weight);
+        }
+    }
+    Ok(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn ty_codec_roundtrips() {
+        let cases = [
+            Ty::base("A"),
+            Ty::fun(vec![Ty::base("A")], Ty::base("B")),
+            Ty::fun(
+                vec![Ty::fun(vec![Ty::base("A")], Ty::base("B")), Ty::base("C")],
+                Ty::base("D"),
+            ),
+        ];
+        for ty in cases {
+            let encoded = ty_to_json(&ty);
+            assert_eq!(ty_from_json(&encoded).unwrap(), ty);
+        }
+        assert_eq!(ty_to_json(&Ty::base("A")).to_string(), "\"A\"");
+        assert_eq!(
+            ty_to_json(&Ty::fun(vec![Ty::base("A"), Ty::base("B")], Ty::base("C"))).to_string(),
+            "{\"args\":[\"A\",\"B\"],\"ret\":\"C\"}"
+        );
+    }
+
+    #[test]
+    fn decl_codec_reads_kinds_and_optionals() {
+        let v = parse(r#"{"name": "f", "ty": {"args": ["A"], "ret": "B"}, "kind": "imported", "frequency": 9, "weight": 1.5}"#)
+            .unwrap();
+        let decl = decl_from_json(&v).unwrap();
+        assert_eq!(decl.name, "f");
+        assert_eq!(decl.kind, DeclKind::Imported);
+        assert_eq!(decl.frequency, Some(9));
+        assert_eq!(decl.weight_override, Some(1.5));
+
+        let minimal = parse(r#"{"name": "x", "ty": "A"}"#).unwrap();
+        let decl = decl_from_json(&minimal).unwrap();
+        assert_eq!(decl.kind, DeclKind::Local);
+
+        let bad_kind = parse(r#"{"name": "x", "ty": "A", "kind": "alien"}"#).unwrap();
+        assert_eq!(decl_from_json(&bad_kind).unwrap_err().code, INVALID_PARAMS);
+    }
+
+    #[test]
+    fn env_codec_roundtrips() {
+        let env: TypeEnv = vec![
+            Declaration::new("a", Ty::base("A"), DeclKind::Local),
+            Declaration::new(
+                "s",
+                Ty::fun(vec![Ty::base("A")], Ty::base("A")),
+                DeclKind::Imported,
+            )
+            .with_frequency(3)
+            .with_weight(0.5),
+        ]
+        .into_iter()
+        .collect();
+        let decoded = env_from_json(&env_to_json(&env)).unwrap();
+        assert_eq!(decoded.len(), env.len());
+        for (a, b) in env.iter().zip(decoded.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn envelope_validation_catches_malformed_requests() {
+        let ok = parse(r#"{"id": 7, "method": "server/stats"}"#).unwrap();
+        let req = parse_request(&ok).unwrap();
+        assert_eq!((req.id, req.method.as_str()), (7, "server/stats"));
+        assert_eq!(req.params, Json::Obj(vec![]));
+
+        for bad in [
+            r#"{"method": "x"}"#,
+            r#"{"id": "seven", "method": "x"}"#,
+            r#"{"id": 1}"#,
+            r#"{"id": 1, "method": "x", "params": 3}"#,
+        ] {
+            let v = parse(bad).unwrap();
+            assert_eq!(parse_request(&v).unwrap_err().code, INVALID_REQUEST);
+        }
+    }
+
+    #[test]
+    fn delta_codec_builds_all_three_edit_kinds() {
+        let v = parse(
+            r#"{"add": [{"name": "x", "ty": "A"}], "remove": ["y"], "reweight": [{"name": "z", "weight": 2}]}"#,
+        )
+        .unwrap();
+        let delta = delta_from_json(&v).unwrap();
+        assert!(!delta.is_empty());
+        let empty = delta_from_json(&parse("{}").unwrap()).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn responses_serialize_with_stable_field_order() {
+        assert_eq!(
+            response_ok(3, Json::object([("x", Json::from(1u64))])).to_string(),
+            "{\"id\":3,\"result\":{\"x\":1}}"
+        );
+        assert_eq!(
+            response_err(None, &ProtocolError::new(PARSE_ERROR, "bad json")).to_string(),
+            "{\"id\":null,\"error\":{\"code\":-32700,\"message\":\"bad json\"}}"
+        );
+    }
+}

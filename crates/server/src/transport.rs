@@ -1,0 +1,271 @@
+//! The stdio transport: a reader feeding a scoped worker pool, with an
+//! output sequencer that writes responses in request-arrival order.
+//!
+//! Layering (tentpole shape): transport (this module) → dispatcher
+//! ([`Server::parse_line`] / [`Server::execute`]) → handlers → engine. The
+//! transport owns the threads; the [`Server`] owns all shared state, so the
+//! whole pool borrows one `&Server` inside a `std::thread::scope` — no
+//! `'static` bounds, no runtime dependency.
+//!
+//! Three roles:
+//!
+//! * **reader** (the calling thread): reads lines, lets the server parse
+//!   each one — `$/cancel` tokens fire here, immediately, so a cancellation
+//!   is never stuck behind the request it targets — and queues everything
+//!   (requests and canned responses alike) as numbered jobs, so metric
+//!   bookkeeping happens in arrival order on a worker, never racing ahead
+//!   on this thread. Queue-depth admission control happens here too: beyond
+//!   [`ServerConfig::max_queue_depth`] pending jobs, new requests are
+//!   refused with an `OVERLOADED` error instead of piling up behind a slow
+//!   query.
+//! * **workers** (`config.workers` scoped threads): pull jobs, run
+//!   [`Server::execute`], and hand the response to the sequencer.
+//! * **sequencer** (one scoped thread): holds responses until every earlier
+//!   line's response has been written, so output order always equals input
+//!   order no matter how workers interleave — which is what makes scripted
+//!   sessions byte-stable even with a pool.
+//!
+//! [`ServerConfig::max_queue_depth`]: crate::server::ServerConfig::max_queue_depth
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread;
+
+use insynth_core::CancelToken;
+
+use crate::json::Json;
+use crate::protocol::{response_err, ProtocolError, Request, OVERLOADED};
+use crate::server::{Bookkeeping, Parsed, Server};
+
+struct Job {
+    seq: u64,
+    work: Work,
+}
+
+enum Work {
+    /// A full request to dispatch through [`Server::execute`].
+    Request {
+        request: Request,
+        cancel: CancelToken,
+    },
+    /// A response the reader already computed (envelope error, `$/cancel`
+    /// ack). It still flows through the queue so its metric bookkeeping is
+    /// applied in arrival order — recording it on the reader thread would
+    /// race with the stats requests workers are executing.
+    Canned {
+        response: Json,
+        bookkeeping: Bookkeeping,
+    },
+}
+
+/// Runs the serve loop until `input` reaches end-of-file, writing one
+/// response line per request line. Blank lines are skipped. Returns when
+/// every accepted request has been answered and flushed.
+pub fn run<R: BufRead, W: Write + Send>(server: &Server, input: R, output: W) -> io::Result<()> {
+    let workers = server.config().workers.max(1);
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let (out_tx, out_rx) = mpsc::channel::<(u64, String)>();
+    // mpsc receivers are single-consumer; a mutex turns the job queue into
+    // the shared work-stealing end of the pool.
+    let job_rx = Mutex::new(job_rx);
+
+    thread::scope(|scope| {
+        let sequencer = scope.spawn(move || write_in_order(output, out_rx));
+
+        for _ in 0..workers {
+            let job_rx = &job_rx;
+            let out_tx = out_tx.clone();
+            scope.spawn(move || loop {
+                let job = match job_rx.lock() {
+                    Ok(rx) => rx.recv(),
+                    Err(_) => break,
+                };
+                let Ok(job) = job else { break };
+                let response = match job.work {
+                    Work::Request { request, cancel } => {
+                        server.dequeue();
+                        server.execute(&request, &cancel)
+                    }
+                    Work::Canned {
+                        response,
+                        bookkeeping,
+                    } => {
+                        server.record(bookkeeping);
+                        response
+                    }
+                };
+                if out_tx.send((job.seq, response.to_string())).is_err() {
+                    break;
+                }
+            });
+        }
+
+        // Read errors must not early-return: the scope joins every thread on
+        // exit, and the workers only stop once `job_tx` drops. Remember the
+        // error, fall through to the shutdown sequence, report it at the end.
+        let mut read_error = None;
+        let mut seq = 0u64;
+        for line in input.lines() {
+            let line = match line {
+                Ok(line) => line,
+                Err(err) => {
+                    read_error = Some(err);
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let slot = seq;
+            seq += 1;
+            if server.queue_depth() >= server.config().max_queue_depth as u64 {
+                let refusal = response_err(
+                    None,
+                    &ProtocolError::new(OVERLOADED, "server overloaded, request dropped"),
+                );
+                let _ = out_tx.send((slot, refusal.to_string()));
+                continue;
+            }
+            let work = match server.parse_line(&line) {
+                Parsed::Immediate {
+                    response,
+                    bookkeeping,
+                } => Work::Canned {
+                    response,
+                    bookkeeping,
+                },
+                Parsed::Job { request, cancel } => {
+                    server.enqueue();
+                    Work::Request { request, cancel }
+                }
+            };
+            let _ = job_tx.send(Job { seq: slot, work });
+        }
+        // EOF: closing the job channel drains the workers; dropping the last
+        // out_tx clone (workers' + ours) lets the sequencer finish.
+        drop(job_tx);
+        drop(out_tx);
+        let written = sequencer.join().unwrap_or(Ok(()));
+        match read_error {
+            Some(err) => Err(err),
+            None => written,
+        }
+    })
+}
+
+/// Emits `(seq, line)` pairs strictly by `seq`, holding out-of-order
+/// arrivals until their turn. Flushes after every line — the peer is an
+/// interactive editor waiting on each reply.
+fn write_in_order(
+    mut output: impl Write,
+    responses: mpsc::Receiver<(u64, String)>,
+) -> io::Result<()> {
+    let mut pending: HashMap<u64, String> = HashMap::new();
+    let mut next = 0u64;
+    for (seq, line) in responses {
+        pending.insert(seq, line);
+        while let Some(line) = pending.remove(&next) {
+            output.write_all(line.as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+            next += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Serves a whole script (one request per line) and returns the response
+/// lines, in arrival order. The test- and bench-facing wrapper around
+/// [`run`]: the bench harness replays a scripted session through exactly
+/// the production transport.
+pub fn serve_script(server: &Server, script: &str) -> Vec<String> {
+    let mut output = Vec::new();
+    run(server, script.as_bytes(), &mut output).expect("in-memory transport cannot fail");
+    String::from_utf8(output)
+        .expect("responses are UTF-8")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use insynth_core::{Engine, SynthesisConfig};
+
+    fn test_server(workers: usize) -> Server {
+        Server::new(
+            Engine::new(SynthesisConfig::default()),
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    const OPEN: &str = r#"{"id": 1, "method": "env/open", "params": {"env": [{"name": "a", "ty": "A"}, {"name": "s", "ty": {"args": ["A"], "ret": "A"}}]}}"#;
+
+    #[test]
+    fn responses_come_back_in_arrival_order() {
+        let server = test_server(1);
+        let script = [
+            OPEN,
+            r#"{"id": 2, "method": "completion/complete", "params": {"session": 1, "goal": "A", "n": 2}}"#,
+            r#"{"id": 3, "method": "server/stats", "params": {"counters_only": true}}"#,
+            r#"{"id": 4, "method": "session/close", "params": {"session": 1}}"#,
+        ]
+        .join("\n");
+        let responses = serve_script(&server, &script);
+        assert_eq!(responses.len(), 4);
+        for (i, response) in responses.iter().enumerate() {
+            assert!(
+                response.starts_with(&format!("{{\"id\":{}", i + 1)),
+                "response {i} out of order: {response}"
+            );
+        }
+        assert!(responses[1].contains("\"values\":[{\"term\":\"a\""));
+        assert!(responses[3].contains("\"closed\":1"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_errors_answered_in_place() {
+        let server = test_server(1);
+        let script = format!("\n{OPEN}\n\nnot json\n{{\"id\": 9}}\n");
+        let responses = serve_script(&server, &script);
+        assert_eq!(responses.len(), 3);
+        assert!(responses[1].contains("-32700"), "{}", responses[1]);
+        assert!(responses[2].contains("-32600"), "{}", responses[2]);
+    }
+
+    #[test]
+    fn a_worker_pool_preserves_output_order() {
+        let server = test_server(4);
+        let mut script = vec![OPEN.to_string()];
+        for id in 2..=20u64 {
+            script.push(format!(
+                r#"{{"id": {id}, "method": "completion/complete", "params": {{"session": 1, "goal": "A", "n": 3}}}}"#
+            ));
+        }
+        let responses = serve_script(&server, &script.join("\n"));
+        assert_eq!(responses.len(), 20);
+        for (i, response) in responses.iter().enumerate() {
+            assert!(response.starts_with(&format!("{{\"id\":{}", i + 1)));
+        }
+    }
+
+    #[test]
+    fn queue_overflow_is_refused_not_buffered() {
+        let server = test_server(1);
+        // Artificially hold the queue over its limit: depth never drains
+        // because we inflate it before the transport runs.
+        for _ in 0..server.config().max_queue_depth {
+            server.enqueue();
+        }
+        let responses = serve_script(&server, OPEN);
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].contains("-32002"), "{}", responses[0]);
+    }
+}

@@ -27,6 +27,10 @@
 //!   Table 2 comparison.
 //! * [`benchsuite`] — the 50 evaluation benchmarks of Table 2 and the harness
 //!   that reproduces the paper's measurements.
+//! * [`server`] — the completion server front-end: a persistent
+//!   JSON-over-stdio service (sessions, cancellation, admission control,
+//!   metrics) over the engine. See [Running the
+//!   server](#running-the-server).
 //!
 //! # Quickstart
 //!
@@ -173,6 +177,69 @@
 //! assert_eq!(results[1].snippets[0].term.to_string(), "name");
 //! ```
 //!
+//! # Running the server
+//!
+//! Everything above is the library view. The `insynth-server` binary (crate
+//! [`server`]) wraps the same engine in a persistent process an editor can
+//! talk to: one JSON request object per line on stdin, one JSON response
+//! per line on stdout, answered strictly in request order.
+//!
+//! ```text
+//! cargo run --release -p insynth_server --bin insynth-server
+//! ```
+//!
+//! One example line per request kind:
+//!
+//! ```text
+//! → {"id": 1, "method": "env/open", "params": {"env": [{"name": "a", "ty": "A"}, {"name": "s", "ty": {"args": ["A"], "ret": "A"}, "kind": "imported"}]}}
+//! ← {"id":1,"result":{"session":1,"fingerprint":"23db…085e","decls":2}}
+//!
+//! → {"id": 2, "method": "completion/complete", "params": {"session": 1, "goal": "A", "n": 3}}
+//! ← {"id":2,"result":{"values":[{"term":"a","weight":5,"depth":1,"coercions":0},…],"total":3,"has_more":true,"cursor":3,"resumed":false,"truncated":false,"steps":6}}
+//!
+//! → {"id": 3, "method": "completion/complete", "params": {"session": 1, "goal": "A", "n": 2, "cursor": 3}}
+//! ← {"id":3,"result":{"values":[{"term":"s(s(s(a)))",…],"cursor":5,"resumed":true,…}}
+//!
+//! → {"id": 4, "method": "env/update", "params": {"session": 1, "delta": {"add": [{"name": "b", "ty": "A"}], "reweight": [{"name": "s", "weight": 50}]}}}
+//! ← {"id":4,"result":{"session":1,"fingerprint":"8fd1…ccb8","decls":3}}
+//!
+//! → {"id": 5, "method": "$/cancel", "params": {"id": 6}}
+//! ← {"id":5,"result":{"cancelled":6,"in_flight":false}}
+//!
+//! → {"id": 7, "method": "server/stats", "params": {"counters_only": true}}
+//! ← {"id":7,"result":{"sessions":1,"requests":{…},"completions":{…},"engine":{…}}}
+//!
+//! → {"id": 8, "method": "session/close", "params": {"session": 1}}
+//! ← {"id":8,"result":{"closed":1}}
+//! ```
+//!
+//! **Session lifecycle.** `env/open` declares a program point (types are
+//! strings for base types, `{"args": […], "ret": …}` for arrows) and
+//! returns a session id plus the environment's content-address fingerprint;
+//! opening a structurally equal point again is a fingerprint cache hit on
+//! the engine underneath. `env/update` applies an `EnvDelta` to the session
+//! in place — same id, new fingerprint, incremental re-preparation.
+//! `completion/complete` pages through the ranked enumeration: pass the
+//! returned `cursor` back to continue, and the continuation *resumes* the
+//! suspended walk (`"resumed":true`) — zero extra graph builds, only the
+//! new pops are paid. `session/close` drops the session (engine caches
+//! survive for the next open of the same point).
+//!
+//! **Cancellation.** `$/cancel` names a request id. An in-flight request
+//! observes the fired token at its next walk-step boundary and answers with
+//! error `-32001`; its partially-walked state is discarded, never
+//! persisted, and the loop keeps serving. Cancelling an id that has not
+//! arrived yet is remembered and applied on arrival, so scripted
+//! cancellation is deterministic. Per-request `max_steps` / `timeout_ms`
+//! overrides and the page-size clamp are the admission-control counterpart:
+//! they can only lower the engine's configured budgets, never raise them.
+//!
+//! **MCP note.** The `completion/complete` result (`values`, `total`,
+//! `has_more`) deliberately mirrors the `completion/complete` shape of the
+//! Model Context Protocol, so an MCP completion provider can proxy this
+//! server nearly field-for-field; the `cursor` continuation and `$/cancel`
+//! follow the same id-addressed, LSP-style conventions.
+//!
 //! # Migrating from the PR 2 session API
 //!
 //! Code written against the original `Engine::prepare` / `Session::query`
@@ -230,4 +297,5 @@ pub use insynth_corpus as corpus;
 pub use insynth_intern as intern;
 pub use insynth_lambda as lambda;
 pub use insynth_provers as provers;
+pub use insynth_server as server;
 pub use insynth_succinct as succinct;
