@@ -1451,6 +1451,551 @@ pub fn java_util() -> Package {
 
 /// A miniature model of the Scala IDE classes used by the §2.2 TreeFilter
 /// example (higher-order constructor argument).
+/// `java.nio`: buffers, paths and the `Files` static surface. The buffer
+/// classes are the deepest overload families in the JDK — `ByteBuffer` alone
+/// carries a dozen absolute/relative `put`/`get` variants whose shapes
+/// collapse heavily under σ — and `Files` contributes the wide static-factory
+/// surface (`Path → X` for many `X`) that drives environment fan-out.
+pub fn java_nio() -> Package {
+    Package::new("java.nio")
+        .with_class(
+            Class::new("Path")
+                .with_method(Method::new("toAbsolutePath", vec![], t("Path")))
+                .with_method(Method::new("getParent", vec![], t("Path")))
+                .with_method(Method::new("getFileName", vec![], t("Path")))
+                .with_method(Method::new("resolve", vec![t("String")], t("Path")))
+                .with_method(Method::new("resolveSibling", vec![t("String")], t("Path")))
+                .with_method(Method::new("relativize", vec![t("Path")], t("Path")))
+                .with_method(Method::new("startsWith", vec![t("Path")], t("Boolean")))
+                .with_method(Method::new("endsWith", vec![t("Path")], t("Boolean")))
+                .with_method(Method::new("toFile", vec![], t("File")))
+                .with_method(Method::new("toUri", vec![], t("URI"))),
+        )
+        .with_class(
+            Class::new("Paths")
+                .with_method(Method::new_static("get", vec![t("String")], t("Path")))
+                .with_method(Method::new_static(
+                    "get2",
+                    vec![t("String"), t("String")],
+                    t("Path"),
+                )),
+        )
+        .with_class(
+            Class::new("Files")
+                .with_method(Method::new_static(
+                    "readAllBytes",
+                    vec![t("Path")],
+                    t("ByteArray"),
+                ))
+                .with_method(Method::new_static(
+                    "readAllLines",
+                    vec![t("Path")],
+                    t("ListString"),
+                ))
+                .with_method(Method::new_static(
+                    "readString",
+                    vec![t("Path")],
+                    t("String"),
+                ))
+                .with_method(Method::new_static(
+                    "write",
+                    vec![t("Path"), t("ByteArray")],
+                    t("Path"),
+                ))
+                .with_method(Method::new_static(
+                    "writeString",
+                    vec![t("Path"), t("String")],
+                    t("Path"),
+                ))
+                .with_method(Method::new_static(
+                    "newInputStream",
+                    vec![t("Path")],
+                    t("InputStream"),
+                ))
+                .with_method(Method::new_static(
+                    "newOutputStream",
+                    vec![t("Path")],
+                    t("OutputStream"),
+                ))
+                .with_method(Method::new_static(
+                    "newBufferedReader",
+                    vec![t("Path")],
+                    t("BufferedReader"),
+                ))
+                .with_method(Method::new_static(
+                    "newBufferedWriter",
+                    vec![t("Path")],
+                    t("BufferedWriter"),
+                ))
+                .with_method(Method::new_static("exists", vec![t("Path")], t("Boolean")))
+                .with_method(Method::new_static(
+                    "isDirectory",
+                    vec![t("Path")],
+                    t("Boolean"),
+                ))
+                .with_method(Method::new_static(
+                    "isReadable",
+                    vec![t("Path")],
+                    t("Boolean"),
+                ))
+                .with_method(Method::new_static("size", vec![t("Path")], t("Long")))
+                .with_method(Method::new_static("createFile", vec![t("Path")], t("Path")))
+                .with_method(Method::new_static(
+                    "createDirectory",
+                    vec![t("Path")],
+                    t("Path"),
+                ))
+                .with_method(Method::new_static(
+                    "copy",
+                    vec![t("Path"), t("Path")],
+                    t("Path"),
+                ))
+                .with_method(Method::new_static(
+                    "move",
+                    vec![t("Path"), t("Path")],
+                    t("Path"),
+                ))
+                .with_method(Method::new_static("delete", vec![t("Path")], t("Unit")))
+                .with_method(Method::new_static("lines", vec![t("Path")], t("Stream")))
+                .with_method(Method::new_static("list", vec![t("Path")], t("Stream")))
+                .with_method(Method::new_static("walk", vec![t("Path")], t("Stream"))),
+        )
+        .with_class(
+            Class::new("Buffer")
+                .with_method(Method::new("capacity", vec![], t("Int")))
+                .with_method(Method::new("position", vec![], t("Int")))
+                .with_method(Method::new("limit", vec![], t("Int")))
+                .with_method(Method::new("remaining", vec![], t("Int")))
+                .with_method(Method::new("hasRemaining", vec![], t("Boolean")))
+                .with_method(Method::new("clear", vec![], t("Buffer")))
+                .with_method(Method::new("flip", vec![], t("Buffer")))
+                .with_method(Method::new("rewind", vec![], t("Buffer"))),
+        )
+        .with_class(
+            Class::new("ByteBuffer")
+                .extends("Buffer")
+                .with_method(Method::new_static(
+                    "allocate",
+                    vec![t("Int")],
+                    t("ByteBuffer"),
+                ))
+                .with_method(Method::new_static(
+                    "allocateDirect",
+                    vec![t("Int")],
+                    t("ByteBuffer"),
+                ))
+                .with_method(Method::new_static(
+                    "wrap",
+                    vec![t("ByteArray")],
+                    t("ByteBuffer"),
+                ))
+                .with_method(Method::new("put", vec![t("Byte")], t("ByteBuffer")))
+                .with_method(Method::new(
+                    "putAt",
+                    vec![t("Int"), t("Byte")],
+                    t("ByteBuffer"),
+                ))
+                .with_method(Method::new("putInt", vec![t("Int")], t("ByteBuffer")))
+                .with_method(Method::new("putLong", vec![t("Long")], t("ByteBuffer")))
+                .with_method(Method::new("putDouble", vec![t("Double")], t("ByteBuffer")))
+                .with_method(Method::new("get", vec![], t("Byte")))
+                .with_method(Method::new("getAt", vec![t("Int")], t("Byte")))
+                .with_method(Method::new("getInt", vec![], t("Int")))
+                .with_method(Method::new("getLong", vec![], t("Long")))
+                .with_method(Method::new("getDouble", vec![], t("Double")))
+                .with_method(Method::new("array", vec![], t("ByteArray")))
+                .with_method(Method::new("compact", vec![], t("ByteBuffer")))
+                .with_method(Method::new("duplicate", vec![], t("ByteBuffer")))
+                .with_method(Method::new("slice", vec![], t("ByteBuffer"))),
+        )
+        .with_class(
+            Class::new("CharBuffer")
+                .extends("Buffer")
+                .with_method(Method::new_static(
+                    "allocate",
+                    vec![t("Int")],
+                    t("CharBuffer"),
+                ))
+                .with_method(Method::new_static(
+                    "wrap",
+                    vec![t("String")],
+                    t("CharBuffer"),
+                ))
+                .with_method(Method::new("put", vec![t("Char")], t("CharBuffer")))
+                .with_method(Method::new("putString", vec![t("String")], t("CharBuffer")))
+                .with_method(Method::new("get", vec![], t("Char")))
+                .with_method(Method::new("getAt", vec![t("Int")], t("Char"))),
+        )
+        .with_class(
+            Class::new("FileChannel")
+                .with_method(Method::new("read", vec![t("ByteBuffer")], t("Int")))
+                .with_method(Method::new("write", vec![t("ByteBuffer")], t("Int")))
+                .with_method(Method::new("size", vec![], t("Long")))
+                .with_method(Method::new("positionTo", vec![t("Long")], t("FileChannel")))
+                .with_method(Method::new("force", vec![t("Boolean")], t("Unit")))
+                .with_method(Method::new("close", vec![], t("Unit"))),
+        )
+        .with_class(
+            Class::new("Charset")
+                .with_method(Method::new_static(
+                    "forName",
+                    vec![t("String")],
+                    t("Charset"),
+                ))
+                .with_method(Method::new_static("defaultCharset", vec![], t("Charset")))
+                .with_method(Method::new("encode", vec![t("String")], t("ByteBuffer")))
+                .with_method(Method::new(
+                    "decode",
+                    vec![t("ByteBuffer")],
+                    t("CharBuffer"),
+                ))
+                .with_method(Method::new("name", vec![], t("String"))),
+        )
+        .with_class(
+            Class::new("StandardCharsets")
+                .with_field(Field::new_static("UTF_8", t("Charset")))
+                .with_field(Field::new_static("US_ASCII", t("Charset")))
+                .with_field(Field::new_static("ISO_8859_1", t("Charset"))),
+        )
+}
+
+/// `java.text`: the format/parse surface. The `format` family is a textbook
+/// σ-overload group — every formatter exposes `(X) → String` for several `X`
+/// plus the `StringBuffer`-threading variant — and the parsers all map
+/// `String` back into their domain type.
+pub fn java_text() -> Package {
+    Package::new("java.text")
+        .with_class(
+            Class::new("Format")
+                .with_method(Method::new("format", vec![t("Object")], t("String")))
+                .with_method(Method::new("parseObject", vec![t("String")], t("Object"))),
+        )
+        .with_class(
+            Class::new("NumberFormat")
+                .extends("Format")
+                .with_method(Method::new_static("getInstance", vec![], t("NumberFormat")))
+                .with_method(Method::new_static(
+                    "getIntegerInstance",
+                    vec![],
+                    t("NumberFormat"),
+                ))
+                .with_method(Method::new_static(
+                    "getCurrencyInstance",
+                    vec![],
+                    t("NumberFormat"),
+                ))
+                .with_method(Method::new_static(
+                    "getPercentInstance",
+                    vec![],
+                    t("NumberFormat"),
+                ))
+                .with_method(Method::new("formatDouble", vec![t("Double")], t("String")))
+                .with_method(Method::new("formatLong", vec![t("Long")], t("String")))
+                .with_method(Method::new("parse", vec![t("String")], t("Number")))
+                .with_method(Method::new(
+                    "setMaximumFractionDigits",
+                    vec![t("Int")],
+                    t("Unit"),
+                ))
+                .with_method(Method::new(
+                    "setGroupingUsed",
+                    vec![t("Boolean")],
+                    t("Unit"),
+                )),
+        )
+        .with_class(
+            Class::new("DecimalFormat")
+                .extends("NumberFormat")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_method(Method::new("applyPattern", vec![t("String")], t("Unit")))
+                .with_method(Method::new("toPattern", vec![], t("String"))),
+        )
+        .with_class(
+            Class::new("DateFormat")
+                .extends("Format")
+                .with_method(Method::new_static(
+                    "getDateInstance",
+                    vec![],
+                    t("DateFormat"),
+                ))
+                .with_method(Method::new_static(
+                    "getTimeInstance",
+                    vec![],
+                    t("DateFormat"),
+                ))
+                .with_method(Method::new_static(
+                    "getDateTimeInstance",
+                    vec![],
+                    t("DateFormat"),
+                ))
+                .with_method(Method::new("formatDate", vec![t("Date")], t("String")))
+                .with_method(Method::new("parse", vec![t("String")], t("Date"))),
+        )
+        .with_class(
+            Class::new("SimpleDateFormat")
+                .extends("DateFormat")
+                .with_constructor(ctor(vec![]))
+                .with_constructor(ctor(vec![t("String")]))
+                .with_method(Method::new("applyPattern", vec![t("String")], t("Unit")))
+                .with_method(Method::new("toPattern", vec![], t("String"))),
+        )
+        .with_class(
+            Class::new("MessageFormat")
+                .extends("Format")
+                .with_constructor(ctor(vec![t("String")]))
+                .with_method(Method::new_static(
+                    "formatPattern",
+                    vec![t("String"), t("ObjectArray")],
+                    t("String"),
+                ))
+                .with_method(Method::new(
+                    "formatArgs",
+                    vec![t("ObjectArray")],
+                    t("String"),
+                )),
+        )
+        .with_class(
+            Class::new("Collator")
+                .with_method(Method::new_static("getInstance", vec![], t("Collator")))
+                .with_method(Method::new(
+                    "compare",
+                    vec![t("String"), t("String")],
+                    t("Int"),
+                ))
+                .with_method(Method::new(
+                    "equals",
+                    vec![t("String"), t("String")],
+                    t("Boolean"),
+                )),
+        )
+        .with_class(
+            Class::new("BreakIterator")
+                .with_method(Method::new_static(
+                    "getWordInstance",
+                    vec![],
+                    t("BreakIterator"),
+                ))
+                .with_method(Method::new_static(
+                    "getLineInstance",
+                    vec![],
+                    t("BreakIterator"),
+                ))
+                .with_method(Method::new("setText", vec![t("String")], t("Unit")))
+                .with_method(Method::new("first", vec![], t("Int")))
+                .with_method(Method::new("next", vec![], t("Int"))),
+        )
+}
+
+/// `java.util.stream`: the pipeline surface. Nearly every method is
+/// higher-order — `map`/`filter`/`reduce` take function-typed arguments whose
+/// σ images stay *nested* (Definition 3.2 keeps higher-order argument
+/// structure) — so this package exercises exactly the part of the calculus
+/// the flat overload families do not.
+pub fn java_util_stream() -> Package {
+    let obj_to_obj = || Ty::fun(vec![t("Object")], t("Object"));
+    let obj_pred = || Ty::fun(vec![t("Object")], t("Boolean"));
+    let obj_consumer = || Ty::fun(vec![t("Object")], t("Unit"));
+    let obj_binop = || Ty::fun(vec![t("Object"), t("Object")], t("Object"));
+    let int_unop = || Ty::fun(vec![t("Int")], t("Int"));
+    Package::new("java.util.stream")
+        .with_class(
+            Class::new("Stream")
+                .with_method(Method::new_static("of", vec![t("Object")], t("Stream")))
+                .with_method(Method::new_static("empty", vec![], t("Stream")))
+                .with_method(Method::new_static(
+                    "concat",
+                    vec![t("Stream"), t("Stream")],
+                    t("Stream"),
+                ))
+                .with_method(Method::new("map", vec![obj_to_obj()], t("Stream")))
+                .with_method(Method::new("flatMap", vec![obj_to_obj()], t("Stream")))
+                .with_method(Method::new("filter", vec![obj_pred()], t("Stream")))
+                .with_method(Method::new("peek", vec![obj_consumer()], t("Stream")))
+                .with_method(Method::new("forEach", vec![obj_consumer()], t("Unit")))
+                .with_method(Method::new("anyMatch", vec![obj_pred()], t("Boolean")))
+                .with_method(Method::new("allMatch", vec![obj_pred()], t("Boolean")))
+                .with_method(Method::new("noneMatch", vec![obj_pred()], t("Boolean")))
+                .with_method(Method::new("reduce", vec![obj_binop()], t("Object")))
+                .with_method(Method::new(
+                    "reduceFrom",
+                    vec![t("Object"), obj_binop()],
+                    t("Object"),
+                ))
+                .with_method(Method::new("collect", vec![t("Collector")], t("Object")))
+                .with_method(Method::new("sorted", vec![], t("Stream")))
+                .with_method(Method::new("distinct", vec![], t("Stream")))
+                .with_method(Method::new("limit", vec![t("Long")], t("Stream")))
+                .with_method(Method::new("skip", vec![t("Long")], t("Stream")))
+                .with_method(Method::new("count", vec![], t("Long")))
+                .with_method(Method::new("toArray", vec![], t("ObjectArray")))
+                .with_method(Method::new(
+                    "mapToInt",
+                    vec![Ty::fun(vec![t("Object")], t("Int"))],
+                    t("IntStream"),
+                )),
+        )
+        .with_class(
+            Class::new("IntStream")
+                .with_method(Method::new_static(
+                    "range",
+                    vec![t("Int"), t("Int")],
+                    t("IntStream"),
+                ))
+                .with_method(Method::new_static(
+                    "rangeClosed",
+                    vec![t("Int"), t("Int")],
+                    t("IntStream"),
+                ))
+                .with_method(Method::new_static("of", vec![t("Int")], t("IntStream")))
+                .with_method(Method::new("map", vec![int_unop()], t("IntStream")))
+                .with_method(Method::new(
+                    "filter",
+                    vec![Ty::fun(vec![t("Int")], t("Boolean"))],
+                    t("IntStream"),
+                ))
+                .with_method(Method::new(
+                    "forEach",
+                    vec![Ty::fun(vec![t("Int")], t("Unit"))],
+                    t("Unit"),
+                ))
+                .with_method(Method::new("sum", vec![], t("Int")))
+                .with_method(Method::new("max", vec![], t("OptionalInt")))
+                .with_method(Method::new("min", vec![], t("OptionalInt")))
+                .with_method(Method::new("average", vec![], t("OptionalDouble")))
+                .with_method(Method::new("count", vec![], t("Long")))
+                .with_method(Method::new("boxed", vec![], t("Stream")))
+                .with_method(Method::new(
+                    "mapToObj",
+                    vec![Ty::fun(vec![t("Int")], t("Object"))],
+                    t("Stream"),
+                )),
+        )
+        .with_class(
+            Class::new("LongStream")
+                .with_method(Method::new_static(
+                    "range",
+                    vec![t("Long"), t("Long")],
+                    t("LongStream"),
+                ))
+                .with_method(Method::new_static("of", vec![t("Long")], t("LongStream")))
+                .with_method(Method::new(
+                    "map",
+                    vec![Ty::fun(vec![t("Long")], t("Long"))],
+                    t("LongStream"),
+                ))
+                .with_method(Method::new("sum", vec![], t("Long")))
+                .with_method(Method::new("boxed", vec![], t("Stream"))),
+        )
+        .with_class(
+            Class::new("DoubleStream")
+                .with_method(Method::new_static(
+                    "of",
+                    vec![t("Double")],
+                    t("DoubleStream"),
+                ))
+                .with_method(Method::new(
+                    "map",
+                    vec![Ty::fun(vec![t("Double")], t("Double"))],
+                    t("DoubleStream"),
+                ))
+                .with_method(Method::new("sum", vec![], t("Double")))
+                .with_method(Method::new("boxed", vec![], t("Stream"))),
+        )
+        .with_class(Class::new("Collector").with_method(Method::new(
+            "characteristics",
+            vec![],
+            t("Object"),
+        )))
+        .with_class(
+            Class::new("Collectors")
+                .with_method(Method::new_static("toList", vec![], t("Collector")))
+                .with_method(Method::new_static("toSet", vec![], t("Collector")))
+                .with_method(Method::new_static(
+                    "joining",
+                    vec![t("String")],
+                    t("Collector"),
+                ))
+                .with_method(Method::new_static(
+                    "groupingBy",
+                    vec![obj_to_obj()],
+                    t("Collector"),
+                ))
+                .with_method(Method::new_static(
+                    "partitioningBy",
+                    vec![obj_pred()],
+                    t("Collector"),
+                ))
+                .with_method(Method::new_static("counting", vec![], t("Collector"))),
+        )
+        .with_class(
+            Class::new("OptionalInt")
+                .with_method(Method::new("getAsInt", vec![], t("Int")))
+                .with_method(Method::new("isPresent", vec![], t("Boolean")))
+                .with_method(Method::new("orElse", vec![t("Int")], t("Int"))),
+        )
+        .with_class(
+            Class::new("OptionalDouble")
+                .with_method(Method::new("getAsDouble", vec![], t("Double")))
+                .with_method(Method::new("isPresent", vec![], t("Boolean")))
+                .with_method(Method::new("orElse", vec![t("Double")], t("Double"))),
+        )
+        .with_class(Class::new("StreamSupport").with_method(Method::new_static(
+            "stream",
+            vec![t("Object"), t("Boolean")],
+            t("Stream"),
+        )))
+}
+
+/// The number of declarations one [`synthetic_tier`] package contributes —
+/// the sizing arithmetic callers use to hit a target environment size.
+pub fn synthetic_tier_decls(classes: usize, methods_per_class: usize) -> usize {
+    // Per class: one nullary constructor plus the methods.
+    classes * (1 + methods_per_class)
+}
+
+/// A scalable synthetic API tier emulating the *structure* of large real
+/// APIs, used to grow environments to IDE scale (~50k declarations).
+///
+/// Where [`filler_package`] is realistic noise, the tier reproduces the
+/// statistics that matter to σ-compression and search: every class carries a
+/// deep same-shape overload family (eight signature shapes cycling, so a
+/// 16-method class has each shape twice), a quarter of the shapes are
+/// factories returning a *neighbour* class (environment fan-out), one shape
+/// is higher-order (nested σ images), and one threads the class itself
+/// (builder chains). Deterministic in all arguments; `synthetic_tier_decls`
+/// predicts the declaration count exactly.
+pub fn synthetic_tier(index: usize, classes: usize, methods_per_class: usize) -> Package {
+    let prefix = format!("Gen{index}");
+    let mut package = Package::new(format!("synthetic.tier{index}"));
+    for c in 0..classes {
+        let name = format!("{prefix}Api{c}");
+        let neighbour = format!("{prefix}Api{}", (c + 1) % classes.max(1));
+        let across = format!("{prefix}Api{}", (c + 7) % classes.max(1));
+        let mut class = Class::new(&name).with_constructor(ctor(vec![]));
+        for m in 0..methods_per_class {
+            let (params, ret) = match m % 8 {
+                // The flat overload family: same σ image, different names.
+                0 => (vec![t("String")], t(&name)),
+                1 => (vec![t("Int")], t(&name)),
+                // Factories fanning out to neighbour classes.
+                2 => (vec![], t(&neighbour)),
+                3 => (vec![t("String")], t(&across)),
+                // Builder chain threading the receiver type.
+                4 => (vec![t(&name), t(&name)], t(&name)),
+                // Projections back into common types.
+                5 => (vec![t(&neighbour)], t("String")),
+                6 => (vec![], t("Int")),
+                // Higher-order callback: σ keeps the argument nested.
+                _ => (vec![Ty::fun(vec![t(&name)], t("Boolean"))], t(&neighbour)),
+            };
+            class = class.with_method(Method::new(format!("m{m}"), params, ret));
+        }
+        package = package.with_class(class);
+    }
+    package
+}
+
 pub fn scala_ide() -> Package {
     Package::new("scala.tools.eclipse.javaelements")
         .with_class(Class::new("Tree").with_method(Method::new("symbol", vec![], t("Symbol"))))
@@ -1528,10 +2073,37 @@ pub fn standard_model() -> ApiModel {
     model.add_package(java_awt_event());
     model.add_package(javax_swing());
     model.add_package(java_net());
+    model.add_package(java_nio());
+    model.add_package(java_text());
     model.add_package(java_util());
+    model.add_package(java_util_stream());
     model.add_package(scala_ide());
     for i in 0..4 {
         model.add_package(filler_package(i, 40, 12));
+    }
+    model
+}
+
+/// Classes per [`synthetic_tier`] package in [`scaled_model`].
+pub const SCALED_TIER_CLASSES: usize = 64;
+/// Methods per class in each [`scaled_model`] tier.
+pub const SCALED_TIER_METHODS: usize = 16;
+
+/// The standard model grown with as many [`synthetic_tier`] packages as it
+/// takes to reach at least `target_decls` total declarations. Each tier adds
+/// `synthetic_tier_decls(SCALED_TIER_CLASSES, SCALED_TIER_METHODS)` = 1088
+/// declarations, so the overshoot is bounded by one tier. Deterministic in
+/// `target_decls`; this is how the benchmark ladder reaches ~50k declarations.
+pub fn scaled_model(target_decls: usize) -> ApiModel {
+    let mut model = standard_model();
+    let mut tier = 0;
+    while model.total_declarations() < target_decls {
+        model.add_package(synthetic_tier(
+            tier,
+            SCALED_TIER_CLASSES,
+            SCALED_TIER_METHODS,
+        ));
+        tier += 1;
     }
     model
 }
@@ -1582,6 +2154,47 @@ mod tests {
         assert_eq!(a.classes.len(), 20);
         // Each class: 1 constructor + 10 methods.
         assert_eq!(a.declaration_count(), 20 * 11);
+    }
+
+    #[test]
+    fn synthetic_tiers_are_deterministic_and_predictably_sized() {
+        let a = synthetic_tier(5, 32, 16);
+        let b = synthetic_tier(5, 32, 16);
+        assert_eq!(a, b);
+        assert_eq!(a.classes.len(), 32);
+        assert_eq!(a.declaration_count(), synthetic_tier_decls(32, 16));
+        // The higher-order shape must survive into the model: at least one
+        // method per class takes a function-typed parameter.
+        let class = &a.classes[0];
+        assert!(class
+            .methods
+            .iter()
+            .any(|m| m.params.iter().any(|p| !p.is_base())));
+    }
+
+    #[test]
+    fn scaled_model_reaches_the_requested_size() {
+        let model = scaled_model(12_000);
+        let total = model.total_declarations();
+        assert!(total >= 12_000, "got {total}");
+        // Overshoot is bounded by a single tier.
+        assert!(
+            total < 12_000 + synthetic_tier_decls(SCALED_TIER_CLASSES, SCALED_TIER_METHODS),
+            "got {total}"
+        );
+        assert!(model.find_package("synthetic.tier0").is_some());
+    }
+
+    #[test]
+    fn nio_text_and_stream_packages_are_registered() {
+        let model = standard_model();
+        for class in ["ByteBuffer", "Files", "SimpleDateFormat", "Collectors"] {
+            assert!(model.find_class(class).is_some(), "missing class {class}");
+        }
+        let lattice = model.subtype_lattice();
+        assert!(lattice.is_subtype("ByteBuffer", "Buffer"));
+        assert!(lattice.is_subtype("DecimalFormat", "NumberFormat"));
+        assert!(lattice.is_subtype("SimpleDateFormat", "Format"));
     }
 
     #[test]

@@ -19,7 +19,14 @@ fn sigma_compression(c: &mut Criterion) {
             BenchmarkId::from_parameter(env.len()),
             &env,
             |bencher, env| {
-                bencher.iter(|| black_box(PreparedEnv::prepare(env, &WeightConfig::default())))
+                // Explicitly one shard: the series measures sequential σ.
+                bencher.iter(|| {
+                    black_box(PreparedEnv::prepare_sharded(
+                        env,
+                        &WeightConfig::default(),
+                        1,
+                    ))
+                })
             },
         );
     }

@@ -17,7 +17,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use insynth_bench::{build_graph, phases_environment as figure1_environment};
+use insynth_bench::{build_graph, phases_environment as figure1_environment, scaled_environment};
 use insynth_core::{
     explore, generate_patterns, generate_patterns_naive, generate_terms, generate_terms_best_first,
     generate_terms_unindexed, DerivationGraph, Engine, ExploreLimits, GenerateLimits, PreparedEnv,
@@ -150,11 +150,21 @@ fn genp_ablation(c: &mut Criterion) {
 fn env_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("env_scaling");
     group.sample_size(10);
-    for filler in [0usize, 2, 4, 8] {
-        let env = figure1_environment(filler);
+    // Filler rungs (hundreds to a few thousand declarations) followed by
+    // synthetic-tier rungs up to IDE scale (~51k declarations).
+    let rungs: Vec<_> = [0usize, 2, 4, 8]
+        .iter()
+        .map(|&filler| figure1_environment(filler))
+        .chain(
+            [12_000usize, 50_000]
+                .iter()
+                .map(|&target| scaled_environment(target)),
+        )
+        .collect();
+    for env in &rungs {
         group.bench_with_input(
             BenchmarkId::new("synthesize_top10", env.len()),
-            &env,
+            env,
             |bencher, env| {
                 bencher.iter(|| {
                     let engine = Engine::new(SynthesisConfig::default());
@@ -174,9 +184,17 @@ fn session_amortization(c: &mut Criterion) {
     let mut group = c.benchmark_group("session_amortization");
     group.sample_size(10);
     // A fresh engine per iteration measures the true σ cost; a shared engine
-    // would fingerprint-hit its point cache after the first iteration.
+    // would fingerprint-hit its point cache after the first iteration. σ is
+    // pinned to one shard so the series records the sequential cost on any
+    // machine (the sharded path has its own baseline entries).
     group.bench_function("prepare_only", |bencher| {
-        bencher.iter(|| black_box(Engine::new(SynthesisConfig::default()).prepare(&env)))
+        bencher.iter(|| {
+            let config = SynthesisConfig {
+                sigma_shards: 1,
+                ..SynthesisConfig::default()
+            };
+            black_box(Engine::new(config).prepare(&env))
+        })
     });
     // The cross-point fast path: preparing a structurally equal environment
     // on a warm engine is a fingerprint hash + verification, no σ.

@@ -64,6 +64,56 @@ pub fn build_graph(env: &TypeEnv, weights: &WeightConfig, goal: &Ty) -> Derivati
     DerivationGraph::build(&prepared, &mut store, &patterns, env, weights, goal)
 }
 
+/// The IDE-scale environment used by the upper `env_scaling` rungs and the
+/// parallel-prepare benchmarks: the standard model grown with synthetic API
+/// tiers ([`javaapi::scaled_model`]) until it holds at least `target_decls`
+/// declarations, everything imported, with the same two string locals and
+/// corpus frequencies as [`phases_environment`]. Deterministic in
+/// `target_decls`; the extracted environment is slightly larger than the
+/// model's declaration count (imports add package/class declarations).
+pub fn scaled_environment(target_decls: usize) -> TypeEnv {
+    let model = javaapi::scaled_model(target_decls);
+    let mut point = ProgramPoint::new()
+        .with_local("body", Ty::base("String"))
+        .with_local("sig", Ty::base("String"));
+    for package in model.packages() {
+        point = point.with_import(package.name.clone());
+    }
+    let mut env = extract(&model, &point);
+    let corpus = synthetic_corpus(&model, DEFAULT_CORPUS_SEED);
+    corpus.apply(&mut env);
+    env
+}
+
+/// Least-squares fit of the growth exponent `k` in `time ≈ c · size^k` over a
+/// benchmark ladder of `(size, nanoseconds)` rungs — the slope of log(time)
+/// against log(size). Rungs with zero size or time are skipped; fewer than
+/// two usable rungs fit no line and return 0. The `env_scaling` baseline
+/// records the exponent fitted over the ladder up to each rung, and
+/// `baseline --check` gates on the full-ladder fit staying near-linear.
+pub fn growth_exponent(rungs: &[(usize, u128)]) -> f64 {
+    let points: Vec<(f64, f64)> = rungs
+        .iter()
+        .filter(|(size, ns)| *size > 0 && *ns > 0)
+        .map(|(size, ns)| ((*size as f64).ln(), (*ns as f64).ln()))
+        .collect();
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let cov: f64 = points
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let var: f64 = points.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    if var == 0.0 {
+        return 0.0;
+    }
+    cov / var
+}
+
 /// The environment used by the `compression` bench (`sigma_prepare`):
 /// java.lang + java.io + javax.swing + java.awt plus `filler` generated
 /// packages, everything imported, no locals and no corpus.
@@ -92,6 +142,28 @@ mod tests {
     fn bench_environments_grow_with_filler() {
         assert!(phases_environment(2).len() > phases_environment(0).len());
         assert!(compression_environment(4).len() > compression_environment(0).len());
+    }
+
+    #[test]
+    fn scaled_environment_reaches_ide_scale() {
+        let env = scaled_environment(12_000);
+        assert!(env.len() >= 12_000, "got {}", env.len());
+        // Deterministic: two extractions are byte-equal declaration lists.
+        let again = scaled_environment(12_000);
+        assert_eq!(env.decls(), again.decls());
+    }
+
+    #[test]
+    fn growth_exponent_fits_known_power_laws() {
+        let linear: Vec<(usize, u128)> = (1..=6).map(|i| (i * 1000, (i * 700) as u128)).collect();
+        assert!((growth_exponent(&linear) - 1.0).abs() < 1e-9);
+        let quadratic: Vec<(usize, u128)> =
+            (1..=6).map(|i| (i * 1000, (i * i * 9) as u128)).collect();
+        assert!((growth_exponent(&quadratic) - 2.0).abs() < 1e-9);
+        // Degenerate ladders fit no line.
+        assert_eq!(growth_exponent(&[]), 0.0);
+        assert_eq!(growth_exponent(&[(1000, 5)]), 0.0);
+        assert_eq!(growth_exponent(&[(1000, 5), (1000, 7)]), 0.0);
     }
 
     /// Builds the derivation graph the session benches walk, on the filler

@@ -155,31 +155,51 @@ struct HoleTy {
     arg_succs: Vec<SuccinctTyId>,
 }
 
-/// One declaration that can head an expansion.
-#[derive(Debug)]
-struct DeclEdge {
-    /// Index into the original [`TypeEnv`].
-    decl: u32,
-    /// The declaration's weight under the graph's weight configuration.
-    weight: Weight,
-    /// Hole types of the declaration's uncurried arguments.
-    args: Arc<[HoleTyId]>,
-}
-
-/// One pattern of a goal: the succinct type an expansion head must have, plus
-/// the declarations `Select` resolves it to. Lambda binders in scope are
-/// matched against `wanted` at walk time (they are not known at build time).
-#[derive(Debug)]
-struct Variant {
-    wanted: SuccinctTyId,
-    edges: Vec<DeclEdge>,
-}
-
-/// A goal node: the expansions of a hole at one `(environment, return type)`
-/// pair, in derivation order.
+/// The graph's per-goal variants and declaration edges, packed into
+/// contiguous struct-of-arrays slabs with `u32` prefix offsets.
+///
+/// A goal node's variants are the patterns of that goal (the succinct type an
+/// expansion head must have); a variant's edges are the `Select`-resolved
+/// declarations realizing it, each carrying its weight and the hole types of
+/// its uncurried arguments. Lambda binders in scope are matched against
+/// `variant_wanted` at walk time (they are not known at build time). Packing
+/// everything walk-adjacent into flat parallel vectors keeps the expansion
+/// loop on a handful of contiguous allocations instead of one `Vec<Vec<_>>`
+/// tree per node — the layout the cache-locality numbers in
+/// `BENCH_BASELINE.json` are measured against.
 #[derive(Debug, Default)]
-struct Node {
-    variants: Vec<Variant>,
+struct EdgeSlab {
+    /// Variants of node `v` occupy `node_offsets[v]..node_offsets[v + 1]`
+    /// (length `node_count + 1`, first entry `0`).
+    node_offsets: Vec<u32>,
+    /// The succinct head type each variant matches, one entry per variant.
+    variant_wanted: Vec<SuccinctTyId>,
+    /// Edges of variant `i` occupy `variant_offsets[i]..variant_offsets[i + 1]`
+    /// (length `variant_count + 1`, first entry `0`).
+    variant_offsets: Vec<u32>,
+    /// Per edge: index into the original [`TypeEnv`].
+    edge_decl: Vec<u32>,
+    /// Per edge: the declaration's weight under the graph's configuration.
+    edge_weight: Vec<Weight>,
+    /// Per edge: hole types of the declaration's uncurried arguments.
+    edge_args: Vec<Arc<[HoleTyId]>>,
+}
+
+impl EdgeSlab {
+    fn node_count(&self) -> usize {
+        self.node_offsets.len().saturating_sub(1)
+    }
+
+    /// Variant indices of a goal node, in derivation order.
+    fn variants(&self, node: u32) -> std::ops::Range<usize> {
+        let node = node as usize;
+        self.node_offsets[node] as usize..self.node_offsets[node + 1] as usize
+    }
+
+    /// Edge indices of a variant, in `Select` order.
+    fn edges(&self, variant: usize) -> std::ops::Range<usize> {
+        self.variant_offsets[variant] as usize..self.variant_offsets[variant + 1] as usize
+    }
 }
 
 /// The pattern-indexed derivation graph for one explored goal.
@@ -195,8 +215,10 @@ pub struct DerivationGraph {
     /// every graph cached for a program point shares the point's interned
     /// tables (and keeps them alive independently of any session).
     base: Arc<PreparedEnv>,
-    /// Goal nodes, in [`PatternIndex`](insynth_succinct::PatternIndex) goal order.
-    nodes: Vec<Node>,
+    /// Goal nodes' variants and edges, in
+    /// [`PatternIndex`](insynth_succinct::PatternIndex) goal order, packed
+    /// into contiguous struct-of-arrays slabs.
+    edges: EdgeSlab,
     goal_ids: HashMap<(EnvId, Symbol), u32>,
     tys: Vec<HoleTy>,
     ty_ids: HashMap<Ty, HoleTyId>,
@@ -269,6 +291,30 @@ impl DerivationGraph {
         weights: &WeightConfig,
         goal: &Ty,
     ) -> DerivationGraph {
+        Self::build_with_threads(prepared, store, patterns, env, weights, goal, 1)
+    }
+
+    /// [`DerivationGraph::build`] with the per-goal edge-resolution pass
+    /// fanned out over `threads` scoped threads (`<= 1` is the sequential
+    /// path; the output is byte-identical either way).
+    ///
+    /// The build is split into three passes so the parallel one touches no
+    /// interner: a *sequential interning pass* replays exactly the
+    /// single-thread interning sequence (pattern `wanted` types, the hole
+    /// types of every selected declaration's arguments), a *parallel
+    /// resolution pass* turns each variant's `Select` list into edge triples
+    /// reading only immutable state, and a *sequential assembly pass*
+    /// concatenates the per-chunk results into the [`EdgeSlab`] in variant
+    /// order.
+    pub fn build_with_threads(
+        prepared: &Arc<PreparedEnv>,
+        store: &mut ScratchStore<'_>,
+        patterns: &PatternSet,
+        env: &TypeEnv,
+        weights: &WeightConfig,
+        goal: &Ty,
+        threads: usize,
+    ) -> DerivationGraph {
         let mut tys: Vec<HoleTy> = Vec::new();
         let mut ty_ids: HashMap<Ty, HoleTyId> = HashMap::new();
 
@@ -276,18 +322,20 @@ impl DerivationGraph {
         // every edge that declaration heads.
         let mut decl_args: Vec<Option<Arc<[HoleTyId]>>> = vec![None; env.len()];
 
+        // Pass 1 (sequential): interning, in exactly the order the
+        // single-threaded build performs it.
         let index = patterns.index();
         let mut goal_ids = HashMap::with_capacity(index.goal_count());
-        let mut nodes = Vec::with_capacity(index.goal_count());
         let mut node_envs = Vec::with_capacity(index.goal_count());
+        let mut node_offsets = Vec::with_capacity(index.goal_count() + 1);
+        node_offsets.push(0u32);
+        let mut variant_wanted = Vec::new();
         for goal_id in index.goals() {
             let (goal_env, ret) = index.goal_key(goal_id);
-            goal_ids.insert((goal_env, ret), nodes.len() as u32);
+            goal_ids.insert((goal_env, ret), node_envs.len() as u32);
             node_envs.push(goal_env);
-            let mut variants = Vec::new();
             for pattern in index.patterns_of(goal_id) {
                 let wanted = store.mk_ty(pattern.args.clone(), ret);
-                let mut edges = Vec::new();
                 for &decl_idx in prepared.select(wanted) {
                     if decl_args[decl_idx].is_none() {
                         let (rho, _) = env.decls()[decl_idx].ty.uncurry();
@@ -297,16 +345,15 @@ impl DerivationGraph {
                             .collect();
                         decl_args[decl_idx] = Some(args.into());
                     }
-                    edges.push(DeclEdge {
-                        decl: decl_idx as u32,
-                        weight: prepared.decl_weight[decl_idx],
-                        args: decl_args[decl_idx].clone().expect("filled above"),
-                    });
                 }
-                variants.push(Variant { wanted, edges });
+                variant_wanted.push(wanted);
             }
-            nodes.push(Node { variants });
+            node_offsets.push(variant_wanted.len() as u32);
         }
+
+        // Pass 2 (parallel) + pass 3 (sequential assembly): resolve every
+        // variant's `Select` list into packed edge slabs.
+        let edges = resolve_edges(prepared, &decl_args, node_offsets, variant_wanted, threads);
 
         let root_ty = intern_hole_ty(store, &mut tys, &mut ty_ids, goal);
 
@@ -330,7 +377,7 @@ impl DerivationGraph {
 
         let mut graph = DerivationGraph {
             base: Arc::clone(prepared),
-            nodes,
+            edges,
             goal_ids,
             tys,
             ty_ids,
@@ -352,16 +399,12 @@ impl DerivationGraph {
 
     /// Number of goal nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.edges.node_count()
     }
 
     /// Number of declaration edges across all nodes.
     pub fn edge_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .flat_map(|n| n.variants.iter())
-            .map(|v| v.edges.len())
-            .sum()
+        self.edges.edge_decl.len()
     }
 
     /// Number of distinct hole types interned.
@@ -503,13 +546,94 @@ fn intern_hole_ty(
     id
 }
 
+/// One worker's packed share of the edge-resolution pass: per-variant edge
+/// counts plus flat edge columns, concatenated by the assembly pass.
+#[derive(Default)]
+struct EdgeChunk {
+    counts: Vec<u32>,
+    decl: Vec<u32>,
+    weight: Vec<Weight>,
+    args: Vec<Arc<[HoleTyId]>>,
+}
+
+/// Resolves every variant's `Select` list into the packed [`EdgeSlab`].
+///
+/// The per-variant work reads only immutable state (`prepared`, the filled
+/// `decl_args` table) and each variant's output is independent of every
+/// other's, so the variants are fanned out over `threads` contiguous chunks;
+/// the sequential assembly then concatenates chunk outputs in variant order,
+/// making the slab byte-identical to the `threads == 1` run.
+fn resolve_edges(
+    prepared: &PreparedEnv,
+    decl_args: &[Option<Arc<[HoleTyId]>>],
+    node_offsets: Vec<u32>,
+    variant_wanted: Vec<SuccinctTyId>,
+    threads: usize,
+) -> EdgeSlab {
+    let resolve_chunk = |variants: &[SuccinctTyId]| -> EdgeChunk {
+        let mut chunk = EdgeChunk::default();
+        chunk.counts.reserve(variants.len());
+        for &wanted in variants {
+            let selected = prepared.select(wanted);
+            chunk.counts.push(selected.len() as u32);
+            for &decl_idx in selected {
+                chunk.decl.push(decl_idx as u32);
+                chunk.weight.push(prepared.decl_weight[decl_idx]);
+                chunk
+                    .args
+                    .push(decl_args[decl_idx].clone().expect("interned in pass 1"));
+            }
+        }
+        chunk
+    };
+
+    let threads = threads.max(1).min(variant_wanted.len().max(1));
+    let chunks: Vec<EdgeChunk> = if threads <= 1 {
+        vec![resolve_chunk(&variant_wanted)]
+    } else {
+        let per = variant_wanted.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = variant_wanted
+                .chunks(per)
+                .map(|vs| scope.spawn(move || resolve_chunk(vs)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("edge-resolution worker panicked"))
+                .collect()
+        })
+    };
+
+    let edge_total = chunks.iter().map(|c| c.decl.len()).sum();
+    let mut slab = EdgeSlab {
+        node_offsets,
+        variant_wanted,
+        variant_offsets: Vec::new(),
+        edge_decl: Vec::with_capacity(edge_total),
+        edge_weight: Vec::with_capacity(edge_total),
+        edge_args: Vec::with_capacity(edge_total),
+    };
+    slab.variant_offsets.reserve(slab.variant_wanted.len() + 1);
+    slab.variant_offsets.push(0);
+    for chunk in chunks {
+        for count in chunk.counts {
+            let last = *slab.variant_offsets.last().expect("seeded with 0");
+            slab.variant_offsets.push(last + count);
+        }
+        slab.edge_decl.extend(chunk.decl);
+        slab.edge_weight.extend(chunk.weight);
+        slab.edge_args.extend(chunk.args);
+    }
+    slab
+}
+
 /// Computes the per-node completion bounds by a backward Dijkstra over the
 /// graph's hyperedges (Knuth's algorithm: a node is finalized when popped,
 /// and a hyperedge relaxes its head once every tail goal is finalized).
 /// Requires monotone (non-negative) weights — the caller only invokes it
 /// when [`DerivationGraph::monotone`] holds.
 fn compute_heuristic(graph: &DerivationGraph, node_envs: &[EnvId]) -> Heuristic {
-    let node_count = graph.nodes.len();
+    let node_count = graph.edges.node_count();
 
     // Candidate binder types per succinct type: a binder only ever enters
     // scope as a hole's parameter, so its type is an interned hole type that
@@ -547,15 +671,16 @@ fn compute_heuristic(graph: &DerivationGraph, node_envs: &[EnvId]) -> Heuristic 
     let mut ready: Vec<(Weight, u32)> = Vec::new();
     let mut resolve_memo: HashMap<(EnvId, HoleTyId), Option<(EnvId, u32)>> = HashMap::new();
 
-    for (v, node) in graph.nodes.iter().enumerate() {
-        let env_v = node_envs[v];
-        for variant in &node.variants {
-            let decl_edges = variant
-                .edges
-                .iter()
-                .map(|edge| (edge.weight, Arc::clone(&edge.args)));
+    for (v, &env_v) in node_envs.iter().enumerate().take(node_count) {
+        for vi in graph.edges.variants(v as u32) {
+            let decl_edges = graph.edges.edges(vi).map(|e| {
+                (
+                    graph.edges.edge_weight[e],
+                    Arc::clone(&graph.edges.edge_args[e]),
+                )
+            });
             let binder_edges = binder_tys
-                .get(&variant.wanted)
+                .get(&graph.edges.variant_wanted[vi])
                 .into_iter()
                 .flatten()
                 .map(|&t| {
@@ -1422,21 +1547,22 @@ impl WalkState {
             // later walks).
             if !self.expansions.contains_key(&(node_env, node)) {
                 let memo = &mut self.memo;
-                let built: Arc<[CachedVariant]> = graph.nodes[node as usize]
-                    .variants
-                    .iter()
-                    .map(|variant| CachedVariant {
-                        wanted: variant.wanted,
-                        edges: variant
+                let built: Arc<[CachedVariant]> = graph
+                    .edges
+                    .variants(node)
+                    .map(|vi| CachedVariant {
+                        wanted: graph.edges.variant_wanted[vi],
+                        edges: graph
                             .edges
-                            .iter()
-                            .filter_map(|edge| {
+                            .edges(vi)
+                            .filter_map(|e| {
                                 // Dead-hole pruning: an edge whose argument
                                 // goals include an uncompletable one can
                                 // never finish, in this environment or any
                                 // extension reached through this hole.
+                                let args = &graph.edges.edge_args[e];
                                 let mut args_bound = Weight::ZERO;
-                                for &a in edge.args.iter() {
+                                for &a in args.iter() {
                                     let goal = hole_goal(graph, heuristic, memo, node_env, a);
                                     if !goal.cost.is_finite() {
                                         return None;
@@ -1444,9 +1570,9 @@ impl WalkState {
                                     args_bound = args_bound.plus(goal.cost);
                                 }
                                 Some(CachedEdge {
-                                    decl: edge.decl,
-                                    weight: edge.weight,
-                                    args: edge.args.clone(),
+                                    decl: graph.edges.edge_decl[e],
+                                    weight: graph.edges.edge_weight[e],
+                                    args: Arc::clone(args),
                                     args_bound,
                                 })
                             })
@@ -1702,6 +1828,82 @@ mod tests {
             .iter()
             .map(|r| (r.term.to_string(), r.weight.value().to_bits()))
             .collect()
+    }
+
+    #[test]
+    fn parallel_graph_build_is_byte_identical_to_sequential() {
+        let decls = vec![
+            Declaration::new("name", Ty::base("String"), DeclKind::Local),
+            Declaration::new(
+                "mkFile",
+                Ty::fun(vec![Ty::base("String")], Ty::base("File")),
+                DeclKind::Imported,
+            ),
+            Declaration::new(
+                "openFile",
+                Ty::fun(vec![Ty::base("String")], Ty::base("File")),
+                DeclKind::Imported,
+            ),
+            Declaration::new(
+                "render",
+                Ty::fun(
+                    vec![Ty::base("File"), Ty::base("String")],
+                    Ty::base("String"),
+                ),
+                DeclKind::Imported,
+            ),
+            Declaration::new(
+                "visit",
+                Ty::fun(
+                    vec![Ty::fun(vec![Ty::base("File")], Ty::base("String"))],
+                    Ty::base("Report"),
+                ),
+                DeclKind::Imported,
+            ),
+        ];
+        let env: TypeEnv = decls.into_iter().collect();
+        let weights = WeightConfig::default();
+        let goal = Ty::base("Report");
+        let prepared = Arc::new(PreparedEnv::prepare(&env, &weights));
+
+        let build = |threads: usize| {
+            let mut store = prepared.scratch();
+            let goal_succ = store.sigma(&goal);
+            let space = explore(&prepared, &mut store, goal_succ, &ExploreLimits::default());
+            let patterns = generate_patterns(&mut store, &space);
+            DerivationGraph::build_with_threads(
+                &prepared, &mut store, &patterns, &env, &weights, &goal, threads,
+            )
+        };
+
+        let sequential = build(1);
+        // Includes thread counts exceeding the variant count.
+        for threads in [2, 3, 8, 64] {
+            let parallel = build(threads);
+            assert_eq!(parallel.edges.node_offsets, sequential.edges.node_offsets);
+            assert_eq!(
+                parallel.edges.variant_wanted,
+                sequential.edges.variant_wanted
+            );
+            assert_eq!(
+                parallel.edges.variant_offsets,
+                sequential.edges.variant_offsets
+            );
+            assert_eq!(parallel.edges.edge_decl, sequential.edges.edge_decl);
+            assert_eq!(parallel.edges.edge_weight, sequential.edges.edge_weight);
+            assert_eq!(parallel.edges.edge_args, sequential.edges.edge_args);
+            assert_eq!(parallel.goal_ids, sequential.goal_ids);
+            assert_eq!(parallel.root_ty, sequential.root_ty);
+            assert_eq!(parallel.ty_ids, sequential.ty_ids);
+            match (&parallel.heuristic, &sequential.heuristic) {
+                (Some(p), Some(s)) => assert_eq!(p.node_bound, s.node_bound),
+                (None, None) => {}
+                _ => panic!("heuristic presence must not depend on thread count"),
+            }
+            let walked = generate_terms(&parallel, &env, 10, &GenerateLimits::default());
+            let reference = generate_terms(&sequential, &env, 10, &GenerateLimits::default());
+            assert_eq!(rendered(&walked), rendered(&reference));
+        }
     }
 
     #[test]

@@ -104,7 +104,7 @@ pub use gent::{
 };
 pub use graph::{generate_terms, generate_terms_best_first, DerivationGraph, HoleTyId};
 pub use insynth_succinct::EnvFingerprint;
-pub use prepare::PreparedEnv;
+pub use prepare::{effective_sigma_shards, PreparedEnv};
 pub use rcn::{is_inhabited_ref, rcn};
 pub use session::{
     BatchRequest, Engine, EngineStatsSnapshot, EnvDelta, Query, Session, TermStream,

@@ -23,10 +23,36 @@
 //! is carried over — bit-identical to a fresh [`PreparedEnv::prepare`] of the
 //! edited environment (the interning sequence of the shared prefix is
 //! unchanged, so every id comes out the same).
+//!
+//! # Scaling the environment axis
+//!
+//! At IDE scale (tens of thousands of declarations) the σ loop dominates
+//! preparation, and it is embarrassingly parallel *except* for the interning
+//! store it mutates. [`PreparedEnv::prepare_sharded`] splits the declaration
+//! list into contiguous chunks, σ-lowers each chunk into a **private**
+//! [`SuccinctStore`] on a scoped thread, and then merges the shards with a
+//! deterministic replay: declarations are revisited in their original global
+//! order, and each shard-local type is re-interned into the canonical store
+//! the first time the walk reaches it. Because shard-local ids are assigned
+//! in σ's own first-encounter post-order, the replay re-creates exactly the
+//! ids a sequential [`PreparedEnv::prepare`] would — the result is
+//! **byte-identical** for every shard count (the same bit-compatibility
+//! contract [`PreparedEnv::prepare_appended`] meets, property-tested in
+//! `tests/shard_identity.rs`).
+//!
+//! When does it pay off? The merge costs one `mk_ty` per *chunk-distinct*
+//! type plus a vector lookup per declaration, while the shards absorb the
+//! per-declaration hashing — so the win grows with the duplication factor σ
+//! exploits. Below roughly a thousand declarations the thread fan-out costs
+//! more than it saves; [`effective_sigma_shards`] encodes that policy and is
+//! what the engine applies to the [`SynthesisConfig::sigma_shards`] knob
+//! (`1` pins today's sequential path).
+//!
+//! [`SynthesisConfig::sigma_shards`]: crate::SynthesisConfig::sigma_shards
 
 use std::collections::HashMap;
 
-use insynth_intern::StableHasher;
+use insynth_intern::{StableHasher, Symbol};
 use insynth_succinct::{
     EnvFingerprint, EnvFingerprintBuilder, EnvId, ScratchStore, SuccinctStore, SuccinctTyId,
 };
@@ -35,6 +61,46 @@ use insynth_lambda::Ty;
 
 use crate::decl::{DeclKind, Declaration, TypeEnv};
 use crate::weights::{Weight, WeightConfig};
+
+/// Declarations per shard below which fanning out costs more than it saves;
+/// [`effective_sigma_shards`] never cuts chunks finer than this.
+const MIN_DECLS_PER_SHARD: usize = 1024;
+
+/// The shard count the engine actually uses for an environment of `decls`
+/// declarations when the configuration asks for `requested` shards: capped so
+/// every shard keeps at least [`MIN_DECLS_PER_SHARD`] declarations (small
+/// environments degrade to the sequential path), never below 1.
+pub fn effective_sigma_shards(requested: usize, decls: usize) -> usize {
+    requested.max(1).min((decls / MIN_DECLS_PER_SHARD).max(1))
+}
+
+/// One shard's private σ-lowering: a fresh store holding the chunk's type
+/// images, plus the bookkeeping the deterministic merge replays them from.
+struct ShardLowering {
+    /// Private interning store; local ids are in σ's first-encounter order.
+    store: SuccinctStore,
+    /// Local σ image of each declaration in this shard's chunk.
+    decl_local: Vec<SuccinctTyId>,
+    /// Local `ty_count` after each declaration: the types first interned
+    /// while lowering chunk declaration `i` occupy the local id range
+    /// `watermarks[i-1]..watermarks[i]` (`0..watermarks[0]` for the first).
+    watermarks: Vec<u32>,
+}
+
+fn lower_chunk(decls: &[Declaration]) -> ShardLowering {
+    let mut store = SuccinctStore::new();
+    let mut decl_local = Vec::with_capacity(decls.len());
+    let mut watermarks = Vec::with_capacity(decls.len());
+    for decl in decls {
+        decl_local.push(store.sigma(&decl.ty));
+        watermarks.push(store.ty_count() as u32);
+    }
+    ShardLowering {
+        store,
+        decl_local,
+        watermarks,
+    }
+}
 
 /// A type environment lowered into succinct form, with the lookup structures
 /// the synthesis phases need.
@@ -145,6 +211,84 @@ impl PreparedEnv {
         let mut by_succ: HashMap<SuccinctTyId, Vec<usize>> = HashMap::new();
         for (idx, decl) in env.iter().enumerate() {
             let succ = store.sigma(&decl.ty);
+            decl_succ.push(succ);
+            by_succ.entry(succ).or_default().push(idx);
+        }
+        Self::finish_prepare(store, decl_succ, by_succ, env, weights, fingerprint)
+    }
+
+    /// [`PreparedEnv::prepare`] with σ-lowering sharded across `shards`
+    /// scoped threads (see the module-level *Scaling the environment axis*
+    /// section). Byte-identical to the sequential path for every shard
+    /// count; `shards <= 1` *is* the sequential path.
+    pub fn prepare_sharded(env: &TypeEnv, weights: &WeightConfig, shards: usize) -> Self {
+        Self::prepare_with_fingerprint_sharded(
+            env,
+            weights,
+            Self::fingerprint_of(env, weights),
+            shards,
+        )
+    }
+
+    /// [`PreparedEnv::prepare_sharded`] for callers that already computed the
+    /// environment's fingerprint.
+    ///
+    /// Each shard σ-lowers a contiguous chunk of declarations into a private
+    /// store; the merge then walks the declarations in global order and
+    /// re-interns each shard-local type into the canonical store the first
+    /// time it is reached. Shard-local ids are assigned in σ's own
+    /// first-encounter post-order (arguments strictly before the types that
+    /// use them), so the canonical store sees every creation in exactly the
+    /// sequence a sequential preparation would produce — same type ids, same
+    /// symbols, same counts, for any shard count.
+    pub fn prepare_with_fingerprint_sharded(
+        env: &TypeEnv,
+        weights: &WeightConfig,
+        fingerprint: EnvFingerprint,
+        shards: usize,
+    ) -> Self {
+        let shards = shards.max(1).min(env.len().max(1));
+        if shards <= 1 {
+            return Self::prepare_with_fingerprint(env, weights, fingerprint);
+        }
+        let chunk = env.len().div_ceil(shards);
+        let decls = env.decls();
+        let lowered: Vec<ShardLowering> = std::thread::scope(|scope| {
+            let handles: Vec<_> = decls
+                .chunks(chunk)
+                .map(|chunk_decls| scope.spawn(move || lower_chunk(chunk_decls)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("σ shard panicked"))
+                .collect()
+        });
+
+        // Deterministic merge: revisit declarations in global order; for each,
+        // replay the shard-local types its lowering first interned (its
+        // watermark range), resolving local argument ids through the shard's
+        // memo — always present, since local args precede their users.
+        let mut store = SuccinctStore::new();
+        let mut decl_succ = Vec::with_capacity(env.len());
+        let mut by_succ: HashMap<SuccinctTyId, Vec<usize>> = HashMap::new();
+        let mut resolved: Vec<Vec<SuccinctTyId>> = lowered
+            .iter()
+            .map(|s| Vec::with_capacity(s.store.ty_count()))
+            .collect();
+        for idx in 0..env.len() {
+            let (shard_idx, off) = (idx / chunk, idx % chunk);
+            let shard = &lowered[shard_idx];
+            let memo = &mut resolved[shard_idx];
+            let hi = shard.watermarks[off] as usize;
+            while memo.len() < hi {
+                let data = shard.store.ty(SuccinctTyId::from_index(memo.len() as u32));
+                let args: Vec<SuccinctTyId> =
+                    data.args.iter().map(|a| memo[a.as_usize()]).collect();
+                let ret = store.base_symbol(shard.store.base_name(data.ret));
+                let canonical = store.mk_ty(args, ret);
+                memo.push(canonical);
+            }
+            let succ = memo[shard.decl_local[off].as_usize()];
             decl_succ.push(succ);
             by_succ.entry(succ).or_default().push(idx);
         }
@@ -266,6 +410,38 @@ impl PreparedEnv {
     /// succinct types on the Figure 1 example).
     pub fn distinct_succinct_types(&self) -> usize {
         self.by_succ.len()
+    }
+
+    /// Full byte-level identity against another preparation: the fingerprint,
+    /// every index (`decl_succ`, `decl_weight`, `by_succ`, `ty_weight`,
+    /// `init_env`) and every store table (symbol names, type records, the
+    /// interned initial environment) must match, id for id. This is the
+    /// contract [`PreparedEnv::prepare_sharded`] documents; the
+    /// `baseline --check` shard-invariance gate and the property tests hold
+    /// arbitrary shard counts to it.
+    pub fn identical_to(&self, other: &PreparedEnv) -> bool {
+        if self.fingerprint != other.fingerprint
+            || self.init_env != other.init_env
+            || self.decl_succ != other.decl_succ
+            || self.decl_weight != other.decl_weight
+            || self.by_succ != other.by_succ
+            || self.ty_weight != other.ty_weight
+            || self.store.ty_count() != other.store.ty_count()
+            || self.store.symbol_count() != other.store.symbol_count()
+        {
+            return false;
+        }
+        let tys_match = (0..self.store.ty_count() as u32).all(|i| {
+            let id = SuccinctTyId::from_index(i);
+            self.store.ty(id) == other.store.ty(id)
+        });
+        let symbols_match = (0..self.store.symbol_count() as u32).all(|i| {
+            let sym = Symbol::from_index(i);
+            self.store.base_name(sym) == other.store.base_name(sym)
+        });
+        tys_match
+            && symbols_match
+            && self.store.env_types(self.init_env) == other.store.env_types(other.init_env)
     }
 }
 
@@ -435,5 +611,95 @@ mod tests {
             PreparedEnv::fingerprint_of(&dup_env, &weights),
         );
         assert_eq!(dup.init_env, base.init_env);
+    }
+
+    /// Every observable field — including raw interned ids and store counts —
+    /// must agree between a sharded and a sequential preparation.
+    fn assert_prepare_identical(a: &PreparedEnv, b: &PreparedEnv) {
+        assert_eq!(a.decl_succ, b.decl_succ);
+        assert_eq!(a.decl_weight, b.decl_weight);
+        assert_eq!(a.by_succ, b.by_succ);
+        assert_eq!(a.ty_weight, b.ty_weight);
+        assert_eq!(a.init_env, b.init_env);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.store.ty_count(), b.store.ty_count());
+        assert_eq!(a.store.symbol_count(), b.store.symbol_count());
+        assert_eq!(a.store.env_types(a.init_env), b.store.env_types(b.init_env));
+    }
+
+    /// A small environment that exercises the interesting merge cases: types
+    /// duplicated across shards, nested arrows whose curried intermediates
+    /// must also replay, higher-order arguments, and single-shard chunks.
+    fn shard_env() -> TypeEnv {
+        let mut e = TypeEnv::new();
+        e.push(Declaration::new("a", Ty::base("Int"), DeclKind::Local));
+        e.push(Declaration::new(
+            "f",
+            Ty::fun(vec![Ty::base("Int"), Ty::base("Str")], Ty::base("File")),
+            DeclKind::Imported,
+        ));
+        e.push(Declaration::new(
+            "g",
+            Ty::fun(vec![Ty::base("Str"), Ty::base("Int")], Ty::base("File")),
+            DeclKind::Local,
+        ));
+        e.push(Declaration::new(
+            "h",
+            Ty::fun(
+                vec![Ty::fun(vec![Ty::base("Int")], Ty::base("Str"))],
+                Ty::base("Int"),
+            ),
+            DeclKind::Imported,
+        ));
+        e.push(Declaration::new("b", Ty::base("Str"), DeclKind::Class));
+        e.push(Declaration::new(
+            "k",
+            Ty::fun(vec![Ty::base("File")], Ty::base("Str")),
+            DeclKind::Local,
+        ));
+        e
+    }
+
+    #[test]
+    fn sharded_prepare_is_byte_identical_for_every_shard_count() {
+        let weights = WeightConfig::default();
+        let env = shard_env();
+        let sequential = PreparedEnv::prepare(&env, &weights);
+        // Includes shard counts exceeding the declaration count.
+        for shards in [1, 2, 3, 4, 8, 64] {
+            let sharded = PreparedEnv::prepare_sharded(&env, &weights, shards);
+            assert_prepare_identical(&sharded, &sequential);
+        }
+    }
+
+    #[test]
+    fn sharded_prepare_handles_degenerate_environments() {
+        let weights = WeightConfig::default();
+        let empty = TypeEnv::new();
+        assert_prepare_identical(
+            &PreparedEnv::prepare_sharded(&empty, &weights, 8),
+            &PreparedEnv::prepare(&empty, &weights),
+        );
+        let mut one = TypeEnv::new();
+        one.push(Declaration::new(
+            "only",
+            Ty::fun(vec![Ty::base("A")], Ty::base("B")),
+            DeclKind::Local,
+        ));
+        assert_prepare_identical(
+            &PreparedEnv::prepare_sharded(&one, &weights, 8),
+            &PreparedEnv::prepare(&one, &weights),
+        );
+    }
+
+    #[test]
+    fn effective_sigma_shards_keeps_chunks_coarse() {
+        // Small environments degrade to the sequential path.
+        assert_eq!(effective_sigma_shards(8, 500), 1);
+        assert_eq!(effective_sigma_shards(8, 2048), 2);
+        // Large environments honor the request.
+        assert_eq!(effective_sigma_shards(8, 50_000), 8);
+        // Zero is treated as one.
+        assert_eq!(effective_sigma_shards(0, 50_000), 1);
     }
 }

@@ -92,7 +92,7 @@ use crate::explore::{explore, ExploreLimits};
 use crate::genp::generate_patterns;
 use crate::gent::{CancelToken, GenerateLimits, RankedTerm};
 use crate::graph::{lock_recovering, DerivationGraph, WalkState};
-use crate::prepare::PreparedEnv;
+use crate::prepare::{effective_sigma_shards, PreparedEnv};
 use crate::synth::{PhaseTimings, Snippet, SynthesisConfig, SynthesisResult, SynthesisStats};
 use crate::weights::WeightConfig;
 
@@ -124,6 +124,18 @@ pub struct EngineStatsSnapshot {
     /// σ-lowering runs performed (full preparations plus incremental delta
     /// re-preparations).
     pub prepare_count: usize,
+    /// σ-lowering runs that took the sharded parallel path (more than one
+    /// shard after the [`effective_sigma_shards`] policy; small environments
+    /// and incremental delta re-preparations stay sequential).
+    pub sharded_prepare_count: usize,
+    /// Cumulative wall time of all σ-lowering runs, in nanoseconds.
+    pub prepare_time_ns: u64,
+    /// Portion of `prepare_time_ns` spent in sharded parallel runs.
+    pub sharded_prepare_time_ns: u64,
+    /// The configured [`SynthesisConfig::sigma_shards`] knob.
+    pub sigma_shards: usize,
+    /// The configured [`SynthesisConfig::graph_build_threads`] knob.
+    pub graph_build_threads: usize,
     /// Derivation-graph builds across every session of this engine.
     pub graph_build_count: usize,
     /// Prepared program points currently cached.
@@ -189,16 +201,18 @@ impl Engine {
                 return self.session_for(point);
             }
         }
+        let shards = effective_sigma_shards(self.config.sigma_shards, env.len());
         let started = Instant::now();
-        let prepared = Arc::new(PreparedEnv::prepare_with_fingerprint(
+        let prepared = Arc::new(PreparedEnv::prepare_with_fingerprint_sharded(
             env,
             &self.config.weights,
             fingerprint,
+            shards,
         ));
         // prepare_time covers only the σ-lowering and index construction —
         // the quantity queries amortize — not the bookkeeping copies below.
         let prepare_time = started.elapsed();
-        self.cache.prepares.fetch_add(1, Ordering::Relaxed);
+        self.cache.record_prepare(shards, prepare_time);
         let point = Arc::new(PreparedPoint {
             env: env.clone(),
             prepared,
@@ -273,6 +287,11 @@ impl Engine {
     pub fn stats(&self) -> EngineStatsSnapshot {
         EngineStatsSnapshot {
             prepare_count: self.prepare_count(),
+            sharded_prepare_count: self.cache.sharded_prepares.load(Ordering::Relaxed),
+            prepare_time_ns: self.cache.prepare_time_ns.load(Ordering::Relaxed),
+            sharded_prepare_time_ns: self.cache.sharded_prepare_time_ns.load(Ordering::Relaxed),
+            sigma_shards: self.config.sigma_shards,
+            graph_build_threads: self.config.graph_build_threads,
             graph_build_count: self.graph_build_count(),
             cached_point_count: self.cached_point_count(),
             cached_graph_count: self.cached_graph_count(),
@@ -670,10 +689,13 @@ impl Query {
                 .unwrap_or(base.max_reconstruction_steps),
             max_depth: self.max_depth.unwrap_or(base.max_depth),
             erase_coercions: self.erase_coercions.unwrap_or(base.erase_coercions),
-            // Engine-level knobs; queries cannot override the cache bounds.
+            // Engine-level knobs; queries cannot override the cache bounds
+            // or the parallelism of shared preparation/build phases.
             graph_cache_capacity: base.graph_cache_capacity,
             point_cache_capacity: base.point_cache_capacity,
             suspended_walk_capacity: base.suspended_walk_capacity,
+            sigma_shards: base.sigma_shards,
+            graph_build_threads: base.graph_build_threads,
         }
     }
 }
@@ -918,6 +940,12 @@ pub(crate) struct ArtifactCache {
     clock: AtomicU64,
     /// σ-lowering runs (full and incremental preparations).
     prepares: AtomicUsize,
+    /// σ-lowering runs that took the sharded parallel path (> 1 shard).
+    sharded_prepares: AtomicUsize,
+    /// Cumulative wall time of all σ-lowering runs, in nanoseconds.
+    prepare_time_ns: AtomicU64,
+    /// Portion of `prepare_time_ns` spent in sharded parallel runs.
+    sharded_prepare_time_ns: AtomicU64,
     /// Derivation-graph builds across every session of the engine.
     graph_builds: AtomicUsize,
 }
@@ -929,7 +957,24 @@ impl ArtifactCache {
             graphs: RwLock::new(HashMap::new()),
             clock: AtomicU64::new(0),
             prepares: AtomicUsize::new(0),
+            sharded_prepares: AtomicUsize::new(0),
+            prepare_time_ns: AtomicU64::new(0),
+            sharded_prepare_time_ns: AtomicU64::new(0),
             graph_builds: AtomicUsize::new(0),
+        }
+    }
+
+    /// Accounts one σ-lowering run: the work counter, its wall time, and —
+    /// when it fanned out over more than one shard — the sharded-path
+    /// counters the stats snapshot reports.
+    fn record_prepare(&self, shards: usize, elapsed: Duration) {
+        let ns = elapsed.as_nanos() as u64;
+        self.prepares.fetch_add(1, Ordering::Relaxed);
+        self.prepare_time_ns.fetch_add(ns, Ordering::Relaxed);
+        if shards > 1 {
+            self.sharded_prepares.fetch_add(1, Ordering::Relaxed);
+            self.sharded_prepare_time_ns
+                .fetch_add(ns, Ordering::Relaxed);
         }
     }
 
@@ -1381,6 +1426,13 @@ impl Session {
         // bookkeeping risk).
         let incremental = delta.removes.is_empty()
             && delta.adds.len() + delta.reweights.len() <= 16.max(old_env.len() / 4);
+        // The incremental path σ-lowers only the appended suffix, so it never
+        // shards; the fresh fallback scales like Engine::prepare and does.
+        let shards = if incremental {
+            1
+        } else {
+            effective_sigma_shards(self.config.sigma_shards, new_env.len())
+        };
         let started = Instant::now();
         let prepared = if incremental {
             Arc::new(PreparedEnv::prepare_appended(
@@ -1391,14 +1443,15 @@ impl Session {
                 fingerprint,
             ))
         } else {
-            Arc::new(PreparedEnv::prepare_with_fingerprint(
+            Arc::new(PreparedEnv::prepare_with_fingerprint_sharded(
                 &new_env,
                 &self.config.weights,
                 fingerprint,
+                shards,
             ))
         };
         let prepare_time = started.elapsed();
-        self.cache.prepares.fetch_add(1, Ordering::Relaxed);
+        self.cache.record_prepare(shards, prepare_time);
         let point = Arc::new(PreparedPoint {
             env: new_env,
             prepared,
@@ -1561,7 +1614,15 @@ pub(crate) fn build_artifacts(
     // the graph is what GenerateP now emits.
     let patterns_started = Instant::now();
     let patterns = generate_patterns(&mut store, &space);
-    let graph = DerivationGraph::build(prepared, &mut store, &patterns, env, &config.weights, goal);
+    let graph = DerivationGraph::build_with_threads(
+        prepared,
+        &mut store,
+        &patterns,
+        env,
+        &config.weights,
+        goal,
+        config.graph_build_threads,
+    );
     let patterns_time = patterns_started.elapsed();
 
     let touched: BTreeSet<String> = space
@@ -2358,13 +2419,26 @@ mod tests {
     #[test]
     fn engine_stats_snapshot_tracks_counters_and_cache_sizes() {
         let engine = Engine::new(SynthesisConfig::default());
-        assert_eq!(engine.stats(), EngineStatsSnapshot::default());
+        let fresh = engine.stats();
+        // A fresh engine reports only the configured parallelism knobs.
+        assert_eq!(
+            fresh,
+            EngineStatsSnapshot {
+                sigma_shards: engine.config().sigma_shards,
+                graph_build_threads: engine.config().graph_build_threads,
+                ..EngineStatsSnapshot::default()
+            }
+        );
 
         let session = engine.prepare(&env_b());
         let result = session.query(&Query::new(Ty::base("A")).with_n(2));
         assert!(result.stats.has_more);
         let stats = engine.stats();
         assert_eq!(stats.prepare_count, 1);
+        // env_b is far below the sharding threshold: sequential path.
+        assert_eq!(stats.sharded_prepare_count, 0);
+        assert!(stats.prepare_time_ns > 0);
+        assert_eq!(stats.sharded_prepare_time_ns, 0);
         assert_eq!(stats.graph_build_count, 1);
         assert_eq!(stats.cached_point_count, 1);
         assert_eq!(stats.cached_graph_count, 1);

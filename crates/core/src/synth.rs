@@ -67,6 +67,27 @@ pub struct SynthesisConfig {
     /// Evicted least-recently-used per graph; `0` disables walk persistence
     /// (every query replays its walk; results are identical either way).
     pub suspended_walk_capacity: usize,
+    /// Number of shards σ-lowering fans out over when the engine prepares an
+    /// environment (see `PreparedEnv::prepare_sharded`). Defaults to the
+    /// machine's available parallelism; `1` pins the sequential path. The
+    /// engine additionally caps the count so each shard keeps a useful chunk
+    /// of declarations (`effective_sigma_shards`), so small environments
+    /// never pay the fan-out. Results are byte-identical for every value.
+    pub sigma_shards: usize,
+    /// Number of scoped threads the derivation-graph build fans its per-goal
+    /// edge-resolution pass over (see `DerivationGraph::build_with_threads`).
+    /// Defaults to the machine's available parallelism; `1` pins the
+    /// sequential path. Results are byte-identical for every value.
+    pub graph_build_threads: usize,
+}
+
+/// The machine's available parallelism, or `1` when it cannot be queried —
+/// the default for [`SynthesisConfig::sigma_shards`] and
+/// [`SynthesisConfig::graph_build_threads`].
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Default for SynthesisConfig {
@@ -82,6 +103,8 @@ impl Default for SynthesisConfig {
             graph_cache_capacity: 64,
             point_cache_capacity: 32,
             suspended_walk_capacity: 4,
+            sigma_shards: default_parallelism(),
+            graph_build_threads: default_parallelism(),
         }
     }
 }
