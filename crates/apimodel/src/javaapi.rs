@@ -228,7 +228,8 @@ pub fn java_io() -> Package {
                 .with_constructor(ctor(vec![t("String")]))
                 .with_constructor(ctor(vec![t("File")]))
                 .with_constructor(ctor(vec![t("FileDescriptor")]))
-                .with_method(Method::new("getFD", vec![], t("FileDescriptor"))),
+                .with_method(Method::new("getFD", vec![], t("FileDescriptor")))
+                .with_method(Method::new("getChannel", vec![], t("FileChannel"))),
         )
         .with_class(
             Class::new("ByteArrayInputStream")
@@ -561,7 +562,8 @@ pub fn java_awt() -> Package {
                 .with_method(Method::new("getLocation", vec![], t("Point")))
                 .with_method(Method::new("getSize", vec![], t("Dimension")))
                 .with_method(Method::new("setVisible", vec![t("Boolean")], t("Unit")))
-                .with_method(Method::new("repaint", vec![], t("Unit"))),
+                .with_method(Method::new("repaint", vec![], t("Unit")))
+                .with_method(Method::new("getGraphics", vec![], t("Graphics"))),
         )
         .with_class(
             Class::new("Container")
@@ -716,7 +718,8 @@ pub fn java_awt() -> Package {
                     vec![],
                     t("Toolkit"),
                 ))
-                .with_method(Method::new("getScreenSize", vec![], t("Dimension"))),
+                .with_method(Method::new("getScreenSize", vec![], t("Dimension")))
+                .with_method(Method::new("getImage", vec![t("String")], t("Image"))),
         )
         .with_class(Class::new("Image").with_method(Method::new("getWidth", vec![], t("Int"))))
         .with_class(Class::new("Cursor").with_constructor(ctor(vec![t("Int")])))
@@ -1194,7 +1197,8 @@ pub fn java_util() -> Package {
                 .with_constructor(ctor(vec![t("Int")]))
                 .with_method(Method::new("elementAt", vec![t("Int")], t("Object")))
                 .with_method(Method::new("firstElement", vec![], t("Object")))
-                .with_method(Method::new("lastElement", vec![], t("Object"))),
+                .with_method(Method::new("lastElement", vec![], t("Object")))
+                .with_method(Method::new("elements", vec![], t("Enumeration"))),
         ))
         .with_class(
             Class::new("Stack")
@@ -2003,6 +2007,7 @@ pub fn scala_ide() -> Package {
         .with_class(Class::new("Global"))
         .with_class(
             Class::new("FilterTypeTreeTraverser")
+                .extends("TypeTreeTraverser")
                 .with_constructor(ctor(vec![Ty::fun(vec![t("Tree")], t("Boolean"))]))
                 .with_method(Method::new("traverse", vec![t("Tree")], t("Unit")))
                 .with_field(Field::new("hits", t("ListBuffer"))),

@@ -1,7 +1,7 @@
 //! Regenerates `BENCH_BASELINE.json`: recorded reference numbers for the
 //! `env_scaling` (benches/phases.rs), `sigma_prepare` (benches/compression.rs),
 //! `session_amortization`, `cross_point`, `gent_ablation`, `genp_ablation`,
-//! `resume_walk` and `server_roundtrip` benchmark workloads.
+//! `resume_walk`, `server_roundtrip` and `analysis` benchmark workloads.
 //!
 //! The vendored criterion stand-in only prints to stdout, so this binary
 //! re-measures the same workloads with the same scheme (warm-up calibration,
@@ -93,7 +93,12 @@
 //!    sequential (re-measured once on a breach); on smaller machines the
 //!    gate prints a skip notice, since only the merge overhead is
 //!    measurable there;
-//! 8. a **timing-ratio gate** — re-measures the two `session_amortization`
+//! 8. an **environment-lint gate** — deterministic: `Engine::analyze` over
+//!    the two shipped models (figure-1 filler-4 and the 13k scaled rung)
+//!    must report exactly the pinned per-severity diagnostic counts and
+//!    dead-declaration counts, and the committed `envlint.allow` must cover
+//!    every warning — the library-level twin of the CI `env-lint` job;
+//! 9. a **timing-ratio gate** — re-measures the two `session_amortization`
 //!    query workloads and fails if the graph pipeline's speedup over the
 //!    unindexed pipeline shrank more than 25% against the recorded ratio.
 //!    A single noisy measurement window must not fail CI, so a breach is
@@ -110,8 +115,8 @@ use insynth_bench::{
 };
 use insynth_core::{
     explore, generate_patterns, generate_patterns_naive, generate_terms, generate_terms_best_first,
-    generate_terms_unindexed, BatchRequest, Engine, ExploreLimits, GenerateLimits, PreparedEnv,
-    Query, SynthesisConfig, TypeEnv, WeightConfig,
+    generate_terms_unindexed, Allowlist, BatchRequest, Engine, ExploreLimits, GenerateLimits,
+    PreparedEnv, Query, Severity, SynthesisConfig, TypeEnv, WeightConfig,
 };
 use insynth_lambda::Ty;
 use insynth_server::{env_to_json, serve_script, Json, Server, ServerConfig};
@@ -227,6 +232,16 @@ fn amortization_goal() -> Ty {
 /// replays it through the production transport and holds its final
 /// `server/stats` counters to the expected cache economics.
 const SESSION_SCRIPT: &str = include_str!("../../../server/tests/data/script.jsonl");
+
+/// The committed allowlist of intentional lint findings, shared verbatim
+/// with the CI `env-lint` job (`insynth-envlint --check --allowlist
+/// envlint.allow`): the `--check` env-lint gate holds the shipped models to
+/// zero non-allowlisted warnings under exactly this file.
+const ENVLINT_ALLOWLIST: &str = include_str!("../../../../envlint.allow");
+
+/// The env-lint gate's scaled-model declaration target — the 13k rung, the
+/// same scale `insynth-envlint` defaults to.
+const ENVLINT_SCALE: usize = 13_000;
 
 /// Four structurally equal program points (clones plus a declaration-order
 /// permutation of `env`) asking `goal` — the cross-point batch workload, and
@@ -702,10 +717,74 @@ fn main() {
         });
     }
 
+    // analysis: the static-analysis pass on both shipped models, and the
+    // cost of a cold query with and without dead-decl pruning at the 13k
+    // rung. The analyze entries zero the engine's analysis cache so every
+    // iteration pays the full producibility fixpoint + diagnostics pass
+    // (the σ prepare itself is a fingerprint hit after warm-up); the
+    // query_cold entries pay everything — σ, the goal-directed dead-decl
+    // fixpoint and filtered re-prepare on the pruned side, explore,
+    // patterns, graph build, walk — so their gap records what the
+    // `prune_dead_decls` knob costs or buys end to end.
+    {
+        for (id, env) in [
+            ("analyze_figure1", phases_environment(4)),
+            ("analyze_scaled13k", scaled_environment(ENVLINT_SCALE)),
+        ] {
+            let env_size = env.len();
+            let engine = Engine::new(SynthesisConfig {
+                analysis_cache_capacity: 0,
+                ..SynthesisConfig::default()
+            });
+            let _warm = engine.prepare(&env);
+            eprintln!("measuring analysis/{id}/{env_size} …");
+            let (samples, iters, min, median, mean) = measure(10, || engine.analyze(&env));
+            measurements.push(Measurement {
+                bench: "phases",
+                group: "analysis",
+                id: id.to_owned(),
+                env_size,
+                samples,
+                iters_per_sample: iters,
+                min_ns: min,
+                median_ns: median,
+                mean_ns: mean,
+                growth_exponent: None,
+            });
+        }
+
+        let env = scaled_environment(ENVLINT_SCALE);
+        let env_size = env.len();
+        let goal = amortization_goal();
+        for (id, prune) in [("query_cold_unpruned", false), ("query_cold_pruned", true)] {
+            eprintln!("measuring analysis/{id}/{env_size} …");
+            let (samples, iters, min, median, mean) = measure(10, || {
+                Engine::new(SynthesisConfig {
+                    prune_dead_decls: prune,
+                    ..SynthesisConfig::default()
+                })
+                .prepare(&env)
+                .query(&Query::new(goal.clone()))
+            });
+            measurements.push(Measurement {
+                bench: "phases",
+                group: "analysis",
+                id: id.to_owned(),
+                env_size,
+                samples,
+                iters_per_sample: iters,
+                min_ns: min,
+                median_ns: median,
+                mean_ns: mean,
+                growth_exponent: None,
+            });
+        }
+    }
+
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
-        "  \"_note\": \"Reference timings for the env_scaling, session_amortization, cross_point, gent_ablation, genp_ablation, resume_walk, server_roundtrip and sigma_prepare benchmark workloads. Wall-clock, machine-specific; regenerate on the machine you compare on with: cargo run --release -p insynth_bench --bin baseline. CI perf smoke: baseline --check fails when a query_batch over 4 structurally equal points stops reporting exactly 1 prepare + 1 graph build, when the A* walk stops cutting filler-4 queue pops 2x vs the best-first walk, when growing n=10 into n=20 on a warm session stops resuming the suspended walk (extra graph builds, or not strictly fewer pops than a from-scratch n=20, or diverging answers), when the scripted server session stops being byte-stable or stops reporting its expected cache-hit counters (2 prepares, 2 graph builds, 2 resumed walks, 1 cancelled request), when sharded preparation (1/2/8 σ shards) stops being byte-identical to sequential, when the σ-prepare growth exponent over the 12k/25k/51k ladder exceeds its cap, when (on >= 4 cores) sharded preparation stops being 2x faster than sequential at the 51k rung, or when the session_amortization query speedup regresses >25% vs this file in two consecutive measurement windows.\",\n",
+        "  \"_note\": \"Reference timings for the env_scaling, session_amortization, cross_point, gent_ablation, genp_ablation, resume_walk, server_roundtrip, sigma_prepare and analysis benchmark workloads. Wall-clock, machine-specific; regenerate on the machine you compare on with: cargo run --release -p insynth_bench --bin baseline. CI perf smoke: baseline --check fails when a query_batch over 4 structurally equal points stops reporting exactly 1 prepare + 1 graph build, when the A* walk stops cutting filler-4 queue pops 2x vs the best-first walk, when growing n=10 into n=20 on a warm session stops resuming the suspended walk (extra graph builds, or not strictly fewer pops than a from-scratch n=20, or diverging answers), when the scripted server session stops being byte-stable or stops reporting its expected cache-hit counters (2 prepares, 2 graph builds, 2 resumed walks, 1 cancelled request), when sharded preparation (1/2/8 σ shards) stops being byte-identical to sequential, when the σ-prepare growth exponent over the 12k/25k/51k ladder exceeds its cap, when (on >= 4 cores) sharded preparation stops being 2x faster than sequential at the 51k rung, when Engine::analyze over the shipped models drifts from the pinned diagnostic counts or a warning escapes envlint.allow, or when the session_amortization query speedup regresses >25% vs this file in two consecutive measurement windows.\",\n",
     );
     out.push_str(
         "  \"_measurement\": \"per-iteration nanoseconds; warm-up-calibrated samples of batched iterations, as in vendor/criterion (min/median/mean only)\",\n",
@@ -1104,7 +1183,64 @@ fn run_check(path: &str) -> i32 {
         );
     }
 
-    // Gate 7 — query-time ratio, re-measured once on a breach.
+    // Gate 7 — environment lint, deterministic: `Engine::analyze` over the
+    // two shipped models must report exactly the pinned diagnostic counts,
+    // and the committed allowlist must cover every warning — the
+    // library-level twin of the CI env-lint job (which drives the
+    // insynth-envlint binary over the same models with the same allowlist).
+    // Reports are deterministic, so exact counts are safe to pin; drift
+    // means the API model or the analyzer changed without the lint baseline
+    // being re-recorded.
+    {
+        let allowlist =
+            Allowlist::parse(ENVLINT_ALLOWLIST).expect("committed envlint.allow parses");
+        let lint_engine = Engine::new(SynthesisConfig::default());
+        let expectations = [
+            (
+                "figure1",
+                phases_environment(4),
+                2usize,
+                67usize,
+                [0usize, 2, 65],
+            ),
+            (
+                "scaled13k",
+                scaled_environment(ENVLINT_SCALE),
+                16,
+                365,
+                [0, 16, 349],
+            ),
+        ];
+        for (name, lint_env, dead, total, [errors, warnings, infos]) in expectations {
+            let report = lint_engine.analyze(&lint_env);
+            let failing = report.failing(Severity::Warning, &allowlist).len();
+            println!(
+                "env-lint {name}: {} diagnostics ({} error, {} warning, {} info), {} dead, \
+                 {failing} non-allowlisted (gate requires {total} = {errors}/{warnings}/{infos}, \
+                 {dead} dead, 0 non-allowlisted)",
+                report.diagnostics.len(),
+                report.count_at(Severity::Error),
+                report.count_at(Severity::Warning),
+                report.count_at(Severity::Info),
+                report.dead_decls.len(),
+            );
+            let pinned = report.diagnostics.len() == total
+                && report.count_at(Severity::Error) == errors
+                && report.count_at(Severity::Warning) == warnings
+                && report.count_at(Severity::Info) == infos
+                && report.dead_decls.len() == dead;
+            if !pinned || failing != 0 {
+                println!(
+                    "PERF REGRESSION: the {name} model's analysis report drifted from the \
+                     pinned counts (or a warning escaped the allowlist) — re-record the lint \
+                     baseline if the model change is intentional"
+                );
+                return 1;
+            }
+        }
+    }
+
+    // Gate 8 — query-time ratio, re-measured once on a breach.
     let (query_median, unindexed_median, first_ratio) = measure_query_ratio(&env, &goal);
     println!(
         "graph query median {query_median} ns, unindexed reference median {unindexed_median} ns: \

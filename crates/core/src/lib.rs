@@ -103,6 +103,9 @@ pub use gent::{
     generate_terms_unindexed, CancelToken, GenerateLimits, GenerateOutcome, RankedTerm,
 };
 pub use graph::{generate_terms, generate_terms_best_first, DerivationGraph, HoleTyId};
+pub use insynth_analysis::{
+    Allowlist, AnalysisReport, DeclFacts, Diagnostic, DiagnosticKind, Severity,
+};
 pub use insynth_succinct::EnvFingerprint;
 pub use prepare::{effective_sigma_shards, PreparedEnv};
 pub use rcn::{is_inhabited_ref, rcn};

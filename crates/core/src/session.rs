@@ -83,6 +83,7 @@ use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock, RwLockReadGuard, RwLockWrite
 use std::thread;
 use std::time::{Duration, Instant};
 
+use insynth_analysis::{analyze, dead_decl_indices, AnalysisReport, DeclFacts};
 use insynth_lambda::Ty;
 use insynth_succinct::EnvFingerprint;
 
@@ -144,6 +145,13 @@ pub struct EngineStatsSnapshot {
     pub cached_graph_count: usize,
     /// Suspended walk states currently parked across the cached graphs.
     pub suspended_walk_count: usize,
+    /// Environment analyses performed ([`Engine::analyze`] cache misses);
+    /// the difference between `analyze` calls issued and this count is the
+    /// analysis cache's hit count.
+    pub analysis_count: usize,
+    /// Analysis reports currently cached (bounded by
+    /// [`SynthesisConfig::analysis_cache_capacity`]).
+    pub cached_analysis_count: usize,
 }
 
 impl Default for Engine {
@@ -275,6 +283,34 @@ impl Engine {
         self.cache.read_graphs().len()
     }
 
+    /// Statically analyzes `env`: prepares it (or reuses the cached point),
+    /// runs the goal-independent producibility fixpoint over the σ-lowered
+    /// signatures, and reports dead declarations, uninhabitable types,
+    /// ambiguous overload groups, duplicates and weight anomalies — see
+    /// [`insynth_analysis::analyze`] for the diagnostic semantics.
+    ///
+    /// Reports are cached by environment fingerprint alongside the point
+    /// cache (bounded by [`SynthesisConfig::analysis_cache_capacity`]), so
+    /// re-analyzing an unchanged environment is a lookup. The diagnostics
+    /// are deterministic: equal environments yield byte-equal reports, on
+    /// every run and for every `sigma_shards` setting.
+    pub fn analyze(&self, env: &TypeEnv) -> Arc<AnalysisReport> {
+        self.prepare(env).analyze()
+    }
+
+    /// Number of environment analyses this engine (and its clones) actually
+    /// performed; the difference between [`Engine::analyze`] calls issued
+    /// and this count is the analysis cache's hit count.
+    pub fn analysis_count(&self) -> usize {
+        self.cache.analyses_run.load(Ordering::Relaxed)
+    }
+
+    /// Number of analysis reports currently cached (bounded by
+    /// [`SynthesisConfig::analysis_cache_capacity`]).
+    pub fn cached_analysis_count(&self) -> usize {
+        self.cache.read_analyses().len()
+    }
+
     /// One coherent snapshot of every engine-level counter and cache size.
     ///
     /// The work counters (`prepare_count`, `graph_build_count`) are
@@ -296,6 +332,8 @@ impl Engine {
             cached_point_count: self.cached_point_count(),
             cached_graph_count: self.cached_graph_count(),
             suspended_walk_count: self.suspended_walk_count(),
+            analysis_count: self.analysis_count(),
+            cached_analysis_count: self.cached_analysis_count(),
         }
     }
 
@@ -696,6 +734,8 @@ impl Query {
             suspended_walk_capacity: base.suspended_walk_capacity,
             sigma_shards: base.sigma_shards,
             graph_build_threads: base.graph_build_threads,
+            analysis_cache_capacity: base.analysis_cache_capacity,
+            prune_dead_decls: base.prune_dead_decls,
         }
     }
 }
@@ -875,8 +915,21 @@ struct GraphSlot {
     point: Arc<PreparedPoint>,
 }
 
+/// A cached environment analysis: the report plus the prepared point it was
+/// computed over. Lookups verify their point against it (pointer-fast for
+/// sessions sharing the canonical point, structural otherwise) because the
+/// report's diagnostic `decls` indices resolve against *that* point's
+/// declaration order — a fingerprint collision, or a permuted twin prepared
+/// past the point cache, must recompute rather than share.
+#[derive(Debug)]
+struct AnalysisSlot {
+    point: Arc<PreparedPoint>,
+    report: Arc<AnalysisReport>,
+}
+
 type PointMap = HashMap<EnvFingerprint, Stamped<Arc<PreparedPoint>>>;
 type GraphMap = HashMap<ArtifactKey, Stamped<GraphSlot>>;
+type AnalysisMap = HashMap<EnvFingerprint, Stamped<AnalysisSlot>>;
 
 /// How a point-cache lookup decides whether a cached environment may stand
 /// in for the requested one.
@@ -936,6 +989,9 @@ fn evict_lru<K: Clone + Eq + std::hash::Hash, T>(
 pub(crate) struct ArtifactCache {
     points: RwLock<PointMap>,
     graphs: RwLock<GraphMap>,
+    /// Environment analyses keyed by fingerprint, LRU-bounded by
+    /// [`SynthesisConfig::analysis_cache_capacity`].
+    analyses: RwLock<AnalysisMap>,
     /// Monotone stamp source for both caches' LRU recency ordering.
     clock: AtomicU64,
     /// σ-lowering runs (full and incremental preparations).
@@ -948,6 +1004,8 @@ pub(crate) struct ArtifactCache {
     sharded_prepare_time_ns: AtomicU64,
     /// Derivation-graph builds across every session of the engine.
     graph_builds: AtomicUsize,
+    /// Environment analyses performed (analysis-cache misses).
+    analyses_run: AtomicUsize,
 }
 
 impl ArtifactCache {
@@ -955,12 +1013,14 @@ impl ArtifactCache {
         ArtifactCache {
             points: RwLock::new(HashMap::new()),
             graphs: RwLock::new(HashMap::new()),
+            analyses: RwLock::new(HashMap::new()),
             clock: AtomicU64::new(0),
             prepares: AtomicUsize::new(0),
             sharded_prepares: AtomicUsize::new(0),
             prepare_time_ns: AtomicU64::new(0),
             sharded_prepare_time_ns: AtomicU64::new(0),
             graph_builds: AtomicUsize::new(0),
+            analyses_run: AtomicUsize::new(0),
         }
     }
 
@@ -999,6 +1059,64 @@ impl ArtifactCache {
 
     fn write_graphs(&self) -> RwLockWriteGuard<'_, GraphMap> {
         self.graphs.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn read_analyses(&self) -> RwLockReadGuard<'_, AnalysisMap> {
+        self.analyses.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_analyses(&self) -> RwLockWriteGuard<'_, AnalysisMap> {
+        self.analyses.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up a cached analysis report for `point`'s fingerprint, sharing
+    /// it only when the cached slot was computed over the same declaration
+    /// list (the report's diagnostic indices resolve against it).
+    fn lookup_analysis(&self, point: &Arc<PreparedPoint>) -> Option<Arc<AnalysisReport>> {
+        let analyses = self.read_analyses();
+        let entry = analyses.get(&point.prepared.fingerprint)?;
+        let slot = &entry.value;
+        if !Arc::ptr_eq(&slot.point, point) && slot.point.env != point.env {
+            return None;
+        }
+        entry.last_used.store(self.stamp(), Ordering::Relaxed);
+        Some(Arc::clone(&slot.report))
+    }
+
+    /// Inserts a freshly computed analysis, adopting a matching entry another
+    /// thread raced in first and evicting least-recently-used reports beyond
+    /// `capacity`. A non-matching occupant (fingerprint collision) is left
+    /// alone and the caller's report is returned uncached.
+    fn insert_analysis(
+        &self,
+        point: &Arc<PreparedPoint>,
+        report: Arc<AnalysisReport>,
+        capacity: usize,
+    ) -> Arc<AnalysisReport> {
+        let mut analyses = self.write_analyses();
+        let stamp = self.stamp();
+        match analyses.entry(point.prepared.fingerprint) {
+            std::collections::hash_map::Entry::Occupied(entry) => {
+                let slot = &entry.get().value;
+                return if Arc::ptr_eq(&slot.point, point) || slot.point.env == point.env {
+                    entry.get().last_used.store(stamp, Ordering::Relaxed);
+                    Arc::clone(&slot.report)
+                } else {
+                    report
+                };
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Stamped {
+                    value: AnalysisSlot {
+                        point: Arc::clone(point),
+                        report: Arc::clone(&report),
+                    },
+                    last_used: AtomicU64::new(stamp),
+                });
+            }
+        }
+        evict_lru(&mut analyses, capacity);
+        report
     }
 
     /// Looks up a prepared point by fingerprint, verifying the stored
@@ -1561,6 +1679,50 @@ impl Session {
         let ret = store.ret_of(goal_succ);
         patterns.is_inhabited(ret, extended)
     }
+
+    /// Statically analyzes this session's program point — the session form
+    /// of [`Engine::analyze`], sharing the same fingerprint-keyed report
+    /// cache. The report's diagnostic indices resolve against
+    /// [`Session::env`] (the canonical declaration list).
+    pub fn analyze(&self) -> Arc<AnalysisReport> {
+        let capacity = self.config.analysis_cache_capacity;
+        if capacity > 0 {
+            if let Some(report) = self.cache.lookup_analysis(&self.point) {
+                return report;
+            }
+        }
+        self.cache.analyses_run.fetch_add(1, Ordering::Relaxed);
+        let report = Arc::new(analyze_point(&self.point, &self.config));
+        if capacity > 0 {
+            self.cache.insert_analysis(&self.point, report, capacity)
+        } else {
+            report
+        }
+    }
+}
+
+/// Runs the goal-independent static analysis over one prepared point: adapts
+/// the declaration list and the σ-lowering into the analyzer's
+/// [`DeclFacts`] form and hands it the frozen succinct store.
+fn analyze_point(point: &Arc<PreparedPoint>, config: &SynthesisConfig) -> AnalysisReport {
+    let prepared = &point.prepared;
+    let facts: Vec<DeclFacts> = point
+        .env
+        .iter()
+        .enumerate()
+        .map(|(idx, decl)| DeclFacts {
+            name: decl.name.clone(),
+            rendered_ty: decl.ty.to_string(),
+            kind: decl.kind.to_string(),
+            succ: prepared.decl_succ[idx],
+            weight: prepared.decl_weight[idx].value(),
+        })
+        .collect();
+    analyze(
+        &prepared.store,
+        &facts,
+        config.weights.lambda_weight().value(),
+    )
 }
 
 /// The sorted return-type names of every declaration whose effective weight
@@ -1584,9 +1746,70 @@ fn changed_ret_names(
     changed.into_iter().collect()
 }
 
+/// The opt-in dead-declaration prune ([`SynthesisConfig::prune_dead_decls`]):
+/// runs the goal-extended producibility analysis over `point` and, when it
+/// proves declarations dead, re-prepares the environment without them.
+/// Returns `None` when nothing is prunable (the common case — the caller
+/// builds against the original point, paying nothing beyond the analysis).
+///
+/// Answer-preserving by construction: a declaration is only dropped when
+/// some parameter type is unproducible even in `E_max` extended with the
+/// goal's argument types, and every environment the walk constructs is a
+/// subset of that extension — so the declaration can head no subterm of any
+/// completion for this goal. The pruned point's σ cost is deliberately not
+/// recorded in the engine's prepare counters (the prune is a per-build
+/// private detail, not a cross-point cache event).
+fn pruned_point(
+    point: &Arc<PreparedPoint>,
+    config: &SynthesisConfig,
+    goal: &Ty,
+) -> Option<Arc<PreparedPoint>> {
+    use insynth_succinct::TypeStore;
+
+    let prepared = &point.prepared;
+    let mut store = prepared.scratch();
+    let goal_succ = store.sigma(goal);
+    let goal_args = store.args_of(goal_succ).to_vec();
+    let dead = dead_decl_indices(&store, &prepared.decl_succ, &goal_args);
+    if dead.is_empty() {
+        return None;
+    }
+    let dead: std::collections::HashSet<usize> = dead.into_iter().collect();
+    let env: TypeEnv = point
+        .env
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| !dead.contains(idx))
+        .map(|(_, decl)| decl.clone())
+        .collect();
+    let prepared = Arc::new(PreparedEnv::prepare(&env, &config.weights));
+    Some(Arc::new(PreparedPoint {
+        env,
+        prepared,
+        prepare_time: Duration::ZERO,
+    }))
+}
+
 /// Runs exploration, pattern generation and graph compilation for one goal —
-/// the phases the engine caches per [`ArtifactKey`].
+/// the phases the engine caches per [`ArtifactKey`]. With
+/// [`SynthesisConfig::prune_dead_decls`] set, the build first drops the
+/// declarations the static analysis proves unusable for this goal and runs
+/// against the pruned point; the emitted terms and weights are identical
+/// either way (the prune is answer-preserving), only the graph is smaller.
 pub(crate) fn build_artifacts(
+    point: &Arc<PreparedPoint>,
+    config: &SynthesisConfig,
+    goal: &Ty,
+) -> QueryArtifacts {
+    if config.prune_dead_decls {
+        if let Some(pruned) = pruned_point(point, config, goal) {
+            return build_artifacts_inner(&pruned, config, goal);
+        }
+    }
+    build_artifacts_inner(point, config, goal)
+}
+
+fn build_artifacts_inner(
     point: &Arc<PreparedPoint>,
     config: &SynthesisConfig,
     goal: &Ty,

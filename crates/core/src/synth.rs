@@ -79,6 +79,21 @@ pub struct SynthesisConfig {
     /// Defaults to the machine's available parallelism; `1` pins the
     /// sequential path. Results are byte-identical for every value.
     pub graph_build_threads: usize,
+    /// Upper bound on the number of environment analyses
+    /// ([`Engine::analyze`](crate::Engine::analyze) reports) the engine
+    /// caches, keyed by environment fingerprint alongside the point cache.
+    /// Evicted least-recently-used; `0` disables analysis caching (every
+    /// call re-runs the producibility fixpoint).
+    pub analysis_cache_capacity: usize,
+    /// When `true`, each query first runs the goal-directed dead-declaration
+    /// analysis and builds its derivation graph from the environment with
+    /// the proven-dead declarations removed. Answer-preserving by
+    /// construction (a dead declaration can appear in no completion for any
+    /// goal), and typically cheaper on environments with unreachable
+    /// regions; default `false` keeps the build byte-for-byte identical to
+    /// earlier releases. Engine-level: fixed at engine construction, not
+    /// overridable per query.
+    pub prune_dead_decls: bool,
 }
 
 /// The machine's available parallelism, or `1` when it cannot be queried —
@@ -105,6 +120,8 @@ impl Default for SynthesisConfig {
             suspended_walk_capacity: 4,
             sigma_shards: default_parallelism(),
             graph_build_threads: default_parallelism(),
+            analysis_cache_capacity: 32,
+            prune_dead_decls: false,
         }
     }
 }

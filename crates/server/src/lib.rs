@@ -13,6 +13,7 @@
 //! |-----------------------|------------------------------------------------------------|
 //! | `env/open`            | declare a program point, get a session id                  |
 //! | `env/update`          | apply an [`EnvDelta`] to a session (incremental re-prepare)|
+//! | `env/analyze`         | static-analysis report for a session's environment         |
 //! | `completion/complete` | query a goal type; paginate with `cursor`                  |
 //! | `session/close`       | drop a session                                             |
 //! | `server/stats`        | counters, cache sizes, hit rates, latency quantiles        |
@@ -45,5 +46,5 @@ pub mod transport;
 pub use json::{parse as parse_json, Json, JsonError};
 pub use metrics::{Method, Metrics};
 pub use protocol::{decl_to_json, env_to_json, ty_to_json, ProtocolError, Request};
-pub use server::{Bookkeeping, Parsed, Server, ServerConfig};
+pub use server::{report_to_json, Bookkeeping, Parsed, Server, ServerConfig};
 pub use transport::{run, serve_script};

@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 pub enum Method {
     EnvOpen,
     EnvUpdate,
+    EnvAnalyze,
     Complete,
     SessionClose,
     Stats,
@@ -23,9 +24,10 @@ pub enum Method {
 }
 
 impl Method {
-    pub const ALL: [Method; 6] = [
+    pub const ALL: [Method; 7] = [
         Method::EnvOpen,
         Method::EnvUpdate,
+        Method::EnvAnalyze,
         Method::Complete,
         Method::SessionClose,
         Method::Stats,
@@ -37,6 +39,7 @@ impl Method {
         match self {
             Method::EnvOpen => "env/open",
             Method::EnvUpdate => "env/update",
+            Method::EnvAnalyze => "env/analyze",
             Method::Complete => "completion/complete",
             Method::SessionClose => "session/close",
             Method::Stats => "server/stats",
@@ -52,10 +55,11 @@ impl Method {
         match self {
             Method::EnvOpen => 0,
             Method::EnvUpdate => 1,
-            Method::Complete => 2,
-            Method::SessionClose => 3,
-            Method::Stats => 4,
-            Method::Cancel => 5,
+            Method::EnvAnalyze => 2,
+            Method::Complete => 3,
+            Method::SessionClose => 4,
+            Method::Stats => 5,
+            Method::Cancel => 6,
         }
     }
 }
@@ -122,7 +126,7 @@ impl Histogram {
 #[derive(Debug)]
 pub struct Metrics {
     started: Instant,
-    per_method: [AtomicU64; 6],
+    per_method: [AtomicU64; 7],
     errors: AtomicU64,
     cancelled: AtomicU64,
     completions: AtomicU64,

@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use insynth_core::{CancelToken, Engine, Query, Session};
+use insynth_core::{AnalysisReport, CancelToken, Engine, Query, Session};
 
 use crate::json::{parse, Json};
 use crate::metrics::{Method, Metrics};
@@ -295,6 +295,7 @@ impl Server {
                     match method {
                         Method::EnvOpen => self.env_open(&request.params),
                         Method::EnvUpdate => self.env_update(&request.params),
+                        Method::EnvAnalyze => self.env_analyze(&request.params),
                         Method::Complete => self.complete(&request.params, cancel, started),
                         Method::SessionClose => self.session_close(&request.params),
                         Method::Stats => self.stats(&request.params),
@@ -372,6 +373,16 @@ impl Server {
             .open
             .insert(id, Arc::clone(&updated));
         Ok(session_summary(id, &updated))
+    }
+
+    fn env_analyze(&self, params: &Json) -> Result<Json, ProtocolError> {
+        let id = session_id(params)?;
+        let session = self.lookup(id)?;
+        // Served from the engine's fingerprint-keyed report cache when this
+        // point (or a structural twin) was analyzed before; diagnostics are
+        // deterministic, so repeated calls are byte-identical.
+        let report = session.analyze();
+        Ok(report_to_json(&report))
     }
 
     fn complete(
@@ -508,6 +519,11 @@ impl Server {
                         "suspended_walk_count",
                         Json::from(engine.suspended_walk_count),
                     ),
+                    ("analysis_count", Json::from(engine.analysis_count)),
+                    (
+                        "cached_analysis_count",
+                        Json::from(engine.cached_analysis_count),
+                    ),
                 ]),
             ),
         ];
@@ -600,6 +616,50 @@ fn optional_u64(params: &Json, key: &str) -> Result<Option<u64>, ProtocolError> 
             .map(Some)
             .ok_or_else(|| ProtocolError::invalid_params(format!("\"{key}\" must be an integer"))),
     }
+}
+
+/// Serializes an [`AnalysisReport`] for the `env/analyze` reply. Field
+/// order is fixed and the report itself is deterministically sorted, so the
+/// wire form is byte-stable across runs. Public so the `insynth-envlint`
+/// CLI's `--json` output is byte-identical to the server's reply.
+pub fn report_to_json(report: &AnalysisReport) -> Json {
+    let diagnostics: Vec<Json> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            Json::object([
+                ("severity", Json::from(d.severity.to_string())),
+                ("code", Json::from(d.kind.code())),
+                ("subject", Json::from(d.subject.clone())),
+                ("message", Json::from(d.message.clone())),
+                (
+                    "decls",
+                    Json::Arr(d.decls.iter().map(|&i| Json::from(i)).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Json::object([
+        ("decl_count", Json::from(report.decl_count)),
+        ("member_types", Json::from(report.member_types)),
+        ("producible_types", Json::from(report.producible_types)),
+        (
+            "unproducible_types",
+            Json::Arr(
+                report
+                    .unproducible_types
+                    .iter()
+                    .map(|name| Json::from(name.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "dead_decls",
+            Json::Arr(report.dead_decls.iter().map(|&i| Json::from(i)).collect()),
+        ),
+        ("weights_monotone", Json::from(report.weights_monotone)),
+        ("diagnostics", Json::Arr(diagnostics)),
+    ])
 }
 
 fn session_summary(id: u64, session: &Session) -> Json {

@@ -1,0 +1,166 @@
+//! `insynth-envlint`: the static-analysis lint over program points.
+//!
+//! Runs [`Engine::analyze`] — the producibility fixpoint plus the
+//! dead-declaration / uninhabitable-type / ambiguous-overload /
+//! duplicate / weight-anomaly diagnostics — over the shipped benchmark
+//! environments (the figure-1 phases model and the scaled `javaapi` model)
+//! or either one alone, and renders the reports for humans or machines.
+//!
+//! ```text
+//! insynth-envlint                      # lint both shipped models, human output
+//! insynth-envlint --check              # exit 1 on non-allowlisted warnings/errors
+//! insynth-envlint --json               # the env/analyze wire shape, one line per model
+//! insynth-envlint --model scaled --scale 13000
+//! insynth-envlint --check --allowlist envlint.allow
+//! ```
+//!
+//! Exit codes: `0` clean (or `--check` not requested), `1` at least one
+//! non-allowlisted diagnostic at warning severity or above with `--check`,
+//! `2` usage error. Reports are deterministic, so two runs over the same
+//! models emit byte-identical output.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use insynth::analysis::{Allowlist, AnalysisReport, Severity};
+use insynth::bench::{phases_environment, scaled_environment};
+use insynth::core::{Engine, SynthesisConfig, TypeEnv};
+use insynth_server::{report_to_json, Json};
+
+const USAGE: &str = "usage: insynth-envlint [--check] [--json] \
+     [--model figure1|scaled|all] [--scale N] [--allowlist FILE]";
+
+/// The figure-1 model's filler-package count: the bench harness's smallest
+/// rung (≈1.3k declarations), the environment of the paper's running example.
+const FIGURE1_FILLER: usize = 4;
+
+/// Default declaration target for the scaled model — the 13k rung the CI
+/// gates run at.
+const DEFAULT_SCALE: usize = 13_000;
+
+struct Options {
+    check: bool,
+    json: bool,
+    model: ModelChoice,
+    scale: usize,
+    allowlist: Allowlist,
+}
+
+#[derive(PartialEq)]
+enum ModelChoice {
+    Figure1,
+    Scaled,
+    All,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        check: false,
+        json: false,
+        model: ModelChoice::All,
+        scale: DEFAULT_SCALE,
+        allowlist: Allowlist::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--check" => options.check = true,
+            "--json" => options.json = true,
+            "--model" => {
+                options.model = match value("--model")?.as_str() {
+                    "figure1" => ModelChoice::Figure1,
+                    "scaled" => ModelChoice::Scaled,
+                    "all" => ModelChoice::All,
+                    other => return Err(format!("unknown model {other:?}")),
+                }
+            }
+            "--scale" => {
+                options.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--allowlist" => {
+                let path = value("--allowlist")?;
+                let text =
+                    std::fs::read_to_string(&path).map_err(|e| format!("reading {path:?}: {e}"))?;
+                options.allowlist =
+                    Allowlist::parse(&text).map_err(|e| format!("parsing {path:?}: {e}"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn models(options: &Options) -> Vec<(String, TypeEnv)> {
+    let mut out = Vec::new();
+    if options.model != ModelChoice::Scaled {
+        out.push((
+            format!("figure1 (phases model, {FIGURE1_FILLER} filler packages)"),
+            phases_environment(FIGURE1_FILLER),
+        ));
+    }
+    if options.model != ModelChoice::Figure1 {
+        out.push((
+            format!("scaled (javaapi, target {} decls)", options.scale),
+            scaled_environment(options.scale),
+        ));
+    }
+    out
+}
+
+fn render_human(name: &str, env_len: usize, report: &AnalysisReport, allowlist: &Allowlist) {
+    println!("== {name}: {env_len} declarations ==");
+    print!("{}", report.render_human());
+    let failing = report.failing(Severity::Warning, allowlist);
+    if report.diagnostics.is_empty() {
+        println!("clean");
+    } else if failing.is_empty() {
+        println!("no findings at warning severity or above (after allowlist)");
+    } else {
+        println!("{} finding(s) at warning severity or above", failing.len());
+    }
+    println!();
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_options(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("insynth-envlint: {message}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let engine = Engine::new(SynthesisConfig::default());
+    let mut failing_total = 0usize;
+    for (name, env) in models(&options) {
+        let report: Arc<AnalysisReport> = engine.analyze(&env);
+        failing_total += report.failing(Severity::Warning, &options.allowlist).len();
+        if options.json {
+            let line = Json::object([
+                ("model", Json::from(name)),
+                ("report", report_to_json(&report)),
+            ]);
+            println!("{line}");
+        } else {
+            render_human(&name, env.len(), &report, &options.allowlist);
+        }
+    }
+
+    if options.check && failing_total > 0 {
+        eprintln!("insynth-envlint: {failing_total} non-allowlisted finding(s) at warning+");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -236,6 +236,75 @@
 //! );
 //! ```
 //!
+//! # Analyzing an environment
+//!
+//! The engine can statically audit a program point before (or instead of)
+//! querying it. [`core::Engine::analyze`] runs a goal-independent
+//! producibility fixpoint over the σ-lowered signatures — the forward dual
+//! of the explore phase — and reports, deterministically and sorted by
+//! severity:
+//!
+//! * **dead declarations** (warning): a parameter type is unproducible in
+//!   any environment a completion walk can construct, so the declaration
+//!   can appear in no completion for any goal;
+//! * **duplicate declarations** (warning): identical `(name, type)` pairs
+//!   that render identical snippets;
+//! * **weight anomalies** (error): negative effective weights, which break
+//!   weight monotonicity and disable the A* walk;
+//! * **uninhabitable types** and **ambiguous overload groups** (info):
+//!   base types no term can have, and σ-indistinguishable equal-weight
+//!   declarations whose relative ranking is pure tie-break order.
+//!
+//! ```
+//! use insynth::analysis::{DiagnosticKind, Severity};
+//! use insynth::core::{Declaration, DeclKind, Engine, TypeEnv};
+//! use insynth::lambda::Ty;
+//!
+//! let env: TypeEnv = [
+//!     Declaration::simple("a", Ty::base("A"), DeclKind::Local),
+//!     // `Missing` has no producer: `dead` can appear in no completion.
+//!     Declaration::simple(
+//!         "dead",
+//!         Ty::fun(vec![Ty::base("Missing")], Ty::base("A")),
+//!         DeclKind::Imported,
+//!     ),
+//! ]
+//! .into_iter()
+//! .collect();
+//!
+//! let engine = Engine::default();
+//! let report = engine.analyze(&env);
+//! assert_eq!(report.dead_decls, vec![1]);
+//! assert_eq!(report.max_severity(), Some(Severity::Warning));
+//! assert_eq!(report.count_of(DiagnosticKind::DeadDecl), 1);
+//! // Analyzing the same point again is a fingerprint-cache hit.
+//! assert!(engine.analyze(&env).dead_decls == report.dead_decls);
+//! ```
+//!
+//! Reports are cached by environment fingerprint (bounded by
+//! `SynthesisConfig::analysis_cache_capacity`), and the opt-in
+//! `SynthesisConfig::prune_dead_decls` turns the same verdict into a
+//! performance lever: each graph build first drops the declarations the
+//! analysis proves unusable for that goal — answer-preserving by
+//! construction, property-tested byte-identical on and off.
+//!
+//! The same report is available off the library path:
+//!
+//! ```text
+//! insynth-envlint --check                 # lint the shipped models, gate on warnings
+//! insynth-envlint --json --model scaled   # the env/analyze wire shape
+//! insynth-envlint --check --allowlist envlint.allow
+//! ```
+//!
+//! and over the server as `env/analyze` on an open session:
+//!
+//! ```text
+//! → {"id": 2, "method": "env/analyze", "params": {"session": 1}}
+//! ← {"id":2,"result":{"decl_count":3,"member_types":…,"producible_types":…,
+//!    "unproducible_types":["Missing"],"dead_decls":[2],"weights_monotone":true,
+//!    "diagnostics":[{"severity":"warning","code":"dead-decl","subject":"dead",…}]}}
+//! ```
+//!
 //! # Running the server
 //!
 //! Everything above is the library view. The `insynth-server` binary (crate
@@ -349,7 +418,9 @@
 //!   `SynthesisConfig::suspended_walk_capacity` to 0 to disable persistence
 //!   (results stay identical; follow-up queries just replay their walks).
 
+pub use insynth_analysis as analysis;
 pub use insynth_apimodel as apimodel;
+pub use insynth_bench as bench;
 pub use insynth_benchsuite as benchsuite;
 pub use insynth_core as core;
 pub use insynth_corpus as corpus;
