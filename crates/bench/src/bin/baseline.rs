@@ -1,7 +1,8 @@
 //! Regenerates `BENCH_BASELINE.json`: recorded reference numbers for the
 //! `env_scaling` (benches/phases.rs), `sigma_prepare` (benches/compression.rs),
 //! `session_amortization`, `cross_point`, `gent_ablation`, `genp_ablation`,
-//! `resume_walk`, `server_roundtrip` and `analysis` benchmark workloads.
+//! `resume_walk`, `server_roundtrip`, `analysis` and `trace_replay`
+//! benchmark workloads.
 //!
 //! The vendored criterion stand-in only prints to stdout, so this binary
 //! re-measures the same workloads with the same scheme (warm-up calibration,
@@ -63,6 +64,18 @@
 //!   `session_amortization/query_on_prepared_session` is the per-request
 //!   protocol overhead.
 //!
+//! Trace-replay entries (the editor-trace PR):
+//!
+//! * `trace_replay/{library,server}_figure1` — one full replay of a seeded
+//!   2000-event editor trace (8 points, Zipf-skewed, default delta mix)
+//!   against the filler-4 environment, through the library path and the
+//!   JSON server path respectively; the gap between the two ids is the
+//!   protocol overhead integrated over a whole editing session rather than
+//!   a single warm round trip.
+//! * `trace_replay/{library,server}_scaled13k` — a shorter 300-event trace
+//!   (4 points) against the ~13k-decl scaled model, the before-number for
+//!   the tombstone/O(delta) update work.
+//!
 //! `--check [path]` instead runs the perf smoke test CI executes on every
 //! push:
 //!
@@ -98,26 +111,35 @@
 //!    must report exactly the pinned per-severity diagnostic counts and
 //!    dead-declaration counts, and the committed `envlint.allow` must cover
 //!    every warning — the library-level twin of the CI `env-lint` job;
-//! 9. a **timing-ratio gate** — re-measures the two `session_amortization`
-//!    query workloads and fails if the graph pipeline's speedup over the
-//!    unindexed pipeline shrank more than 25% against the recorded ratio.
-//!    A single noisy measurement window must not fail CI, so a breach is
-//!    re-measured once (both ratios are printed) and only a repeat breach
-//!    fails. Comparing the *ratio*, with both sides measured on the current
-//!    machine, makes the gate independent of how fast that machine is:
-//!    absolute nanoseconds recorded here would be meaningless on a CI
-//!    runner.
+//! 9. a **deterministic trace-replay gate** — a pinned seeded editor trace
+//!    (400 events, 6 points, figure-1 filler-0) must replay to exactly the
+//!    recorded event count, σ-run count, graph-build count and result
+//!    digest, twice through the library path with byte-identical
+//!    counters-only reports, and once through the JSON server path with
+//!    the same digest; no timing involved;
+//! 10. a **timing-ratio gate** — re-measures the two `session_amortization`
+//!     query workloads and fails if the graph pipeline's speedup over the
+//!     unindexed pipeline shrank more than 25% against the recorded ratio.
+//!     A single noisy measurement window must not fail CI, so a breach is
+//!     re-measured once (both ratios are printed) and only a repeat breach
+//!     fails. Comparing the *ratio*, with both sides measured on the current
+//!     machine, makes the gate independent of how fast that machine is:
+//!     absolute nanoseconds recorded here would be meaningless on a CI
+//!     runner.
 
 use std::time::{Duration, Instant};
 
+use insynth_bench::replay::{replay_library, replay_server, trace_environment};
 use insynth_bench::{
     build_graph, compression_environment, growth_exponent, phases_environment, scaled_environment,
+    DEFAULT_CORPUS_SEED,
 };
 use insynth_core::{
     explore, generate_patterns, generate_patterns_naive, generate_terms, generate_terms_best_first,
     generate_terms_unindexed, Allowlist, BatchRequest, Engine, ExploreLimits, GenerateLimits,
     PreparedEnv, Query, Severity, SynthesisConfig, TypeEnv, WeightConfig,
 };
+use insynth_corpus::trace::{generate_trace, Trace, TraceEnvSpec, TraceGenConfig};
 use insynth_lambda::Ty;
 use insynth_server::{env_to_json, serve_script, Json, Server, ServerConfig};
 use insynth_succinct::TypeStore;
@@ -151,6 +173,33 @@ const PARALLEL_SPEEDUP_FLOOR: f64 = 2.0;
 /// and correctness on such machines is covered by the deterministic
 /// shard-invariance gate.
 const PARALLEL_GATE_MIN_CORES: usize = 4;
+
+/// The pinned counters of the deterministic trace-replay gate: replaying
+/// [`trace_gate_trace`] must report exactly these, and the same result
+/// digest on the library and server paths. The digest hashes term strings
+/// and fingerprints only — no floats, no wall clock — so it is stable
+/// across machines; drift means generation, replay semantics, or engine
+/// cache accounting changed and the baseline must be re-recorded knowingly.
+const TRACE_GATE_SEED: u64 = 1013;
+const TRACE_GATE_EVENTS: usize = 400;
+const TRACE_GATE_PREPARES: usize = 56;
+const TRACE_GATE_GRAPH_BUILDS: usize = 130;
+const TRACE_GATE_DIGEST: &str = "b2c25e7db777f25c";
+
+/// The fixed editor trace the `--check` trace-replay gate replays: 400
+/// events over 6 points against the filler-0 figure-1 environment — small
+/// enough to replay three times inside the CI budget, busy enough to cover
+/// opens, pages, deltas with removals (the fresh-prepare fallback), and
+/// closes.
+fn trace_gate_trace() -> Trace {
+    generate_trace(&TraceGenConfig {
+        seed: TRACE_GATE_SEED,
+        points: 6,
+        events: TRACE_GATE_EVENTS as u64,
+        env: TraceEnvSpec::Figure1 { filler: 0 },
+        ..TraceGenConfig::default()
+    })
+}
 
 struct Measurement {
     bench: &'static str,
@@ -781,10 +830,68 @@ fn main() {
         }
     }
 
+    // trace_replay: one full editor-trace replay per iteration, library vs
+    // server path on identical workloads. The figure-1 trace is the
+    // steady-state interactive profile; the scaled-13k trace is the
+    // before-number for the tombstone/O(delta) update work (updates at that
+    // scale pay full incremental re-preparation today).
+    {
+        let workloads = [
+            (
+                "figure1",
+                10usize,
+                generate_trace(&TraceGenConfig {
+                    seed: DEFAULT_CORPUS_SEED,
+                    points: 8,
+                    events: 2000,
+                    env: TraceEnvSpec::Figure1 { filler: 4 },
+                    ..TraceGenConfig::default()
+                }),
+            ),
+            (
+                "scaled13k",
+                5usize,
+                generate_trace(&TraceGenConfig {
+                    seed: DEFAULT_CORPUS_SEED,
+                    points: 4,
+                    events: 300,
+                    env: TraceEnvSpec::Scaled {
+                        target_decls: ENVLINT_SCALE,
+                    },
+                    ..TraceGenConfig::default()
+                }),
+            ),
+        ];
+        for (name, sample_size, trace) in &workloads {
+            let ambient = trace_environment(trace.env);
+            let env_size = ambient.len();
+            for mode in ["library", "server"] {
+                let id = format!("{mode}_{name}");
+                eprintln!("measuring trace_replay/{id}/{env_size} …");
+                let (samples, iters, min, median, mean) = measure(*sample_size, || match mode {
+                    "library" => replay_library(trace, &ambient, 1),
+                    _ => replay_server(trace, &ambient, 1),
+                });
+                measurements.push(Measurement {
+                    bench: "trace",
+                    group: "trace_replay",
+                    id,
+                    env_size,
+                    samples,
+                    iters_per_sample: iters,
+                    min_ns: min,
+                    median_ns: median,
+                    mean_ns: mean,
+                    growth_exponent: None,
+                });
+            }
+        }
+    }
+
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
-        "  \"_note\": \"Reference timings for the env_scaling, session_amortization, cross_point, gent_ablation, genp_ablation, resume_walk, server_roundtrip, sigma_prepare and analysis benchmark workloads. Wall-clock, machine-specific; regenerate on the machine you compare on with: cargo run --release -p insynth_bench --bin baseline. CI perf smoke: baseline --check fails when a query_batch over 4 structurally equal points stops reporting exactly 1 prepare + 1 graph build, when the A* walk stops cutting filler-4 queue pops 2x vs the best-first walk, when growing n=10 into n=20 on a warm session stops resuming the suspended walk (extra graph builds, or not strictly fewer pops than a from-scratch n=20, or diverging answers), when the scripted server session stops being byte-stable or stops reporting its expected cache-hit counters (2 prepares, 2 graph builds, 2 resumed walks, 1 cancelled request), when sharded preparation (1/2/8 σ shards) stops being byte-identical to sequential, when the σ-prepare growth exponent over the 12k/25k/51k ladder exceeds its cap, when (on >= 4 cores) sharded preparation stops being 2x faster than sequential at the 51k rung, when Engine::analyze over the shipped models drifts from the pinned diagnostic counts or a warning escapes envlint.allow, or when the session_amortization query speedup regresses >25% vs this file in two consecutive measurement windows.\",\n",
+        "  \"_note\": \"Reference timings for the env_scaling, session_amortization, cross_point, gent_ablation, genp_ablation, resume_walk, server_roundtrip, sigma_prepare, analysis and trace_replay benchmark workloads. Wall-clock, machine-specific; regenerate on the machine you compare on with: cargo run --release -p insynth_bench --bin baseline. CI perf smoke: baseline --check fails when a query_batch over 4 structurally equal points stops reporting exactly 1 prepare + 1 graph build, when the A* walk stops cutting filler-4 queue pops 2x vs the best-first walk, when growing n=10 into n=20 on a warm session stops resuming the suspended walk (extra graph builds, or not strictly fewer pops than a from-scratch n=20, or diverging answers), when the scripted server session stops being byte-stable or stops reporting its expected cache-hit counters (2 prepares, 2 graph builds, 2 resumed walks, 1 cancelled request), when sharded preparation (1/2/8 σ shards) stops being byte-identical to sequential, when the σ-prepare growth exponent over the 12k/25k/51k ladder exceeds its cap, when (on >= 4 cores) sharded preparation stops being 2x faster than sequential at the 51k rung, when Engine::analyze over the shipped models drifts from the pinned diagnostic counts or a warning escapes envlint.allow, when the pinned seeded editor trace stops replaying to its recorded event/prepare/graph-build counts and result digest (byte-identically across two library runs, with the server path digesting identically), or when the session_amortization query speedup regresses >25% vs this file in two consecutive measurement windows.\",\n",
     );
     out.push_str(
         "  \"_measurement\": \"per-iteration nanoseconds; warm-up-calibrated samples of batched iterations, as in vendor/criterion (min/median/mean only)\",\n",
@@ -1240,7 +1347,55 @@ fn run_check(path: &str) -> i32 {
         }
     }
 
-    // Gate 8 — query-time ratio, re-measured once on a breach.
+    // Gate 8 — trace replay, deterministic: the pinned seeded editor trace
+    // must replay to exactly the recorded event/prepare/graph-build counts
+    // and result digest, byte-identically across two library runs, and the
+    // JSON server path must digest identically to the library path on the
+    // same workload. Everything compared is integer counters and a
+    // float-free digest, so the gate is safe on a noisy 1-core runner.
+    {
+        let trace = trace_gate_trace();
+        let ambient = trace_environment(trace.env);
+        let first = replay_library(&trace, &ambient, 1);
+        let second = replay_library(&trace, &ambient, 1);
+        let server = replay_server(&trace, &ambient, 1);
+        println!(
+            "trace replay: {} events, {} prepares, {} graph builds, digest {} \
+             (gate requires {TRACE_GATE_EVENTS}/{TRACE_GATE_PREPARES}/{TRACE_GATE_GRAPH_BUILDS}/{TRACE_GATE_DIGEST}); \
+             server path digest {}",
+            first.summary.events,
+            first.prepares,
+            first.graph_builds,
+            first.digest_hex(),
+            server.digest_hex(),
+        );
+        let pinned = first.summary.events == TRACE_GATE_EVENTS
+            && first.prepares == TRACE_GATE_PREPARES
+            && first.graph_builds == TRACE_GATE_GRAPH_BUILDS
+            && first.digest_hex() == TRACE_GATE_DIGEST
+            && first.errors == 0;
+        let reproducible = first.to_json(true) == second.to_json(true);
+        let server_matches = server.digest_hex() == first.digest_hex() && server.errors == 0;
+        if !pinned || !reproducible || !server_matches {
+            if !reproducible {
+                println!("first and second library replays diverged:");
+                println!(
+                    "--- first\n{}\n--- second\n{}",
+                    first.to_json(true),
+                    second.to_json(true)
+                );
+            }
+            println!(
+                "PERF REGRESSION: the pinned editor trace no longer replays to its recorded \
+                 counters/digest (or library and server paths diverged) — if the change to \
+                 generation or replay semantics is intentional, re-pin the TRACE_GATE_* \
+                 constants and re-record BENCH_BASELINE.json"
+            );
+            return 1;
+        }
+    }
+
+    // Gate 9 — query-time ratio, re-measured once on a breach.
     let (query_median, unindexed_median, first_ratio) = measure_query_ratio(&env, &goal);
     println!(
         "graph query median {query_median} ns, unindexed reference median {unindexed_median} ns: \

@@ -14,6 +14,8 @@
 //! See `EXPERIMENTS.md` at the workspace root for the mapping from paper
 //! tables/figures to these targets and for recorded paper-vs-measured results.
 
+pub mod replay;
+
 use insynth_apimodel::{extract, javaapi, ApiModel, ProgramPoint};
 use insynth_core::{
     explore, generate_patterns, DerivationGraph, ExploreLimits, PreparedEnv, TypeEnv, WeightConfig,

@@ -25,9 +25,14 @@
 
 mod projects;
 mod synthetic;
+pub mod trace;
 
 pub use projects::{table3_projects, Project};
 pub use synthetic::synthetic_corpus;
+pub use trace::{
+    generate_trace, Trace, TraceEnvSpec, TraceEvent, TraceEventKind, TraceGenConfig,
+    TraceParseError, TraceSummary, TRACE_VERSION,
+};
 
 use std::collections::HashMap;
 

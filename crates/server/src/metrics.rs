@@ -64,63 +64,10 @@ impl Method {
     }
 }
 
-/// A fixed-bucket log2 latency histogram over microseconds: bucket `i`
-/// holds samples in `[2^(i-1), 2^i)` µs (bucket 0 is exactly 0 µs), so 40
-/// buckets span sub-microsecond to ~6 days. Quantiles come back as the
-/// upper bound of the covering bucket — a ≤2× overestimate, plenty for
-/// p50/p99 reporting.
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [u64; 40],
-    count: u64,
-    sum_us: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            buckets: [0; 40],
-            count: 0,
-            sum_us: 0,
-        }
-    }
-}
-
-impl Histogram {
-    pub fn record(&mut self, sample: Duration) {
-        let us = sample.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = (64 - us.leading_zeros() as usize).min(self.buckets.len() - 1);
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.sum_us = self.sum_us.saturating_add(us);
-    }
-
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_us(&self) -> u64 {
-        self.sum_us.checked_div(self.count).unwrap_or(0)
-    }
-
-    /// The latency below which a `q` fraction of samples fall, as the upper
-    /// bound of the covering bucket (0 when empty).
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return 1u64 << i;
-            }
-        }
-        1u64 << (self.buckets.len() - 1)
-    }
-}
+// The latency histogram lives in `insynth_stats` so the trace-replay harness
+// in `insynth_bench` reports quantiles from the same buckets; re-exported
+// here to keep `insynth_server::metrics::Histogram` a public name.
+pub use insynth_stats::Histogram;
 
 /// All server-level counters plus the completion latency histogram.
 #[derive(Debug)]
@@ -241,20 +188,6 @@ mod tests {
             assert_eq!(Method::from_name(method.name()), Some(method));
         }
         assert_eq!(Method::from_name("no/such"), None);
-    }
-
-    #[test]
-    fn histogram_quantiles_cover_samples() {
-        let mut hist = Histogram::default();
-        assert_eq!(hist.quantile_us(0.5), 0);
-        for us in [10u64, 10, 10, 10, 10, 10, 10, 10, 10, 5000] {
-            hist.record(Duration::from_micros(us));
-        }
-        assert_eq!(hist.count(), 10);
-        // p50 lands in the 10µs bucket [8,16), p99 in 5000's [4096,8192).
-        assert_eq!(hist.quantile_us(0.5), 16);
-        assert_eq!(hist.quantile_us(0.99), 8192);
-        assert_eq!(hist.mean_us(), 509);
     }
 
     #[test]

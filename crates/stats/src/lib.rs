@@ -1,0 +1,122 @@
+//! Shared observability primitives.
+//!
+//! One implementation of the latency histogram, used by both the completion
+//! server's metrics (`insynth_server::metrics`) and the editor-trace replay
+//! harness (`insynth_bench::replay`), so the two report quantiles from the
+//! same buckets — no copy-paste drift between the service path and the
+//! benchmark path.
+//!
+//! Everything here is *reporting* plumbing: nothing feeds back into
+//! synthesis, so recording a sample can never perturb results.
+
+use std::time::Duration;
+
+/// A fixed-bucket log2 latency histogram over microseconds: bucket `i`
+/// holds samples in `[2^(i-1), 2^i)` µs (bucket 0 is exactly 0 µs), so 40
+/// buckets span sub-microsecond to ~6 days. Quantiles come back as the
+/// upper bound of the covering bucket — a ≤2× overestimate, plenty for
+/// p50/p90/p99 reporting.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 40],
+    count: u64,
+    sum_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 40],
+            count: 0,
+            sum_us: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record(&mut self, sample: Duration) {
+        let us = sample.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(self.buckets.len() - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The latency below which a `q` fraction of samples fall, as the upper
+    /// bound of the covering bucket (0 when empty).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (self.buckets.len() - 1)
+    }
+
+    /// Folds another histogram into this one (bucket-wise addition). The
+    /// replay harness records per-worker histograms without contention and
+    /// merges them into one report at the end.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_cover_samples() {
+        let mut hist = Histogram::default();
+        assert_eq!(hist.quantile_us(0.5), 0);
+        for us in [10u64, 10, 10, 10, 10, 10, 10, 10, 10, 5000] {
+            hist.record(Duration::from_micros(us));
+        }
+        assert_eq!(hist.count(), 10);
+        // p50 lands in the 10µs bucket [8,16), p99 in 5000's [4096,8192).
+        assert_eq!(hist.quantile_us(0.5), 16);
+        assert_eq!(hist.quantile_us(0.99), 8192);
+        assert_eq!(hist.mean_us(), 509);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for us in [10u64, 12, 14] {
+            a.record(Duration::from_micros(us));
+        }
+        for us in [5000u64, 6000] {
+            b.record(Duration::from_micros(us));
+        }
+        let mut whole = Histogram::default();
+        for us in [10u64, 12, 14, 5000, 6000] {
+            whole.record(Duration::from_micros(us));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.mean_us(), whole.mean_us());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile_us(q), whole.quantile_us(q));
+        }
+    }
+}

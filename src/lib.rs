@@ -31,6 +31,8 @@
 //!   JSON-over-stdio service (sessions, cancellation, admission control,
 //!   metrics) over the engine. See [Running the
 //!   server](#running-the-server).
+//! * [`stats`] — shared measurement primitives: the 40-bucket log₂ latency
+//!   histogram used by the server metrics and the trace-replay harness.
 //!
 //! # Quickstart
 //!
@@ -368,6 +370,45 @@
 //! server nearly field-for-field; the `cursor` continuation and `$/cancel`
 //! follow the same id-addressed, LSP-style conventions.
 //!
+//! # Replaying editor traces
+//!
+//! How does the engine behave under a realistic editing session — not one
+//! query, but thousands of opens, keystrokes, pages and closes interleaved
+//! across program points? The trace subsystem answers that reproducibly:
+//!
+//! * [`corpus::trace`] defines a versioned, line-oriented text format for
+//!   editor traces — open/query/page/update/close events against numbered
+//!   program points, ordered by abstract ticks, never wall clock — and a
+//!   seeded generator ([`corpus::trace::generate_trace`]) with knobs for
+//!   point count, Zipf skew of point popularity, the update/removal/page
+//!   mix, and burst shape. Same seed and knobs, byte-identical trace, at
+//!   any size from a hundred events to millions.
+//! * [`bench::replay`] replays a trace against the engine on either path:
+//!   [`bench::replay::replay_library`] drives `Engine`/`Session` calls
+//!   directly on a configurable number of workers (events are sharded by
+//!   point, so each point's order is preserved), and
+//!   [`bench::replay::replay_server`] renders every event to the JSON
+//!   protocol and feeds it through `Server::handle_line`. Both report
+//!   throughput, p50/p90/p99 completion latency (the shared [`stats`]
+//!   histogram), engine cache counters, and a result digest.
+//!
+//! The digest XOR-folds per-event FNV hashes of the returned term strings
+//! and environment fingerprints — no weights, no timing — so it is
+//! byte-identical across the library and server paths, across runs, and
+//! across worker counts; the engine counters (prepares, graph builds) are
+//! additionally exact at one worker, where LRU eviction order is
+//! deterministic. `tests/trace_replay.rs` property-tests both contracts on
+//! random knobs, and a `baseline --check` gate pins a seeded trace's
+//! counters and digest in CI. The `insynth-trace` binary is the
+//! command-line surface:
+//!
+//! ```text
+//! insynth-trace generate --seed 42 --events 100000 --out edit.trace
+//! insynth-trace inspect edit.trace
+//! insynth-trace replay edit.trace --mode server --workers 4
+//! insynth-trace replay --seed 7 --events 2000 --mode library --json --counters-only
+//! ```
+//!
 //! # Migrating from the PR 2 session API
 //!
 //! Code written against the original `Engine::prepare` / `Session::query`
@@ -428,4 +469,5 @@ pub use insynth_intern as intern;
 pub use insynth_lambda as lambda;
 pub use insynth_provers as provers;
 pub use insynth_server as server;
+pub use insynth_stats as stats;
 pub use insynth_succinct as succinct;

@@ -99,8 +99,89 @@ pub mod rngs {
     }
 }
 
+pub mod distributions {
+    use super::Rng;
+
+    /// The subset of `rand::distributions::Distribution` the workspace uses.
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// A discrete distribution over indices `0..weights.len()`, where index
+    /// `i` is drawn with probability `weights[i] / sum(weights)`. Stand-in
+    /// for `rand::distributions::WeightedIndex`, sampled by inverse CDF over
+    /// the cumulative weights.
+    #[derive(Clone, Debug)]
+    pub struct WeightedIndex {
+        cumulative: Vec<f64>,
+        total: f64,
+    }
+
+    impl WeightedIndex {
+        pub fn new(weights: impl IntoIterator<Item = f64>) -> Result<WeightedIndex, &'static str> {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                if !w.is_finite() || w < 0.0 {
+                    return Err("WeightedIndex weights must be finite and non-negative");
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() || total <= 0.0 {
+                return Err("WeightedIndex needs at least one positive weight");
+            }
+            Ok(WeightedIndex { cumulative, total })
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            // 53 high-quality bits -> uniform f64 in [0, 1), as in gen_bool.
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let target = unit * self.total;
+            // partition_point: first index whose cumulative weight exceeds
+            // the target; zero-weight entries are never selected because
+            // their cumulative value equals their predecessor's.
+            self.cumulative
+                .partition_point(|&c| c <= target)
+                .min(self.cumulative.len() - 1)
+        }
+    }
+
+    /// A Zipf-like rank distribution over `1..=n`: rank `k` is drawn with
+    /// probability proportional to `1 / k^s`. Built on [`WeightedIndex`], so
+    /// it shares the same deterministic sampling path; fine for skewing a
+    /// synthetic workload toward a hot set, no statistical-quality claims.
+    #[derive(Clone, Debug)]
+    pub struct Zipf {
+        index: WeightedIndex,
+    }
+
+    impl Zipf {
+        pub fn new(n: u64, s: f64) -> Result<Zipf, &'static str> {
+            if n == 0 {
+                return Err("Zipf needs at least one element");
+            }
+            if !s.is_finite() || s < 0.0 {
+                return Err("Zipf exponent must be finite and non-negative");
+            }
+            let index = WeightedIndex::new((1..=n).map(|k| (k as f64).powf(-s)))?;
+            Ok(Zipf { index })
+        }
+    }
+
+    impl Distribution<u64> for Zipf {
+        /// Samples a rank in `1..=n` (1 is the hottest).
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            self.index.sample(rng) as u64 + 1
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::distributions::{Distribution, WeightedIndex, Zipf};
     use super::rngs::StdRng;
     use super::{Rng, SeedableRng};
 
@@ -132,5 +213,59 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let hits = (0..10_000).filter(|_| rng.gen_bool(0.15)).count();
         assert!((1000..2000).contains(&hits), "got {hits} hits for p=0.15");
+    }
+
+    #[test]
+    fn weighted_index_is_roughly_calibrated_and_deterministic() {
+        let dist = WeightedIndex::new([1.0, 0.0, 3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        // Expected 2500 / 0 / 7500.
+        assert!((2000..3000).contains(&counts[0]), "got {counts:?}");
+        assert_eq!(counts[1], 0, "zero-weight index was sampled");
+        assert!((7000..8000).contains(&counts[2]), "got {counts:?}");
+
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(dist.sample(&mut a), dist.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn weighted_index_rejects_degenerate_weights() {
+        assert!(WeightedIndex::new([]).is_err());
+        assert!(WeightedIndex::new([0.0, 0.0]).is_err());
+        assert!(WeightedIndex::new([1.0, -1.0]).is_err());
+        assert!(WeightedIndex::new([1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let dist = Zipf::new(100, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut head = 0u32;
+        for _ in 0..10_000 {
+            let rank = dist.sample(&mut rng);
+            assert!((1..=100).contains(&rank));
+            if rank <= 10 {
+                head += 1;
+            }
+        }
+        // Harmonic mass of ranks 1..=10 out of 1..=100 is ~56%.
+        assert!((5000..6500).contains(&head), "got {head} head hits");
+
+        // s = 0 degenerates to uniform: the head holds ~10% of the mass.
+        let flat = Zipf::new(100, 0.0).unwrap();
+        let mut flat_head = 0u32;
+        for _ in 0..10_000 {
+            if flat.sample(&mut rng) <= 10 {
+                flat_head += 1;
+            }
+        }
+        assert!((700..1300).contains(&flat_head), "got {flat_head}");
     }
 }
